@@ -1,0 +1,527 @@
+//! Tile-level quality allocation (paper §6.1).
+//!
+//! Within a chunk whose MPC-chosen byte budget is `r`, Pano assigns each
+//! tile a quality level to maximise the chunk PSPNR. Since
+//! `P = 20·log10(255/√M)` is monotone decreasing in the area-weighted PMSE
+//! `M`, the program is
+//!
+//! ```text
+//! min Σₜ Sₜ·Mₜ(qₜ)    s.t.    Σₜ Rₜ(qₜ) ≤ r
+//! ```
+//!
+//! Three solvers are provided:
+//!
+//! * [`allocate_pareto`] — the production solver, a tile-by-tile sweep that
+//!   keeps only Pareto-nondominated `(total size, total weighted-PMSE)`
+//!   partial assignments. This is the paper's pruning rule ("if one
+//!   assignment is strictly better in both PSPNR and size, exclude the
+//!   other") made systematic; with the 5-level ladder its frontier stays
+//!   small and the sweep is effectively `O(N · frontier · 5)`.
+//! * [`allocate_greedy`] — the marginal-utility ladder climb used as an
+//!   ablation baseline (and as a fallback bound).
+//! * [`allocate_exhaustive`] — brute force over all `5^N` assignments,
+//!   usable only for small `N`; the test oracle.
+
+use pano_video::codec::QualityLevel;
+use serde::{Deserialize, Serialize};
+
+/// Per-tile allocation input: what each quality level would cost and how
+/// much perceptible distortion it would leave.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileChoice {
+    /// Encoded size in bytes at each quality level (ascending quality).
+    pub size_bytes: [u64; 5],
+    /// PMSE at each quality level under the tile's predicted action state.
+    pub pmse: [f64; 5],
+    /// Tile pixel area (the PMSE weight `Sₜ`).
+    pub pixel_area: u64,
+}
+
+impl TileChoice {
+    /// Weighted PMSE contribution at `level`.
+    fn weighted_pmse(&self, level: usize) -> f64 {
+        self.pmse[level] * self.pixel_area as f64
+    }
+
+    /// Validates the structural invariants the solvers rely on: sizes
+    /// non-decreasing and PMSE non-increasing with quality.
+    pub fn is_well_formed(&self) -> bool {
+        self.size_bytes.windows(2).all(|w| w[1] >= w[0])
+            && self.pmse.windows(2).all(|w| w[1] <= w[0] + 1e-12)
+            && self.pixel_area > 0
+    }
+}
+
+/// Result of an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Chosen level per tile.
+    pub levels: Vec<QualityLevel>,
+    /// Total size of the chosen assignment, bytes.
+    pub total_bytes: u64,
+    /// Total area-weighted PMSE of the chosen assignment.
+    pub total_weighted_pmse: f64,
+}
+
+fn finish(tiles: &[TileChoice], levels: Vec<QualityLevel>) -> Allocation {
+    let total_bytes = tiles
+        .iter()
+        .zip(&levels)
+        .map(|(t, &l)| t.size_bytes[l.0 as usize])
+        .sum();
+    let total_weighted_pmse = tiles
+        .iter()
+        .zip(&levels)
+        .map(|(t, &l)| t.weighted_pmse(l.0 as usize))
+        .sum();
+    Allocation {
+        levels,
+        total_bytes,
+        total_weighted_pmse,
+    }
+}
+
+/// Pareto-frontier solver. Returns the minimum-weighted-PMSE assignment
+/// with `total_bytes ≤ budget`, or the all-lowest assignment if even that
+/// exceeds the budget (the player must fetch *something* for every tile).
+///
+/// ```
+/// use pano_abr::allocate::{allocate_pareto, TileChoice};
+///
+/// // Two tiles; the first has 10x the perceptual stake.
+/// let tile = |pmse0: f64| TileChoice {
+///     size_bytes: [100, 170, 290, 490, 840],
+///     pmse: [pmse0, pmse0 / 2.0, pmse0 / 4.0, pmse0 / 8.0, pmse0 / 16.0],
+///     pixel_area: 1000,
+/// };
+/// let tiles = [tile(40.0), tile(4.0)];
+/// let alloc = allocate_pareto(&tiles, 500);
+/// assert!(alloc.total_bytes <= 500);
+/// // The budget concentrates on the sensitive tile.
+/// assert!(alloc.levels[0] > alloc.levels[1]);
+/// ```
+///
+/// Panics if `tiles` is empty or any tile is malformed.
+pub fn allocate_pareto(tiles: &[TileChoice], budget_bytes: u64) -> Allocation {
+    assert!(!tiles.is_empty(), "need at least one tile");
+    assert!(
+        tiles.iter().all(TileChoice::is_well_formed),
+        "tile choices must have monotone size/PMSE ladders"
+    );
+
+    // Frontier entry: (total size, total weighted pmse, levels so far).
+    // Invariant: sorted by size ascending, pmse strictly descending.
+    let mut frontier: Vec<(u64, f64, Vec<u8>)> = vec![(0, 0.0, Vec::new())];
+    for tile in tiles {
+        let mut next: Vec<(u64, f64, Vec<u8>)> = Vec::with_capacity(frontier.len() * 5);
+        for (size, pmse, levels) in &frontier {
+            for l in 0..5usize {
+                let s = size + tile.size_bytes[l];
+                if s > budget_bytes {
+                    // Sizes are monotone in l: higher levels only get bigger.
+                    break;
+                }
+                let mut lv = levels.clone();
+                lv.push(l as u8);
+                next.push((s, pmse + tile.weighted_pmse(l), lv));
+            }
+        }
+        if next.is_empty() {
+            // Budget can't fit even the lowest ladder: bail to all-lowest.
+            let levels = vec![QualityLevel::LOWEST; tiles.len()];
+            return finish(tiles, levels);
+        }
+        // Pareto-prune: sort by (size asc, pmse asc); keep entries whose
+        // pmse strictly improves on everything smaller.
+        next.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN pmse")));
+        let mut pruned: Vec<(u64, f64, Vec<u8>)> = Vec::with_capacity(next.len());
+        let mut best_pmse = f64::INFINITY;
+        for e in next {
+            if e.1 < best_pmse - 1e-12 {
+                best_pmse = e.1;
+                pruned.push(e);
+            }
+        }
+        // Frontier cap: on large instances (many tiles with near-
+        // continuous sizes) the exact frontier can grow combinatorially.
+        // Thin it by even subsampling, always keeping the extreme points;
+        // the loss is bounded by the PMSE gap between adjacent survivors.
+        const FRONTIER_CAP: usize = 4096;
+        if pruned.len() > FRONTIER_CAP {
+            let keep = FRONTIER_CAP / 2;
+            let last = pruned.len() - 1;
+            let mut thinned = Vec::with_capacity(keep + 1);
+            for i in 0..keep {
+                thinned.push(pruned[i * last / (keep - 1).max(1)].clone());
+            }
+            if thinned.last().map(|e: &(u64, f64, Vec<u8>)| e.0) != Some(pruned[last].0) {
+                thinned.push(pruned[last].clone());
+            }
+            pruned = thinned;
+        }
+        frontier = pruned;
+    }
+
+    // The frontier is pmse-descending in size order; the last entry (the
+    // largest affordable) has the minimum pmse.
+    let (_, _, levels) = frontier.last().expect("frontier never empty here");
+    finish(
+        tiles,
+        levels.iter().map(|&l| QualityLevel(l)).collect(),
+    )
+}
+
+/// Greedy ladder climb: start everything at the lowest level, repeatedly
+/// apply the single-tile upgrade with the best PMSE-reduction-per-byte
+/// ratio that still fits the budget.
+pub fn allocate_greedy(tiles: &[TileChoice], budget_bytes: u64) -> Allocation {
+    assert!(!tiles.is_empty(), "need at least one tile");
+    let mut levels = vec![0usize; tiles.len()];
+    let mut total: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+    loop {
+        let mut best: Option<(usize, f64, u64)> = None;
+        for (i, tile) in tiles.iter().enumerate() {
+            let l = levels[i];
+            if l + 1 >= 5 {
+                continue;
+            }
+            let extra = tile.size_bytes[l + 1] - tile.size_bytes[l];
+            if total + extra > budget_bytes {
+                continue;
+            }
+            let gain = tile.weighted_pmse(l) - tile.weighted_pmse(l + 1);
+            let ratio = if extra == 0 {
+                f64::INFINITY
+            } else {
+                gain / extra as f64
+            };
+            match best {
+                Some((_, r, _)) if r >= ratio => {}
+                _ => best = Some((i, ratio, extra)),
+            }
+        }
+        match best {
+            Some((i, _, extra)) => {
+                levels[i] += 1;
+                total += extra;
+            }
+            None => break,
+        }
+    }
+    finish(
+        tiles,
+        levels.into_iter().map(|l| QualityLevel(l as u8)).collect(),
+    )
+}
+
+/// Brute-force oracle over all `5^N` assignments (panics above N = 9 to
+/// keep test runtimes sane). Returns the same all-lowest fallback as
+/// [`allocate_pareto`] when nothing fits.
+pub fn allocate_exhaustive(tiles: &[TileChoice], budget_bytes: u64) -> Allocation {
+    assert!(!tiles.is_empty(), "need at least one tile");
+    assert!(tiles.len() <= 9, "exhaustive search is for small N only");
+    let n = tiles.len();
+    let mut best: Option<(f64, u64, Vec<u8>)> = None;
+    let mut levels = vec![0u8; n];
+    loop {
+        let total: u64 = tiles
+            .iter()
+            .zip(&levels)
+            .map(|(t, &l)| t.size_bytes[l as usize])
+            .sum();
+        if total <= budget_bytes {
+            let pmse: f64 = tiles
+                .iter()
+                .zip(&levels)
+                .map(|(t, &l)| t.weighted_pmse(l as usize))
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((bp, bs, _)) => pmse < bp - 1e-12 || (pmse < bp + 1e-12 && total < *bs),
+            };
+            if better {
+                best = Some((pmse, total, levels.clone()));
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let levels = match best {
+                    Some((_, _, lv)) => lv.into_iter().map(QualityLevel).collect(),
+                    None => vec![QualityLevel::LOWEST; n],
+                };
+                return finish(tiles, levels);
+            }
+            levels[i] += 1;
+            if levels[i] < 5 {
+                break;
+            }
+            levels[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mk_tile(base_size: u64, base_pmse: f64, area: u64) -> TileChoice {
+        // Sizes grow ~1.7x per level; PMSE shrinks ~2x per level.
+        let mut size_bytes = [0u64; 5];
+        let mut pmse = [0.0; 5];
+        for l in 0..5 {
+            size_bytes[l] = (base_size as f64 * 1.7f64.powi(l as i32)) as u64;
+            pmse[l] = base_pmse / 2f64.powi(l as i32);
+        }
+        TileChoice {
+            size_bytes,
+            pmse,
+            pixel_area: area,
+        }
+    }
+
+    #[test]
+    fn tile_well_formedness() {
+        assert!(mk_tile(100, 10.0, 50).is_well_formed());
+        let mut bad = mk_tile(100, 10.0, 50);
+        bad.size_bytes[3] = 1; // size regression
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn unlimited_budget_gives_highest_everything() {
+        let tiles = vec![mk_tile(100, 10.0, 50); 6];
+        let a = allocate_pareto(&tiles, u64::MAX);
+        assert!(a.levels.iter().all(|&l| l == QualityLevel::HIGHEST));
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_all_lowest() {
+        let tiles = vec![mk_tile(100, 10.0, 50); 4];
+        let a = allocate_pareto(&tiles, 0);
+        assert!(a.levels.iter().all(|&l| l == QualityLevel::LOWEST));
+        let g = allocate_greedy(&tiles, 0);
+        assert_eq!(g.levels, a.levels);
+        let e = allocate_exhaustive(&tiles, 0);
+        assert_eq!(e.levels, a.levels);
+    }
+
+    #[test]
+    fn budget_is_respected_when_feasible() {
+        let tiles = vec![mk_tile(100, 10.0, 50); 6];
+        let budget = 6 * 100 * 3; // room for some upgrades
+        let a = allocate_pareto(&tiles, budget);
+        assert!(a.total_bytes <= budget);
+        let g = allocate_greedy(&tiles, budget);
+        assert!(g.total_bytes <= budget);
+    }
+
+    #[test]
+    fn high_sensitivity_tiles_get_higher_quality() {
+        // Tile 0 has 100x the weighted PMSE at stake: it should be
+        // upgraded first.
+        let tiles = vec![mk_tile(100, 100.0, 100), mk_tile(100, 1.0, 100)];
+        let budget = 100 + 100 + 200; // room to upgrade roughly one tile
+        let a = allocate_pareto(&tiles, budget);
+        assert!(
+            a.levels[0] > a.levels[1],
+            "sensitive tile should win: {:?}",
+            a.levels
+        );
+    }
+
+    #[test]
+    fn pareto_matches_exhaustive_on_small_instances() {
+        let cases: Vec<Vec<TileChoice>> = vec![
+            vec![mk_tile(100, 10.0, 50), mk_tile(150, 5.0, 80)],
+            vec![
+                mk_tile(100, 10.0, 50),
+                mk_tile(300, 40.0, 20),
+                mk_tile(50, 2.0, 200),
+                mk_tile(220, 9.0, 90),
+            ],
+            vec![
+                mk_tile(80, 3.0, 10),
+                mk_tile(120, 30.0, 60),
+                mk_tile(200, 7.0, 44),
+                mk_tile(66, 12.0, 120),
+                mk_tile(90, 0.5, 300),
+                mk_tile(140, 21.0, 70),
+            ],
+        ];
+        for tiles in cases {
+            let min: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+            let max: u64 = tiles.iter().map(|t| t.size_bytes[4]).sum();
+            for budget in [min, (min + max) / 3, (min + max) / 2, max] {
+                let p = allocate_pareto(&tiles, budget);
+                let e = allocate_exhaustive(&tiles, budget);
+                assert!(
+                    (p.total_weighted_pmse - e.total_weighted_pmse).abs() < 1e-9,
+                    "pareto {} vs exhaustive {} at budget {budget}",
+                    p.total_weighted_pmse,
+                    e.total_weighted_pmse
+                );
+                assert!(p.total_bytes <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_never_better_than_pareto() {
+        let tiles = vec![
+            mk_tile(100, 10.0, 50),
+            mk_tile(300, 40.0, 20),
+            mk_tile(50, 2.0, 200),
+            mk_tile(220, 9.0, 90),
+            mk_tile(90, 0.5, 300),
+        ];
+        for budget in [800u64, 1500, 3000, 6000] {
+            let p = allocate_pareto(&tiles, budget);
+            let g = allocate_greedy(&tiles, budget);
+            assert!(
+                p.total_weighted_pmse <= g.total_weighted_pmse + 1e-9,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_totals_are_consistent() {
+        let tiles = vec![mk_tile(100, 10.0, 50), mk_tile(200, 20.0, 100)];
+        let a = allocate_pareto(&tiles, 5000);
+        let bytes: u64 = tiles
+            .iter()
+            .zip(&a.levels)
+            .map(|(t, &l)| t.size_bytes[l.0 as usize])
+            .sum();
+        assert_eq!(bytes, a.total_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn empty_tiles_panic() {
+        allocate_pareto(&[], 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_pareto_optimal_vs_exhaustive(
+            sizes in proptest::collection::vec(10u64..500, 2..6),
+            pmses in proptest::collection::vec(0.1f64..50.0, 2..6),
+            frac in 0.0f64..1.0,
+        ) {
+            let n = sizes.len().min(pmses.len());
+            let tiles: Vec<TileChoice> = (0..n)
+                .map(|i| mk_tile(sizes[i], pmses[i], 10 + 10 * i as u64))
+                .collect();
+            let min: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+            let max: u64 = tiles.iter().map(|t| t.size_bytes[4]).sum();
+            let budget = min + ((max - min) as f64 * frac) as u64;
+            let p = allocate_pareto(&tiles, budget);
+            let e = allocate_exhaustive(&tiles, budget);
+            prop_assert!((p.total_weighted_pmse - e.total_weighted_pmse).abs() < 1e-9);
+            prop_assert!(p.total_bytes <= budget);
+        }
+    }
+}
+
+#[cfg(test)]
+mod economic_invariants {
+    //! Property tests of the allocation economics: more budget can never
+    //! hurt, and the optimum is monotone along the whole budget axis.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mk_tile(base_size: u64, base_pmse: f64, area: u64) -> TileChoice {
+        let mut size_bytes = [0u64; 5];
+        let mut pmse = [0.0; 5];
+        for l in 0..5 {
+            size_bytes[l] = (base_size as f64 * 1.7f64.powi(l as i32)) as u64;
+            pmse[l] = base_pmse / 2f64.powi(l as i32);
+        }
+        TileChoice {
+            size_bytes,
+            pmse,
+            pixel_area: area,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_more_budget_never_raises_pmse(
+            sizes in proptest::collection::vec(20u64..400, 3..8),
+            pmses in proptest::collection::vec(0.5f64..40.0, 3..8),
+            budget_lo_frac in 0.0f64..0.9,
+            budget_delta_frac in 0.0f64..0.5,
+        ) {
+            let n = sizes.len().min(pmses.len());
+            let tiles: Vec<TileChoice> = (0..n)
+                .map(|i| mk_tile(sizes[i], pmses[i], 50 + 10 * i as u64))
+                .collect();
+            let min: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+            let max: u64 = tiles.iter().map(|t| t.size_bytes[4]).sum();
+            let span = (max - min) as f64;
+            let lo = min + (span * budget_lo_frac) as u64;
+            let hi = lo + (span * budget_delta_frac) as u64;
+            let a_lo = allocate_pareto(&tiles, lo);
+            let a_hi = allocate_pareto(&tiles, hi);
+            prop_assert!(
+                a_hi.total_weighted_pmse <= a_lo.total_weighted_pmse + 1e-9,
+                "budget {lo}->{hi}: pmse {} -> {}",
+                a_lo.total_weighted_pmse,
+                a_hi.total_weighted_pmse
+            );
+        }
+
+        #[test]
+        fn prop_greedy_also_monotone(
+            sizes in proptest::collection::vec(20u64..400, 3..8),
+            pmses in proptest::collection::vec(0.5f64..40.0, 3..8),
+            budget_frac in 0.0f64..1.0,
+        ) {
+            let n = sizes.len().min(pmses.len());
+            let tiles: Vec<TileChoice> = (0..n)
+                .map(|i| mk_tile(sizes[i], pmses[i], 50 + 10 * i as u64))
+                .collect();
+            let min: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+            let max: u64 = tiles.iter().map(|t| t.size_bytes[4]).sum();
+            let budget = min + ((max - min) as f64 * budget_frac) as u64;
+            let g = allocate_greedy(&tiles, budget);
+            let p = allocate_pareto(&tiles, budget);
+            // Both respect the budget; pareto is at least as good.
+            prop_assert!(g.total_bytes <= budget);
+            prop_assert!(p.total_bytes <= budget);
+            prop_assert!(p.total_weighted_pmse <= g.total_weighted_pmse + 1e-9);
+        }
+
+        #[test]
+        fn prop_levels_monotone_in_budget_per_tile_sum(
+            seed_budgets in proptest::collection::vec(0.0f64..1.0, 4),
+        ) {
+            // The sum of chosen levels is non-decreasing as the budget
+            // grows (quality never regresses with more money).
+            let tiles: Vec<TileChoice> = (0..5)
+                .map(|i| mk_tile(50 + 40 * i as u64, 5.0 + i as f64 * 7.0, 100))
+                .collect();
+            let min: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum();
+            let max: u64 = tiles.iter().map(|t| t.size_bytes[4]).sum();
+            let mut budgets: Vec<u64> = seed_budgets
+                .iter()
+                .map(|f| min + ((max - min) as f64 * f) as u64)
+                .collect();
+            budgets.sort_unstable();
+            let mut prev_pmse = f64::INFINITY;
+            for b in budgets {
+                let a = allocate_pareto(&tiles, b);
+                prop_assert!(a.total_weighted_pmse <= prev_pmse + 1e-9);
+                prev_pmse = a.total_weighted_pmse;
+            }
+        }
+    }
+}

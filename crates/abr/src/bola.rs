@@ -1,0 +1,162 @@
+//! BOLA-style buffer-based bitrate control (an alternative to [`crate::mpc`];
+//! the paper's related work cites BOLA as the canonical buffer-based ABR).
+//!
+//! BOLA needs no throughput prediction at all: it maximises a per-chunk
+//! Lyapunov objective `(utility(level) + γ·p) / size(level)` where the
+//! weight on the "play smoothly" term grows with how empty the buffer is.
+//! We implement the BOLA-BASIC decision rule: given the ladder's sizes and
+//! logarithmic utilities, pick the level maximising
+//! `(V·(utility + γp) − buffer) / size`, clamped to the nearest feasible
+//! rung. The control parameters `V` and `γp` are derived from the buffer
+//! capacity and the target minimum buffer, as in the BOLA construction.
+
+use serde::{Deserialize, Serialize};
+
+/// BOLA tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BolaConfig {
+    /// Buffer capacity the objective is scaled to, seconds.
+    pub buffer_capacity_secs: f64,
+    /// Buffer level below which the lowest rung is forced, seconds.
+    pub min_buffer_secs: f64,
+}
+
+impl Default for BolaConfig {
+    fn default() -> Self {
+        BolaConfig {
+            buffer_capacity_secs: 8.0,
+            min_buffer_secs: 1.0,
+        }
+    }
+}
+
+/// The BOLA controller. Stateless: every decision is a pure function of
+/// the ladder and the instantaneous buffer level.
+#[derive(Debug, Clone, Default)]
+pub struct BolaController {
+    config: BolaConfig,
+}
+
+impl BolaController {
+    /// Creates a controller.
+    pub fn new(config: BolaConfig) -> Self {
+        BolaController { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BolaConfig {
+        &self.config
+    }
+
+    /// Picks the ladder index for the next chunk from the buffer level
+    /// alone.
+    ///
+    /// Panics on an empty or descending ladder or non-positive chunk
+    /// duration (same contract as [`crate::mpc::MpcController::pick_rate`]).
+    pub fn pick_rate(
+        &self,
+        rate_ladder_bytes: &[u64],
+        buffer_secs: f64,
+        chunk_secs: f64,
+    ) -> usize {
+        assert!(!rate_ladder_bytes.is_empty(), "ladder must not be empty");
+        assert!(
+            rate_ladder_bytes.windows(2).all(|w| w[1] >= w[0]),
+            "ladder must ascend"
+        );
+        assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        let c = &self.config;
+        if buffer_secs <= c.min_buffer_secs {
+            return 0;
+        }
+
+        // Log utilities relative to the lowest rung.
+        let s_min = rate_ladder_bytes[0].max(1) as f64;
+        let utilities: Vec<f64> = rate_ladder_bytes
+            .iter()
+            .map(|&s| (s.max(1) as f64 / s_min).ln())
+            .collect();
+        let u_max = *utilities.last().expect("non-empty ladder");
+
+        // BOLA-BASIC construction: choose γp so the lowest rung is picked
+        // exactly at the minimum buffer, and V so the highest rung is
+        // reached as the buffer approaches capacity.
+        let q_max = c.buffer_capacity_secs / chunk_secs;
+        let q_min = c.min_buffer_secs / chunk_secs;
+        let gp = (u_max * q_min / (q_max - q_min)).max(1e-6) + u_max / (q_max / q_min - 1.0);
+        let v = (q_max - q_min) / (u_max + gp);
+
+        let q = buffer_secs / chunk_secs;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (idx, (&size, &u)) in rate_ladder_bytes.iter().zip(&utilities).enumerate() {
+            let score = (v * (u + gp) - q) / size.max(1) as f64;
+            if score > best_score {
+                best_score = score;
+                best = idx;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<u64> {
+        vec![60_000, 99_000, 172_000, 303_000, 535_000]
+    }
+
+    #[test]
+    fn empty_buffer_forces_lowest() {
+        let b = BolaController::default();
+        assert_eq!(b.pick_rate(&ladder(), 0.0, 1.0), 0);
+        assert_eq!(b.pick_rate(&ladder(), 0.9, 1.0), 0);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_buffer() {
+        let b = BolaController::default();
+        let mut prev = 0;
+        for q in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 7.9] {
+            let idx = b.pick_rate(&ladder(), q, 1.0);
+            assert!(idx >= prev, "buffer {q}: idx {idx} < prev {prev}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn full_buffer_reaches_top_rungs() {
+        let b = BolaController::default();
+        let idx = b.pick_rate(&ladder(), 7.9, 1.0);
+        assert!(idx >= 3, "near-capacity buffer picks idx {idx}");
+    }
+
+    #[test]
+    fn decisions_are_prediction_free_and_pure() {
+        let b = BolaController::default();
+        assert_eq!(
+            b.pick_rate(&ladder(), 3.0, 1.0),
+            b.pick_rate(&ladder(), 3.0, 1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder must not be empty")]
+    fn empty_ladder_panics() {
+        BolaController::default().pick_rate(&[], 3.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder must ascend")]
+    fn descending_ladder_panics() {
+        BolaController::default().pick_rate(&[10, 5], 3.0, 1.0);
+    }
+
+    #[test]
+    fn single_rung_ladder_works() {
+        let b = BolaController::default();
+        assert_eq!(b.pick_rate(&[100_000], 5.0, 1.0), 0);
+    }
+}

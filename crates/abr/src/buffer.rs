@@ -1,0 +1,173 @@
+//! Playback-buffer bookkeeping.
+//!
+//! The client downloads chunks ahead of the playhead; the buffer level is
+//! the amount of downloaded-but-unplayed video. Downloads add whole chunks
+//! of playable time; playback drains the buffer in real time; when the
+//! buffer empties mid-playback the player stalls (rebuffers) until the
+//! next chunk lands. [`PlaybackBuffer`] tracks level, stall time and the
+//! accounting both Pano and the baselines share.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple seconds-denominated playback buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlaybackBuffer {
+    /// Current buffered video, seconds.
+    level_secs: f64,
+    /// Maximum buffer capacity, seconds.
+    capacity_secs: f64,
+    /// Accumulated stall (rebuffering) time, seconds.
+    stall_secs: f64,
+    /// Accumulated played video time, seconds.
+    played_secs: f64,
+}
+
+impl PlaybackBuffer {
+    /// Creates an empty buffer with the given capacity.
+    pub fn new(capacity_secs: f64) -> Self {
+        assert!(capacity_secs > 0.0, "capacity must be positive");
+        PlaybackBuffer {
+            level_secs: 0.0,
+            capacity_secs,
+            stall_secs: 0.0,
+            played_secs: 0.0,
+        }
+    }
+
+    /// Current buffer level, seconds.
+    pub fn level_secs(&self) -> f64 {
+        self.level_secs
+    }
+
+    /// Buffer capacity, seconds.
+    pub fn capacity_secs(&self) -> f64 {
+        self.capacity_secs
+    }
+
+    /// Total stall time so far, seconds.
+    pub fn stall_secs(&self) -> f64 {
+        self.stall_secs
+    }
+
+    /// Total video played so far, seconds.
+    pub fn played_secs(&self) -> f64 {
+        self.played_secs
+    }
+
+    /// Rebuffering ratio so far: stall / (stall + played), in `[0, 1]`.
+    pub fn buffering_ratio(&self) -> f64 {
+        let denom = self.stall_secs + self.played_secs;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.stall_secs / denom
+        }
+    }
+
+    /// Adds a downloaded chunk of `chunk_secs` playable time. The level is
+    /// clamped at capacity (the scheduler should not have requested more,
+    /// but the buffer defends itself).
+    pub fn add_chunk(&mut self, chunk_secs: f64) {
+        assert!(chunk_secs >= 0.0, "chunk duration must be non-negative");
+        self.level_secs = (self.level_secs + chunk_secs).min(self.capacity_secs);
+    }
+
+    /// Advances wall-clock time by `dt` seconds of playback: drains the
+    /// buffer; any deficit is recorded as stall time. Returns the stall
+    /// incurred during this step.
+    pub fn play(&mut self, dt: f64) -> f64 {
+        assert!(dt >= 0.0, "time must move forward");
+        let played = dt.min(self.level_secs);
+        let stalled = dt - played;
+        self.level_secs -= played;
+        self.played_secs += played;
+        self.stall_secs += stalled;
+        stalled
+    }
+
+    /// Seconds of wall-clock the scheduler can spend downloading before
+    /// the buffer underruns (i.e. the current level).
+    pub fn headroom_secs(&self) -> f64 {
+        self.level_secs
+    }
+
+    /// Whether another chunk of `chunk_secs` fits under capacity.
+    pub fn has_room_for(&self, chunk_secs: f64) -> bool {
+        self.level_secs + chunk_secs <= self.capacity_secs + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fill_and_drain() {
+        let mut b = PlaybackBuffer::new(10.0);
+        b.add_chunk(2.0);
+        assert_eq!(b.level_secs(), 2.0);
+        let stall = b.play(1.5);
+        assert_eq!(stall, 0.0);
+        assert_eq!(b.level_secs(), 0.5);
+        assert_eq!(b.played_secs(), 1.5);
+    }
+
+    #[test]
+    fn underrun_counts_as_stall() {
+        let mut b = PlaybackBuffer::new(10.0);
+        b.add_chunk(1.0);
+        let stall = b.play(2.5);
+        assert_eq!(stall, 1.5);
+        assert_eq!(b.stall_secs(), 1.5);
+        assert_eq!(b.played_secs(), 1.0);
+        assert!((b.buffering_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_clamps() {
+        let mut b = PlaybackBuffer::new(3.0);
+        b.add_chunk(2.0);
+        assert!(b.has_room_for(1.0));
+        assert!(!b.has_room_for(1.5));
+        b.add_chunk(5.0);
+        assert_eq!(b.level_secs(), 3.0);
+    }
+
+    #[test]
+    fn empty_buffer_ratio_is_zero() {
+        let b = PlaybackBuffer::new(5.0);
+        assert_eq!(b.buffering_ratio(), 0.0);
+        assert_eq!(b.headroom_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        PlaybackBuffer::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_time_accounting_conserved(
+            adds in proptest::collection::vec(0.0f64..3.0, 0..20),
+            plays in proptest::collection::vec(0.0f64..3.0, 0..20),
+        ) {
+            let mut b = PlaybackBuffer::new(8.0);
+            let mut it_a = adds.iter();
+            let mut it_p = plays.iter();
+            loop {
+                match (it_a.next(), it_p.next()) {
+                    (Some(&a), Some(&p)) => { b.add_chunk(a); b.play(p); }
+                    (Some(&a), None) => { b.add_chunk(a); }
+                    (None, Some(&p)) => { b.play(p); }
+                    (None, None) => break,
+                }
+            }
+            let total_play: f64 = plays.iter().sum();
+            // played + stalled accounts for all playback wall-clock.
+            prop_assert!((b.played_secs() + b.stall_secs() - total_play).abs() < 1e-9);
+            prop_assert!(b.level_secs() >= 0.0 && b.level_secs() <= 8.0 + 1e-9);
+        }
+    }
+}

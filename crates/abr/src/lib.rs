@@ -1,0 +1,31 @@
+//! # pano-abr — quality adaptation (paper §6)
+//!
+//! Pano adapts quality at two levels. The **chunk level** uses MPC-style
+//! lookahead ([`mpc`]) to pick each chunk's total byte budget so that the
+//! playback buffer tracks its target under the predicted throughput. The
+//! **tile level** ([`allocate`]) then splits that budget across the
+//! chunk's tiles to maximise the chunk PSPNR — the paper's
+//! `min Σ Sₜ·Mₜ(qₜ)  s.t.  Σ Rₜ(qₜ) ≤ r` program, solved with the
+//! dominated-assignment pruning described in §6.1 (implemented as a
+//! Pareto-frontier sweep over tiles).
+//!
+//! To stay DASH-compatible (§6.2), the client never touches pixels: the
+//! provider pre-computes a **PSPNR lookup table** ([`lookup`]) mapping each
+//! tile's action-dependent ratio to PSPNR, compresses it by dimensionality
+//! reduction and power regression (§6.3), and ships it inside the
+//! **manifest** ([`manifest`]). [`buffer`] provides the playback-buffer
+//! bookkeeping shared by the client simulators.
+
+pub mod allocate;
+pub mod bola;
+pub mod buffer;
+pub mod lookup;
+pub mod manifest;
+pub mod mpc;
+
+pub use allocate::{allocate_exhaustive, allocate_greedy, allocate_pareto, TileChoice};
+pub use bola::{BolaConfig, BolaController};
+pub use buffer::PlaybackBuffer;
+pub use lookup::{FullLookupTable, LookupScheme, PowerLawTable, RatioLookupTable};
+pub use manifest::{Manifest, ManifestChunk, ManifestTile};
+pub use mpc::{MpcConfig, MpcController};

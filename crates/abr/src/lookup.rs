@@ -1,0 +1,588 @@
+//! PSPNR lookup tables (paper §6.2–6.3, Fig. 12).
+//!
+//! The client must estimate each tile's PSPNR without ever seeing pixels.
+//! The provider pre-computes the mapping from viewpoint action to PSPNR
+//! and ships it in the manifest. Three schemas reproduce the paper's
+//! compression ladder:
+//!
+//! * [`FullLookupTable`] (Fig. 12a) — per tile × quality level, PSPNR at
+//!   every combination of n representative speeds × n DoF differences ×
+//!   n luminance changes: `n³` entries per tile-level.
+//! * [`RatioLookupTable`] (Fig. 12b) — dimensionality reduction: the three
+//!   factors only matter through their product, the action-dependent
+//!   ratio `A = Fv·Fd·Fl`, so one sampled 1-D curve per tile-level
+//!   suffices.
+//! * [`PowerLawTable`] (Fig. 12c) — the 1-D curve is interpolated by a
+//!   power function `PSPNR ≈ a · Aᵇ`; two parameters per tile-level.
+//!
+//! All three implement [`LookupScheme`]; their JSON-serialised sizes give
+//! the §6.3 compression numbers.
+
+use pano_jnd::{ActionState, Multipliers, PspnrComputer, PSPNR_CAP_DB};
+use pano_video::codec::{EncodedTile, QualityLevel};
+use pano_video::ChunkFeatures;
+use serde::{Deserialize, Serialize};
+
+/// The nested per-chunk × per-tile × per-level grid of the full table.
+type FullEntries = Vec<Vec<Vec<Vec<Vec<Vec<f64>>>>>>;
+
+/// A client-side PSPNR estimator for one video: maps (chunk, tile, level,
+/// action) to estimated PSPNR.
+pub trait LookupScheme {
+    /// Estimated PSPNR in dB for tile `tile` of chunk `chunk` at quality
+    /// `level` under `action`.
+    fn estimate(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> f64;
+
+    /// Estimated PSPNR at a raw action-dependent ratio (the §6.3 1-D
+    /// index). Lets callers fold additional JND multipliers — e.g. the
+    /// foveated eccentricity factor — into the query. The default derives
+    /// nothing extra and is overridden by the 1-D schemes.
+    fn estimate_at_ratio(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        ratio: f64,
+    ) -> f64 {
+        // Fallback for schemes without a 1-D index: approximate the ratio
+        // with a pure speed action that produces it (inverse of f_speed).
+        let _ = ratio;
+        self.estimate(chunk, tile, level, &ActionState::REST)
+    }
+
+    /// Serialised size of the table in bytes (JSON, as it ships in the
+    /// manifest).
+    fn serialized_bytes(&self) -> usize;
+}
+
+/// Default representative values per factor (n = 5).
+pub const SPEED_GRID: [f64; 5] = [0.0, 5.0, 10.0, 20.0, 40.0];
+/// Default representative DoF differences.
+pub const DOF_GRID: [f64; 5] = [0.0, 0.35, 0.7, 1.4, 2.0];
+/// Default representative luminance changes.
+pub const LUM_GRID: [f64; 5] = [0.0, 50.0, 100.0, 200.0, 240.0];
+
+/// Sampled action-ratio grid for the 1-D schemes (log-spaced over the
+/// multiplier range 1..60).
+pub const RATIO_GRID: [f64; 8] = [1.0, 1.5, 2.25, 3.4, 5.0, 10.0, 25.0, 60.0];
+
+fn nearest_idx(grid: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    let mut bd = f64::INFINITY;
+    for (i, &g) in grid.iter().enumerate() {
+        let d = (g - x).abs();
+        if d < bd {
+            bd = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Rounds to four significant decimal digits — enough for dB-scale
+/// quantities while keeping the serialised tables compact.
+fn round4(v: f64) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let mag = v.abs().log10().floor();
+    let scale = 10f64.powf(3.0 - mag);
+    (v * scale).round() / scale
+}
+
+/// Interpolates `y(x)` on a sorted grid (linear, clamped at the ends).
+fn interp(grid: &[f64], ys: &[f64], x: f64) -> f64 {
+    debug_assert_eq!(grid.len(), ys.len());
+    if x <= grid[0] {
+        return ys[0];
+    }
+    if x >= grid[grid.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let mut i = 0;
+    while grid[i + 1] < x {
+        i += 1;
+    }
+    let f = (x - grid[i]) / (grid[i + 1] - grid[i]);
+    ys[i] + (ys[i + 1] - ys[i]) * f
+}
+
+/// Fig. 12a: the uncompressed n³ table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullLookupTable {
+    /// `entries[chunk][tile][level][si][di][li]` = PSPNR dB.
+    entries: FullEntries,
+}
+
+/// Fig. 12b: one PSPNR sample per [`RATIO_GRID`] point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioLookupTable {
+    /// `curves[chunk][tile][level][ri]` = PSPNR dB at `RATIO_GRID[ri]`.
+    curves: Vec<Vec<Vec<Vec<f64>>>>,
+    multipliers: Multipliers,
+}
+
+/// Fig. 12c: `PSPNR ≈ a · ratioᵇ` per tile-level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerLawTable {
+    /// `params[chunk][tile][level]` = `(a, b)`.
+    params: Vec<Vec<Vec<(f64, f64)>>>,
+    multipliers: Multipliers,
+}
+
+/// Builds lookup tables from the provider-side encodings.
+pub struct LookupBuilder<'a> {
+    computer: &'a PspnrComputer,
+}
+
+impl<'a> LookupBuilder<'a> {
+    /// Creates a builder around the provider's PSPNR computer.
+    pub fn new(computer: &'a PspnrComputer) -> Self {
+        LookupBuilder { computer }
+    }
+
+    /// Ground-truth PSPNR for a tile-level-action triple (provider side).
+    fn pspnr(
+        &self,
+        features: &ChunkFeatures,
+        tile: &EncodedTile,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> f64 {
+        self.computer
+            .tile_quality(features, tile, level, action)
+            .pspnr_db
+    }
+
+    /// PSPNR as a function of a raw action ratio (used by the 1-D tables):
+    /// evaluates the PMSE at `jnd = content_jnd × ratio` directly.
+    fn pspnr_at_ratio(
+        &self,
+        features: &ChunkFeatures,
+        tile: &EncodedTile,
+        level: QualityLevel,
+        ratio: f64,
+    ) -> f64 {
+        let jnd = self.computer.tile_content_jnd(features, tile) * ratio;
+        let pmse = PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(level), jnd);
+        if pmse <= 1e-12 {
+            PSPNR_CAP_DB
+        } else {
+            (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
+        }
+    }
+
+    /// Builds the full n³ table over all chunks.
+    pub fn build_full(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> FullLookupTable {
+        let entries = chunks
+            .iter()
+            .map(|(features, tiles)| {
+                tiles
+                    .iter()
+                    .map(|tile| {
+                        QualityLevel::all()
+                            .map(|level| {
+                                SPEED_GRID
+                                    .iter()
+                                    .map(|&s| {
+                                        DOF_GRID
+                                            .iter()
+                                            .map(|&d| {
+                                                LUM_GRID
+                                                    .iter()
+                                                    .map(|&l| {
+                                                        self.pspnr(
+                                                            features,
+                                                            tile,
+                                                            level,
+                                                            &ActionState {
+                                                                rel_speed_deg_s: s,
+                                                                dof_diff: d,
+                                                                lum_change: l,
+                                                            },
+                                                        )
+                                                    })
+                                                    .collect()
+                                            })
+                                            .collect()
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        FullLookupTable { entries }
+    }
+
+    /// Builds the 1-D ratio table.
+    pub fn build_ratio(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> RatioLookupTable {
+        let curves = chunks
+            .iter()
+            .map(|(features, tiles)| {
+                tiles
+                    .iter()
+                    .map(|tile| {
+                        QualityLevel::all()
+                            .map(|level| {
+                                RATIO_GRID
+                                    .iter()
+                                    .map(|&r| {
+                                        round4(self.pspnr_at_ratio(features, tile, level, r))
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        RatioLookupTable {
+            curves,
+            multipliers: *self.computer.multipliers(),
+        }
+    }
+
+    /// Builds the power-regression table: least-squares fit of
+    /// `ln P = ln a + b ln A` over the ratio grid. Points saturated at the
+    /// PSPNR cap are excluded from the fit (they would drag the low-ratio
+    /// region upward); estimates are clamped to the cap on evaluation.
+    pub fn build_power(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> PowerLawTable {
+        let params = chunks
+            .iter()
+            .map(|(features, tiles)| {
+                tiles
+                    .iter()
+                    .map(|tile| {
+                        QualityLevel::all()
+                            .map(|level| {
+                                let mut pts: Vec<(f64, f64)> = RATIO_GRID
+                                    .iter()
+                                    .filter_map(|&r| {
+                                        let p =
+                                            self.pspnr_at_ratio(features, tile, level, r);
+                                        if p < PSPNR_CAP_DB - 1e-6 {
+                                            Some((r.ln(), p.max(1.0).ln()))
+                                        } else {
+                                            None
+                                        }
+                                    })
+                                    .collect();
+                                if pts.len() < 2 {
+                                    // Everything saturated: flat at the cap.
+                                    pts = vec![(0.0, PSPNR_CAP_DB.ln()); 2];
+                                }
+                                // Weighted least squares, weight 1/ratio:
+                                // real viewpoint actions concentrate at
+                                // small ratios, so accuracy there matters
+                                // most.
+                                let mut wsum = 0.0;
+                                let mut mx = 0.0;
+                                let mut my = 0.0;
+                                for &(x, y) in &pts {
+                                    let w = (-x).exp(); // 1/ratio
+                                    wsum += w;
+                                    mx += w * x;
+                                    my += w * y;
+                                }
+                                mx /= wsum;
+                                my /= wsum;
+                                let mut sxx = 0.0;
+                                let mut sxy = 0.0;
+                                for &(x, y) in &pts {
+                                    let w = (-x).exp();
+                                    sxx += w * (x - mx) * (x - mx);
+                                    sxy += w * (x - mx) * (y - my);
+                                }
+                                let b = if sxx < 1e-12 { 0.0 } else { sxy / sxx };
+                                let a = (my - b * mx).exp();
+                                // Round to 4 significant decimals: the fit
+                                // is approximate anyway, and full-precision
+                                // floats triple the manifest's JSON size
+                                // (§6.3's whole point is a small table).
+                                (round4(a), round4(b))
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        PowerLawTable {
+            params,
+            multipliers: *self.computer.multipliers(),
+        }
+    }
+}
+
+impl LookupScheme for FullLookupTable {
+    fn estimate(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> f64 {
+        let t = &self.entries[chunk][tile][level.0 as usize];
+        let si = nearest_idx(&SPEED_GRID, action.rel_speed_deg_s);
+        let di = nearest_idx(&DOF_GRID, action.dof_diff);
+        let li = nearest_idx(&LUM_GRID, action.lum_change);
+        t[si][di][li]
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        serde_json::to_vec(self).expect("table serialises").len()
+    }
+}
+
+impl LookupScheme for RatioLookupTable {
+    fn estimate(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> f64 {
+        self.estimate_at_ratio(chunk, tile, level, self.multipliers.action_ratio(action))
+    }
+
+    fn estimate_at_ratio(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        ratio: f64,
+    ) -> f64 {
+        let curve = &self.curves[chunk][tile][level.0 as usize];
+        interp(&RATIO_GRID, curve, ratio)
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        serde_json::to_vec(self).expect("table serialises").len()
+    }
+}
+
+impl LookupScheme for PowerLawTable {
+    fn estimate(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> f64 {
+        self.estimate_at_ratio(chunk, tile, level, self.multipliers.action_ratio(action))
+    }
+
+    fn estimate_at_ratio(
+        &self,
+        chunk: usize,
+        tile: usize,
+        level: QualityLevel,
+        ratio: f64,
+    ) -> f64 {
+        let (a, b) = self.params[chunk][tile][level.0 as usize];
+        (a * ratio.max(1.0).powf(b)).min(PSPNR_CAP_DB)
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        serde_json::to_vec(self).expect("table serialises").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_geo::{Equirect, GridDims, GridRect};
+    use pano_video::codec::Encoder;
+
+    fn chunk_fixture(n_chunks: usize) -> Vec<(ChunkFeatures, Vec<EncodedTile>)> {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let tiling = vec![
+            GridRect::new(0, 0, 12, 8),
+            GridRect::new(0, 8, 12, 8),
+            GridRect::new(0, 16, 12, 8),
+        ];
+        (0..n_chunks)
+            .map(|i| {
+                let f = ChunkFeatures::uniform(
+                    i,
+                    1.0,
+                    30,
+                    dims,
+                    15.0 + i as f64,
+                    0.0,
+                    100.0 + 10.0 * i as f64,
+                    0.4,
+                );
+                let encoded = enc.encode_chunk(&eq, &f, &tiling);
+                (f, encoded.tiles)
+            })
+            .collect()
+    }
+
+    fn builders_fixture() -> (
+        PspnrComputer,
+        Vec<(ChunkFeatures, Vec<EncodedTile>)>,
+    ) {
+        (PspnrComputer::default(), chunk_fixture(3))
+    }
+
+    #[test]
+    fn full_table_matches_ground_truth_on_grid_points() {
+        let (comp, chunks) = builders_fixture();
+        let b = LookupBuilder::new(&comp);
+        let full = b.build_full(&chunks);
+        let action = ActionState {
+            rel_speed_deg_s: 10.0,
+            dof_diff: 0.7,
+            lum_change: 100.0,
+        };
+        let est = full.estimate(1, 2, QualityLevel(2), &action);
+        let truth = comp
+            .tile_quality(&chunks[1].0, &chunks[1].1[2], QualityLevel(2), &action)
+            .pspnr_db;
+        assert!((est - truth).abs() < 1e-9, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn full_table_snaps_off_grid_points() {
+        let (comp, chunks) = builders_fixture();
+        let full = LookupBuilder::new(&comp).build_full(&chunks);
+        // 11 deg/s snaps to the 10 deg/s grid point.
+        let est = full.estimate(
+            0,
+            0,
+            QualityLevel(1),
+            &ActionState {
+                rel_speed_deg_s: 11.0,
+                ..ActionState::REST
+            },
+        );
+        let snapped = full.estimate(
+            0,
+            0,
+            QualityLevel(1),
+            &ActionState {
+                rel_speed_deg_s: 10.0,
+                ..ActionState::REST
+            },
+        );
+        assert_eq!(est, snapped);
+    }
+
+    #[test]
+    fn ratio_table_tracks_ground_truth() {
+        let (comp, chunks) = builders_fixture();
+        let ratio = LookupBuilder::new(&comp).build_ratio(&chunks);
+        for (speed, dof) in [(0.0, 0.0), (5.0, 0.3), (15.0, 1.0), (40.0, 2.0)] {
+            let action = ActionState {
+                rel_speed_deg_s: speed,
+                dof_diff: dof,
+                lum_change: 0.0,
+            };
+            let est = ratio.estimate(0, 1, QualityLevel(1), &action);
+            let truth = comp
+                .tile_quality(&chunks[0].0, &chunks[0].1[1], QualityLevel(1), &action)
+                .pspnr_db;
+            assert!(
+                (est - truth).abs() < 3.0,
+                "speed {speed} dof {dof}: est {est} truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_table_tracks_ground_truth_roughly() {
+        // Where the true PSPNR is below the saturation cap, the two-
+        // parameter fit must be close; where the truth saturates (all
+        // distortion imperceptible), the fit may only err *conservatively*
+        // (underestimate, never overestimate).
+        let (comp, chunks) = builders_fixture();
+        let power = LookupBuilder::new(&comp).build_power(&chunks);
+        for level in QualityLevel::all() {
+            let action = ActionState {
+                rel_speed_deg_s: 12.0,
+                dof_diff: 0.5,
+                lum_change: 40.0,
+            };
+            let est = power.estimate(2, 0, level, &action);
+            let truth = comp
+                .tile_quality(&chunks[2].0, &chunks[2].1[0], level, &action)
+                .pspnr_db;
+            if truth < 95.0 {
+                assert!(
+                    (est - truth).abs() < 8.0,
+                    "level {level:?}: est {est} truth {truth}"
+                );
+            } else {
+                assert!(
+                    est <= truth + 1e-9 && est > 40.0,
+                    "level {level:?}: est {est} should be conservative vs capped truth"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_monotone_in_action_ratio() {
+        let (comp, chunks) = builders_fixture();
+        let ratio = LookupBuilder::new(&comp).build_ratio(&chunks);
+        let power = LookupBuilder::new(&comp).build_power(&chunks);
+        let mut prev_r = 0.0;
+        let mut prev_p = 0.0;
+        for speed in [0.0, 5.0, 10.0, 20.0, 40.0] {
+            let a = ActionState {
+                rel_speed_deg_s: speed,
+                ..ActionState::REST
+            };
+            let er = ratio.estimate(0, 0, QualityLevel(0), &a);
+            let ep = power.estimate(0, 0, QualityLevel(0), &a);
+            assert!(er >= prev_r - 1e-9, "ratio monotone");
+            assert!(ep >= prev_p - 1e-9, "power monotone");
+            prev_r = er;
+            prev_p = ep;
+        }
+    }
+
+    #[test]
+    fn compression_ladder_shrinks_sizes() {
+        // The §6.3 claim: full ≫ ratio ≫ power. With a 300-chunk 30-tile
+        // video the paper sees 10 MB → 50 KB; our miniature (3 chunks × 3
+        // tiles) must show the same ordering with a large factor.
+        let (comp, chunks) = builders_fixture();
+        let b = LookupBuilder::new(&comp);
+        let full = b.build_full(&chunks).serialized_bytes();
+        let ratio = b.build_ratio(&chunks).serialized_bytes();
+        let power = b.build_power(&chunks).serialized_bytes();
+        assert!(
+            full > 5 * ratio,
+            "full {full} should dwarf ratio {ratio}"
+        );
+        assert!(ratio > power, "ratio {ratio} vs power {power}");
+    }
+
+    #[test]
+    fn interp_clamps_and_interpolates() {
+        let ys = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        assert_eq!(interp(&RATIO_GRID, &ys, 0.5), 1.0);
+        assert_eq!(interp(&RATIO_GRID, &ys, 100.0), 128.0);
+        let mid = interp(&RATIO_GRID, &ys, 1.25);
+        assert!(mid > 1.0 && mid < 2.0);
+    }
+
+    #[test]
+    fn nearest_idx_basics() {
+        assert_eq!(nearest_idx(&SPEED_GRID, -3.0), 0);
+        assert_eq!(nearest_idx(&SPEED_GRID, 7.0), 1);
+        assert_eq!(nearest_idx(&SPEED_GRID, 8.0), 2);
+        assert_eq!(nearest_idx(&SPEED_GRID, 500.0), 4);
+    }
+}

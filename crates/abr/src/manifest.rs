@@ -1,0 +1,241 @@
+//! The augmented DASH manifest (paper §7, "Video provider" step 3).
+//!
+//! Pano ships everything the client-side estimator needs inside the
+//! manifest, so the server can stay a dumb HTTP file store. Per tile the
+//! manifest carries: the quality ladder with sizes (standard DASH), the
+//! tile's pixel coordinates (Pano tiles are not grid-aligned across
+//! chunks), its average luminance and DoF, the sampled trajectories of the
+//! objects it contains, and the compressed PSPNR lookup table (stored
+//! separately, §6.3). [`Manifest`] is the serde schema plus the size
+//! accounting used by the start-up-delay experiment (Fig. 17b).
+
+use pano_geo::{Degrees, GridRect, Viewpoint};
+use pano_video::codec::{EncodedChunk, QP_LADDER};
+use pano_video::tracking::TrackedObject;
+use serde::{Deserialize, Serialize};
+
+/// Rounds to two decimals — manifest fields are perceptual statistics, not
+/// precision measurements, and full-precision floats triple the JSON size.
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// One tile's manifest entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestTile {
+    /// Rectangle of unit cells (tiling geometry).
+    pub rect: GridRect,
+    /// Top-left pixel of the tile in the full frame (the §7 coordinate,
+    /// needed because Pano tiles aren't aligned across chunks).
+    pub pixel_origin: (u32, u32),
+    /// Tile pixel dimensions.
+    pub pixel_size: (u32, u32),
+    /// Encoded size in bytes at each quality level (ascending quality).
+    pub size_bytes: [u64; QP_LADDER.len()],
+    /// Average luminance inside the tile (grey level).
+    pub avg_luminance: f64,
+    /// Average DoF inside the tile (dioptres).
+    pub avg_dof: f64,
+    /// URL template for the tile's representations.
+    pub url: String,
+}
+
+/// One chunk's manifest entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestChunk {
+    /// Chunk index.
+    pub index: usize,
+    /// Chunk duration, seconds.
+    pub duration_secs: f64,
+    /// Tiles of this chunk.
+    pub tiles: Vec<ManifestTile>,
+    /// Sampled object trajectories within the chunk (one sample per 10
+    /// frames, as §7 specifies).
+    pub objects: Vec<TrackedObject>,
+}
+
+/// The whole-video manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Video identifier.
+    pub video_id: u32,
+    /// Full-frame resolution (width, height).
+    pub resolution: (u32, u32),
+    /// Frame rate.
+    pub fps: u32,
+    /// The QP ladder (for reference; ascending quality level order).
+    pub qp_ladder: Vec<u8>,
+    /// Per-chunk entries.
+    pub chunks: Vec<ManifestChunk>,
+    /// The serialised PSPNR lookup table (JSON bytes of one of the
+    /// [`crate::lookup`] schemes), carried opaquely.
+    pub lookup_table: Vec<u8>,
+}
+
+impl Manifest {
+    /// Assembles a manifest chunk entry from an encoded chunk plus the
+    /// per-tile averages and object tracks the provider extracted.
+    ///
+    /// `tile_stats` supplies `(avg_luminance, avg_dof)` per tile, in tile
+    /// order. Panics on arity mismatch.
+    pub fn chunk_from_encoding(
+        video_id: u32,
+        encoded: &EncodedChunk,
+        pixel_rects: &[(u32, u32, u32, u32)],
+        tile_stats: &[(f64, f64)],
+        objects: Vec<TrackedObject>,
+    ) -> ManifestChunk {
+        assert_eq!(
+            encoded.tiles.len(),
+            tile_stats.len(),
+            "one stats pair per tile"
+        );
+        assert_eq!(
+            encoded.tiles.len(),
+            pixel_rects.len(),
+            "one pixel rect per tile"
+        );
+        let tiles = encoded
+            .tiles
+            .iter()
+            .zip(pixel_rects)
+            .zip(tile_stats)
+            .enumerate()
+            .map(|(t, ((tile, &(x, y, w, h)), &(lum, dof)))| ManifestTile {
+                rect: tile.rect,
+                pixel_origin: (x, y),
+                pixel_size: (w, h),
+                size_bytes: tile.size_bytes,
+                avg_luminance: round2(lum),
+                avg_dof: round2(dof),
+                url: format!("v{video_id}/c{}/t{t}/q{{level}}.bin", encoded.chunk_idx),
+            })
+            .collect();
+        // Trajectory samples need ~0.01 deg resolution at most.
+        let objects = objects
+            .into_iter()
+            .map(|mut o| {
+                for s in &mut o.track.samples {
+                    *s = Viewpoint::new(
+                        Degrees(round2(s.yaw().value())),
+                        Degrees(round2(s.pitch().value())),
+                    );
+                }
+                o
+            })
+            .collect();
+        ManifestChunk {
+            index: encoded.chunk_idx,
+            duration_secs: encoded.duration_secs,
+            tiles,
+            objects,
+        }
+    }
+
+    /// Serialised manifest size in bytes (JSON).
+    pub fn serialized_bytes(&self) -> usize {
+        serde_json::to_vec(self).expect("manifest serialises").len()
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("manifest serialises")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Manifest, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Total number of tiles across all chunks.
+    pub fn total_tiles(&self) -> usize {
+        self.chunks.iter().map(|c| c.tiles.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_geo::{Equirect, GridDims};
+    use pano_video::codec::Encoder;
+    use pano_video::ChunkFeatures;
+
+    fn fixture_manifest() -> Manifest {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let tiling = vec![GridRect::new(0, 0, 12, 12), GridRect::new(0, 12, 12, 12)];
+        let chunks = (0..3)
+            .map(|i| {
+                let f = ChunkFeatures::uniform(i, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+                let encoded = enc.encode_chunk(&eq, &f, &tiling);
+                let rects: Vec<_> = tiling
+                    .iter()
+                    .map(|&r| eq.rect_pixel_rect(dims, r))
+                    .collect();
+                Manifest::chunk_from_encoding(
+                    7,
+                    &encoded,
+                    &rects,
+                    &[(128.0, 0.5), (128.0, 0.5)],
+                    vec![],
+                )
+            })
+            .collect();
+        Manifest {
+            video_id: 7,
+            resolution: (2880, 1440),
+            fps: 30,
+            qp_ladder: QP_LADDER.to_vec(),
+            chunks,
+            lookup_table: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = fixture_manifest();
+        let json = m.to_json();
+        let back = Manifest::from_json(&json).expect("parses");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn chunk_entries_carry_geometry() {
+        let m = fixture_manifest();
+        assert_eq!(m.chunks.len(), 3);
+        assert_eq!(m.total_tiles(), 6);
+        let t = &m.chunks[0].tiles[1];
+        assert_eq!(t.pixel_origin, (1440, 0));
+        assert_eq!(t.pixel_size, (1440, 1440));
+        assert_eq!(t.rect, GridRect::new(0, 12, 12, 12));
+        // Sizes ascend with quality.
+        assert!(t.size_bytes.windows(2).all(|w| w[1] > w[0]));
+        assert!(t.url.contains("v7/c0/t1"));
+    }
+
+    #[test]
+    fn serialized_size_is_positive_and_scales() {
+        let m = fixture_manifest();
+        let one = m.serialized_bytes();
+        let mut bigger = m.clone();
+        bigger.chunks.extend(m.chunks.clone());
+        assert!(bigger.serialized_bytes() > one);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stats pair per tile")]
+    fn stats_arity_mismatch_panics() {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let f = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let encoded = enc.encode_chunk(&eq, &f, &[dims.full_rect()]);
+        Manifest::chunk_from_encoding(0, &encoded, &[(0, 0, 10, 10)], &[], vec![]);
+    }
+
+    #[test]
+    fn bad_json_is_an_error_not_a_panic() {
+        assert!(Manifest::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Chunk-level MPC bitrate control (paper §6.1, following Yin et al.).
+//!
+//! Pano first picks the total byte budget of each chunk with model-
+//! predictive control: over a lookahead horizon of H chunks it enumerates
+//! candidate rate sequences, simulates the buffer trajectory under the
+//! predicted throughput, and maximises a QoE objective of rate utility
+//! minus rebuffer and switching penalties, steering the buffer toward a
+//! configurable target ({1, 2, 3} s in the paper's Fig. 15 sweeps). The
+//! chosen rate for the next chunk becomes the tile allocator's budget.
+
+use serde::{Deserialize, Serialize};
+
+/// MPC tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Lookahead horizon in chunks.
+    pub horizon: usize,
+    /// Target buffer level, seconds.
+    pub target_buffer_secs: f64,
+    /// Rebuffer penalty per second of stall, in utility units.
+    pub rebuffer_penalty: f64,
+    /// Switching penalty per unit of |log-rate change|.
+    pub switch_penalty: f64,
+    /// Deviation penalty per second of |buffer − target| at horizon end.
+    pub buffer_penalty: f64,
+    /// Fixed per-chunk download overhead, seconds — request serialisation
+    /// for the chunk's tile objects (tiles × per-request overhead). MPC
+    /// must budget for it or tiled methods systematically starve.
+    pub chunk_overhead_secs: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            horizon: 3,
+            target_buffer_secs: 2.0,
+            rebuffer_penalty: 25.0,
+            switch_penalty: 1.0,
+            buffer_penalty: 2.5,
+            chunk_overhead_secs: 0.0,
+        }
+    }
+}
+
+/// The MPC controller. Stateless apart from the previous decision (used by
+/// the switching penalty).
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    config: MpcConfig,
+    last_rate_idx: Option<usize>,
+}
+
+impl MpcController {
+    /// Creates a controller.
+    pub fn new(config: MpcConfig) -> Self {
+        MpcController {
+            config,
+            last_rate_idx: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Picks the byte budget for the next chunk.
+    ///
+    /// * `rate_ladder_bytes` — candidate chunk sizes, ascending (e.g. the
+    ///   chunk's total size at each uniform quality level).
+    /// * `buffer_secs` — current buffer level.
+    /// * `predicted_bps` — predicted throughput.
+    /// * `chunk_secs` — chunk playback duration.
+    ///
+    /// Returns the index into the ladder. Panics on an empty or descending
+    /// ladder or non-positive prediction/duration inputs.
+    pub fn pick_rate(
+        &mut self,
+        rate_ladder_bytes: &[u64],
+        buffer_secs: f64,
+        predicted_bps: f64,
+        chunk_secs: f64,
+    ) -> usize {
+        assert!(!rate_ladder_bytes.is_empty(), "ladder must not be empty");
+        assert!(
+            rate_ladder_bytes.windows(2).all(|w| w[1] >= w[0]),
+            "ladder must ascend"
+        );
+        assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        let bps = predicted_bps.max(1.0);
+        let c = self.config;
+
+        // Enumerate constant-rate plans over the horizon (the standard
+        // fast-MPC simplification: 5^H plans collapse to 5 constant plans,
+        // which Yin et al. showed loses little).
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for (idx, &bytes) in rate_ladder_bytes.iter().enumerate() {
+            let mut buf = buffer_secs;
+            let mut utility = 0.0;
+            for _ in 0..c.horizon.max(1) {
+                let dl_secs = bytes as f64 * 8.0 / bps + c.chunk_overhead_secs;
+                // Buffer drains while downloading, then gains the chunk.
+                let stall = (dl_secs - buf).max(0.0);
+                buf = (buf - dl_secs).max(0.0) + chunk_secs;
+                utility += rate_utility(bytes, chunk_secs) - c.rebuffer_penalty * stall;
+            }
+            // Switching penalty against the previous decision.
+            if let Some(prev) = self.last_rate_idx {
+                let prev_bytes = rate_ladder_bytes[prev.min(rate_ladder_bytes.len() - 1)];
+                let delta = ((bytes.max(1) as f64).ln() - (prev_bytes.max(1) as f64).ln()).abs();
+                utility -= c.switch_penalty * delta;
+            }
+            // Terminal buffer-deviation penalty keeps the buffer near its
+            // target instead of hoarding. Deficits are penalised three
+            // times harder than surpluses: a draining buffer is one link
+            // dip away from a stall, a full one merely wastes prefetch.
+            let dev = buf - c.target_buffer_secs;
+            utility -= c.buffer_penalty * if dev < 0.0 { -3.0 * dev } else { dev };
+            if utility > best.0 {
+                best = (utility, idx);
+            }
+        }
+        self.last_rate_idx = Some(best.1);
+        best.1
+    }
+}
+
+/// Logarithmic rate utility (diminishing returns), in the same spirit as
+/// the MPC literature.
+fn rate_utility(bytes: u64, chunk_secs: f64) -> f64 {
+    let bps = bytes as f64 * 8.0 / chunk_secs;
+    (bps / 1e5).max(1e-6).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<u64> {
+        // ~0.27 to ~2.2 Mbps for a 1-s chunk.
+        vec![34_000, 55_000, 92_000, 157_000, 274_000]
+    }
+
+    #[test]
+    fn rich_link_picks_top_rate() {
+        let mut mpc = MpcController::new(MpcConfig::default());
+        let idx = mpc.pick_rate(&ladder(), 3.0, 50e6, 1.0);
+        assert_eq!(idx, 4);
+    }
+
+    #[test]
+    fn starved_link_picks_bottom_rate() {
+        let mut mpc = MpcController::new(MpcConfig::default());
+        let idx = mpc.pick_rate(&ladder(), 0.2, 0.2e6, 1.0);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn moderate_link_picks_sustainable_rate() {
+        // 1 Mbps link: sustainable chunk is ~125 KB; expect a middle pick.
+        let mut mpc = MpcController::new(MpcConfig::default());
+        let idx = mpc.pick_rate(&ladder(), 2.0, 1.0e6, 1.0);
+        assert!((1..=3).contains(&idx), "idx {idx}");
+        // The pick must be sustainable: download time under chunk time
+        // plus available buffer headroom.
+        let dl = ladder()[idx] as f64 * 8.0 / 1.0e6;
+        assert!((0.0..3.0).contains(&dl), "download {dl}s won't starve the buffer");
+    }
+
+    #[test]
+    fn deeper_buffer_allows_higher_rate() {
+        let pick = |buf: f64| {
+            MpcController::new(MpcConfig::default()).pick_rate(&ladder(), buf, 0.9e6, 1.0)
+        };
+        assert!(pick(4.0) >= pick(0.3), "{} vs {}", pick(4.0), pick(0.3));
+    }
+
+    #[test]
+    fn switching_penalty_dampens_oscillation() {
+        // Alternate predictions between two close rates: with a switching
+        // penalty the controller should hold its previous decision more
+        // often than not.
+        let mut mpc = MpcController::new(MpcConfig {
+            switch_penalty: 5.0,
+            ..MpcConfig::default()
+        });
+        let mut switches = 0;
+        let mut prev = mpc.pick_rate(&ladder(), 2.0, 0.9e6, 1.0);
+        for i in 0..20 {
+            let bps = if i % 2 == 0 { 0.8e6 } else { 1.0e6 };
+            let cur = mpc.pick_rate(&ladder(), 2.0, bps, 1.0);
+            if cur != prev {
+                switches += 1;
+            }
+            prev = cur;
+        }
+        assert!(switches <= 4, "too many switches: {switches}");
+    }
+
+    #[test]
+    fn higher_target_buffer_is_more_conservative() {
+        let pick_with_target = |target: f64| {
+            let mut mpc = MpcController::new(MpcConfig {
+                target_buffer_secs: target,
+                buffer_penalty: 2.0,
+                ..MpcConfig::default()
+            });
+            mpc.pick_rate(&ladder(), 1.0, 1.0e6, 1.0)
+        };
+        assert!(pick_with_target(3.0) <= pick_with_target(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder must not be empty")]
+    fn empty_ladder_panics() {
+        MpcController::new(MpcConfig::default()).pick_rate(&[], 1.0, 1e6, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder must ascend")]
+    fn descending_ladder_panics() {
+        MpcController::new(MpcConfig::default()).pick_rate(&[100, 50], 1.0, 1e6, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod mpc_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_index_always_in_bounds(
+            ladder_base in 5_000u64..100_000,
+            growth in 1.2f64..2.5,
+            buffer in 0.0f64..8.0,
+            bps in 1e4f64..1e8,
+        ) {
+            let ladder: Vec<u64> = (0..5)
+                .map(|i| (ladder_base as f64 * growth.powi(i)) as u64)
+                .collect();
+            let idx = MpcController::new(MpcConfig::default())
+                .pick_rate(&ladder, buffer, bps, 1.0);
+            prop_assert!(idx < ladder.len());
+        }
+
+        #[test]
+        fn prop_richer_prediction_never_lowers_the_pick(
+            buffer in 0.5f64..6.0,
+            bps_lo in 2e5f64..2e6,
+            bps_delta in 0.0f64..5e6,
+        ) {
+            let ladder = vec![30_000u64, 55_000, 95_000, 160_000, 280_000];
+            let lo = MpcController::new(MpcConfig::default())
+                .pick_rate(&ladder, buffer, bps_lo, 1.0);
+            let hi = MpcController::new(MpcConfig::default())
+                .pick_rate(&ladder, buffer, bps_lo + bps_delta, 1.0);
+            prop_assert!(hi >= lo, "bps {bps_lo} -> +{bps_delta}: pick {lo} -> {hi}");
+        }
+
+        #[test]
+        fn prop_overhead_only_makes_mpc_more_cautious(
+            buffer in 0.5f64..6.0,
+            bps in 2e5f64..3e6,
+            overhead in 0.0f64..0.5,
+        ) {
+            let ladder = vec![30_000u64, 55_000, 95_000, 160_000, 280_000];
+            let plain = MpcController::new(MpcConfig::default())
+                .pick_rate(&ladder, buffer, bps, 1.0);
+            let with_overhead = MpcController::new(MpcConfig {
+                chunk_overhead_secs: overhead,
+                ..MpcConfig::default()
+            })
+            .pick_rate(&ladder, buffer, bps, 1.0);
+            prop_assert!(with_overhead <= plain);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 18a ablation bench: provider preparation and one full session per
+//! method rung (viewport-driven → +JND allocation → +360JND → full Pano),
+//! so the compute cost of each capability is measurable alongside the
+//! bandwidth savings the `repro fig18a` experiment reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::{simulate_session, Method, SessionConfig};
+use pano_trace::{BandwidthTrace, TraceGenerator};
+use pano_video::{Genre, VideoSpec};
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = VideoSpec::generate(1, Genre::Sports, 6.0, 42);
+    let config = AssetConfig {
+        history_users: 3,
+        ..AssetConfig::default()
+    };
+
+    c.bench_function("prepare_video_6s", |b| {
+        b.iter(|| PreparedVideo::prepare(&spec, &config))
+    });
+
+    let video = PreparedVideo::prepare(&spec, &config);
+    let trace = TraceGenerator::default().generate(&video.scene, 5);
+    let bw = BandwidthTrace::lte_high(60.0, 9);
+    let cfg = SessionConfig::default();
+
+    let mut group = c.benchmark_group("fig18a_session_per_rung");
+    for method in Method::ABLATION {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| simulate_session(&video, m, &trace, &bw, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ablation
+}
+criterion_main!(benches);

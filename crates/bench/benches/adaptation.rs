@@ -1,0 +1,67 @@
+//! Fig. 17a bench: the client-side per-chunk compute — viewpoint
+//! prediction, conservative estimation, MPC budgeting, and the full
+//! session step for Pano and the viewport-driven baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController};
+use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::{simulate_session, Method, SessionConfig};
+use pano_trace::{
+    BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, TraceGenerator,
+};
+use pano_video::{Genre, VideoSpec};
+
+fn bench_adaptation(c: &mut Criterion) {
+    let spec = VideoSpec::generate(1, Genre::Sports, 8.0, 77);
+    let video = PreparedVideo::prepare(
+        &spec,
+        &AssetConfig {
+            history_users: 3,
+            ..AssetConfig::default()
+        },
+    );
+    let trace = TraceGenerator::default().generate(&video.scene, 11);
+    let bw = BandwidthTrace::lte_high(60.0, 3);
+    let cfg = SessionConfig::default();
+
+    c.bench_function("predict_viewpoint", |b| {
+        let p = LinearViewpointPredictor::default();
+        b.iter(|| p.predict(&trace, 5.0, 2.0))
+    });
+    c.bench_function("conservative_speed", |b| {
+        let e = ConservativeSpeedEstimator::default();
+        b.iter(|| e.estimate(&trace, 5.0))
+    });
+    c.bench_function("mpc_pick_rate", |b| {
+        let ladder = vec![60_000u64, 99_000, 172_000, 303_000, 535_000];
+        b.iter(|| {
+            MpcController::new(MpcConfig::default()).pick_rate(&ladder, 2.0, 1.0e6, 1.0)
+        })
+    });
+    c.bench_function("bola_pick_rate", |b| {
+        let ladder = vec![60_000u64, 99_000, 172_000, 303_000, 535_000];
+        let bola = BolaController::new(BolaConfig::default());
+        b.iter(|| bola.pick_rate(&ladder, 2.0, 1.0))
+    });
+    c.bench_function("session_pano_8s", |b| {
+        b.iter(|| simulate_session(&video, Method::Pano, &trace, &bw, &cfg))
+    });
+    c.bench_function("session_flare_8s", |b| {
+        b.iter(|| simulate_session(&video, Method::Flare, &trace, &bw, &cfg))
+    });
+    c.bench_function("session_whole_8s", |b| {
+        b.iter(|| simulate_session(&video, Method::WholeVideo, &trace, &bw, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Session-scale benches: one iteration simulates a whole playback
+    // session, so keep sampling short.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_adaptation
+}
+criterion_main!(benches);

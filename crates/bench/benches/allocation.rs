@@ -1,0 +1,59 @@
+//! DESIGN §4.1 ablation bench: tile-level quality allocation — the
+//! Pareto-frontier solver (the paper's §6.1 pruned search) versus the
+//! greedy ladder climb and the exhaustive oracle, across tile counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pano_abr::allocate::{allocate_exhaustive, allocate_greedy, allocate_pareto, TileChoice};
+
+fn make_tiles(n: usize, seed: u64) -> Vec<TileChoice> {
+    // Deterministic pseudo-random tiles spanning realistic size/PMSE mixes.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let base = 2_000.0 + 30_000.0 * next();
+            let pmse0 = 0.5 + 80.0 * next();
+            let mut size_bytes = [0u64; 5];
+            let mut pmse = [0.0; 5];
+            for l in 0..5 {
+                size_bytes[l] = (base * 1.75f64.powi(l as i32)) as u64;
+                pmse[l] = pmse0 / 2.4f64.powi(l as i32);
+            }
+            TileChoice {
+                size_bytes,
+                pmse,
+                pixel_area: 10_000 + 500 * i as u64,
+            }
+        })
+        .collect()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for n in [10usize, 30, 72] {
+        let tiles = make_tiles(n, 7);
+        let budget: u64 =
+            tiles.iter().map(|t| t.size_bytes[0]).sum::<u64>() * 2 + n as u64 * 5_000;
+        group.bench_with_input(BenchmarkId::new("pareto", n), &tiles, |b, tiles| {
+            b.iter(|| allocate_pareto(tiles, budget))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &tiles, |b, tiles| {
+            b.iter(|| allocate_greedy(tiles, budget))
+        });
+    }
+    // The exhaustive oracle only fits tiny instances.
+    let tiles = make_tiles(6, 7);
+    let budget: u64 = tiles.iter().map(|t| t.size_bytes[2]).sum();
+    group.bench_with_input(BenchmarkId::new("exhaustive", 6), &tiles, |b, tiles| {
+        b.iter(|| allocate_exhaustive(tiles, budget))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

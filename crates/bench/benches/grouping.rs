@@ -1,0 +1,51 @@
+//! Fig. 9 / DESIGN §4.4 ablation bench: variable-size tile grouping cost
+//! as the target tile count N sweeps — the provider-side compute behind
+//! the "variable-size tiling is more compute-intensive than grid tiling"
+//! observation of Fig. 17c.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pano_geo::GridDims;
+use pano_jnd::{ActionState, PspnrComputer};
+use pano_tiling::{efficiency_scores, group_tiles};
+use pano_video::codec::Encoder;
+use pano_video::{FeatureExtractor, Genre, VideoSpec};
+
+fn bench_grouping(c: &mut Criterion) {
+    let spec = VideoSpec::generate(0, Genre::Sports, 4.0, 42);
+    let scene = spec.scene();
+    let dims = GridDims::PANO_UNIT;
+    let features = FeatureExtractor::new(spec.resolution, dims).extract(&scene, spec.fps, 0, 1.0);
+    let actions = vec![ActionState::REST; dims.cell_count()];
+    let grid = efficiency_scores(
+        &Encoder::default(),
+        &PspnrComputer::default(),
+        &spec.resolution,
+        &features,
+        &actions,
+    );
+
+    // The score computation itself (288 unit-tile encodings + PSPNR).
+    c.bench_function("fig9_efficiency_scores", |b| {
+        b.iter(|| {
+            efficiency_scores(
+                &Encoder::default(),
+                &PspnrComputer::default(),
+                &spec.resolution,
+                &features,
+                &actions,
+            )
+        })
+    });
+
+    // The top-down grouping at different target tile counts.
+    let mut group = c.benchmark_group("fig9_group_tiles");
+    for n in [6usize, 15, 30, 60, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| group_tiles(&grid, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! §6.3 bench: building and querying the PSPNR lookup tables across the
+//! compression ladder (full n³ → 1-D ratio → power regression), the
+//! machinery behind the manifest-size and start-up-delay numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pano_abr::lookup::LookupBuilder;
+use pano_abr::LookupScheme;
+use pano_geo::{Equirect, GridDims, GridRect};
+use pano_jnd::{ActionState, PspnrComputer};
+use pano_video::codec::{EncodedTile, Encoder, QualityLevel};
+use pano_video::ChunkFeatures;
+
+fn chunk_fixture(n_chunks: usize) -> Vec<(ChunkFeatures, Vec<EncodedTile>)> {
+    let enc = Encoder::default();
+    let eq = Equirect::PAPER_FULL;
+    let dims = GridDims::PANO_UNIT;
+    let tiling = vec![
+        GridRect::new(0, 0, 12, 8),
+        GridRect::new(0, 8, 12, 8),
+        GridRect::new(0, 16, 12, 8),
+    ];
+    (0..n_chunks)
+        .map(|i| {
+            let f = ChunkFeatures::uniform(
+                i,
+                1.0,
+                30,
+                dims,
+                15.0 + (i % 7) as f64,
+                (i % 5) as f64,
+                100.0 + 10.0 * (i % 9) as f64,
+                0.4,
+            );
+            let encoded = enc.encode_chunk(&eq, &f, &tiling);
+            (f, encoded.tiles)
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let computer = PspnrComputer::default();
+    let chunks = chunk_fixture(10);
+    let builder = LookupBuilder::new(&computer);
+
+    c.bench_function("lookup_build_full", |b| b.iter(|| builder.build_full(&chunks)));
+    c.bench_function("lookup_build_ratio", |b| b.iter(|| builder.build_ratio(&chunks)));
+    c.bench_function("lookup_build_power", |b| b.iter(|| builder.build_power(&chunks)));
+
+    let full = builder.build_full(&chunks);
+    let ratio = builder.build_ratio(&chunks);
+    let power = builder.build_power(&chunks);
+    let action = ActionState {
+        rel_speed_deg_s: 12.0,
+        lum_change: 60.0,
+        dof_diff: 0.5,
+    };
+    c.bench_function("lookup_estimate_full", |b| {
+        b.iter(|| full.estimate(3, 1, QualityLevel(2), &action))
+    });
+    c.bench_function("lookup_estimate_ratio", |b| {
+        b.iter(|| ratio.estimate(3, 1, QualityLevel(2), &action))
+    });
+    c.bench_function("lookup_estimate_power", |b| {
+        b.iter(|| power.estimate(3, 1, QualityLevel(2), &action))
+    });
+    c.bench_function("lookup_serialize_power", |b| b.iter(|| power.serialized_bytes()));
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

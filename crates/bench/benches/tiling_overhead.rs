@@ -1,0 +1,37 @@
+//! Fig. 4 bench: encoding cost of one chunk under different tiling
+//! granularities, plus the size ratios themselves (reported via
+//! Criterion's throughput labels — run `repro fig4` for the table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pano_geo::GridDims;
+use pano_tiling::uniform_tiling;
+use pano_video::codec::Encoder;
+use pano_video::{FeatureExtractor, Genre, VideoSpec};
+
+fn bench_tiling_overhead(c: &mut Criterion) {
+    let spec = VideoSpec::generate(0, Genre::Sports, 4.0, 42);
+    let scene = spec.scene();
+    let dims = GridDims::PANO_UNIT;
+    let features = FeatureExtractor::new(spec.resolution, dims).extract(&scene, spec.fps, 0, 1.0);
+    let encoder = Encoder::default();
+
+    let mut group = c.benchmark_group("fig4_encode_chunk");
+    for (rows, cols) in [(1u16, 1u16), (3, 6), (6, 12), (12, 24)] {
+        let tiling = if rows == 1 && cols == 1 {
+            vec![dims.full_rect()]
+        } else {
+            uniform_tiling(dims, rows, cols)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &tiling,
+            |b, tiling| {
+                b.iter(|| encoder.encode_chunk(&spec.resolution, &features, tiling));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling_overhead);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                 # list experiments
+//! repro all             # run everything
+//! repro fig15 fig18a    # run specific experiments
+//! repro --seed 7 fig4   # override the seed
+//! ```
+//!
+//! Each run prints the rendered rows/series and writes
+//! `results/<id>.txt` and `results/<id>.json` under the workspace root.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        if pos < args.len() {
+            seed = args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("--seed needs an integer");
+                std::process::exit(2);
+            });
+        }
+    }
+
+    let registry = pano_bench::experiments();
+    if args.is_empty() {
+        println!("Usage: repro [--seed N] <experiment ...|all>\n");
+        println!("Available experiments:");
+        for e in &registry {
+            println!("  {:<8} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let selected: Vec<&pano_bench::Experiment> = if args.iter().any(|a| a == "all") {
+        registry.iter().collect()
+    } else {
+        args.iter()
+            .map(|id| {
+                registry
+                    .iter()
+                    .find(|e| e.id == *id)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment '{id}' (run with no args to list)");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    };
+
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("create results dir");
+
+    for e in selected {
+        println!("=== {} — {}\n", e.id, e.title);
+        let t0 = Instant::now();
+        let (text, value) = (e.run)(seed);
+        println!("{text}");
+        println!("[{} finished in {:.2}s]\n", e.id, t0.elapsed().as_secs_f64());
+        fs::write(out_dir.join(format!("{}.txt", e.id)), &text).expect("write text result");
+        fs::write(
+            out_dir.join(format!("{}.json", e.id)),
+            serde_json::to_vec_pretty(&value).expect("serialise"),
+        )
+        .expect("write json result");
+    }
+}

@@ -1,0 +1,215 @@
+//! # pano-bench — the experiment and benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary (`cargo run -p pano-bench --bin repro -- <exp>`)
+//!   regenerates each of the paper's tables and figures as text, writing
+//!   both the rendered rows and the raw JSON result next to them;
+//! * Criterion benches (`cargo bench -p pano-bench`) measure the hot
+//!   paths that back the §6.3/Fig. 17 overhead claims and the ablation
+//!   benches DESIGN.md §4 calls out.
+//!
+//! The library part hosts the experiment registry shared by both.
+
+use serde::Serialize;
+
+/// An experiment the `repro` binary can run.
+pub struct Experiment {
+    /// Command-line id, e.g. "fig15".
+    pub id: &'static str,
+    /// What the paper artefact shows.
+    pub title: &'static str,
+    /// Runs the experiment; returns (rendered text, JSON value).
+    pub run: fn(u64) -> (String, serde_json::Value),
+}
+
+fn json<T: Serialize>(v: &T) -> serde_json::Value {
+    serde_json::to_value(v).expect("experiment results serialise")
+}
+
+/// All reproducible artefacts, in paper order.
+pub fn experiments() -> Vec<Experiment> {
+    use pano_sim::experiments as exp;
+    vec![
+        Experiment {
+            id: "fig3",
+            title: "Fig.3: distributions of the new quality-determining factors",
+            run: |seed| {
+                let r = exp::fig3::run(8, 8, 40.0, seed);
+                (exp::fig3::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig4",
+            title: "Fig.4: video size vs tiling granularity",
+            run: |seed| {
+                let r = exp::fig4::run(10, 4.0, seed);
+                (exp::fig4::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig6",
+            title: "Fig.6/7: JND vs factors (simulated observer panel)",
+            run: |seed| {
+                let r = exp::fig6::run(20, seed);
+                (exp::fig6::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig8",
+            title: "Fig.8: MOS estimation accuracy of quality metrics",
+            run: |seed| {
+                let r = exp::fig8::run(21, 20, seed);
+                (exp::fig8::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig9",
+            title: "Fig.9: variable-size tiling pipeline",
+            run: |seed| {
+                let r = exp::fig9::run(seed);
+                (exp::fig9::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig10",
+            title: "Fig.10: conservative lower-bound speed estimation",
+            run: |seed| {
+                let r = exp::fig10::run(120.0, seed);
+                (exp::fig10::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig13",
+            title: "Fig.13: MOS by genre (survey simulation)",
+            run: |seed| {
+                let r = exp::fig13::run(20, 48.0, seed);
+                (exp::fig13::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig15",
+            title: "Fig.1/15: PSPNR vs buffering, methods x genres x traces",
+            run: |seed| {
+                let cfg = exp::fig15::Fig15Config {
+                    seed,
+                    ..exp::fig15::Fig15Config::default()
+                };
+                let r = exp::fig15::run(&cfg);
+                (exp::fig15::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig16",
+            title: "Fig.16: robustness to viewpoint/bandwidth prediction errors",
+            run: |seed| {
+                let cfg = exp::fig16::Fig16Config {
+                    seed,
+                    ..exp::fig16::Fig16Config::default()
+                };
+                let r = exp::fig16::run(&cfg);
+                (exp::fig16::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig17",
+            title: "Fig.17: system overheads",
+            run: |seed| {
+                let r = exp::fig17::run(30.0, seed);
+                (exp::fig17::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig18a",
+            title: "Fig.18a: component-wise bandwidth analysis",
+            run: |seed| {
+                let cfg = exp::fig18::Fig18Config {
+                    seed,
+                    ..exp::fig18::Fig18Config::default()
+                };
+                let r = exp::fig18::run(&cfg);
+                (exp::fig18::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "fig18b",
+            title: "Fig.18b: bandwidth by genre at the quality target",
+            run: |seed| {
+                let cfg = exp::fig18::Fig18Config {
+                    seed,
+                    genres: vec![
+                        pano_video::Genre::Documentary,
+                        pano_video::Genre::Sports,
+                        pano_video::Genre::Adventure,
+                    ],
+                    ..exp::fig18::Fig18Config::default()
+                };
+                let r = exp::fig18::run(&cfg);
+                (exp::fig18::render(&r), json(&r))
+            },
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2: dataset summary",
+            run: |seed| {
+                let t = exp::tables::table2(seed);
+                (exp::tables::render_table2(&t), json(&t))
+            },
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3: PSPNR to MOS map",
+            run: |_| {
+                let t = exp::tables::table3();
+                (exp::tables::render_table3(), json(&t))
+            },
+        },
+        Experiment {
+            id: "sec63",
+            title: "Sec 6.3: lookup-table compression and PSPNR sampling",
+            run: |seed| {
+                let r = exp::tables::sec63(seed);
+                (exp::tables::render_sec63(&r), json(&r))
+            },
+        },
+    ]
+}
+
+/// Looks up one experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = experiments().iter().map(|e| e.id).collect();
+        for required in [
+            "fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig13", "fig15", "fig16",
+            "fig17", "fig18a", "fig18b", "table2", "table3", "sec63",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("fig4").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn quick_experiments_produce_output() {
+        // Only the cheap ones in unit tests; the heavy ones run in the
+        // repro binary and integration tests.
+        for id in ["fig4", "fig9", "table2", "table3"] {
+            let e = find(id).expect("registered");
+            let (text, value) = (e.run)(7);
+            assert!(!text.is_empty(), "{id} rendered empty");
+            assert!(!value.is_null(), "{id} json null");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The client-side pipeline (Fig. 5 right, Fig. 11 online phase).
+//!
+//! [`PanoClient`] wraps the session simulator with the conveniences a
+//! player integration would use: stream a prepared video for a synthetic
+//! user over a constant-rate or LTE-like link, and compare methods.
+
+use pano_sim::asset::PreparedVideo;
+use pano_sim::{simulate_session, Method, SessionConfig, SessionResult};
+use pano_trace::{BandwidthTrace, TraceGenerator, ViewpointTrace};
+
+use crate::provider::PanoProvider;
+
+/// A client bound to one provider's video.
+pub struct PanoClient<'a> {
+    video: &'a PreparedVideo,
+    config: SessionConfig,
+}
+
+impl<'a> PanoClient<'a> {
+    /// Creates a client for a prepared video with default session knobs.
+    pub fn new(provider: &'a PanoProvider) -> Self {
+        PanoClient {
+            video: provider.prepared(),
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// Overrides the session configuration.
+    pub fn with_config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Streams with Pano for a synthetic user (seeded head movement) over
+    /// a constant link of `bps`.
+    pub fn stream_for_user(&self, user_seed: u64, bps: f64) -> SessionResult {
+        let trace = TraceGenerator::default().generate(&self.video.scene, user_seed);
+        let bw = BandwidthTrace::constant(bps, self.video.scene.duration_secs() * 4.0, 1.0);
+        simulate_session(self.video, Method::Pano, &trace, &bw, &self.config)
+    }
+
+    /// Streams with an explicit method, trace and bandwidth series.
+    pub fn stream(
+        &self,
+        method: Method,
+        trace: &ViewpointTrace,
+        bandwidth: &BandwidthTrace,
+    ) -> SessionResult {
+        simulate_session(self.video, method, trace, bandwidth, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn client_streams_prepared_video() {
+        let spec = VideoSpec::generate(0, Genre::Science, 3.0, 9);
+        let provider = PanoProvider::prepare(&spec);
+        let client = PanoClient::new(&provider);
+        let session = client.stream_for_user(42, 1.0e6);
+        assert_eq!(session.chunks.len(), 3);
+        assert!(session.mean_pspnr() > 20.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pano-core — the public umbrella API
+//!
+//! One crate to depend on: re-exports every subsystem and provides the two
+//! high-level pipelines of the paper's Fig. 5 / Fig. 11 deployment story:
+//!
+//! * [`provider`] — the content provider's offline pass: generate or load
+//!   a video, extract features, compute the variable-size tiling, encode
+//!   every chunk at the QP ladder, build the PSPNR lookup table, and emit
+//!   the augmented manifest.
+//! * [`client`] — the playback side: predict the viewpoint and the
+//!   throughput, budget each chunk with MPC, allocate per-tile quality
+//!   from the manifest's lookup table, and account QoE.
+//!
+//! ```
+//! use pano_core::provider::PanoProvider;
+//! use pano_core::client::PanoClient;
+//! use pano_core::{Genre, VideoSpec};
+//!
+//! // Provider side: prepare a short synthetic sports video.
+//! let spec = VideoSpec::generate(0, Genre::Sports, 4.0, 7);
+//! let provider = PanoProvider::prepare(&spec);
+//!
+//! // Client side: stream it for one synthetic user on an LTE-like link.
+//! let client = PanoClient::new(&provider);
+//! let session = client.stream_for_user(1234, 0.9e6);
+//! assert!(session.mean_pspnr() > 30.0);
+//! ```
+
+pub mod client;
+pub mod provider;
+
+pub use pano_abr as abr;
+pub use pano_geo as geo;
+pub use pano_jnd as jnd;
+pub use pano_net as net;
+pub use pano_sim as sim;
+pub use pano_tiling as tiling;
+pub use pano_trace as trace;
+pub use pano_video as video;
+
+pub use pano_abr::Manifest;
+pub use pano_geo::{Degrees, Equirect, GridDims, GridRect, Viewpoint, Viewport};
+pub use pano_jnd::{ActionState, ContentJnd, Multipliers, PspnrComputer};
+pub use pano_sim::{Method, SessionResult};
+pub use pano_trace::{BandwidthTrace, ViewpointTrace};
+pub use pano_video::{DatasetSpec, Genre, VideoSpec};
+
+pub use client::PanoClient;
+pub use provider::PanoProvider;

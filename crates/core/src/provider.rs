@@ -1,0 +1,136 @@
+//! The provider-side pipeline (Fig. 5 left, Fig. 11 offline phase).
+//!
+//! [`PanoProvider`] wraps [`pano_sim::PreparedVideo`] with the conveniences
+//! a content provider's toolchain would use: prepare from a spec, inspect
+//! tilings and sizes, and export the augmented manifest.
+
+use pano_abr::Manifest;
+use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_video::codec::QualityLevel;
+use pano_video::VideoSpec;
+
+/// The provider-side artefacts for one video.
+pub struct PanoProvider {
+    prepared: PreparedVideo,
+}
+
+impl PanoProvider {
+    /// Runs the full offline pipeline with the paper defaults (12×24 unit
+    /// grid, 30 variable-size tiles, 1-s chunks).
+    pub fn prepare(spec: &VideoSpec) -> PanoProvider {
+        Self::prepare_with(spec, &AssetConfig::default())
+    }
+
+    /// Runs the pipeline with custom knobs.
+    pub fn prepare_with(spec: &VideoSpec, config: &AssetConfig) -> PanoProvider {
+        PanoProvider {
+            prepared: PreparedVideo::prepare(spec, config),
+        }
+    }
+
+    /// The underlying prepared video (for the simulator and client).
+    pub fn prepared(&self) -> &PreparedVideo {
+        &self.prepared
+    }
+
+    /// The augmented DASH manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.prepared.manifest
+    }
+
+    /// Total bytes of the whole video if every Pano tile is fetched at
+    /// `level` — the rate-ladder view a provider dashboard would show.
+    pub fn total_bytes_at(&self, level: QualityLevel) -> u64 {
+        self.prepared
+            .pano_chunks
+            .iter()
+            .map(|c| c.total_size(level))
+            .sum()
+    }
+
+    /// Mean number of tiles per chunk under the Pano tiling.
+    pub fn mean_tiles_per_chunk(&self) -> f64 {
+        let total: usize = self.prepared.pano_tiling.iter().map(|t| t.len()).sum();
+        total as f64 / self.prepared.pano_tiling.len().max(1) as f64
+    }
+
+    /// Video duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.prepared.scene.duration_secs()
+    }
+
+    /// Writes the augmented manifest to `path` as JSON.
+    pub fn write_manifest(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.prepared.manifest.to_json())
+    }
+
+    /// Writes the provider's history head-movement traces (the ones the
+    /// tiling and the popularity prior were computed from) to `dir` in the
+    /// interchange log format, one file per user. Returns the file count.
+    pub fn write_history_traces(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let gen = pano_trace::TraceGenerator::default();
+        let history = gen.generate_population(
+            &self.prepared.scene,
+            self.prepared.config().history_users,
+            self.prepared.config().history_seed ^ self.prepared.spec.id as u64,
+        );
+        for (i, trace) in history.iter().enumerate() {
+            std::fs::write(
+                dir.join(format!("history_user_{i:02}.log")),
+                pano_trace::format_viewpoint_log(trace),
+            )?;
+        }
+        Ok(history.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn provider_pipeline_end_to_end() {
+        let spec = VideoSpec::generate(0, Genre::Tourism, 4.0, 3);
+        let p = PanoProvider::prepare(&spec);
+        assert_eq!(p.duration_secs(), 4.0);
+        assert_eq!(p.mean_tiles_per_chunk(), 30.0);
+        assert_eq!(p.manifest().chunks.len(), 4);
+        // Ladder sizes ascend.
+        let mut prev = 0;
+        for l in QualityLevel::all() {
+            let s = p.total_bytes_at(l);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn manifest_and_traces_write_to_disk() {
+        let spec = VideoSpec::generate(0, Genre::Gaming, 3.0, 5);
+        let p = PanoProvider::prepare(&spec);
+        let dir = std::env::temp_dir().join(format!("pano_provider_io_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let manifest_path = dir.join("manifest.json");
+        p.write_manifest(&manifest_path).expect("manifest written");
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        let parsed = pano_abr::Manifest::from_json(&text).expect("parses back");
+        assert_eq!(parsed.chunks.len(), 3);
+
+        let n = p.write_history_traces(&dir.join("history")).expect("traces written");
+        assert!(n >= 1);
+        let entries = std::fs::read_dir(dir.join("history")).unwrap().count();
+        assert_eq!(entries, n);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,276 @@
+//! Angle newtypes.
+//!
+//! Pano deals with viewpoint speeds in degrees/second, field-of-view widths
+//! in degrees, and trigonometry in radians. Mixing the two units in raw
+//! `f64`s is the kind of bug that survives every unit test and only shows up
+//! as "the viewport is 1.9° wide". [`Degrees`] and [`Radians`] make the unit
+//! part of the type.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An angle measured in degrees.
+///
+/// The value is *not* normalised on construction; use [`Degrees::wrap_360`]
+/// or [`Degrees::wrap_180`] when a canonical representative is needed.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Degrees(pub f64);
+
+/// An angle measured in radians.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Radians(pub f64);
+
+impl Degrees {
+    /// Zero degrees.
+    pub const ZERO: Degrees = Degrees(0.0);
+    /// A full turn.
+    pub const FULL_TURN: Degrees = Degrees(360.0);
+
+    /// Converts to radians.
+    #[inline]
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0 * PI / 180.0)
+    }
+
+    /// Returns the raw degree value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Normalises into `[0, 360)`.
+    #[inline]
+    pub fn wrap_360(self) -> Degrees {
+        let mut v = self.0 % 360.0;
+        if v < 0.0 {
+            v += 360.0;
+        }
+        // `-1e-18 % 360.0` is `-1e-18`; adding 360 rounds to exactly 360.0,
+        // which is outside the half-open interval — fold it back.
+        if v >= 360.0 {
+            v = 0.0;
+        }
+        Degrees(v)
+    }
+
+    /// Normalises into `[-180, 180)`.
+    #[inline]
+    pub fn wrap_180(self) -> Degrees {
+        let v = (self.0 + 180.0).rem_euclid(360.0) - 180.0;
+        Degrees(if v >= 180.0 { -180.0 } else { v })
+    }
+
+    /// Smallest absolute angular difference to `other`, in `[0, 180]`.
+    ///
+    /// This is the correct notion of "how far apart" two yaw angles are:
+    /// 359° and 1° are 2° apart, not 358°.
+    #[inline]
+    pub fn angular_distance(self, other: Degrees) -> Degrees {
+        let d = (self.0 - other.0).rem_euclid(360.0);
+        Degrees(if d > 180.0 { 360.0 - d } else { d })
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Degrees {
+        Degrees(self.0.abs())
+    }
+
+    /// Clamps into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Degrees, hi: Degrees) -> Degrees {
+        Degrees(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `true` if the value is finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Sine of the angle.
+    #[inline]
+    pub fn sin(self) -> f64 {
+        self.to_radians().0.sin()
+    }
+
+    /// Cosine of the angle.
+    #[inline]
+    pub fn cos(self) -> f64 {
+        self.to_radians().0.cos()
+    }
+}
+
+impl Radians {
+    /// Zero radians.
+    pub const ZERO: Radians = Radians(0.0);
+
+    /// Converts to degrees.
+    #[inline]
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0 * 180.0 / PI)
+    }
+
+    /// Returns the raw radian value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Degrees {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}°", self.0)
+    }
+}
+
+impl fmt::Display for Radians {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5} rad", self.0)
+    }
+}
+
+macro_rules! impl_angle_ops {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                $t(-self.0)
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: f64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: f64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+        impl AddAssign for $t {
+            #[inline]
+            fn add_assign(&mut self, rhs: $t) {
+                self.0 += rhs.0;
+            }
+        }
+        impl SubAssign for $t {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $t) {
+                self.0 -= rhs.0;
+            }
+        }
+    };
+}
+
+impl_angle_ops!(Degrees);
+impl_angle_ops!(Radians);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn degree_radian_round_trip() {
+        for v in [-720.0, -90.0, 0.0, 45.0, 180.0, 359.0, 1234.5] {
+            let d = Degrees(v);
+            assert!(close(d.to_radians().to_degrees().0, v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn wrap_360_lands_in_range() {
+        for v in [-721.0, -360.0, -0.5, 0.0, 359.999, 360.0, 725.0] {
+            let w = Degrees(v).wrap_360().0;
+            assert!((0.0..360.0).contains(&w), "v={v} wrapped to {w}");
+        }
+        assert!(close(Degrees(-90.0).wrap_360().0, 270.0));
+        assert!(close(Degrees(360.0).wrap_360().0, 0.0));
+    }
+
+    #[test]
+    fn wrap_180_lands_in_range() {
+        for v in [-721.0, -180.0, -0.5, 0.0, 179.999, 180.0, 725.0] {
+            let w = Degrees(v).wrap_180().0;
+            assert!((-180.0..180.0).contains(&w), "v={v} wrapped to {w}");
+        }
+        assert!(close(Degrees(270.0).wrap_180().0, -90.0));
+        assert!(close(Degrees(180.0).wrap_180().0, -180.0));
+    }
+
+    #[test]
+    fn angular_distance_takes_short_way_around() {
+        assert!(close(Degrees(359.0).angular_distance(Degrees(1.0)).0, 2.0));
+        assert!(close(Degrees(10.0).angular_distance(Degrees(350.0)).0, 20.0));
+        assert!(close(Degrees(0.0).angular_distance(Degrees(180.0)).0, 180.0));
+        assert!(close(Degrees(90.0).angular_distance(Degrees(90.0)).0, 0.0));
+    }
+
+    #[test]
+    fn angular_distance_is_symmetric() {
+        for (a, b) in [(0.0, 10.0), (350.0, 20.0), (123.0, 321.0)] {
+            let ab = Degrees(a).angular_distance(Degrees(b)).0;
+            let ba = Degrees(b).angular_distance(Degrees(a)).0;
+            assert!(close(ab, ba));
+        }
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert!(close((Degrees(10.0) + Degrees(20.0)).0, 30.0));
+        assert!(close((Degrees(10.0) - Degrees(20.0)).0, -10.0));
+        assert!(close((Degrees(10.0) * 3.0).0, 30.0));
+        assert!(close((Degrees(10.0) / 4.0).0, 2.5));
+        assert!(close((-Degrees(10.0)).0, -10.0));
+        let mut d = Degrees(1.0);
+        d += Degrees(2.0);
+        d -= Degrees(0.5);
+        assert!(close(d.0, 2.5));
+    }
+
+    #[test]
+    fn trig_helpers() {
+        assert!(close(Degrees(90.0).sin(), 1.0));
+        assert!(close(Degrees(0.0).cos(), 1.0));
+        assert!(Degrees(60.0).cos() - 0.5 < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Degrees(12.3456)), "12.346°");
+        assert_eq!(format!("{}", Radians(1.0)), "1.00000 rad");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Degrees(42.5);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Degrees = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,423 @@
+//! The unit-tile grid and rectangles of unit tiles.
+//!
+//! Pano's tiling pipeline (paper §5) first splits each chunk into a
+//! fine-grained grid of *unit tiles* — 12 rows × 24 columns by default —
+//! and then groups them into a handful of axis-aligned rectangles, the
+//! *coarse-grained tiles* that are actually encoded. This module provides
+//! the grid coordinate algebra both steps share.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dimensions of the unit-tile grid: `rows × cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDims {
+    /// Number of rows (latitude bands).
+    pub rows: u16,
+    /// Number of columns (longitude bands).
+    pub cols: u16,
+}
+
+impl GridDims {
+    /// The paper's default fine-grained grid: 12 × 24.
+    pub const PANO_UNIT: GridDims = GridDims { rows: 12, cols: 24 };
+    /// Coarse uniform baseline: 3 × 6.
+    pub const COARSE_3X6: GridDims = GridDims { rows: 3, cols: 6 };
+    /// Medium uniform baseline: 6 × 12.
+    pub const MEDIUM_6X12: GridDims = GridDims { rows: 6, cols: 12 };
+
+    /// Creates grid dimensions. Panics if either dimension is zero.
+    pub fn new(rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be non-zero");
+        GridDims { rows, cols }
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Flattens a cell index to a linear index in row-major order.
+    #[inline]
+    pub fn linear(&self, cell: CellIdx) -> usize {
+        debug_assert!(self.contains(cell));
+        cell.row as usize * self.cols as usize + cell.col as usize
+    }
+
+    /// Inverse of [`GridDims::linear`].
+    #[inline]
+    pub fn from_linear(&self, idx: usize) -> CellIdx {
+        debug_assert!(idx < self.cell_count());
+        CellIdx {
+            row: (idx / self.cols as usize) as u16,
+            col: (idx % self.cols as usize) as u16,
+        }
+    }
+
+    /// Whether `cell` lies inside the grid.
+    #[inline]
+    pub fn contains(&self, cell: CellIdx) -> bool {
+        cell.row < self.rows && cell.col < self.cols
+    }
+
+    /// Iterates over all cells in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = CellIdx> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |row| (0..cols).map(move |col| CellIdx { row, col }))
+    }
+
+    /// The rectangle covering the entire grid.
+    pub fn full_rect(&self) -> GridRect {
+        GridRect {
+            row0: 0,
+            col0: 0,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl fmt::Display for GridDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Index of a single unit tile within a grid (row, col), zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellIdx {
+    /// Row (0 = top of the equirectangular frame = north pole band).
+    pub row: u16,
+    /// Column (0 = left edge of the frame = yaw −180°).
+    pub col: u16,
+}
+
+impl CellIdx {
+    /// Convenience constructor.
+    pub const fn new(row: u16, col: u16) -> Self {
+        CellIdx { row, col }
+    }
+}
+
+impl fmt::Display for CellIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// An axis-aligned rectangle of unit tiles: a candidate coarse-grained tile.
+///
+/// Covers rows `row0 .. row0+rows` and columns `col0 .. col0+cols`.
+/// Rectangles are always non-empty (`rows >= 1 && cols >= 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridRect {
+    /// First row covered.
+    pub row0: u16,
+    /// First column covered.
+    pub col0: u16,
+    /// Number of rows covered (≥ 1).
+    pub rows: u16,
+    /// Number of columns covered (≥ 1).
+    pub cols: u16,
+}
+
+impl GridRect {
+    /// Creates a rectangle. Panics if empty.
+    pub fn new(row0: u16, col0: u16, rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "GridRect must be non-empty");
+        GridRect {
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    /// A 1×1 rectangle at `cell`.
+    pub fn unit(cell: CellIdx) -> Self {
+        GridRect {
+            row0: cell.row,
+            col0: cell.col,
+            rows: 1,
+            cols: 1,
+        }
+    }
+
+    /// Area in unit tiles.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// One-past-the-last row.
+    #[inline]
+    pub fn row_end(&self) -> u16 {
+        self.row0 + self.rows
+    }
+
+    /// One-past-the-last column.
+    #[inline]
+    pub fn col_end(&self) -> u16 {
+        self.col0 + self.cols
+    }
+
+    /// Whether the rectangle contains `cell`.
+    #[inline]
+    pub fn contains(&self, cell: CellIdx) -> bool {
+        cell.row >= self.row0
+            && cell.row < self.row_end()
+            && cell.col >= self.col0
+            && cell.col < self.col_end()
+    }
+
+    /// Whether `self` and `other` share at least one cell.
+    pub fn intersects(&self, other: &GridRect) -> bool {
+        self.row0 < other.row_end()
+            && other.row0 < self.row_end()
+            && self.col0 < other.col_end()
+            && other.col0 < self.col_end()
+    }
+
+    /// Iterates over all cells covered, row-major.
+    pub fn cells(&self) -> impl Iterator<Item = CellIdx> + '_ {
+        let (c0, ce) = (self.col0, self.col_end());
+        (self.row0..self.row_end())
+            .flat_map(move |row| (c0..ce).map(move |col| CellIdx { row, col }))
+    }
+
+    /// Splits horizontally after local row `k` (`1 <= k < rows`) into
+    /// a top and bottom rectangle.
+    pub fn split_horizontal(&self, k: u16) -> Option<(GridRect, GridRect)> {
+        if k == 0 || k >= self.rows {
+            return None;
+        }
+        Some((
+            GridRect {
+                rows: k,
+                ..*self
+            },
+            GridRect {
+                row0: self.row0 + k,
+                rows: self.rows - k,
+                ..*self
+            },
+        ))
+    }
+
+    /// Splits vertically after local column `k` (`1 <= k < cols`) into
+    /// a left and right rectangle.
+    pub fn split_vertical(&self, k: u16) -> Option<(GridRect, GridRect)> {
+        if k == 0 || k >= self.cols {
+            return None;
+        }
+        Some((
+            GridRect {
+                cols: k,
+                ..*self
+            },
+            GridRect {
+                col0: self.col0 + k,
+                cols: self.cols - k,
+                ..*self
+            },
+        ))
+    }
+
+    /// All possible binary splits of this rectangle (horizontal then
+    /// vertical), in a deterministic order.
+    pub fn all_splits(&self) -> Vec<(GridRect, GridRect)> {
+        let mut out = Vec::with_capacity((self.rows + self.cols) as usize);
+        for k in 1..self.rows {
+            out.push(self.split_horizontal(k).expect("k in range"));
+        }
+        for k in 1..self.cols {
+            out.push(self.split_vertical(k).expect("k in range"));
+        }
+        out
+    }
+
+    /// Total boundary length in unit-tile edges (perimeter). Used by the
+    /// codec simulator to model the encoding overhead of tile boundaries.
+    pub fn perimeter(&self) -> usize {
+        2 * (self.rows as usize + self.cols as usize)
+    }
+}
+
+impl fmt::Display for GridRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[r{}..{} c{}..{}]",
+            self.row0,
+            self.row_end(),
+            self.col0,
+            self.col_end()
+        )
+    }
+}
+
+/// Checks that `rects` exactly partition `dims`: every cell covered exactly
+/// once. Returns `Err` naming the first offending cell.
+pub fn verify_partition(dims: GridDims, rects: &[GridRect]) -> Result<(), String> {
+    let mut cover = vec![0u8; dims.cell_count()];
+    for r in rects {
+        if r.row_end() > dims.rows || r.col_end() > dims.cols {
+            return Err(format!("rect {r} exceeds grid {dims}"));
+        }
+        for cell in r.cells() {
+            let idx = dims.linear(cell);
+            cover[idx] += 1;
+            if cover[idx] > 1 {
+                return Err(format!("cell {cell} covered more than once"));
+            }
+        }
+    }
+    for (idx, &c) in cover.iter().enumerate() {
+        if c == 0 {
+            return Err(format!("cell {} not covered", dims.from_linear(idx)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_linear_round_trip() {
+        let g = GridDims::PANO_UNIT;
+        for cell in g.cells() {
+            assert_eq!(g.from_linear(g.linear(cell)), cell);
+        }
+        assert_eq!(g.cells().count(), 288);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_grid_panics() {
+        GridDims::new(0, 5);
+    }
+
+    #[test]
+    fn rect_contains_and_area() {
+        let r = GridRect::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert!(r.contains(CellIdx::new(2, 3)));
+        assert!(r.contains(CellIdx::new(5, 7)));
+        assert!(!r.contains(CellIdx::new(6, 3)));
+        assert!(!r.contains(CellIdx::new(2, 8)));
+        assert_eq!(r.cells().count(), 20);
+    }
+
+    #[test]
+    fn rect_splits() {
+        let r = GridRect::new(0, 0, 4, 6);
+        let (top, bottom) = r.split_horizontal(1).unwrap();
+        assert_eq!(top, GridRect::new(0, 0, 1, 6));
+        assert_eq!(bottom, GridRect::new(1, 0, 3, 6));
+        let (left, right) = r.split_vertical(4).unwrap();
+        assert_eq!(left, GridRect::new(0, 0, 4, 4));
+        assert_eq!(right, GridRect::new(0, 4, 4, 2));
+        assert!(r.split_horizontal(0).is_none());
+        assert!(r.split_horizontal(4).is_none());
+        assert!(r.split_vertical(6).is_none());
+        // 3 horizontal + 5 vertical splits
+        assert_eq!(r.all_splits().len(), 8);
+    }
+
+    #[test]
+    fn split_preserves_area_and_partition() {
+        let r = GridRect::new(1, 2, 5, 7);
+        for (a, b) in r.all_splits() {
+            assert_eq!(a.area() + b.area(), r.area());
+            assert!(!a.intersects(&b));
+            for cell in r.cells() {
+                assert!(a.contains(cell) ^ b.contains(cell));
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = GridRect::new(0, 0, 2, 2);
+        let b = GridRect::new(1, 1, 2, 2);
+        let c = GridRect::new(2, 0, 1, 4);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+    }
+
+    #[test]
+    fn verify_partition_accepts_uniform_grids() {
+        let dims = GridDims::PANO_UNIT;
+        // 3x6 coarse tiles of 4x4 unit cells each.
+        let mut rects = Vec::new();
+        for r in 0..3 {
+            for c in 0..6 {
+                rects.push(GridRect::new(r * 4, c * 4, 4, 4));
+            }
+        }
+        assert!(verify_partition(dims, &rects).is_ok());
+    }
+
+    #[test]
+    fn verify_partition_rejects_gaps_overlaps_and_overruns() {
+        let dims = GridDims::new(2, 2);
+        // Gap.
+        assert!(verify_partition(dims, &[GridRect::new(0, 0, 2, 1)]).is_err());
+        // Overlap.
+        assert!(verify_partition(
+            dims,
+            &[GridRect::new(0, 0, 2, 2), GridRect::new(1, 1, 1, 1)]
+        )
+        .is_err());
+        // Out of bounds.
+        assert!(verify_partition(dims, &[GridRect::new(0, 0, 3, 2)]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recursive_splits_always_partition(seed in 0u64..500) {
+            // Repeatedly split the full rect with a deterministic pseudo-random
+            // choice; the result must always be a valid partition.
+            let dims = GridDims::PANO_UNIT;
+            let mut rects = vec![dims.full_rect()];
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..20 {
+                let i = (next() as usize) % rects.len();
+                let splits = rects[i].all_splits();
+                if splits.is_empty() {
+                    continue;
+                }
+                let (a, b) = splits[(next() as usize) % splits.len()];
+                rects.swap_remove(i);
+                rects.push(a);
+                rects.push(b);
+            }
+            prop_assert!(verify_partition(dims, &rects).is_ok());
+        }
+
+        #[test]
+        fn prop_linear_bijection(rows in 1u16..40, cols in 1u16..40) {
+            let g = GridDims::new(rows, cols);
+            let mut seen = vec![false; g.cell_count()];
+            for cell in g.cells() {
+                let idx = g.linear(cell);
+                prop_assert!(!seen[idx]);
+                seen[idx] = true;
+                prop_assert_eq!(g.from_linear(idx), cell);
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pano-geo — spherical geometry substrate for 360° video
+//!
+//! Everything in Pano lives on the panoramic sphere: viewpoints move across
+//! it, viewports cover patches of it, and the equirectangular video frame is
+//! a projection of it. This crate provides the shared vocabulary:
+//!
+//! * [`Degrees`] / [`Radians`] — angle newtypes with explicit conversions,
+//!   so a raw `f64` can never silently be interpreted in the wrong unit.
+//! * [`Viewpoint`] — a (yaw, pitch) direction on the sphere, with
+//!   great-circle distance and angular-velocity helpers.
+//! * [`Equirect`] — the equirectangular frame projection used by the codec
+//!   and the tiling pipeline, including per-row solid-angle weights.
+//! * [`Viewport`] — the user-facing field-of-view window and its coverage
+//!   tests against sphere points and grid cells.
+//! * [`GridDims`] / [`GridRect`] — the unit-tile grid (12×24 in the paper)
+//!   and axis-aligned rectangles of unit tiles, the atoms of Pano's
+//!   variable-size tiling.
+//!
+//! The crate is `std`-only, allocation-light, and has no dependencies beyond
+//! `serde` for (de)serialising the geometric types embedded in manifests.
+
+pub mod angle;
+pub mod grid;
+pub mod projection;
+pub mod viewpoint;
+pub mod viewport;
+
+pub use angle::{Degrees, Radians};
+pub use grid::{CellIdx, GridDims, GridRect};
+pub use projection::Equirect;
+pub use viewpoint::{AngularVelocity, Viewpoint};
+pub use viewport::Viewport;

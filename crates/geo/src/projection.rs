@@ -1,0 +1,297 @@
+//! Equirectangular projection.
+//!
+//! 360° videos are stored as planar frames using the equirectangular
+//! projection: column ↔ yaw (longitude), row ↔ pitch (latitude). The
+//! projection is simple but non-uniform — a pixel near a pole covers far
+//! less solid angle than one at the equator. [`Equirect`] provides the
+//! pixel ↔ sphere mapping plus the per-row solid-angle weights the quality
+//! model uses so that pole pixels do not dominate frame-level metrics.
+
+use crate::angle::Degrees;
+use crate::grid::{CellIdx, GridDims, GridRect};
+use crate::viewpoint::Viewpoint;
+use serde::{Deserialize, Serialize};
+
+/// An equirectangular frame geometry: `width × height` pixels covering the
+/// full sphere (360° × 180°).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Equirect {
+    /// Frame width in pixels (maps to 360° of yaw).
+    pub width: u32,
+    /// Frame height in pixels (maps to 180° of pitch).
+    pub height: u32,
+}
+
+impl Equirect {
+    /// The paper's evaluation resolution (Table 2): 2880 × 1440.
+    pub const PAPER_FULL: Equirect = Equirect {
+        width: 2880,
+        height: 1440,
+    };
+
+    /// Creates a projection. Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
+        Equirect { width, height }
+    }
+
+    /// Total pixels per frame.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Degrees of yaw covered by one pixel column.
+    #[inline]
+    pub fn deg_per_px_x(&self) -> f64 {
+        360.0 / self.width as f64
+    }
+
+    /// Degrees of pitch covered by one pixel row.
+    #[inline]
+    pub fn deg_per_px_y(&self) -> f64 {
+        180.0 / self.height as f64
+    }
+
+    /// Maps a sphere direction to fractional pixel coordinates `(x, y)`.
+    ///
+    /// `x ∈ [0, width)`, `y ∈ [0, height)`. Yaw −180° maps to the left edge,
+    /// pitch +90° (up) to the top edge.
+    pub fn sphere_to_pixel(&self, vp: &Viewpoint) -> (f64, f64) {
+        let x = (vp.yaw().value() + 180.0) / 360.0 * self.width as f64;
+        let y = (90.0 - vp.pitch().value()) / 180.0 * self.height as f64;
+        (
+            x.clamp(0.0, self.width as f64 - f64::EPSILON),
+            y.clamp(0.0, self.height as f64 - f64::EPSILON),
+        )
+    }
+
+    /// Maps pixel-centre coordinates to a sphere direction.
+    pub fn pixel_to_sphere(&self, x: f64, y: f64) -> Viewpoint {
+        let yaw = x / self.width as f64 * 360.0 - 180.0;
+        let pitch = 90.0 - y / self.height as f64 * 180.0;
+        Viewpoint::new(Degrees(yaw), Degrees(pitch))
+    }
+
+    /// Solid-angle weight of a pixel in row `y` (0 = top), proportional to
+    /// `cos(pitch)` at the row centre. Weights are in `[0, 1]` with the
+    /// equator row at ~1.
+    pub fn row_weight(&self, y: u32) -> f64 {
+        debug_assert!(y < self.height);
+        let pitch = 90.0 - (y as f64 + 0.5) / self.height as f64 * 180.0;
+        Degrees(pitch).cos().max(0.0)
+    }
+
+    /// Precomputed [`Equirect::row_weight`] for every row.
+    pub fn row_weights(&self) -> Vec<f64> {
+        (0..self.height).map(|y| self.row_weight(y)).collect()
+    }
+
+    /// Pixel rectangle `(x0, y0, w, h)` covered by a grid cell.
+    ///
+    /// The grid divides the frame as evenly as possible; remainders are
+    /// distributed to the leading rows/columns so that cells tile the frame
+    /// exactly.
+    pub fn cell_pixel_rect(&self, dims: GridDims, cell: CellIdx) -> (u32, u32, u32, u32) {
+        let (x0, x1) = span(self.width, dims.cols, cell.col);
+        let (y0, y1) = span(self.height, dims.rows, cell.row);
+        (x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Pixel rectangle `(x0, y0, w, h)` covered by a [`GridRect`].
+    pub fn rect_pixel_rect(&self, dims: GridDims, rect: GridRect) -> (u32, u32, u32, u32) {
+        let (x0, _) = span(self.width, dims.cols, rect.col0);
+        let (_, x1) = span(self.width, dims.cols, rect.col_end() - 1);
+        let (y0, _) = span(self.height, dims.rows, rect.row0);
+        let (_, y1) = span(self.height, dims.rows, rect.row_end() - 1);
+        (x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// The grid cell containing a sphere direction.
+    pub fn sphere_to_cell(&self, dims: GridDims, vp: &Viewpoint) -> CellIdx {
+        let (x, y) = self.sphere_to_pixel(vp);
+        let col = ((x / self.width as f64) * dims.cols as f64) as u16;
+        let row = ((y / self.height as f64) * dims.rows as f64) as u16;
+        CellIdx {
+            row: row.min(dims.rows - 1),
+            col: col.min(dims.cols - 1),
+        }
+    }
+
+    /// Sphere direction at the centre of a grid cell.
+    pub fn cell_center(&self, dims: GridDims, cell: CellIdx) -> Viewpoint {
+        let (x0, y0, w, h) = self.cell_pixel_rect(dims, cell);
+        self.pixel_to_sphere(x0 as f64 + w as f64 / 2.0, y0 as f64 + h as f64 / 2.0)
+    }
+
+    /// Solid-angle weight of a grid cell: mean row weight over the cell's
+    /// pixel rows, times its pixel area, normalised by total frame area.
+    /// The weights of all cells in a grid sum to the mean `cos(pitch)` of
+    /// the frame (≈ 2/π).
+    pub fn cell_solid_weight(&self, dims: GridDims, cell: CellIdx) -> f64 {
+        let (_, y0, w, h) = self.cell_pixel_rect(dims, cell);
+        let mut sum = 0.0;
+        for y in y0..y0 + h {
+            sum += self.row_weight(y);
+        }
+        sum * w as f64 / self.pixel_count() as f64
+    }
+}
+
+/// Start/end pixel of band `i` when dividing `total` pixels into `n` bands
+/// as evenly as possible (leading bands get the remainder).
+fn span(total: u32, n: u16, i: u16) -> (u32, u32) {
+    let n = n as u32;
+    let i = i as u32;
+    let base = total / n;
+    let rem = total % n;
+    let start = i * base + i.min(rem);
+    let len = base + if i < rem { 1 } else { 0 };
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EQ: Equirect = Equirect::PAPER_FULL;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn sphere_pixel_round_trip() {
+        for (yaw, pitch) in [(0.0, 0.0), (-179.9, 89.9), (120.0, -45.0), (-90.0, 30.0)] {
+            let vp = Viewpoint::new(Degrees(yaw), Degrees(pitch));
+            let (x, y) = EQ.sphere_to_pixel(&vp);
+            let back = EQ.pixel_to_sphere(x, y);
+            assert!(
+                vp.great_circle_distance(&back).value() < 1e-6,
+                "({yaw},{pitch})"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_landmarks() {
+        // Forward (yaw 0, pitch 0) is the frame centre.
+        let (x, y) = EQ.sphere_to_pixel(&Viewpoint::forward());
+        assert!(close(x, 1440.0) && close(y, 720.0));
+        // Yaw -180 is the left edge.
+        let (x, _) = EQ.sphere_to_pixel(&Viewpoint::new(Degrees(-180.0), Degrees(0.0)));
+        assert!(close(x, 0.0));
+        // Pitch +90 (up) is the top edge.
+        let (_, y) = EQ.sphere_to_pixel(&Viewpoint::new(Degrees(0.0), Degrees(90.0)));
+        assert!(close(y, 0.0));
+    }
+
+    #[test]
+    fn row_weights_peak_at_equator() {
+        let w = EQ.row_weights();
+        assert_eq!(w.len(), 1440);
+        // Top and bottom rows are near zero; middle rows near one.
+        assert!(w[0] < 0.01);
+        assert!(w[1439] < 0.01);
+        assert!(w[719] > 0.999);
+        assert!(w[720] > 0.999);
+        // Symmetric about the equator.
+        for i in 0..720 {
+            assert!(close(w[i], w[1439 - i]), "row {i}");
+        }
+    }
+
+    #[test]
+    fn spans_tile_exactly() {
+        // 2880 / 24 divides exactly; 100 / 7 does not — both must tile.
+        for (total, n) in [(2880u32, 24u16), (100, 7), (5, 5), (13, 4)] {
+            let mut cursor = 0;
+            for i in 0..n {
+                let (s, e) = span(total, n, i);
+                assert_eq!(s, cursor, "band {i} of {total}/{n}");
+                assert!(e > s);
+                cursor = e;
+            }
+            assert_eq!(cursor, total);
+        }
+    }
+
+    #[test]
+    fn cell_rects_tile_the_frame() {
+        let dims = GridDims::PANO_UNIT;
+        let mut area = 0usize;
+        for cell in dims.cells() {
+            let (_, _, w, h) = EQ.cell_pixel_rect(dims, cell);
+            area += (w * h) as usize;
+        }
+        assert_eq!(area, EQ.pixel_count());
+    }
+
+    #[test]
+    fn rect_pixel_rect_spans_cells() {
+        let dims = GridDims::PANO_UNIT;
+        let rect = GridRect::new(2, 3, 4, 5);
+        let (x0, y0, w, h) = EQ.rect_pixel_rect(dims, rect);
+        // 2880/24 = 120 px per col, 1440/12 = 120 px per row.
+        assert_eq!((x0, y0, w, h), (360, 240, 600, 480));
+    }
+
+    #[test]
+    fn sphere_to_cell_matches_cell_center() {
+        let dims = GridDims::PANO_UNIT;
+        for cell in dims.cells() {
+            let center = EQ.cell_center(dims, cell);
+            assert_eq!(EQ.sphere_to_cell(dims, &center), cell, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn cell_solid_weights_sum_to_frame_mean_cos() {
+        let dims = GridDims::PANO_UNIT;
+        let total: f64 = dims
+            .cells()
+            .map(|c| EQ.cell_solid_weight(dims, c))
+            .sum();
+        // Mean of cos(pitch) over rows approximates 2/pi ~= 0.6366.
+        assert!((total - 2.0 / std::f64::consts::PI).abs() < 1e-3, "{total}");
+    }
+
+    #[test]
+    fn polar_cells_weigh_less_than_equatorial() {
+        let dims = GridDims::PANO_UNIT;
+        let pole = EQ.cell_solid_weight(dims, CellIdx::new(0, 0));
+        let equator = EQ.cell_solid_weight(dims, CellIdx::new(6, 0));
+        assert!(equator > 5.0 * pole, "equator {equator} pole {pole}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pixel_sphere_round_trip(x in 0.0f64..2880.0, y in 0.0f64..1440.0) {
+            let vp = EQ.pixel_to_sphere(x, y);
+            let (x2, y2) = EQ.sphere_to_pixel(&vp);
+            prop_assert!((x - x2).abs() < 1e-6);
+            prop_assert!((y - y2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_sphere_to_cell_in_bounds(yaw in -180.0f64..180.0, pitch in -90.0f64..=90.0) {
+            let dims = GridDims::PANO_UNIT;
+            let cell = EQ.sphere_to_cell(dims, &Viewpoint::new(Degrees(yaw), Degrees(pitch)));
+            prop_assert!(dims.contains(cell));
+        }
+
+        #[test]
+        fn prop_spans_partition(total in 1u32..5000, n in 1u16..64) {
+            prop_assume!(total >= n as u32);
+            let mut cursor = 0;
+            for i in 0..n {
+                let (s, e) = span(total, n, i);
+                prop_assert_eq!(s, cursor);
+                prop_assert!(e > s);
+                cursor = e;
+            }
+            prop_assert_eq!(cursor, total);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Viewpoints: directions on the panoramic sphere.
+//!
+//! A [`Viewpoint`] is the centre of the user's field of view, described by a
+//! yaw (longitude, wraps at ±180°) and a pitch (latitude, clamped to ±90°).
+//! Head-movement traces are sequences of timestamped viewpoints; the
+//! quality model consumes the *angular velocity* between them.
+
+use crate::angle::Degrees;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A direction on the unit sphere: where the user is looking.
+///
+/// * `yaw` — rotation around the vertical axis, normalised to `[-180, 180)`.
+///   0° is the equirectangular frame centre, positive is to the right.
+/// * `pitch` — elevation, clamped to `[-90, 90]`. 0° is the horizon,
+///   positive is up.
+///
+/// ```
+/// use pano_geo::{Degrees, Viewpoint};
+///
+/// let a = Viewpoint::new(Degrees(170.0), Degrees(0.0));
+/// let b = Viewpoint::new(Degrees(-170.0), Degrees(0.0));
+/// // Distances wrap correctly across the antimeridian.
+/// assert!((a.great_circle_distance(&b).value() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Viewpoint {
+    yaw: Degrees,
+    pitch: Degrees,
+}
+
+impl Viewpoint {
+    /// Creates a viewpoint, normalising yaw into `[-180, 180)` and clamping
+    /// pitch into `[-90, 90]`.
+    pub fn new(yaw: Degrees, pitch: Degrees) -> Self {
+        Viewpoint {
+            yaw: yaw.wrap_180(),
+            pitch: pitch.clamp(Degrees(-90.0), Degrees(90.0)),
+        }
+    }
+
+    /// The viewpoint looking straight ahead at the frame centre.
+    pub const fn forward() -> Self {
+        Viewpoint {
+            yaw: Degrees(0.0),
+            pitch: Degrees(0.0),
+        }
+    }
+
+    /// Yaw component, in `[-180, 180)`.
+    #[inline]
+    pub fn yaw(&self) -> Degrees {
+        self.yaw
+    }
+
+    /// Pitch component, in `[-90, 90]`.
+    #[inline]
+    pub fn pitch(&self) -> Degrees {
+        self.pitch
+    }
+
+    /// Converts to a 3-D unit vector `(x, y, z)` with `x` forward, `y` left,
+    /// `z` up (right-handed).
+    pub fn to_unit_vector(&self) -> [f64; 3] {
+        let cy = self.yaw.cos();
+        let sy = self.yaw.sin();
+        let cp = self.pitch.cos();
+        let sp = self.pitch.sin();
+        [cp * cy, cp * sy, sp]
+    }
+
+    /// Builds a viewpoint from a 3-D vector (need not be normalised).
+    ///
+    /// Returns [`Viewpoint::forward`] for the zero vector.
+    pub fn from_vector(v: [f64; 3]) -> Self {
+        let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        if norm < 1e-12 {
+            return Viewpoint::forward();
+        }
+        let x = v[0] / norm;
+        let y = v[1] / norm;
+        let z = v[2] / norm;
+        let yaw = y.atan2(x);
+        let pitch = z.clamp(-1.0, 1.0).asin();
+        Viewpoint::new(
+            crate::angle::Radians(yaw).to_degrees(),
+            crate::angle::Radians(pitch).to_degrees(),
+        )
+    }
+
+    /// Great-circle (orthodromic) distance to another viewpoint, in degrees.
+    ///
+    /// Uses the haversine form, which is numerically stable for small
+    /// separations — important because head traces are sampled at 20 Hz and
+    /// consecutive samples are typically <1° apart.
+    pub fn great_circle_distance(&self, other: &Viewpoint) -> Degrees {
+        let dp = (other.pitch - self.pitch).to_radians().value();
+        let dy = self
+            .yaw
+            .angular_distance(other.yaw)
+            .to_radians()
+            .value();
+        let a = (dp / 2.0).sin().powi(2)
+            + self.pitch.cos() * other.pitch.cos() * (dy / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().clamp(-1.0, 1.0).asin();
+        crate::angle::Radians(c).to_degrees()
+    }
+
+    /// Moves this viewpoint by the given yaw/pitch deltas, re-normalising.
+    pub fn offset(&self, dyaw: Degrees, dpitch: Degrees) -> Viewpoint {
+        Viewpoint::new(self.yaw + dyaw, self.pitch + dpitch)
+    }
+
+    /// Spherical linear interpolation toward `other`.
+    ///
+    /// `t = 0` returns `self`, `t = 1` returns `other`. Interpolates along
+    /// the great circle so constant-`t` steps have constant angular speed.
+    pub fn slerp(&self, other: &Viewpoint, t: f64) -> Viewpoint {
+        let a = self.to_unit_vector();
+        let b = other.to_unit_vector();
+        let dot = (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0);
+        let omega = dot.acos();
+        if omega < 1e-9 {
+            return *self;
+        }
+        let so = omega.sin();
+        let (wa, wb) = if so.abs() < 1e-12 {
+            // Antipodal: any path works; fall back to linear weights.
+            (1.0 - t, t)
+        } else {
+            (((1.0 - t) * omega).sin() / so, (t * omega).sin() / so)
+        };
+        Viewpoint::from_vector([
+            wa * a[0] + wb * b[0],
+            wa * a[1] + wb * b[1],
+            wa * a[2] + wb * b[2],
+        ])
+    }
+}
+
+impl Default for Viewpoint {
+    fn default() -> Self {
+        Viewpoint::forward()
+    }
+}
+
+impl fmt::Display for Viewpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(yaw {}, pitch {})", self.yaw, self.pitch)
+    }
+}
+
+/// Angular velocity of a moving viewpoint, in degrees per second.
+///
+/// Produced by differencing two timestamped viewpoint samples; consumed by
+/// the 360JND viewpoint-speed multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct AngularVelocity(pub f64);
+
+impl AngularVelocity {
+    /// Velocity between two samples separated by `dt_secs` seconds.
+    ///
+    /// Returns zero velocity for non-positive `dt_secs` (duplicate or
+    /// out-of-order timestamps) rather than producing an infinity that would
+    /// poison downstream statistics.
+    pub fn between(from: &Viewpoint, to: &Viewpoint, dt_secs: f64) -> Self {
+        if dt_secs <= 0.0 {
+            return AngularVelocity(0.0);
+        }
+        AngularVelocity(from.great_circle_distance(to).value() / dt_secs)
+    }
+
+    /// Speed in degrees per second.
+    #[inline]
+    pub fn deg_per_sec(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AngularVelocity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} deg/s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn construction_normalises() {
+        let v = Viewpoint::new(Degrees(270.0), Degrees(120.0));
+        assert!(close(v.yaw().value(), -90.0));
+        assert!(close(v.pitch().value(), 90.0));
+    }
+
+    #[test]
+    fn unit_vector_round_trip() {
+        for (yaw, pitch) in [
+            (0.0, 0.0),
+            (45.0, 30.0),
+            (-120.0, -60.0),
+            (179.0, 89.0),
+            (-179.0, -89.0),
+        ] {
+            let v = Viewpoint::new(Degrees(yaw), Degrees(pitch));
+            let back = Viewpoint::from_vector(v.to_unit_vector());
+            assert!(
+                v.great_circle_distance(&back).value() < 1e-6,
+                "({yaw},{pitch}) -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vector_falls_back_to_forward() {
+        assert_eq!(Viewpoint::from_vector([0.0; 3]), Viewpoint::forward());
+    }
+
+    #[test]
+    fn great_circle_simple_cases() {
+        let a = Viewpoint::new(Degrees(0.0), Degrees(0.0));
+        let b = Viewpoint::new(Degrees(90.0), Degrees(0.0));
+        assert!(close(a.great_circle_distance(&b).value(), 90.0));
+
+        let c = Viewpoint::new(Degrees(0.0), Degrees(45.0));
+        assert!(close(a.great_circle_distance(&c).value(), 45.0));
+
+        // Wrap-around on yaw: 179 and -179 are 2 degrees apart at equator.
+        let d = Viewpoint::new(Degrees(179.0), Degrees(0.0));
+        let e = Viewpoint::new(Degrees(-179.0), Degrees(0.0));
+        assert!(close(d.great_circle_distance(&e).value(), 2.0));
+    }
+
+    #[test]
+    fn great_circle_shrinks_with_latitude() {
+        // 10 degrees of yaw at 60 degrees pitch is ~5 degrees of arc.
+        let a = Viewpoint::new(Degrees(0.0), Degrees(60.0));
+        let b = Viewpoint::new(Degrees(10.0), Degrees(60.0));
+        let d = a.great_circle_distance(&b).value();
+        assert!(d < 5.1 && d > 4.9, "d={d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Viewpoint::new(Degrees(12.0), Degrees(-34.0));
+        let b = Viewpoint::new(Degrees(-56.0), Degrees(78.0));
+        assert!(close(
+            a.great_circle_distance(&b).value(),
+            b.great_circle_distance(&a).value()
+        ));
+        assert!(close(a.great_circle_distance(&a).value(), 0.0));
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Viewpoint::new(Degrees(0.0), Degrees(0.0));
+        let b = Viewpoint::new(Degrees(90.0), Degrees(0.0));
+        assert!(a.slerp(&b, 0.0).great_circle_distance(&a).value() < 1e-6);
+        assert!(a.slerp(&b, 1.0).great_circle_distance(&b).value() < 1e-6);
+        let mid = a.slerp(&b, 0.5);
+        assert!(close(mid.great_circle_distance(&a).value(), 45.0));
+        assert!(close(mid.great_circle_distance(&b).value(), 45.0));
+    }
+
+    #[test]
+    fn slerp_constant_speed() {
+        let a = Viewpoint::new(Degrees(-40.0), Degrees(10.0));
+        let b = Viewpoint::new(Degrees(50.0), Degrees(-20.0));
+        let mut prev = a;
+        let mut steps = Vec::new();
+        for i in 1..=10 {
+            let p = a.slerp(&b, i as f64 / 10.0);
+            steps.push(prev.great_circle_distance(&p).value());
+            prev = p;
+        }
+        let mean = steps.iter().sum::<f64>() / steps.len() as f64;
+        for s in &steps {
+            assert!((s - mean).abs() < 1e-6, "uneven step {s} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn angular_velocity_between_samples() {
+        let a = Viewpoint::new(Degrees(0.0), Degrees(0.0));
+        let b = Viewpoint::new(Degrees(1.0), Degrees(0.0));
+        // 1 degree in 0.05 s = 20 deg/s (one 20 Hz trace tick).
+        let v = AngularVelocity::between(&a, &b, 0.05);
+        assert!(close(v.deg_per_sec(), 20.0));
+    }
+
+    #[test]
+    fn angular_velocity_guards_bad_dt() {
+        let a = Viewpoint::new(Degrees(0.0), Degrees(0.0));
+        let b = Viewpoint::new(Degrees(10.0), Degrees(0.0));
+        assert_eq!(AngularVelocity::between(&a, &b, 0.0).deg_per_sec(), 0.0);
+        assert_eq!(AngularVelocity::between(&a, &b, -1.0).deg_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn offset_wraps() {
+        let v = Viewpoint::new(Degrees(170.0), Degrees(0.0)).offset(Degrees(20.0), Degrees(0.0));
+        assert!(close(v.yaw().value(), -170.0));
+    }
+}

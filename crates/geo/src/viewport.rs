@@ -1,0 +1,262 @@
+//! Viewports: the user-facing field-of-view window.
+//!
+//! A head-mounted display shows a window of roughly 110° × 90° centred on
+//! the viewpoint. Viewport-driven baselines (Flare, ClusTile) stream this
+//! window at high quality; Pano's QoE accounting needs to know which tiles
+//! fall inside it and how far each tile centre is from the viewpoint.
+
+use crate::angle::Degrees;
+use crate::grid::{CellIdx, GridDims};
+use crate::projection::Equirect;
+use crate::viewpoint::Viewpoint;
+use serde::{Deserialize, Serialize};
+
+/// A field-of-view window centred on a viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Viewport {
+    /// The centre of the window: where the user is looking.
+    pub center: Viewpoint,
+    /// Horizontal field of view.
+    pub h_fov: Degrees,
+    /// Vertical field of view.
+    pub v_fov: Degrees,
+}
+
+impl Viewport {
+    /// Default HMD field of view used in the paper: ~110° wide (Oculus-class
+    /// headset), 90° tall.
+    pub fn hmd(center: Viewpoint) -> Self {
+        Viewport {
+            center,
+            h_fov: Degrees(110.0),
+            v_fov: Degrees(90.0),
+        }
+    }
+
+    /// A laptop-screen-sized window (~48° wide, §1 of the paper) used for
+    /// the bandwidth comparison against non-360° video.
+    pub fn laptop_screen(center: Viewpoint) -> Self {
+        Viewport {
+            center,
+            h_fov: Degrees(48.0),
+            v_fov: Degrees(27.0),
+        }
+    }
+
+    /// Creates a viewport with explicit field of view.
+    pub fn new(center: Viewpoint, h_fov: Degrees, v_fov: Degrees) -> Self {
+        assert!(
+            h_fov.value() > 0.0 && v_fov.value() > 0.0,
+            "field of view must be positive"
+        );
+        assert!(
+            h_fov.value() <= 360.0 && v_fov.value() <= 180.0,
+            "field of view cannot exceed the sphere"
+        );
+        Viewport {
+            center,
+            h_fov,
+            v_fov,
+        }
+    }
+
+    /// Whether a sphere direction falls inside the window.
+    ///
+    /// The point is rotated into the viewer's camera frame (yaw about the
+    /// vertical axis, then pitch about the lateral axis); it is inside if
+    /// its azimuth is within ±h_fov/2 and its elevation within ±v_fov/2.
+    pub fn contains(&self, p: &Viewpoint) -> bool {
+        let v = p.to_unit_vector();
+        // Rotate by -yaw about z.
+        let cy = self.center.yaw().cos();
+        let sy = self.center.yaw().sin();
+        let x1 = cy * v[0] + sy * v[1];
+        let y1 = -sy * v[0] + cy * v[1];
+        let z1 = v[2];
+        // Rotate by -pitch about y (pitch tilts the camera upward).
+        let cp = self.center.pitch().cos();
+        let sp = self.center.pitch().sin();
+        let x2 = cp * x1 + sp * z1;
+        let z2 = -sp * x1 + cp * z1;
+        if x2 <= 0.0 {
+            return false; // behind the camera
+        }
+        let azimuth = y1.atan2(x2).to_degrees().abs();
+        let elevation = z2.clamp(-1.0, 1.0).asin().to_degrees().abs();
+        azimuth <= self.h_fov.value() / 2.0 && elevation <= self.v_fov.value() / 2.0
+    }
+
+    /// Angular distance from the viewport centre to a sphere point.
+    pub fn distance_to(&self, p: &Viewpoint) -> Degrees {
+        self.center.great_circle_distance(p)
+    }
+
+    /// All grid cells whose centre lies inside the viewport.
+    pub fn covered_cells(&self, eq: &Equirect, dims: GridDims) -> Vec<CellIdx> {
+        dims.cells()
+            .filter(|&c| self.contains(&eq.cell_center(dims, c)))
+            .collect()
+    }
+
+    /// Fraction of a grid cell's corner+centre samples that fall inside the
+    /// viewport — a cheap coverage estimate in `[0, 1]` used for buffering
+    /// accounting ("is the actual viewport completely downloaded?").
+    pub fn cell_coverage(&self, eq: &Equirect, dims: GridDims, cell: CellIdx) -> f64 {
+        let (x0, y0, w, h) = eq.cell_pixel_rect(dims, cell);
+        let samples = [
+            (x0 as f64 + 0.5, y0 as f64 + 0.5),
+            (x0 as f64 + w as f64 - 0.5, y0 as f64 + 0.5),
+            (x0 as f64 + 0.5, y0 as f64 + h as f64 - 0.5),
+            (x0 as f64 + w as f64 - 0.5, y0 as f64 + h as f64 - 0.5),
+            (x0 as f64 + w as f64 / 2.0, y0 as f64 + h as f64 / 2.0),
+        ];
+        let inside = samples
+            .iter()
+            .filter(|&&(x, y)| self.contains(&eq.pixel_to_sphere(x, y)))
+            .count();
+        inside as f64 / samples.len() as f64
+    }
+
+    /// Approximate solid angle of the viewport in square degrees
+    /// (`h_fov × v_fov`, the small-angle planar approximation the paper's
+    /// bandwidth arithmetic uses).
+    pub fn solid_angle_sq_deg(&self) -> f64 {
+        self.h_fov.value() * self.v_fov.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn center_is_always_inside() {
+        let vp = Viewport::hmd(Viewpoint::new(Degrees(30.0), Degrees(10.0)));
+        assert!(vp.contains(&vp.center));
+    }
+
+    #[test]
+    fn horizontal_edges() {
+        let vp = Viewport::hmd(Viewpoint::forward());
+        assert!(vp.contains(&Viewpoint::new(Degrees(54.0), Degrees(0.0))));
+        assert!(!vp.contains(&Viewpoint::new(Degrees(56.0), Degrees(0.0))));
+        assert!(vp.contains(&Viewpoint::new(Degrees(-54.0), Degrees(0.0))));
+        assert!(!vp.contains(&Viewpoint::new(Degrees(-56.0), Degrees(0.0))));
+    }
+
+    #[test]
+    fn vertical_edges() {
+        let vp = Viewport::hmd(Viewpoint::forward());
+        assert!(vp.contains(&Viewpoint::new(Degrees(0.0), Degrees(44.0))));
+        assert!(!vp.contains(&Viewpoint::new(Degrees(0.0), Degrees(46.0))));
+    }
+
+    #[test]
+    fn wraps_across_the_antimeridian() {
+        let vp = Viewport::hmd(Viewpoint::new(Degrees(175.0), Degrees(0.0)));
+        // -175 yaw is only 10 degrees away across the wrap.
+        assert!(vp.contains(&Viewpoint::new(Degrees(-175.0), Degrees(0.0))));
+        assert!(!vp.contains(&Viewpoint::new(Degrees(0.0), Degrees(0.0))));
+    }
+
+    #[test]
+    fn covered_cells_is_a_contiguous_band() {
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let cells = Viewport::hmd(Viewpoint::forward()).covered_cells(&eq, dims);
+        assert!(!cells.is_empty());
+        // An HMD viewport covers far fewer cells than the whole sphere.
+        assert!(cells.len() < dims.cell_count() / 2);
+        // All covered cell centres are within the FOV diagonal of the centre.
+        for c in &cells {
+            let d = Viewpoint::forward()
+                .great_circle_distance(&eq.cell_center(dims, *c))
+                .value();
+            assert!(d < 80.0, "cell {c} at {d} deg");
+        }
+    }
+
+    #[test]
+    fn coverage_full_inside_zero_far_away() {
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let vp = Viewport::hmd(Viewpoint::forward());
+        // The cell at the frame centre is fully covered.
+        let center_cell = eq.sphere_to_cell(dims, &Viewpoint::forward());
+        assert_eq!(vp.cell_coverage(&eq, dims, center_cell), 1.0);
+        // A cell on the far side of the sphere is not covered at all.
+        let far = eq.sphere_to_cell(dims, &Viewpoint::new(Degrees(180.0), Degrees(0.0)));
+        assert_eq!(vp.cell_coverage(&eq, dims, far), 0.0);
+    }
+
+    #[test]
+    fn laptop_screen_is_smaller_than_hmd() {
+        let hmd = Viewport::hmd(Viewpoint::forward());
+        let laptop = Viewport::laptop_screen(Viewpoint::forward());
+        assert!(laptop.solid_angle_sq_deg() < hmd.solid_angle_sq_deg() / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fov_panics() {
+        Viewport::new(Viewpoint::forward(), Degrees(0.0), Degrees(90.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contains_respects_distance_bound(
+            cyaw in -180.0f64..180.0, cpitch in -60.0f64..60.0,
+            pyaw in -180.0f64..180.0, ppitch in -90.0f64..=90.0,
+        ) {
+            let vp = Viewport::hmd(Viewpoint::new(Degrees(cyaw), Degrees(cpitch)));
+            let p = Viewpoint::new(Degrees(pyaw), Degrees(ppitch));
+            // Anything farther than the FOV diagonal cannot be contained.
+            let diag = ((110.0f64 / 2.0).powi(2) + (90.0f64 / 2.0).powi(2)).sqrt();
+            if vp.center.great_circle_distance(&p).value() > diag + 1.0 {
+                prop_assert!(!vp.contains(&p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod coverage_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_coverage_bounded_and_consistent(
+            cyaw in -180.0f64..180.0,
+            cpitch in -60.0f64..60.0,
+            row in 0u16..12,
+            col in 0u16..24,
+        ) {
+            let eq = Equirect::PAPER_FULL;
+            let dims = GridDims::PANO_UNIT;
+            let vp = Viewport::hmd(Viewpoint::new(Degrees(cyaw), Degrees(cpitch)));
+            let cell = CellIdx::new(row, col);
+            let cov = vp.cell_coverage(&eq, dims, cell);
+            prop_assert!((0.0..=1.0).contains(&cov));
+            // The centre sample is one of the five coverage probes: if the
+            // centre is inside, coverage must be at least 1/5.
+            if vp.contains(&eq.cell_center(dims, cell)) {
+                prop_assert!(cov >= 0.2 - 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_covered_cells_subset_of_positive_coverage(
+            cyaw in -180.0f64..180.0,
+            cpitch in -45.0f64..45.0,
+        ) {
+            let eq = Equirect::PAPER_FULL;
+            let dims = GridDims::PANO_UNIT;
+            let vp = Viewport::hmd(Viewpoint::new(Degrees(cyaw), Degrees(cpitch)));
+            for cell in vp.covered_cells(&eq, dims) {
+                prop_assert!(vp.cell_coverage(&eq, dims, cell) > 0.0);
+            }
+        }
+    }
+}

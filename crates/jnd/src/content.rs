@@ -1,0 +1,168 @@
+//! Content-dependent JND: `C(i,j)` in the paper's Eq. 4.
+//!
+//! The paper computes the content term with the classic formulation from
+//! the JND literature (Chou & Li '95, Chen & Guillemot '09): a viewer's
+//! sensitivity to a pixel-level distortion depends on (a) the background
+//! luminance — distortion hides in very dark and very bright regions — and
+//! (b) spatial texture masking — distortion hides in busy regions. Both
+//! effects are independent of viewpoint movement, which is exactly why the
+//! paper can pre-compute `C` on the server.
+
+use pano_video::CellFeatures;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the content-dependent JND model.
+///
+/// `C(luma, texture) = base(luma) + masking(texture)` where `base` is the
+/// U-shaped luminance-adaptation curve and `masking` grows linearly with
+/// texture activity. Grey levels throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentJnd {
+    /// JND at grey level 0 (dark end of the U-curve).
+    pub dark_jnd: f64,
+    /// Minimum JND, reached at `mid_luma`.
+    pub min_jnd: f64,
+    /// Grey level where sensitivity peaks (JND minimal), ~127.
+    pub mid_luma: f64,
+    /// JND at grey level 255 (bright end).
+    pub bright_jnd: f64,
+    /// Texture masking slope: extra JND per unit of gradient energy.
+    pub texture_slope: f64,
+    /// Cap on the texture masking contribution.
+    pub texture_cap: f64,
+}
+
+impl Default for ContentJnd {
+    fn default() -> Self {
+        // Calibrated to the Chou–Li luminance-adaptation shape: JND ≈ 17 at
+        // black, ≈ 3 in the mid-greys, rising to ≈ 11 at white; texture
+        // masking adds up to ~12 grey levels in the busiest blocks.
+        ContentJnd {
+            dark_jnd: 17.0,
+            min_jnd: 3.0,
+            mid_luma: 127.0,
+            bright_jnd: 11.0,
+            texture_slope: 0.35,
+            texture_cap: 12.0,
+        }
+    }
+}
+
+impl ContentJnd {
+    /// Luminance-adaptation component of the JND at background grey level
+    /// `luma` — the non-monotonic U-curve: high in the dark, minimal in the
+    /// mid-greys, rising again toward white.
+    pub fn luminance_base(&self, luma: f64) -> f64 {
+        let l = luma.clamp(0.0, 255.0);
+        if l <= self.mid_luma {
+            // Square-root fall from dark_jnd to min_jnd, the Chou–Li shape.
+            let f = 1.0 - (l / self.mid_luma).sqrt();
+            self.min_jnd + (self.dark_jnd - self.min_jnd) * f
+        } else {
+            // Linear rise toward the bright end.
+            let f = (l - self.mid_luma) / (255.0 - self.mid_luma);
+            self.min_jnd + (self.bright_jnd - self.min_jnd) * f
+        }
+    }
+
+    /// Texture-masking component for a region with the given gradient
+    /// energy / texture amplitude.
+    pub fn texture_masking(&self, texture: f64) -> f64 {
+        (self.texture_slope * texture.max(0.0)).min(self.texture_cap)
+    }
+
+    /// Full content-dependent JND of a region.
+    pub fn jnd(&self, luma: f64, texture: f64) -> f64 {
+        self.luminance_base(luma) + self.texture_masking(texture)
+    }
+
+    /// Content JND of a cell from its extracted features.
+    pub fn jnd_for_cell(&self, cell: &CellFeatures) -> f64 {
+        self.jnd(cell.luminance, cell.texture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u_shape_of_luminance_adaptation() {
+        let c = ContentJnd::default();
+        let dark = c.luminance_base(0.0);
+        let mid = c.luminance_base(127.0);
+        let bright = c.luminance_base(255.0);
+        assert!(dark > mid, "dark {dark} vs mid {mid}");
+        assert!(bright > mid, "bright {bright} vs mid {mid}");
+        assert_eq!(dark, 17.0);
+        assert_eq!(bright, 11.0);
+        assert!((mid - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_on_each_side_of_the_minimum() {
+        let c = ContentJnd::default();
+        let mut prev = c.luminance_base(0.0);
+        for l in 1..=127 {
+            let v = c.luminance_base(l as f64);
+            assert!(v <= prev + 1e-12, "not decreasing at {l}");
+            prev = v;
+        }
+        let mut prev = c.luminance_base(127.0);
+        for l in 128..=255 {
+            let v = c.luminance_base(l as f64);
+            assert!(v >= prev - 1e-12, "not increasing at {l}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn texture_masking_grows_then_caps() {
+        let c = ContentJnd::default();
+        assert_eq!(c.texture_masking(0.0), 0.0);
+        assert!(c.texture_masking(10.0) > c.texture_masking(5.0));
+        assert_eq!(c.texture_masking(1000.0), c.texture_cap);
+        // Negative texture (shouldn't happen, but) clamps to zero.
+        assert_eq!(c.texture_masking(-5.0), 0.0);
+    }
+
+    #[test]
+    fn busy_dark_region_has_highest_jnd() {
+        let c = ContentJnd::default();
+        let flat_mid = c.jnd(127.0, 0.0);
+        let busy_dark = c.jnd(10.0, 40.0);
+        assert!(busy_dark > 3.0 * flat_mid);
+    }
+
+    #[test]
+    fn jnd_for_cell_uses_features() {
+        let c = ContentJnd::default();
+        let cell = CellFeatures {
+            luminance: 127.0,
+            texture: 20.0,
+            dof_dioptre: 0.0,
+            content_speed: 0.0,
+            object_id: None,
+        };
+        assert!((c.jnd_for_cell(&cell) - (3.0 + 7.0)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jnd_positive_and_bounded(luma in 0.0f64..=255.0, tex in 0.0f64..100.0) {
+            let c = ContentJnd::default();
+            let j = c.jnd(luma, tex);
+            prop_assert!(j >= c.min_jnd);
+            prop_assert!(j <= c.dark_jnd + c.texture_cap);
+        }
+
+        #[test]
+        fn prop_out_of_range_luma_clamps(luma in -500.0f64..500.0) {
+            let c = ContentJnd::default();
+            let j = c.luminance_base(luma);
+            prop_assert!(j.is_finite());
+            prop_assert!(j >= c.min_jnd && j <= c.dark_jnd);
+        }
+    }
+}

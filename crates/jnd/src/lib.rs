@@ -1,0 +1,41 @@
+//! # pano-jnd — the Pano 360° perceptual quality model
+//!
+//! This crate implements the paper's first contribution (§4): a quality
+//! model for 360° video that extends Just-Noticeable-Difference (JND) based
+//! PSPNR with three viewpoint-driven factors.
+//!
+//! The model is a product decomposition (Eq. 4 of the paper):
+//!
+//! ```text
+//! 360JND(i,j) = C(i,j) · Fv(speed) · Fd(dof_diff) · Fl(lum_change)
+//!               └──────┘ └──────────────────────────────────────┘
+//!        content-dependent          action-dependent ratio A
+//! ```
+//!
+//! * [`content`] — the content-dependent JND `C(i,j)`: classic luminance
+//!   adaptation + texture masking (Chou & Li '95 style).
+//! * [`multipliers`] — the three action-dependent multipliers `Fv`, `Fl`,
+//!   `Fd`, anchored on the paper's §2.3 thresholds (10 deg/s, 200 grey
+//!   levels, 0.7 dioptres each yield a 1.5× JND).
+//! * [`pspnr`] — PSNR / PMSE / PSPNR, both exact (per-pixel, Eq. 1–3)
+//!   and closed-form per tile from the codec's error quantiles.
+//! * [`mos`] — the Table 3 PSPNR ↔ MOS map and a simulated rater.
+//! * [`panel`] — a simulated 20-observer panel run through Appendix A's
+//!   staircase protocol, used to *re-measure* the multipliers the way the
+//!   paper's user study did.
+//! * [`predictor`] — linear MOS predictors on top of quality metrics,
+//!   used by the Fig. 8 metric-accuracy comparison.
+
+pub mod content;
+pub mod mos;
+pub mod multipliers;
+pub mod panel;
+pub mod predictor;
+pub mod pspnr;
+
+pub use content::ContentJnd;
+pub use mos::{mos_from_pspnr, mos_to_scale, Rater};
+pub use multipliers::{eccentricity_multiplier, ActionState, Multipliers, FOVEA_DEG};
+pub use panel::{fit_multiplier, FittedCurve, Observer, Panel, StaircaseOutcome};
+pub use predictor::{LinearPredictor, MetricKind};
+pub use pspnr::{psnr_planes, pspnr_planes, PspnrComputer, TileQuality, PSPNR_CAP_DB};

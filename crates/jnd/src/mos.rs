@@ -1,0 +1,176 @@
+//! PSPNR ↔ MOS mapping and a simulated rater.
+//!
+//! The paper's Table 3 maps 360JND-based PSPNR bands to mean-opinion-score
+//! values on the standard 1–5 scale, and §8.2 uses that map to translate
+//! trace-driven PSPNR results into user ratings. [`mos_from_pspnr`] is the
+//! table; [`mos_to_scale`] is a continuous (piecewise-linear) version used
+//! where a differentiable score is more convenient; [`Rater`] adds per-user
+//! bias and quantisation noise so survey-style experiments (Fig. 8,
+//! Fig. 13) can simulate a rating panel.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Table 3 of the paper: discrete MOS from PSPNR bands.
+///
+/// | PSPNR (dB) | ≤45 | 46–53 | 54–61 | 62–69 | ≥70 |
+/// |------------|-----|-------|-------|-------|-----|
+/// | MOS        | 1   | 2     | 3     | 4     | 5   |
+pub fn mos_from_pspnr(pspnr_db: f64) -> u8 {
+    if pspnr_db < 46.0 {
+        1
+    } else if pspnr_db < 54.0 {
+        2
+    } else if pspnr_db < 62.0 {
+        3
+    } else if pspnr_db < 70.0 {
+        4
+    } else {
+        5
+    }
+}
+
+/// Continuous MOS on `[1, 5]`: piecewise-linear through the band centres
+/// of Table 3 (41.5 → 1, 49.5 → 2, 57.5 → 3, 65.5 → 4, 73.5 → 5), clamped.
+pub fn mos_to_scale(pspnr_db: f64) -> f64 {
+    const LO: f64 = 41.5;
+    const STEP: f64 = 8.0;
+    (1.0 + (pspnr_db - LO) / STEP).clamp(1.0, 5.0)
+}
+
+/// A simulated survey participant: rates a video from its "true" continuous
+/// MOS with a personal bias and quantisation to the 1–5 scale.
+#[derive(Debug, Clone)]
+pub struct Rater {
+    /// Persistent per-rater offset on the continuous scale.
+    pub bias: f64,
+    /// Std-dev of the per-rating noise.
+    pub noise_sd: f64,
+    rng: StdRng,
+}
+
+impl Rater {
+    /// Creates rater `rater_id` of a panel seeded with `seed`. Biases are
+    /// deterministic per `(seed, rater_id)` and spread in ±0.5.
+    pub fn new(seed: u64, rater_id: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((rater_id as u64) << 24) ^ 0x5EED);
+        let bias = rng.gen_range(-0.5..0.5);
+        Rater {
+            bias,
+            noise_sd: 0.35,
+            rng,
+        }
+    }
+
+    /// Rates a stimulus with the given true continuous MOS, returning a
+    /// 1–5 integer score.
+    pub fn rate(&mut self, true_mos: f64) -> u8 {
+        // Box–Muller standard normal from two uniforms.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let noisy = true_mos + self.bias + z * self.noise_sd;
+        noisy.round().clamp(1.0, 5.0) as u8
+    }
+
+    /// Rates a stimulus given its PSPNR, going through the Table 3 scale.
+    pub fn rate_pspnr(&mut self, pspnr_db: f64) -> u8 {
+        let m = mos_to_scale(pspnr_db);
+        self.rate(m)
+    }
+}
+
+/// Mean opinion score of a set of ratings.
+pub fn mean_opinion(ratings: &[u8]) -> f64 {
+    if ratings.is_empty() {
+        return 0.0;
+    }
+    ratings.iter().map(|&r| r as f64).sum::<f64>() / ratings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table3_band_edges() {
+        assert_eq!(mos_from_pspnr(45.0), 1);
+        assert_eq!(mos_from_pspnr(45.9), 1);
+        assert_eq!(mos_from_pspnr(46.0), 2);
+        assert_eq!(mos_from_pspnr(53.9), 2);
+        assert_eq!(mos_from_pspnr(54.0), 3);
+        assert_eq!(mos_from_pspnr(61.9), 3);
+        assert_eq!(mos_from_pspnr(62.0), 4);
+        assert_eq!(mos_from_pspnr(69.9), 4);
+        assert_eq!(mos_from_pspnr(70.0), 5);
+        assert_eq!(mos_from_pspnr(100.0), 5);
+        assert_eq!(mos_from_pspnr(0.0), 1);
+    }
+
+    #[test]
+    fn continuous_scale_hits_band_centres() {
+        assert!((mos_to_scale(41.5) - 1.0).abs() < 1e-9);
+        assert!((mos_to_scale(57.5) - 3.0).abs() < 1e-9);
+        assert!((mos_to_scale(73.5) - 5.0).abs() < 1e-9);
+        assert_eq!(mos_to_scale(0.0), 1.0);
+        assert_eq!(mos_to_scale(200.0), 5.0);
+    }
+
+    #[test]
+    fn continuous_and_discrete_agree() {
+        for db in 30..95 {
+            let d = mos_from_pspnr(db as f64);
+            let c = mos_to_scale(db as f64);
+            assert!(
+                (c - d as f64).abs() <= 1.0,
+                "db={db} discrete={d} continuous={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn rater_is_deterministic_per_seed() {
+        let mut a = Rater::new(7, 3);
+        let mut b = Rater::new(7, 3);
+        let ra: Vec<u8> = (0..10).map(|_| a.rate(3.0)).collect();
+        let rb: Vec<u8> = (0..10).map(|_| b.rate(3.0)).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn rater_tracks_true_mos_on_average() {
+        let mut panel: Vec<Rater> = (0..40).map(|i| Rater::new(11, i)).collect();
+        for target in [1.5f64, 3.0, 4.5] {
+            let ratings: Vec<u8> = panel.iter_mut().map(|r| r.rate(target)).collect();
+            let mean = mean_opinion(&ratings);
+            assert!(
+                (mean - target).abs() < 0.4,
+                "target {target} got mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_opinion_basics() {
+        assert_eq!(mean_opinion(&[]), 0.0);
+        assert_eq!(mean_opinion(&[3]), 3.0);
+        assert_eq!(mean_opinion(&[1, 5]), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ratings_in_range(seed in 0u64..100, mos in -2.0f64..8.0) {
+            let mut r = Rater::new(seed, 0);
+            let score = r.rate(mos);
+            prop_assert!((1..=5).contains(&score));
+        }
+
+        #[test]
+        fn prop_scale_monotone(a in 0.0f64..120.0, b in 0.0f64..120.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(mos_to_scale(lo) <= mos_to_scale(hi));
+            prop_assert!(mos_from_pspnr(lo) <= mos_from_pspnr(hi));
+        }
+    }
+}

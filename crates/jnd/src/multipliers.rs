@@ -1,0 +1,250 @@
+//! The three action-dependent JND multipliers: `Fv`, `Fl`, `Fd`.
+//!
+//! Each multiplier is the ratio between the JND under a non-zero value of
+//! one viewpoint-driven factor and the JND at rest (paper §4.2). They are
+//! monotone non-decreasing, equal to 1 at zero, and — per the paper's key
+//! empirical finding — mutually independent, so the combined
+//! *action-dependent ratio* is their product.
+//!
+//! **Calibration.** The paper publishes the multipliers as measured curves
+//! (Fig. 6), not equations. We use saturating power laws anchored on the
+//! quantitative statements in §2.3: a viewpoint speed of 10 deg/s, a 5-s
+//! luminance change of 200 grey levels, and a DoF difference of 0.7
+//! dioptres each let users "tolerate 50 % more quality distortion", i.e.
+//! each anchor maps to a multiplier of 1.5. Curvature and saturation are
+//! chosen to match the Fig. 6 shapes (speed saturating by ~20 deg/s, DoF
+//! rising steeply past 1 dioptre). The simulated observer panel in
+//! [`crate::panel`] *re-measures* these laws through the Appendix A
+//! protocol, closing the loop the way the paper's user study did.
+
+use serde::{Deserialize, Serialize};
+
+/// The viewpoint-action state that drives the JND multipliers for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActionState {
+    /// Relative viewpoint-moving speed for the region, deg/s: the speed of
+    /// the region's content relative to the moving viewpoint.
+    pub rel_speed_deg_s: f64,
+    /// Magnitude of the viewport luminance change over the last 5 s, grey
+    /// levels.
+    pub lum_change: f64,
+    /// Absolute DoF difference between the region and the
+    /// viewpoint-focused content, dioptres.
+    pub dof_diff: f64,
+}
+
+impl ActionState {
+    /// The at-rest state: all three factors zero, multiplier 1.
+    pub const REST: ActionState = ActionState {
+        rel_speed_deg_s: 0.0,
+        lum_change: 0.0,
+        dof_diff: 0.0,
+    };
+}
+
+/// Parametric multiplier curves. Each is
+/// `F(x) = min(1 + gain · (x / anchor)^exponent, cap)` with `gain = 0.5`
+/// fixed by the §2.3 anchors (`F(anchor) = 1.5`).
+///
+/// ```
+/// use pano_jnd::{ActionState, Multipliers};
+///
+/// let m = Multipliers::default();
+/// // The paper's anchors: each factor at its threshold gives a 1.5x JND.
+/// assert!((m.f_speed(10.0) - 1.5).abs() < 1e-9);
+/// // Factors combine multiplicatively (Eq. 4's action-dependent ratio).
+/// let a = ActionState { rel_speed_deg_s: 10.0, lum_change: 200.0, dof_diff: 0.0 };
+/// assert!((m.action_ratio(&a) - 2.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Multipliers {
+    /// Speed anchor: deg/s at which Fv = 1.5. Paper: 10 deg/s.
+    pub speed_anchor: f64,
+    /// Speed curve exponent.
+    pub speed_exp: f64,
+    /// Cap on Fv (saturation of the speed effect).
+    pub speed_cap: f64,
+    /// Luminance-change anchor: grey levels at which Fl = 1.5. Paper: 200.
+    pub lum_anchor: f64,
+    /// Luminance curve exponent.
+    pub lum_exp: f64,
+    /// Cap on Fl.
+    pub lum_cap: f64,
+    /// DoF-difference anchor: dioptres at which Fd = 1.5. Paper: 0.7.
+    pub dof_anchor: f64,
+    /// DoF curve exponent.
+    pub dof_exp: f64,
+    /// Cap on Fd.
+    pub dof_cap: f64,
+}
+
+impl Default for Multipliers {
+    fn default() -> Self {
+        Multipliers {
+            speed_anchor: 10.0,
+            speed_exp: 1.3,
+            speed_cap: 4.0,
+            lum_anchor: 200.0,
+            lum_exp: 1.1,
+            lum_cap: 3.0,
+            dof_anchor: 0.7,
+            dof_exp: 1.2,
+            dof_cap: 5.0,
+        }
+    }
+}
+
+/// Angular radius of the fovea-like high-sensitivity zone, degrees.
+pub const FOVEA_DEG: f64 = 5.0;
+
+/// Eccentricity (distance-to-viewpoint) JND multiplier — the classic
+/// foveated-JND factor (§4.2 lists "distance-to-viewpoint" among the
+/// traditional factors whose impact on JND is independent of the three
+/// 360°-specific factors). Sensitivity is flat within the foveal zone and
+/// falls with eccentricity beyond it, saturating far outside the viewport.
+pub fn eccentricity_multiplier(dist_deg: f64) -> f64 {
+    let d = (dist_deg - FOVEA_DEG).max(0.0);
+    // Calibrated to the steep peripheral acuity fall-off (cortical
+    // magnification): ~×3 at 20° eccentricity, ~×7 at 40°, saturating at
+    // ×12 in the far periphery.
+    (1.0 + 0.08 * d.powf(1.2)).min(12.0)
+}
+
+fn curve(x: f64, anchor: f64, exp: f64, cap: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 + 0.5 * (x / anchor).powf(exp)).min(cap)
+}
+
+impl Multipliers {
+    /// Viewpoint-speed multiplier `Fv(x)`, `x` in deg/s.
+    pub fn f_speed(&self, x: f64) -> f64 {
+        curve(x, self.speed_anchor, self.speed_exp, self.speed_cap)
+    }
+
+    /// Luminance-change multiplier `Fl(x)`, `x` in grey levels over 5 s.
+    pub fn f_lum(&self, x: f64) -> f64 {
+        curve(x, self.lum_anchor, self.lum_exp, self.lum_cap)
+    }
+
+    /// DoF-difference multiplier `Fd(x)`, `x` in dioptres.
+    pub fn f_dof(&self, x: f64) -> f64 {
+        curve(x, self.dof_anchor, self.dof_exp, self.dof_cap)
+    }
+
+    /// The action-dependent ratio `A(x1, x2, x3) = Fv·Fd·Fl` (paper Eq. 4):
+    /// the factor by which the content JND is scaled under `state`.
+    pub fn action_ratio(&self, state: &ActionState) -> f64 {
+        self.f_speed(state.rel_speed_deg_s)
+            * self.f_dof(state.dof_diff)
+            * self.f_lum(state.lum_change)
+    }
+
+    /// Maximum possible action ratio (all curves at their caps).
+    pub fn max_ratio(&self) -> f64 {
+        self.speed_cap * self.lum_cap * self.dof_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_at_rest() {
+        let m = Multipliers::default();
+        assert_eq!(m.f_speed(0.0), 1.0);
+        assert_eq!(m.f_lum(0.0), 1.0);
+        assert_eq!(m.f_dof(0.0), 1.0);
+        assert_eq!(m.action_ratio(&ActionState::REST), 1.0);
+    }
+
+    #[test]
+    fn paper_anchors_give_1_5() {
+        let m = Multipliers::default();
+        assert!((m.f_speed(10.0) - 1.5).abs() < 1e-9);
+        assert!((m.f_lum(200.0) - 1.5).abs() < 1e-9);
+        assert!((m.f_dof(0.7) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_non_decreasing() {
+        let m = Multipliers::default();
+        for i in 1..200 {
+            let x = i as f64;
+            assert!(m.f_speed(x) >= m.f_speed(x - 1.0));
+            assert!(m.f_lum(x * 2.0) >= m.f_lum((x - 1.0) * 2.0));
+            assert!(m.f_dof(x / 50.0) >= m.f_dof((x - 1.0) / 50.0));
+        }
+    }
+
+    #[test]
+    fn curves_saturate_at_caps() {
+        let m = Multipliers::default();
+        assert_eq!(m.f_speed(1e6), 4.0);
+        assert_eq!(m.f_lum(1e6), 3.0);
+        assert_eq!(m.f_dof(1e6), 5.0);
+        assert_eq!(m.max_ratio(), 60.0);
+    }
+
+    #[test]
+    fn action_ratio_is_the_product() {
+        let m = Multipliers::default();
+        let s = ActionState {
+            rel_speed_deg_s: 10.0,
+            lum_change: 200.0,
+            dof_diff: 0.7,
+        };
+        assert!((m.action_ratio(&s) - 1.5f64.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_inputs_treated_as_rest() {
+        let m = Multipliers::default();
+        assert_eq!(m.f_speed(-5.0), 1.0);
+        assert_eq!(m.f_lum(-5.0), 1.0);
+        assert_eq!(m.f_dof(-5.0), 1.0);
+    }
+
+    #[test]
+    fn eccentricity_is_foveated() {
+        // Flat within the fovea.
+        assert_eq!(eccentricity_multiplier(0.0), 1.0);
+        assert_eq!(eccentricity_multiplier(5.0), 1.0);
+        // Rising beyond it.
+        assert!(eccentricity_multiplier(20.0) > 1.4);
+        assert!(eccentricity_multiplier(55.0) > eccentricity_multiplier(20.0));
+        // Saturating far outside the viewport.
+        assert_eq!(eccentricity_multiplier(180.0), 12.0);
+        // Monotone.
+        for d in 0..179 {
+            assert!(
+                eccentricity_multiplier(d as f64 + 1.0) >= eccentricity_multiplier(d as f64)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ratio_bounds(speed in 0.0f64..200.0, lum in 0.0f64..255.0, dof in 0.0f64..3.0) {
+            let m = Multipliers::default();
+            let s = ActionState { rel_speed_deg_s: speed, lum_change: lum, dof_diff: dof };
+            let r = m.action_ratio(&s);
+            prop_assert!(r >= 1.0);
+            prop_assert!(r <= m.max_ratio());
+        }
+
+        #[test]
+        fn prop_independence_factorisation(speed in 0.0f64..50.0, dof in 0.0f64..2.0) {
+            // The joint ratio with luminance at rest equals the product of
+            // the individual ratios — the Fig. 7 independence structure.
+            let m = Multipliers::default();
+            let joint = m.action_ratio(&ActionState {
+                rel_speed_deg_s: speed, lum_change: 0.0, dof_diff: dof,
+            });
+            prop_assert!((joint - m.f_speed(speed) * m.f_dof(dof)).abs() < 1e-12);
+        }
+    }
+}

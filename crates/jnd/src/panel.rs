@@ -1,0 +1,464 @@
+//! Simulated observer panel: the Appendix A user study, in silico.
+//!
+//! The paper measured its JND multipliers with a 20-participant study:
+//! each participant watched a synthetic 360° stimulus — a 64×64-pixel
+//! grey-level-50 square over a controlled background — while one factor
+//! (relative viewpoint speed, 5-s luminance change, or DoF difference)
+//! was held at a chosen value. A distortion of magnitude Δ was added to a
+//! random 50 % of the square's pixels and increased from 1 upward until
+//! the participant reported seeing it; that first-noticed Δ is the
+//! participant's JND for the condition, and the panel JND is the mean
+//! across participants.
+//!
+//! Our substitute gives each [`Observer`] a ground-truth perception law —
+//! the content JND of the stimulus scaled by the same parametric
+//! multipliers, times a per-observer sensitivity factor — plus trial noise
+//! and a report latency of a few staircase steps. Running the staircase
+//! against these observers reproduces the measurement pipeline, so the
+//! Fig. 6 / Fig. 7 experiments are *measurements* (with observer noise)
+//! rather than echoes of the model constants.
+
+use crate::content::ContentJnd;
+use crate::multipliers::{ActionState, Multipliers};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Grey level of the Appendix A foreground square.
+pub const STIMULUS_LUMA: f64 = 50.0;
+/// Maximum distortion magnitude probed by the staircase (Appendix A).
+pub const STAIRCASE_MAX_DELTA: u32 = 205;
+
+/// A single simulated participant.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    /// Multiplicative sensitivity: 1.0 is the population mean; higher
+    /// means less sensitive (higher personal JND).
+    pub sensitivity_factor: f64,
+    /// Std-dev of multiplicative per-trial noise.
+    pub trial_noise_sd: f64,
+    /// Mean number of extra staircase steps before the observer reports
+    /// (reaction lag; the paper notes reports within ~3 s).
+    pub report_lag_steps: f64,
+    rng: StdRng,
+}
+
+impl Observer {
+    /// Creates observer `id` from panel seed `seed`. Sensitivity factors
+    /// are log-spread around 1 (σ ≈ 0.18), matching the across-subject
+    /// spread typical of JND studies.
+    pub fn new(seed: u64, id: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((id as u64) << 17) ^ 0x0B5E);
+        // Log-normal-ish via exp of a uniform-sum approximation.
+        let z: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * 0.9;
+        Observer {
+            sensitivity_factor: (0.18 * z).exp(),
+            trial_noise_sd: 0.08,
+            report_lag_steps: 1.5,
+            rng,
+        }
+    }
+
+    /// The observer's ground-truth JND for the stimulus under `action`:
+    /// content JND of the grey-50 flat square, times the action ratio,
+    /// times the personal sensitivity factor.
+    pub fn true_jnd(
+        &self,
+        content: &ContentJnd,
+        multipliers: &Multipliers,
+        action: &ActionState,
+    ) -> f64 {
+        content.jnd(STIMULUS_LUMA, 0.0) * multipliers.action_ratio(action) * self.sensitivity_factor
+    }
+
+    /// Runs one Appendix-A staircase trial: Δ increases from 1 until the
+    /// observer notices. Returns the first-noticed Δ, or
+    /// [`STAIRCASE_MAX_DELTA`] if nothing was ever noticed.
+    pub fn staircase_trial(
+        &mut self,
+        content: &ContentJnd,
+        multipliers: &Multipliers,
+        action: &ActionState,
+    ) -> u32 {
+        let base = self.true_jnd(content, multipliers, action);
+        // Per-trial threshold wobble.
+        let noise: f64 = 1.0 + self.rng.gen_range(-1.0..1.0) * self.trial_noise_sd;
+        let threshold = base * noise;
+        // Reaction lag: a few extra steps after the threshold is crossed.
+        let lag = self.rng.gen_range(0.0..(2.0 * self.report_lag_steps));
+        let reported = threshold + lag;
+        (reported.ceil() as u32).clamp(1, STAIRCASE_MAX_DELTA)
+    }
+}
+
+/// Outcome of a panel condition: the measured JND for one action state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaircaseOutcome {
+    /// The action state tested.
+    pub action: ActionState,
+    /// Mean first-noticed Δ across the panel — the measured JND.
+    pub mean_jnd: f64,
+    /// Standard deviation across participants.
+    pub sd: f64,
+}
+
+/// A panel of simulated observers plus the ground-truth perception laws.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    observers: Vec<Observer>,
+    content: ContentJnd,
+    multipliers: Multipliers,
+}
+
+impl Panel {
+    /// The paper's panel size.
+    pub const PAPER_SIZE: usize = 20;
+
+    /// Creates a panel of `n` observers with the default perception laws.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Panel {
+            observers: (0..n as u32).map(|i| Observer::new(seed, i)).collect(),
+            content: ContentJnd::default(),
+            multipliers: Multipliers::default(),
+        }
+    }
+
+    /// Number of observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// The ground-truth multiplier laws the observers embody.
+    pub fn multipliers(&self) -> &Multipliers {
+        &self.multipliers
+    }
+
+    /// The content-JND law the observers embody.
+    pub fn content(&self) -> &ContentJnd {
+        &self.content
+    }
+
+    /// Measures the panel JND for one action state (one Appendix-A test
+    /// video).
+    pub fn measure(&mut self, action: &ActionState) -> StaircaseOutcome {
+        assert!(!self.observers.is_empty(), "panel must not be empty");
+        let (content, multipliers) = (self.content, self.multipliers);
+        let deltas: Vec<f64> = self
+            .observers
+            .iter_mut()
+            .map(|o| o.staircase_trial(&content, &multipliers, action) as f64)
+            .collect();
+        let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        let var =
+            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
+        StaircaseOutcome {
+            action: *action,
+            mean_jnd: mean,
+            sd: var.sqrt(),
+        }
+    }
+
+    /// Sweeps one factor while holding the others at zero — the Fig. 6
+    /// experiment. `values` are the factor levels; `make_action` places
+    /// each level into an [`ActionState`].
+    pub fn sweep<F>(&mut self, values: &[f64], make_action: F) -> Vec<StaircaseOutcome>
+    where
+        F: Fn(f64) -> ActionState,
+    {
+        values.iter().map(|&v| self.measure(&make_action(v))).collect()
+    }
+
+    /// Measures the empirical multiplier curve for a factor: JND at each
+    /// value divided by JND at the factor's zero (both measured). This is
+    /// how the paper derives `Fv`, `Fl`, `Fd` from the study data.
+    pub fn empirical_multiplier<F>(&mut self, values: &[f64], make_action: F) -> Vec<(f64, f64)>
+    where
+        F: Fn(f64) -> ActionState,
+    {
+        let base = self.measure(&make_action(0.0)).mean_jnd;
+        values
+            .iter()
+            .map(|&v| (v, self.measure(&make_action(v)).mean_jnd / base))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed_action(v: f64) -> ActionState {
+        ActionState {
+            rel_speed_deg_s: v,
+            ..ActionState::REST
+        }
+    }
+
+    #[test]
+    fn panel_has_paper_size() {
+        let p = Panel::new(Panel::PAPER_SIZE, 1);
+        assert_eq!(p.len(), 20);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn observer_sensitivities_spread_around_one() {
+        let p = Panel::new(200, 3);
+        let mean: f64 = p
+            .observers
+            .iter()
+            .map(|o| o.sensitivity_factor)
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean sensitivity {mean}");
+        for o in &p.observers {
+            assert!(o.sensitivity_factor > 0.5 && o.sensitivity_factor < 2.0);
+        }
+    }
+
+    #[test]
+    fn staircase_reports_near_true_jnd() {
+        let mut p = Panel::new(50, 9);
+        let rest = p.measure(&ActionState::REST);
+        // True rest JND of the grey-50 stimulus under the default law.
+        let truth = ContentJnd::default().jnd(STIMULUS_LUMA, 0.0);
+        assert!(
+            (rest.mean_jnd - truth).abs() < truth * 0.4 + 2.0,
+            "measured {} vs truth {truth}",
+            rest.mean_jnd
+        );
+        assert!(rest.sd > 0.0, "observers should disagree a little");
+    }
+
+    #[test]
+    fn measured_jnd_rises_with_speed() {
+        let mut p = Panel::new(Panel::PAPER_SIZE, 5);
+        let outcomes = p.sweep(&[0.0, 5.0, 10.0, 20.0], speed_action);
+        for w in outcomes.windows(2) {
+            assert!(
+                w[1].mean_jnd >= w[0].mean_jnd - 1.0,
+                "JND should rise with speed: {:?}",
+                outcomes
+            );
+        }
+        // At 20 deg/s the JND is clearly above rest.
+        assert!(outcomes[3].mean_jnd > outcomes[0].mean_jnd * 1.5);
+    }
+
+    #[test]
+    fn empirical_multiplier_matches_ground_truth_law() {
+        let mut p = Panel::new(100, 13);
+        let truth = *p.multipliers();
+        let curve = p.empirical_multiplier(&[5.0, 10.0, 20.0], speed_action);
+        for (v, measured) in curve {
+            let expected = truth.f_speed(v);
+            assert!(
+                (measured - expected).abs() < 0.35,
+                "v={v}: measured {measured} vs law {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_factors_multiply() {
+        // The Fig. 7 check: measured JND under two non-zero factors is
+        // close to base JND times the product of the two multipliers.
+        let mut p = Panel::new(100, 21);
+        let truth = *p.multipliers();
+        let base = p.measure(&ActionState::REST).mean_jnd;
+        let joint = p
+            .measure(&ActionState {
+                rel_speed_deg_s: 10.0,
+                dof_diff: 1.0,
+                lum_change: 0.0,
+            })
+            .mean_jnd;
+        let expected = base * truth.f_speed(10.0) * truth.f_dof(1.0);
+        assert!(
+            (joint - expected).abs() / expected < 0.2,
+            "joint {joint} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn trials_clamp_to_staircase_range() {
+        let mut p = Panel::new(20, 31);
+        // An absurdly masked condition: multiplier caps push the threshold
+        // far above the staircase maximum.
+        let extreme = ActionState {
+            rel_speed_deg_s: 1e6,
+            lum_change: 1e6,
+            dof_diff: 1e6,
+        };
+        let o = p.measure(&extreme);
+        assert!(o.mean_jnd <= STAIRCASE_MAX_DELTA as f64);
+    }
+
+    #[test]
+    fn panel_is_deterministic() {
+        let mut a = Panel::new(20, 77);
+        let mut b = Panel::new(20, 77);
+        assert_eq!(
+            a.measure(&speed_action(10.0)),
+            b.measure(&speed_action(10.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "panel must not be empty")]
+    fn empty_panel_panics_on_measure() {
+        Panel::new(0, 0).measure(&ActionState::REST);
+    }
+}
+
+/// A power-law multiplier curve fitted from panel measurements:
+/// `F(x) = 1 + gain · (x / anchor)^exponent` — the parametric family the
+/// ground-truth laws use, recovered from staircase data. This closes the
+/// paper's Fig. 6 loop: run the study, fit the curve, and use the fit in
+/// the streaming system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedCurve {
+    /// Anchor the fit is expressed against (e.g. 10 deg/s).
+    pub anchor: f64,
+    /// Gain at the anchor (`F(anchor) = 1 + gain`).
+    pub gain: f64,
+    /// Curve exponent.
+    pub exponent: f64,
+    /// Root-mean-square residual of the fit on the multiplier scale.
+    pub rmse: f64,
+}
+
+impl FittedCurve {
+    /// Evaluates the fitted multiplier at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        1.0 + self.gain * (x / self.anchor).powf(self.exponent)
+    }
+}
+
+/// Fits a power-law multiplier curve to `(factor value, measured
+/// multiplier)` points by grid search over the exponent with a
+/// closed-form least-squares gain at each candidate.
+///
+/// Points at `x <= 0` (the rest condition) are ignored — the family is
+/// pinned to `F(0) = 1`. Panics if fewer than two positive-`x` points
+/// remain.
+pub fn fit_multiplier(points: &[(f64, f64)], anchor: f64) -> FittedCurve {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, _)| *x > 0.0)
+        .map(|&(x, m)| (x, m))
+        .collect();
+    assert!(
+        usable.len() >= 2,
+        "need at least two non-zero factor measurements"
+    );
+    let mut best = FittedCurve {
+        anchor,
+        gain: 0.5,
+        exponent: 1.0,
+        rmse: f64::INFINITY,
+    };
+    let mut e = 0.3f64;
+    while e <= 3.0 {
+        // Closed-form least squares for the gain at this exponent:
+        // minimise Σ (1 + g·b_i − m_i)² with b_i = (x_i/anchor)^e.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(x, m) in &usable {
+            let b = (x / anchor).powf(e);
+            num += b * (m - 1.0);
+            den += b * b;
+        }
+        if den > 1e-12 {
+            let g = num / den;
+            let rmse = (usable
+                .iter()
+                .map(|&(x, m)| {
+                    let f = 1.0 + g * (x / anchor).powf(e);
+                    (f - m) * (f - m)
+                })
+                .sum::<f64>()
+                / usable.len() as f64)
+                .sqrt();
+            if rmse < best.rmse {
+                best = FittedCurve {
+                    anchor,
+                    gain: g,
+                    exponent: e,
+                    rmse,
+                };
+            }
+        }
+        e += 0.02;
+    }
+    best
+}
+
+#[cfg(test)]
+mod fit_tests {
+    use super::*;
+    use crate::multipliers::Multipliers;
+
+    #[test]
+    fn recovers_a_known_power_law_exactly() {
+        // Synthesise points from the true speed law and recover it.
+        let truth = Multipliers::default();
+        let points: Vec<(f64, f64)> = [2.0, 5.0, 8.0, 12.0, 16.0]
+            .iter()
+            .map(|&x| (x, truth.f_speed(x)))
+            .collect();
+        let fit = fit_multiplier(&points, truth.speed_anchor);
+        assert!(fit.rmse < 0.01, "rmse {}", fit.rmse);
+        assert!((fit.gain - 0.5).abs() < 0.05, "gain {}", fit.gain);
+        assert!(
+            (fit.exponent - truth.speed_exp).abs() < 0.1,
+            "exponent {}",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    fn panel_measurements_round_trip_into_a_usable_fit() {
+        // Study → empirical multipliers → fit → the fitted curve must
+        // agree with the ground-truth law within panel noise.
+        let mut panel = Panel::new(60, 7);
+        let truth = *panel.multipliers();
+        let points = panel.empirical_multiplier(&[3.0, 6.0, 10.0, 15.0, 20.0], |v| {
+            ActionState {
+                rel_speed_deg_s: v,
+                ..ActionState::REST
+            }
+        });
+        let fit = fit_multiplier(&points, truth.speed_anchor);
+        for v in [5.0, 10.0, 18.0] {
+            let f = fit.eval(v);
+            let t = truth.f_speed(v);
+            assert!(
+                (f - t).abs() < 0.35,
+                "v={v}: fitted {f:.2} vs law {t:.2} (rmse {:.3})",
+                fit.rmse
+            );
+        }
+    }
+
+    #[test]
+    fn eval_is_identity_at_zero() {
+        let fit = fit_multiplier(&[(5.0, 1.3), (10.0, 1.6)], 10.0);
+        assert_eq!(fit.eval(0.0), 1.0);
+        assert_eq!(fit.eval(-3.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_points_panics() {
+        fit_multiplier(&[(0.0, 1.0), (5.0, 1.2)], 10.0);
+    }
+}

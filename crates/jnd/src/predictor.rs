@@ -1,0 +1,238 @@
+//! Linear MOS predictors on top of quality metrics (Fig. 8).
+//!
+//! The paper validates 360JND-based PSPNR by fitting a linear predictor
+//! from each candidate metric (360JND-PSPNR, traditional-JND PSPNR, plain
+//! PSNR) to the panel's mean opinion scores over a set of videos, then
+//! comparing the distributions of relative estimation error. This module
+//! provides the ordinary-least-squares fit and the error accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Which quality metric feeds the predictor — used for labelling results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// PSPNR computed with the full 360JND (content × action multipliers).
+    Pspnr360Jnd,
+    /// PSPNR with the traditional content-only JND (action ratio fixed at 1).
+    PspnrTraditionalJnd,
+    /// Plain PSNR (JND-agnostic).
+    Psnr,
+}
+
+impl MetricKind {
+    /// Human-readable label matching the paper's Fig. 8 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricKind::Pspnr360Jnd => "PSPNR w/ 360JND",
+            MetricKind::PspnrTraditionalJnd => "PSPNR w/ traditional JND",
+            MetricKind::Psnr => "PSNR",
+        }
+    }
+}
+
+/// A fitted one-variable linear predictor `mos ≈ slope · metric + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearPredictor {
+    /// Slope of the fit.
+    pub slope: f64,
+    /// Intercept of the fit.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearPredictor {
+    /// Ordinary least squares over `(metric, mos)` pairs.
+    ///
+    /// Panics on fewer than two points (no line is defined). A degenerate
+    /// x-variance (all metric values equal) yields a flat predictor at the
+    /// mean MOS with `r_squared = 0`.
+    pub fn fit(points: &[(f64, f64)]) -> LinearPredictor {
+        assert!(points.len() >= 2, "need at least two points to fit a line");
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+            syy += (y - mean_y) * (y - mean_y);
+        }
+        if sxx < 1e-12 {
+            return LinearPredictor {
+                slope: 0.0,
+                intercept: mean_y,
+                r_squared: 0.0,
+            };
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy < 1e-12 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        LinearPredictor {
+            slope,
+            intercept,
+            r_squared,
+        }
+    }
+
+    /// Predicted MOS for a metric value.
+    pub fn predict(&self, metric: f64) -> f64 {
+        self.slope * metric + self.intercept
+    }
+
+    /// Relative estimation errors `|predicted − real| / real` for a set of
+    /// `(metric, real_mos)` pairs — the paper's Fig. 8 quantity.
+    pub fn relative_errors(&self, points: &[(f64, f64)]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|&(x, y)| {
+                debug_assert!(y > 0.0, "MOS must be positive");
+                (self.predict(x) - y).abs() / y
+            })
+            .collect()
+    }
+}
+
+/// Builds an empirical CDF from samples: returns sorted `(value, cdf)`
+/// pairs with `cdf` in `(0, 1]`.
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in CDF input"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i as f64 + 1.0) / n))
+        .collect()
+}
+
+/// Median of a sample set (averaging the middle pair for even sizes).
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty set");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in median input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_fit_on_a_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let p = LinearPredictor::fit(&pts);
+        assert!((p.slope - 2.0).abs() < 1e-9);
+        assert!((p.intercept - 1.0).abs() < 1e-9);
+        assert!((p.r_squared - 1.0).abs() < 1e-9);
+        assert!(p.relative_errors(&pts).iter().all(|&e| e < 1e-9));
+    }
+
+    #[test]
+    fn noisy_fit_has_partial_r_squared() {
+        let pts = [
+            (1.0, 1.2),
+            (2.0, 1.9),
+            (3.0, 3.4),
+            (4.0, 3.8),
+            (5.0, 5.3),
+        ];
+        let p = LinearPredictor::fit(&pts);
+        assert!(p.r_squared > 0.9 && p.r_squared < 1.0);
+        assert!(p.slope > 0.8 && p.slope < 1.3);
+    }
+
+    #[test]
+    fn degenerate_x_gives_flat_predictor() {
+        let pts = [(2.0, 1.0), (2.0, 3.0), (2.0, 5.0)];
+        let p = LinearPredictor::fit(&pts);
+        assert_eq!(p.slope, 0.0);
+        assert_eq!(p.intercept, 3.0);
+        assert_eq!(p.r_squared, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_single_point_panics() {
+        LinearPredictor::fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn better_metric_yields_lower_errors() {
+        // Construct a "true" MOS driven by metric A; metric B is A plus
+        // heavy noise. Predictor on A must beat predictor on B.
+        let mut a_pts = Vec::new();
+        let mut b_pts = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..40 {
+            let a = 40.0 + i as f64;
+            let mos = 1.0 + (a - 40.0) / 10.0;
+            let b = a + (next() - 0.5) * 30.0;
+            a_pts.push((a, mos));
+            b_pts.push((b, mos));
+        }
+        let pa = LinearPredictor::fit(&a_pts);
+        let pb = LinearPredictor::fit(&b_pts);
+        let ea = median(&pa.relative_errors(&a_pts));
+        let eb = median(&pb.relative_errors(&b_pts));
+        assert!(ea < eb, "clean metric {ea} vs noisy {eb}");
+    }
+
+    #[test]
+    fn cdf_and_median_behave() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn metric_labels_match_figure_legend() {
+        assert_eq!(MetricKind::Pspnr360Jnd.label(), "PSPNR w/ 360JND");
+        assert_eq!(
+            MetricKind::PspnrTraditionalJnd.label(),
+            "PSPNR w/ traditional JND"
+        );
+        assert_eq!(MetricKind::Psnr.label(), "PSNR");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_is_monotone(samples in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let cdf = empirical_cdf(&samples);
+            for w in cdf.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+            prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_fit_minimises_reasonably(slope in -5.0f64..5.0, icept in -10.0f64..10.0) {
+            let pts: Vec<(f64, f64)> =
+                (0..20).map(|i| (i as f64, slope * i as f64 + icept)).collect();
+            let p = LinearPredictor::fit(&pts);
+            prop_assert!((p.slope - slope).abs() < 1e-6);
+            prop_assert!((p.intercept - icept).abs() < 1e-6);
+        }
+    }
+}

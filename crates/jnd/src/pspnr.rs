@@ -1,0 +1,477 @@
+//! PSNR, PMSE and PSPNR (paper Eq. 1–3).
+//!
+//! PSPNR filters out distortion below the JND threshold before computing a
+//! PSNR-style score: only the perceptible part of each pixel error,
+//! `max(|p − p̂| − JND, 0)`, enters the mean-square sum. Two computation
+//! paths are provided:
+//!
+//! * **Exact** ([`pspnr_planes`]): per-pixel over two [`LumaPlane`]s plus a
+//!   JND map — used by ground-truth checks and the observer panel.
+//! * **Closed-form per tile** ([`PspnrComputer`]): the codec simulator
+//!   exposes each tile's per-pixel error distribution as 16 quantiles;
+//!   PMSE is the quantile average of `max(e − JND, 0)²`. This is what the
+//!   provider pre-computation and the client's online estimator use — no
+//!   pixels involved, which is why the lookup-table scheme (§6.2–6.3)
+//!   can work.
+
+use crate::content::ContentJnd;
+use crate::multipliers::{ActionState, Multipliers};
+use pano_video::codec::{EncodedChunk, EncodedTile, QualityLevel};
+use pano_video::{ChunkFeatures, LumaPlane};
+use serde::{Deserialize, Serialize};
+
+/// PSPNR is capped here when all distortion falls below the JND
+/// (PMSE → 0 would send it to +∞).
+pub const PSPNR_CAP_DB: f64 = 100.0;
+
+/// Classic PSNR between two planes, in dB (capped at [`PSPNR_CAP_DB`]).
+pub fn psnr_planes(original: &LumaPlane, encoded: &LumaPlane) -> f64 {
+    let mse = original.mse(encoded);
+    mse_to_db(mse)
+}
+
+/// Exact PSPNR between two planes given a per-pixel JND map.
+///
+/// `jnd` must have the same dimensions as the planes; its pixel values are
+/// interpreted as grey-level JND thresholds (stored as f64 per pixel in
+/// row-major order).
+pub fn pspnr_planes(original: &LumaPlane, encoded: &LumaPlane, jnd: &[f64]) -> f64 {
+    assert_eq!(
+        original.data().len(),
+        jnd.len(),
+        "JND map must match plane size"
+    );
+    assert_eq!(
+        (original.width(), original.height()),
+        (encoded.width(), encoded.height()),
+        "planes must have matching dimensions"
+    );
+    let mut sum = 0.0;
+    for ((&a, &b), &j) in original.data().iter().zip(encoded.data()).zip(jnd) {
+        let e = (a as f64 - b as f64).abs();
+        if e >= j {
+            let d = e - j;
+            sum += d * d;
+        }
+    }
+    mse_to_db(sum / jnd.len() as f64)
+}
+
+fn mse_to_db(mse: f64) -> f64 {
+    if mse <= 1e-12 {
+        return PSPNR_CAP_DB;
+    }
+    (20.0 * (255.0 / mse.sqrt()).log10()).min(PSPNR_CAP_DB)
+}
+
+/// Per-tile quality summary at one quality level under one action state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileQuality {
+    /// Perceptible mean-square error (PMSE, `M(q)` in the paper).
+    pub pmse: f64,
+    /// PSPNR in dB (`P(q)`), capped at [`PSPNR_CAP_DB`].
+    pub pspnr_db: f64,
+    /// The JND threshold used (content JND × action ratio).
+    pub jnd: f64,
+}
+
+/// Computes per-tile and per-chunk PSPNR from codec error quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct PspnrComputer {
+    content: ContentJnd,
+    multipliers: Multipliers,
+}
+
+impl PspnrComputer {
+    /// Creates a computer with explicit model parameters.
+    pub fn new(content: ContentJnd, multipliers: Multipliers) -> Self {
+        PspnrComputer {
+            content,
+            multipliers,
+        }
+    }
+
+    /// The content-JND model in use.
+    pub fn content(&self) -> &ContentJnd {
+        &self.content
+    }
+
+    /// The multiplier curves in use.
+    pub fn multipliers(&self) -> &Multipliers {
+        &self.multipliers
+    }
+
+    /// Content-dependent JND of a tile: area-weighted mean of the cell
+    /// JNDs (luminance adaptation + texture masking) over the tile's cells.
+    pub fn tile_content_jnd(&self, features: &ChunkFeatures, tile: &EncodedTile) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for cell in tile.rect.cells() {
+            sum += self.content.jnd_for_cell(features.cell(cell));
+            n += 1.0;
+        }
+        sum / n
+    }
+
+    /// PMSE of a tile given its error quantiles and an effective JND
+    /// threshold: the quantile mean of `max(e − jnd, 0)²` over errors at or
+    /// above the threshold (paper Eq. 2–3).
+    pub fn pmse_from_quantiles(quantiles: &[f64; 16], jnd: f64) -> f64 {
+        let mut sum = 0.0;
+        for &e in quantiles {
+            if e >= jnd {
+                let d = e - jnd;
+                sum += d * d;
+            }
+        }
+        sum / quantiles.len() as f64
+    }
+
+    /// PMSE with a within-tile JND spread: per-pixel JND inside a tile is
+    /// not uniform (edges and flat mid-greys are far more sensitive than
+    /// the tile average), so the tile-mean JND is expanded into a small
+    /// three-point mixture at {0.4, 1.0, 1.6}× the mean with weights
+    /// {0.25, 0.5, 0.25}. This keeps the top of the quality range
+    /// discriminative — without it, any encoding whose mean error falls
+    /// below the mean JND scores a saturated PSPNR, which real videos
+    /// (and the paper's 45–70 dB operating range) do not show.
+    pub fn pmse_with_jnd_spread(quantiles: &[f64; 16], jnd: f64) -> f64 {
+        0.25 * Self::pmse_from_quantiles(quantiles, jnd * 0.4)
+            + 0.50 * Self::pmse_from_quantiles(quantiles, jnd)
+            + 0.25 * Self::pmse_from_quantiles(quantiles, jnd * 1.6)
+    }
+
+    /// Quality of one tile at `level` under `action`.
+    ///
+    /// The PMSE is aggregated **per cell**: each cell's content JND is
+    /// scaled by the action ratio and evaluated against the tile's error
+    /// distribution, then the cell PMSEs are averaged. Averaging JNDs
+    /// first would systematically understate the PMSE (it is convex in
+    /// the JND), making sensitive cells inside mostly-masked tiles
+    /// invisible to the allocator — the paper's offline phase avoids this
+    /// by computing PSPNR from the true per-pixel JND map.
+    pub fn tile_quality(
+        &self,
+        features: &ChunkFeatures,
+        tile: &EncodedTile,
+        level: QualityLevel,
+        action: &ActionState,
+    ) -> TileQuality {
+        let ratio = self.multipliers.action_ratio(action);
+        let quantiles = tile.error_quantiles(level);
+        let mut pmse = 0.0;
+        let mut jnd_sum = 0.0;
+        let mut n = 0.0;
+        for cell in tile.rect.cells() {
+            let jnd = self.content.jnd_for_cell(features.cell(cell)) * ratio;
+            pmse += Self::pmse_with_jnd_spread(&quantiles, jnd);
+            jnd_sum += jnd;
+            n += 1.0;
+        }
+        pmse /= n;
+        TileQuality {
+            pmse,
+            pspnr_db: mse_to_db(pmse),
+            jnd: jnd_sum / n,
+        }
+    }
+
+    /// Chunk-level PSPNR for a per-tile quality assignment under per-tile
+    /// action states: the area-weighted PMSE aggregate of §6.1,
+    /// `M = Σ S_t · M_t(q_t) / Σ S_t`, then `P = 20·log10(255/√M)`.
+    ///
+    /// Panics unless `levels`, `actions` and the chunk's tiles have equal
+    /// lengths.
+    pub fn chunk_pspnr(
+        &self,
+        features: &ChunkFeatures,
+        chunk: &EncodedChunk,
+        levels: &[QualityLevel],
+        actions: &[ActionState],
+    ) -> f64 {
+        assert_eq!(levels.len(), chunk.tiles.len(), "one level per tile");
+        assert_eq!(actions.len(), chunk.tiles.len(), "one action per tile");
+        let mut weighted = 0.0;
+        let mut area = 0.0;
+        for ((tile, &level), action) in chunk.tiles.iter().zip(levels).zip(actions) {
+            let q = self.tile_quality(features, tile, level, action);
+            weighted += q.pmse * tile.pixel_area as f64;
+            area += tile.pixel_area as f64;
+        }
+        mse_to_db(weighted / area)
+    }
+
+    /// Convenience: chunk PSPNR with a single action state for all tiles.
+    pub fn chunk_pspnr_uniform_action(
+        &self,
+        features: &ChunkFeatures,
+        chunk: &EncodedChunk,
+        levels: &[QualityLevel],
+        action: &ActionState,
+    ) -> f64 {
+        let actions = vec![*action; chunk.tiles.len()];
+        self.chunk_pspnr(features, chunk, levels, &actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_geo::{Equirect, GridDims};
+    use pano_video::codec::Encoder;
+    use pano_video::ChunkFeatures;
+    use proptest::prelude::*;
+
+    fn setup() -> (Encoder, Equirect, ChunkFeatures, EncodedChunk) {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let chunk = enc.encode_chunk(&eq, &feats, &[dims.full_rect()]);
+        (enc, eq, feats, chunk)
+    }
+
+    #[test]
+    fn psnr_identical_planes_is_capped() {
+        let p = LumaPlane::filled(16, 16, 100);
+        assert_eq!(psnr_planes(&p, &p), PSPNR_CAP_DB);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        let a = LumaPlane::filled(8, 8, 100);
+        let b = LumaPlane::filled(8, 8, 110);
+        // MSE = 100, PSNR = 20 log10(255/10) = 28.13 dB.
+        assert!((psnr_planes(&a, &b) - 28.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pspnr_filters_subthreshold_distortion() {
+        let a = LumaPlane::filled(8, 8, 100);
+        let b = LumaPlane::filled(8, 8, 104); // |e| = 4 everywhere
+        let jnd_low = vec![2.0; 64]; // perceptible: (4-2)^2 = 4
+        let jnd_high = vec![6.0; 64]; // imperceptible
+        let low = pspnr_planes(&a, &b, &jnd_low);
+        let high = pspnr_planes(&a, &b, &jnd_high);
+        assert!((low - 20.0 * (255.0f64 / 2.0).log10()).abs() < 1e-6);
+        assert_eq!(high, PSPNR_CAP_DB);
+        // PSPNR >= PSNR always.
+        assert!(low > psnr_planes(&a, &b));
+    }
+
+    #[test]
+    fn pmse_from_quantiles_threshold_behaviour() {
+        let q = [4.0f64; 16];
+        assert_eq!(PspnrComputer::pmse_from_quantiles(&q, 5.0), 0.0);
+        assert!((PspnrComputer::pmse_from_quantiles(&q, 2.0) - 4.0).abs() < 1e-12);
+        // jnd exactly equal counts as perceptible with zero magnitude.
+        assert_eq!(PspnrComputer::pmse_from_quantiles(&q, 4.0), 0.0);
+    }
+
+    #[test]
+    fn higher_quality_gives_higher_pspnr() {
+        let (_, _, feats, chunk) = setup();
+        let comp = PspnrComputer::default();
+        let action = ActionState::REST;
+        let mut prev = -1.0;
+        for level in QualityLevel::all() {
+            let q = comp.tile_quality(&feats, &chunk.tiles[0], level, &action);
+            assert!(q.pspnr_db >= prev, "level {level:?}");
+            prev = q.pspnr_db;
+        }
+    }
+
+    #[test]
+    fn faster_viewpoint_raises_pspnr() {
+        // The core Pano effect: same encoding, moving viewpoint, higher
+        // perceived quality (higher JND masks more distortion).
+        let (_, _, feats, chunk) = setup();
+        let comp = PspnrComputer::default();
+        let slow = comp.tile_quality(
+            &feats,
+            &chunk.tiles[0],
+            QualityLevel(1),
+            &ActionState::REST,
+        );
+        let fast = comp.tile_quality(
+            &feats,
+            &chunk.tiles[0],
+            QualityLevel(1),
+            &ActionState {
+                rel_speed_deg_s: 20.0,
+                ..ActionState::REST
+            },
+        );
+        assert!(fast.pspnr_db > slow.pspnr_db);
+        assert!(fast.jnd > slow.jnd);
+    }
+
+    #[test]
+    fn chunk_pspnr_aggregates_by_area() {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let tiling = vec![
+            pano_geo::GridRect::new(0, 0, 12, 12),
+            pano_geo::GridRect::new(0, 12, 12, 12),
+        ];
+        let chunk = enc.encode_chunk(&eq, &feats, &tiling);
+        let comp = PspnrComputer::default();
+        let rest = ActionState::REST;
+
+        // Uniform levels: chunk PSPNR equals per-tile PSPNR (same features).
+        let uniform = comp.chunk_pspnr_uniform_action(
+            &feats,
+            &chunk,
+            &[QualityLevel(1), QualityLevel(1)],
+            &rest,
+        );
+        let single = comp
+            .tile_quality(&feats, &chunk.tiles[0], QualityLevel(1), &rest)
+            .pspnr_db;
+        assert!((uniform - single).abs() < 1e-9);
+
+        // Mixed levels land strictly between the two uniform assignments.
+        let low = comp.chunk_pspnr_uniform_action(
+            &feats,
+            &chunk,
+            &[QualityLevel(0), QualityLevel(0)],
+            &rest,
+        );
+        let mixed = comp.chunk_pspnr_uniform_action(
+            &feats,
+            &chunk,
+            &[QualityLevel(0), QualityLevel(4)],
+            &rest,
+        );
+        let high = comp.chunk_pspnr_uniform_action(
+            &feats,
+            &chunk,
+            &[QualityLevel(4), QualityLevel(4)],
+            &rest,
+        );
+        assert!(low < mixed && mixed < high, "{low} {mixed} {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one level per tile")]
+    fn chunk_pspnr_wrong_arity_panics() {
+        let (_, _, feats, chunk) = setup();
+        PspnrComputer::default().chunk_pspnr(&feats, &chunk, &[], &[]);
+    }
+
+    #[test]
+    fn dark_content_masks_more() {
+        let enc = Encoder::default();
+        let eq = Equirect::PAPER_FULL;
+        let dims = GridDims::PANO_UNIT;
+        let dark = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 15.0, 0.5);
+        let mid = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let chunk_dark = enc.encode_chunk(&eq, &dark, &[dims.full_rect()]);
+        let chunk_mid = enc.encode_chunk(&eq, &mid, &[dims.full_rect()]);
+        let comp = PspnrComputer::default();
+        let qd = comp.tile_quality(&dark, &chunk_dark.tiles[0], QualityLevel(0), &ActionState::REST);
+        let qm = comp.tile_quality(&mid, &chunk_mid.tiles[0], QualityLevel(0), &ActionState::REST);
+        assert!(qd.jnd > qm.jnd);
+        assert!(qd.pspnr_db >= qm.pspnr_db);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pmse_monotone_in_jnd(jnd1 in 0.0f64..30.0, jnd2 in 0.0f64..30.0) {
+            let (_, _, _, chunk) = setup();
+            let q = chunk.tiles[0].error_quantiles(QualityLevel(0));
+            let (lo, hi) = if jnd1 <= jnd2 { (jnd1, jnd2) } else { (jnd2, jnd1) };
+            prop_assert!(
+                PspnrComputer::pmse_from_quantiles(&q, hi)
+                    <= PspnrComputer::pmse_from_quantiles(&q, lo)
+            );
+        }
+
+        #[test]
+        fn prop_pspnr_at_least_psnr_on_planes(delta in 0u8..40, jnd in 0.0f64..20.0) {
+            let a = LumaPlane::filled(8, 8, 100);
+            let b = LumaPlane::filled(8, 8, 100 + delta);
+            let map = vec![jnd; 64];
+            prop_assert!(pspnr_planes(&a, &b, &map) >= psnr_planes(&a, &b) - 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod cross_validation {
+    //! Pixel-level validation: the closed-form quantile PMSE must agree
+    //! with the exact per-pixel Eq. 1–3 computation when the per-pixel
+    //! errors are actually drawn from the codec's quantile profile.
+
+    use super::*;
+    use pano_video::codec::DISTORTION_QUANTILES;
+
+    /// Builds an (original, encoded) plane pair whose per-pixel absolute
+    /// errors follow the 16-quantile profile scaled to `mae`, with signs
+    /// alternating so values stay in range.
+    fn plane_pair(mae: f64) -> (LumaPlane, LumaPlane) {
+        let w = 64u32;
+        let h = 64u32;
+        let original = LumaPlane::filled(w, h, 128);
+        let mut encoded = original.clone();
+        let mut idx = 0usize;
+        for y in 0..h {
+            for x in 0..w {
+                let e = DISTORTION_QUANTILES[idx % 16] * mae;
+                let sign = if (x + y) % 2 == 0 { 1.0 } else { -1.0 };
+                let v = (128.0 + sign * e).round().clamp(0.0, 255.0) as u8;
+                encoded.set(x, y, v);
+                idx += 1;
+            }
+        }
+        (original, encoded)
+    }
+
+    #[test]
+    fn quantile_pmse_matches_per_pixel_pspnr() {
+        for mae in [2.0f64, 6.0, 15.0] {
+            for jnd in [1.0f64, 4.0, 10.0] {
+                let (orig, enc) = plane_pair(mae);
+                let map = vec![jnd; orig.data().len()];
+                let exact = pspnr_planes(&orig, &enc, &map);
+
+                // Closed form over the same error profile. The plane pair
+                // rounds errors to integer grey levels, so quantise the
+                // quantiles the same way before comparing.
+                let mut q = [0.0f64; 16];
+                for (qi, &base) in q.iter_mut().zip(DISTORTION_QUANTILES.iter()) {
+                    *qi = (base * mae).round();
+                }
+                let pmse = PspnrComputer::pmse_from_quantiles(&q, jnd);
+                let closed = if pmse <= 1e-12 {
+                    PSPNR_CAP_DB
+                } else {
+                    (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
+                };
+                assert!(
+                    (exact - closed).abs() < 0.75,
+                    "mae={mae} jnd={jnd}: exact {exact} vs closed {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_pixel_psnr_matches_quantile_mse() {
+        let mae = 8.0;
+        let (orig, enc) = plane_pair(mae);
+        let exact = psnr_planes(&orig, &enc);
+        let mse: f64 = DISTORTION_QUANTILES
+            .iter()
+            .map(|&u| (u * mae).round().powi(2))
+            .sum::<f64>()
+            / 16.0;
+        let closed = 20.0 * (255.0 / mse.sqrt()).log10();
+        assert!(
+            (exact - closed).abs() < 0.3,
+            "exact {exact} vs closed {closed}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! The persistent-connection download model.
+//!
+//! One client keeps one HTTP(S) connection to its CDN edge. Objects are
+//! requested sequentially; each request costs a fixed request overhead
+//! (request/response turnaround on the persistent connection) before the
+//! payload drains the bandwidth trace. The trace is the single source of
+//! truth for capacity, so two clients with the same trace and the same
+//! request sequence finish at identical times — simulation determinism
+//! the experiments rely on.
+
+use pano_trace::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of fetching one object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetchResult {
+    /// When the request was issued, seconds.
+    pub start: f64,
+    /// When the last byte arrived, seconds.
+    pub finish: f64,
+    /// Payload size, bytes.
+    pub bytes: u64,
+}
+
+impl FetchResult {
+    /// Transfer duration including request overhead, seconds.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+
+    /// Effective goodput, bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.duration() <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / self.duration()
+        }
+    }
+}
+
+/// A persistent connection bound to a bandwidth trace.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    trace: BandwidthTrace,
+    /// Per-request overhead, seconds (request/response turnaround).
+    request_overhead_secs: f64,
+    /// The connection clock: when the link is next free.
+    now: f64,
+    /// Total bytes transferred so far.
+    total_bytes: u64,
+}
+
+impl Connection {
+    /// Default request overhead: 2 ms per object. Tiles are fetched as
+    /// separate objects but over a persistent, multiplexed connection
+    /// (the paper's §7 client), so each additional object costs request
+    /// serialisation, not a full RTT.
+    pub const DEFAULT_OVERHEAD_SECS: f64 = 0.002;
+
+    /// Opens a connection at time 0 over `trace`.
+    pub fn new(trace: BandwidthTrace) -> Self {
+        Connection {
+            trace,
+            request_overhead_secs: Self::DEFAULT_OVERHEAD_SECS,
+            now: 0.0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Overrides the per-request overhead.
+    pub fn with_request_overhead(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "overhead must be non-negative");
+        self.request_overhead_secs = secs;
+        self
+    }
+
+    /// The connection clock: when the link is next free, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// Advances the clock to `t` if the link is idle before then (the
+    /// player waiting before issuing the next request).
+    pub fn idle_until(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Fetches one object of `bytes`, returning its timing. The request is
+    /// issued at the connection clock; the clock advances to completion.
+    pub fn fetch(&mut self, bytes: u64) -> FetchResult {
+        let start = self.now;
+        let payload_start = start + self.request_overhead_secs;
+        let dt = self.trace.transfer_time(payload_start, bytes as f64);
+        let finish = payload_start + dt;
+        self.now = finish;
+        self.total_bytes += bytes;
+        FetchResult {
+            start,
+            finish,
+            bytes,
+        }
+    }
+
+    /// Fetches a batch of objects back-to-back on the persistent
+    /// connection (the per-chunk tile fetch). Returns per-object results;
+    /// the batch finish time is the last element's `finish`.
+    pub fn fetch_batch(&mut self, sizes: &[u64]) -> Vec<FetchResult> {
+        sizes.iter().map(|&b| self.fetch(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(v: f64) -> BandwidthTrace {
+        BandwidthTrace::constant(v * 1e6, 300.0, 1.0)
+    }
+
+    #[test]
+    fn single_fetch_timing() {
+        let mut c = Connection::new(mbps(1.0)).with_request_overhead(0.0);
+        // 125 KB at 1 Mbps = 1 s.
+        let r = c.fetch(125_000);
+        assert!((r.finish - 1.0).abs() < 1e-9);
+        assert!((r.goodput_bps() - 1e6).abs() < 1.0);
+        assert_eq!(c.total_bytes(), 125_000);
+    }
+
+    #[test]
+    fn request_overhead_is_charged_per_object() {
+        let mut a = Connection::new(mbps(1.0)).with_request_overhead(0.0);
+        let mut b = Connection::new(mbps(1.0)).with_request_overhead(0.1);
+        let sizes = vec![12_500u64; 10];
+        let ra = a.fetch_batch(&sizes);
+        let rb = b.fetch_batch(&sizes);
+        let fa = ra.last().unwrap().finish;
+        let fb = rb.last().unwrap().finish;
+        assert!((fb - fa - 1.0).abs() < 1e-9, "10 requests x 0.1 s overhead");
+    }
+
+    #[test]
+    fn batch_is_sequential() {
+        let mut c = Connection::new(mbps(1.0)).with_request_overhead(0.0);
+        let rs = c.fetch_batch(&[125_000, 125_000]);
+        assert!((rs[0].finish - 1.0).abs() < 1e-9);
+        assert!((rs[1].start - 1.0).abs() < 1e-9);
+        assert!((rs[1].finish - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_until_moves_clock_forward_only() {
+        let mut c = Connection::new(mbps(1.0));
+        c.idle_until(5.0);
+        assert_eq!(c.now(), 5.0);
+        c.idle_until(2.0);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn fetch_respects_variable_bandwidth() {
+        // 1 Mbps then 2 Mbps: 1.5 Mbit needs 1 s + 0.25 s.
+        let tr = BandwidthTrace::new(1.0, vec![1e6, 2e6, 2e6]);
+        let mut c = Connection::new(tr).with_request_overhead(0.0);
+        let r = c.fetch(1_500_000 / 8);
+        assert!((r.finish - 1.25).abs() < 1e-9, "finish {}", r.finish);
+    }
+
+    #[test]
+    fn zero_byte_fetch_costs_only_overhead() {
+        let mut c = Connection::new(mbps(1.0)).with_request_overhead(0.05);
+        let r = c.fetch(0);
+        assert!((r.finish - 0.05).abs() < 1e-9);
+        assert_eq!(r.goodput_bps(), 0.0);
+    }
+
+    #[test]
+    fn determinism_two_connections_agree() {
+        let tr = BandwidthTrace::markov_4g(1e6, 120.0, 17);
+        let mut a = Connection::new(tr.clone());
+        let mut b = Connection::new(tr);
+        let sizes = vec![40_000u64, 80_000, 10_000, 120_000];
+        assert_eq!(a.fetch_batch(&sizes), b.fetch_batch(&sizes));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_overhead_panics() {
+        Connection::new(mbps(1.0)).with_request_overhead(-0.1);
+    }
+}
+
+#[cfg(test)]
+mod connection_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_batch_conserves_bytes_and_orders_time(
+            sizes in proptest::collection::vec(0u64..200_000, 1..20),
+            mean in 2e5f64..5e6,
+            seed in 0u64..50,
+        ) {
+            let tr = BandwidthTrace::markov_4g(mean, 60.0, seed);
+            let mut c = Connection::new(tr);
+            let results = c.fetch_batch(&sizes);
+            prop_assert_eq!(results.len(), sizes.len());
+            // Total bytes conserved.
+            let total: u64 = results.iter().map(|r| r.bytes).sum();
+            prop_assert_eq!(total, sizes.iter().sum::<u64>());
+            prop_assert_eq!(c.total_bytes(), total);
+            // Strictly sequential: each fetch starts when the previous one
+            // finished, and time never goes backwards.
+            for w in results.windows(2) {
+                prop_assert!((w[1].start - w[0].finish).abs() < 1e-9);
+            }
+            for r in &results {
+                prop_assert!(r.finish >= r.start);
+            }
+        }
+
+        #[test]
+        fn prop_overhead_monotone_in_batch_time(
+            sizes in proptest::collection::vec(1_000u64..50_000, 1..10),
+            oh1 in 0.0f64..0.05,
+            oh2 in 0.0f64..0.05,
+        ) {
+            let tr = BandwidthTrace::constant(1e6, 120.0, 1.0);
+            let (lo, hi) = if oh1 <= oh2 { (oh1, oh2) } else { (oh2, oh1) };
+            let f_lo = Connection::new(tr.clone())
+                .with_request_overhead(lo)
+                .fetch_batch(&sizes)
+                .last()
+                .expect("non-empty")
+                .finish;
+            let f_hi = Connection::new(tr)
+                .with_request_overhead(hi)
+                .fetch_batch(&sizes)
+                .last()
+                .expect("non-empty")
+                .finish;
+            prop_assert!(f_hi >= f_lo - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! # pano-net — delivery substrate
+//!
+//! A compact event-driven model of the client's download path: tiles are
+//! fetched as separate HTTP objects over one persistent connection (paper
+//! §7, "Client-side streaming"), so each request pays a request overhead
+//! (an RTT-scale gap before bytes flow) and then drains the bandwidth
+//! trace. The model exposes exactly what the streaming simulator needs —
+//! "when does this batch of objects finish if I start now?" — while
+//! keeping the trace integration exact.
+
+pub mod connection;
+
+pub use connection::{Connection, FetchResult};

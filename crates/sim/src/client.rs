@@ -1,0 +1,1020 @@
+//! The playback-session simulator.
+//!
+//! One call to [`simulate_session`] plays one video for one user with one
+//! method over one bandwidth trace, and returns the QoE record. The loop
+//! per chunk is exactly the client workflow of paper §7:
+//!
+//! 1. predict the viewpoint at the chunk's playback time (linear
+//!    regression) and the throughput (harmonic mean, optionally biased);
+//! 2. decide which tiles to fetch at all: tiled methods skip tiles whose
+//!    every cell is predicted to stay outside the visible limit (plus a
+//!    prediction margin) — skipped tiles cost nothing but show blank
+//!    (heavily penalised) content if the prediction was wrong. Whole-video
+//!    streaming cannot skip (one tile);
+//! 3. pick the chunk's byte budget with MPC against the fetched tiles'
+//!    uniform-level ladder;
+//! 4. allocate per-tile quality: Pano variants estimate per-cell PMSE
+//!    under *conservatively predicted* action states (lower-bound speed,
+//!    luminance change and DoF difference, §6.1) with the foveated JND
+//!    and solve the Pareto program; viewport-driven baselines rank tiles
+//!    by distance to the predicted viewpoint; whole-video picks one level;
+//! 5. fetch the tiles, draining the buffer while downloading and stalling
+//!    when it empties;
+//! 6. if the *actual* viewport lands on a skipped tile, the player
+//!    late-fetches it at the lowest level — a stall (the paper's
+//!    "viewport not completely downloaded" buffering) plus base quality
+//!    for those cells;
+//! 7. score the chunk as played under the user's *actual* trajectory:
+//!    perceived PSPNR with the foveated 360JND — the same perceptual
+//!    physics for every method.
+
+use crate::asset::PreparedVideo;
+use crate::methods::Method;
+use crate::metrics::{ChunkResult, SessionResult};
+use pano_abr::allocate::{allocate_pareto, TileChoice};
+use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController, PlaybackBuffer};
+use pano_geo::Viewport;
+use pano_jnd::{ActionState, PspnrComputer};
+use pano_net::Connection;
+use pano_trace::{
+    BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, ThroughputPredictor,
+    ViewpointTrace,
+};
+use pano_video::codec::{EncodedChunk, QualityLevel};
+
+/// Angular distance beyond which distortion is imperceptible: nothing
+/// outside this radius of the viewpoint reaches the user's eyes (half the
+/// HMD viewport diagonal, rounded up).
+const VISIBLE_LIMIT_DEG: f64 = 70.0;
+
+/// Prediction safety margin: tiles within `VISIBLE_LIMIT_DEG + margin` of
+/// the *predicted* viewpoint are fetched; beyond it they are skipped and,
+/// if the prediction was wrong, late-fetched at base quality with a stall.
+const PREDICTION_MARGIN_DEG: f64 = 20.0;
+
+/// Extra request overhead charged per late-fetched (missed) tile, seconds.
+const LATE_FETCH_OVERHEAD_SECS: f64 = 0.020;
+
+/// Which chunk-level rate controller the session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateController {
+    /// Model-predictive control with throughput prediction (the paper's
+    /// choice, following Yin et al.).
+    #[default]
+    Mpc,
+    /// BOLA-style buffer-based control — no throughput prediction at all.
+    Bola,
+}
+
+/// Session knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Target buffer level, seconds (paper sweeps {1, 2, 3}).
+    pub target_buffer_secs: f64,
+    /// Buffer capacity, seconds.
+    pub buffer_capacity_secs: f64,
+    /// Throughput-prediction bias (Fig. 16d): 0.0 = unbiased.
+    pub throughput_bias: f64,
+    /// Prediction horizon floor: the viewpoint is predicted at least this
+    /// far ahead, seconds.
+    pub min_horizon_secs: f64,
+    /// Blend the linear viewpoint prediction with the cross-user
+    /// popularity prior (the CUB360-style extension; off by default to
+    /// match the paper's setup, where all methods share plain linear
+    /// regression).
+    pub cross_user_prediction: bool,
+    /// Chunk-level rate controller (MPC by default, as in the paper).
+    pub rate_controller: RateController,
+    /// DASH-compatible mode (§6.2): the client estimates PSPNR purely
+    /// from the manifest — the power-law lookup table and per-tile
+    /// statistics — instead of the provider's full per-cell model. This
+    /// is what a deployed dash.js-style player has to do; the default
+    /// uses the full model for the calibrated experiment suite.
+    pub manifest_only: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            target_buffer_secs: 2.0,
+            buffer_capacity_secs: 8.0,
+            throughput_bias: 0.0,
+            min_horizon_secs: 1.0,
+            cross_user_prediction: false,
+            rate_controller: RateController::default(),
+            manifest_only: false,
+        }
+    }
+}
+
+/// Simulates one playback session; see the module docs for the loop.
+pub fn simulate_session(
+    video: &PreparedVideo,
+    method: Method,
+    user_trace: &ViewpointTrace,
+    bandwidth: &BandwidthTrace,
+    config: &SessionConfig,
+) -> SessionResult {
+    let chunks = video.chunks_for(method);
+    let chunk_secs = video.config().chunk_secs;
+    let eq = video.spec.resolution;
+    let dims = video.config().unit_grid;
+
+    let mut connection = Connection::new(bandwidth.clone());
+    let mut buffer = PlaybackBuffer::new(config.buffer_capacity_secs);
+    let n_tiles = chunks.first().map(|c| c.tiles.len()).unwrap_or(1);
+    let mut mpc = MpcController::new(MpcConfig {
+        target_buffer_secs: config.target_buffer_secs,
+        chunk_overhead_secs: n_tiles as f64 * Connection::DEFAULT_OVERHEAD_SECS,
+        ..MpcConfig::default()
+    });
+    let bola = BolaController::new(BolaConfig {
+        buffer_capacity_secs: config.buffer_capacity_secs,
+        min_buffer_secs: (config.target_buffer_secs / 2.0).max(0.5),
+    });
+    let vp_predictor = LinearViewpointPredictor::default();
+    let cross_user = pano_trace::CrossUserPredictor::default();
+    let speed_estimator = ConservativeSpeedEstimator::default();
+    let tp_predictor = ThroughputPredictor {
+        bias: config.throughput_bias,
+        ..ThroughputPredictor::default()
+    };
+    let action_estimator = pano_trace::ActionEstimator::new(eq);
+
+    let mut results = Vec::with_capacity(chunks.len());
+    let mut startup_secs = 0.0;
+    let mut late_stall_total = 0.0;
+
+    for (k, encoded) in chunks.iter().enumerate() {
+        let now = connection.now();
+        // Prediction horizon: this chunk starts playing when the buffered
+        // content ahead of the playhead has drained, i.e. in roughly
+        // `buffer level` seconds; target the middle of the chunk.
+        let horizon =
+            (buffer.level_secs() + chunk_secs / 2.0).max(config.min_horizon_secs);
+
+        // 1. Predictions.
+        let predicted_vp = if config.cross_user_prediction {
+            cross_user.predict(user_trace, &video.popularity_prior, now, horizon)
+        } else {
+            vp_predictor.predict(user_trace, now, horizon)
+        };
+        let predicted_bps = tp_predictor.predict(bandwidth, now);
+
+        // 2. Which tiles to fetch: skip tiles predicted fully invisible.
+        let fetched =
+            fetch_mask(video, method, encoded, &predicted_vp, PREDICTION_MARGIN_DEG);
+
+        // 3. Chunk budget via MPC over the fetched tiles' ladder.
+        let ladder: Vec<u64> = QualityLevel::all()
+            .map(|l| {
+                encoded
+                    .tiles
+                    .iter()
+                    .zip(&fetched)
+                    .filter(|&(_, &f)| f)
+                    .map(|(t, _)| t.size(l))
+                    .sum()
+            })
+            .collect();
+        let rate_idx = match config.rate_controller {
+            RateController::Mpc => {
+                mpc.pick_rate(&ladder, buffer.level_secs(), predicted_bps, chunk_secs)
+            }
+            RateController::Bola => bola.pick_rate(&ladder, buffer.level_secs(), chunk_secs),
+        };
+        let budget = ladder[rate_idx];
+
+        // 4. Tile-level allocation among the fetched tiles.
+        let levels = allocate_tiles(
+            video,
+            method,
+            encoded,
+            &fetched,
+            k,
+            budget,
+            &predicted_vp,
+            user_trace,
+            now,
+            &speed_estimator,
+            &action_estimator,
+            config.manifest_only,
+        );
+
+        // 5. Fetch; buffer drains while downloading.
+        let sizes: Vec<u64> = encoded
+            .tiles
+            .iter()
+            .zip(&levels)
+            .filter_map(|(t, l)| l.map(|l| t.size(l)))
+            .collect();
+        let fetch = connection.fetch_batch(&sizes);
+        let finish = fetch.last().map(|f| f.finish).unwrap_or(now);
+        let dl_time = finish - now;
+        let stall = if k == 0 {
+            // Start-up: the first chunk's download is startup delay, not
+            // rebuffering.
+            startup_secs = dl_time;
+            0.0
+        } else {
+            buffer.play(dl_time)
+        };
+        buffer.add_chunk(chunk_secs);
+
+        // Pace: if the buffer is above target, idle before the next fetch.
+        let surplus = buffer.level_secs() - config.target_buffer_secs;
+        if surplus > 0.0 {
+            let idle_t = finish + surplus.min(chunk_secs);
+            connection.idle_until(idle_t);
+            buffer.play(connection.now() - finish);
+        }
+
+        // 6. Late-fetch any skipped tile the actual viewport landed on:
+        // the viewport was "not completely downloaded" (the paper's
+        // buffering definition) until the patch arrives at base quality.
+        let playback_t = k as f64 * chunk_secs;
+        let actual_viewport =
+            Viewport::hmd(user_trace.viewpoint_at(playback_t + chunk_secs / 2.0));
+        let mut levels = levels;
+        let mut late_bytes: u64 = 0;
+        let mut late_stall = 0.0;
+        for (tile, level) in encoded.tiles.iter().zip(&mut levels) {
+            if level.is_some() {
+                continue;
+            }
+            let visible = tile.rect.cells().any(|cell| {
+                actual_viewport
+                    .center
+                    .great_circle_distance(&eq.cell_center(dims, cell))
+                    .value()
+                    <= VISIBLE_LIMIT_DEG
+            });
+            if visible {
+                let bytes = tile.size(QualityLevel::LOWEST);
+                late_bytes += bytes;
+                late_stall += bytes as f64 * 8.0
+                    / bandwidth.throughput_at(playback_t).max(1.0)
+                    + LATE_FETCH_OVERHEAD_SECS;
+                *level = Some(QualityLevel::LOWEST);
+            }
+        }
+
+        // 7. Score the chunk as played, under the actual trajectory.
+        let true_actions = action_estimator.chunk_actions(
+            &video.scene,
+            user_trace,
+            &video.features[k],
+            playback_t,
+        );
+        let pspnr = perceived_pspnr(
+            &video.computer,
+            &video.features[k],
+            encoded,
+            &levels,
+            &true_actions,
+            &actual_viewport,
+            &eq,
+            dims,
+        );
+
+        results.push(ChunkResult {
+            chunk_idx: k,
+            pspnr_db: pspnr,
+            bytes: sizes.iter().sum::<u64>() + late_bytes,
+            stall_secs: stall + late_stall,
+            buffer_after_secs: buffer.level_secs(),
+        });
+        late_stall_total += late_stall;
+    }
+
+    // Drain the remaining buffer (no more stalls possible).
+    let remaining = buffer.level_secs();
+    buffer.play(remaining);
+
+    SessionResult {
+        chunks: results,
+        startup_secs,
+        total_stall_secs: buffer.stall_secs() + late_stall_total,
+        total_played_secs: buffer.played_secs(),
+    }
+}
+
+/// Which tiles to fetch: a tile is skipped when *every* cell is farther
+/// than `VISIBLE_LIMIT_DEG + PREDICTION_MARGIN_DEG` from the predicted
+/// viewpoint. Whole-video streaming has one tile covering the sphere, so
+/// it can never skip.
+fn fetch_mask(
+    video: &PreparedVideo,
+    method: Method,
+    encoded: &EncodedChunk,
+    predicted_vp: &pano_geo::Viewpoint,
+    margin_deg: f64,
+) -> Vec<bool> {
+    if method.is_whole_video() {
+        return vec![true; encoded.tiles.len()];
+    }
+    let eq = video.spec.resolution;
+    let dims = video.config().unit_grid;
+    let radius = VISIBLE_LIMIT_DEG + margin_deg;
+    encoded
+        .tiles
+        .iter()
+        .map(|tile| {
+            tile.rect.cells().any(|cell| {
+                predicted_vp
+                    .great_circle_distance(&eq.cell_center(dims, cell))
+                    .value()
+                    <= radius
+            })
+        })
+        .collect()
+}
+
+/// Method-specific tile-level quality allocation over the fetched tiles;
+/// `None` = skipped.
+#[allow(clippy::too_many_arguments)]
+fn allocate_tiles(
+    video: &PreparedVideo,
+    method: Method,
+    encoded: &EncodedChunk,
+    fetched: &[bool],
+    chunk_idx: usize,
+    budget: u64,
+    predicted_vp: &pano_geo::Viewpoint,
+    user_trace: &ViewpointTrace,
+    now: f64,
+    speed_estimator: &ConservativeSpeedEstimator,
+    action_estimator: &pano_trace::ActionEstimator,
+    manifest_only: bool,
+) -> Vec<Option<QualityLevel>> {
+    let eq = video.spec.resolution;
+    let dims = video.config().unit_grid;
+
+    if method.is_whole_video() {
+        // One tile: the best uniform level within budget.
+        let mut pick = QualityLevel::LOWEST;
+        for l in QualityLevel::all() {
+            if encoded.total_size(l) <= budget {
+                pick = l;
+            }
+        }
+        return vec![Some(pick); encoded.tiles.len()];
+    }
+
+    let kept: Vec<&pano_video::codec::EncodedTile> = encoded
+        .tiles
+        .iter()
+        .zip(fetched)
+        .filter(|&(_, &f)| f)
+        .map(|(t, _)| t)
+        .collect();
+
+    let choices: Vec<TileChoice> = if method.uses_pspnr_allocation() {
+        // Pano path: conservative action prediction per tile, per-cell
+        // PMSE estimates, Pareto allocation. All three factors use §6.1
+        // lower bounds so the JND can only be *under*-estimated — the
+        // allocation errs toward spending, never toward bold skimping.
+        let lb_speed = speed_estimator.estimate(user_trace, now);
+        let lum_change = action_estimator.luminance_change_lower_bound(
+            &video.scene,
+            user_trace,
+            now,
+            2.0,
+        );
+        let features = &video.features[chunk_idx];
+        if manifest_only && method == Method::Pano {
+            // §6.2 deployment path: per-tile PSPNR from the manifest's
+            // power-law lookup table, indexed by the action-dependent
+            // ratio times the tile's (conservative) eccentricity factor.
+            // Only the Pano tiling carries a lookup table, so the mode
+            // applies to the full method.
+            use pano_abr::LookupScheme;
+            let dims_local = dims;
+            let kept_indices: Vec<usize> = encoded
+                .tiles
+                .iter()
+                .enumerate()
+                .zip(fetched)
+                .filter(|&(_, &f)| f)
+                .map(|((i, _), _)| i)
+                .collect();
+            let choices: Vec<TileChoice> = kept_indices
+                .iter()
+                .map(|&tile_idx| {
+                    let tile = &encoded.tiles[tile_idx];
+                    let m = &video.manifest.chunks[chunk_idx].tiles[tile_idx];
+                    // Action from manifest stats + client-side predictions.
+                    let has_object = !video.manifest.chunks[chunk_idx].objects.is_empty()
+                        && video.manifest.chunks[chunk_idx].objects.iter().any(|o| {
+                            let p = o.track.position_at(now);
+                            tile.rect.cells().any(|cell| {
+                                p.great_circle_distance(&eq.cell_center(dims_local, cell))
+                                    .value()
+                                    < o.size_deg
+                            })
+                        });
+                    let action = ActionState {
+                        rel_speed_deg_s: if has_object { 0.0 } else { lb_speed },
+                        lum_change,
+                        dof_diff: action_estimator.dof_diff_lower_bound(
+                            &video.scene,
+                            user_trace,
+                            m.avg_dof,
+                            now,
+                            2.0,
+                        ),
+                    };
+                    // Conservative tile eccentricity from the predicted
+                    // viewpoint (closest cell, margin-reduced).
+                    let min_dist = tile
+                        .rect
+                        .cells()
+                        .map(|cell| {
+                            predicted_vp
+                                .great_circle_distance(&eq.cell_center(dims_local, cell))
+                                .value()
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    let ecc = pano_jnd::eccentricity_multiplier(
+                        (min_dist - PREDICTION_MARGIN_DEG).max(0.0),
+                    );
+                    let ratio = video.computer.multipliers().action_ratio(&action) * ecc;
+                    let visible = min_dist - PREDICTION_MARGIN_DEG <= VISIBLE_LIMIT_DEG;
+                    let mut pmse = [0.0; 5];
+                    for l in QualityLevel::all() {
+                        if visible {
+                            let db = video.lookup.estimate_at_ratio(
+                                chunk_idx, tile_idx, l, ratio,
+                            );
+                            let rms = 255.0 / 10f64.powf(db / 20.0);
+                            pmse[l.0 as usize] = rms * rms;
+                        }
+                    }
+                    // The power fit can wobble at the last decimal; enforce
+                    // the monotone ladder the allocator requires.
+                    for l in 1..5 {
+                        if pmse[l] > pmse[l - 1] {
+                            pmse[l] = pmse[l - 1];
+                        }
+                    }
+                    TileChoice {
+                        size_bytes: m.size_bytes,
+                        pmse,
+                        pixel_area: tile.pixel_area,
+                    }
+                })
+                .collect();
+            let inner = allocate_pareto(&choices, budget).levels;
+            let mut it = inner.into_iter();
+            return fetched
+                .iter()
+                .map(|&f| if f { it.next() } else { None })
+                .collect();
+        }
+        kept.iter()
+            .map(|tile| {
+                let mut has_object = false;
+                let mut dof_sum = 0.0;
+                let mut n = 0.0;
+                for cell in tile.rect.cells() {
+                    let f = features.cell(cell);
+                    if f.object_id.is_some() {
+                        has_object = true;
+                    }
+                    dof_sum += f.dof_dioptre;
+                    n += 1.0;
+                }
+                let action = if method.uses_360jnd() {
+                    ActionState {
+                        // Tiles carrying objects are treated as viewpoint-
+                        // tracked (relative speed 0) — conservative.
+                        rel_speed_deg_s: if has_object { 0.0 } else { lb_speed },
+                        lum_change,
+                        dof_diff: action_estimator.dof_diff_lower_bound(
+                            &video.scene,
+                            user_trace,
+                            dof_sum / n,
+                            now,
+                            2.0,
+                        ),
+                    }
+                } else {
+                    ActionState::REST
+                };
+                // Per-cell PMSE under the predicted viewpoint: each cell's
+                // content JND scales by the action ratio and its own
+                // (conservatively reduced) eccentricity. Aggregating per
+                // cell — not from the tile-mean JND — matches the paper's
+                // offline per-pixel PSPNR pre-computation.
+                let ratio = video.computer.multipliers().action_ratio(&action);
+                let mut pmse = [0.0; 5];
+                let cells = tile.rect.area() as f64;
+                for cell in tile.rect.cells() {
+                    let dist = (predicted_vp
+                        .great_circle_distance(&eq.cell_center(dims, cell))
+                        .value()
+                        - PREDICTION_MARGIN_DEG)
+                        .max(0.0);
+                    if dist > VISIBLE_LIMIT_DEG {
+                        continue;
+                    }
+                    let jnd = video.computer.content().jnd_for_cell(features.cell(cell))
+                        * ratio
+                        * pano_jnd::eccentricity_multiplier(dist);
+                    for l in QualityLevel::all() {
+                        pmse[l.0 as usize] += PspnrComputer::pmse_with_jnd_spread(
+                            &tile.error_quantiles(l),
+                            jnd,
+                        ) / cells;
+                    }
+                }
+                TileChoice {
+                    size_bytes: tile.size_bytes,
+                    pmse,
+                    pixel_area: tile.pixel_area,
+                }
+            })
+            .collect()
+    } else {
+        // Viewport-driven path (Flare / ClusTile): pseudo-PMSE by distance
+        // to the predicted viewpoint — quality concentrates in the
+        // viewport; no perceptual model.
+        kept.iter()
+            .map(|tile| {
+                let r = tile.rect;
+                let center = eq.cell_center(
+                    dims,
+                    pano_geo::CellIdx::new(r.row0 + r.rows / 2, r.col0 + r.cols / 2),
+                );
+                let dist = predicted_vp.great_circle_distance(&center).value();
+                // Weight: inside the viewport ≈ 1, decaying outside.
+                let weight = if dist < 55.0 {
+                    1.0
+                } else {
+                    (1.0 - (dist - 55.0) / 125.0).max(0.05)
+                };
+                let mut pmse = [0.0; 5];
+                for l in QualityLevel::all() {
+                    pmse[l.0 as usize] = weight * (4 - l.0) as f64;
+                }
+                TileChoice {
+                    size_bytes: tile.size_bytes,
+                    pmse,
+                    pixel_area: tile.pixel_area,
+                }
+            })
+            .collect()
+    };
+
+    let inner = allocate_pareto(&choices, budget).levels;
+    let mut it = inner.into_iter();
+    fetched
+        .iter()
+        .map(|&f| if f { it.next() } else { None })
+        .collect()
+}
+
+/// Perceived chunk PSPNR of the played content — the paper's §6.1
+/// whole-sphere aggregate with the foveated 360JND: each cell's PMSE is
+/// computed against `content JND × action ratio × eccentricity`; cells
+/// beyond the visible limit contribute zero perceptible error (but full
+/// area). Skipped tiles reaching this function have already been patched
+/// to base quality by the late-fetch step; any remaining `None` tiles are
+/// invisible and contribute zero. The area-weighted mean converts to dB.
+#[allow(clippy::too_many_arguments)]
+fn perceived_pspnr(
+    computer: &PspnrComputer,
+    features: &pano_video::ChunkFeatures,
+    encoded: &EncodedChunk,
+    levels: &[Option<QualityLevel>],
+    true_actions: &pano_trace::CellActions,
+    viewport: &Viewport,
+    eq: &pano_geo::Equirect,
+    dims: pano_geo::GridDims,
+) -> f64 {
+    let mut weighted = 0.0;
+    let mut area = 0.0;
+    for (tile, &level) in encoded.tiles.iter().zip(levels) {
+        for cell in tile.rect.cells() {
+            let center = eq.cell_center(dims, cell);
+            let (_, _, w, h) = eq.cell_pixel_rect(dims, cell);
+            let cell_area = (w * h) as f64;
+            area += cell_area;
+            let dist = viewport.center.great_circle_distance(&center).value();
+            if dist > VISIBLE_LIMIT_DEG {
+                continue; // imperceptible: zero perceptible error
+            }
+            let level = match level {
+                Some(l) => l,
+                // Still skipped after late-fetch patching: invisible.
+                None => continue,
+            };
+            let action = true_actions.cell(cell);
+            let jnd = computer.content().jnd_for_cell(features.cell(cell))
+                * computer.multipliers().action_ratio(action)
+                * pano_jnd::eccentricity_multiplier(dist);
+            let pmse =
+                PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(level), jnd);
+            weighted += pmse * cell_area;
+        }
+    }
+    if area <= 0.0 {
+        return pano_jnd::PSPNR_CAP_DB;
+    }
+    let m = weighted / area;
+    if m <= 1e-12 {
+        pano_jnd::PSPNR_CAP_DB
+    } else {
+        (20.0 * (255.0 / m.sqrt()).log10()).min(pano_jnd::PSPNR_CAP_DB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::AssetConfig;
+    use pano_trace::TraceGenerator;
+    use pano_video::{Genre, VideoSpec};
+
+    fn prepared() -> PreparedVideo {
+        let spec = VideoSpec::generate(1, Genre::Sports, 24.0, 77);
+        PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 3,
+                ..AssetConfig::default()
+            },
+        )
+    }
+
+    fn user_trace(video: &PreparedVideo) -> ViewpointTrace {
+        TraceGenerator::default().generate(&video.scene, 1234)
+    }
+
+    #[test]
+    fn session_runs_all_methods() {
+        let video = prepared();
+        let trace = user_trace(&video);
+        let bw = BandwidthTrace::lte_high(60.0, 3);
+        for method in [
+            Method::Pano,
+            Method::Flare,
+            Method::ClusTile,
+            Method::WholeVideo,
+            Method::PanoTraditionalJnd,
+            Method::Pano360JndUniform,
+        ] {
+            let r = simulate_session(&video, method, &trace, &bw, &SessionConfig::default());
+            assert_eq!(r.chunks.len(), 24, "{method}");
+            assert!(r.mean_pspnr() > 20.0, "{method}: {}", r.mean_pspnr());
+            assert!(r.total_bytes() > 0, "{method}");
+            assert!(r.startup_secs > 0.0, "{method}");
+            assert!(
+                r.buffering_ratio_pct() >= 0.0 && r.buffering_ratio_pct() <= 100.0,
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let video = prepared();
+        let trace = user_trace(&video);
+        let bw = BandwidthTrace::lte_low(60.0, 3);
+        let a = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        let b = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn richer_link_gives_no_worse_quality() {
+        let video = prepared();
+        let trace = user_trace(&video);
+        let poor = BandwidthTrace::constant(0.4e6, 60.0, 1.0);
+        let rich = BandwidthTrace::constant(20e6, 60.0, 1.0);
+        let cfg = SessionConfig::default();
+        let r_poor = simulate_session(&video, Method::Pano, &trace, &poor, &cfg);
+        let r_rich = simulate_session(&video, Method::Pano, &trace, &rich, &cfg);
+        assert!(
+            r_rich.mean_pspnr() >= r_poor.mean_pspnr() - 1e-9,
+            "rich {} vs poor {}",
+            r_rich.mean_pspnr(),
+            r_poor.mean_pspnr()
+        );
+        assert!(r_rich.total_stall_secs <= r_poor.total_stall_secs + 1e-9);
+    }
+
+    #[test]
+    fn pano_beats_whole_video_on_constrained_link() {
+        // Averaged over a small user population: individual erratic users
+        // can cost Pano enough viewport misses to blur the comparison, but
+        // in expectation Pano's JND-aware concentration wins.
+        let video = prepared();
+        // Trace length matches the session so its normalised mean (0.71
+        // Mbps) is what the session actually experiences.
+        let bw = BandwidthTrace::lte_low(30.0, 5);
+        let cfg = SessionConfig::default();
+        let users = TraceGenerator::default().generate_population(&video.scene, 3, 1234);
+        let mut pano_sum = 0.0;
+        let mut whole_sum = 0.0;
+        for trace in &users {
+            pano_sum += simulate_session(&video, Method::Pano, trace, &bw, &cfg).mean_pspnr();
+            whole_sum +=
+                simulate_session(&video, Method::WholeVideo, trace, &bw, &cfg).mean_pspnr();
+        }
+        assert!(
+            pano_sum > whole_sum,
+            "pano mean {} vs whole mean {}",
+            pano_sum / 3.0,
+            whole_sum / 3.0
+        );
+    }
+
+    #[test]
+    fn bytes_respect_bandwidth_regime() {
+        let video = prepared();
+        let trace = user_trace(&video);
+        let bw = BandwidthTrace::constant(1.0e6, 60.0, 1.0);
+        let r = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        // Mean consumption cannot exceed the link rate by more than the
+        // buffered prefetch allows.
+        assert!(
+            r.mean_bandwidth_bps() < 1.6e6,
+            "bandwidth {}",
+            r.mean_bandwidth_bps()
+        );
+    }
+
+    #[test]
+    fn skipped_tiles_only_behind_the_viewer() {
+        // With an accurate prediction (still user), the fetch mask keeps
+        // everything near the viewpoint and skips the antipode.
+        let video = prepared();
+        let encoded = &video.chunks_for(Method::Pano)[0];
+        let vp = pano_geo::Viewpoint::forward();
+        let mask = fetch_mask(&video, Method::Pano, encoded, &vp, 20.0);
+        let eq = video.spec.resolution;
+        let dims = video.config().unit_grid;
+        for (tile, &kept) in encoded.tiles.iter().zip(&mask) {
+            let min_dist = tile
+                .rect
+                .cells()
+                .map(|c| vp.great_circle_distance(&eq.cell_center(dims, c)).value())
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(
+                kept,
+                min_dist <= VISIBLE_LIMIT_DEG + 20.0,
+                "tile {} min_dist {min_dist}",
+                tile.rect
+            );
+        }
+        // Whole-video never skips.
+        let whole = &video.chunks_for(Method::WholeVideo)[0];
+        assert!(fetch_mask(&video, Method::WholeVideo, whole, &vp, 20.0)[0]);
+    }
+}
+
+#[cfg(test)]
+mod cross_user_tests {
+    //! The CUB360-style extension: for users drawn from the same
+    //! behavioural population as the history traces, blending the prior
+    //! should reduce long-horizon viewpoint-prediction error — the
+    //! quantity the session's fetch ring depends on. (Session-level QoE
+    //! gains depend on content; the prediction error is the direct claim.)
+
+    use super::*;
+    use crate::asset::AssetConfig;
+    use crate::metrics::mean;
+    use pano_trace::{CrossUserPredictor, TraceGenerator};
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn cross_user_prior_reduces_long_horizon_prediction_error() {
+        let spec = VideoSpec::generate(2, Genre::Sports, 24.0, 7);
+        let video = PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 10,
+                ..AssetConfig::default()
+            },
+        );
+        // Test users from the same behavioural distribution, new seeds.
+        let users = TraceGenerator::default().generate_population(&video.scene, 6, 4242);
+        let predictor = CrossUserPredictor::default();
+
+        let mut err_linear = Vec::new();
+        let mut err_blended = Vec::new();
+        for user in &users {
+            let mut t = 3.0;
+            while t + 3.0 < user.duration_secs() {
+                let truth = user.viewpoint_at(t + 3.0);
+                let lin = predictor.linear.predict(user, t, 3.0);
+                let blend = predictor.predict(user, &video.popularity_prior, t, 3.0);
+                err_linear.push(lin.great_circle_distance(&truth).value());
+                err_blended.push(blend.great_circle_distance(&truth).value());
+                t += 1.0;
+            }
+        }
+        let (ml, mb) = (mean(&err_linear), mean(&err_blended));
+        assert!(
+            mb <= ml + 0.5,
+            "blending must not hurt: linear {ml:.1} deg vs blended {mb:.1} deg"
+        );
+        // The sessions still run with the option enabled.
+        let bw = BandwidthTrace::lte_high(30.0, 3);
+        let cfg = SessionConfig {
+            cross_user_prediction: true,
+            ..SessionConfig::default()
+        };
+        let r = simulate_session(&video, Method::Pano, &users[0], &bw, &cfg);
+        assert!(r.mean_pspnr() > 30.0);
+    }
+}
+
+#[cfg(test)]
+mod rate_controller_tests {
+    //! MPC vs BOLA: both controllers must produce viable sessions; MPC's
+    //! throughput prediction should avoid more stalls on a bursty link,
+    //! while BOLA needs no prediction at all.
+
+    use super::*;
+    use crate::asset::AssetConfig;
+    use pano_trace::TraceGenerator;
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn bola_sessions_are_viable_and_prediction_free() {
+        let spec = VideoSpec::generate(4, Genre::Tourism, 16.0, 3);
+        let video = PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 3,
+                ..AssetConfig::default()
+            },
+        );
+        let trace = TraceGenerator::default().generate(&video.scene, 8);
+        let bw = BandwidthTrace::lte_high(20.0, 7);
+
+        let run = |rc: RateController| {
+            simulate_session(
+                &video,
+                Method::Pano,
+                &trace,
+                &bw,
+                &SessionConfig {
+                    rate_controller: rc,
+                    ..SessionConfig::default()
+                },
+            )
+        };
+        let mpc = run(RateController::Mpc);
+        let bola = run(RateController::Bola);
+        assert_eq!(bola.chunks.len(), mpc.chunks.len());
+        assert!(bola.mean_pspnr() > 30.0, "bola pspnr {}", bola.mean_pspnr());
+        assert!(
+            bola.buffering_ratio_pct() < 40.0,
+            "bola buffering {}",
+            bola.buffering_ratio_pct()
+        );
+        // A biased throughput predictor cannot touch BOLA's decisions.
+        let bola_biased = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                rate_controller: RateController::Bola,
+                throughput_bias: 0.3,
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(bola, bola_biased, "BOLA must ignore throughput prediction");
+    }
+}
+
+#[cfg(test)]
+mod failure_injection_tests {
+    //! Failure injection: the session must degrade gracefully — never
+    //! panic, never lose chunks — through bandwidth outages and dead-air
+    //! gaps in the link.
+
+    use super::*;
+    use crate::asset::AssetConfig;
+    use pano_trace::TraceGenerator;
+    use pano_video::{Genre, VideoSpec};
+
+    fn video_fixture() -> PreparedVideo {
+        let spec = VideoSpec::generate(6, Genre::Documentary, 12.0, 5);
+        PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 3,
+                ..AssetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn mid_session_outage_stalls_but_completes() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 2);
+        // Healthy link with a 4-second total outage in the middle.
+        let mut samples = vec![1.2e6; 30];
+        for s in samples.iter_mut().take(10).skip(6) {
+            *s = 0.0;
+        }
+        let bw = BandwidthTrace::new(1.0, samples);
+        let r = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        assert_eq!(r.chunks.len(), 12, "all chunks played despite the outage");
+        assert!(
+            r.total_stall_secs > 0.5,
+            "a 4s outage must stall: {}",
+            r.total_stall_secs
+        );
+        assert!(r.mean_pspnr() > 30.0);
+        // A healthy control session stalls less.
+        let healthy = BandwidthTrace::constant(1.2e6, 30.0, 1.0);
+        let h = simulate_session(&video, Method::Pano, &trace, &healthy, &SessionConfig::default());
+        assert!(h.total_stall_secs < r.total_stall_secs);
+    }
+
+    #[test]
+    fn starvation_pins_the_ladder_floor_without_panicking() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 3);
+        let bw = BandwidthTrace::constant(0.05e6, 120.0, 1.0); // 50 kbps
+        let r = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        assert_eq!(r.chunks.len(), 12);
+        assert!(
+            r.buffering_ratio_pct() > 30.0,
+            "50 kbps must be mostly stalled: {}",
+            r.buffering_ratio_pct()
+        );
+    }
+
+    #[test]
+    fn absurdly_rich_link_never_stalls() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 4);
+        let bw = BandwidthTrace::constant(1e9, 60.0, 1.0);
+        let r = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        assert_eq!(r.total_stall_secs, 0.0);
+        assert!(r.startup_secs < 0.1);
+    }
+}
+
+#[cfg(test)]
+mod dash_compat_tests {
+    //! §6.2 validation: a manifest-only client (power-law lookup table +
+    //! per-tile stats, no pixel access) must track the full-information
+    //! client closely — the whole point of the two-phase decoupling.
+
+    use super::*;
+    use crate::asset::AssetConfig;
+    use pano_trace::TraceGenerator;
+    use pano_video::{Genre, VideoSpec};
+
+    #[test]
+    fn manifest_only_client_tracks_the_full_model() {
+        let spec = VideoSpec::generate(3, Genre::Sports, 16.0, 21);
+        let video = PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 4,
+                ..AssetConfig::default()
+            },
+        );
+        let trace = TraceGenerator::default().generate(&video.scene, 6);
+        let bw = BandwidthTrace::lte_high(20.0, 9);
+        let run = |manifest_only: bool| {
+            simulate_session(
+                &video,
+                Method::Pano,
+                &trace,
+                &bw,
+                &SessionConfig {
+                    manifest_only,
+                    ..SessionConfig::default()
+                },
+            )
+        };
+        let full = run(false);
+        let dash = run(true);
+        assert_eq!(full.chunks.len(), dash.chunks.len());
+        // The approximation costs a few dB at most.
+        assert!(
+            (full.mean_pspnr() - dash.mean_pspnr()).abs() < 6.0,
+            "full {} vs manifest-only {}",
+            full.mean_pspnr(),
+            dash.mean_pspnr()
+        );
+        // And the manifest-only client still beats the viewport baseline.
+        let flare = simulate_session(&video, Method::Flare, &trace, &bw, &SessionConfig::default());
+        assert!(
+            dash.mean_pspnr() > flare.mean_pspnr(),
+            "dash {} vs flare {}",
+            dash.mean_pspnr(),
+            flare.mean_pspnr()
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 13 — simulated survey: MOS by genre, Pano vs viewport-driven.
+//!
+//! Mirrors the paper's survey setup: each of seven genres is streamed with
+//! both Pano and the Flare-style baseline under the two bandwidth
+//! conditions; a simulated rater panel scores each session's perceived
+//! quality (the Table 3 scale plus per-rater bias and quantisation noise),
+//! and the figure reports the per-genre mean opinion scores with standard
+//! errors.
+
+use crate::asset::{AssetConfig, PreparedVideo};
+use crate::client::{simulate_session, SessionConfig};
+use crate::methods::Method;
+use crate::metrics::std_dev;
+use pano_jnd::mos::mean_opinion;
+use pano_jnd::Rater;
+use pano_trace::{BandwidthTrace, TraceGenerator};
+use pano_video::{DatasetSpec, Genre};
+use serde::{Deserialize, Serialize};
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosBar {
+    /// Genre label.
+    pub genre: String,
+    /// Method.
+    pub method: Method,
+    /// Bandwidth condition label ("0.71 Mbps" / "1.05 Mbps").
+    pub bandwidth: String,
+    /// Mean opinion score across raters.
+    pub mos: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+}
+
+/// Result of the Fig. 13 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// All bars.
+    pub bars: Vec<MosBar>,
+    /// Pano's MOS improvement over the baseline per bandwidth condition,
+    /// percent (min and max across genres).
+    pub improvement_range_pct: (f64, f64),
+}
+
+/// Runs Fig. 13 with `n_raters` simulated participants (paper: 20).
+pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
+    let dataset = DatasetSpec::generate_with_duration(50, video_secs, seed);
+    let asset_config = AssetConfig {
+        history_users: 4,
+        ..AssetConfig::default()
+    };
+    let gen = TraceGenerator::default();
+    let conditions = [
+        ("0.71 Mbps", BandwidthTrace::lte_low(600.0, seed ^ 11)),
+        ("1.05 Mbps", BandwidthTrace::lte_high(600.0, seed ^ 12)),
+    ];
+
+    // Prepare all seven genre videos in parallel (the expensive step).
+    let genre_videos: Vec<(Genre, PreparedVideo)> = crate::experiments::parallel_map(
+        Genre::ALL.to_vec(),
+        |genre| {
+            let spec = dataset
+                .by_genre(genre)
+                .next()
+                .expect("dataset covers all genres");
+            (genre, PreparedVideo::prepare(spec, &asset_config))
+        },
+    );
+
+    let mut bars = Vec::new();
+    let mut improvements: Vec<f64> = Vec::new();
+    for (genre, video) in &genre_videos {
+        let genre = *genre;
+        // One real trajectory per genre, as in the survey (recorded video).
+        let trace = gen.generate(&video.scene, seed ^ (video.spec.id as u64) << 3);
+
+        for (bw_label, bw) in &conditions {
+            let mut genre_mos = Vec::new();
+            for method in [Method::Flare, Method::Pano] {
+                let session =
+                    simulate_session(video, method, &trace, bw, &SessionConfig::default());
+                // The panel rates the session's perceived quality.
+                let true_mos = session.mos();
+                let ratings: Vec<u8> = (0..n_raters as u32)
+                    .map(|rid| Rater::new(seed ^ 0x13, rid).rate(true_mos))
+                    .collect();
+                let per_rater: Vec<f64> = ratings.iter().map(|&r| r as f64).collect();
+                let mos = mean_opinion(&ratings);
+                bars.push(MosBar {
+                    genre: genre.label().to_string(),
+                    method,
+                    bandwidth: bw_label.to_string(),
+                    mos,
+                    sem: std_dev(&per_rater) / (n_raters as f64).sqrt(),
+                });
+                genre_mos.push(mos);
+            }
+            // genre_mos = [flare, pano]
+            if genre_mos[0] > 0.0 {
+                improvements.push(100.0 * (genre_mos[1] - genre_mos[0]) / genre_mos[0]);
+            }
+        }
+    }
+    let min_imp = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_imp = improvements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Fig13Result {
+        bars,
+        improvement_range_pct: (min_imp, max_imp),
+    }
+}
+
+/// Renders the per-genre bars.
+pub fn render(r: &Fig13Result) -> String {
+    let mut out = String::from("Fig.13: MOS by genre (survey simulation)\n");
+    for bw in ["0.71 Mbps", "1.05 Mbps"] {
+        out.push_str(&format!("Bandwidth: {bw}\n"));
+        for bar in r.bars.iter().filter(|b| b.bandwidth == bw) {
+            out.push_str(&format!(
+                "  {:<12} {:<24} MOS {:.2} (±{:.2})\n",
+                bar.genre,
+                bar.method.label(),
+                bar.mos,
+                bar.sem
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "Pano improvement over viewport-driven: {:.0}% .. {:.0}%\n",
+        r.improvement_range_pct.0, r.improvement_range_pct.1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::metrics::mean;
+
+    #[test]
+    fn pano_rates_higher_across_genres() {
+        let r = run(12, 32.0, 0x13);
+        // 7 genres x 2 methods x 2 conditions.
+        assert_eq!(r.bars.len(), 28);
+        // Pano's mean MOS across all bars beats the baseline's.
+        let mos_of = |m: Method| {
+            let v: Vec<f64> = r
+                .bars
+                .iter()
+                .filter(|b| b.method == m)
+                .map(|b| b.mos)
+                .collect();
+            mean(&v)
+        };
+        let pano = mos_of(Method::Pano);
+        let flare = mos_of(Method::Flare);
+        assert!(pano > flare, "Pano MOS {pano} vs Flare {flare}");
+        // Improvement range overlaps the paper's positive band.
+        assert!(
+            r.improvement_range_pct.1 > 0.0,
+            "max improvement {:?}",
+            r.improvement_range_pct
+        );
+        // All MOS are on the 1..5 scale.
+        assert!(r.bars.iter().all(|b| (1.0..=5.0).contains(&b.mos)));
+    }
+
+    #[test]
+    fn render_lists_conditions() {
+        let r = run(5, 16.0, 3);
+        let txt = render(&r);
+        assert!(txt.contains("0.71 Mbps"));
+        assert!(txt.contains("1.05 Mbps"));
+        assert!(txt.contains("improvement"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 4 — video size inflation versus tiling granularity.
+//!
+//! Encodes each video under uniform 3×6, 6×12 and 12×24 tilings and
+//! reports total tile size divided by the single-tile ("original") size,
+//! with across-video standard deviations — the motivation for Pano's
+//! coarse variable-size tiles.
+
+use pano_geo::GridDims;
+use pano_tiling::uniform_tiling;
+use pano_video::codec::{Encoder, QualityLevel};
+use pano_video::{DatasetSpec, FeatureExtractor};
+use serde::{Deserialize, Serialize};
+
+/// One tiling granularity's size ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularityRow {
+    /// Grid label ("3x6" etc.).
+    pub label: String,
+    /// Mean of (total tile size / original size) across videos.
+    pub mean_ratio: f64,
+    /// Standard deviation across videos.
+    pub sd: f64,
+}
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// One row per granularity, coarse to fine.
+    pub rows: Vec<GranularityRow>,
+}
+
+/// Runs Fig. 4 over `n_videos` videos of `secs` seconds (sampling the
+/// first chunk of each — tiling overhead is stable across chunks).
+pub fn run(n_videos: usize, secs: f64, seed: u64) -> Fig4Result {
+    let dataset = DatasetSpec::generate_with_duration(n_videos, secs, seed);
+    let encoder = Encoder::default();
+    let dims = GridDims::PANO_UNIT;
+    let grids: [(u16, u16); 3] = [(3, 6), (6, 12), (12, 24)];
+    let level = QualityLevel(2);
+
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); grids.len()];
+    for spec in &dataset.videos {
+        let scene = spec.scene();
+        let extractor = FeatureExtractor::new(spec.resolution, dims);
+        let features = extractor.extract(&scene, spec.fps, 0, 1.0);
+        let original = encoder
+            .encode_chunk(&spec.resolution, &features, &[dims.full_rect()])
+            .total_size(level) as f64;
+        for (i, &(r, c)) in grids.iter().enumerate() {
+            let tiles = uniform_tiling(dims, r, c);
+            let total = encoder
+                .encode_chunk(&spec.resolution, &features, &tiles)
+                .total_size(level) as f64;
+            ratios[i].push(total / original);
+        }
+    }
+
+    let rows = grids
+        .iter()
+        .zip(&ratios)
+        .map(|(&(r, c), vals)| {
+            let mean = crate::metrics::mean(vals);
+            GranularityRow {
+                label: format!("{r}*{c}"),
+                mean_ratio: mean,
+                sd: crate::metrics::std_dev(vals),
+            }
+        })
+        .collect();
+    Fig4Result { rows }
+}
+
+/// Renders the figure as text rows.
+pub fn render(r: &Fig4Result) -> String {
+    let mut out = String::from("Fig.4: total tile size / original video size\n");
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:>6}: {:.2} (±{:.2})\n",
+            row.label, row.mean_ratio, row.sd
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_grow_with_granularity_like_the_paper() {
+        let r = run(6, 4.0, 11);
+        assert_eq!(r.rows.len(), 3);
+        // Monotone growth.
+        assert!(r.rows[0].mean_ratio < r.rows[1].mean_ratio);
+        assert!(r.rows[1].mean_ratio < r.rows[2].mean_ratio);
+        // Paper shape: 3x6 modest (~1.2-1.5x), 12x24 large (~2-3x, "almost
+        // 200% more than 3x6-grid").
+        assert!(
+            r.rows[0].mean_ratio > 1.0 && r.rows[0].mean_ratio < 1.8,
+            "3x6 ratio {}",
+            r.rows[0].mean_ratio
+        );
+        assert!(
+            r.rows[2].mean_ratio > 2.0 && r.rows[2].mean_ratio < 4.0,
+            "12x24 ratio {}",
+            r.rows[2].mean_ratio
+        );
+        // 12x24 is roughly 2x the 3x6 total (the "almost 200%" claim).
+        let blowup = r.rows[2].mean_ratio / r.rows[0].mean_ratio;
+        assert!(blowup > 1.5 && blowup < 3.0, "blowup {blowup}");
+        let txt = render(&r);
+        assert!(txt.contains("12*24"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(2, 2.0, 3), run(2, 2.0, 3));
+    }
+}

@@ -1,0 +1,209 @@
+//! Figures 6 & 7 — JND versus the three viewpoint-driven factors.
+//!
+//! Runs the simulated observer panel through the Appendix A staircase
+//! protocol: Fig. 6 sweeps each factor with the others at zero; Fig. 7
+//! measures two factors jointly and checks the product (independence)
+//! structure.
+
+use pano_jnd::{ActionState, Panel};
+use serde::{Deserialize, Serialize};
+
+/// One measured JND point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JndPoint {
+    /// Factor value.
+    pub x: f64,
+    /// Measured panel-mean JND (grey levels).
+    pub jnd: f64,
+    /// Across-participant standard deviation.
+    pub sd: f64,
+}
+
+/// One joint (two-factor) measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointPoint {
+    /// First factor value (speed, deg/s).
+    pub x1: f64,
+    /// Second factor value.
+    pub x2: f64,
+    /// Measured JND.
+    pub jnd: f64,
+    /// `base_JND × F1(x1) × F2(x2)` — the product-model prediction.
+    pub product_prediction: f64,
+}
+
+/// Result of the Fig. 6/7 experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// JND vs relative viewpoint speed (others at 0).
+    pub speed_curve: Vec<JndPoint>,
+    /// JND vs 5-s luminance change.
+    pub luminance_curve: Vec<JndPoint>,
+    /// JND vs DoF difference.
+    pub dof_curve: Vec<JndPoint>,
+    /// Fig. 7a: joint speed × DoF grid.
+    pub joint_speed_dof: Vec<JointPoint>,
+    /// Fig. 7b: joint speed × luminance grid.
+    pub joint_speed_lum: Vec<JointPoint>,
+    /// Median relative error of the product model on the joint grids.
+    pub product_model_median_err: f64,
+}
+
+fn measure_curve(
+    panel: &mut Panel,
+    values: &[f64],
+    make: impl Fn(f64) -> ActionState,
+) -> Vec<JndPoint> {
+    values
+        .iter()
+        .map(|&x| {
+            let o = panel.measure(&make(x));
+            JndPoint {
+                x,
+                jnd: o.mean_jnd,
+                sd: o.sd,
+            }
+        })
+        .collect()
+}
+
+/// Runs Figures 6 and 7 with a panel of `n_observers` (paper: 20).
+pub fn run(n_observers: usize, seed: u64) -> Fig6Result {
+    let mut panel = Panel::new(n_observers, seed);
+    let truth = *panel.multipliers();
+
+    let speed_values = [0.0, 2.5, 5.0, 10.0, 15.0, 20.0];
+    let lum_values = [0.0, 40.0, 80.0, 120.0, 160.0, 200.0];
+    let dof_values = [0.0, 0.67, 1.33, 2.0];
+
+    let speed_curve = measure_curve(&mut panel, &speed_values, |v| ActionState {
+        rel_speed_deg_s: v,
+        ..ActionState::REST
+    });
+    let luminance_curve = measure_curve(&mut panel, &lum_values, |l| ActionState {
+        lum_change: l,
+        ..ActionState::REST
+    });
+    let dof_curve = measure_curve(&mut panel, &dof_values, |d| ActionState {
+        dof_diff: d,
+        ..ActionState::REST
+    });
+
+    // Joint grids (Fig. 7): measure and compare with the product model.
+    let base = panel.measure(&ActionState::REST).mean_jnd;
+    let mut errs = Vec::new();
+    let mut joint_speed_dof = Vec::new();
+    for &s in &[0.0, 10.0, 20.0] {
+        for &d in &[0.0, 1.0, 2.0] {
+            let o = panel.measure(&ActionState {
+                rel_speed_deg_s: s,
+                dof_diff: d,
+                lum_change: 0.0,
+            });
+            let pred = (base * truth.f_speed(s) * truth.f_dof(d))
+                .min(pano_jnd::panel::STAIRCASE_MAX_DELTA as f64);
+            errs.push((o.mean_jnd - pred).abs() / pred);
+            joint_speed_dof.push(JointPoint {
+                x1: s,
+                x2: d,
+                jnd: o.mean_jnd,
+                product_prediction: pred,
+            });
+        }
+    }
+    let mut joint_speed_lum = Vec::new();
+    for &s in &[0.0, 10.0, 20.0] {
+        for &l in &[0.0, 100.0, 200.0] {
+            let o = panel.measure(&ActionState {
+                rel_speed_deg_s: s,
+                lum_change: l,
+                dof_diff: 0.0,
+            });
+            let pred = (base * truth.f_speed(s) * truth.f_lum(l))
+                .min(pano_jnd::panel::STAIRCASE_MAX_DELTA as f64);
+            errs.push((o.mean_jnd - pred).abs() / pred);
+            joint_speed_lum.push(JointPoint {
+                x1: s,
+                x2: l,
+                jnd: o.mean_jnd,
+                product_prediction: pred,
+            });
+        }
+    }
+
+    Fig6Result {
+        speed_curve,
+        luminance_curve,
+        dof_curve,
+        joint_speed_dof,
+        joint_speed_lum,
+        product_model_median_err: pano_jnd::predictor::median(&errs),
+    }
+}
+
+/// Renders the measured curves as text.
+pub fn render(r: &Fig6Result) -> String {
+    let mut out = String::from("Fig.6: JND vs individual factors (panel-measured)\n");
+    let dump = |name: &str, curve: &[JndPoint], out: &mut String| {
+        out.push_str(&format!("{name}:\n"));
+        for p in curve {
+            out.push_str(&format!("  x={:>7.2} -> JND {:>6.2} (±{:.2})\n", p.x, p.jnd, p.sd));
+        }
+    };
+    dump("speed (deg/s)", &r.speed_curve, &mut out);
+    dump("luminance change (grey)", &r.luminance_curve, &mut out);
+    dump("DoF diff (dioptre)", &r.dof_curve, &mut out);
+    out.push_str(&format!(
+        "Fig.7: product-model median relative error on joint grids: {:.1}%\n",
+        100.0 * r.product_model_median_err
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_and_anchored() {
+        let r = run(40, 5);
+        // Each curve rises from its zero point.
+        for curve in [&r.speed_curve, &r.luminance_curve, &r.dof_curve] {
+            assert!(curve.len() >= 4);
+            let first = curve.first().expect("non-empty").jnd;
+            let last = curve.last().expect("non-empty").jnd;
+            assert!(last > first * 1.2, "curve should rise: {first} -> {last}");
+        }
+        // The 10 deg/s point is ~1.5x the rest JND (the §2.3 anchor),
+        // within panel noise.
+        let rest = r.speed_curve[0].jnd;
+        let at10 = r
+            .speed_curve
+            .iter()
+            .find(|p| p.x == 10.0)
+            .expect("10 deg/s point")
+            .jnd;
+        let ratio = at10 / rest;
+        assert!((1.2..1.9).contains(&ratio), "anchor ratio {ratio}");
+    }
+
+    #[test]
+    fn product_model_is_accurate_fig7() {
+        let r = run(40, 9);
+        assert!(
+            r.product_model_median_err < 0.15,
+            "median error {}",
+            r.product_model_median_err
+        );
+        assert_eq!(r.joint_speed_dof.len(), 9);
+        assert_eq!(r.joint_speed_lum.len(), 9);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let r = run(10, 1);
+        let txt = render(&r);
+        assert!(txt.contains("speed (deg/s)"));
+        assert!(txt.contains("Fig.7"));
+    }
+}

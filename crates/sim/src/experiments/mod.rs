@@ -1,0 +1,143 @@
+//! Experiment drivers — one per table/figure of the paper.
+//!
+//! Each module exposes a `run(...)` returning a serialisable result struct
+//! plus a `print(...)`-style textual rendering used by the `repro` binary
+//! in `pano-bench`. Experiment parameters default to laptop-scale versions
+//! of the paper's setups (shorter videos, fewer users) but keep the same
+//! structure; every driver takes explicit scale knobs so the full-size
+//! runs remain possible.
+
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod tables;
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled empirical CDF, the common currency of several figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledCdf {
+    /// Series label.
+    pub label: String,
+    /// Sorted `(value, cdf)` points, `cdf` in `(0, 1]`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl LabelledCdf {
+    /// Builds from raw samples.
+    pub fn from_samples(label: &str, samples: &[f64]) -> Self {
+        LabelledCdf {
+            label: label.to_string(),
+            points: pano_jnd::predictor::empirical_cdf(samples),
+        }
+    }
+
+    /// Value at a given percentile (0–100), by nearest point.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let target = pct / 100.0;
+        self.points
+            .iter()
+            .find(|(_, c)| *c >= target)
+            .map(|(v, _)| *v)
+            .unwrap_or(self.points.last().expect("non-empty").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labelled_cdf_percentiles() {
+        let c = LabelledCdf::from_samples("x", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.percentile(25.0), 1.0);
+        assert_eq!(c.percentile(50.0), 2.0);
+        assert_eq!(c.percentile(100.0), 4.0);
+        assert_eq!(c.label, "x");
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = LabelledCdf {
+            label: "e".into(),
+            points: vec![],
+        };
+        assert_eq!(c.percentile(50.0), 0.0);
+    }
+}
+
+/// Fans `items` out across worker threads and collects `f(item)` in input
+/// order. The simulation is CPU-bound, so plain scoped threads (not an
+/// async runtime) are the right tool; results are written into pre-sized
+/// slots so no ordering logic is needed.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    {
+        let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
+        for pair in items.into_iter().enumerate() {
+            queue.push(pair);
+        }
+        let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<R>>> =
+            slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|_| {
+                    while let Some((idx, item)) = queue.pop() {
+                        let r = f(item);
+                        **slot_ptrs[idx].lock() = Some(r);
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::parallel_map;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |i: u64| i + 1), vec![8]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Tables 2 & 3 and the §6.3 system-optimisation numbers.
+//!
+//! * Table 2 — the dataset summary (count, length, resolution, frame
+//!   rate, genre mix) of the generated dataset.
+//! * Table 3 — the PSPNR → MOS band map, validated against the simulated
+//!   rater panel.
+//! * §6.3 — the lookup-table compression ladder (full → 1-D → power) and
+//!   the 1-in-10 frame-sampling saving for PSPNR computation.
+
+use pano_abr::lookup::LookupBuilder;
+use pano_abr::LookupScheme;
+use pano_jnd::{mos_from_pspnr, PspnrComputer};
+use pano_video::codec::Encoder;
+use pano_video::{DatasetSpec, FeatureExtractor};
+use serde::{Deserialize, Serialize};
+
+/// Table 2 rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Number of videos.
+    pub total_videos: usize,
+    /// Videos with (synthetic) user trajectories.
+    pub traced_videos: usize,
+    /// Total length in seconds.
+    pub total_secs: f64,
+    /// Full resolution (w, h).
+    pub resolution: (u32, u32),
+    /// Frame rate.
+    pub fps: u32,
+    /// `(genre, count, share)` rows.
+    pub genres: Vec<(String, usize, f64)>,
+}
+
+/// Generates Table 2 from the standard dataset.
+pub fn table2(seed: u64) -> Table2 {
+    let d = DatasetSpec::generate(50, seed);
+    Table2 {
+        total_videos: d.videos.len(),
+        traced_videos: d.traced_subset().len(),
+        total_secs: d.total_secs(),
+        resolution: (d.videos[0].resolution.width, d.videos[0].resolution.height),
+        fps: d.videos[0].fps,
+        genres: d
+            .genre_summary()
+            .into_iter()
+            .map(|(g, c, s)| (g.label().to_string(), c, s))
+            .collect(),
+    }
+}
+
+/// Table 3: the PSPNR→MOS map as `(band label, mos)` rows.
+pub fn table3() -> Vec<(&'static str, u8)> {
+    vec![
+        ("<= 45", mos_from_pspnr(45.0)),
+        ("46-53", mos_from_pspnr(50.0)),
+        ("54-61", mos_from_pspnr(58.0)),
+        ("62-69", mos_from_pspnr(66.0)),
+        (">= 70", mos_from_pspnr(75.0)),
+    ]
+}
+
+/// §6.3 results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sec63Result {
+    /// Lookup-table sizes in bytes: (full, 1-D ratio, power regression).
+    pub table_bytes: (usize, usize, usize),
+    /// Compression factor full → power.
+    pub compression_factor: f64,
+    /// Frame-sampling: PSPNR of 1-in-10 sampling vs per-frame, mean
+    /// absolute difference in dB (the "as effective" claim), and the
+    /// compute saving fraction (0.9 by construction).
+    pub sampling_error_db: f64,
+    /// Compute saving from sampling.
+    pub sampling_saving: f64,
+}
+
+/// Runs the §6.3 measurements on a small video.
+pub fn sec63(seed: u64) -> Sec63Result {
+    let d = DatasetSpec::generate_with_duration(1, 10.0, seed);
+    let spec = &d.videos[0];
+    let scene = spec.scene();
+    let eq = spec.resolution;
+    let dims = pano_geo::GridDims::PANO_UNIT;
+    let encoder = Encoder::default();
+    let computer = PspnrComputer::default();
+    let extractor = FeatureExtractor::new(eq, dims);
+
+    // Ten chunks, Pano-like 2-tile split for table size realism.
+    let tiling = vec![
+        pano_geo::GridRect::new(0, 0, 12, 12),
+        pano_geo::GridRect::new(0, 12, 12, 12),
+    ];
+    let pairs: Vec<_> = (0..10)
+        .map(|k| {
+            let f = extractor.extract(&scene, spec.fps, k, 1.0);
+            let enc = encoder.encode_chunk(&eq, &f, &tiling);
+            (f, enc.tiles)
+        })
+        .collect();
+    let b = LookupBuilder::new(&computer);
+    let full = b.build_full(&pairs).serialized_bytes();
+    let ratio = b.build_ratio(&pairs).serialized_bytes();
+    let power = b.build_power(&pairs).serialized_bytes();
+
+    // Frame sampling: compute per-"frame" PSPNR at 30 samples per chunk
+    // vs 3 (1-in-10). Our codec model is per-chunk, so we emulate frame
+    // variation by evaluating PSPNR on features extracted at different
+    // time sampling densities.
+    let dense = FeatureExtractor::new(eq, dims).with_sampling(30, 2);
+    let sparse = FeatureExtractor::new(eq, dims).with_sampling(3, 2);
+    let mut diffs = Vec::new();
+    for k in 0..10 {
+        let fd = dense.extract(&scene, spec.fps, k, 1.0);
+        let fs = sparse.extract(&scene, spec.fps, k, 1.0);
+        let cd = encoder.encode_chunk(&eq, &fd, &tiling);
+        let cs = encoder.encode_chunk(&eq, &fs, &tiling);
+        for (td, ts) in cd.tiles.iter().zip(&cs.tiles) {
+            let qd = computer
+                .tile_quality(&fd, td, pano_video::codec::QualityLevel(2), &pano_jnd::ActionState::REST)
+                .pspnr_db;
+            let qs = computer
+                .tile_quality(&fs, ts, pano_video::codec::QualityLevel(2), &pano_jnd::ActionState::REST)
+                .pspnr_db;
+            diffs.push((qd - qs).abs());
+        }
+    }
+    Sec63Result {
+        table_bytes: (full, ratio, power),
+        compression_factor: full as f64 / power as f64,
+        sampling_error_db: crate::metrics::mean(&diffs),
+        sampling_saving: 0.9,
+    }
+}
+
+/// Renders all tables.
+pub fn render_table2(t: &Table2) -> String {
+    let mut out = String::from("Table 2: dataset summary\n");
+    out.push_str(&format!("  Total # videos   {}\n", t.total_videos));
+    out.push_str(&format!("  Traced videos    {}\n", t.traced_videos));
+    out.push_str(&format!("  Total length (s) {}\n", t.total_secs));
+    out.push_str(&format!(
+        "  Full resolution  {} x {}\n  Frame rate       {}\n",
+        t.resolution.0, t.resolution.1, t.fps
+    ));
+    for (g, c, s) in &t.genres {
+        out.push_str(&format!("  {:<12} {:>2} videos ({:.0}%)\n", g, c, s * 100.0));
+    }
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3() -> String {
+    let mut out = String::from("Table 3: PSPNR (360JND) -> MOS\n");
+    for (band, mos) in table3() {
+        out.push_str(&format!("  PSPNR {band:<6} -> MOS {mos}\n"));
+    }
+    out
+}
+
+/// Renders the §6.3 numbers.
+pub fn render_sec63(r: &Sec63Result) -> String {
+    format!(
+        "Sec 6.3: lookup-table compression and PSPNR sampling\n\
+         \x20 full table:       {} bytes\n\
+         \x20 1-D ratio table:  {} bytes\n\
+         \x20 power regression: {} bytes (x{:.0} smaller than full)\n\
+         \x20 frame sampling 1-in-10: mean |dPSPNR| {:.2} dB, compute saving {:.0}%\n",
+        r.table_bytes.0,
+        r.table_bytes.1,
+        r.table_bytes.2,
+        r.compression_factor,
+        r.sampling_error_db,
+        r.sampling_saving * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_constants() {
+        let t = table2(42);
+        assert_eq!(t.total_videos, 50);
+        assert_eq!(t.traced_videos, 18);
+        assert!((t.total_secs - 12000.0).abs() < 1.0);
+        assert_eq!(t.resolution, (2880, 1440));
+        assert_eq!(t.fps, 30);
+        let txt = render_table2(&t);
+        assert!(txt.contains("2880 x 1440"));
+    }
+
+    #[test]
+    fn table3_is_the_paper_map() {
+        assert_eq!(
+            table3(),
+            vec![
+                ("<= 45", 1),
+                ("46-53", 2),
+                ("54-61", 3),
+                ("62-69", 4),
+                (">= 70", 5)
+            ]
+        );
+        assert!(render_table3().contains("MOS 5"));
+    }
+
+    #[test]
+    fn sec63_compression_and_sampling() {
+        let r = sec63(7);
+        let (full, ratio, power) = r.table_bytes;
+        assert!(full > ratio && ratio > power, "{full} > {ratio} > {power}");
+        // The paper's 10 MB -> 50 KB is a factor ~200 on a 300-chunk
+        // table; our 10-chunk miniature must still compress hard.
+        assert!(
+            r.compression_factor > 10.0,
+            "factor {}",
+            r.compression_factor
+        );
+        // Sampling is "as effective": small PSPNR deviation.
+        assert!(
+            r.sampling_error_db < 2.0,
+            "sampling error {} dB",
+            r.sampling_error_db
+        );
+        assert!(render_sec63(&r).contains("power regression"));
+    }
+}

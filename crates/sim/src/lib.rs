@@ -1,0 +1,28 @@
+//! # pano-sim — end-to-end 360° streaming simulation
+//!
+//! This crate wires every substrate together into the paper's evaluation
+//! harness:
+//!
+//! * [`asset`] — provider-side preparation of one video: features, history
+//!   traces, per-method tilings, encodings, PSPNR machinery.
+//! * [`methods`] — the streaming methods under comparison: Pano (full and
+//!   its Fig. 18a ablations), a Flare-style viewport-driven baseline, a
+//!   ClusTile-style baseline, and whole-video streaming.
+//! * [`client`] — the playback session simulator: viewpoint + throughput
+//!   prediction, MPC budgeting, tile-level allocation, delivery over a
+//!   [`pano_net::Connection`], buffer/stall accounting.
+//! * [`metrics`] — per-chunk and per-session QoE results (viewport
+//!   PSPNR, buffering ratio, bandwidth, MOS).
+//! * [`experiments`] — one driver per table/figure of the paper; each
+//!   returns a serialisable result the `repro` binary prints.
+
+pub mod asset;
+pub mod client;
+pub mod experiments;
+pub mod methods;
+pub mod metrics;
+
+pub use asset::{AssetConfig, PreparedVideo};
+pub use client::{simulate_session, RateController, SessionConfig};
+pub use methods::Method;
+pub use metrics::{ChunkResult, SessionResult};

@@ -1,0 +1,137 @@
+//! The streaming methods under comparison.
+//!
+//! * [`Method::Pano`] — the full system: variable-size tiling, 360JND
+//!   PSPNR estimation under conservative viewpoint prediction, Pareto
+//!   tile allocation.
+//! * [`Method::PanoTraditionalJnd`] — Fig. 18a ablation: PSPNR with the
+//!   content-only JND (action ratio pinned to 1) on uniform tiling.
+//! * [`Method::Pano360JndUniform`] — Fig. 18a ablation: full 360JND but
+//!   uniform grid tiling.
+//! * [`Method::Flare`] — the viewport-driven baseline: uniform 6×12
+//!   tiling, quality allocated by distance to the predicted viewpoint
+//!   (the "perceived quality is a function of distance" model).
+//! * [`Method::ClusTile`] — viewport-driven quality on a ClusTile-style
+//!   popularity-clustered tiling.
+//! * [`Method::WholeVideo`] — the non-tiled reference: the whole sphere
+//!   at one uniform level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A streaming method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Full Pano: 360JND + variable tiling + conservative prediction.
+    Pano,
+    /// Ablation: traditional (content-only) JND, uniform tiling.
+    PanoTraditionalJnd,
+    /// Ablation: 360JND on uniform tiling.
+    Pano360JndUniform,
+    /// Flare-style viewport-driven baseline (uniform tiling).
+    Flare,
+    /// ClusTile-style baseline (popularity-clustered tiling).
+    ClusTile,
+    /// Whole-sphere uniform-quality streaming.
+    WholeVideo,
+}
+
+impl Method {
+    /// The four methods compared in Fig. 15.
+    pub const FIG15: [Method; 4] = [
+        Method::Pano,
+        Method::ClusTile,
+        Method::Flare,
+        Method::WholeVideo,
+    ];
+
+    /// The Fig. 18a ablation ladder, weakest first.
+    pub const ABLATION: [Method; 4] = [
+        Method::Flare,
+        Method::PanoTraditionalJnd,
+        Method::Pano360JndUniform,
+        Method::Pano,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Pano => "Pano",
+            Method::PanoTraditionalJnd => "Pano (traditional PSPNR)",
+            Method::Pano360JndUniform => "Pano (PSPNR w/ 360JND)",
+            Method::Flare => "Flare",
+            Method::ClusTile => "ClusTile",
+            Method::WholeVideo => "Whole video",
+        }
+    }
+
+    /// Whether this method uses Pano's variable-size tiling.
+    pub fn uses_variable_tiling(&self) -> bool {
+        matches!(self, Method::Pano)
+    }
+
+    /// Whether this method uses the ClusTile popularity tiling.
+    pub fn uses_clustile_tiling(&self) -> bool {
+        matches!(self, Method::ClusTile)
+    }
+
+    /// Whether this method streams the sphere as one tile.
+    pub fn is_whole_video(&self) -> bool {
+        matches!(self, Method::WholeVideo)
+    }
+
+    /// Whether the tile allocator uses perceptual PSPNR estimates (as
+    /// opposed to viewport distance).
+    pub fn uses_pspnr_allocation(&self) -> bool {
+        matches!(
+            self,
+            Method::Pano | Method::PanoTraditionalJnd | Method::Pano360JndUniform
+        )
+    }
+
+    /// Whether the PSPNR estimates include the 360° action multipliers.
+    pub fn uses_360jnd(&self) -> bool {
+        matches!(self, Method::Pano | Method::Pano360JndUniform)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Method::Pano.label(), "Pano");
+        assert_eq!(Method::Flare.label(), "Flare");
+        assert_eq!(Method::ClusTile.label(), "ClusTile");
+        assert_eq!(Method::WholeVideo.label(), "Whole video");
+    }
+
+    #[test]
+    fn capability_matrix() {
+        assert!(Method::Pano.uses_variable_tiling());
+        assert!(!Method::Pano360JndUniform.uses_variable_tiling());
+        assert!(Method::Pano.uses_360jnd());
+        assert!(Method::Pano360JndUniform.uses_360jnd());
+        assert!(!Method::PanoTraditionalJnd.uses_360jnd());
+        assert!(Method::PanoTraditionalJnd.uses_pspnr_allocation());
+        assert!(!Method::Flare.uses_pspnr_allocation());
+        assert!(Method::WholeVideo.is_whole_video());
+        assert!(Method::ClusTile.uses_clustile_tiling());
+    }
+
+    #[test]
+    fn ablation_ladder_orders_capabilities() {
+        // Each rung adds one capability over the previous.
+        let l = Method::ABLATION;
+        assert!(!l[0].uses_pspnr_allocation());
+        assert!(l[1].uses_pspnr_allocation() && !l[1].uses_360jnd());
+        assert!(l[2].uses_360jnd() && !l[2].uses_variable_tiling());
+        assert!(l[3].uses_variable_tiling());
+    }
+}

@@ -1,0 +1,153 @@
+//! QoE accounting.
+//!
+//! Per-chunk and per-session results: the viewport-weighted PSPNR under
+//! the user's *actual* viewpoint trajectory, stall/buffering bookkeeping,
+//! bytes on the wire, and the Table 3 MOS translation.
+
+use pano_jnd::mos_to_scale;
+use serde::{Deserialize, Serialize};
+
+/// QoE of one chunk as played.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkResult {
+    /// Chunk index.
+    pub chunk_idx: usize,
+    /// Viewport-weighted PSPNR under the true viewpoint actions, dB.
+    pub pspnr_db: f64,
+    /// Bytes fetched for this chunk.
+    pub bytes: u64,
+    /// Stall time incurred while fetching this chunk, seconds.
+    pub stall_secs: f64,
+    /// Buffer level right after this chunk was enqueued, seconds.
+    pub buffer_after_secs: f64,
+}
+
+/// QoE of a whole playback session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Per-chunk results in playback order.
+    pub chunks: Vec<ChunkResult>,
+    /// Startup delay (time to first frame), seconds.
+    pub startup_secs: f64,
+    /// Total stall after startup, seconds.
+    pub total_stall_secs: f64,
+    /// Total played video, seconds.
+    pub total_played_secs: f64,
+}
+
+impl SessionResult {
+    /// Mean viewport PSPNR across chunks, dB.
+    pub fn mean_pspnr(&self) -> f64 {
+        if self.chunks.is_empty() {
+            return 0.0;
+        }
+        self.chunks.iter().map(|c| c.pspnr_db).sum::<f64>() / self.chunks.len() as f64
+    }
+
+    /// Buffering ratio: stall / (stall + played), in percent.
+    pub fn buffering_ratio_pct(&self) -> f64 {
+        let denom = self.total_stall_secs + self.total_played_secs;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.total_stall_secs / denom
+        }
+    }
+
+    /// Total bytes fetched.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Mean bandwidth consumption over played time, bits per second.
+    pub fn mean_bandwidth_bps(&self) -> f64 {
+        if self.total_played_secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / self.total_played_secs
+    }
+
+    /// Continuous MOS via the Table 3 scale on the mean PSPNR.
+    pub fn mos(&self) -> f64 {
+        mos_to_scale(self.mean_pspnr())
+    }
+}
+
+/// Mean of a sample set (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (population form; 0 for < 2 samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SessionResult {
+        SessionResult {
+            chunks: vec![
+                ChunkResult {
+                    chunk_idx: 0,
+                    pspnr_db: 60.0,
+                    bytes: 100_000,
+                    stall_secs: 0.5,
+                    buffer_after_secs: 1.0,
+                },
+                ChunkResult {
+                    chunk_idx: 1,
+                    pspnr_db: 70.0,
+                    bytes: 150_000,
+                    stall_secs: 0.0,
+                    buffer_after_secs: 2.0,
+                },
+            ],
+            startup_secs: 0.8,
+            total_stall_secs: 0.5,
+            total_played_secs: 2.0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = session();
+        assert_eq!(s.mean_pspnr(), 65.0);
+        assert_eq!(s.total_bytes(), 250_000);
+        assert!((s.buffering_ratio_pct() - 20.0).abs() < 1e-9);
+        assert!((s.mean_bandwidth_bps() - 1_000_000.0).abs() < 1.0);
+        // 65 dB maps near MOS 4 on the Table 3 scale.
+        assert!((s.mos() - 3.94).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_session_is_zeroes() {
+        let s = SessionResult {
+            chunks: vec![],
+            startup_secs: 0.0,
+            total_stall_secs: 0.0,
+            total_played_secs: 0.0,
+        };
+        assert_eq!(s.mean_pspnr(), 0.0);
+        assert_eq!(s.buffering_ratio_pct(), 0.0);
+        assert_eq!(s.mean_bandwidth_bps(), 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+}

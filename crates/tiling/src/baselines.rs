@@ -1,0 +1,115 @@
+//! Baseline tiling schemes.
+//!
+//! * [`uniform_tiling`] — the standard grid tiling (3×6, 6×12, 12×24, …)
+//!   used by Flare-style viewport-driven systems and by the Fig. 4
+//!   tiling-overhead experiment.
+//! * [`clustile_tiling`] — a ClusTile-style scheme: rectangles are formed
+//!   by the same top-down splitting machinery but driven by *viewing
+//!   popularity* (how often history viewports cover each cell) instead of
+//!   Pano's perceptual efficiency scores. This captures ClusTile's idea —
+//!   cluster tiles so that commonly co-viewed regions share a tile — at
+//!   the fidelity our comparison needs.
+
+use crate::efficiency::ScoreGrid;
+use crate::grouping::group_tiles;
+use pano_geo::{GridDims, GridRect};
+
+/// A uniform `rows × cols` tiling expressed as rectangles over the unit
+/// grid. Panics if the requested grid does not divide the unit grid.
+pub fn uniform_tiling(unit: GridDims, rows: u16, cols: u16) -> Vec<GridRect> {
+    assert!(
+        rows > 0 && cols > 0 && unit.rows.is_multiple_of(rows) && unit.cols.is_multiple_of(cols),
+        "uniform tiling {rows}x{cols} must divide the unit grid {unit}"
+    );
+    let rh = unit.rows / rows;
+    let cw = unit.cols / cols;
+    let mut out = Vec::with_capacity(rows as usize * cols as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(GridRect::new(r * rh, c * cw, rh, cw));
+        }
+    }
+    out
+}
+
+/// ClusTile-style tiling: group unit cells into `n_tiles` rectangles so
+/// that cells with similar viewing popularity share a tile.
+///
+/// `popularity` is one value per cell (row-major), e.g. the fraction of
+/// history viewport samples covering the cell. Weights are uniform: the
+/// clustering criterion is popularity similarity, not solid angle.
+pub fn clustile_tiling(unit: GridDims, popularity: &[f64], n_tiles: usize) -> Vec<GridRect> {
+    assert_eq!(
+        popularity.len(),
+        unit.cell_count(),
+        "one popularity value per cell"
+    );
+    let grid = ScoreGrid::new(
+        unit,
+        popularity.to_vec(),
+        vec![1.0; unit.cell_count()],
+    );
+    group_tiles(&grid, n_tiles).tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_geo::grid::verify_partition;
+
+    #[test]
+    fn uniform_grids_partition() {
+        let unit = GridDims::PANO_UNIT;
+        for (r, c) in [(3u16, 6u16), (6, 12), (12, 24), (1, 1), (4, 8)] {
+            let tiles = uniform_tiling(unit, r, c);
+            assert_eq!(tiles.len(), r as usize * c as usize);
+            assert!(verify_partition(unit, &tiles).is_ok(), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn uniform_tiles_have_equal_shape() {
+        let tiles = uniform_tiling(GridDims::PANO_UNIT, 3, 6);
+        for t in &tiles {
+            assert_eq!((t.rows, t.cols), (4, 4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_uniform_panics() {
+        uniform_tiling(GridDims::PANO_UNIT, 5, 6);
+    }
+
+    #[test]
+    fn clustile_separates_popular_band() {
+        let unit = GridDims::PANO_UNIT;
+        // Equatorial band (rows 4..8) is 10x more popular.
+        let popularity: Vec<f64> = unit
+            .cells()
+            .map(|c| if (4..8).contains(&c.row) { 1.0 } else { 0.1 })
+            .collect();
+        let tiles = clustile_tiling(unit, &popularity, 6);
+        assert!(verify_partition(unit, &tiles).is_ok());
+        assert_eq!(tiles.len(), 6);
+        // No tile should straddle the popularity boundary once variance is
+        // minimised with 6 tiles: every tile is popularity-uniform.
+        for t in &tiles {
+            let vals: Vec<f64> = t
+                .cells()
+                .map(|c| popularity[unit.linear(c)])
+                .collect();
+            let first = vals[0];
+            assert!(
+                vals.iter().all(|&v| (v - first).abs() < 1e-12),
+                "tile {t} mixes popularity bands"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one popularity value per cell")]
+    fn clustile_wrong_arity_panics() {
+        clustile_tiling(GridDims::PANO_UNIT, &[1.0], 4);
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-unit-tile efficiency scores (paper Eq. 5).
+//!
+//! The efficiency score of a unit tile is the slope of its PSPNR versus
+//! quality level: `γ = (P(q_high) − P(q_low)) / (q_high − q_low)`. Tiles
+//! whose quality grows fast with level (low JND masking, high sensitivity)
+//! get high scores; tiles whose perceived quality barely changes (fast
+//! motion, deep DoF difference, dark or busy content) get low scores.
+//! Scores are computed offline under *history-averaged* viewpoint action
+//! states — the caller supplies one [`ActionState`] per cell, typically
+//! averaged across recorded trajectories.
+
+use pano_geo::{CellIdx, Equirect, GridDims, GridRect};
+use pano_jnd::{ActionState, PspnrComputer};
+use pano_video::codec::{Encoder, QualityLevel};
+use pano_video::ChunkFeatures;
+use serde::{Deserialize, Serialize};
+
+/// A grid of per-cell efficiency scores with pixel-area weights, the input
+/// to the grouping algorithm. Carries prefix sums so any rectangle's
+/// weighted mean/variance is O(1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreGrid {
+    /// Grid dimensions.
+    pub dims: GridDims,
+    scores: Vec<f64>,
+    weights: Vec<f64>,
+    // Prefix sums over (rows+1) x (cols+1): weight, weight*score, weight*score^2.
+    pw: Vec<f64>,
+    pws: Vec<f64>,
+    pws2: Vec<f64>,
+}
+
+impl ScoreGrid {
+    /// Builds a score grid from row-major per-cell scores and weights.
+    ///
+    /// Panics if lengths don't match the grid or any weight is negative.
+    pub fn new(dims: GridDims, scores: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(scores.len(), dims.cell_count(), "one score per cell");
+        assert_eq!(weights.len(), dims.cell_count(), "one weight per cell");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0) && weights.iter().any(|&w| w > 0.0),
+            "weights must be non-negative and not all zero"
+        );
+        let (rows, cols) = (dims.rows as usize, dims.cols as usize);
+        let stride = cols + 1;
+        let mut pw = vec![0.0; (rows + 1) * stride];
+        let mut pws = vec![0.0; (rows + 1) * stride];
+        let mut pws2 = vec![0.0; (rows + 1) * stride];
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                let (w, s) = (weights[i], scores[i]);
+                let idx = (r + 1) * stride + (c + 1);
+                pw[idx] = w + pw[idx - 1] + pw[idx - stride] - pw[idx - stride - 1];
+                pws[idx] = w * s + pws[idx - 1] + pws[idx - stride] - pws[idx - stride - 1];
+                pws2[idx] =
+                    w * s * s + pws2[idx - 1] + pws2[idx - stride] - pws2[idx - stride - 1];
+            }
+        }
+        ScoreGrid {
+            dims,
+            scores,
+            weights,
+            pw,
+            pws,
+            pws2,
+        }
+    }
+
+    /// Score of one cell.
+    pub fn score(&self, cell: CellIdx) -> f64 {
+        self.scores[self.dims.linear(cell)]
+    }
+
+    /// Weight of one cell.
+    pub fn weight(&self, cell: CellIdx) -> f64 {
+        self.weights[self.dims.linear(cell)]
+    }
+
+    fn rect_sums(&self, rect: GridRect) -> (f64, f64, f64) {
+        let stride = self.dims.cols as usize + 1;
+        let (r0, r1) = (rect.row0 as usize, rect.row_end() as usize);
+        let (c0, c1) = (rect.col0 as usize, rect.col_end() as usize);
+        let at = |p: &Vec<f64>, r: usize, c: usize| p[r * stride + c];
+        let w = at(&self.pw, r1, c1) - at(&self.pw, r0, c1) - at(&self.pw, r1, c0)
+            + at(&self.pw, r0, c0);
+        let ws = at(&self.pws, r1, c1) - at(&self.pws, r0, c1) - at(&self.pws, r1, c0)
+            + at(&self.pws, r0, c0);
+        let ws2 = at(&self.pws2, r1, c1) - at(&self.pws2, r0, c1) - at(&self.pws2, r1, c0)
+            + at(&self.pws2, r0, c0);
+        (w, ws, ws2)
+    }
+
+    /// Total weight of a rectangle.
+    pub fn rect_weight(&self, rect: GridRect) -> f64 {
+        self.rect_sums(rect).0
+    }
+
+    /// Weighted mean score of a rectangle (0 for zero-weight rects).
+    pub fn rect_mean(&self, rect: GridRect) -> f64 {
+        let (w, ws, _) = self.rect_sums(rect);
+        if w <= 0.0 {
+            0.0
+        } else {
+            ws / w
+        }
+    }
+
+    /// Weight × variance of a rectangle — the quantity the grouping
+    /// objective sums ("variance weighted by the area of the group").
+    pub fn rect_weighted_variance(&self, rect: GridRect) -> f64 {
+        let (w, ws, ws2) = self.rect_sums(rect);
+        if w <= 0.0 {
+            return 0.0;
+        }
+        // Σw·s² − (Σw·s)²/Σw, clamped against FP cancellation.
+        (ws2 - ws * ws / w).max(0.0)
+    }
+
+    /// The grouping objective for a whole partition: the sum of per-rect
+    /// weighted variances.
+    pub fn partition_cost(&self, rects: &[GridRect]) -> f64 {
+        rects.iter().map(|&r| self.rect_weighted_variance(r)).sum()
+    }
+}
+
+/// Computes per-cell efficiency scores for a chunk: encode each unit cell
+/// as its own tile, evaluate its PSPNR at the lowest and highest quality
+/// levels under the cell's history-averaged action state, and take the
+/// Eq. 5 slope. Weights are the cells' pixel areas.
+///
+/// `actions` supplies one action state per cell (row-major); this is where
+/// the history viewpoint trajectories enter. Panics if its length does not
+/// match the grid.
+pub fn efficiency_scores(
+    encoder: &Encoder,
+    computer: &PspnrComputer,
+    eq: &Equirect,
+    features: &ChunkFeatures,
+    actions: &[ActionState],
+) -> ScoreGrid {
+    let dims = features.dims;
+    assert_eq!(actions.len(), dims.cell_count(), "one action per cell");
+    let q_low = QualityLevel::LOWEST;
+    let q_high = QualityLevel::HIGHEST;
+    let dq = (q_high.0 - q_low.0) as f64;
+
+    let mut scores = Vec::with_capacity(dims.cell_count());
+    let mut weights = Vec::with_capacity(dims.cell_count());
+    for cell in dims.cells() {
+        let tile = encoder.encode_tile(eq, dims, features, GridRect::unit(cell));
+        let action = &actions[dims.linear(cell)];
+        let p_low = computer.tile_quality(features, &tile, q_low, action).pspnr_db;
+        let p_high = computer
+            .tile_quality(features, &tile, q_high, action)
+            .pspnr_db;
+        scores.push((p_high - p_low) / dq);
+        let (_, _, w, h) = eq.cell_pixel_rect(dims, cell);
+        weights.push((w * h) as f64);
+    }
+    ScoreGrid::new(dims, scores, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid_2x2(scores: [f64; 4]) -> ScoreGrid {
+        ScoreGrid::new(GridDims::new(2, 2), scores.to_vec(), vec![1.0; 4])
+    }
+
+    #[test]
+    fn rect_stats_match_hand_computation() {
+        let g = grid_2x2([1.0, 2.0, 3.0, 4.0]);
+        let full = GridDims::new(2, 2).full_rect();
+        assert_eq!(g.rect_weight(full), 4.0);
+        assert!((g.rect_mean(full) - 2.5).abs() < 1e-12);
+        // variance = mean of squares - square of mean = 7.5 - 6.25 = 1.25;
+        // weighted variance = 4 * 1.25 = 5.
+        assert!((g.rect_weighted_variance(full) - 5.0).abs() < 1e-9);
+
+        let top = GridRect::new(0, 0, 1, 2);
+        assert!((g.rect_mean(top) - 1.5).abs() < 1e-12);
+        assert!((g.rect_weighted_variance(top) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_the_mean() {
+        let g = ScoreGrid::new(
+            GridDims::new(1, 2),
+            vec![0.0, 10.0],
+            vec![3.0, 1.0],
+        );
+        let full = GridDims::new(1, 2).full_rect();
+        assert!((g.rect_mean(full) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_scores_have_zero_variance() {
+        let g = grid_2x2([7.0; 4]);
+        let full = GridDims::new(2, 2).full_rect();
+        assert!(g.rect_weighted_variance(full).abs() < 1e-9);
+        assert_eq!(g.partition_cost(&[full]), 0.0);
+    }
+
+    #[test]
+    fn splitting_never_increases_cost() {
+        let g = grid_2x2([1.0, 9.0, 2.0, 8.0]);
+        let full = GridDims::new(2, 2).full_rect();
+        let whole = g.partition_cost(&[full]);
+        for (a, b) in full.all_splits() {
+            assert!(g.partition_cost(&[a, b]) <= whole + 1e-9);
+        }
+        // The best split (vertical, separating {1,2} from {9,8}) is much
+        // better than the horizontal one.
+        let (l, r) = full.split_vertical(1).unwrap();
+        let (t, b) = full.split_horizontal(1).unwrap();
+        assert!(g.partition_cost(&[l, r]) < g.partition_cost(&[t, b]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per cell")]
+    fn wrong_score_count_panics() {
+        ScoreGrid::new(GridDims::new(2, 2), vec![1.0], vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        ScoreGrid::new(GridDims::new(1, 2), vec![1.0, 2.0], vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn efficiency_scores_from_encoder() {
+        use pano_jnd::ActionState;
+        let dims = GridDims::PANO_UNIT;
+        let eq = Equirect::PAPER_FULL;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let rest = vec![ActionState::REST; dims.cell_count()];
+        let grid = efficiency_scores(
+            &Encoder::default(),
+            &PspnrComputer::default(),
+            &eq,
+            &feats,
+            &rest,
+        );
+        // Uniform features at rest: all scores equal and positive.
+        let s0 = grid.score(CellIdx::new(0, 0));
+        assert!(s0 > 0.0, "score {s0}");
+        for cell in dims.cells() {
+            assert!((grid.score(cell) - s0).abs() < 1e-9);
+        }
+        // Weights are pixel areas; all 120x120 at PAPER_FULL/PANO_UNIT.
+        assert_eq!(grid.weight(CellIdx::new(3, 5)), 14400.0);
+    }
+
+    #[test]
+    fn moving_cells_have_lower_efficiency_scores() {
+        use pano_jnd::ActionState;
+        let dims = GridDims::PANO_UNIT;
+        let eq = Equirect::PAPER_FULL;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        // Left half of the sphere appears fast-moving to the user.
+        let actions: Vec<ActionState> = dims
+            .cells()
+            .map(|c| {
+                if c.col < 12 {
+                    ActionState {
+                        rel_speed_deg_s: 25.0,
+                        ..ActionState::REST
+                    }
+                } else {
+                    ActionState::REST
+                }
+            })
+            .collect();
+        let grid = efficiency_scores(
+            &Encoder::default(),
+            &PspnrComputer::default(),
+            &eq,
+            &feats,
+            &actions,
+        );
+        let moving = grid.score(CellIdx::new(6, 3));
+        let still = grid.score(CellIdx::new(6, 20));
+        // What matters for the grouping is that cells with different
+        // sensitivities get clearly different scores, so the partition can
+        // separate them. (The *direction* depends on the distortion model:
+        // in dB space a masked region's PSPNR saturates faster, so its
+        // per-level slope is steeper even though it needs less quality.)
+        assert!(
+            (moving - still).abs() > 0.2 * still.abs().max(1.0),
+            "moving and still regions should be separable: {moving} vs {still}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rect_stats_match_naive(
+            scores in proptest::collection::vec(0.0f64..10.0, 24),
+            r0 in 0u16..4, c0 in 0u16..6,
+        ) {
+            let dims = GridDims::new(4, 6);
+            let g = ScoreGrid::new(dims, scores.clone(), vec![1.0; 24]);
+            let rows = 1 + (r0 % (4 - r0.min(3)));
+            let cols = 1 + (c0 % (6 - c0.min(5)));
+            let rect = GridRect::new(r0.min(3), c0.min(5), rows.min(4 - r0.min(3)), cols.min(6 - c0.min(5)));
+            // Naive mean.
+            let mut sum = 0.0; let mut n = 0.0;
+            for cell in rect.cells() {
+                sum += scores[dims.linear(cell)];
+                n += 1.0;
+            }
+            prop_assert!((g.rect_mean(rect) - sum / n).abs() < 1e-9);
+            // Naive weighted variance.
+            let mean = sum / n;
+            let mut var = 0.0;
+            for cell in rect.cells() {
+                let d = scores[dims.linear(cell)] - mean;
+                var += d * d;
+            }
+            prop_assert!((g.rect_weighted_variance(rect) - var).abs() < 1e-6);
+        }
+    }
+}
+
+/// Refined efficiency scores (the paper's §5 "further refinements" note):
+/// instead of the two-point slope of Eq. 5 — which assumes PSPNR grows
+/// linearly with the quality level — fit a least-squares line through the
+/// PSPNR at *all five* levels and use its slope. Robust to curvature and
+/// saturation at the top of the ladder.
+pub fn efficiency_scores_refined(
+    encoder: &Encoder,
+    computer: &PspnrComputer,
+    eq: &Equirect,
+    features: &ChunkFeatures,
+    actions: &[ActionState],
+) -> ScoreGrid {
+    let dims = features.dims;
+    assert_eq!(actions.len(), dims.cell_count(), "one action per cell");
+
+    let mut scores = Vec::with_capacity(dims.cell_count());
+    let mut weights = Vec::with_capacity(dims.cell_count());
+    for cell in dims.cells() {
+        let tile = encoder.encode_tile(eq, dims, features, GridRect::unit(cell));
+        let action = &actions[dims.linear(cell)];
+        // Least-squares slope of P(q) over q = 0..4.
+        let ps: Vec<f64> = QualityLevel::all()
+            .map(|l| computer.tile_quality(features, &tile, l, action).pspnr_db)
+            .collect();
+        let n = ps.len() as f64;
+        let mean_q = (n - 1.0) / 2.0;
+        let mean_p = ps.iter().sum::<f64>() / n;
+        let mut sqq = 0.0;
+        let mut sqp = 0.0;
+        for (q, &p) in ps.iter().enumerate() {
+            let dq = q as f64 - mean_q;
+            sqq += dq * dq;
+            sqp += dq * (p - mean_p);
+        }
+        scores.push(sqp / sqq);
+        let (_, _, w, h) = eq.cell_pixel_rect(dims, cell);
+        weights.push((w * h) as f64);
+    }
+    ScoreGrid::new(dims, scores, weights)
+}
+
+#[cfg(test)]
+mod refined_tests {
+    use super::*;
+    use pano_jnd::ActionState;
+
+    #[test]
+    fn refined_scores_agree_with_eq5_on_linear_ramps() {
+        // For uniform features the P(q) curve is identical in every cell,
+        // so both scorers must produce uniform grids; the refined slope is
+        // bounded by the endpoint slope when the curve is concave.
+        let dims = GridDims::PANO_UNIT;
+        let eq = Equirect::PAPER_FULL;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let rest = vec![ActionState::REST; dims.cell_count()];
+        let encoder = Encoder::default();
+        let computer = PspnrComputer::default();
+        let eq5 = efficiency_scores(&encoder, &computer, &eq, &feats, &rest);
+        let refined = efficiency_scores_refined(&encoder, &computer, &eq, &feats, &rest);
+        let c0 = CellIdx::new(0, 0);
+        for cell in dims.cells() {
+            assert!((refined.score(cell) - refined.score(c0)).abs() < 1e-9);
+        }
+        // Same sign, same order of magnitude.
+        assert!(refined.score(c0) > 0.0);
+        assert!(refined.score(c0) < 3.0 * eq5.score(c0) + 1.0);
+    }
+
+    #[test]
+    fn refined_scores_damp_saturation_artifacts() {
+        // A heavily masked region saturates at the top of the ladder; the
+        // endpoint slope (Eq. 5) is inflated by the capped P(q_high),
+        // while the all-levels fit discounts the flat top.
+        let dims = GridDims::PANO_UNIT;
+        let eq = Equirect::PAPER_FULL;
+        let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, 128.0, 0.5);
+        let masked = vec![
+            ActionState {
+                rel_speed_deg_s: 40.0,
+                lum_change: 200.0,
+                dof_diff: 2.0,
+            };
+            dims.cell_count()
+        ];
+        let encoder = Encoder::default();
+        let computer = PspnrComputer::default();
+        let eq5 = efficiency_scores(&encoder, &computer, &eq, &feats, &masked);
+        let refined = efficiency_scores_refined(&encoder, &computer, &eq, &feats, &masked);
+        let c = CellIdx::new(6, 6);
+        assert!(
+            refined.score(c) <= eq5.score(c) + 1e-9,
+            "refined {} should not exceed the endpoint slope {} under saturation",
+            refined.score(c),
+            eq5.score(c)
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Top-down tile grouping (paper §5, step 3).
+//!
+//! Starting from one hypothetical rectangle covering the whole 12×24 unit
+//! grid, the algorithm repeatedly splits an existing rectangle — along the
+//! vertical or horizontal boundary that most reduces the objective — until
+//! there are `N` rectangles. The objective is the sum over rectangles of
+//! the weighted variance of their unit-tile efficiency scores (each
+//! rectangle's variance weighted by its area), so cells with similar
+//! sensitivity end up in the same coarse tile. This mirrors the paper's
+//! description and the split-enumeration style of classic 2-D subspace
+//! clustering.
+
+use crate::efficiency::ScoreGrid;
+use pano_geo::GridRect;
+use serde::{Deserialize, Serialize};
+
+/// Result of the grouping: the tiling plus objective diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupingResult {
+    /// The `N` coarse-grained tiles (a partition of the unit grid).
+    pub tiles: Vec<GridRect>,
+    /// The objective (sum of weighted variances) of the final partition.
+    pub cost: f64,
+    /// Objective of the single-tile partition, for reference.
+    pub initial_cost: f64,
+}
+
+impl GroupingResult {
+    /// Fraction of the initial variance removed by the grouping, in `[0,1]`.
+    pub fn variance_reduction(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.cost / self.initial_cost).clamp(0.0, 1.0)
+    }
+}
+
+/// Best single split of `rect`: the `(split, gain)` that maximises the
+/// variance reduction, or `None` if the rect is a single cell.
+fn best_split(grid: &ScoreGrid, rect: GridRect) -> Option<((GridRect, GridRect), f64)> {
+    let own = grid.rect_weighted_variance(rect);
+    let mut best: Option<((GridRect, GridRect), f64)> = None;
+    for (a, b) in rect.all_splits() {
+        let gain = own - grid.rect_weighted_variance(a) - grid.rect_weighted_variance(b);
+        match &best {
+            Some((_, g)) if *g >= gain => {}
+            _ => best = Some(((a, b), gain)),
+        }
+    }
+    best
+}
+
+/// Groups the unit grid into at most `n_tiles` rectangles by greedy
+/// top-down splitting (paper default: `n_tiles = 30`).
+///
+/// The result always has exactly `min(n_tiles, cell_count)` rectangles:
+/// once every rectangle's variance is zero, further splits choose the
+/// (zero-gain) split of the largest remaining rectangle, matching the
+/// paper's "run until there are N rectangles" loop. Panics if
+/// `n_tiles == 0`.
+pub fn group_tiles(grid: &ScoreGrid, n_tiles: usize) -> GroupingResult {
+    assert!(n_tiles > 0, "must request at least one tile");
+    let full = grid.dims.full_rect();
+    let initial_cost = grid.rect_weighted_variance(full);
+    let target = n_tiles.min(grid.dims.cell_count());
+
+    // Working set of rectangles with their cached best splits.
+    let mut rects: Vec<GridRect> = vec![full];
+    while rects.len() < target {
+        // Pick the rectangle whose best split gains the most; tie-break by
+        // larger area so degenerate (zero-gain) phases still balance sizes.
+        let mut chosen: Option<(usize, (GridRect, GridRect), f64)> = None;
+        for (i, &r) in rects.iter().enumerate() {
+            if let Some((split, gain)) = best_split(grid, r) {
+                let better = match &chosen {
+                    None => true,
+                    Some((ci, _, cg)) => {
+                        gain > *cg + 1e-12
+                            || ((gain - *cg).abs() <= 1e-12
+                                && r.area() > rects[*ci].area())
+                    }
+                };
+                if better {
+                    chosen = Some((i, split, gain));
+                }
+            }
+        }
+        match chosen {
+            Some((i, (a, b), _)) => {
+                rects.swap_remove(i);
+                rects.push(a);
+                rects.push(b);
+            }
+            // Every rect is a single cell already.
+            None => break,
+        }
+    }
+
+    let cost = grid.partition_cost(&rects);
+    GroupingResult {
+        tiles: rects,
+        cost,
+        initial_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_geo::{grid::verify_partition, CellIdx, GridDims};
+    use proptest::prelude::*;
+
+    /// The paper's Fig. 9 toy example: a 4×4 grid with two high-score
+    /// pockets (5s and 9s) in a field of 1s.
+    fn fig9_grid() -> ScoreGrid {
+        #[rustfmt::skip]
+        let scores = vec![
+            1.0, 1.0, 1.0, 1.0,
+            5.0, 5.0, 5.0, 1.0,
+            5.0, 5.0, 5.0, 1.0,
+            1.0, 1.0, 9.0, 9.0,
+        ];
+        ScoreGrid::new(GridDims::new(4, 4), scores, vec![1.0; 16])
+    }
+
+    #[test]
+    fn grouping_always_partitions() {
+        let g = fig9_grid();
+        for n in [1, 2, 3, 5, 8, 16, 30] {
+            let res = group_tiles(&g, n);
+            assert!(
+                verify_partition(GridDims::new(4, 4), &res.tiles).is_ok(),
+                "n={n}"
+            );
+            assert_eq!(res.tiles.len(), n.min(16), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cost_decreases_with_more_tiles() {
+        let g = fig9_grid();
+        let mut prev = f64::INFINITY;
+        for n in 1..=16 {
+            let res = group_tiles(&g, n);
+            assert!(res.cost <= prev + 1e-9, "n={n}: {} > {prev}", res.cost);
+            prev = res.cost;
+        }
+        // With 16 singleton tiles the variance is exactly zero.
+        assert!(group_tiles(&g, 16).cost.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9_structure_is_separated() {
+        // With enough tiles the 5-pocket and the 9-pocket end up in tiles
+        // of uniform score (zero within-tile variance well before 16 tiles).
+        let g = fig9_grid();
+        let res = group_tiles(&g, 8);
+        assert!(
+            res.cost < 1e-9,
+            "8 tiles should isolate the pockets, cost {}",
+            res.cost
+        );
+        assert!(res.variance_reduction() > 0.999);
+        // Each resulting tile is score-uniform.
+        for t in &res.tiles {
+            let m = g.rect_mean(*t);
+            for cell in t.cells() {
+                assert_eq!(g.score(cell), m, "tile {t} not uniform");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_grid_splits_by_area() {
+        let g = ScoreGrid::new(GridDims::new(4, 4), vec![1.0; 16], vec![1.0; 16]);
+        let res = group_tiles(&g, 4);
+        assert_eq!(res.tiles.len(), 4);
+        assert!(verify_partition(GridDims::new(4, 4), &res.tiles).is_ok());
+        // Zero-gain ties break toward larger rects, keeping sizes balanced:
+        // no singleton cells at n=4 over a uniform 4x4 grid.
+        for t in &res.tiles {
+            assert!(t.area() >= 2, "unbalanced tile {t}");
+        }
+        assert_eq!(res.variance_reduction(), 0.0);
+    }
+
+    #[test]
+    fn paper_default_on_unit_grid() {
+        // 12x24 grid with a smooth score gradient: the paper's default
+        // N=30 grouping must partition and cut variance substantially.
+        let dims = GridDims::PANO_UNIT;
+        let scores: Vec<f64> = dims
+            .cells()
+            .map(|c| (c.row as f64 * 0.35) + (c.col as f64 * 0.1).sin())
+            .collect();
+        let g = ScoreGrid::new(dims, scores, vec![1.0; dims.cell_count()]);
+        let res = group_tiles(&g, 30);
+        assert_eq!(res.tiles.len(), 30);
+        assert!(verify_partition(dims, &res.tiles).is_ok());
+        assert!(
+            res.variance_reduction() > 0.9,
+            "reduction {}",
+            res.variance_reduction()
+        );
+    }
+
+    #[test]
+    fn single_tile_request_returns_full_rect() {
+        let g = fig9_grid();
+        let res = group_tiles(&g, 1);
+        assert_eq!(res.tiles, vec![GridDims::new(4, 4).full_rect()]);
+        assert_eq!(res.cost, res.initial_cost);
+    }
+
+    #[test]
+    fn more_tiles_than_cells_saturates() {
+        let g = ScoreGrid::new(
+            GridDims::new(2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0; 4],
+        );
+        let res = group_tiles(&g, 100);
+        assert_eq!(res.tiles.len(), 4);
+        for t in &res.tiles {
+            assert_eq!(t.area(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_panics() {
+        group_tiles(&fig9_grid(), 0);
+    }
+
+    #[test]
+    fn weighted_variance_guides_splits() {
+        // Two outlier cells: one heavy, one light. The first split should
+        // isolate the heavy outlier's side.
+        let dims = GridDims::new(1, 4);
+        let g = ScoreGrid::new(
+            dims,
+            vec![0.0, 0.0, 10.0, 10.0],
+            vec![1.0, 1.0, 100.0, 100.0],
+        );
+        let res = group_tiles(&g, 2);
+        assert!(res.cost < 1e-9, "split separates the score change");
+        assert!(verify_partition(dims, &res.tiles).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_and_monotone_cost(
+            seed in 0u64..200,
+            n in 1usize..40,
+        ) {
+            let dims = GridDims::new(6, 8);
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let scores: Vec<f64> = (0..dims.cell_count()).map(|_| next() * 10.0).collect();
+            let g = ScoreGrid::new(dims, scores, vec![1.0; dims.cell_count()]);
+            let res = group_tiles(&g, n);
+            prop_assert!(verify_partition(dims, &res.tiles).is_ok());
+            prop_assert_eq!(res.tiles.len(), n.min(dims.cell_count()));
+            prop_assert!(res.cost <= res.initial_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cells_with_similar_scores_grouped_together() {
+        // Left half score 1, right half score 10: N=2 must split exactly
+        // down the middle.
+        let dims = GridDims::new(4, 8);
+        let scores: Vec<f64> = dims
+            .cells()
+            .map(|c| if c.col < 4 { 1.0 } else { 10.0 })
+            .collect();
+        let g = ScoreGrid::new(dims, scores, vec![1.0; 32]);
+        let res = group_tiles(&g, 2);
+        assert!(res.cost < 1e-9);
+        let mut tiles = res.tiles.clone();
+        tiles.sort_by_key(|t| t.col0);
+        assert_eq!(tiles[0], GridRect::new(0, 0, 4, 4));
+        assert_eq!(tiles[1], GridRect::new(0, 4, 4, 4));
+        let _ = g.score(CellIdx::new(0, 0));
+    }
+}

@@ -1,0 +1,24 @@
+//! # pano-tiling — variable-size tiling (paper §5)
+//!
+//! Pano encodes each chunk as a small number of variable-size rectangular
+//! tiles instead of a uniform grid, grouping unit cells so that a user
+//! tends to have *similar sensitivity to quality distortion* within each
+//! tile. The pipeline is:
+//!
+//! 1. split the chunk into 12×24 fine-grained unit tiles ([`pano_geo`]);
+//! 2. compute each unit tile's **efficiency score** — how fast its PSPNR
+//!    grows with quality level (Eq. 5) — see [`efficiency`];
+//! 3. group the unit tiles into `N` rectangles (default 30) minimising the
+//!    area-weighted variance of scores within each rectangle, via a
+//!    top-down recursive splitting — see [`grouping`].
+//!
+//! [`baselines`] provides the comparison tilings: uniform grids (Flare
+//! style) and a ClusTile-style popularity clustering.
+
+pub mod baselines;
+pub mod efficiency;
+pub mod grouping;
+
+pub use baselines::{clustile_tiling, uniform_tiling};
+pub use efficiency::{efficiency_scores, efficiency_scores_refined, ScoreGrid};
+pub use grouping::{group_tiles, GroupingResult};

@@ -1,0 +1,325 @@
+//! Bandwidth traces and throughput prediction.
+//!
+//! The paper replays public 4G/LTE throughput logs with averages of 0.71
+//! and 1.05 Mbps. [`BandwidthTrace`] holds a fixed-interval throughput
+//! series; the synthetic generator is a two-state Markov-modulated model
+//! (good/degraded cell conditions) with lognormal-ish within-state
+//! variation, scaled to a target mean — capturing the burstiness that
+//! stresses the buffer without the long tails of raw logs.
+//! [`ThroughputPredictor`] is the standard harmonic-mean-of-history
+//! estimator used by MPC, with an optional fixed bias for the Fig. 16(d)
+//! robustness experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-interval throughput series in bits per second.
+///
+/// ```
+/// use pano_trace::BandwidthTrace;
+///
+/// let lte = BandwidthTrace::lte_low(600.0, 42);
+/// assert!((lte.mean_bps() - 0.71e6).abs() < 1.0); // the paper's low trace
+/// // Transfer time integrates the varying series exactly.
+/// let secs = lte.transfer_time(0.0, 50_000.0);
+/// assert!(secs > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Seconds between samples.
+    pub interval: f64,
+    /// Throughput samples, bps.
+    pub samples: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from raw samples. Panics on a non-positive interval,
+    /// empty samples, or negative throughput.
+    pub fn new(interval: f64, samples: Vec<f64>) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        assert!(!samples.is_empty(), "trace must have samples");
+        assert!(
+            samples.iter().all(|&s| s >= 0.0 && s.is_finite()),
+            "throughput must be non-negative and finite"
+        );
+        BandwidthTrace { interval, samples }
+    }
+
+    /// A constant-throughput trace (useful in tests).
+    pub fn constant(bps: f64, secs: f64, interval: f64) -> Self {
+        let n = (secs / interval).ceil().max(1.0) as usize;
+        BandwidthTrace::new(interval, vec![bps; n])
+    }
+
+    /// The paper's low-bandwidth condition: ~0.71 Mbps average.
+    pub fn lte_low(secs: f64, seed: u64) -> Self {
+        Self::markov_4g(0.71e6, secs, seed)
+    }
+
+    /// The paper's high-bandwidth condition: ~1.05 Mbps average.
+    pub fn lte_high(secs: f64, seed: u64) -> Self {
+        Self::markov_4g(1.05e6, secs, seed)
+    }
+
+    /// Two-state Markov-modulated 4G model scaled to `mean_bps`.
+    ///
+    /// The chain alternates between a good state (≈1.3× the mean) and a
+    /// degraded state (≈0.55× the mean) with ~8 s and ~4 s mean dwell
+    /// times; within a state, samples wobble ±25 %. The series is then
+    /// rescaled so its mean is exactly `mean_bps`.
+    pub fn markov_4g(mean_bps: f64, secs: f64, seed: u64) -> Self {
+        assert!(mean_bps > 0.0 && secs > 0.0);
+        let interval = 1.0;
+        let n = secs.ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA11D);
+        let mut good = true;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Dwell-time geometric transitions: P(leave good) = 1/8,
+            // P(leave degraded) = 1/4 per second.
+            let leave_p = if good { 1.0 / 8.0 } else { 1.0 / 4.0 };
+            if rng.gen_bool(leave_p) {
+                good = !good;
+            }
+            let base = if good { 1.3 } else { 0.55 };
+            let wobble = rng.gen_range(0.75..1.25);
+            samples.push(mean_bps * base * wobble);
+        }
+        // Rescale to hit the target mean exactly.
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        for s in &mut samples {
+            *s *= mean_bps / mean;
+        }
+        BandwidthTrace::new(interval, samples)
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.samples.len() as f64 * self.interval
+    }
+
+    /// Mean throughput, bps.
+    pub fn mean_bps(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Throughput at time `t` (clamped to the trace; the trace loops if
+    /// `t` exceeds its duration, so long sessions can replay short logs).
+    pub fn throughput_at(&self, t: f64) -> f64 {
+        let idx = ((t / self.interval) as usize) % self.samples.len();
+        self.samples[idx]
+    }
+
+    /// Bytes deliverable over `[t0, t0 + dt)`, integrating the series.
+    pub fn bytes_deliverable(&self, t0: f64, dt: f64) -> f64 {
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        let mut t = t0;
+        let end = t0 + dt;
+        while t < end {
+            let seg_end = ((t / self.interval).floor() + 1.0) * self.interval;
+            let step = seg_end.min(end) - t;
+            bits += self.throughput_at(t) * step;
+            t += step;
+        }
+        bits / 8.0
+    }
+
+    /// Time needed to transfer `bytes` starting at `t0`, seconds.
+    ///
+    /// Inverts [`BandwidthTrace::bytes_deliverable`] by walking the series.
+    /// Returns `f64::INFINITY` if the trace is all-zero from `t0` onward
+    /// (no progress possible within one full loop).
+    pub fn transfer_time(&self, t0: f64, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let mut remaining_bits = bytes * 8.0;
+        let mut t = t0;
+        let loop_limit = t0 + 2.0 * self.duration_secs() + 1.0;
+        while t < loop_limit {
+            let seg_end = ((t / self.interval).floor() + 1.0) * self.interval;
+            let step = seg_end - t;
+            let rate = self.throughput_at(t);
+            let can = rate * step;
+            if can >= remaining_bits {
+                return t + remaining_bits / rate - t0;
+            }
+            remaining_bits -= can;
+            t = seg_end;
+        }
+        f64::INFINITY
+    }
+}
+
+/// Harmonic-mean throughput predictor with optional multiplicative bias.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPredictor {
+    /// History window, seconds (MPC convention: the last 5 samples).
+    pub history_secs: f64,
+    /// Multiplicative error: predicted = actual-estimate × (1 + bias).
+    /// Fig. 16(d) uses ±0.1 and ±0.3.
+    pub bias: f64,
+}
+
+impl Default for ThroughputPredictor {
+    fn default() -> Self {
+        ThroughputPredictor {
+            history_secs: 5.0,
+            bias: 0.0,
+        }
+    }
+}
+
+impl ThroughputPredictor {
+    /// Predicted throughput for the near future at time `now`, bps:
+    /// harmonic mean of the trailing window, scaled by `1 + bias`.
+    pub fn predict(&self, trace: &BandwidthTrace, now: f64) -> f64 {
+        let mut t = (now - self.history_secs).max(0.0);
+        let mut inv_sum = 0.0;
+        let mut n = 0.0;
+        while t < now {
+            let v = trace.throughput_at(t).max(1.0);
+            inv_sum += 1.0 / v;
+            n += 1.0;
+            t += trace.interval;
+        }
+        let base = if n == 0.0 {
+            trace.throughput_at(now)
+        } else {
+            n / inv_sum
+        };
+        (base * (1.0 + self.bias)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_trace_basics() {
+        let tr = BandwidthTrace::constant(1e6, 10.0, 1.0);
+        assert_eq!(tr.samples.len(), 10);
+        assert_eq!(tr.mean_bps(), 1e6);
+        assert_eq!(tr.throughput_at(3.5), 1e6);
+        // 1 Mbps for 2 s = 250 KB.
+        assert!((tr.bytes_deliverable(0.0, 2.0) - 250_000.0).abs() < 1.0);
+        // Transfer 125 KB at 1 Mbps takes 1 s.
+        assert!((tr.transfer_time(0.0, 125_000.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_loops_beyond_duration() {
+        let tr = BandwidthTrace::new(1.0, vec![1e6, 2e6]);
+        assert_eq!(tr.throughput_at(0.5), 1e6);
+        assert_eq!(tr.throughput_at(1.5), 2e6);
+        assert_eq!(tr.throughput_at(2.5), 1e6); // looped
+    }
+
+    #[test]
+    fn lte_presets_hit_paper_means() {
+        let low = BandwidthTrace::lte_low(600.0, 1);
+        let high = BandwidthTrace::lte_high(600.0, 1);
+        assert!((low.mean_bps() - 0.71e6).abs() < 1.0);
+        assert!((high.mean_bps() - 1.05e6).abs() < 1.0);
+        // The model actually varies.
+        let min = low.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = low.samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 1.5 * min, "trace should be bursty: {min}..{max}");
+    }
+
+    #[test]
+    fn markov_is_deterministic() {
+        assert_eq!(
+            BandwidthTrace::markov_4g(1e6, 100.0, 9),
+            BandwidthTrace::markov_4g(1e6, 100.0, 9)
+        );
+        assert_ne!(
+            BandwidthTrace::markov_4g(1e6, 100.0, 9),
+            BandwidthTrace::markov_4g(1e6, 100.0, 10)
+        );
+    }
+
+    #[test]
+    fn transfer_time_spans_variable_segments() {
+        // 1 Mbps then 2 Mbps: 1.5 Mbit takes 1 s + 0.25 s.
+        let tr = BandwidthTrace::new(1.0, vec![1e6, 2e6]);
+        let t = tr.transfer_time(0.0, 1.5e6 / 8.0);
+        assert!((t - 1.25).abs() < 1e-9, "t={t}");
+        // Starting mid-segment.
+        let t2 = tr.transfer_time(0.5, 0.5e6 / 8.0);
+        assert!((t2 - 0.5).abs() < 1e-9, "t2={t2}");
+    }
+
+    #[test]
+    fn transfer_time_infinite_on_dead_link() {
+        let tr = BandwidthTrace::new(1.0, vec![0.0, 0.0]);
+        assert!(tr.transfer_time(0.0, 1000.0).is_infinite());
+        assert_eq!(tr.transfer_time(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn predictor_recovers_constant_rate() {
+        let tr = BandwidthTrace::constant(2e6, 30.0, 1.0);
+        let p = ThroughputPredictor::default();
+        assert!((p.predict(&tr, 10.0) - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn harmonic_mean_is_conservative() {
+        // Harmonic mean of {1, 4} Mbps is 1.6 Mbps, below the 2.5 mean.
+        let tr = BandwidthTrace::new(1.0, vec![1e6, 4e6, 1e6, 4e6, 1e6, 4e6, 1e6, 4e6]);
+        let p = ThroughputPredictor::default();
+        let pred = p.predict(&tr, 6.0);
+        // Window holds {4,1,4,1,4} Mbps: harmonic mean 1.818 Mbps, well
+        // below the 2.6 Mbps arithmetic mean of the same window.
+        assert!(pred < 2.0e6, "pred {pred}");
+        assert!((pred - 1.818e6).abs() < 0.05e6, "pred {pred}");
+    }
+
+    #[test]
+    fn bias_scales_prediction() {
+        let tr = BandwidthTrace::constant(1e6, 30.0, 1.0);
+        let over = ThroughputPredictor {
+            bias: 0.3,
+            ..Default::default()
+        };
+        let under = ThroughputPredictor {
+            bias: -0.3,
+            ..Default::default()
+        };
+        assert!((over.predict(&tr, 10.0) - 1.3e6).abs() < 1.0);
+        assert!((under.predict(&tr, 10.0) - 0.7e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have samples")]
+    fn empty_trace_panics() {
+        BandwidthTrace::new(1.0, vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_deliverable_and_transfer_are_inverse(
+            mean in 0.2e6f64..5e6, secs in 10.0f64..60.0, seed in 0u64..50,
+            t0 in 0.0f64..20.0, dt in 0.1f64..10.0,
+        ) {
+            let tr = BandwidthTrace::markov_4g(mean, secs, seed);
+            let bytes = tr.bytes_deliverable(t0, dt);
+            let t = tr.transfer_time(t0, bytes);
+            prop_assert!((t - dt).abs() < 1e-6, "dt={dt} t={t}");
+        }
+
+        #[test]
+        fn prop_bytes_monotone_in_dt(dt1 in 0.0f64..10.0, dt2 in 0.0f64..10.0) {
+            let tr = BandwidthTrace::markov_4g(1e6, 30.0, 3);
+            let (lo, hi) = if dt1 <= dt2 { (dt1, dt2) } else { (dt2, dt1) };
+            prop_assert!(tr.bytes_deliverable(2.0, lo) <= tr.bytes_deliverable(2.0, hi) + 1e-9);
+        }
+    }
+}

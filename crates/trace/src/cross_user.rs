@@ -1,0 +1,287 @@
+//! Cross-user viewpoint prediction (an extension from the paper's §10
+//! related work: CUB360-style population priors).
+//!
+//! Linear extrapolation of one user's recent head motion degrades quickly
+//! past ~1 s, but *where other users looked* in the same second is a strong
+//! prior — 360° content concentrates attention. [`PopularityPrior`]
+//! summarises history trajectories into a per-second modal viewpoint plus a
+//! concentration score; [`CrossUserPredictor`] blends the linear
+//! extrapolation toward the prior, trusting it more when the horizon is
+//! long and the population was focused.
+
+use crate::predictor::LinearViewpointPredictor;
+use crate::viewpoint::ViewpointTrace;
+use pano_geo::Viewpoint;
+use serde::{Deserialize, Serialize};
+
+/// Per-second population summary built from history traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityPrior {
+    /// Seconds between entries (1.0 = per chunk).
+    pub interval: f64,
+    /// For each interval: the population's mean viewpoint (spherical
+    /// centroid) and its concentration in `[0, 1]` (1 = everyone at the
+    /// same spot, 0 = uniformly scattered).
+    pub entries: Vec<(Viewpoint, f64)>,
+}
+
+impl PopularityPrior {
+    /// Builds the prior from history traces over `duration` seconds.
+    ///
+    /// Panics if `traces` is empty or `interval` is non-positive.
+    pub fn from_traces(traces: &[ViewpointTrace], duration: f64, interval: f64) -> Self {
+        assert!(!traces.is_empty(), "need at least one history trace");
+        assert!(interval > 0.0, "interval must be positive");
+        let n = (duration / interval).ceil() as usize;
+        let entries = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) * interval;
+                // Spherical centroid: mean of unit vectors; its norm is the
+                // concentration (the "mean resultant length" statistic).
+                let mut sum = [0.0f64; 3];
+                for trace in traces {
+                    let v = trace.viewpoint_at(t).to_unit_vector();
+                    sum[0] += v[0];
+                    sum[1] += v[1];
+                    sum[2] += v[2];
+                }
+                let k = traces.len() as f64;
+                let norm =
+                    (sum[0] * sum[0] + sum[1] * sum[1] + sum[2] * sum[2]).sqrt() / k;
+                (Viewpoint::from_vector(sum), norm)
+            })
+            .collect();
+        PopularityPrior { interval, entries }
+    }
+
+    /// The population's modal viewpoint and concentration at time `t`
+    /// (clamped to the covered range).
+    pub fn at(&self, t: f64) -> (Viewpoint, f64) {
+        if self.entries.is_empty() {
+            return (Viewpoint::forward(), 0.0);
+        }
+        let idx = ((t / self.interval) as usize).min(self.entries.len() - 1);
+        self.entries[idx]
+    }
+}
+
+/// Blends linear per-user extrapolation with the population prior.
+#[derive(Debug, Clone)]
+pub struct CrossUserPredictor {
+    /// The per-user extrapolator.
+    pub linear: LinearViewpointPredictor,
+    /// Horizon (seconds) at which the prior reaches half of its maximum
+    /// influence.
+    pub prior_halflife_secs: f64,
+}
+
+impl Default for CrossUserPredictor {
+    fn default() -> Self {
+        CrossUserPredictor {
+            linear: LinearViewpointPredictor::default(),
+            prior_halflife_secs: 2.0,
+        }
+    }
+}
+
+impl CrossUserPredictor {
+    /// How non-linear the user's recent motion is, in `[0, 1]`: the
+    /// disagreement between extrapolations fitted on a long and a short
+    /// history window. A smooth tracker's windows agree (≈0); an erratic
+    /// explorer's do not (→1).
+    pub fn instability(&self, trace: &ViewpointTrace, now: f64, horizon: f64) -> f64 {
+        let long = self.linear.predict(trace, now, horizon);
+        let short = LinearViewpointPredictor { history_secs: 0.4 }.predict(trace, now, horizon);
+        (long.great_circle_distance(&short).value() / 30.0).clamp(0.0, 1.0)
+    }
+
+    /// Predicts the viewpoint at `now + horizon`, pulling the linear
+    /// extrapolation toward the population mode. The pull weight is the
+    /// product of (a) how focused the population was (concentration),
+    /// (b) how stale the per-user information is (long horizons trust the
+    /// prior more), and (c) how unpredictable the user's own motion
+    /// currently is — a smooth tracker is left alone.
+    pub fn predict(
+        &self,
+        trace: &ViewpointTrace,
+        prior: &PopularityPrior,
+        now: f64,
+        horizon: f64,
+    ) -> Viewpoint {
+        let own = self.linear.predict(trace, now, horizon);
+        let (mode, concentration) = prior.at(now + horizon);
+        let staleness = horizon / (horizon + self.prior_halflife_secs);
+        let instability = self.instability(trace, now, horizon);
+        let w = (concentration * staleness * instability).clamp(0.0, 1.0);
+        own.slerp(&mode, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewpoint::TRACE_INTERVAL_SECS;
+    use pano_geo::Degrees;
+
+    fn still_trace(yaw: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        ViewpointTrace::from_viewpoints(
+            TRACE_INTERVAL_SECS,
+            vec![Viewpoint::new(Degrees(yaw), Degrees(0.0)); n],
+        )
+    }
+
+    fn sweep_trace(speed: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        let vps = (0..n)
+            .map(|i| {
+                Viewpoint::new(
+                    Degrees(i as f64 * speed * TRACE_INTERVAL_SECS),
+                    Degrees(0.0),
+                )
+            })
+            .collect();
+        ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps)
+    }
+
+    #[test]
+    fn focused_population_has_high_concentration() {
+        let traces = vec![still_trace(30.0, 10.0), still_trace(32.0, 10.0)];
+        let prior = PopularityPrior::from_traces(&traces, 10.0, 1.0);
+        let (mode, conc) = prior.at(5.0);
+        assert!(conc > 0.99, "concentration {conc}");
+        assert!((mode.yaw().value() - 31.0).abs() < 1.0, "mode {mode}");
+    }
+
+    #[test]
+    fn scattered_population_has_low_concentration() {
+        let traces = vec![
+            still_trace(0.0, 10.0),
+            still_trace(90.0, 10.0),
+            still_trace(180.0, 10.0),
+            still_trace(-90.0, 10.0),
+        ];
+        let prior = PopularityPrior::from_traces(&traces, 10.0, 1.0);
+        let (_, conc) = prior.at(5.0);
+        assert!(conc < 0.1, "concentration {conc}");
+    }
+
+    /// A trajectory whose direction flips every second — maximally
+    /// unpredictable for a linear extrapolator.
+    fn zigzag_trace(amp: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        let vps = (0..n)
+            .map(|i| {
+                let t = i as f64 * TRACE_INTERVAL_SECS;
+                let phase = (t % 2.0) - 1.0; // triangle wave in [-1, 1]
+                let yaw = amp * (1.0 - 2.0 * phase.abs());
+                Viewpoint::new(Degrees(yaw), Degrees(0.0))
+            })
+            .collect();
+        ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps)
+    }
+
+    #[test]
+    fn instability_separates_trackers_from_zigzaggers() {
+        let p = CrossUserPredictor::default();
+        let smooth = sweep_trace(15.0, 20.0);
+        let jerky = zigzag_trace(40.0, 20.0);
+        // Evaluate where the long history window straddles a zigzag
+        // corner (t = 10) but the short one does not.
+        let i_smooth = p.instability(&smooth, 10.4, 2.0);
+        let i_jerky = p.instability(&jerky, 10.4, 2.0);
+        assert!(i_smooth < 0.15, "smooth instability {i_smooth}");
+        assert!(i_jerky > 0.3, "jerky instability {i_jerky}");
+    }
+
+    #[test]
+    fn prior_pulls_unpredictable_users_toward_the_mode() {
+        // Everyone looks at yaw 60; our user zigzags unpredictably.
+        let history = vec![still_trace(60.0, 20.0); 8];
+        let prior = PopularityPrior::from_traces(&history, 20.0, 1.0);
+        let user = zigzag_trace(40.0, 20.0);
+        let p = CrossUserPredictor::default();
+
+        let now = 10.4;
+        let horizon = 3.0;
+        let blended = p.predict(&user, &prior, now, horizon);
+        let linear = p.linear.predict(&user, now, horizon);
+        let mode = Viewpoint::new(Degrees(60.0), Degrees(0.0));
+        assert!(
+            blended.great_circle_distance(&mode).value()
+                < linear.great_circle_distance(&mode).value(),
+            "blend should be closer to the mode than pure linear"
+        );
+    }
+
+    #[test]
+    fn smooth_trackers_are_left_alone() {
+        // A clean sweep is perfectly linear: the prior must not hijack it
+        // even if the population looks elsewhere.
+        let history = vec![still_trace(-120.0, 20.0); 8];
+        let prior = PopularityPrior::from_traces(&history, 20.0, 1.0);
+        let user = sweep_trace(15.0, 20.0);
+        let p = CrossUserPredictor::default();
+        let blended = p.predict(&user, &prior, 10.0, 2.0);
+        let linear = p.linear.predict(&user, 10.0, 2.0);
+        assert!(
+            blended.great_circle_distance(&linear).value() < 5.0,
+            "smooth user pulled {:.1} deg off their own prediction",
+            blended.great_circle_distance(&linear).value()
+        );
+    }
+
+    #[test]
+    fn short_horizons_trust_the_user() {
+        let history = vec![still_trace(120.0, 20.0); 8];
+        let prior = PopularityPrior::from_traces(&history, 20.0, 1.0);
+        let user = still_trace(0.0, 20.0);
+        let p = CrossUserPredictor::default();
+        let short = p.predict(&user, &prior, 5.0, 0.2);
+        // 0.2 s horizon: staleness ~0.09, pull is tiny.
+        assert!(
+            short.great_circle_distance(&Viewpoint::forward()).value() < 15.0,
+            "short-horizon prediction {short} strayed too far"
+        );
+    }
+
+    #[test]
+    fn scattered_prior_changes_nothing() {
+        let history = vec![
+            still_trace(0.0, 20.0),
+            still_trace(90.0, 20.0),
+            still_trace(180.0, 20.0),
+            still_trace(-90.0, 20.0),
+        ];
+        let prior = PopularityPrior::from_traces(&history, 20.0, 1.0);
+        let user = sweep_trace(10.0, 20.0);
+        let p = CrossUserPredictor::default();
+        let blended = p.predict(&user, &prior, 5.0, 2.0);
+        let linear = p.linear.predict(&user, 5.0, 2.0);
+        assert!(
+            blended.great_circle_distance(&linear).value() < 2.0,
+            "low concentration must not move the prediction much"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one history trace")]
+    fn empty_history_panics() {
+        PopularityPrior::from_traces(&[], 10.0, 1.0);
+    }
+
+    #[test]
+    fn prior_round_trips_serde() {
+        let prior =
+            PopularityPrior::from_traces(&[still_trace(10.0, 5.0)], 5.0, 1.0);
+        let json = serde_json::to_string(&prior).unwrap();
+        let back: PopularityPrior = serde_json::from_str(&json).unwrap();
+        // JSON float formatting may shave a ULP off the concentration;
+        // compare entries approximately.
+        assert_eq!(prior.entries.len(), back.entries.len());
+        for (a, b) in prior.entries.iter().zip(&back.entries) {
+            assert!(a.0.great_circle_distance(&b.0).value() < 1e-9);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! From trajectories to quality-model inputs.
+//!
+//! Given a viewpoint trace and a chunk's cell features, [`ActionEstimator`]
+//! computes the per-cell [`ActionState`] — the three viewpoint-driven
+//! factors the 360JND multipliers consume:
+//!
+//! * **relative speed** — the angular speed of a cell's content relative
+//!   to the moving viewpoint. A tracked object appears static
+//!   (relative speed ≈ 0) while the background sweeps past at head speed;
+//!   a counter-moving object appears faster than the head itself.
+//! * **luminance change** — the largest change of viewport luminance over
+//!   the trailing 5-s window (Factor #2's adaptation period).
+//! * **DoF difference** — the absolute dioptre gap between the cell and
+//!   the viewpoint-focused content, under the paper's assumption that the
+//!   object nearest the viewpoint is the one being watched.
+//!
+//! The same estimator also computes the Fig. 3 trace statistics (speed /
+//! luminance-change / DoF-difference distributions).
+
+use crate::viewpoint::ViewpointTrace;
+use pano_geo::{Equirect, GridDims};
+use pano_jnd::ActionState;
+use pano_video::{ChunkFeatures, Scene};
+use serde::{Deserialize, Serialize};
+
+/// Window over which luminance adaptation operates (paper: ~5 s).
+pub const LUMINANCE_WINDOW_SECS: f64 = 5.0;
+
+/// Per-cell action states for one chunk, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellActions {
+    /// Grid the actions are computed on.
+    pub dims: GridDims,
+    /// One action state per cell.
+    pub actions: Vec<ActionState>,
+}
+
+impl CellActions {
+    /// Uniform actions across the grid.
+    pub fn uniform(dims: GridDims, action: ActionState) -> Self {
+        CellActions {
+            dims,
+            actions: vec![action; dims.cell_count()],
+        }
+    }
+
+    /// The action for one cell.
+    pub fn cell(&self, cell: pano_geo::CellIdx) -> &ActionState {
+        &self.actions[self.dims.linear(cell)]
+    }
+}
+
+/// Computes action states and trace statistics.
+#[derive(Debug, Clone)]
+pub struct ActionEstimator {
+    eq: Equirect,
+}
+
+impl ActionEstimator {
+    /// Creates an estimator over the given projection.
+    pub fn new(eq: Equirect) -> Self {
+        ActionEstimator { eq }
+    }
+
+    /// Viewport luminance at time `t`: the scene sampled at the viewpoint.
+    pub fn viewport_luminance(&self, scene: &Scene, trace: &ViewpointTrace, t: f64) -> f64 {
+        let vp = trace.viewpoint_at(t);
+        scene.sample(&vp, t).luma
+    }
+
+    /// Largest viewport-luminance change within the trailing 5-s window at
+    /// time `t` (sampled every 0.5 s).
+    pub fn luminance_change(&self, scene: &Scene, trace: &ViewpointTrace, t: f64) -> f64 {
+        let now = self.viewport_luminance(scene, trace, t);
+        let mut max_change: f64 = 0.0;
+        let mut tau = 0.5;
+        while tau <= LUMINANCE_WINDOW_SECS {
+            let past_t = t - tau;
+            if past_t < 0.0 {
+                break;
+            }
+            let past = self.viewport_luminance(scene, trace, past_t);
+            max_change = max_change.max((now - past).abs());
+            tau += 0.5;
+        }
+        max_change
+    }
+
+    /// DoF of the viewpoint-focused content at `t` (the object nearest the
+    /// viewpoint, per the paper's focus assumption; background otherwise).
+    pub fn focused_dof(&self, scene: &Scene, trace: &ViewpointTrace, t: f64) -> f64 {
+        let vp = trace.viewpoint_at(t);
+        scene.sample(&vp, t).dof_dioptre
+    }
+
+    /// Conservative lower bound on the trailing luminance change (§6.1):
+    /// the minimum of [`ActionEstimator::luminance_change`] over the last
+    /// `history_secs`, sampled every 0.5 s. A lower bound on the factor is
+    /// a lower bound on its JND multiplier, so adaptation decisions made
+    /// from it can only be too careful, never too bold.
+    pub fn luminance_change_lower_bound(
+        &self,
+        scene: &Scene,
+        trace: &ViewpointTrace,
+        t: f64,
+        history_secs: f64,
+    ) -> f64 {
+        let mut min_change = f64::INFINITY;
+        let mut tau = 0.0;
+        while tau <= history_secs {
+            let tt = t - tau;
+            if tt < 0.0 {
+                break;
+            }
+            min_change = min_change.min(self.luminance_change(scene, trace, tt));
+            tau += 0.5;
+        }
+        if min_change.is_finite() {
+            min_change
+        } else {
+            0.0
+        }
+    }
+
+    /// Conservative lower bound on a region's DoF difference (§6.1): the
+    /// minimum of `|region_dof − focused_dof(t')|` over the recent
+    /// history. If the user's focus has recently flipped between depths
+    /// (object ↔ scenery), the bound collapses toward zero — maximal
+    /// caution about the DoF masking channel.
+    pub fn dof_diff_lower_bound(
+        &self,
+        scene: &Scene,
+        trace: &ViewpointTrace,
+        region_dof: f64,
+        t: f64,
+        history_secs: f64,
+    ) -> f64 {
+        let mut min_diff = f64::INFINITY;
+        let mut tau = 0.0;
+        while tau <= history_secs {
+            let tt = t - tau;
+            if tt < 0.0 {
+                break;
+            }
+            min_diff = min_diff.min((region_dof - self.focused_dof(scene, trace, tt)).abs());
+            tau += 0.5;
+        }
+        if min_diff.is_finite() {
+            min_diff
+        } else {
+            0.0
+        }
+    }
+
+    /// Relative speed between the viewpoint and a cell's content over the
+    /// chunk window `[t0, t1)`.
+    ///
+    /// Velocities are compared as vectors in the local tangent frame
+    /// (yaw-rate scaled by `cos(pitch)`, pitch-rate), so a viewpoint
+    /// tracking an object yields a near-zero relative speed while the
+    /// background sweeps at head speed.
+    pub fn relative_speed(
+        &self,
+        trace: &ViewpointTrace,
+        t0: f64,
+        t1: f64,
+        cell_velocity: (f64, f64),
+    ) -> f64 {
+        let w = trace.window(t0, t1);
+        if w.len() < 2 {
+            // No motion information: content speed relative to a still head.
+            let (vx, vy) = cell_velocity;
+            return (vx * vx + vy * vy).sqrt();
+        }
+        let dt = (w.len() - 1) as f64 * trace.interval;
+        let first = w[0].vp;
+        let last = w[w.len() - 1].vp;
+        let dyaw = (last.yaw() - first.yaw()).wrap_180().value();
+        let dpitch = (last.pitch() - first.pitch()).value();
+        let mid_pitch_cos = ((first.pitch() + last.pitch()) / 2.0).cos().max(0.05);
+        let vp_vx = dyaw * mid_pitch_cos / dt;
+        let vp_vy = dpitch / dt;
+        let (cx, cy) = cell_velocity;
+        let rx = cx - vp_vx;
+        let ry = cy - vp_vy;
+        (rx * rx + ry * ry).sqrt()
+    }
+
+    /// Tangent-frame velocity (deg/s) of the content in a cell over the
+    /// chunk, from the scene's object oracle: the covering object's
+    /// velocity, or zero for background.
+    pub fn cell_content_velocity(
+        &self,
+        scene: &Scene,
+        dims: GridDims,
+        cell: pano_geo::CellIdx,
+        t_mid: f64,
+    ) -> (f64, f64) {
+        let center = self.eq.cell_center(dims, cell);
+        match scene.object_at(&center, t_mid) {
+            Some(obj) => {
+                let dt = 0.2;
+                let a = obj.position(t_mid - dt / 2.0);
+                let b = obj.position(t_mid + dt / 2.0);
+                let dyaw = (b.yaw() - a.yaw()).wrap_180().value();
+                let dpitch = (b.pitch() - a.pitch()).value();
+                let cosr = ((a.pitch() + b.pitch()) / 2.0).cos().max(0.05);
+                (dyaw * cosr / dt, dpitch / dt)
+            }
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Full per-cell action states for a chunk: relative speed per cell,
+    /// the shared trailing luminance change, and per-cell DoF difference
+    /// to the focused content.
+    pub fn chunk_actions(
+        &self,
+        scene: &Scene,
+        trace: &ViewpointTrace,
+        features: &ChunkFeatures,
+        chunk_start: f64,
+    ) -> CellActions {
+        let dims = features.dims;
+        let t1 = chunk_start + features.duration_secs;
+        let t_mid = chunk_start + features.duration_secs / 2.0;
+        let lum_change = self.luminance_change(scene, trace, chunk_start);
+        let focus_dof = self.focused_dof(scene, trace, chunk_start);
+        let actions = dims
+            .cells()
+            .map(|cell| {
+                let vel = self.cell_content_velocity(scene, dims, cell, t_mid);
+                ActionState {
+                    rel_speed_deg_s: self.relative_speed(trace, chunk_start, t1, vel),
+                    lum_change,
+                    dof_diff: (features.cell(cell).dof_dioptre - focus_dof).abs(),
+                }
+            })
+            .collect();
+        CellActions { dims, actions }
+    }
+
+    /// Trace statistics for Fig. 3: instantaneous viewpoint speeds, the
+    /// 5-s luminance-change series (sampled at `step` s), and the per-cell
+    /// DoF differences within the viewport at each sampled time.
+    pub fn fig3_statistics(
+        &self,
+        scene: &Scene,
+        trace: &ViewpointTrace,
+        step: f64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let speeds = trace.speeds();
+        let mut lum_changes = Vec::new();
+        let mut dof_diffs = Vec::new();
+        let mut t = LUMINANCE_WINDOW_SECS;
+        let dims = GridDims::PANO_UNIT;
+        while t < trace.duration_secs() {
+            lum_changes.push(self.luminance_change(scene, trace, t));
+            // Max DoF difference between regions inside the viewport.
+            let vp = pano_geo::Viewport::hmd(trace.viewpoint_at(t));
+            let mut lo = f64::INFINITY;
+            let mut hi: f64 = 0.0;
+            for cell in vp.covered_cells(&self.eq, dims) {
+                let d = scene
+                    .sample(&self.eq.cell_center(dims, cell), t)
+                    .dof_dioptre;
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            if lo.is_finite() {
+                dof_diffs.push(hi - lo);
+            }
+            t += step;
+        }
+        (speeds, lum_changes, dof_diffs)
+    }
+}
+
+/// The fraction of samples in `values` strictly above `threshold` — the
+/// §2.3 "how often does the factor exceed its 1.5× threshold" statistic.
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewpoint::{TraceGenerator, ViewpointTrace, TRACE_INTERVAL_SECS};
+    use pano_geo::{CellIdx, Degrees, Viewpoint};
+    use pano_video::scene::{LuminanceEvent, Scene, SceneSpec};
+    use pano_video::FeatureExtractor;
+
+    fn still_trace_at(yaw: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        ViewpointTrace::from_viewpoints(
+            TRACE_INTERVAL_SECS,
+            vec![Viewpoint::new(Degrees(yaw), Degrees(0.0)); n],
+        )
+    }
+
+    fn sweep_trace(speed: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        let vps = (0..n)
+            .map(|i| {
+                Viewpoint::new(
+                    Degrees(i as f64 * speed * TRACE_INTERVAL_SECS),
+                    Degrees(0.0),
+                )
+            })
+            .collect();
+        ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps)
+    }
+
+    #[test]
+    fn still_viewpoint_background_is_static() {
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = still_trace_at(0.0, 10.0);
+        let rel = est.relative_speed(&tr, 1.0, 2.0, (0.0, 0.0));
+        assert!(rel < 0.1, "rel {rel}");
+    }
+
+    #[test]
+    fn sweeping_viewpoint_makes_background_fast() {
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = sweep_trace(20.0, 10.0);
+        let rel = est.relative_speed(&tr, 1.0, 2.0, (0.0, 0.0));
+        assert!((rel - 20.0).abs() < 1.0, "rel {rel}");
+    }
+
+    #[test]
+    fn tracking_the_object_zeroes_relative_speed() {
+        // Viewpoint sweeps at the object's own velocity.
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = sweep_trace(15.0, 10.0);
+        let rel = est.relative_speed(&tr, 1.0, 2.0, (15.0, 0.0));
+        assert!(rel < 1.0, "rel {rel}");
+        // A counter-moving object appears even faster.
+        let counter = est.relative_speed(&tr, 1.0, 2.0, (-15.0, 0.0));
+        assert!((counter - 30.0).abs() < 1.5, "counter {counter}");
+    }
+
+    #[test]
+    fn luminance_change_sees_scene_events() {
+        let mut spec = SceneSpec::test_stimulus(0.0, 0.0, 60);
+        spec.events.push(LuminanceEvent {
+            start: 6.0,
+            ramp_secs: 0.0,
+            from_level: 0.0,
+            to_level: 150.0,
+            yaw_range: None,
+        });
+        let scene = Scene::new(spec, 20.0);
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = still_trace_at(90.0, 20.0);
+        // Before the event: no change.
+        assert_eq!(est.luminance_change(&scene, &tr, 5.0), 0.0);
+        // Just after: the 5-s window straddles the step.
+        let after = est.luminance_change(&scene, &tr, 7.0);
+        assert!((after - 150.0).abs() < 1.0, "after {after}");
+        // Long after: the window is entirely bright again.
+        let late = est.luminance_change(&scene, &tr, 15.0);
+        assert_eq!(late, 0.0);
+    }
+
+    #[test]
+    fn dof_difference_against_focused_object() {
+        // Object at origin with DoF 1.5; background 0. Viewpoint on the
+        // object: background cells have dof_diff 1.5.
+        let mut spec = SceneSpec::test_stimulus(0.0, 1.5, 128);
+        spec.objects[0].size_deg = 30.0;
+        let scene = Scene::new(spec, 10.0);
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = still_trace_at(0.0, 10.0);
+        let extractor = FeatureExtractor::new(Equirect::PAPER_FULL, GridDims::PANO_UNIT);
+        let feats = extractor.extract(&scene, 30, 0, 1.0);
+        let actions = est.chunk_actions(&scene, &tr, &feats, 0.0);
+        // A background cell far from the object.
+        let bg = Equirect::PAPER_FULL
+            .sphere_to_cell(GridDims::PANO_UNIT, &Viewpoint::new(Degrees(120.0), Degrees(0.0)));
+        let a = actions.cell(bg);
+        assert!((a.dof_diff - 1.5).abs() < 0.1, "dof diff {}", a.dof_diff);
+        // The focused cell itself has a small difference (its feature DoF
+        // is diluted by background corner samples at cell granularity).
+        let fg = Equirect::PAPER_FULL.sphere_to_cell(GridDims::PANO_UNIT, &Viewpoint::forward());
+        assert!(actions.cell(fg).dof_diff < 0.6);
+    }
+
+    #[test]
+    fn chunk_actions_cover_grid() {
+        let scene = Scene::new(SceneSpec::test_stimulus(10.0, 1.0, 128), 10.0);
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = TraceGenerator::default().generate(&scene, 3);
+        let feats = FeatureExtractor::new(Equirect::PAPER_FULL, GridDims::PANO_UNIT)
+            .extract(&scene, 30, 2, 1.0);
+        let actions = est.chunk_actions(&scene, &tr, &feats, 2.0);
+        assert_eq!(actions.actions.len(), GridDims::PANO_UNIT.cell_count());
+        for a in &actions.actions {
+            assert!(a.rel_speed_deg_s >= 0.0 && a.rel_speed_deg_s.is_finite());
+            assert!(a.lum_change >= 0.0);
+            assert!(a.dof_diff >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig3_statistics_shapes() {
+        let scene = Scene::new(SceneSpec::test_stimulus(15.0, 1.2, 128), 15.0);
+        let est = ActionEstimator::new(Equirect::PAPER_FULL);
+        let tr = TraceGenerator::default().generate(&scene, 5);
+        let (speeds, lums, dofs) = est.fig3_statistics(&scene, &tr, 1.0);
+        assert!(!speeds.is_empty());
+        assert!(!lums.is_empty());
+        assert!(!dofs.is_empty());
+        assert!(speeds.iter().all(|s| *s >= 0.0 && s.is_finite()));
+        assert!(dofs.iter().all(|d| *d >= 0.0));
+    }
+
+    #[test]
+    fn fraction_above_basics() {
+        assert_eq!(fraction_above(&[], 1.0), 0.0);
+        assert_eq!(fraction_above(&[0.5, 1.5, 2.5, 0.1], 1.0), 0.5);
+        assert_eq!(fraction_above(&[2.0, 3.0], 1.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_cell_actions() {
+        let a = ActionState {
+            rel_speed_deg_s: 3.0,
+            lum_change: 10.0,
+            dof_diff: 0.2,
+        };
+        let ca = CellActions::uniform(GridDims::PANO_UNIT, a);
+        assert_eq!(ca.actions.len(), 288);
+        assert_eq!(*ca.cell(CellIdx::new(5, 5)), a);
+    }
+}

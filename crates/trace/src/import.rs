@@ -1,0 +1,280 @@
+//! Importing recorded traces.
+//!
+//! The paper's datasets ship as plain text: head-movement logs with one
+//! `timestamp, yaw, pitch` sample per line (HTC Vive, 20 Hz) and 4G
+//! throughput logs with one bits-per-second sample per second. These
+//! parsers accept that shape (comma- or whitespace-separated, `#` comments,
+//! blank lines) and resample head traces onto the fixed 20 Hz grid the
+//! rest of the system expects.
+
+use crate::bandwidth::BandwidthTrace;
+use crate::viewpoint::{ViewpointTrace, TRACE_INTERVAL_SECS};
+use pano_geo::{Degrees, Viewpoint};
+use std::fmt;
+
+/// Why an import failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// A line could not be split into the expected number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field could not be parsed as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Timestamps must strictly increase.
+    NonMonotonicTime {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file contained no samples.
+    Empty,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::BadFieldCount {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} fields, expected {expected}"),
+            ImportError::BadNumber { line, token } => {
+                write!(f, "line {line}: '{token}' is not a number")
+            }
+            ImportError::NonMonotonicTime { line } => {
+                write!(f, "line {line}: timestamp does not increase")
+            }
+            ImportError::Empty => write!(f, "no samples in input"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn split_line(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn parse_f64(token: &str, line: usize) -> Result<f64, ImportError> {
+    token.parse().map_err(|_| ImportError::BadNumber {
+        line,
+        token: token.to_string(),
+    })
+}
+
+/// Parses a head-movement log (`t_secs yaw_deg pitch_deg` per line) and
+/// resamples it onto the 20 Hz grid by nearest-earlier sample.
+pub fn parse_viewpoint_log(text: &str) -> Result<ViewpointTrace, ImportError> {
+    let mut raw: Vec<(f64, Viewpoint)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(line);
+        if fields.len() != 3 {
+            return Err(ImportError::BadFieldCount {
+                line: line_no,
+                found: fields.len(),
+                expected: 3,
+            });
+        }
+        let t = parse_f64(fields[0], line_no)?;
+        let yaw = parse_f64(fields[1], line_no)?;
+        let pitch = parse_f64(fields[2], line_no)?;
+        if let Some(&(prev_t, _)) = raw.last() {
+            if t <= prev_t {
+                return Err(ImportError::NonMonotonicTime { line: line_no });
+            }
+        }
+        raw.push((t, Viewpoint::new(Degrees(yaw), Degrees(pitch))));
+    }
+    if raw.is_empty() {
+        return Err(ImportError::Empty);
+    }
+
+    // Resample onto the fixed grid, starting at the first timestamp.
+    let t0 = raw[0].0;
+    let t_end = raw.last().expect("non-empty").0;
+    let n = ((t_end - t0) / TRACE_INTERVAL_SECS).floor() as usize + 1;
+    let mut vps = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    for k in 0..n {
+        let t = t0 + k as f64 * TRACE_INTERVAL_SECS;
+        while cursor + 1 < raw.len() && raw[cursor + 1].0 <= t {
+            cursor += 1;
+        }
+        vps.push(raw[cursor].1);
+    }
+    Ok(ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps))
+}
+
+/// Parses a throughput log: one bits-per-second sample per line (the 4G
+/// log format), at a fixed one-second interval.
+pub fn parse_bandwidth_log(text: &str) -> Result<BandwidthTrace, ImportError> {
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(line);
+        if fields.len() != 1 {
+            return Err(ImportError::BadFieldCount {
+                line: line_no,
+                found: fields.len(),
+                expected: 1,
+            });
+        }
+        let bps = parse_f64(fields[0], line_no)?;
+        if !(bps.is_finite() && bps >= 0.0) {
+            return Err(ImportError::BadNumber {
+                line: line_no,
+                token: fields[0].to_string(),
+            });
+        }
+        samples.push(bps);
+    }
+    if samples.is_empty() {
+        return Err(ImportError::Empty);
+    }
+    Ok(BandwidthTrace::new(1.0, samples))
+}
+
+/// Serialises a viewpoint trace back to the log format (for round-trips
+/// and for publishing generated traces alongside the dataset export).
+pub fn format_viewpoint_log(trace: &ViewpointTrace) -> String {
+    let mut out = String::with_capacity(trace.samples.len() * 24);
+    out.push_str("# t_secs yaw_deg pitch_deg\n");
+    for s in &trace.samples {
+        out.push_str(&format!(
+            "{:.3} {:.3} {:.3}\n",
+            s.t,
+            s.vp.yaw().value(),
+            s.vp.pitch().value()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_head_log() {
+        let text = "# comment\n0.0, 10.0, 5.0\n0.05, 11.0, 5.0\n0.10, 12.0, 5.0\n";
+        let tr = parse_viewpoint_log(text).expect("parses");
+        assert_eq!(tr.samples.len(), 3);
+        assert!((tr.viewpoint_at(0.0).yaw().value() - 10.0).abs() < 1e-9);
+        assert!((tr.viewpoint_at(0.1).yaw().value() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resamples_irregular_timestamps() {
+        // 2 Hz input resampled to 20 Hz: nearest-earlier fill.
+        let text = "0.0 0 0\n0.5 10 0\n1.0 20 0\n";
+        let tr = parse_viewpoint_log(text).expect("parses");
+        assert_eq!(tr.samples.len(), 21);
+        assert_eq!(tr.viewpoint_at(0.25).yaw().value(), 0.0);
+        assert_eq!(tr.viewpoint_at(0.55).yaw().value(), 10.0);
+        assert_eq!(tr.viewpoint_at(1.0).yaw().value(), 20.0);
+    }
+
+    #[test]
+    fn rejects_malformed_head_logs() {
+        assert_eq!(
+            parse_viewpoint_log("0.0 1.0\n"),
+            Err(ImportError::BadFieldCount {
+                line: 1,
+                found: 2,
+                expected: 3
+            })
+        );
+        assert_eq!(
+            parse_viewpoint_log("0.0 x 1.0\n"),
+            Err(ImportError::BadNumber {
+                line: 1,
+                token: "x".into()
+            })
+        );
+        assert_eq!(
+            parse_viewpoint_log("0.1 1 1\n0.1 2 2\n"),
+            Err(ImportError::NonMonotonicTime { line: 2 })
+        );
+        assert_eq!(parse_viewpoint_log("# only comments\n"), Err(ImportError::Empty));
+    }
+
+    #[test]
+    fn head_log_round_trips_through_format() {
+        let original = crate::viewpoint::TraceGenerator::default().generate(
+            &pano_video::scene::Scene::new(
+                pano_video::scene::SceneSpec::test_stimulus(10.0, 1.0, 128),
+                5.0,
+            ),
+            7,
+        );
+        let text = format_viewpoint_log(&original);
+        let parsed = parse_viewpoint_log(&text).expect("parses");
+        assert_eq!(parsed.samples.len(), original.samples.len());
+        for (a, b) in original.samples.iter().zip(&parsed.samples) {
+            assert!(
+                a.vp.great_circle_distance(&b.vp).value() < 0.01,
+                "sample drift at t={}",
+                a.t
+            );
+        }
+    }
+
+    #[test]
+    fn parses_a_bandwidth_log() {
+        let text = "# bps\n1000000\n1200000.5\n\n800000\n";
+        let tr = parse_bandwidth_log(text).expect("parses");
+        assert_eq!(tr.samples.len(), 3);
+        assert_eq!(tr.throughput_at(1.5), 1200000.5);
+    }
+
+    #[test]
+    fn rejects_malformed_bandwidth_logs() {
+        assert_eq!(
+            parse_bandwidth_log("1e6 2e6\n"),
+            Err(ImportError::BadFieldCount {
+                line: 1,
+                found: 2,
+                expected: 1
+            })
+        );
+        assert_eq!(
+            parse_bandwidth_log("-5\n"),
+            Err(ImportError::BadNumber {
+                line: 1,
+                token: "-5".into()
+            })
+        );
+        assert_eq!(parse_bandwidth_log(""), Err(ImportError::Empty));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ImportError::BadNumber {
+            line: 3,
+            token: "abc".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("abc"));
+    }
+}

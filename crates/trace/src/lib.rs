@@ -1,0 +1,40 @@
+//! # pano-trace — viewpoint and bandwidth trace substrate
+//!
+//! Pano's adaptation is driven by two time series: where the user's head
+//! points (sampled at 20 Hz by the HMD) and how much throughput the network
+//! offers. The paper used recorded HTC Vive trajectories (18 videos × 48
+//! users) and public 4G/LTE throughput logs; we regenerate both
+//! synthetically (DESIGN.md §1):
+//!
+//! * [`viewpoint`] — trajectory traces and the paper's own §8.5 synthesis
+//!   recipe: track a random object 70 % of the time, explore a random
+//!   region 30 %, with per-user behavioural variation.
+//! * [`features`] — mapping a trace onto the quality model's inputs: the
+//!   per-cell relative speed, 5-s luminance change, and DoF difference
+//!   that form an [`pano_jnd::ActionState`].
+//! * [`predictor`] — the client-side estimators: linear-regression
+//!   viewpoint prediction (1–3 s ahead) and the conservative
+//!   lower-bound speed rule of §6.1 / Fig. 10.
+//! * [`noise`] — the Fig. 16 stress-test: random angular shifts of up to
+//!   `n` degrees applied to every sample.
+//! * [`bandwidth`] — Markov-modulated 4G-like throughput traces (presets
+//!   at the paper's 0.71 and 1.05 Mbps averages) and a history-based
+//!   throughput predictor with controllable error.
+//! * [`cross_user`] — a CUB360-style extension (paper §10): a population
+//!   popularity prior blended with the linear extrapolation.
+
+pub mod bandwidth;
+pub mod cross_user;
+pub mod features;
+pub mod import;
+pub mod noise;
+pub mod predictor;
+pub mod viewpoint;
+
+pub use bandwidth::{BandwidthTrace, ThroughputPredictor};
+pub use cross_user::{CrossUserPredictor, PopularityPrior};
+pub use import::{format_viewpoint_log, parse_bandwidth_log, parse_viewpoint_log, ImportError};
+pub use features::{ActionEstimator, CellActions};
+pub use noise::add_viewpoint_noise;
+pub use predictor::{ConservativeSpeedEstimator, LinearViewpointPredictor};
+pub use viewpoint::{TraceGenerator, ViewpointSample, ViewpointTrace};

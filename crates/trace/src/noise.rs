@@ -1,0 +1,113 @@
+//! Viewpoint-noise injection (the Fig. 16 stress test).
+//!
+//! To stress-test robustness to viewpoint prediction errors, the paper
+//! shifts every sample of a real trajectory by a distance drawn uniformly
+//! from `[0, n]` degrees in a uniformly random direction, for noise levels
+//! `n` up to 150°.
+
+use crate::viewpoint::ViewpointTrace;
+use pano_geo::Degrees;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a copy of `trace` with each sample shifted by a random distance
+/// in `[0, noise_deg]` along a random direction, deterministic in `seed`.
+pub fn add_viewpoint_noise(trace: &ViewpointTrace, noise_deg: f64, seed: u64) -> ViewpointTrace {
+    assert!(noise_deg >= 0.0, "noise level must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0153);
+    let samples = trace
+        .samples
+        .iter()
+        .map(|s| {
+            let dist = rng.gen_range(0.0..=noise_deg);
+            let dir: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let mut out = *s;
+            out.vp = s
+                .vp
+                .offset(Degrees(dist * dir.cos()), Degrees(dist * dir.sin()));
+            out
+        })
+        .collect();
+    ViewpointTrace {
+        interval: trace.interval,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewpoint::TRACE_INTERVAL_SECS;
+    use pano_geo::Viewpoint;
+
+    fn still_trace() -> ViewpointTrace {
+        ViewpointTrace::from_viewpoints(
+            TRACE_INTERVAL_SECS,
+            vec![Viewpoint::new(Degrees(20.0), Degrees(0.0)); 200],
+        )
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let tr = still_trace();
+        assert_eq!(add_viewpoint_noise(&tr, 0.0, 1), tr);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let tr = still_trace();
+        for n in [5.0, 40.0, 80.0] {
+            let noisy = add_viewpoint_noise(&tr, n, 7);
+            for (a, b) in tr.samples.iter().zip(&noisy.samples) {
+                let d = a.vp.great_circle_distance(&b.vp).value();
+                // Offset is applied per yaw/pitch component, each <= n, so
+                // the angular distance is <= n * sqrt(2) (and usually less).
+                assert!(d <= n * std::f64::consts::SQRT_2 + 1e-6, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let tr = still_trace();
+        assert_eq!(
+            add_viewpoint_noise(&tr, 40.0, 3),
+            add_viewpoint_noise(&tr, 40.0, 3)
+        );
+        assert_ne!(
+            add_viewpoint_noise(&tr, 40.0, 3),
+            add_viewpoint_noise(&tr, 40.0, 4)
+        );
+    }
+
+    #[test]
+    fn larger_noise_moves_samples_more() {
+        let tr = still_trace();
+        let mean_shift = |n: f64| {
+            let noisy = add_viewpoint_noise(&tr, n, 11);
+            tr.samples
+                .iter()
+                .zip(&noisy.samples)
+                .map(|(a, b)| a.vp.great_circle_distance(&b.vp).value())
+                .sum::<f64>()
+                / tr.samples.len() as f64
+        };
+        assert!(mean_shift(80.0) > 4.0 * mean_shift(5.0));
+    }
+
+    #[test]
+    fn timestamps_are_preserved() {
+        let tr = still_trace();
+        let noisy = add_viewpoint_noise(&tr, 40.0, 9);
+        for (a, b) in tr.samples.iter().zip(&noisy.samples) {
+            assert_eq!(a.t, b.t);
+        }
+        assert_eq!(tr.interval, noisy.interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_panics() {
+        add_viewpoint_noise(&still_trace(), -1.0, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Client-side viewpoint prediction (paper §6.1, §7).
+//!
+//! Two estimators, both used by the Pano client:
+//!
+//! * [`LinearViewpointPredictor`] — the standard linear-regression
+//!   extrapolation over the recent history window, predicting the
+//!   viewpoint 1–3 s ahead. This is the same predictor the paper gives to
+//!   Pano *and* every baseline for a fair comparison.
+//! * [`ConservativeSpeedEstimator`] — the §6.1 insight: exact future speed
+//!   is unpredictable when the head moves fast, but the *minimum* speed
+//!   observed in the last couple of seconds is a reliable lower bound
+//!   (Fig. 10), and a lower bound on speed yields a conservative
+//!   (never-overestimated) JND multiplier.
+
+use crate::viewpoint::ViewpointTrace;
+use pano_geo::{Degrees, Viewpoint};
+
+/// Linear-regression extrapolation of yaw and pitch over a history window.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearViewpointPredictor {
+    /// History window length, seconds (paper uses the recent 1 s).
+    pub history_secs: f64,
+}
+
+impl Default for LinearViewpointPredictor {
+    fn default() -> Self {
+        LinearViewpointPredictor { history_secs: 1.0 }
+    }
+}
+
+impl LinearViewpointPredictor {
+    /// Predicts the viewpoint at `now + horizon` from the trace history up
+    /// to `now`. Falls back to the last known viewpoint when the history
+    /// is too short for a regression.
+    pub fn predict(&self, trace: &ViewpointTrace, now: f64, horizon: f64) -> Viewpoint {
+        let hist = trace.window((now - self.history_secs).max(0.0), now);
+        let last = trace.viewpoint_at(now);
+        if hist.len() < 3 {
+            return last;
+        }
+        // Unwrap yaw across the antimeridian so the regression sees a
+        // continuous series: accumulate wrapped deltas from the first
+        // sample.
+        let t0 = hist[0].t;
+        let mut ys = Vec::with_capacity(hist.len());
+        let mut ps = Vec::with_capacity(hist.len());
+        let mut ts = Vec::with_capacity(hist.len());
+        let mut yaw_acc = hist[0].vp.yaw().value();
+        ys.push(yaw_acc);
+        ps.push(hist[0].vp.pitch().value());
+        ts.push(0.0);
+        for w in hist.windows(2) {
+            let d = (w[1].vp.yaw() - w[0].vp.yaw()).wrap_180().value();
+            yaw_acc += d;
+            ys.push(yaw_acc);
+            ps.push(w[1].vp.pitch().value());
+            ts.push(w[1].t - t0);
+        }
+        let t_pred = now + horizon - t0;
+        let yaw = regress_at(&ts, &ys, t_pred);
+        let pitch = regress_at(&ts, &ps, t_pred);
+        Viewpoint::new(Degrees(yaw), Degrees(pitch))
+    }
+
+    /// Predicted viewpoint speed over `[now, now + horizon]`, deg/s:
+    /// distance between the current and the predicted viewpoint divided by
+    /// the horizon.
+    pub fn predict_speed(&self, trace: &ViewpointTrace, now: f64, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let from = trace.viewpoint_at(now);
+        let to = self.predict(trace, now, horizon);
+        from.great_circle_distance(&to).value() / horizon
+    }
+}
+
+/// Ordinary least-squares value of the fitted line at `t`.
+fn regress_at(ts: &[f64], vs: &[f64], t: f64) -> f64 {
+    let n = ts.len() as f64;
+    let mt = ts.iter().sum::<f64>() / n;
+    let mv = vs.iter().sum::<f64>() / n;
+    let mut stt = 0.0;
+    let mut stv = 0.0;
+    for (&ti, &vi) in ts.iter().zip(vs) {
+        stt += (ti - mt) * (ti - mt);
+        stv += (ti - mt) * (vi - mv);
+    }
+    if stt < 1e-12 {
+        return mv;
+    }
+    let slope = stv / stt;
+    mv + slope * (t - mt)
+}
+
+/// The §6.1 conservative estimator: a lower bound on the near-future
+/// viewpoint speed from the recent history minimum.
+#[derive(Debug, Clone, Copy)]
+pub struct ConservativeSpeedEstimator {
+    /// History window, seconds (paper: the last two seconds).
+    pub history_secs: f64,
+    /// Sub-window length over which instantaneous speeds are averaged
+    /// before taking the minimum (smooths 20 Hz jitter).
+    pub smooth_secs: f64,
+}
+
+impl Default for ConservativeSpeedEstimator {
+    fn default() -> Self {
+        ConservativeSpeedEstimator {
+            history_secs: 2.0,
+            smooth_secs: 0.25,
+        }
+    }
+}
+
+impl ConservativeSpeedEstimator {
+    /// Lower-bound speed estimate at time `now`: the minimum of the
+    /// smoothed speeds over the history window. Returns 0 when no history
+    /// exists (maximally conservative).
+    pub fn estimate(&self, trace: &ViewpointTrace, now: f64) -> f64 {
+        let t0 = (now - self.history_secs).max(0.0);
+        if now <= t0 {
+            return 0.0;
+        }
+        let mut min_speed = f64::INFINITY;
+        let mut t = t0;
+        while t < now {
+            let t1 = (t + self.smooth_secs).min(now);
+            let s = trace.mean_speed(t, t1);
+            if s < min_speed {
+                min_speed = s;
+            }
+            t = t1;
+        }
+        if min_speed.is_finite() {
+            min_speed
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewpoint::TRACE_INTERVAL_SECS;
+
+    fn sweep_trace(speed_deg_s: f64, secs: f64) -> ViewpointTrace {
+        let n = (secs / TRACE_INTERVAL_SECS) as usize;
+        let vps = (0..n)
+            .map(|i| {
+                Viewpoint::new(
+                    Degrees(i as f64 * speed_deg_s * TRACE_INTERVAL_SECS),
+                    Degrees(0.0),
+                )
+            })
+            .collect();
+        ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps)
+    }
+
+    #[test]
+    fn linear_predictor_extrapolates_constant_sweep() {
+        let tr = sweep_trace(10.0, 10.0);
+        let p = LinearViewpointPredictor::default();
+        let pred = p.predict(&tr, 5.0, 2.0);
+        let truth = tr.viewpoint_at(7.0);
+        assert!(
+            pred.great_circle_distance(&truth).value() < 1.0,
+            "pred {pred} truth {truth}"
+        );
+        let v = p.predict_speed(&tr, 5.0, 2.0);
+        assert!((v - 10.0).abs() < 1.0, "speed {v}");
+    }
+
+    #[test]
+    fn predictor_handles_antimeridian_sweep() {
+        // 20 deg/s sweep crossing +-180 around t = 9 s.
+        let tr = sweep_trace(20.0, 12.0);
+        let p = LinearViewpointPredictor::default();
+        let pred = p.predict(&tr, 9.0, 1.0);
+        let truth = tr.viewpoint_at(10.0);
+        assert!(
+            pred.great_circle_distance(&truth).value() < 2.0,
+            "pred {pred} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn static_viewpoint_predicts_static() {
+        let tr = ViewpointTrace::from_viewpoints(
+            TRACE_INTERVAL_SECS,
+            vec![Viewpoint::new(Degrees(30.0), Degrees(10.0)); 100],
+        );
+        let p = LinearViewpointPredictor::default();
+        let pred = p.predict(&tr, 3.0, 3.0);
+        assert!(pred.great_circle_distance(&tr.viewpoint_at(3.0)).value() < 1e-6);
+        assert_eq!(p.predict_speed(&tr, 3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn short_history_falls_back_to_last_sample() {
+        let tr = sweep_trace(10.0, 0.1); // 2 samples
+        let p = LinearViewpointPredictor::default();
+        let pred = p.predict(&tr, 0.05, 1.0);
+        assert_eq!(pred, tr.viewpoint_at(0.05));
+    }
+
+    #[test]
+    fn conservative_estimate_is_a_lower_bound_on_constant_speed() {
+        let tr = sweep_trace(15.0, 10.0);
+        let est = ConservativeSpeedEstimator::default();
+        let lb = est.estimate(&tr, 5.0);
+        assert!(lb <= 15.0 + 1e-6);
+        assert!(lb > 13.0, "lower bound {lb} too loose on constant speed");
+    }
+
+    #[test]
+    fn conservative_estimate_underestimates_accelerating_head() {
+        // Speed ramps 0 -> 40 deg/s over 4 s: the lower bound at t=4 must
+        // not exceed the minimum over the last 2 s (speed at t=2, i.e. 20).
+        let n = (4.0 / TRACE_INTERVAL_SECS) as usize;
+        let mut yaw = 0.0;
+        let vps: Vec<Viewpoint> = (0..n)
+            .map(|i| {
+                let t = i as f64 * TRACE_INTERVAL_SECS;
+                yaw += 10.0 * t * TRACE_INTERVAL_SECS; // v(t) = 10 t
+                Viewpoint::new(Degrees(yaw), Degrees(0.0))
+            })
+            .collect();
+        let tr = ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps);
+        let est = ConservativeSpeedEstimator::default();
+        let lb = est.estimate(&tr, 4.0);
+        let actual_now = tr.speed_at(3.9);
+        assert!(lb < actual_now, "lb {lb} vs current speed {actual_now}");
+        assert!(lb > 10.0, "lb {lb} should reflect the 2s-ago speed (~20)");
+    }
+
+    #[test]
+    fn conservative_estimate_zero_without_history() {
+        let tr = sweep_trace(10.0, 5.0);
+        assert_eq!(ConservativeSpeedEstimator::default().estimate(&tr, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fig10_lower_bound_holds_most_of_the_time() {
+        // A jerky trajectory alternating fast and slow phases; the bound
+        // should stay below the realised future mean speed nearly always.
+        let n = (30.0 / TRACE_INTERVAL_SECS) as usize;
+        let mut yaw: f64 = 0.0;
+        let vps: Vec<Viewpoint> = (0..n)
+            .map(|i| {
+                let t = i as f64 * TRACE_INTERVAL_SECS;
+                let v = if (t as u64) % 6 < 3 { 30.0 } else { 3.0 };
+                yaw += v * TRACE_INTERVAL_SECS;
+                Viewpoint::new(Degrees(yaw), Degrees(0.0))
+            })
+            .collect();
+        let tr = ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps);
+        let est = ConservativeSpeedEstimator::default();
+        let mut violations = 0;
+        let mut checks = 0;
+        let mut t = 2.0;
+        while t < 28.0 {
+            let lb = est.estimate(&tr, t);
+            let future = tr.mean_speed(t, t + 1.0);
+            checks += 1;
+            if lb > future + 1.0 {
+                violations += 1;
+            }
+            t += 0.5;
+        }
+        assert!(
+            (violations as f64) < 0.25 * checks as f64,
+            "{violations}/{checks} violations"
+        );
+    }
+}

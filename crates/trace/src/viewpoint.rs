@@ -1,0 +1,375 @@
+//! Viewpoint trajectory traces.
+//!
+//! A [`ViewpointTrace`] is a fixed-rate sequence of head directions — the
+//! paper's traces refresh every 0.05 s (20 Hz), matching mainstream VR
+//! devices. [`TraceGenerator`] synthesises trajectories with the recipe the
+//! paper itself uses for its extended dataset (§8.5): the viewpoint tracks
+//! a randomly picked object ~70 % of the time and dwells on a random
+//! region for the remaining ~30 %, with smooth transitions and per-user
+//! variation in lag, jitter and dwell times.
+
+use pano_geo::{AngularVelocity, Degrees, Viewpoint};
+use pano_video::scene::Scene;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped head-direction sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewpointSample {
+    /// Sample time, seconds from video start.
+    pub t: f64,
+    /// Head direction.
+    pub vp: Viewpoint,
+}
+
+/// A fixed-rate viewpoint trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewpointTrace {
+    /// Seconds between samples (paper: 0.05).
+    pub interval: f64,
+    /// The samples, starting at t = 0.
+    pub samples: Vec<ViewpointSample>,
+}
+
+/// The paper's trace sampling interval: 0.05 s (20 Hz).
+pub const TRACE_INTERVAL_SECS: f64 = 0.05;
+
+impl ViewpointTrace {
+    /// Builds a trace from raw viewpoints at a fixed interval.
+    pub fn from_viewpoints(interval: f64, vps: Vec<Viewpoint>) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        let samples = vps
+            .into_iter()
+            .enumerate()
+            .map(|(i, vp)| ViewpointSample {
+                t: i as f64 * interval,
+                vp,
+            })
+            .collect();
+        ViewpointTrace { interval, samples }
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.samples.len() as f64 * self.interval
+    }
+
+    /// The sample index covering time `t` (clamped to the trace).
+    fn index_at(&self, t: f64) -> usize {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        ((t / self.interval) as usize).min(self.samples.len() - 1)
+    }
+
+    /// Viewpoint at time `t` (nearest earlier sample, clamped).
+    pub fn viewpoint_at(&self, t: f64) -> Viewpoint {
+        if self.samples.is_empty() {
+            return Viewpoint::forward();
+        }
+        self.samples[self.index_at(t.max(0.0))].vp
+    }
+
+    /// Instantaneous viewpoint speed at time `t`, deg/s, from the
+    /// surrounding sample pair.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let i = self.index_at(t.max(0.0)).min(self.samples.len() - 2);
+        AngularVelocity::between(&self.samples[i].vp, &self.samples[i + 1].vp, self.interval)
+            .deg_per_sec()
+    }
+
+    /// All instantaneous speeds (one per consecutive sample pair), deg/s.
+    pub fn speeds(&self) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| AngularVelocity::between(&w[0].vp, &w[1].vp, self.interval).deg_per_sec())
+            .collect()
+    }
+
+    /// Samples within `[t0, t1)`.
+    pub fn window(&self, t0: f64, t1: f64) -> &[ViewpointSample] {
+        if self.samples.is_empty() || t1 <= t0 {
+            return &[];
+        }
+        let i0 = self.index_at(t0.max(0.0));
+        let i1 = ((t1 / self.interval).ceil() as usize).min(self.samples.len());
+        &self.samples[i0..i1.max(i0)]
+    }
+
+    /// Mean viewpoint speed over `[t0, t1)`, deg/s.
+    pub fn mean_speed(&self, t0: f64, t1: f64) -> f64 {
+        let w = self.window(t0, t1);
+        if w.len() < 2 {
+            return self.speed_at(t0);
+        }
+        let dist: f64 = w
+            .windows(2)
+            .map(|p| p[0].vp.great_circle_distance(&p[1].vp).value())
+            .sum();
+        dist / ((w.len() - 1) as f64 * self.interval)
+    }
+}
+
+/// What the synthesised user is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Behaviour {
+    /// Following object `id` (with tracking lag).
+    Tracking(u32),
+    /// Dwelling on a fixed region.
+    Exploring(Viewpoint),
+}
+
+/// Synthesises viewpoint traces from a scene (the paper's §8.5 recipe).
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    /// Fraction of time spent tracking objects (paper: 0.7).
+    pub track_fraction: f64,
+    /// Mean dwell time per behaviour episode, seconds.
+    pub mean_dwell_secs: f64,
+    /// Head-movement smoothing: fraction of the remaining error closed per
+    /// second (higher = snappier tracking).
+    pub responsiveness: f64,
+    /// Std-dev of per-sample angular jitter, degrees.
+    pub jitter_deg: f64,
+}
+
+impl Default for TraceGenerator {
+    fn default() -> Self {
+        TraceGenerator {
+            track_fraction: 0.7,
+            mean_dwell_secs: 6.0,
+            responsiveness: 2.5,
+            jitter_deg: 0.15,
+        }
+    }
+}
+
+impl TraceGenerator {
+    /// Generates one user's trace over the scene, deterministic in
+    /// `(scene, user_seed)`.
+    pub fn generate(&self, scene: &Scene, user_seed: u64) -> ViewpointTrace {
+        let mut rng = StdRng::seed_from_u64(user_seed ^ 0xC0FFEE);
+        let n = (scene.duration_secs() / TRACE_INTERVAL_SECS).round() as usize;
+        let objects = &scene.spec().objects;
+
+        // Per-user behavioural variation. Exact 0 and 1 are preserved so
+        // pure-explorer / pure-tracker configurations stay pure.
+        let track_fraction = if self.track_fraction <= 0.0 || self.track_fraction >= 1.0 {
+            self.track_fraction.clamp(0.0, 1.0)
+        } else {
+            (self.track_fraction + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0)
+        };
+        let responsiveness = self.responsiveness * rng.gen_range(0.7..1.4);
+        let mean_dwell = self.mean_dwell_secs * rng.gen_range(0.7..1.5);
+
+        let mut current = Viewpoint::forward();
+        let mut behaviour = self.pick_behaviour(&mut rng, objects, track_fraction, &current);
+        let mut episode_left = rng.gen_range(0.5..2.0 * mean_dwell);
+        if let Behaviour::Tracking(id) = behaviour {
+            current = objects
+                .iter()
+                .find(|o| o.id == id)
+                .map(|o| o.position(0.0))
+                .unwrap_or_else(Viewpoint::forward);
+        } else if let Behaviour::Exploring(vp) = behaviour {
+            current = vp;
+        }
+
+        let mut vps = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 * TRACE_INTERVAL_SECS;
+            episode_left -= TRACE_INTERVAL_SECS;
+            if episode_left <= 0.0 {
+                behaviour = self.pick_behaviour(&mut rng, objects, track_fraction, &current);
+                episode_left = rng.gen_range(0.5..2.0 * mean_dwell);
+            }
+            let target = match behaviour {
+                Behaviour::Tracking(id) => objects
+                    .iter()
+                    .find(|o| o.id == id)
+                    .map(|o| o.position(t))
+                    .unwrap_or(current),
+                Behaviour::Exploring(vp) => vp,
+            };
+            // First-order lag toward the target.
+            let alpha = (responsiveness * TRACE_INTERVAL_SECS).min(1.0);
+            current = current.slerp(&target, alpha);
+            // Small per-sample jitter.
+            if self.jitter_deg > 0.0 {
+                current = current.offset(
+                    Degrees(rng.gen_range(-self.jitter_deg..=self.jitter_deg)),
+                    Degrees(rng.gen_range(-self.jitter_deg..=self.jitter_deg)),
+                );
+            }
+            vps.push(current);
+        }
+        ViewpointTrace::from_viewpoints(TRACE_INTERVAL_SECS, vps)
+    }
+
+    /// Generates the whole user population for a scene (paper: 48 users).
+    pub fn generate_population(
+        &self,
+        scene: &Scene,
+        n_users: usize,
+        seed: u64,
+    ) -> Vec<ViewpointTrace> {
+        (0..n_users)
+            .map(|u| {
+                self.generate(
+                    scene,
+                    seed.wrapping_add((u as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                )
+            })
+            .collect()
+    }
+
+    fn pick_behaviour(
+        &self,
+        rng: &mut StdRng,
+        objects: &[pano_video::scene::ObjectSpec],
+        track_fraction: f64,
+        current: &Viewpoint,
+    ) -> Behaviour {
+        if !objects.is_empty() && rng.gen_bool(track_fraction) {
+            let idx = rng.gen_range(0..objects.len());
+            Behaviour::Tracking(objects[idx].id)
+        } else {
+            // Explore *locally*: head-movement studies show users scan
+            // regions near their current orientation rather than snapping
+            // to arbitrary sphere points.
+            Behaviour::Exploring(current.offset(
+                Degrees(rng.gen_range(-60.0..60.0)),
+                Degrees(rng.gen_range(-25.0..25.0)),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pano_video::scene::SceneSpec;
+
+    fn test_scene(speed: f64) -> Scene {
+        Scene::new(SceneSpec::test_stimulus(speed, 1.0, 128), 30.0)
+    }
+
+    #[test]
+    fn trace_basics() {
+        let vps = vec![Viewpoint::forward(); 100];
+        let tr = ViewpointTrace::from_viewpoints(0.05, vps);
+        assert!((tr.duration_secs() - 5.0).abs() < 1e-9);
+        assert_eq!(tr.viewpoint_at(2.0), Viewpoint::forward());
+        assert_eq!(tr.speed_at(1.0), 0.0);
+        assert_eq!(tr.window(1.0, 2.0).len(), 20);
+        // Clamping beyond the end.
+        assert_eq!(tr.viewpoint_at(99.0), Viewpoint::forward());
+        assert_eq!(tr.window(4.9, 4.9).len(), 0);
+    }
+
+    #[test]
+    fn speeds_reflect_motion() {
+        // Viewpoint sweeping at 10 deg/s in yaw.
+        let vps: Vec<Viewpoint> = (0..200)
+            .map(|i| Viewpoint::new(Degrees(i as f64 * 0.5), Degrees(0.0)))
+            .collect();
+        let tr = ViewpointTrace::from_viewpoints(0.05, vps);
+        for s in tr.speeds() {
+            assert!((s - 10.0).abs() < 1e-6);
+        }
+        assert!((tr.mean_speed(0.0, 5.0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let scene = test_scene(10.0);
+        let g = TraceGenerator::default();
+        assert_eq!(g.generate(&scene, 5), g.generate(&scene, 5));
+        assert_ne!(g.generate(&scene, 5), g.generate(&scene, 6));
+    }
+
+    #[test]
+    fn trace_has_right_rate_and_duration() {
+        let scene = test_scene(5.0);
+        let tr = TraceGenerator::default().generate(&scene, 1);
+        assert_eq!(tr.interval, TRACE_INTERVAL_SECS);
+        assert_eq!(tr.samples.len(), 600); // 30 s at 20 Hz
+    }
+
+    #[test]
+    fn tracking_users_follow_the_object() {
+        // Single-object scene: trackers spend most time near the object.
+        let scene = test_scene(8.0);
+        let g = TraceGenerator {
+            track_fraction: 1.0,
+            mean_dwell_secs: 100.0, // never switch episodes
+            ..TraceGenerator::default()
+        };
+        let tr = g.generate(&scene, 3);
+        let obj = &scene.spec().objects[0];
+        // After the initial catch-up, viewpoint stays within a few degrees.
+        let mut near = 0;
+        let mut total = 0;
+        for s in &tr.samples {
+            if s.t < 2.0 {
+                continue;
+            }
+            total += 1;
+            if s.vp.great_circle_distance(&obj.position(s.t)).value() < 10.0 {
+                near += 1;
+            }
+        }
+        assert!(
+            near as f64 / total as f64 > 0.9,
+            "tracker near object {near}/{total}"
+        );
+    }
+
+    #[test]
+    fn explorers_stay_still() {
+        let scene = test_scene(20.0);
+        let g = TraceGenerator {
+            track_fraction: 0.0,
+            mean_dwell_secs: 100.0,
+            jitter_deg: 0.0,
+            ..TraceGenerator::default()
+        };
+        let tr = g.generate(&scene, 9);
+        // After converging on the dwell point, speed is ~0.
+        let late = tr.mean_speed(10.0, 30.0);
+        assert!(late < 1.0, "explorer speed {late}");
+    }
+
+    #[test]
+    fn population_has_distinct_users() {
+        let scene = test_scene(10.0);
+        let traces = TraceGenerator::default().generate_population(&scene, 48, 7);
+        assert_eq!(traces.len(), 48);
+        assert_ne!(traces[0], traces[1]);
+        assert_ne!(traces[10], traces[40]);
+    }
+
+    #[test]
+    fn mixed_behaviour_produces_speed_spread() {
+        // With tracking and exploring mixed, the speed distribution covers
+        // both near-zero and fast regimes — the Fig. 3 shape.
+        let scene = test_scene(25.0);
+        let traces = TraceGenerator::default().generate_population(&scene, 16, 42);
+        let mut all: Vec<f64> = traces.iter().flat_map(|t| t.speeds()).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p10 = all[all.len() / 10];
+        let p90 = all[all.len() * 9 / 10];
+        assert!(p10 < 5.0, "slow tail p10 {p10}");
+        assert!(p90 > 8.0, "fast tail p90 {p90}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        ViewpointTrace::from_viewpoints(0.0, vec![]);
+    }
+}

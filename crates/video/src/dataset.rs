@@ -1,0 +1,413 @@
+//! Video datasets.
+//!
+//! The paper evaluates on 50 videos across 7 genres (Table 2): a traced
+//! subset of 18 videos that come with 48 real users' head trajectories, and
+//! a 32-video extension with synthetic trajectories. We regenerate both as
+//! deterministic synthetic scenes: each [`Genre`] maps to a parameter range
+//! (object count/speed, texture, luminance dynamics, depth structure), and
+//! a [`VideoSpec`] is drawn from that range by a seeded RNG.
+
+use crate::scene::{LuminanceEvent, ObjectSpec, Scene, SceneSpec};
+use pano_geo::{Degrees, Equirect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Content genre, with the paper's Table 2 genre mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    /// Fast-moving tracked objects (skiing, football): high object speeds.
+    Sports,
+    /// Stage shows: strong luminance dynamics, slow viewpoints.
+    Performance,
+    /// Nature/history narration: slow pans, scenic depth.
+    Documentary,
+    /// Science/tech features: moderate dynamics.
+    Science,
+    /// Game captures: fast motion and high texture.
+    Gaming,
+    /// City/landscape tours: scenic views, large DoF spread.
+    Tourism,
+    /// Outdoor action (paragliding, climbing): fast motion + depth spread.
+    Adventure,
+}
+
+impl Genre {
+    /// All seven genres, in the paper's Figure 13 order.
+    pub const ALL: [Genre; 7] = [
+        Genre::Documentary,
+        Genre::Science,
+        Genre::Gaming,
+        Genre::Sports,
+        Genre::Tourism,
+        Genre::Adventure,
+        Genre::Performance,
+    ];
+
+    /// Short stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Genre::Sports => "Sports",
+            Genre::Performance => "Performance",
+            Genre::Documentary => "Documentary",
+            Genre::Science => "Science",
+            Genre::Gaming => "Gaming",
+            Genre::Tourism => "Tourism",
+            Genre::Adventure => "Adventure",
+        }
+    }
+
+    /// Typical object angular speed range (deg/s) for the genre.
+    fn object_speed_range(&self) -> (f64, f64) {
+        match self {
+            Genre::Sports => (12.0, 40.0),
+            Genre::Adventure => (10.0, 30.0),
+            Genre::Gaming => (8.0, 25.0),
+            Genre::Science => (3.0, 12.0),
+            Genre::Tourism => (1.0, 6.0),
+            Genre::Documentary => (1.0, 8.0),
+            Genre::Performance => (2.0, 10.0),
+        }
+    }
+
+    /// Number of foreground objects for the genre.
+    fn object_count_range(&self) -> (u32, u32) {
+        match self {
+            Genre::Sports => (2, 5),
+            Genre::Adventure => (2, 4),
+            Genre::Gaming => (3, 6),
+            Genre::Science => (1, 3),
+            Genre::Tourism => (1, 3),
+            Genre::Documentary => (1, 3),
+            Genre::Performance => (2, 4),
+        }
+    }
+
+    /// Luminance-event intensity: (events per minute, max grey-level swing).
+    fn luminance_dynamics(&self) -> (f64, f64) {
+        match self {
+            Genre::Performance => (6.0, 220.0),
+            Genre::Gaming => (4.0, 180.0),
+            Genre::Adventure => (2.0, 120.0),
+            Genre::Tourism => (1.0, 80.0),
+            Genre::Sports => (1.0, 60.0),
+            Genre::Science => (1.5, 100.0),
+            Genre::Documentary => (0.5, 60.0),
+        }
+    }
+
+    /// DoF spread between foreground and background (dioptres).
+    fn dof_spread(&self) -> (f64, f64) {
+        match self {
+            Genre::Tourism => (0.8, 2.0),
+            Genre::Adventure => (0.7, 1.8),
+            Genre::Documentary => (0.5, 1.5),
+            Genre::Science => (0.4, 1.2),
+            Genre::Sports => (0.3, 1.0),
+            Genre::Gaming => (0.2, 0.8),
+            Genre::Performance => (0.3, 0.9),
+        }
+    }
+
+    /// Background texture amplitude range (grey levels).
+    fn texture_range(&self) -> (f64, f64) {
+        match self {
+            Genre::Gaming => (25.0, 45.0),
+            Genre::Sports => (15.0, 35.0),
+            Genre::Adventure => (18.0, 38.0),
+            Genre::Tourism => (12.0, 30.0),
+            Genre::Documentary => (10.0, 25.0),
+            Genre::Science => (8.0, 20.0),
+            Genre::Performance => (8.0, 22.0),
+        }
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single video in the dataset: identity + scene + encoding geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoSpec {
+    /// Stable video id within its dataset.
+    pub id: u32,
+    /// Content genre.
+    pub genre: Genre,
+    /// Duration in seconds (and therefore in 1-s chunks).
+    pub duration_secs: f64,
+    /// Frame rate (Table 2: 30 fps).
+    pub fps: u32,
+    /// Full equirectangular resolution (Table 2: 2880×1440).
+    pub resolution: Equirect,
+    /// The generated scene.
+    pub scene: SceneSpec,
+}
+
+impl VideoSpec {
+    /// Number of 1-second chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.duration_secs.ceil() as usize
+    }
+
+    /// Instantiates the queryable scene.
+    pub fn scene(&self) -> Scene {
+        Scene::new(self.scene.clone(), self.duration_secs)
+    }
+
+    /// Generates a video of `genre` deterministically from `seed`.
+    pub fn generate(id: u32, genre: Genre, duration_secs: f64, seed: u64) -> VideoSpec {
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64) << 32);
+        let (smin, smax) = genre.object_speed_range();
+        let (cmin, cmax) = genre.object_count_range();
+        let (ev_per_min, ev_swing) = genre.luminance_dynamics();
+        let (dof_min, dof_max) = genre.dof_spread();
+        let (tex_min, tex_max) = genre.texture_range();
+
+        let n_obj = rng.gen_range(cmin..=cmax);
+        let objects = (0..n_obj)
+            .map(|i| {
+                let speed_mag = rng.gen_range(smin..smax);
+                let dir = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                ObjectSpec {
+                    id: i,
+                    yaw0: Degrees(rng.gen_range(-180.0..180.0)),
+                    pitch0: Degrees(rng.gen_range(-35.0..35.0)),
+                    yaw_speed: speed_mag * dir,
+                    pitch_amp: rng.gen_range(0.0..8.0),
+                    pitch_period: rng.gen_range(3.0..12.0),
+                    size_deg: rng.gen_range(6.0..20.0),
+                    dof_dioptre: rng.gen_range(dof_min..dof_max),
+                    base_luma: rng.gen_range(40..210),
+                    texture_amp: rng.gen_range(5.0..30.0),
+                }
+            })
+            .collect();
+
+        let n_events = ((duration_secs / 60.0) * ev_per_min).round().max(0.0) as usize;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let swing = rng.gen_range(ev_swing * 0.3..=ev_swing);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let regional = rng.gen_bool(0.6);
+            let yaw_range = if regional {
+                let lo = rng.gen_range(-180.0..180.0);
+                let width = rng.gen_range(40.0..150.0);
+                Some((Degrees(lo), Degrees(lo + width)))
+            } else {
+                None
+            };
+            events.push(LuminanceEvent {
+                start: rng.gen_range(0.0..duration_secs.max(1.0)),
+                ramp_secs: rng.gen_range(0.2..3.0),
+                from_level: 0.0,
+                to_level: sign * swing,
+                yaw_range,
+            });
+        }
+
+        let scene = SceneSpec {
+            bg_luma: rng.gen_range(70..170),
+            bg_luma_amp: rng.gen_range(10.0..40.0),
+            bg_texture_freq: rng.gen_range(8.0..24.0),
+            bg_texture_amp: rng.gen_range(tex_min..tex_max),
+            bg_dof_dioptre: rng.gen_range(0.0..0.25),
+            objects,
+            events,
+        };
+
+        VideoSpec {
+            id,
+            genre,
+            duration_secs,
+            fps: 30,
+            resolution: Equirect::PAPER_FULL,
+            scene,
+        }
+    }
+}
+
+/// A generated dataset: the paper's traced 18-video set, the extended
+/// 50-video set, or any custom mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// All videos.
+    pub videos: Vec<VideoSpec>,
+    /// Seed the dataset was generated from.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's Table 2 genre mix: Sports 22 %, Performance 20 %,
+    /// Documentary 14 %, other 44 % (split evenly here).
+    fn genre_for_index(i: usize, n: usize) -> Genre {
+        let f = i as f64 / n as f64;
+        if f < 0.22 {
+            Genre::Sports
+        } else if f < 0.42 {
+            Genre::Performance
+        } else if f < 0.56 {
+            Genre::Documentary
+        } else if f < 0.67 {
+            Genre::Science
+        } else if f < 0.78 {
+            Genre::Gaming
+        } else if f < 0.89 {
+            Genre::Tourism
+        } else {
+            Genre::Adventure
+        }
+    }
+
+    /// Generates a dataset of `n` videos with the Table 2 genre mix and
+    /// total length scaled to the paper's 12 000 s over 50 videos
+    /// (240 s per video on average).
+    pub fn generate(n: usize, seed: u64) -> DatasetSpec {
+        Self::generate_with_duration(n, 240.0, seed)
+    }
+
+    /// Generates `n` videos of `duration_secs` each (uniform duration keeps
+    /// trace bookkeeping simple; Table 2 only constrains the total).
+    pub fn generate_with_duration(n: usize, duration_secs: f64, seed: u64) -> DatasetSpec {
+        let videos = (0..n)
+            .map(|i| {
+                VideoSpec::generate(
+                    i as u32,
+                    Self::genre_for_index(i, n),
+                    duration_secs,
+                    seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                )
+            })
+            .collect();
+        DatasetSpec { videos, seed }
+    }
+
+    /// The traced subset analogue: first 18 videos.
+    pub fn traced_subset(&self) -> &[VideoSpec] {
+        &self.videos[..self.videos.len().min(18)]
+    }
+
+    /// Videos of a given genre.
+    pub fn by_genre(&self, genre: Genre) -> impl Iterator<Item = &VideoSpec> {
+        self.videos.iter().filter(move |v| v.genre == genre)
+    }
+
+    /// Table 2 summary rows: `(genre, count, share)`.
+    pub fn genre_summary(&self) -> Vec<(Genre, usize, f64)> {
+        Genre::ALL
+            .iter()
+            .map(|&g| {
+                let count = self.by_genre(g).count();
+                (g, count, count as f64 / self.videos.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Total dataset length in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.videos.iter().map(|v| v.duration_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::generate(50, 7);
+        let b = DatasetSpec::generate(50, 7);
+        assert_eq!(a, b);
+        let c = DatasetSpec::generate(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn table2_shape() {
+        let d = DatasetSpec::generate(50, 42);
+        assert_eq!(d.videos.len(), 50);
+        assert!((d.total_secs() - 12000.0).abs() < 1.0);
+        let summary = d.genre_summary();
+        let sports = summary
+            .iter()
+            .find(|(g, _, _)| *g == Genre::Sports)
+            .unwrap();
+        let perf = summary
+            .iter()
+            .find(|(g, _, _)| *g == Genre::Performance)
+            .unwrap();
+        let doc = summary
+            .iter()
+            .find(|(g, _, _)| *g == Genre::Documentary)
+            .unwrap();
+        assert!((sports.2 - 0.22).abs() < 0.03, "sports share {}", sports.2);
+        assert!((perf.2 - 0.20).abs() < 0.03, "performance share {}", perf.2);
+        assert!((doc.2 - 0.14).abs() < 0.03, "documentary share {}", doc.2);
+        // Counts sum to the dataset size.
+        assert_eq!(summary.iter().map(|(_, c, _)| c).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn videos_have_paper_geometry() {
+        let d = DatasetSpec::generate(18, 1);
+        for v in &d.videos {
+            assert_eq!(v.fps, 30);
+            assert_eq!(v.resolution, Equirect::PAPER_FULL);
+            assert_eq!(v.chunk_count(), 240);
+            assert!(!v.scene.objects.is_empty());
+        }
+    }
+
+    #[test]
+    fn sports_objects_are_faster_than_tourism() {
+        let d = DatasetSpec::generate(50, 99);
+        let mean_speed = |g: Genre| {
+            let mut speeds = Vec::new();
+            for v in d.by_genre(g) {
+                for o in &v.scene.objects {
+                    speeds.push(o.yaw_speed.abs());
+                }
+            }
+            speeds.iter().sum::<f64>() / speeds.len() as f64
+        };
+        assert!(mean_speed(Genre::Sports) > 2.0 * mean_speed(Genre::Tourism));
+    }
+
+    #[test]
+    fn performance_has_strongest_luminance_dynamics() {
+        let d = DatasetSpec::generate(50, 5);
+        let mean_swing = |g: Genre| {
+            let (mut sum, mut n) = (0.0, 0);
+            for v in d.by_genre(g) {
+                for e in &v.scene.events {
+                    sum += (e.to_level - e.from_level).abs();
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+        assert!(mean_swing(Genre::Performance) > mean_swing(Genre::Documentary));
+    }
+
+    #[test]
+    fn traced_subset_is_18() {
+        let d = DatasetSpec::generate(50, 3);
+        assert_eq!(d.traced_subset().len(), 18);
+    }
+
+    #[test]
+    fn scene_instantiates() {
+        let d = DatasetSpec::generate(3, 11);
+        for v in &d.videos {
+            let scene = v.scene();
+            assert_eq!(scene.duration_secs(), v.duration_secs);
+        }
+    }
+}

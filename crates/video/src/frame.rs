@@ -1,0 +1,326 @@
+//! Luma frame planes.
+//!
+//! The quality model works on 8-bit luma (grey-level) values, like the
+//! JND literature it builds on. A [`LumaPlane`] is a row-major `u8` plane
+//! with the block-statistics helpers (mean, variance, gradient energy) that
+//! drive the content-dependent JND and the codec's rate model.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major 8-bit luma plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LumaPlane {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+/// First-order statistics of a pixel region.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockStats {
+    /// Mean grey level, `[0, 255]`.
+    pub mean: f64,
+    /// Variance of grey levels.
+    pub variance: f64,
+    /// Mean absolute horizontal+vertical gradient — the texture-complexity
+    /// proxy used by both the codec rate model and the JND texture masking.
+    pub gradient_energy: f64,
+}
+
+impl LumaPlane {
+    /// Creates a plane filled with `fill`.
+    pub fn filled(width: u32, height: u32, fill: u8) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be non-zero");
+        LumaPlane {
+            width,
+            height,
+            data: vec![fill; width as usize * height as usize],
+        }
+    }
+
+    /// Creates a plane from raw row-major data.
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            width as usize * height as usize,
+            "data length must match dimensions"
+        );
+        assert!(width > 0 && height > 0, "plane dimensions must be non-zero");
+        LumaPlane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Plane width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw row-major pixel data.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Sets pixel at `(x, y)`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y as usize * self.width as usize + x as usize] = v;
+    }
+
+    /// One row of pixels.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[u8] {
+        let w = self.width as usize;
+        &self.data[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// Copies out the rectangle `(x0, y0, w, h)` as a new plane.
+    ///
+    /// Panics if the rectangle exceeds the plane.
+    pub fn crop(&self, x0: u32, y0: u32, w: u32, h: u32) -> LumaPlane {
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop rectangle out of bounds"
+        );
+        let mut data = Vec::with_capacity(w as usize * h as usize);
+        for y in y0..y0 + h {
+            let row = self.row(y);
+            data.extend_from_slice(&row[x0 as usize..(x0 + w) as usize]);
+        }
+        LumaPlane::from_raw(w, h, data)
+    }
+
+    /// Pastes `src` into this plane with its top-left corner at `(x0, y0)`.
+    ///
+    /// This is the "stitch tiles into a panoramic frame" operation from §7
+    /// of the paper, done row-major so each row is a single `copy_from_slice`
+    /// (the paper's memcpy optimisation).
+    pub fn blit(&mut self, src: &LumaPlane, x0: u32, y0: u32) {
+        assert!(
+            x0 + src.width <= self.width && y0 + src.height <= self.height,
+            "blit rectangle out of bounds"
+        );
+        let w = self.width as usize;
+        for sy in 0..src.height {
+            let dst_off = (y0 + sy) as usize * w + x0 as usize;
+            self.data[dst_off..dst_off + src.width as usize].copy_from_slice(src.row(sy));
+        }
+    }
+
+    /// Statistics of the rectangle `(x0, y0, w, h)`.
+    pub fn block_stats(&self, x0: u32, y0: u32, w: u32, h: u32) -> BlockStats {
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height && w > 0 && h > 0,
+            "stats rectangle out of bounds or empty"
+        );
+        let n = (w as usize * h as usize) as f64;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut grad = 0.0f64;
+        let mut grad_n = 0usize;
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                let p = self.get(x, y) as f64;
+                sum += p;
+                sum_sq += p * p;
+                if x + 1 < x0 + w {
+                    grad += (self.get(x + 1, y) as f64 - p).abs();
+                    grad_n += 1;
+                }
+                if y + 1 < y0 + h {
+                    grad += (self.get(x, y + 1) as f64 - p).abs();
+                    grad_n += 1;
+                }
+            }
+        }
+        let mean = sum / n;
+        BlockStats {
+            mean,
+            variance: (sum_sq / n - mean * mean).max(0.0),
+            gradient_energy: if grad_n == 0 { 0.0 } else { grad / grad_n as f64 },
+        }
+    }
+
+    /// Mean grey level of the whole plane.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| p as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Mean squared error against another plane of the same dimensions.
+    pub fn mse(&self, other: &LumaPlane) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "planes must have matching dimensions"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut p = LumaPlane::filled(4, 3, 7);
+        assert_eq!(p.get(3, 2), 7);
+        p.set(1, 1, 200);
+        assert_eq!(p.get(1, 1), 200);
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.height(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        LumaPlane::filled(4, 3, 0).get(4, 0);
+    }
+
+    #[test]
+    fn crop_extracts_rect() {
+        let mut p = LumaPlane::filled(6, 6, 0);
+        for y in 2..4 {
+            for x in 1..4 {
+                p.set(x, y, 9);
+            }
+        }
+        let c = p.crop(1, 2, 3, 2);
+        assert_eq!((c.width(), c.height()), (3, 2));
+        assert!(c.data().iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn blit_round_trips_with_crop() {
+        let mut base = LumaPlane::filled(8, 8, 0);
+        let mut tile = LumaPlane::filled(3, 2, 0);
+        for (i, v) in tile.data.iter_mut().enumerate() {
+            *v = i as u8 + 1;
+        }
+        base.blit(&tile, 4, 5);
+        assert_eq!(base.crop(4, 5, 3, 2), tile);
+        // Outside the blit region stays untouched.
+        assert_eq!(base.get(0, 0), 0);
+        assert_eq!(base.get(3, 5), 0);
+    }
+
+    #[test]
+    fn stitching_tiles_reassembles_frame() {
+        // Emulate the client-side stitch: crop a frame into 4 tiles,
+        // reassemble, and require bit-exact equality.
+        let mut frame = LumaPlane::filled(10, 6, 0);
+        for y in 0..6 {
+            for x in 0..10 {
+                frame.set(x, y, (x * 13 + y * 31) as u8);
+            }
+        }
+        let tiles = [
+            (frame.crop(0, 0, 5, 3), 0, 0),
+            (frame.crop(5, 0, 5, 3), 5, 0),
+            (frame.crop(0, 3, 5, 3), 0, 3),
+            (frame.crop(5, 3, 5, 3), 5, 3),
+        ];
+        let mut out = LumaPlane::filled(10, 6, 0);
+        for (t, x, y) in &tiles {
+            out.blit(t, *x, *y);
+        }
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn block_stats_flat_block() {
+        let p = LumaPlane::filled(8, 8, 100);
+        let s = p.block_stats(0, 0, 8, 8);
+        assert_eq!(s.mean, 100.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.gradient_energy, 0.0);
+    }
+
+    #[test]
+    fn block_stats_checkerboard_has_high_gradient() {
+        let mut p = LumaPlane::filled(8, 8, 0);
+        for y in 0..8 {
+            for x in 0..8 {
+                if (x + y) % 2 == 0 {
+                    p.set(x, y, 255);
+                }
+            }
+        }
+        let s = p.block_stats(0, 0, 8, 8);
+        assert!((s.mean - 127.5).abs() < 1.0);
+        assert_eq!(s.gradient_energy, 255.0);
+        assert!(s.variance > 16000.0);
+    }
+
+    #[test]
+    fn mse_zero_on_self_positive_on_diff() {
+        let a = LumaPlane::filled(4, 4, 10);
+        let mut b = a.clone();
+        assert_eq!(a.mse(&b), 0.0);
+        b.set(0, 0, 26); // one pixel off by 16 -> mse = 256/16
+        assert!((a.mse(&b) - 16.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crop_blit_identity(
+            w in 2u32..20, h in 2u32..20,
+            seed in 0u64..1000,
+        ) {
+            let mut frame = LumaPlane::filled(w, h, 0);
+            let mut s = seed.wrapping_add(1);
+            for y in 0..h {
+                for x in 0..w {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    frame.set(x, y, (s >> 56) as u8);
+                }
+            }
+            // Crop arbitrary rect, blit back: identity.
+            let cw = 1 + (seed % w as u64) as u32;
+            let ch = 1 + (seed % h as u64) as u32;
+            let x0 = (seed % (w - cw + 1) as u64) as u32;
+            let y0 = (seed % (h - ch + 1) as u64) as u32;
+            let tile = frame.crop(x0, y0, cw, ch);
+            let mut copy = frame.clone();
+            copy.blit(&tile, x0, y0);
+            prop_assert_eq!(copy, frame);
+        }
+
+        #[test]
+        fn prop_stats_mean_in_range(w in 1u32..16, h in 1u32..16, fill in 0u8..=255) {
+            let p = LumaPlane::filled(w, h, fill);
+            let s = p.block_stats(0, 0, w, h);
+            prop_assert!((s.mean - fill as f64).abs() < 1e-9);
+            prop_assert!(s.variance.abs() < 1e-9);
+        }
+    }
+}

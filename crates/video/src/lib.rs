@@ -1,0 +1,37 @@
+//! # pano-video — synthetic 360° video substrate
+//!
+//! Pano's algorithms consume three things from a video: per-region pixel
+//! statistics (luminance, texture), per-region object motion/depth, and a
+//! rate–distortion surface (how many bytes a tile costs at each quality
+//! level, and how much distortion that level introduces). This crate
+//! produces all three **from scratch**, substituting for the real videos,
+//! the x264/FFmpeg encoder, and the Yolo+KCF object pipeline the paper used
+//! (see DESIGN.md §1 for the substitution argument):
+//!
+//! * [`frame::LumaPlane`] — 8-bit luma frames with block statistics.
+//! * [`scene`] — a parametric scene generator: moving objects with depth,
+//!   background luminance fields, luminance events, per-genre presets.
+//! * [`dataset`] — the paper's video datasets (18-video traced set and the
+//!   50-video extended set) generated deterministically from seeds.
+//! * [`codec`] — a block-based R-D codec simulator with the standard
+//!   H.264-style QP exponential law and tile-boundary overhead.
+//! * [`tracking`] — oracle object annotations degraded to the fidelity of
+//!   the paper's detect-every-10-frames + interpolate pipeline.
+//! * [`features`] — the per-cell chunk features every downstream stage
+//!   (JND, tiling, adaptation) consumes.
+
+pub mod codec;
+pub mod dataset;
+pub mod export;
+pub mod features;
+pub mod frame;
+pub mod scene;
+pub mod tracking;
+
+pub use codec::{CodecConfig, EncodedChunk, EncodedTile, Encoder, QualityLevel, QP_LADDER};
+pub use dataset::{DatasetSpec, Genre, VideoSpec};
+pub use export::{DatasetExport, DatasetIndex, VideoRecord};
+pub use features::{CellFeatures, ChunkFeatures, FeatureExtractor};
+pub use frame::LumaPlane;
+pub use scene::{LuminanceEvent, ObjectSpec, Scene, SceneSpec};
+pub use tracking::{ObjectTrack, TrackedObject, Tracker};

@@ -1,0 +1,477 @@
+//! Parametric 360° scene generator.
+//!
+//! A [`Scene`] is the ground-truth world a synthetic video records: a
+//! textured background sphere with a luminance field, a set of moving
+//! foreground objects each carrying a depth-of-field value, and optional
+//! scripted luminance events (a stage blackout, a tunnel exit). The scene
+//! can be:
+//!
+//! * **rendered** to a [`LumaPlane`] at any resolution and time — used by
+//!   the JND observer panel and the PSNR/PSPNR ground-truth path; and
+//! * **queried analytically** — exact per-cell luminance, depth, motion,
+//!   and texture at any time, used by the feature extractor so the
+//!   streaming simulator never has to render full frames.
+//!
+//! Everything is deterministic given the spec; the spec itself is usually
+//! generated from a seed by [`crate::dataset`].
+
+use crate::frame::LumaPlane;
+use pano_geo::{Degrees, Equirect, Viewpoint};
+use serde::{Deserialize, Serialize};
+
+/// A moving foreground object on the sphere.
+///
+/// Objects move along a great-circle-ish path at constant angular speed:
+/// starting at (`yaw0`, `pitch0`), yaw advances at `yaw_speed` deg/s and
+/// pitch oscillates sinusoidally with amplitude `pitch_amp` — enough to
+/// produce the "fast skier against static background" structure the paper's
+/// sports videos have, without a full physics model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSpec {
+    /// Stable object identity (used by tracking and viewpoint traces).
+    pub id: u32,
+    /// Initial yaw position.
+    pub yaw0: Degrees,
+    /// Initial pitch position.
+    pub pitch0: Degrees,
+    /// Yaw angular speed in deg/s (positive = rightward).
+    pub yaw_speed: f64,
+    /// Amplitude of the sinusoidal pitch oscillation, degrees.
+    pub pitch_amp: f64,
+    /// Period of the pitch oscillation, seconds.
+    pub pitch_period: f64,
+    /// Angular diameter of the object, degrees.
+    pub size_deg: f64,
+    /// Depth of field in dioptres (0 = infinitely far, ~2 = very near).
+    pub dof_dioptre: f64,
+    /// Base grey level of the object body.
+    pub base_luma: u8,
+    /// Texture amplitude: grey-level swing of the object's internal pattern.
+    pub texture_amp: f64,
+}
+
+impl ObjectSpec {
+    /// Ground-truth position at time `t` seconds.
+    pub fn position(&self, t: f64) -> Viewpoint {
+        let yaw = self.yaw0 + Degrees(self.yaw_speed * t);
+        let pitch = if self.pitch_period > 0.0 {
+            self.pitch0
+                + Degrees(
+                    self.pitch_amp * (2.0 * std::f64::consts::PI * t / self.pitch_period).sin(),
+                )
+        } else {
+            self.pitch0
+        };
+        Viewpoint::new(yaw, pitch)
+    }
+
+    /// Ground-truth angular velocity at time `t`, in deg/s, computed by
+    /// central differencing the path (robust to the pitch oscillation).
+    pub fn angular_speed(&self, t: f64) -> f64 {
+        let dt = 0.01;
+        let a = self.position(t - dt / 2.0);
+        let b = self.position(t + dt / 2.0);
+        a.great_circle_distance(&b).value() / dt
+    }
+}
+
+/// A scripted luminance change: the region (or the whole scene) ramps from
+/// `from_level` to `to_level` over `[start, start + ramp_secs]`.
+///
+/// These drive the paper's Factor #2 — "change in scene luminance" — e.g.
+/// urban night scenes where the viewpoint crosses between bright and dark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LuminanceEvent {
+    /// Event start time, seconds.
+    pub start: f64,
+    /// Ramp duration, seconds (0 = step change).
+    pub ramp_secs: f64,
+    /// Luminance offset applied before the event (grey levels).
+    pub from_level: f64,
+    /// Luminance offset applied after the event (grey levels).
+    pub to_level: f64,
+    /// Yaw range `[min, max]` the event applies to; `None` = whole sphere.
+    pub yaw_range: Option<(Degrees, Degrees)>,
+}
+
+impl LuminanceEvent {
+    /// Luminance offset contributed by this event at time `t` and yaw `y`.
+    pub fn offset_at(&self, t: f64, yaw: Degrees) -> f64 {
+        if let Some((lo, hi)) = self.yaw_range {
+            let y = yaw.wrap_180().value();
+            let (lo, hi) = (lo.wrap_180().value(), hi.wrap_180().value());
+            let inside = if lo <= hi {
+                y >= lo && y <= hi
+            } else {
+                // Range wraps the antimeridian.
+                y >= lo || y <= hi
+            };
+            if !inside {
+                return 0.0;
+            }
+        }
+        if t < self.start {
+            self.from_level
+        } else if self.ramp_secs <= 0.0 || t >= self.start + self.ramp_secs {
+            self.to_level
+        } else {
+            let f = (t - self.start) / self.ramp_secs;
+            self.from_level + (self.to_level - self.from_level) * f
+        }
+    }
+}
+
+/// Static description of a synthetic 360° scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneSpec {
+    /// Base background grey level before luminance fields/events.
+    pub bg_luma: u8,
+    /// Amplitude of the background's spatial luminance variation.
+    pub bg_luma_amp: f64,
+    /// Spatial frequency of the background texture (cycles per 360° of yaw).
+    pub bg_texture_freq: f64,
+    /// Amplitude of the background texture (grey levels) — the texture
+    /// complexity knob; high values mean high JND masking and high bitrate.
+    pub bg_texture_amp: f64,
+    /// Background depth of field in dioptres (scenery is far: near 0).
+    pub bg_dof_dioptre: f64,
+    /// Foreground objects.
+    pub objects: Vec<ObjectSpec>,
+    /// Scripted luminance events.
+    pub events: Vec<LuminanceEvent>,
+}
+
+impl SceneSpec {
+    /// A minimal single-object test scene: one object of `size_deg` degrees
+    /// moving at `yaw_speed` deg/s over a flat mid-grey background. This is
+    /// the synthetic stimulus layout of the paper's Appendix A user study.
+    pub fn test_stimulus(yaw_speed: f64, dof_dioptre: f64, bg_luma: u8) -> SceneSpec {
+        SceneSpec {
+            bg_luma,
+            bg_luma_amp: 0.0,
+            bg_texture_freq: 0.0,
+            bg_texture_amp: 0.0,
+            bg_dof_dioptre: 0.0,
+            objects: vec![ObjectSpec {
+                id: 0,
+                yaw0: Degrees(0.0),
+                pitch0: Degrees(0.0),
+                yaw_speed,
+                pitch_amp: 0.0,
+                pitch_period: 0.0,
+                size_deg: 8.0, // ~64 px at 2880-wide: 64 * (360/2880) = 8 deg
+                dof_dioptre,
+                base_luma: 50, // the appendix's constant grey level 50
+                texture_amp: 0.0,
+            }],
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A scene bound to a wall-clock duration: the queryable ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    spec: SceneSpec,
+    duration_secs: f64,
+}
+
+/// Analytic sample of the scene at one sphere point and time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneSample {
+    /// Grey level `[0, 255]` after luminance fields and events.
+    pub luma: f64,
+    /// Depth of field at this point, dioptres.
+    pub dof_dioptre: f64,
+    /// Angular velocity of the content at this point, deg/s (0 for
+    /// background, the object's speed inside an object).
+    pub content_speed: f64,
+    /// Texture amplitude at this point (grey levels).
+    pub texture_amp: f64,
+    /// Id of the covering object, if any.
+    pub object_id: Option<u32>,
+}
+
+impl Scene {
+    /// Binds a spec to a duration.
+    pub fn new(spec: SceneSpec, duration_secs: f64) -> Self {
+        assert!(duration_secs > 0.0, "scene duration must be positive");
+        Scene {
+            spec,
+            duration_secs,
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &SceneSpec {
+        &self.spec
+    }
+
+    /// Scene duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.duration_secs
+    }
+
+    /// The object covering sphere point `p` at time `t`, topmost (latest
+    /// in the list) first, if any.
+    pub fn object_at(&self, p: &Viewpoint, t: f64) -> Option<&ObjectSpec> {
+        self.spec
+            .objects
+            .iter()
+            .rev()
+            .find(|o| o.position(t).great_circle_distance(p).value() <= o.size_deg / 2.0)
+    }
+
+    /// Background luminance (before events) at a sphere point: a smooth
+    /// field varying with yaw and pitch.
+    fn bg_luma_field(&self, p: &Viewpoint) -> f64 {
+        let s = &self.spec;
+        let v = s.bg_luma as f64
+            + s.bg_luma_amp * (p.yaw().to_radians().value()).sin()
+            + s.bg_luma_amp * 0.5 * (2.0 * p.pitch().to_radians().value()).cos();
+        v.clamp(0.0, 255.0)
+    }
+
+    /// Background texture value at a point: a deterministic high-frequency
+    /// pattern whose amplitude is the spec's `bg_texture_amp`.
+    fn bg_texture(&self, p: &Viewpoint) -> f64 {
+        let s = &self.spec;
+        if s.bg_texture_amp == 0.0 || s.bg_texture_freq == 0.0 {
+            return 0.0;
+        }
+        let u = p.yaw().to_radians().value() * s.bg_texture_freq;
+        let v = p.pitch().to_radians().value() * s.bg_texture_freq * 2.0;
+        s.bg_texture_amp * (u.sin() * v.cos())
+    }
+
+    /// Total scripted luminance offset at `(t, yaw)`.
+    fn event_offset(&self, t: f64, yaw: Degrees) -> f64 {
+        self.spec.events.iter().map(|e| e.offset_at(t, yaw)).sum()
+    }
+
+    /// Analytic sample at sphere point `p`, time `t`.
+    pub fn sample(&self, p: &Viewpoint, t: f64) -> SceneSample {
+        let ev = self.event_offset(t, p.yaw());
+        if let Some(obj) = self.object_at(p, t) {
+            // Object texture: radial pattern inside the object disc.
+            let d = obj.position(t).great_circle_distance(p).value();
+            let tex = if obj.texture_amp > 0.0 {
+                obj.texture_amp * (d / obj.size_deg * 8.0 * std::f64::consts::PI).sin()
+            } else {
+                0.0
+            };
+            SceneSample {
+                luma: (obj.base_luma as f64 + tex + ev).clamp(0.0, 255.0),
+                dof_dioptre: obj.dof_dioptre,
+                content_speed: obj.angular_speed(t),
+                texture_amp: obj.texture_amp,
+                object_id: Some(obj.id),
+            }
+        } else {
+            SceneSample {
+                luma: (self.bg_luma_field(p) + self.bg_texture(p) + ev).clamp(0.0, 255.0),
+                dof_dioptre: self.spec.bg_dof_dioptre,
+                content_speed: 0.0,
+                texture_amp: self.spec.bg_texture_amp,
+                object_id: None,
+            }
+        }
+    }
+
+    /// Renders the full equirectangular frame at time `t` to a luma plane
+    /// of the projection's resolution.
+    ///
+    /// Rendering is exact but O(pixels); the streaming simulator uses the
+    /// analytic [`Scene::sample`] path on the cell grid instead and only the
+    /// JND panel and ground-truth quality checks render planes.
+    pub fn render(&self, eq: &Equirect, t: f64) -> LumaPlane {
+        let mut plane = LumaPlane::filled(eq.width, eq.height, 0);
+        for y in 0..eq.height {
+            for x in 0..eq.width {
+                let p = eq.pixel_to_sphere(x as f64 + 0.5, y as f64 + 0.5);
+                let s = self.sample(&p, t);
+                plane.set(x, y, s.luma.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        plane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_object_scene(speed: f64) -> Scene {
+        Scene::new(SceneSpec::test_stimulus(speed, 1.0, 128), 30.0)
+    }
+
+    #[test]
+    fn object_moves_at_constant_yaw_speed() {
+        let obj = ObjectSpec {
+            id: 1,
+            yaw0: Degrees(0.0),
+            pitch0: Degrees(0.0),
+            yaw_speed: 10.0,
+            pitch_amp: 0.0,
+            pitch_period: 0.0,
+            size_deg: 5.0,
+            dof_dioptre: 1.0,
+            base_luma: 50,
+            texture_amp: 0.0,
+        };
+        let p0 = obj.position(0.0);
+        let p1 = obj.position(2.0);
+        assert!((p0.great_circle_distance(&p1).value() - 20.0).abs() < 1e-6);
+        assert!((obj.angular_speed(1.0) - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn object_wraps_around_the_sphere() {
+        let obj = ObjectSpec {
+            id: 1,
+            yaw0: Degrees(170.0),
+            pitch0: Degrees(0.0),
+            yaw_speed: 20.0,
+            pitch_amp: 0.0,
+            pitch_period: 0.0,
+            size_deg: 5.0,
+            dof_dioptre: 1.0,
+            base_luma: 50,
+            texture_amp: 0.0,
+        };
+        let p = obj.position(1.0); // 190 -> wraps to -170
+        assert!((p.yaw().value() + 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_inside_vs_outside_object() {
+        let scene = one_object_scene(0.0);
+        let inside = scene.sample(&Viewpoint::forward(), 0.0);
+        assert_eq!(inside.object_id, Some(0));
+        assert_eq!(inside.luma, 50.0);
+        assert_eq!(inside.dof_dioptre, 1.0);
+
+        let outside = scene.sample(&Viewpoint::new(Degrees(90.0), Degrees(0.0)), 0.0);
+        assert_eq!(outside.object_id, None);
+        assert_eq!(outside.luma, 128.0);
+        assert_eq!(outside.dof_dioptre, 0.0);
+        assert_eq!(outside.content_speed, 0.0);
+    }
+
+    #[test]
+    fn moving_object_leaves_origin() {
+        let scene = one_object_scene(15.0);
+        assert_eq!(scene.sample(&Viewpoint::forward(), 0.0).object_id, Some(0));
+        // After 2 s the object has moved 30 degrees; origin is background.
+        assert_eq!(scene.sample(&Viewpoint::forward(), 2.0).object_id, None);
+        let moved = scene.sample(&Viewpoint::new(Degrees(30.0), Degrees(0.0)), 2.0);
+        assert_eq!(moved.object_id, Some(0));
+        assert!((moved.content_speed - 15.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn luminance_event_step_and_ramp() {
+        let ev = LuminanceEvent {
+            start: 5.0,
+            ramp_secs: 2.0,
+            from_level: 0.0,
+            to_level: -100.0,
+            yaw_range: None,
+        };
+        assert_eq!(ev.offset_at(0.0, Degrees(0.0)), 0.0);
+        assert_eq!(ev.offset_at(6.0, Degrees(0.0)), -50.0);
+        assert_eq!(ev.offset_at(7.0, Degrees(0.0)), -100.0);
+        assert_eq!(ev.offset_at(100.0, Degrees(0.0)), -100.0);
+    }
+
+    #[test]
+    fn luminance_event_respects_yaw_range() {
+        let ev = LuminanceEvent {
+            start: 0.0,
+            ramp_secs: 0.0,
+            from_level: 0.0,
+            to_level: 80.0,
+            yaw_range: Some((Degrees(-30.0), Degrees(30.0))),
+        };
+        assert_eq!(ev.offset_at(1.0, Degrees(0.0)), 80.0);
+        assert_eq!(ev.offset_at(1.0, Degrees(90.0)), 0.0);
+    }
+
+    #[test]
+    fn luminance_event_wrapping_yaw_range() {
+        let ev = LuminanceEvent {
+            start: 0.0,
+            ramp_secs: 0.0,
+            from_level: 0.0,
+            to_level: 80.0,
+            yaw_range: Some((Degrees(150.0), Degrees(-150.0))),
+        };
+        assert_eq!(ev.offset_at(1.0, Degrees(170.0)), 80.0);
+        assert_eq!(ev.offset_at(1.0, Degrees(-170.0)), 80.0);
+        assert_eq!(ev.offset_at(1.0, Degrees(0.0)), 0.0);
+    }
+
+    #[test]
+    fn scene_events_shift_luma() {
+        let mut spec = SceneSpec::test_stimulus(0.0, 0.0, 100);
+        spec.events.push(LuminanceEvent {
+            start: 2.0,
+            ramp_secs: 0.0,
+            from_level: 0.0,
+            to_level: 50.0,
+            yaw_range: None,
+        });
+        let scene = Scene::new(spec, 10.0);
+        let bg = Viewpoint::new(Degrees(90.0), Degrees(0.0));
+        assert_eq!(scene.sample(&bg, 0.0).luma, 100.0);
+        assert_eq!(scene.sample(&bg, 3.0).luma, 150.0);
+    }
+
+    #[test]
+    fn render_matches_samples() {
+        let eq = Equirect::new(72, 36);
+        let scene = one_object_scene(0.0);
+        let plane = scene.render(&eq, 0.0);
+        assert_eq!((plane.width(), plane.height()), (72, 36));
+        // Centre pixel is the object (grey 50), edges are background (128).
+        assert_eq!(plane.get(36, 18), 50);
+        assert_eq!(plane.get(0, 18), 128);
+        // Whole plane values follow the analytic samples.
+        for y in (0..36).step_by(7) {
+            for x in (0..72).step_by(11) {
+                let p = eq.pixel_to_sphere(x as f64 + 0.5, y as f64 + 0.5);
+                let s = scene.sample(&p, 0.0);
+                assert_eq!(plane.get(x, y) as f64, s.luma.round());
+            }
+        }
+    }
+
+    #[test]
+    fn texture_fields_are_bounded() {
+        let spec = SceneSpec {
+            bg_luma: 128,
+            bg_luma_amp: 30.0,
+            bg_texture_freq: 20.0,
+            bg_texture_amp: 25.0,
+            bg_dof_dioptre: 0.1,
+            objects: vec![],
+            events: vec![],
+        };
+        let scene = Scene::new(spec, 10.0);
+        for yaw in (-180..180).step_by(17) {
+            for pitch in (-90..=90).step_by(15) {
+                let s = scene.sample(
+                    &Viewpoint::new(Degrees(yaw as f64), Degrees(pitch as f64)),
+                    1.0,
+                );
+                assert!((0.0..=255.0).contains(&s.luma));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        Scene::new(SceneSpec::test_stimulus(0.0, 0.0, 0), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Object trajectory extraction.
+//!
+//! The paper's provider pipeline (§7) runs Yolo on the first frame of each
+//! second and a kernelized-correlation-filter tracker for the remaining
+//! frames, then stores one trajectory sample per 10 frames in the manifest.
+//! Our substitute queries the scene's oracle object positions, degrades
+//! them to the same fidelity (detection cadence, sample-per-10-frames
+//! output, small measurement noise), and exposes the trajectory interface
+//! downstream code consumes.
+
+use crate::scene::Scene;
+use pano_geo::{Degrees, Viewpoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One tracked object's trajectory across a chunk: one position sample per
+/// `sample_stride` frames, as stored in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectTrack {
+    /// The object's stable id.
+    pub object_id: u32,
+    /// Time of the first sample, seconds.
+    pub t0: f64,
+    /// Seconds between consecutive samples (10 frames at 30 fps = 1/3 s).
+    pub sample_interval: f64,
+    /// Position samples.
+    pub samples: Vec<Viewpoint>,
+}
+
+impl ObjectTrack {
+    /// Position at time `t`, linearly interpolated between samples
+    /// (slerp on the sphere). Clamps outside the sampled range.
+    pub fn position_at(&self, t: f64) -> Viewpoint {
+        if self.samples.is_empty() {
+            return Viewpoint::forward();
+        }
+        let rel = (t - self.t0) / self.sample_interval;
+        if rel <= 0.0 {
+            return self.samples[0];
+        }
+        let last = self.samples.len() - 1;
+        if rel >= last as f64 {
+            return self.samples[last];
+        }
+        let i = rel.floor() as usize;
+        let frac = rel - i as f64;
+        self.samples[i].slerp(&self.samples[i + 1], frac)
+    }
+
+    /// Mean angular speed across the track, deg/s.
+    pub fn mean_speed(&self) -> f64 {
+        if self.samples.len() < 2 || self.sample_interval <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .samples
+            .windows(2)
+            .map(|w| w[0].great_circle_distance(&w[1]).value())
+            .sum();
+        total / ((self.samples.len() - 1) as f64 * self.sample_interval)
+    }
+
+    /// Instantaneous speed at `t` from the surrounding samples, deg/s.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let dt = self.sample_interval.max(1e-6);
+        let a = self.position_at(t - dt / 2.0);
+        let b = self.position_at(t + dt / 2.0);
+        a.great_circle_distance(&b).value() / dt
+    }
+}
+
+/// A tracked object: identity + track + the scene-truth depth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedObject {
+    /// The trajectory.
+    pub track: ObjectTrack,
+    /// Depth of field carried through from detection, dioptres.
+    pub dof_dioptre: f64,
+    /// Angular size, degrees.
+    pub size_deg: f64,
+}
+
+/// The detect-and-track pipeline substitute.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    /// Frames between stored trajectory samples (paper: 10).
+    pub sample_stride: u32,
+    /// Std-dev of per-sample angular measurement noise, degrees.
+    pub noise_deg: f64,
+    /// RNG seed for the measurement noise.
+    pub seed: u64,
+}
+
+impl Default for Tracker {
+    fn default() -> Self {
+        Tracker {
+            sample_stride: 10,
+            noise_deg: 0.3,
+            seed: 0x7AC4,
+        }
+    }
+}
+
+impl Tracker {
+    /// Tracks every scene object over `[t0, t0 + duration)`, producing one
+    /// sample per `sample_stride` frames at `fps`.
+    pub fn track_chunk(
+        &self,
+        scene: &Scene,
+        fps: u32,
+        t0: f64,
+        duration: f64,
+    ) -> Vec<TrackedObject> {
+        let interval = self.sample_stride as f64 / fps as f64;
+        let n_samples = (duration / interval).round().max(1.0) as usize + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (t0 * 1000.0) as u64);
+        scene
+            .spec()
+            .objects
+            .iter()
+            .map(|obj| {
+                let samples = (0..n_samples)
+                    .map(|i| {
+                        let t = t0 + i as f64 * interval;
+                        let truth = obj.position(t);
+                        if self.noise_deg > 0.0 {
+                            truth.offset(
+                                Degrees(rng.gen_range(-self.noise_deg..=self.noise_deg)),
+                                Degrees(rng.gen_range(-self.noise_deg..=self.noise_deg)),
+                            )
+                        } else {
+                            truth
+                        }
+                    })
+                    .collect();
+                TrackedObject {
+                    track: ObjectTrack {
+                        object_id: obj.id,
+                        t0,
+                        sample_interval: interval,
+                        samples,
+                    },
+                    dof_dioptre: obj.dof_dioptre,
+                    size_deg: obj.size_deg,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Scene, SceneSpec};
+
+    fn scene(speed: f64) -> Scene {
+        Scene::new(SceneSpec::test_stimulus(speed, 1.0, 128), 30.0)
+    }
+
+    fn noiseless() -> Tracker {
+        Tracker {
+            noise_deg: 0.0,
+            ..Tracker::default()
+        }
+    }
+
+    #[test]
+    fn track_has_paper_cadence() {
+        let tracks = noiseless().track_chunk(&scene(10.0), 30, 0.0, 1.0);
+        assert_eq!(tracks.len(), 1);
+        let t = &tracks[0].track;
+        // 10-frame stride at 30 fps = 1/3 s; 1 s chunk = 4 samples (0,1/3,2/3,1).
+        assert!((t.sample_interval - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.samples.len(), 4);
+    }
+
+    #[test]
+    fn noiseless_track_matches_truth() {
+        let sc = scene(12.0);
+        let tracks = noiseless().track_chunk(&sc, 30, 2.0, 1.0);
+        let track = &tracks[0].track;
+        let truth = &sc.spec().objects[0];
+        for (i, s) in track.samples.iter().enumerate() {
+            let t = 2.0 + i as f64 / 3.0;
+            assert!(
+                s.great_circle_distance(&truth.position(t)).value() < 1e-6,
+                "sample {i}"
+            );
+        }
+        // Interpolated position between samples is close to truth.
+        let mid = track.position_at(2.1);
+        assert!(mid.great_circle_distance(&truth.position(2.1)).value() < 0.2);
+    }
+
+    #[test]
+    fn mean_speed_recovers_object_speed() {
+        let tracks = noiseless().track_chunk(&scene(15.0), 30, 0.0, 1.0);
+        let v = tracks[0].track.mean_speed();
+        assert!((v - 15.0).abs() < 0.5, "speed {v}");
+        let v_at = tracks[0].track.speed_at(0.5);
+        assert!((v_at - 15.0).abs() < 1.0, "speed_at {v_at}");
+    }
+
+    #[test]
+    fn position_clamps_outside_range() {
+        let tracks = noiseless().track_chunk(&scene(10.0), 30, 0.0, 1.0);
+        let t = &tracks[0].track;
+        assert_eq!(t.position_at(-5.0), t.samples[0]);
+        assert_eq!(t.position_at(99.0), *t.samples.last().unwrap());
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let tracker = Tracker {
+            noise_deg: 0.5,
+            ..Tracker::default()
+        };
+        let sc = scene(10.0);
+        let a = tracker.track_chunk(&sc, 30, 0.0, 1.0);
+        let b = tracker.track_chunk(&sc, 30, 0.0, 1.0);
+        assert_eq!(a, b, "same seed, same tracks");
+        let truth = &sc.spec().objects[0];
+        for (i, s) in a[0].track.samples.iter().enumerate() {
+            let t = i as f64 / 3.0;
+            let err = s.great_circle_distance(&truth.position(t)).value();
+            assert!(err <= 1.0, "noise too large: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_track_defaults() {
+        let t = ObjectTrack {
+            object_id: 0,
+            t0: 0.0,
+            sample_interval: 0.1,
+            samples: vec![],
+        };
+        assert_eq!(t.position_at(0.0), Viewpoint::forward());
+        assert_eq!(t.mean_speed(), 0.0);
+    }
+
+    #[test]
+    fn dof_and_size_carried_through() {
+        let tracks = noiseless().track_chunk(&scene(5.0), 30, 0.0, 1.0);
+        assert_eq!(tracks[0].dof_dioptre, 1.0);
+        assert_eq!(tracks[0].size_deg, 8.0);
+    }
+}

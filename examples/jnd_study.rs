@@ -1,0 +1,88 @@
+//! Re-run the paper's Appendix A user study, in silico.
+//!
+//! Builds a 20-observer panel (each with a personal sensitivity and trial
+//! noise), runs the staircase protocol for each factor sweep, and prints
+//! the measured JND curves and the empirical multipliers alongside the
+//! ground-truth laws the observers embody — the Fig. 6 / Fig. 7 loop.
+//!
+//! ```text
+//! cargo run --release --example jnd_study
+//! ```
+
+use pano_jnd::{ActionState, Panel};
+
+fn main() {
+    let mut panel = Panel::new(Panel::PAPER_SIZE, 2024);
+    let truth = *panel.multipliers();
+    println!("Panel: {} simulated observers\n", panel.len());
+
+    // Fig. 6a — relative viewpoint-moving speed.
+    println!("JND vs relative viewpoint-moving speed (others at rest):");
+    println!("  speed | measured JND | ±sd  | measured Fv | law Fv");
+    let base = panel.measure(&ActionState::REST).mean_jnd;
+    for v in [0.0, 2.5, 5.0, 10.0, 15.0, 20.0] {
+        let o = panel.measure(&ActionState {
+            rel_speed_deg_s: v,
+            ..ActionState::REST
+        });
+        println!(
+            "  {v:>5.1} | {:>12.2} | {:>4.2} | {:>11.2} | {:>6.2}",
+            o.mean_jnd,
+            o.sd,
+            o.mean_jnd / base,
+            truth.f_speed(v)
+        );
+    }
+
+    // Fig. 6b — luminance change over 5 s.
+    println!("\nJND vs luminance change in 5 s:");
+    println!("   grey | measured JND | ±sd  | measured Fl | law Fl");
+    for l in [0.0, 40.0, 80.0, 120.0, 160.0, 200.0, 240.0] {
+        let o = panel.measure(&ActionState {
+            lum_change: l,
+            ..ActionState::REST
+        });
+        println!(
+            "  {l:>5.0} | {:>12.2} | {:>4.2} | {:>11.2} | {:>6.2}",
+            o.mean_jnd,
+            o.sd,
+            o.mean_jnd / base,
+            truth.f_lum(l)
+        );
+    }
+
+    // Fig. 6c — depth-of-field difference (the Appendix's dioptre grid).
+    println!("\nJND vs DoF difference:");
+    println!("  diop. | measured JND | ±sd  | measured Fd | law Fd");
+    for d in [0.0, 0.67, 1.33, 2.0] {
+        let o = panel.measure(&ActionState {
+            dof_diff: d,
+            ..ActionState::REST
+        });
+        println!(
+            "  {d:>5.2} | {:>12.2} | {:>4.2} | {:>11.2} | {:>6.2}",
+            o.mean_jnd,
+            o.sd,
+            o.mean_jnd / base,
+            truth.f_dof(d)
+        );
+    }
+
+    // Fig. 7 — joint factors: measured JND vs the product model.
+    println!("\nJoint speed x DoF (Fig. 7a): measured vs product model");
+    for &(v, d) in &[(10.0, 1.0), (20.0, 1.0), (10.0, 2.0), (20.0, 2.0)] {
+        let o = panel.measure(&ActionState {
+            rel_speed_deg_s: v,
+            dof_diff: d,
+            lum_change: 0.0,
+        });
+        let predicted = (base * truth.f_speed(v) * truth.f_dof(d))
+            .min(pano_jnd::panel::STAIRCASE_MAX_DELTA as f64);
+        println!(
+            "  v={v:>4.0} d={d:.1}: measured {:>6.2} vs product {:>6.2} ({:+.1}%)",
+            o.mean_jnd,
+            predicted,
+            100.0 * (o.mean_jnd - predicted) / predicted
+        );
+    }
+}

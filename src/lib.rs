@@ -1,0 +1,1 @@
+//! Placeholder lib for the umbrella `pano` package; the real API lives in the member crates.

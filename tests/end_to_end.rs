@@ -1,0 +1,107 @@
+//! End-to-end integration: provider pipeline → manifest → client session,
+//! spanning every crate in the workspace.
+
+use pano_core::client::PanoClient;
+use pano_core::provider::PanoProvider;
+use pano_core::sim::Method;
+use pano_core::{BandwidthTrace, Genre, VideoSpec};
+use pano_trace::TraceGenerator;
+
+fn provider_fixture() -> PanoProvider {
+    let spec = VideoSpec::generate(0, Genre::Sports, 8.0, 42);
+    PanoProvider::prepare(&spec)
+}
+
+#[test]
+fn provider_to_client_round_trip() {
+    let provider = provider_fixture();
+    // The manifest is complete and parses back.
+    let json = provider.manifest().to_json();
+    let parsed = pano_core::Manifest::from_json(&json).expect("manifest parses");
+    assert_eq!(parsed.chunks.len(), 8);
+    assert_eq!(parsed.resolution, (2880, 1440));
+    assert!(!parsed.lookup_table.is_empty());
+
+    // A client streams it with sane QoE.
+    let client = PanoClient::new(&provider);
+    let session = client.stream_for_user(7, 1.0e6);
+    assert_eq!(session.chunks.len(), 8);
+    assert!(session.mean_pspnr() > 30.0);
+    assert!(session.total_bytes() > 0);
+    assert!((0.0..=100.0).contains(&session.buffering_ratio_pct()));
+}
+
+#[test]
+fn all_methods_stream_the_same_video() {
+    let provider = provider_fixture();
+    let client = PanoClient::new(&provider);
+    let trace = TraceGenerator::default().generate(&provider.prepared().scene, 3);
+    let bw = BandwidthTrace::lte_high(60.0, 5);
+    let mut results = Vec::new();
+    for method in [
+        Method::Pano,
+        Method::Pano360JndUniform,
+        Method::PanoTraditionalJnd,
+        Method::Flare,
+        Method::ClusTile,
+        Method::WholeVideo,
+    ] {
+        let r = client.stream(method, &trace, &bw);
+        assert_eq!(r.chunks.len(), 8, "{method}");
+        results.push((method, r));
+    }
+    // Pano is the best PSPNR of the lot on this scenario.
+    let pano = results
+        .iter()
+        .find(|(m, _)| *m == Method::Pano)
+        .map(|(_, r)| r.mean_pspnr())
+        .expect("pano ran");
+    for (m, r) in &results {
+        if *m != Method::Pano && !m.uses_360jnd() {
+            assert!(
+                pano >= r.mean_pspnr() - 1.0,
+                "{m} ({}) should not beat Pano ({pano}) by much",
+                r.mean_pspnr()
+            );
+        }
+    }
+}
+
+#[test]
+fn sessions_are_bit_deterministic_across_calls() {
+    let provider = provider_fixture();
+    let client = PanoClient::new(&provider);
+    let trace = TraceGenerator::default().generate(&provider.prepared().scene, 9);
+    let bw = BandwidthTrace::lte_low(60.0, 1);
+    let a = client.stream(Method::Pano, &trace, &bw);
+    let b = client.stream(Method::Pano, &trace, &bw);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn quality_ladder_monotone_through_whole_pipeline() {
+    let provider = provider_fixture();
+    let mut prev = 0u64;
+    for level in pano_video::codec::QualityLevel::all() {
+        let total = provider.total_bytes_at(level);
+        assert!(total > prev, "ladder must ascend at {level:?}");
+        prev = total;
+    }
+}
+
+#[test]
+fn richer_links_never_hurt() {
+    let provider = provider_fixture();
+    let client = PanoClient::new(&provider);
+    let trace = TraceGenerator::default().generate(&provider.prepared().scene, 21);
+    let mut prev_quality = 0.0;
+    for bps in [0.4e6, 1.0e6, 4.0e6] {
+        let bw = BandwidthTrace::constant(bps, 60.0, 1.0);
+        let r = client.stream(Method::Pano, &trace, &bw);
+        assert!(
+            r.mean_pspnr() >= prev_quality - 1e-9,
+            "{bps} bps should not reduce quality"
+        );
+        prev_quality = r.mean_pspnr();
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests pinning the paper's headline claims to the
+//! reproduction, at laptop scale: the shape of each result (who wins, by
+//! roughly what factor) must match the paper even though absolute numbers
+//! come from our synthetic substrate.
+
+use pano_sim::experiments as exp;
+
+#[test]
+fn claim_fig4_tiling_inflates_size() {
+    // §3 / Fig. 4: "naively splitting the video into small tiles (12×24)
+    // will increase the video size by almost 200% compared to a coarser
+    // 3×6-grid tiling".
+    let r = exp::fig4::run(8, 3.0, 4);
+    let coarse = r.rows[0].mean_ratio;
+    let fine = r.rows[2].mean_ratio;
+    let inflation = (fine - coarse) / coarse;
+    assert!(
+        (0.5..3.0).contains(&inflation),
+        "12x24 vs 3x6 inflation {inflation}"
+    );
+}
+
+#[test]
+fn claim_fig6_anchors() {
+    // §2.3: at 10 deg/s, 200 grey levels, or 0.7 dioptres, users tolerate
+    // ~50% more distortion. The panel-measured multipliers must land near
+    // 1.5 at those anchors.
+    let r = exp::fig6::run(40, 11);
+    let base = r.speed_curve[0].jnd;
+    let at_anchor = r
+        .speed_curve
+        .iter()
+        .find(|p| p.x == 10.0)
+        .expect("anchor measured")
+        .jnd;
+    let multiplier = at_anchor / base;
+    assert!(
+        (1.25..1.8).contains(&multiplier),
+        "speed anchor multiplier {multiplier}"
+    );
+    let lum_mult = r
+        .luminance_curve
+        .iter()
+        .find(|p| p.x == 200.0)
+        .expect("anchor measured")
+        .jnd
+        / r.luminance_curve[0].jnd;
+    assert!((1.2..1.9).contains(&lum_mult), "lum anchor {lum_mult}");
+}
+
+#[test]
+fn claim_fig7_independence() {
+    // §4.2: the joint impact of two factors is the product of their
+    // individual multipliers.
+    let r = exp::fig6::run(40, 23);
+    assert!(
+        r.product_model_median_err < 0.15,
+        "product model error {}",
+        r.product_model_median_err
+    );
+}
+
+#[test]
+fn claim_fig8_metric_ordering() {
+    // §4.2 validation: 360JND-based PSPNR predicts MOS better than
+    // traditional PSPNR, which beats plain PSNR. Averaged over panels to
+    // damp rater noise (a single panel can be a statistical tie).
+    let mut m360 = 0.0;
+    let mut mtrad = 0.0;
+    let mut mpsnr = 0.0;
+    for seed in [31u64, 77, 123] {
+        let r = exp::fig8::run(21, 20, seed);
+        m360 += r.medians.0;
+        mtrad += r.medians.1;
+        mpsnr += r.medians.2;
+    }
+    assert!(m360 < mtrad, "360JND {m360} vs traditional {mtrad}");
+    assert!(m360 < mpsnr, "360JND {m360} vs PSNR {mpsnr}");
+}
+
+#[test]
+fn claim_fig18a_every_component_saves_bandwidth() {
+    // §8.5: JND-awareness, the 360JND factors, and variable tiling each
+    // contribute savings; the full system saves a large fraction over the
+    // viewport-driven baseline.
+    let r = exp::fig18::run(&exp::fig18::Fig18Config {
+        video_secs: 20.0,
+        users: 2,
+        genres: vec![pano_video::Genre::Sports],
+        seed: 0x18A,
+    });
+    let base = r.ablation.first().expect("baseline present").1;
+    let full = r.ablation.last().expect("full pano present").1;
+    let saving = 100.0 * (1.0 - full / base);
+    assert!(
+        saving > 15.0,
+        "full-system saving {saving}% (ablation {:?})",
+        r.ablation
+    );
+}
+
+#[test]
+fn claim_fig10_conservative_speed_bound() {
+    // §6.1: the recent-history minimum is a reliable lower bound of the
+    // near-future speed.
+    let r = exp::fig10::run(60.0, 5);
+    assert!(
+        r.violation_rate < 0.3,
+        "lower bound violated {}% of the time",
+        100.0 * r.violation_rate
+    );
+}
+
+#[test]
+fn claim_sec63_compression() {
+    // §6.3: the lookup table compresses by orders of magnitude via
+    // dimensionality reduction + power regression, and 1-in-10 frame
+    // sampling changes PSPNR negligibly.
+    let r = exp::tables::sec63(3);
+    assert!(r.compression_factor > 10.0);
+    assert!(r.sampling_error_db < 2.0);
+    assert!((r.sampling_saving - 0.9).abs() < 1e-9);
+}
+
+#[test]
+fn claim_table2_table3_constants() {
+    let t2 = exp::tables::table2(42);
+    assert_eq!(t2.total_videos, 50);
+    assert_eq!(t2.resolution, (2880, 1440));
+    assert_eq!(t2.fps, 30);
+    let t3 = exp::tables::table3();
+    assert_eq!(t3.len(), 5);
+    assert_eq!(t3[0].1, 1);
+    assert_eq!(t3[4].1, 5);
+}

@@ -1,0 +1,110 @@
+//! Ground-truth validation across the whole perceptual chain: render a
+//! scene region to pixels, distort it with the pixel-level encoder
+//! stand-in, score it with the exact per-pixel Eq. 1–3 PSPNR, and compare
+//! against the closed-form quantile pipeline the streaming system uses.
+
+use pano_geo::Equirect;
+use pano_jnd::{psnr_planes, pspnr_planes, ContentJnd, PspnrComputer, PSPNR_CAP_DB};
+use pano_video::codec::{Encoder, QualityLevel};
+use pano_video::scene::{Scene, SceneSpec};
+
+/// Renders a small equirect frame of a flat-background scene.
+fn rendered_frame(bg_luma: u8) -> pano_video::LumaPlane {
+    let spec = SceneSpec {
+        bg_luma,
+        bg_luma_amp: 0.0,
+        bg_texture_freq: 0.0,
+        bg_texture_amp: 0.0,
+        bg_dof_dioptre: 0.0,
+        objects: vec![],
+        events: vec![],
+    };
+    Scene::new(spec, 4.0).render(&Equirect::new(96, 48), 1.0)
+}
+
+#[test]
+fn exact_pixel_pspnr_matches_closed_form_on_rendered_frames() {
+    let encoder = Encoder::default();
+    let content = ContentJnd::default();
+
+    for bg in [40u8, 128, 220] {
+        let original = rendered_frame(bg);
+        // Flat background: every pixel shares the same content JND.
+        let jnd = content.jnd(bg as f64, 0.0);
+        let jnd_map = vec![jnd; original.data().len()];
+
+        for level in [QualityLevel(0), QualityLevel(2), QualityLevel(4)] {
+            // Skip combinations whose errors would clamp at grey 0/255:
+            // clamping truncates the realised distribution and the exact
+            // score legitimately diverges from the unclamped closed form.
+            let max_err = encoder.mean_abs_error(0.0, level)
+                * pano_video::codec::DISTORTION_QUANTILES[15];
+            let headroom = (bg as f64).min(255.0 - bg as f64);
+            if max_err >= headroom {
+                continue;
+            }
+            let encoded = encoder.encode_plane(&original, level);
+            let exact = pspnr_planes(&original, &encoded, &jnd_map);
+
+            // Closed form: quantiles scaled by the same MAE the plane
+            // encoder used (flat frame: gradient energy 0), quantised to
+            // integer grey levels like the plane.
+            let mae = encoder.mean_abs_error(0.0, level);
+            let mut q = [0.0f64; 16];
+            for (qi, &base) in q
+                .iter_mut()
+                .zip(pano_video::codec::DISTORTION_QUANTILES.iter())
+            {
+                *qi = (base * mae).round();
+            }
+            let pmse = PspnrComputer::pmse_from_quantiles(&q, jnd);
+            let closed = if pmse <= 1e-12 {
+                PSPNR_CAP_DB
+            } else {
+                (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
+            };
+
+            // Rounding to u8 and clamping at 0/255 introduce sub-dB noise;
+            // the shapes must agree tightly.
+            if exact < PSPNR_CAP_DB - 1.0 || closed < PSPNR_CAP_DB - 1.0 {
+                assert!(
+                    (exact - closed).abs() < 1.5,
+                    "bg {bg} level {level:?}: exact {exact:.2} vs closed {closed:.2}"
+                );
+            } else {
+                // Both saturated: consistent.
+                assert!((exact - closed).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn pspnr_exceeds_psnr_by_the_masking_credit() {
+    // On the same frames, PSPNR (JND-filtered) must always be at least
+    // PSNR, and strictly higher when the JND is non-trivial.
+    let encoder = Encoder::default();
+    let content = ContentJnd::default();
+    let original = rendered_frame(30); // dark: high JND
+    let jnd = content.jnd(30.0, 0.0);
+    let jnd_map = vec![jnd; original.data().len()];
+    let encoded = encoder.encode_plane(&original, QualityLevel(1));
+    let psnr = psnr_planes(&original, &encoded);
+    let pspnr = pspnr_planes(&original, &encoded, &jnd_map);
+    assert!(pspnr > psnr + 1.0, "pspnr {pspnr} vs psnr {psnr}");
+}
+
+#[test]
+fn dark_frames_mask_more_than_mid_grey_frames() {
+    // The content-JND U-curve end to end: identical distortion, darker
+    // background, higher measured PSPNR.
+    let encoder = Encoder::default();
+    let content = ContentJnd::default();
+    let score = |bg: u8| {
+        let original = rendered_frame(bg);
+        let jnd_map = vec![content.jnd(bg as f64, 0.0); original.data().len()];
+        let encoded = encoder.encode_plane(&original, QualityLevel(0));
+        pspnr_planes(&original, &encoded, &jnd_map)
+    };
+    assert!(score(20) > score(128), "dark {} vs mid {}", score(20), score(128));
+}

@@ -53,12 +53,7 @@ impl BolaController {
     ///
     /// Panics on an empty or descending ladder or non-positive chunk
     /// duration (same contract as [`crate::mpc::MpcController::pick_rate`]).
-    pub fn pick_rate(
-        &self,
-        rate_ladder_bytes: &[u64],
-        buffer_secs: f64,
-        chunk_secs: f64,
-    ) -> usize {
+    pub fn pick_rate(&self, rate_ladder_bytes: &[u64], buffer_secs: f64, chunk_secs: f64) -> usize {
         assert!(!rate_ladder_bytes.is_empty(), "ladder must not be empty");
         assert!(
             rate_ladder_bytes.windows(2).all(|w| w[1] >= w[0]),

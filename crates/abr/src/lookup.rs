@@ -31,25 +31,14 @@ type FullEntries = Vec<Vec<Vec<Vec<Vec<Vec<f64>>>>>>;
 pub trait LookupScheme {
     /// Estimated PSPNR in dB for tile `tile` of chunk `chunk` at quality
     /// `level` under `action`.
-    fn estimate(
-        &self,
-        chunk: usize,
-        tile: usize,
-        level: QualityLevel,
-        action: &ActionState,
-    ) -> f64;
+    fn estimate(&self, chunk: usize, tile: usize, level: QualityLevel, action: &ActionState)
+        -> f64;
 
     /// Estimated PSPNR at a raw action-dependent ratio (the §6.3 1-D
     /// index). Lets callers fold additional JND multipliers — e.g. the
     /// foveated eccentricity factor — into the query. The default derives
     /// nothing extra and is overridden by the 1-D schemes.
-    fn estimate_at_ratio(
-        &self,
-        chunk: usize,
-        tile: usize,
-        level: QualityLevel,
-        ratio: f64,
-    ) -> f64 {
+    fn estimate_at_ratio(&self, chunk: usize, tile: usize, level: QualityLevel, ratio: f64) -> f64 {
         // Fallback for schemes without a 1-D index: approximate the ratio
         // with a pure speed action that produces it (inverse of f_speed).
         let _ = ratio;
@@ -234,9 +223,7 @@ impl<'a> LookupBuilder<'a> {
                             .map(|level| {
                                 RATIO_GRID
                                     .iter()
-                                    .map(|&r| {
-                                        round4(self.pspnr_at_ratio(features, tile, level, r))
-                                    })
+                                    .map(|&r| round4(self.pspnr_at_ratio(features, tile, level, r)))
                                     .collect()
                             })
                             .collect()
@@ -266,8 +253,7 @@ impl<'a> LookupBuilder<'a> {
                                 let mut pts: Vec<(f64, f64)> = RATIO_GRID
                                     .iter()
                                     .filter_map(|&r| {
-                                        let p =
-                                            self.pspnr_at_ratio(features, tile, level, r);
+                                        let p = self.pspnr_at_ratio(features, tile, level, r);
                                         if p < PSPNR_CAP_DB - 1e-6 {
                                             Some((r.ln(), p.max(1.0).ln()))
                                         } else {
@@ -352,13 +338,7 @@ impl LookupScheme for RatioLookupTable {
         self.estimate_at_ratio(chunk, tile, level, self.multipliers.action_ratio(action))
     }
 
-    fn estimate_at_ratio(
-        &self,
-        chunk: usize,
-        tile: usize,
-        level: QualityLevel,
-        ratio: f64,
-    ) -> f64 {
+    fn estimate_at_ratio(&self, chunk: usize, tile: usize, level: QualityLevel, ratio: f64) -> f64 {
         let curve = &self.curves[chunk][tile][level.0 as usize];
         interp(&RATIO_GRID, curve, ratio)
     }
@@ -379,13 +359,7 @@ impl LookupScheme for PowerLawTable {
         self.estimate_at_ratio(chunk, tile, level, self.multipliers.action_ratio(action))
     }
 
-    fn estimate_at_ratio(
-        &self,
-        chunk: usize,
-        tile: usize,
-        level: QualityLevel,
-        ratio: f64,
-    ) -> f64 {
+    fn estimate_at_ratio(&self, chunk: usize, tile: usize, level: QualityLevel, ratio: f64) -> f64 {
         let (a, b) = self.params[chunk][tile][level.0 as usize];
         (a * ratio.max(1.0).powf(b)).min(PSPNR_CAP_DB)
     }
@@ -428,10 +402,7 @@ mod tests {
             .collect()
     }
 
-    fn builders_fixture() -> (
-        PspnrComputer,
-        Vec<(ChunkFeatures, Vec<EncodedTile>)>,
-    ) {
+    fn builders_fixture() -> (PspnrComputer, Vec<(ChunkFeatures, Vec<EncodedTile>)>) {
         (PspnrComputer::default(), chunk_fixture(3))
     }
 
@@ -562,10 +533,7 @@ mod tests {
         let full = b.build_full(&chunks).serialized_bytes();
         let ratio = b.build_ratio(&chunks).serialized_bytes();
         let power = b.build_power(&chunks).serialized_bytes();
-        assert!(
-            full > 5 * ratio,
-            "full {full} should dwarf ratio {ratio}"
-        );
+        assert!(full > 5 * ratio, "full {full} should dwarf ratio {ratio}");
         assert!(ratio > power, "ratio {ratio} vs power {power}");
     }
 

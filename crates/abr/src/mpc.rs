@@ -64,6 +64,16 @@ impl MpcController {
         &self.config
     }
 
+    /// Updates the per-chunk request overhead. The session's fetch mask
+    /// skips tiles per chunk, so the number of requests — and therefore
+    /// the serialisation overhead MPC must budget for — changes every
+    /// chunk; charging the first chunk's tile count throughout would
+    /// systematically over-tax tiled methods.
+    pub fn set_chunk_overhead(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "overhead must be non-negative");
+        self.config.chunk_overhead_secs = secs;
+    }
+
     /// Picks the byte budget for the next chunk.
     ///
     /// * `rate_ladder_bytes` — candidate chunk sizes, ascending (e.g. the
@@ -164,7 +174,10 @@ mod tests {
         // The pick must be sustainable: download time under chunk time
         // plus available buffer headroom.
         let dl = ladder()[idx] as f64 * 8.0 / 1.0e6;
-        assert!((0.0..3.0).contains(&dl), "download {dl}s won't starve the buffer");
+        assert!(
+            (0.0..3.0).contains(&dl),
+            "download {dl}s won't starve the buffer"
+        );
     }
 
     #[test]
@@ -208,6 +221,22 @@ mod tests {
             mpc.pick_rate(&ladder(), 1.0, 1.0e6, 1.0)
         };
         assert!(pick_with_target(3.0) <= pick_with_target(1.0));
+    }
+
+    #[test]
+    fn per_chunk_overhead_update_only_makes_mpc_more_cautious() {
+        let mut plain = MpcController::new(MpcConfig::default());
+        let mut taxed = MpcController::new(MpcConfig::default());
+        taxed.set_chunk_overhead(0.4);
+        assert_eq!(taxed.config().chunk_overhead_secs, 0.4);
+        let a = plain.pick_rate(&ladder(), 2.0, 0.9e6, 1.0);
+        let b = taxed.pick_rate(&ladder(), 2.0, 0.9e6, 1.0);
+        assert!(b <= a, "overhead-taxed pick {b} vs plain {a}");
+        // Clearing the overhead restores the plain decision.
+        taxed.set_chunk_overhead(0.0);
+        let mut fresh = MpcController::new(MpcConfig::default());
+        fresh.pick_rate(&ladder(), 2.0, 0.9e6, 1.0);
+        assert_eq!(taxed.config().chunk_overhead_secs, 0.0);
     }
 
     #[test]

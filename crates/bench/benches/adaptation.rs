@@ -34,9 +34,7 @@ fn bench_adaptation(c: &mut Criterion) {
     });
     c.bench_function("mpc_pick_rate", |b| {
         let ladder = vec![60_000u64, 99_000, 172_000, 303_000, 535_000];
-        b.iter(|| {
-            MpcController::new(MpcConfig::default()).pick_rate(&ladder, 2.0, 1.0e6, 1.0)
-        })
+        b.iter(|| MpcController::new(MpcConfig::default()).pick_rate(&ladder, 2.0, 1.0e6, 1.0))
     });
     c.bench_function("bola_pick_rate", |b| {
         let ladder = vec![60_000u64, 99_000, 172_000, 303_000, 535_000];

@@ -37,8 +37,7 @@ fn bench_allocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocation");
     for n in [10usize, 30, 72] {
         let tiles = make_tiles(n, 7);
-        let budget: u64 =
-            tiles.iter().map(|t| t.size_bytes[0]).sum::<u64>() * 2 + n as u64 * 5_000;
+        let budget: u64 = tiles.iter().map(|t| t.size_bytes[0]).sum::<u64>() * 2 + n as u64 * 5_000;
         group.bench_with_input(BenchmarkId::new("pareto", n), &tiles, |b, tiles| {
             b.iter(|| allocate_pareto(tiles, budget))
         });

@@ -42,9 +42,15 @@ fn bench_lookup(c: &mut Criterion) {
     let chunks = chunk_fixture(10);
     let builder = LookupBuilder::new(&computer);
 
-    c.bench_function("lookup_build_full", |b| b.iter(|| builder.build_full(&chunks)));
-    c.bench_function("lookup_build_ratio", |b| b.iter(|| builder.build_ratio(&chunks)));
-    c.bench_function("lookup_build_power", |b| b.iter(|| builder.build_power(&chunks)));
+    c.bench_function("lookup_build_full", |b| {
+        b.iter(|| builder.build_full(&chunks))
+    });
+    c.bench_function("lookup_build_ratio", |b| {
+        b.iter(|| builder.build_ratio(&chunks))
+    });
+    c.bench_function("lookup_build_power", |b| {
+        b.iter(|| builder.build_power(&chunks))
+    });
 
     let full = builder.build_full(&chunks);
     let ratio = builder.build_ratio(&chunks);
@@ -63,7 +69,9 @@ fn bench_lookup(c: &mut Criterion) {
     c.bench_function("lookup_estimate_power", |b| {
         b.iter(|| power.estimate(3, 1, QualityLevel(2), &action))
     });
-    c.bench_function("lookup_serialize_power", |b| b.iter(|| power.serialized_bytes()));
+    c.bench_function("lookup_serialize_power", |b| {
+        b.iter(|| power.serialized_bytes())
+    });
 }
 
 criterion_group!(benches, bench_lookup);

@@ -42,13 +42,10 @@ fn main() {
     } else {
         args.iter()
             .map(|id| {
-                registry
-                    .iter()
-                    .find(|e| e.id == *id)
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown experiment '{id}' (run with no args to list)");
-                        std::process::exit(2);
-                    })
+                registry.iter().find(|e| e.id == *id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{id}' (run with no args to list)");
+                    std::process::exit(2);
+                })
             })
             .collect()
     };
@@ -61,7 +58,11 @@ fn main() {
         let t0 = Instant::now();
         let (text, value) = (e.run)(seed);
         println!("{text}");
-        println!("[{} finished in {:.2}s]\n", e.id, t0.elapsed().as_secs_f64());
+        println!(
+            "[{} finished in {:.2}s]\n",
+            e.id,
+            t0.elapsed().as_secs_f64()
+        );
         fs::write(out_dir.join(format!("{}.txt", e.id)), &text).expect("write text result");
         fs::write(
             out_dir.join(format!("{}.json", e.id)),

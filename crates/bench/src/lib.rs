@@ -149,6 +149,18 @@ pub fn experiments() -> Vec<Experiment> {
             },
         },
         Experiment {
+            id: "robust",
+            title: "Robustness: QoE cliff under injected delivery faults",
+            run: |seed| {
+                let cfg = exp::robustness::RobustnessConfig {
+                    seed,
+                    ..exp::robustness::RobustnessConfig::default()
+                };
+                let r = exp::robustness::run(&cfg);
+                (exp::robustness::render(&r), json(&r))
+            },
+        },
+        Experiment {
             id: "table2",
             title: "Table 2: dataset summary",
             run: |seed| {
@@ -188,8 +200,8 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let ids: Vec<&str> = experiments().iter().map(|e| e.id).collect();
         for required in [
-            "fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig13", "fig15", "fig16",
-            "fig17", "fig18a", "fig18b", "table2", "table3", "sec63",
+            "fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig13", "fig15", "fig16", "fig17",
+            "fig18a", "fig18b", "robust", "table2", "table3", "sec63",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

@@ -10,6 +10,10 @@ use pano_trace::{BandwidthTrace, TraceGenerator, ViewpointTrace};
 
 use crate::provider::PanoProvider;
 
+// Fault-injection knobs, re-exported so integrations can configure a
+// lossy delivery path through the umbrella API alone.
+pub use pano_net::{FaultPlan, FaultyConnection, RetryPolicy};
+
 /// A client bound to one provider's video.
 pub struct PanoClient<'a> {
     video: &'a PreparedVideo,
@@ -63,5 +67,21 @@ mod tests {
         let session = client.stream_for_user(42, 1.0e6);
         assert_eq!(session.chunks.len(), 3);
         assert!(session.mean_pspnr() > 20.0);
+    }
+
+    #[test]
+    fn client_streams_through_a_lossy_delivery_path() {
+        let spec = VideoSpec::generate(0, Genre::Science, 3.0, 9);
+        let provider = PanoProvider::prepare(&spec);
+        let client = PanoClient::new(&provider).with_config(SessionConfig {
+            fault_plan: FaultPlan::uniform(0.25, 0xC0DE),
+            deadline_abandonment: true,
+            ..SessionConfig::default()
+        });
+        let session = client.stream_for_user(42, 1.0e6);
+        // Every chunk still gets scored, and the fault layer reports work.
+        assert_eq!(session.chunks.len(), 3);
+        assert!(session.mean_pspnr() > 20.0);
+        assert!(session.total_retries() > 0);
     }
 }

@@ -126,7 +126,9 @@ mod io_tests {
         let parsed = pano_abr::Manifest::from_json(&text).expect("parses back");
         assert_eq!(parsed.chunks.len(), 3);
 
-        let n = p.write_history_traces(&dir.join("history")).expect("traces written");
+        let n = p
+            .write_history_traces(&dir.join("history"))
+            .expect("traces written");
         assert!(n >= 1);
         let entries = std::fs::read_dir(dir.join("history")).unwrap().count();
         assert_eq!(entries, n);

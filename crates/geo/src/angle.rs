@@ -226,8 +226,14 @@ mod tests {
     #[test]
     fn angular_distance_takes_short_way_around() {
         assert!(close(Degrees(359.0).angular_distance(Degrees(1.0)).0, 2.0));
-        assert!(close(Degrees(10.0).angular_distance(Degrees(350.0)).0, 20.0));
-        assert!(close(Degrees(0.0).angular_distance(Degrees(180.0)).0, 180.0));
+        assert!(close(
+            Degrees(10.0).angular_distance(Degrees(350.0)).0,
+            20.0
+        ));
+        assert!(close(
+            Degrees(0.0).angular_distance(Degrees(180.0)).0,
+            180.0
+        ));
         assert!(close(Degrees(90.0).angular_distance(Degrees(90.0)).0, 0.0));
     }
 

@@ -193,10 +193,7 @@ impl GridRect {
             return None;
         }
         Some((
-            GridRect {
-                rows: k,
-                ..*self
-            },
+            GridRect { rows: k, ..*self },
             GridRect {
                 row0: self.row0 + k,
                 rows: self.rows - k,
@@ -212,10 +209,7 @@ impl GridRect {
             return None;
         }
         Some((
-            GridRect {
-                cols: k,
-                ..*self
-            },
+            GridRect { cols: k, ..*self },
             GridRect {
                 col0: self.col0 + k,
                 cols: self.cols - k,

@@ -249,10 +249,7 @@ mod tests {
     #[test]
     fn cell_solid_weights_sum_to_frame_mean_cos() {
         let dims = GridDims::PANO_UNIT;
-        let total: f64 = dims
-            .cells()
-            .map(|c| EQ.cell_solid_weight(dims, c))
-            .sum();
+        let total: f64 = dims.cells().map(|c| EQ.cell_solid_weight(dims, c)).sum();
         // Mean of cos(pitch) over rows approximates 2/pi ~= 0.6366.
         assert!((total - 2.0 / std::f64::consts::PI).abs() < 1e-3, "{total}");
     }

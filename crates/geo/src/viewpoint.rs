@@ -96,11 +96,7 @@ impl Viewpoint {
     /// consecutive samples are typically <1° apart.
     pub fn great_circle_distance(&self, other: &Viewpoint) -> Degrees {
         let dp = (other.pitch - self.pitch).to_radians().value();
-        let dy = self
-            .yaw
-            .angular_distance(other.yaw)
-            .to_radians()
-            .value();
+        let dy = self.yaw.angular_distance(other.yaw).to_radians().value();
         let a = (dp / 2.0).sin().powi(2)
             + self.pitch.cos() * other.pitch.cos() * (dy / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().clamp(-1.0, 1.0).asin();

@@ -220,9 +220,7 @@ mod tests {
         assert_eq!(eccentricity_multiplier(180.0), 12.0);
         // Monotone.
         for d in 0..179 {
-            assert!(
-                eccentricity_multiplier(d as f64 + 1.0) >= eccentricity_multiplier(d as f64)
-            );
+            assert!(eccentricity_multiplier(d as f64 + 1.0) >= eccentricity_multiplier(d as f64));
         }
     }
 

@@ -154,8 +154,7 @@ impl Panel {
             .map(|o| o.staircase_trial(&content, &multipliers, action) as f64)
             .collect();
         let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
-        let var =
-            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
+        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
         StaircaseOutcome {
             action: *action,
             mean_jnd: mean,
@@ -170,7 +169,10 @@ impl Panel {
     where
         F: Fn(f64) -> ActionState,
     {
-        values.iter().map(|&v| self.measure(&make_action(v))).collect()
+        values
+            .iter()
+            .map(|&v| self.measure(&make_action(v)))
+            .collect()
     }
 
     /// Measures the empirical multiplier curve for a factor: JND at each
@@ -431,11 +433,9 @@ mod fit_tests {
         // agree with the ground-truth law within panel noise.
         let mut panel = Panel::new(60, 7);
         let truth = *panel.multipliers();
-        let points = panel.empirical_multiplier(&[3.0, 6.0, 10.0, 15.0, 20.0], |v| {
-            ActionState {
-                rel_speed_deg_s: v,
-                ..ActionState::REST
-            }
+        let points = panel.empirical_multiplier(&[3.0, 6.0, 10.0, 15.0, 20.0], |v| ActionState {
+            rel_speed_deg_s: v,
+            ..ActionState::REST
         });
         let fit = fit_multiplier(&points, truth.speed_anchor);
         for v in [5.0, 10.0, 18.0] {

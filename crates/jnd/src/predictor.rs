@@ -142,13 +142,7 @@ mod tests {
 
     #[test]
     fn noisy_fit_has_partial_r_squared() {
-        let pts = [
-            (1.0, 1.2),
-            (2.0, 1.9),
-            (3.0, 3.4),
-            (4.0, 3.8),
-            (5.0, 5.3),
-        ];
+        let pts = [(1.0, 1.2), (2.0, 1.9), (3.0, 3.4), (4.0, 3.8), (5.0, 5.3)];
         let p = LinearPredictor::fit(&pts);
         assert!(p.r_squared > 0.9 && p.r_squared < 1.0);
         assert!(p.slope > 0.8 && p.slope < 1.3);

@@ -287,12 +287,7 @@ mod tests {
         // perceived quality (higher JND masks more distortion).
         let (_, _, feats, chunk) = setup();
         let comp = PspnrComputer::default();
-        let slow = comp.tile_quality(
-            &feats,
-            &chunk.tiles[0],
-            QualityLevel(1),
-            &ActionState::REST,
-        );
+        let slow = comp.tile_quality(&feats, &chunk.tiles[0], QualityLevel(1), &ActionState::REST);
         let fast = comp.tile_quality(
             &feats,
             &chunk.tiles[0],
@@ -371,8 +366,18 @@ mod tests {
         let chunk_dark = enc.encode_chunk(&eq, &dark, &[dims.full_rect()]);
         let chunk_mid = enc.encode_chunk(&eq, &mid, &[dims.full_rect()]);
         let comp = PspnrComputer::default();
-        let qd = comp.tile_quality(&dark, &chunk_dark.tiles[0], QualityLevel(0), &ActionState::REST);
-        let qm = comp.tile_quality(&mid, &chunk_mid.tiles[0], QualityLevel(0), &ActionState::REST);
+        let qd = comp.tile_quality(
+            &dark,
+            &chunk_dark.tiles[0],
+            QualityLevel(0),
+            &ActionState::REST,
+        );
+        let qm = comp.tile_quality(
+            &mid,
+            &chunk_mid.tiles[0],
+            QualityLevel(0),
+            &ActionState::REST,
+        );
         assert!(qd.jnd > qm.jnd);
         assert!(qd.pspnr_db >= qm.pspnr_db);
     }

@@ -1,0 +1,762 @@
+//! Deterministic delivery-fault injection and recovery.
+//!
+//! The plain [`Connection`](crate::Connection) is an infallible transport:
+//! the only failure mode the simulator sees is a bandwidth dip in the
+//! trace. Production tile streaming is not so kind — requests get lost,
+//! transfers reset mid-flight, connections wedge. This module adds that
+//! failure surface while preserving the repo's reproducibility contract:
+//!
+//! * [`FaultPlan`] — a *seeded, stateless* fault source. Every decision is
+//!   a pure hash of `(seed, request index, attempt index)`, so a given
+//!   `(trace, fault seed, retry policy)` triple always replays the exact
+//!   same session, independent of wall-clock and call sites. Raising a
+//!   fault rate only ever *adds* faults (the hash draw is compared against
+//!   the rate), which keeps loss-rate sweeps monotone.
+//! * [`RetryPolicy`] — bounded attempts, exponential backoff with
+//!   deterministic jitter (hashed, not sampled), and a per-request
+//!   watchdog timeout derived from the predicted clean transfer time.
+//! * [`FaultyConnection`] — composes both around the same trace-driven
+//!   transfer math as `Connection`. With [`FaultPlan::none`] it is
+//!   byte-identical to the plain connection — the backward-compatibility
+//!   guarantee the calibrated experiments rely on.
+//!
+//! Each fetch returns a [`FetchOutcome`]: timing plus attempts, wasted
+//! bytes (partial transfers thrown away by resets), time lost to retries,
+//! and whether the fetch was abandoned against its deadline.
+
+use crate::connection::FetchResult;
+use pano_trace::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+
+/// Domain-separation salts for the per-decision hash draws.
+const LOSS_SALT: u64 = 0x10;
+const RESET_SALT: u64 = 0x20;
+const STALL_SALT: u64 = 0x30;
+const PROGRESS_SALT: u64 = 0x40;
+const JITTER_SALT: u64 = 0x50;
+
+/// SplitMix64 finaliser — the standard 64-bit avalanche mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from `(seed, request, attempt, salt)` —
+/// pure, order-independent, replayable.
+fn unit_hash(seed: u64, request: u64, attempt: u32, salt: u64) -> f64 {
+    let mut h = splitmix64(seed ^ salt);
+    h = splitmix64(h ^ request);
+    h = splitmix64(h ^ attempt as u64);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What the fault plan does to one transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The attempt completes cleanly.
+    None,
+    /// The request is lost outright — no bytes flow; the client notices
+    /// when its watchdog timeout fires.
+    RequestLost,
+    /// The connection resets mid-transfer after `progress` of the payload
+    /// has arrived; the partial bytes are wasted and reconnecting costs a
+    /// penalty.
+    Reset {
+        /// Fraction of the payload delivered before the reset, in `[0, 1)`.
+        progress: f64,
+    },
+    /// The transfer wedges — bytes stop flowing and the watchdog fires.
+    Stuck,
+}
+
+/// A seeded, deterministic plan of delivery faults.
+///
+/// All rates are per-attempt probabilities in `[0, 1]`. The plan is
+/// stateless: the decision for `(request, attempt)` is a pure hash, so two
+/// connections with the same plan replay identical fault sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Hash seed; different seeds give independent fault sequences.
+    pub seed: u64,
+    /// P(request lost outright) per attempt.
+    pub request_loss: f64,
+    /// P(mid-transfer connection reset) per attempt.
+    pub reset_rate: f64,
+    /// P(transfer wedges until the watchdog fires) per attempt.
+    pub stall_rate: f64,
+    /// Time to re-establish the connection after a reset, seconds.
+    pub reconnect_penalty_secs: f64,
+    /// Burst windows `[start, end)` in connection time during which every
+    /// attempt is reset — a mid-session reset storm.
+    pub reset_bursts: Vec<(f64, f64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: [`FaultyConnection`] degenerates to the plain
+    /// [`Connection`](crate::Connection), byte for byte.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            request_loss: 0.0,
+            reset_rate: 0.0,
+            stall_rate: 0.0,
+            reconnect_penalty_secs: 0.0,
+            reset_bursts: Vec::new(),
+        }
+    }
+
+    /// A one-knob lossy plan: requests are lost at `loss_rate`, reset at
+    /// half of it and wedge at a quarter of it — the mix a flaky last-mile
+    /// link produces. Panics unless `loss_rate` is in `[0, 1]`.
+    pub fn uniform(loss_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate must be in [0, 1]"
+        );
+        FaultPlan {
+            seed,
+            request_loss: loss_rate,
+            reset_rate: loss_rate * 0.5,
+            stall_rate: loss_rate * 0.25,
+            reconnect_penalty_secs: 0.2,
+            reset_bursts: Vec::new(),
+        }
+    }
+
+    /// Adds a reset-burst window `[start, start + duration)`.
+    pub fn with_reset_burst(mut self, start_secs: f64, duration_secs: f64) -> Self {
+        assert!(
+            start_secs >= 0.0 && duration_secs >= 0.0,
+            "burst window must be non-negative"
+        );
+        self.reset_bursts
+            .push((start_secs, start_secs + duration_secs));
+        self
+    }
+
+    /// Whether the plan can produce any fault at all.
+    pub fn is_active(&self) -> bool {
+        self.request_loss > 0.0
+            || self.reset_rate > 0.0
+            || self.stall_rate > 0.0
+            || !self.reset_bursts.is_empty()
+    }
+
+    /// The fault (if any) striking attempt `attempt` of request `request`
+    /// issued at connection time `at_secs`. Deterministic in its inputs.
+    pub fn decide(&self, request: u64, attempt: u32, at_secs: f64) -> Fault {
+        if self
+            .reset_bursts
+            .iter()
+            .any(|&(s, e)| at_secs >= s && at_secs < e)
+        {
+            return Fault::Reset {
+                progress: unit_hash(self.seed, request, attempt, PROGRESS_SALT),
+            };
+        }
+        if unit_hash(self.seed, request, attempt, LOSS_SALT) < self.request_loss {
+            return Fault::RequestLost;
+        }
+        if unit_hash(self.seed, request, attempt, RESET_SALT) < self.reset_rate {
+            return Fault::Reset {
+                progress: unit_hash(self.seed, request, attempt, PROGRESS_SALT),
+            };
+        }
+        if unit_hash(self.seed, request, attempt, STALL_SALT) < self.stall_rate {
+            return Fault::Stuck;
+        }
+        Fault::None
+    }
+}
+
+/// Retry/backoff/timeout policy for one object fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum transfer attempts per request (≥ 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay, seconds.
+    pub base_backoff_secs: f64,
+    /// Backoff growth factor per failed attempt (≥ 1).
+    pub backoff_multiplier: f64,
+    /// Backoff ceiling, seconds.
+    pub max_backoff_secs: f64,
+    /// Jitter amplitude in `[0, 1]`: each backoff is scaled by a
+    /// deterministic factor in `[1 − jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+    /// Watchdog timeout as a multiple of the predicted clean transfer
+    /// time (loss and wedge detection latency).
+    pub timeout_factor: f64,
+    /// Watchdog floor, seconds.
+    pub min_timeout_secs: f64,
+    /// Watchdog ceiling, seconds (bounds detection latency through
+    /// outages, where the predicted transfer time explodes).
+    pub max_timeout_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_secs: 0.05,
+            backoff_multiplier: 2.0,
+            max_backoff_secs: 2.0,
+            jitter: 0.5,
+            timeout_factor: 2.0,
+            min_timeout_secs: 0.25,
+            max_timeout_secs: 5.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Panics if the policy is internally inconsistent.
+    fn validate(&self) {
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            self.base_backoff_secs >= 0.0,
+            "backoff must be non-negative"
+        );
+        assert!(self.backoff_multiplier >= 1.0, "backoff must not shrink");
+        assert!(
+            self.max_backoff_secs >= self.base_backoff_secs,
+            "backoff cap below base"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter must be in [0, 1]"
+        );
+        assert!(
+            self.timeout_factor >= 0.0,
+            "timeout factor must be non-negative"
+        );
+        assert!(
+            self.min_timeout_secs >= 0.0 && self.max_timeout_secs >= self.min_timeout_secs,
+            "timeout bounds inverted"
+        );
+    }
+
+    /// Backoff before retry number `attempt + 1`, after `attempt` failed
+    /// attempts of request `request`. Exponential with deterministic
+    /// jitter hashed from `(seed, request, attempt)`.
+    pub fn backoff_secs(&self, seed: u64, request: u64, attempt: u32) -> f64 {
+        let raw = self.base_backoff_secs
+            * self
+                .backoff_multiplier
+                .powi(attempt.saturating_sub(1) as i32);
+        let capped = raw.min(self.max_backoff_secs);
+        let u = unit_hash(seed, request, attempt, JITTER_SALT);
+        capped * (1.0 + self.jitter * (u - 0.5))
+    }
+
+    /// Watchdog timeout for a transfer whose clean duration is predicted
+    /// at `predicted_transfer_secs` (clamped to the policy's bounds).
+    pub fn timeout_secs(&self, predicted_transfer_secs: f64) -> f64 {
+        let raw = if predicted_transfer_secs.is_finite() {
+            self.timeout_factor * predicted_transfer_secs
+        } else {
+            self.max_timeout_secs
+        };
+        raw.clamp(self.min_timeout_secs, self.max_timeout_secs)
+    }
+}
+
+/// Outcome of one object fetch through a [`FaultyConnection`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FetchOutcome {
+    /// Timing: `start` is when the first attempt was issued, `finish` is
+    /// when the fetch resolved (delivered, exhausted or abandoned).
+    /// `bytes` is the *delivered* payload — 0 unless `delivered`.
+    pub result: FetchResult,
+    /// Transfer attempts actually made (0 if abandoned before the first).
+    pub attempts: u32,
+    /// Whether the payload arrived in full.
+    pub delivered: bool,
+    /// Whether the fetch was abandoned because even a clean transfer was
+    /// projected to overrun its deadline.
+    pub abandoned: bool,
+    /// Partial bytes moved on failed attempts and thrown away.
+    pub wasted_bytes: u64,
+    /// Wall-clock lost to failed attempts, backoffs and reconnects.
+    pub retry_secs: f64,
+}
+
+impl FetchOutcome {
+    /// Retries beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// Bytes that crossed the wire for this request, useful or not.
+    pub fn wire_bytes(&self) -> u64 {
+        self.result.bytes + self.wasted_bytes
+    }
+}
+
+/// A persistent connection with fault injection and recovery.
+///
+/// Composes the trace-driven transfer math of
+/// [`Connection`](crate::Connection) with a [`FaultPlan`] and a
+/// [`RetryPolicy`]. With [`FaultPlan::none`] every fetch is byte- and
+/// clock-identical to the plain connection.
+#[derive(Debug, Clone)]
+pub struct FaultyConnection {
+    trace: BandwidthTrace,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    /// Per-request overhead, seconds.
+    request_overhead_secs: f64,
+    /// The connection clock: when the link is next free.
+    now: f64,
+    /// Monotone request counter — the hash key for fault decisions.
+    requests: u64,
+    /// Payload bytes delivered in full.
+    total_bytes: u64,
+    /// Partial bytes wasted by failed attempts.
+    wasted_bytes: u64,
+    /// Retries beyond first attempts, across all requests.
+    retries: u64,
+}
+
+impl FaultyConnection {
+    /// Opens a connection at time 0 over `trace` with the given fault plan
+    /// and retry policy. Panics on an inconsistent policy.
+    pub fn new(trace: BandwidthTrace, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        policy.validate();
+        FaultyConnection {
+            trace,
+            plan,
+            policy,
+            request_overhead_secs: crate::Connection::DEFAULT_OVERHEAD_SECS,
+            now: 0.0,
+            requests: 0,
+            total_bytes: 0,
+            wasted_bytes: 0,
+            retries: 0,
+        }
+    }
+
+    /// Overrides the per-request overhead.
+    pub fn with_request_overhead(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "overhead must be non-negative");
+        self.request_overhead_secs = secs;
+        self
+    }
+
+    /// The connection clock: when the link is next free, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Payload bytes delivered in full so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Partial bytes wasted by failed attempts so far.
+    pub fn wasted_bytes(&self) -> u64 {
+        self.wasted_bytes
+    }
+
+    /// Retries beyond first attempts, across all requests so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Advances the clock to `t` if the link is idle before then.
+    pub fn idle_until(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Fetches one object with no deadline.
+    pub fn fetch(&mut self, bytes: u64) -> FetchOutcome {
+        self.fetch_with_deadline(bytes, f64::INFINITY)
+    }
+
+    /// Fetches a batch of objects back-to-back with no deadline.
+    pub fn fetch_batch(&mut self, sizes: &[u64]) -> Vec<FetchOutcome> {
+        sizes.iter().map(|&b| self.fetch(b)).collect()
+    }
+
+    /// Fetches one object of `bytes`, abandoning when even a clean
+    /// transfer is projected to finish after `deadline_secs`.
+    ///
+    /// The loop per attempt: project the clean finish (request overhead +
+    /// exact trace integration); abandon if it overruns the deadline;
+    /// otherwise consult the fault plan. A clean attempt delivers and
+    /// advances the clock exactly as [`Connection::fetch`]
+    /// (crate::Connection::fetch) would. A lost or wedged attempt burns
+    /// the watchdog timeout; a reset burns the partial transfer time plus
+    /// the reconnect penalty and wastes the partial bytes. Failed attempts
+    /// back off per the policy until the attempt budget is exhausted.
+    pub fn fetch_with_deadline(&mut self, bytes: u64, deadline_secs: f64) -> FetchOutcome {
+        let request = self.requests;
+        self.requests += 1;
+        let start = self.now;
+        let mut attempts = 0u32;
+        let mut wasted = 0u64;
+        let mut retry_secs = 0.0;
+        let mut delivered = false;
+        let mut abandoned = false;
+
+        loop {
+            if attempts >= self.policy.max_attempts {
+                break;
+            }
+            let payload_start = self.now + self.request_overhead_secs;
+            let clean_dt = self.trace.transfer_time(payload_start, bytes as f64);
+            // Deadline-aware abandonment: even a fault-free transfer would
+            // miss the deadline, so don't waste the wire on it.
+            if payload_start + clean_dt > deadline_secs {
+                abandoned = true;
+                break;
+            }
+            attempts += 1;
+            match self.plan.decide(request, attempts, self.now) {
+                Fault::None => {
+                    self.now = payload_start + clean_dt;
+                    self.total_bytes += bytes;
+                    delivered = true;
+                }
+                Fault::RequestLost | Fault::Stuck => {
+                    // No useful bytes; the watchdog fires after the
+                    // timeout scaled from the predicted transfer time.
+                    let lost = self.request_overhead_secs + self.policy.timeout_secs(clean_dt);
+                    self.now += lost;
+                    retry_secs += lost;
+                }
+                Fault::Reset { progress } => {
+                    let partial = ((bytes as f64) * progress).floor() as u64;
+                    let partial_dt = self.trace.transfer_time(payload_start, partial as f64);
+                    let lost =
+                        self.request_overhead_secs + partial_dt + self.plan.reconnect_penalty_secs;
+                    self.now += lost;
+                    retry_secs += lost;
+                    wasted += partial;
+                }
+            }
+            if delivered {
+                break;
+            }
+            if attempts < self.policy.max_attempts {
+                let b = self.policy.backoff_secs(self.plan.seed, request, attempts);
+                self.now += b;
+                retry_secs += b;
+            }
+        }
+
+        self.wasted_bytes += wasted;
+        self.retries += attempts.saturating_sub(1) as u64;
+        FetchOutcome {
+            result: FetchResult {
+                start,
+                finish: self.now,
+                bytes: if delivered { bytes } else { 0 },
+            },
+            attempts,
+            delivered,
+            abandoned,
+            wasted_bytes: wasted,
+            retry_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Connection;
+
+    fn mbps(v: f64) -> BandwidthTrace {
+        BandwidthTrace::constant(v * 1e6, 300.0, 1.0)
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_connection() {
+        let tr = BandwidthTrace::markov_4g(1e6, 120.0, 17);
+        let mut plain = Connection::new(tr.clone());
+        let mut faulty = FaultyConnection::new(tr, FaultPlan::none(), RetryPolicy::default());
+        let sizes = [40_000u64, 80_000, 10_000, 0, 120_000];
+        for &b in &sizes {
+            let p = plain.fetch(b);
+            let f = faulty.fetch(b);
+            assert_eq!(p, f.result, "byte-identical timing for {b} bytes");
+            assert_eq!(f.attempts, 1);
+            assert!(f.delivered);
+            assert!(!f.abandoned);
+            assert_eq!(f.wasted_bytes, 0);
+            assert_eq!(f.retry_secs, 0.0);
+        }
+        assert_eq!(plain.total_bytes(), faulty.total_bytes());
+        assert_eq!(faulty.wasted_bytes(), 0);
+        assert_eq!(faulty.retries(), 0);
+    }
+
+    #[test]
+    fn total_loss_exhausts_the_retry_budget() {
+        let plan = FaultPlan {
+            request_loss: 1.0,
+            seed: 3,
+            ..FaultPlan::none()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut c =
+            FaultyConnection::new(mbps(1.0), plan.clone(), policy).with_request_overhead(0.0);
+        let o = c.fetch(125_000);
+        assert!(!o.delivered);
+        assert!(!o.abandoned);
+        assert_eq!(o.attempts, 3);
+        assert_eq!(o.result.bytes, 0);
+        assert_eq!(c.total_bytes(), 0);
+        assert_eq!(c.retries(), 2);
+        // Clock math: 3 watchdog timeouts (2 s each: 2 × the 1 s clean
+        // transfer) plus the two deterministic backoffs.
+        let expected =
+            3.0 * 2.0 + policy.backoff_secs(plan.seed, 0, 1) + policy.backoff_secs(plan.seed, 0, 2);
+        assert!(
+            (o.result.finish - o.result.start - expected).abs() < 1e-9,
+            "duration {} vs expected {expected}",
+            o.result.duration()
+        );
+        assert!((o.retry_secs - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_abandons_before_wasting_the_wire() {
+        let mut c = FaultyConnection::new(mbps(1.0), FaultPlan::none(), RetryPolicy::default())
+            .with_request_overhead(0.0);
+        // 125 KB at 1 Mbps needs 1 s; the deadline allows 0.5 s.
+        let o = c.fetch_with_deadline(125_000, 0.5);
+        assert!(o.abandoned);
+        assert!(!o.delivered);
+        assert_eq!(o.attempts, 0);
+        assert_eq!(o.result.start, o.result.finish, "no wire time spent");
+        assert_eq!(c.now(), 0.0);
+        // A feasible deadline delivers normally.
+        let ok = c.fetch_with_deadline(125_000, 2.0);
+        assert!(ok.delivered);
+        assert!((ok.result.finish - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_burst_windows_reset_every_attempt() {
+        let plan = FaultPlan::none().with_reset_burst(0.0, 1_000.0);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let mut c = FaultyConnection::new(mbps(1.0), plan, policy);
+        let o = c.fetch(100_000);
+        assert!(!o.delivered);
+        assert_eq!(o.attempts, 2);
+        assert!(o.wasted_bytes <= 2 * 100_000);
+        assert!(o.result.finish > o.result.start);
+        // Outside the burst the same plan is clean.
+        let plan2 = FaultPlan::none().with_reset_burst(500.0, 600.0);
+        let mut c2 = FaultyConnection::new(mbps(1.0), plan2, RetryPolicy::default());
+        assert!(c2.fetch(100_000).delivered);
+    }
+
+    #[test]
+    fn partial_loss_recovers_with_retries() {
+        let plan = FaultPlan::uniform(0.5, 11);
+        let mut c = FaultyConnection::new(mbps(2.0), plan, RetryPolicy::default());
+        let outcomes = c.fetch_batch(&vec![30_000u64; 40]);
+        let delivered = outcomes.iter().filter(|o| o.delivered).count();
+        assert!(
+            delivered > 10,
+            "most fetches should recover: {delivered}/40"
+        );
+        assert!(c.retries() > 0, "a 50% loss rate must force retries");
+        let retried_ok = outcomes.iter().any(|o| o.delivered && o.attempts > 1);
+        assert!(retried_ok, "some delivery should need a retry");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_under_the_cap() {
+        let p = RetryPolicy::default();
+        let b1 = p.backoff_secs(7, 0, 1);
+        let b2 = p.backoff_secs(7, 0, 2);
+        let b3 = p.backoff_secs(7, 0, 3);
+        // Jitter is ±25 %, growth is 2×: ranges cannot overlap.
+        assert!(b2 > b1, "{b1} vs {b2}");
+        assert!(b3 > b2, "{b2} vs {b3}");
+        // Deterministic.
+        assert_eq!(b2, p.backoff_secs(7, 0, 2));
+        // Capped.
+        let late = p.backoff_secs(7, 0, 30);
+        assert!(late <= p.max_backoff_secs * 1.25 + 1e-12);
+    }
+
+    #[test]
+    fn timeout_clamps_to_policy_bounds() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.timeout_secs(0.0), p.min_timeout_secs);
+        assert!((p.timeout_secs(1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(p.timeout_secs(1e9), p.max_timeout_secs);
+        assert_eq!(p.timeout_secs(f64::INFINITY), p.max_timeout_secs);
+    }
+
+    #[test]
+    fn idle_until_moves_clock_forward_only() {
+        let mut c = FaultyConnection::new(mbps(1.0), FaultPlan::none(), RetryPolicy::default());
+        c.idle_until(5.0);
+        assert_eq!(c.now(), 5.0);
+        c.idle_until(2.0);
+        assert_eq!(c.now(), 5.0);
+    }
+
+    #[test]
+    fn decide_is_monotone_in_the_loss_rate() {
+        // Raising the rate only adds faults: every (request, attempt) that
+        // faults at rate p also faults at rate q > p.
+        let lo = FaultPlan::uniform(0.1, 99);
+        let hi = FaultPlan::uniform(0.4, 99);
+        for req in 0..200u64 {
+            for att in 1..4u32 {
+                if lo.decide(req, att, 0.0) != Fault::None {
+                    assert_ne!(hi.decide(req, att, 0.0), Fault::None, "req {req} att {att}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempt_policy_panics() {
+        FaultyConnection::new(
+            mbps(1.0),
+            FaultPlan::none(),
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in [0, 1]")]
+    fn out_of_range_loss_rate_panics() {
+        FaultPlan::uniform(1.5, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_properties {
+    use super::*;
+    use crate::Connection;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Same (trace, fault seed, retry policy) → identical outcomes.
+        #[test]
+        fn prop_deterministic_given_seed_and_policy(
+            sizes in proptest::collection::vec(0u64..150_000, 1..15),
+            loss in 0.0f64..0.6,
+            fault_seed in 0u64..1_000,
+            trace_seed in 0u64..50,
+            max_attempts in 1u32..6,
+        ) {
+            let tr = BandwidthTrace::markov_4g(1e6, 60.0, trace_seed);
+            let plan = FaultPlan::uniform(loss, fault_seed);
+            let policy = RetryPolicy { max_attempts, ..RetryPolicy::default() };
+            let mut a = FaultyConnection::new(tr.clone(), plan.clone(), policy);
+            let mut b = FaultyConnection::new(tr, plan, policy);
+            prop_assert_eq!(a.fetch_batch(&sizes), b.fetch_batch(&sizes));
+        }
+
+        /// Bytes are conserved (delivered + wasted == on the wire) and the
+        /// clock is monotone across retries and resets.
+        #[test]
+        fn prop_conserves_bytes_with_monotone_clock(
+            sizes in proptest::collection::vec(1u64..150_000, 1..15),
+            loss in 0.0f64..0.8,
+            fault_seed in 0u64..1_000,
+            trace_seed in 0u64..50,
+        ) {
+            let tr = BandwidthTrace::markov_4g(1.5e6, 60.0, trace_seed);
+            let mut c = FaultyConnection::new(
+                tr,
+                FaultPlan::uniform(loss, fault_seed),
+                RetryPolicy::default(),
+            );
+            let outcomes = c.fetch_batch(&sizes);
+            let mut delivered_sum = 0u64;
+            let mut wasted_sum = 0u64;
+            for (o, &requested) in outcomes.iter().zip(&sizes) {
+                // Delivered all-or-nothing; waste bounded by the attempts.
+                if o.delivered {
+                    prop_assert_eq!(o.result.bytes, requested);
+                    prop_assert!(o.attempts >= 1);
+                } else {
+                    prop_assert_eq!(o.result.bytes, 0);
+                }
+                prop_assert!(o.wasted_bytes <= o.attempts as u64 * requested);
+                prop_assert_eq!(o.wire_bytes(), o.result.bytes + o.wasted_bytes);
+                prop_assert!(o.result.finish >= o.result.start);
+                delivered_sum += o.result.bytes;
+                wasted_sum += o.wasted_bytes;
+            }
+            // Back-to-back requests: each starts exactly when the previous
+            // one resolved — the clock never jumps backwards.
+            for w in outcomes.windows(2) {
+                prop_assert!((w[1].result.start - w[0].result.finish).abs() < 1e-9);
+            }
+            prop_assert_eq!(c.total_bytes(), delivered_sum);
+            prop_assert_eq!(c.wasted_bytes(), wasted_sum);
+        }
+
+        /// The zero-fault wrapper is byte-identical to the plain
+        /// connection on any trace and request sequence.
+        #[test]
+        fn prop_zero_fault_equals_connection(
+            sizes in proptest::collection::vec(0u64..200_000, 1..20),
+            mean in 2e5f64..5e6,
+            trace_seed in 0u64..50,
+            overhead in 0.0f64..0.05,
+        ) {
+            let tr = BandwidthTrace::markov_4g(mean, 60.0, trace_seed);
+            let mut plain = Connection::new(tr.clone()).with_request_overhead(overhead);
+            let mut faulty =
+                FaultyConnection::new(tr, FaultPlan::none(), RetryPolicy::default())
+                    .with_request_overhead(overhead);
+            let expect = plain.fetch_batch(&sizes);
+            let got: Vec<FetchResult> =
+                faulty.fetch_batch(&sizes).iter().map(|o| o.result).collect();
+            prop_assert_eq!(expect, got);
+            prop_assert_eq!(plain.total_bytes(), faulty.total_bytes());
+        }
+    }
+}

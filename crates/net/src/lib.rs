@@ -8,6 +8,14 @@
 //! "when does this batch of objects finish if I start now?" — while
 //! keeping the trace integration exact.
 
+//!
+//! The [`fault`] module layers a deterministic failure surface on top:
+//! seeded request loss, mid-transfer resets with partial-byte accounting,
+//! wedged transfers, and a retry/backoff/timeout policy. A zero-fault
+//! plan degenerates to the plain [`Connection`], byte for byte.
+
 pub mod connection;
+pub mod fault;
 
 pub use connection::{Connection, FetchResult};
+pub use fault::{Fault, FaultPlan, FaultyConnection, FetchOutcome, RetryPolicy};

@@ -10,13 +10,13 @@
 
 use pano_abr::lookup::LookupBuilder;
 use pano_abr::{Manifest, PowerLawTable};
+use pano_geo::Viewport;
 use pano_geo::{Equirect, GridDims, GridRect};
 use pano_jnd::{ActionState, PspnrComputer};
 use pano_tiling::{clustile_tiling, efficiency_scores, group_tiles, uniform_tiling};
 use pano_trace::{ActionEstimator, PopularityPrior, TraceGenerator, ViewpointTrace};
 use pano_video::codec::{EncodedChunk, Encoder};
 use pano_video::{ChunkFeatures, Scene, Tracker, VideoSpec};
-use pano_geo::Viewport;
 
 /// Knobs for the preparation pipeline.
 #[derive(Debug, Clone)]
@@ -119,7 +119,15 @@ impl PreparedVideo {
         let popularity_prior =
             PopularityPrior::from_traces(&history, scene.duration_secs(), config.chunk_secs);
         let history_actions: Vec<Vec<ActionState>> = (0..n_chunks)
-            .map(|k| average_actions(&est, &scene, &history, &features[k], k as f64 * config.chunk_secs))
+            .map(|k| {
+                average_actions(
+                    &est,
+                    &scene,
+                    &history,
+                    &features[k],
+                    k as f64 * config.chunk_secs,
+                )
+            })
             .collect();
 
         let pano_tiling: Vec<Vec<GridRect>> = (0..n_chunks)
@@ -184,8 +192,12 @@ impl PreparedVideo {
                         (lum / n, dof / n)
                     })
                     .collect();
-                let objects =
-                    tracker.track_chunk(&scene, spec.fps, k as f64 * config.chunk_secs, config.chunk_secs);
+                let objects = tracker.track_chunk(
+                    &scene,
+                    spec.fps,
+                    k as f64 * config.chunk_secs,
+                    config.chunk_secs,
+                );
                 Manifest::chunk_from_encoding(spec.id, enc, &rects, &stats, objects)
             })
             .collect();

@@ -18,8 +18,14 @@
 //!    luminance change and DoF difference, §6.1) with the foveated JND
 //!    and solve the Pareto program; viewport-driven baselines rank tiles
 //!    by distance to the predicted viewpoint; whole-video picks one level;
-//! 5. fetch the tiles, draining the buffer while downloading and stalling
-//!    when it empties;
+//! 5. fetch the tiles over the delivery path — a [`pano_net::FaultyConnection`]
+//!    that injects the session's (seeded, deterministic) fault plan and
+//!    recovers per its retry policy — draining the buffer while
+//!    downloading and stalling when it empties. With deadline-aware
+//!    abandonment on, fetches projected to overrun their playback
+//!    deadline are abandoned and degraded (ladder floor for visible
+//!    tiles, dropped for margin-ring tiles); undeliverable tiles are
+//!    marked lost;
 //! 6. if the *actual* viewport lands on a skipped tile, the player
 //!    late-fetches it at the lowest level — a stall (the paper's
 //!    "viewport not completely downloaded" buffering) plus base quality
@@ -35,7 +41,7 @@ use pano_abr::allocate::{allocate_pareto, TileChoice};
 use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController, PlaybackBuffer};
 use pano_geo::Viewport;
 use pano_jnd::{ActionState, PspnrComputer};
-use pano_net::Connection;
+use pano_net::{Connection, FaultPlan, FaultyConnection, RetryPolicy};
 use pano_trace::{
     BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, ThroughputPredictor,
     ViewpointTrace,
@@ -54,6 +60,13 @@ const PREDICTION_MARGIN_DEG: f64 = 20.0;
 
 /// Extra request overhead charged per late-fetched (missed) tile, seconds.
 const LATE_FETCH_OVERHEAD_SECS: f64 = 0.020;
+
+/// Floor rate for the late-fetch stall estimate, bps. When the trace is
+/// dead from the playback instant onward, the exact transfer-time
+/// integral diverges; a real player would abort long before, so the
+/// estimate is clamped as if the link crawled at this rate instead of
+/// charging a multi-hour stall for one base-quality tile.
+const LATE_FETCH_FLOOR_BPS: f64 = 64_000.0;
 
 /// Which chunk-level rate controller the session uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +104,21 @@ pub struct SessionConfig {
     /// is what a deployed dash.js-style player has to do; the default
     /// uses the full model for the calibrated experiment suite.
     pub manifest_only: bool,
+    /// Delivery-fault plan injected into the connection. The default is
+    /// [`FaultPlan::none`], under which the session is byte-identical to
+    /// the fault-free delivery path — the calibrated experiments'
+    /// reproducibility guarantee.
+    pub fault_plan: FaultPlan,
+    /// Retry/backoff/timeout policy for each tile fetch. Only consulted
+    /// when faults actually strike, so the default policy is inert under
+    /// a zero-fault plan.
+    pub retry_policy: RetryPolicy,
+    /// Deadline-aware abandonment: when a tile fetch's projected finish
+    /// overruns its playback deadline, abandon it and degrade (re-request
+    /// at the ladder floor, or drop margin-ring tiles outright). Off by
+    /// default so the calibrated experiment suite keeps its exact
+    /// behaviour; the robustness sweeps turn it on.
+    pub deadline_abandonment: bool,
 }
 
 impl Default for SessionConfig {
@@ -103,6 +131,9 @@ impl Default for SessionConfig {
             cross_user_prediction: false,
             rate_controller: RateController::default(),
             manifest_only: false,
+            fault_plan: FaultPlan::none(),
+            retry_policy: RetryPolicy::default(),
+            deadline_abandonment: false,
         }
     }
 }
@@ -120,12 +151,17 @@ pub fn simulate_session(
     let eq = video.spec.resolution;
     let dims = video.config().unit_grid;
 
-    let mut connection = Connection::new(bandwidth.clone());
+    let mut connection = FaultyConnection::new(
+        bandwidth.clone(),
+        config.fault_plan.clone(),
+        config.retry_policy,
+    );
     let mut buffer = PlaybackBuffer::new(config.buffer_capacity_secs);
-    let n_tiles = chunks.first().map(|c| c.tiles.len()).unwrap_or(1);
+    // The per-chunk request overhead is set before each pick_rate from the
+    // chunk's actual fetch mask (the tile count MPC must pay requests for
+    // changes every chunk).
     let mut mpc = MpcController::new(MpcConfig {
         target_buffer_secs: config.target_buffer_secs,
-        chunk_overhead_secs: n_tiles as f64 * Connection::DEFAULT_OVERHEAD_SECS,
         ..MpcConfig::default()
     });
     let bola = BolaController::new(BolaConfig {
@@ -150,8 +186,7 @@ pub fn simulate_session(
         // Prediction horizon: this chunk starts playing when the buffered
         // content ahead of the playhead has drained, i.e. in roughly
         // `buffer level` seconds; target the middle of the chunk.
-        let horizon =
-            (buffer.level_secs() + chunk_secs / 2.0).max(config.min_horizon_secs);
+        let horizon = (buffer.level_secs() + chunk_secs / 2.0).max(config.min_horizon_secs);
 
         // 1. Predictions.
         let predicted_vp = if config.cross_user_prediction {
@@ -162,8 +197,7 @@ pub fn simulate_session(
         let predicted_bps = tp_predictor.predict(bandwidth, now);
 
         // 2. Which tiles to fetch: skip tiles predicted fully invisible.
-        let fetched =
-            fetch_mask(video, method, encoded, &predicted_vp, PREDICTION_MARGIN_DEG);
+        let fetched = fetch_mask(video, method, encoded, &predicted_vp, PREDICTION_MARGIN_DEG);
 
         // 3. Chunk budget via MPC over the fetched tiles' ladder.
         let ladder: Vec<u64> = QualityLevel::all()
@@ -177,6 +211,8 @@ pub fn simulate_session(
                     .sum()
             })
             .collect();
+        let n_fetched = fetched.iter().filter(|&&f| f).count();
+        mpc.set_chunk_overhead(n_fetched as f64 * Connection::DEFAULT_OVERHEAD_SECS);
         let rate_idx = match config.rate_controller {
             RateController::Mpc => {
                 mpc.pick_rate(&ladder, buffer.level_secs(), predicted_bps, chunk_secs)
@@ -201,15 +237,68 @@ pub fn simulate_session(
             config.manifest_only,
         );
 
-        // 5. Fetch; buffer drains while downloading.
-        let sizes: Vec<u64> = encoded
-            .tiles
-            .iter()
-            .zip(&levels)
-            .filter_map(|(t, l)| l.map(|l| t.size(l)))
-            .collect();
-        let fetch = connection.fetch_batch(&sizes);
-        let finish = fetch.last().map(|f| f.finish).unwrap_or(now);
+        // 5. Fetch over the (possibly faulty) connection; the buffer
+        // drains while downloading. With deadline abandonment on, a fetch
+        // whose projected finish overruns the moment this chunk is needed
+        // (buffer drained, plus one chunk of grace) is abandoned and the
+        // session degrades: predicted-visible tiles are re-requested at
+        // the ladder floor, margin-ring tiles are dropped, and anything
+        // still undeliverable is marked lost so the late-fetch/blank
+        // path scores it honestly.
+        let deadline = if config.deadline_abandonment && k > 0 {
+            now + buffer.level_secs() + chunk_secs
+        } else {
+            f64::INFINITY
+        };
+        let mut levels = levels;
+        let mut chunk_bytes: u64 = 0;
+        let mut retries: u32 = 0;
+        let mut abandoned: u32 = 0;
+        let mut wasted: u64 = 0;
+        let mut degraded: u32 = 0;
+        let mut lost: u32 = 0;
+        for (tile_idx, tile) in encoded.tiles.iter().enumerate() {
+            let Some(mut level) = levels[tile_idx] else {
+                continue;
+            };
+            loop {
+                let outcome = connection.fetch_with_deadline(tile.size(level), deadline);
+                retries += outcome.retries();
+                wasted += outcome.wasted_bytes;
+                if outcome.delivered {
+                    chunk_bytes += outcome.result.bytes;
+                    levels[tile_idx] = Some(level);
+                    break;
+                }
+                if outcome.abandoned {
+                    abandoned += 1;
+                    if level > QualityLevel::LOWEST {
+                        let min_dist = tile
+                            .rect
+                            .cells()
+                            .map(|cell| {
+                                predicted_vp
+                                    .great_circle_distance(&eq.cell_center(dims, cell))
+                                    .value()
+                            })
+                            .fold(f64::INFINITY, f64::min);
+                        if min_dist <= VISIBLE_LIMIT_DEG {
+                            // Predicted visible: degrade to the floor and
+                            // re-request rather than show blank content.
+                            level = QualityLevel::LOWEST;
+                            degraded += 1;
+                            continue;
+                        }
+                    }
+                }
+                // Abandoned at the floor / margin ring, or retry budget
+                // exhausted: the tile is lost for this chunk.
+                levels[tile_idx] = None;
+                lost += 1;
+                break;
+            }
+        }
+        let finish = connection.now();
         let dl_time = finish - now;
         let stall = if k == 0 {
             // Start-up: the first chunk's download is startup delay, not
@@ -229,13 +318,15 @@ pub fn simulate_session(
             buffer.play(connection.now() - finish);
         }
 
-        // 6. Late-fetch any skipped tile the actual viewport landed on:
-        // the viewport was "not completely downloaded" (the paper's
-        // buffering definition) until the patch arrives at base quality.
+        // 6. Late-fetch any skipped or lost tile the actual viewport
+        // landed on: the viewport was "not completely downloaded" (the
+        // paper's buffering definition) until the patch arrives at base
+        // quality. The stall estimate integrates the bandwidth trace from
+        // the playback instant (a point-sample of a zero-throughput
+        // outage used to explode into a multi-hour stall via the 1 bps
+        // floor); a dead link is clamped to a floor rate instead.
         let playback_t = k as f64 * chunk_secs;
-        let actual_viewport =
-            Viewport::hmd(user_trace.viewpoint_at(playback_t + chunk_secs / 2.0));
-        let mut levels = levels;
+        let actual_viewport = Viewport::hmd(user_trace.viewpoint_at(playback_t + chunk_secs / 2.0));
         let mut late_bytes: u64 = 0;
         let mut late_stall = 0.0;
         for (tile, level) in encoded.tiles.iter().zip(&mut levels) {
@@ -252,9 +343,12 @@ pub fn simulate_session(
             if visible {
                 let bytes = tile.size(QualityLevel::LOWEST);
                 late_bytes += bytes;
-                late_stall += bytes as f64 * 8.0
-                    / bandwidth.throughput_at(playback_t).max(1.0)
-                    + LATE_FETCH_OVERHEAD_SECS;
+                let dt = bandwidth.transfer_time(playback_t, bytes as f64);
+                late_stall += if dt.is_finite() {
+                    dt
+                } else {
+                    bytes as f64 * 8.0 / LATE_FETCH_FLOOR_BPS
+                } + LATE_FETCH_OVERHEAD_SECS;
                 *level = Some(QualityLevel::LOWEST);
             }
         }
@@ -280,9 +374,14 @@ pub fn simulate_session(
         results.push(ChunkResult {
             chunk_idx: k,
             pspnr_db: pspnr,
-            bytes: sizes.iter().sum::<u64>() + late_bytes,
+            bytes: chunk_bytes + late_bytes,
             stall_secs: stall + late_stall,
             buffer_after_secs: buffer.level_secs(),
+            retries,
+            abandoned,
+            wasted_bytes: wasted,
+            degraded_tiles: degraded,
+            lost_tiles: lost,
         });
         late_stall_total += late_stall;
     }
@@ -375,12 +474,8 @@ fn allocate_tiles(
         // lower bounds so the JND can only be *under*-estimated — the
         // allocation errs toward spending, never toward bold skimping.
         let lb_speed = speed_estimator.estimate(user_trace, now);
-        let lum_change = action_estimator.luminance_change_lower_bound(
-            &video.scene,
-            user_trace,
-            now,
-            2.0,
-        );
+        let lum_change =
+            action_estimator.luminance_change_lower_bound(&video.scene, user_trace, now, 2.0);
         let features = &video.features[chunk_idx];
         if manifest_only && method == Method::Pano {
             // §6.2 deployment path: per-tile PSPNR from the manifest's
@@ -443,9 +538,9 @@ fn allocate_tiles(
                     let mut pmse = [0.0; 5];
                     for l in QualityLevel::all() {
                         if visible {
-                            let db = video.lookup.estimate_at_ratio(
-                                chunk_idx, tile_idx, l, ratio,
-                            );
+                            let db = video
+                                .lookup
+                                .estimate_at_ratio(chunk_idx, tile_idx, l, ratio);
                             let rms = 255.0 / 10f64.powf(db / 20.0);
                             pmse[l.0 as usize] = rms * rms;
                         }
@@ -522,10 +617,9 @@ fn allocate_tiles(
                         * ratio
                         * pano_jnd::eccentricity_multiplier(dist);
                     for l in QualityLevel::all() {
-                        pmse[l.0 as usize] += PspnrComputer::pmse_with_jnd_spread(
-                            &tile.error_quantiles(l),
-                            jnd,
-                        ) / cells;
+                        pmse[l.0 as usize] +=
+                            PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(l), jnd)
+                                / cells;
                     }
                 }
                 TileChoice {
@@ -613,8 +707,7 @@ fn perceived_pspnr(
             let jnd = computer.content().jnd_for_cell(features.cell(cell))
                 * computer.multipliers().action_ratio(action)
                 * pano_jnd::eccentricity_multiplier(dist);
-            let pmse =
-                PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(level), jnd);
+            let pmse = PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(level), jnd);
             weighted += pmse * cell_area;
         }
     }
@@ -934,7 +1027,13 @@ mod failure_injection_tests {
         assert!(r.mean_pspnr() > 30.0);
         // A healthy control session stalls less.
         let healthy = BandwidthTrace::constant(1.2e6, 30.0, 1.0);
-        let h = simulate_session(&video, Method::Pano, &trace, &healthy, &SessionConfig::default());
+        let h = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &healthy,
+            &SessionConfig::default(),
+        );
         assert!(h.total_stall_secs < r.total_stall_secs);
     }
 
@@ -960,6 +1059,182 @@ mod failure_injection_tests {
         let r = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
         assert_eq!(r.total_stall_secs, 0.0);
         assert!(r.startup_secs < 0.1);
+    }
+
+    /// Backward-compatibility guard: an explicit zero-fault plan with the
+    /// default retry policy reproduces the default session byte for byte
+    /// — the fault layer is a strict no-op until faults are asked for.
+    #[test]
+    fn zero_fault_plan_reproduces_the_default_session() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 6);
+        let bw = BandwidthTrace::lte_high(30.0, 13);
+        let baseline =
+            simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        let explicit = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                fault_plan: FaultPlan::none(),
+                retry_policy: RetryPolicy::default(),
+                deadline_abandonment: false,
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(baseline, explicit);
+        // And the fault-free session reports zero robustness activity.
+        assert_eq!(baseline.total_retries(), 0);
+        assert_eq!(baseline.total_abandoned(), 0);
+        assert_eq!(baseline.total_wasted_bytes(), 0);
+        assert_eq!(baseline.total_degraded_tiles(), 0);
+        assert_eq!(baseline.total_lost_tiles(), 0);
+    }
+
+    /// A loss-rate sweep never panics, scores every chunk, and QoE
+    /// degrades (within tolerance) as the loss rate rises.
+    #[test]
+    fn loss_sweep_degrades_gracefully() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 7);
+        let bw = BandwidthTrace::lte_high(60.0, 21);
+        let run = |loss: f64| {
+            simulate_session(
+                &video,
+                Method::Pano,
+                &trace,
+                &bw,
+                &SessionConfig {
+                    fault_plan: FaultPlan::uniform(loss, 0xF417),
+                    deadline_abandonment: true,
+                    ..SessionConfig::default()
+                },
+            )
+        };
+        let sweep = [0.0, 0.05, 0.1, 0.2, 0.4];
+        let mut quality = Vec::new();
+        for &loss in &sweep {
+            let r = run(loss);
+            assert_eq!(r.chunks.len(), 12, "loss {loss}: all chunks scored");
+            for c in &r.chunks {
+                assert!(
+                    c.pspnr_db.is_finite() && c.pspnr_db > 0.0,
+                    "loss {loss} chunk {}: pspnr {}",
+                    c.chunk_idx,
+                    c.pspnr_db
+                );
+                assert!(c.stall_secs.is_finite() && c.stall_secs >= 0.0);
+            }
+            if loss >= 0.2 {
+                assert!(r.total_retries() > 0, "loss {loss} must force retries");
+            }
+            quality.push(r.mean_pspnr());
+        }
+        // Monotone degradation within tolerance: faults can only remove
+        // delivered quality, but discrete tile/ladder effects wobble a
+        // few dB between adjacent rates.
+        for w in quality.windows(2) {
+            assert!(
+                w[1] <= w[0] + 4.0,
+                "quality must not improve with loss: {quality:?}"
+            );
+        }
+        assert!(
+            quality[quality.len() - 1] <= quality[0] + 1.0,
+            "40% loss must not beat the clean session: {quality:?}"
+        );
+    }
+
+    /// The acceptance scenario: ≥5% request loss plus a mid-session reset
+    /// burst and a link outage. The session completes every chunk and
+    /// reports nonzero retry/abandonment/wasted-byte telemetry.
+    #[test]
+    fn fault_injected_session_reports_robustness_metrics() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 8);
+        // Healthy-ish link with a 6-second outage in the middle.
+        let bw = BandwidthTrace::markov_4g(1.2e6, 30.0, 5).with_outage(8.0, 6.0);
+        let cfg = SessionConfig {
+            fault_plan: FaultPlan::uniform(0.08, 0xB57).with_reset_burst(4.0, 7.0),
+            deadline_abandonment: true,
+            ..SessionConfig::default()
+        };
+        let r = simulate_session(&video, Method::Pano, &trace, &bw, &cfg);
+        assert_eq!(r.chunks.len(), 12, "all chunks survive the faults");
+        for c in &r.chunks {
+            assert!(c.pspnr_db.is_finite() && c.pspnr_db > 0.0);
+        }
+        assert!(r.total_retries() > 0, "loss + burst must force retries");
+        assert!(
+            r.total_wasted_bytes() > 0,
+            "reset burst must waste partial transfers"
+        );
+        assert!(
+            r.total_abandoned() > 0,
+            "fetches projected into the outage must be abandoned"
+        );
+        assert!(
+            r.total_degraded_tiles() + r.total_lost_tiles() > 0,
+            "abandonment must degrade or drop tiles"
+        );
+        // Degradation is graceful: the same session without faults is no
+        // worse, and the faulty one still plays most of the video.
+        let clean = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        assert!(clean.mean_pspnr() + 1e-9 >= r.mean_pspnr() - 6.0);
+        assert!(r.total_played_secs > 0.8 * clean.total_played_secs);
+    }
+
+    /// Deadline abandonment alone (zero faults, rich link) changes
+    /// nothing: no fetch is ever projected to overrun.
+    #[test]
+    fn deadline_abandonment_is_inert_on_a_rich_link() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 9);
+        let bw = BandwidthTrace::constant(50e6, 60.0, 1.0);
+        let off = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        let on = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                deadline_abandonment: true,
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(off, on);
+    }
+
+    /// Fault-injected sessions replay exactly: the plan is hashed, not
+    /// sampled, so (trace, fault seed, retry policy) pins the session.
+    #[test]
+    fn fault_injected_sessions_are_deterministic() {
+        let video = video_fixture();
+        let trace = TraceGenerator::default().generate(&video.scene, 10);
+        let bw = BandwidthTrace::lte_low(60.0, 31);
+        let cfg = SessionConfig {
+            fault_plan: FaultPlan::uniform(0.15, 0xD1CE).with_reset_burst(3.0, 5.0),
+            deadline_abandonment: true,
+            ..SessionConfig::default()
+        };
+        let a = simulate_session(&video, Method::Pano, &trace, &bw, &cfg);
+        let b = simulate_session(&video, Method::Pano, &trace, &bw, &cfg);
+        assert_eq!(a, b);
+        // A different fault seed produces a different — but still
+        // complete — session.
+        let other = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                fault_plan: FaultPlan::uniform(0.15, 0xD1CF).with_reset_burst(3.0, 5.0),
+                deadline_abandonment: true,
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(other.chunks.len(), a.chunks.len());
     }
 }
 
@@ -1009,7 +1284,13 @@ mod dash_compat_tests {
             dash.mean_pspnr()
         );
         // And the manifest-only client still beats the viewport baseline.
-        let flare = simulate_session(&video, Method::Flare, &trace, &bw, &SessionConfig::default());
+        let flare = simulate_session(
+            &video,
+            Method::Flare,
+            &trace,
+            &bw,
+            &SessionConfig::default(),
+        );
         assert!(
             dash.mean_pspnr() > flare.mean_pspnr(),
             "dash {} vs flare {}",

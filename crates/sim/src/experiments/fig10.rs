@@ -73,7 +73,10 @@ pub fn render(r: &Fig10Result) -> String {
     let mut out = String::from("Fig.10: lower-bound speed estimate vs real speed\n");
     out.push_str("   t |  real  | predicted (lower bound)\n");
     for p in r.points.iter().step_by(8) {
-        out.push_str(&format!("{:>5.1} | {:>6.2} | {:>6.2}\n", p.t, p.real, p.predicted));
+        out.push_str(&format!(
+            "{:>5.1} | {:>6.2} | {:>6.2}\n",
+            p.t, p.real, p.predicted
+        ));
     }
     out.push_str(&format!(
         "overshoot violations: {:.1}% | mean slack: {:.2} deg/s\n",

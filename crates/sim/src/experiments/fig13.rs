@@ -56,16 +56,14 @@ pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
     ];
 
     // Prepare all seven genre videos in parallel (the expensive step).
-    let genre_videos: Vec<(Genre, PreparedVideo)> = crate::experiments::parallel_map(
-        Genre::ALL.to_vec(),
-        |genre| {
+    let genre_videos: Vec<(Genre, PreparedVideo)> =
+        crate::experiments::parallel_map(Genre::ALL.to_vec(), |genre| {
             let spec = dataset
                 .by_genre(genre)
                 .next()
                 .expect("dataset covers all genres");
             (genre, PreparedVideo::prepare(spec, &asset_config))
-        },
-    );
+        });
 
     let mut bars = Vec::new();
     let mut improvements: Vec<f64> = Vec::new();
@@ -102,7 +100,10 @@ pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
         }
     }
     let min_imp = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_imp = improvements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_imp = improvements
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     Fig13Result {
         bars,
         improvement_range_pct: (min_imp, max_imp),

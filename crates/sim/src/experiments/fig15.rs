@@ -171,8 +171,7 @@ pub fn run(config: &Fig15Config) -> Fig15Result {
                     let pspnrs: Vec<f64> = sessions.iter().map(|r| r.mean_pspnr()).collect();
                     let buffs: Vec<f64> =
                         sessions.iter().map(|r| r.buffering_ratio_pct()).collect();
-                    let bws: Vec<f64> =
-                        sessions.iter().map(|r| r.mean_bandwidth_bps()).collect();
+                    let bws: Vec<f64> = sessions.iter().map(|r| r.mean_bandwidth_bps()).collect();
                     points.push(ScatterPoint {
                         method,
                         genre: genre.label().to_string(),
@@ -193,9 +192,8 @@ pub fn run(config: &Fig15Config) -> Fig15Result {
 
 /// Renders the scatter rows grouped by genre × trace.
 pub fn render(r: &Fig15Result) -> String {
-    let mut out = String::from(
-        "Fig.15: PSPNR vs buffering ratio (per genre x trace x buffer target)\n",
-    );
+    let mut out =
+        String::from("Fig.15: PSPNR vs buffering ratio (per genre x trace x buffer target)\n");
     for p in &r.points {
         out.push_str(&format!(
             "{:<12} {:<9} buf={:.0}s | {:<24} buffering {:>6.2}% (±{:.2}) PSPNR {:>6.2} dB (±{:.2}) bw {:>7.0} kbps\n",

@@ -81,21 +81,17 @@ pub fn run(config: &Fig16Config) -> Fig16Result {
     let mut error_cdfs = Vec::new();
     let mut quality_cdfs = Vec::new();
     for &noise in &config.noise_levels {
-        let runs = crate::experiments::parallel_map(
-            users.iter().enumerate().collect(),
-            |(u, user)| {
+        let runs =
+            crate::experiments::parallel_map(users.iter().enumerate().collect(), |(u, user)| {
                 let clean = simulate_session(&video, Method::Pano, user, &bw, &session_cfg);
                 // The client predicts from a noise-shifted trace, but the
                 // true perception still follows the clean trace: simulate
                 // with the noisy trace driving decisions and score both
                 // runs' chunk PSPNR difference as the estimation error.
-                let noisy_trace =
-                    add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 9);
-                let noisy =
-                    simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg);
+                let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 9);
+                let noisy = simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg);
                 (clean, noisy)
-            },
-        );
+            });
         let mut errors = Vec::new();
         let mut qualities = Vec::new();
         for (clean, noisy) in &runs {
@@ -117,19 +113,16 @@ pub fn run(config: &Fig16Config) -> Fig16Result {
     // Panel (c): mean PSPNR vs noise for Pano and the baseline.
     let mut pspnr_vs_noise = Vec::new();
     for &noise in &config.noise_sweep {
-        let pairs = crate::experiments::parallel_map(
-            users.iter().enumerate().collect(),
-            |(u, user)| {
-                let noisy_trace =
-                    add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 10);
+        let pairs =
+            crate::experiments::parallel_map(users.iter().enumerate().collect(), |(u, user)| {
+                let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 10);
                 (
                     simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg)
                         .mean_pspnr(),
                     simulate_session(&video, Method::Flare, &noisy_trace, &bw, &session_cfg)
                         .mean_pspnr(),
                 )
-            },
-        );
+            });
         let pano_q: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let flare_q: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         pspnr_vs_noise.push((noise, mean(&pano_q), mean(&flare_q)));

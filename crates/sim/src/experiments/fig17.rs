@@ -189,7 +189,10 @@ mod tests {
         let flare_total: f64 = r.preprocessing[0].1 + r.preprocessing[0].2 + r.preprocessing[0].3;
         let pano_total: f64 = r.preprocessing[1].1 + r.preprocessing[1].2 + r.preprocessing[1].3;
         assert!(pano_total > flare_total);
-        assert!(pano_total < 20.0 * flare_total, "{pano_total} vs {flare_total}");
+        assert!(
+            pano_total < 20.0 * flare_total,
+            "{pano_total} vs {flare_total}"
+        );
     }
 
     #[test]

@@ -126,7 +126,12 @@ pub fn run(config: &Fig18Config) -> Fig18Result {
         let pano = bandwidth_to_reach_target(&video, Method::Pano, &users, TARGET_PSPNR_DB);
         let flare = bandwidth_to_reach_target(&video, Method::Flare, &users, TARGET_PSPNR_DB);
         let saving = 100.0 * (1.0 - pano / flare);
-        by_genre.push((genre.label().to_string(), pano / 1000.0, flare / 1000.0, saving));
+        by_genre.push((
+            genre.label().to_string(),
+            pano / 1000.0,
+            flare / 1000.0,
+            saving,
+        ));
     }
 
     Fig18Result { ablation, by_genre }
@@ -134,9 +139,7 @@ pub fn run(config: &Fig18Config) -> Fig18Result {
 
 /// Renders both panels.
 pub fn render(r: &Fig18Result) -> String {
-    let mut out = String::from(
-        "Fig.18a: bandwidth to reach PSPNR 72 (MOS 5), component-wise\n",
-    );
+    let mut out = String::from("Fig.18a: bandwidth to reach PSPNR 72 (MOS 5), component-wise\n");
     let base = r.ablation.first().map(|&(_, b)| b).unwrap_or(1.0);
     for (m, kbps) in &r.ablation {
         out.push_str(&format!(

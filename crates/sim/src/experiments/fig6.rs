@@ -147,7 +147,10 @@ pub fn render(r: &Fig6Result) -> String {
     let dump = |name: &str, curve: &[JndPoint], out: &mut String| {
         out.push_str(&format!("{name}:\n"));
         for p in curve {
-            out.push_str(&format!("  x={:>7.2} -> JND {:>6.2} (±{:.2})\n", p.x, p.jnd, p.sd));
+            out.push_str(&format!(
+                "  x={:>7.2} -> JND {:>6.2} (±{:.2})\n",
+                p.x, p.jnd, p.sd
+            ));
         }
     };
     dump("speed (deg/s)", &r.speed_curve, &mut out);

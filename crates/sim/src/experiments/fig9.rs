@@ -8,7 +8,9 @@
 
 use pano_geo::GridDims;
 use pano_jnd::PspnrComputer;
-use pano_tiling::{efficiency_scores, efficiency_scores_refined, group_tiles, GroupingResult, ScoreGrid};
+use pano_tiling::{
+    efficiency_scores, efficiency_scores_refined, group_tiles, GroupingResult, ScoreGrid,
+};
 use pano_video::codec::Encoder;
 use pano_video::{FeatureExtractor, Genre, VideoSpec};
 use serde::{Deserialize, Serialize};
@@ -50,8 +52,7 @@ pub fn run(seed: u64) -> Fig9Result {
     let spec = VideoSpec::generate(0, Genre::Sports, 4.0, seed);
     let scene = spec.scene();
     let dims = GridDims::PANO_UNIT;
-    let features =
-        FeatureExtractor::new(spec.resolution, dims).extract(&scene, spec.fps, 1, 1.0);
+    let features = FeatureExtractor::new(spec.resolution, dims).extract(&scene, spec.fps, 1, 1.0);
     let actions = vec![pano_jnd::ActionState::REST; dims.cell_count()];
     let grid = efficiency_scores(
         &Encoder::default(),

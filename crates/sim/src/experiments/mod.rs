@@ -7,6 +7,7 @@
 //! structure; every driver takes explicit scale knobs so the full-size
 //! runs remain possible.
 
+pub mod fig10;
 pub mod fig13;
 pub mod fig15;
 pub mod fig16;
@@ -17,7 +18,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
+pub mod robustness;
 pub mod tables;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,247 @@
+//! Robustness sweep — QoE cliff curves under injected delivery faults.
+//!
+//! Not a figure from the paper: the paper evaluates Pano over clean (if
+//! bursty) links, while any deployment sees request losses, mid-transfer
+//! resets and connectivity outages. This sweep crosses a request-loss
+//! rate against a retry policy and reports where the QoE cliff sits for
+//! each: mean viewport PSPNR, buffering ratio, wasted wire bytes, and the
+//! retry/abandonment/loss counters from the fault-injected delivery path.
+//!
+//! Every condition replays the same users over the same outage-punched
+//! trace with a seeded [`FaultPlan`], so rows are exactly reproducible.
+
+use crate::asset::{AssetConfig, PreparedVideo};
+use crate::client::{simulate_session, SessionConfig};
+use crate::methods::Method;
+use crate::metrics::mean;
+use pano_net::{FaultPlan, RetryPolicy};
+use pano_trace::{BandwidthTrace, TraceGenerator};
+use pano_video::{Genre, VideoSpec};
+use serde::{Deserialize, Serialize};
+
+/// Scale knobs.
+#[derive(Debug, Clone)]
+pub struct RobustnessConfig {
+    /// Video duration, seconds.
+    pub video_secs: f64,
+    /// Users per condition.
+    pub users: usize,
+    /// Request-loss rates swept along the x-axis.
+    pub loss_rates: Vec<f64>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            video_secs: 24.0,
+            users: 3,
+            loss_rates: vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4],
+            seed: 0x20B5,
+        }
+    }
+}
+
+/// The retry policies under comparison.
+pub fn policies() -> Vec<(&'static str, RetryPolicy)> {
+    vec![
+        (
+            "no-retry",
+            RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            },
+        ),
+        ("default", RetryPolicy::default()),
+        (
+            "eager",
+            RetryPolicy {
+                max_attempts: 6,
+                base_backoff_secs: 0.02,
+                ..RetryPolicy::default()
+            },
+        ),
+    ]
+}
+
+/// One cell of the sweep: a loss rate crossed with a retry policy,
+/// averaged over the user population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    /// Request-loss rate, percent.
+    pub loss_pct: f64,
+    /// Retry-policy label.
+    pub policy: String,
+    /// Mean viewport PSPNR, dB.
+    pub pspnr_db: f64,
+    /// Mean buffering ratio, percent.
+    pub buffering_pct: f64,
+    /// Mean wasted wire bytes per session, KB.
+    pub wasted_kb: f64,
+    /// Mean transfer retries per session.
+    pub retries: f64,
+    /// Mean deadline-abandoned fetches per session.
+    pub abandoned: f64,
+    /// Mean tiles lost outright per session.
+    pub lost_tiles: f64,
+}
+
+/// Sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessResult {
+    /// One row per (loss rate × policy), loss-major order.
+    pub rows: Vec<RobustnessRow>,
+}
+
+/// Runs the sweep: one sports video, a mid-session outage punched into
+/// the link, and per-user seeded fault plans at each loss rate.
+pub fn run(config: &RobustnessConfig) -> RobustnessResult {
+    let spec = VideoSpec::generate(3, Genre::Sports, config.video_secs, config.seed);
+    let video = PreparedVideo::prepare(
+        &spec,
+        &AssetConfig {
+            history_users: 4,
+            ..AssetConfig::default()
+        },
+    );
+    let gen = TraceGenerator::default();
+    let users: Vec<_> = gen.generate_population(&video.scene, config.users, config.seed ^ 5);
+    // A bursty LTE link with a 4 s mid-session blackout: the condition
+    // where retry policy and deadline abandonment actually separate.
+    let bw = BandwidthTrace::lte_low(600.0, config.seed ^ 7).with_outage(12.0, 4.0);
+
+    let mut conditions = Vec::new();
+    for &loss in &config.loss_rates {
+        for (label, policy) in policies() {
+            conditions.push((loss, label, policy));
+        }
+    }
+    let rows = crate::experiments::parallel_map(conditions, |(loss, label, policy)| {
+        let runs: Vec<_> = users
+            .iter()
+            .enumerate()
+            .map(|(u, user)| {
+                let cfg = SessionConfig {
+                    fault_plan: FaultPlan::uniform(loss, config.seed ^ ((u as u64) << 7)),
+                    retry_policy: policy,
+                    deadline_abandonment: true,
+                    ..SessionConfig::default()
+                };
+                simulate_session(&video, Method::Pano, user, &bw, &cfg)
+            })
+            .collect();
+        RobustnessRow {
+            loss_pct: loss * 100.0,
+            policy: label.to_string(),
+            pspnr_db: mean(&runs.iter().map(|r| r.mean_pspnr()).collect::<Vec<_>>()),
+            buffering_pct: mean(
+                &runs
+                    .iter()
+                    .map(|r| r.buffering_ratio_pct())
+                    .collect::<Vec<_>>(),
+            ),
+            wasted_kb: mean(
+                &runs
+                    .iter()
+                    .map(|r| r.total_wasted_bytes() as f64 / 1000.0)
+                    .collect::<Vec<_>>(),
+            ),
+            retries: mean(
+                &runs
+                    .iter()
+                    .map(|r| r.total_retries() as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            abandoned: mean(
+                &runs
+                    .iter()
+                    .map(|r| r.total_abandoned() as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            lost_tiles: mean(
+                &runs
+                    .iter()
+                    .map(|r| r.total_lost_tiles() as f64)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    });
+    RobustnessResult { rows }
+}
+
+/// Renders the sweep as a loss-rate × policy table.
+pub fn render(r: &RobustnessResult) -> String {
+    let mut out = String::from("Robustness: QoE vs request-loss rate under three retry policies\n");
+    out.push_str(
+        "  loss% | policy   | PSPNR dB | buffering% | wasted KB | retries | abandoned | lost\n",
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "  {:>5.1} | {:<8} | {:>8.2} | {:>10.2} | {:>9.1} | {:>7.1} | {:>9.1} | {:>4.1}\n",
+            row.loss_pct,
+            row.policy,
+            row.pspnr_db,
+            row.buffering_pct,
+            row.wasted_kb,
+            row.retries,
+            row.abandoned,
+            row.lost_tiles
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RobustnessConfig {
+        RobustnessConfig {
+            video_secs: 12.0,
+            users: 2,
+            loss_rates: vec![0.0, 0.2],
+            seed: 0xB0B,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_condition_and_degrades() {
+        let r = run(&tiny());
+        assert_eq!(r.rows.len(), 2 * policies().len());
+        for row in &r.rows {
+            assert!(row.pspnr_db.is_finite() && row.pspnr_db > 0.0, "{row:?}");
+            assert!((0.0..=100.0).contains(&row.buffering_pct), "{row:?}");
+        }
+        // At zero loss no retries fire under any policy.
+        for row in r.rows.iter().filter(|r| r.loss_pct == 0.0) {
+            assert_eq!(row.retries, 0.0, "{row:?}");
+            assert_eq!(row.wasted_kb, 0.0, "{row:?}");
+        }
+        // At heavy loss, policies that retry actually retry.
+        let heavy_default = r
+            .rows
+            .iter()
+            .find(|r| r.loss_pct == 20.0 && r.policy == "default")
+            .expect("row exists");
+        assert!(heavy_default.retries > 0.0, "{heavy_default:?}");
+        let txt = render(&r);
+        assert!(txt.contains("policy"));
+        assert!(txt.lines().count() >= 2 + r.rows.len());
+    }
+
+    #[test]
+    fn no_retry_policy_wastes_fewer_bytes_than_eager() {
+        let r = run(&tiny());
+        let at = |policy: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.loss_pct == 20.0 && row.policy == policy)
+                .expect("row exists")
+                .clone()
+        };
+        // Eager retrying moves at least as many failed-attempt bytes as
+        // giving up immediately (more attempts = more chances to waste).
+        assert!(at("eager").retries >= at("no-retry").retries);
+    }
+}

@@ -116,10 +116,20 @@ pub fn sec63(seed: u64) -> Sec63Result {
         let cs = encoder.encode_chunk(&eq, &fs, &tiling);
         for (td, ts) in cd.tiles.iter().zip(&cs.tiles) {
             let qd = computer
-                .tile_quality(&fd, td, pano_video::codec::QualityLevel(2), &pano_jnd::ActionState::REST)
+                .tile_quality(
+                    &fd,
+                    td,
+                    pano_video::codec::QualityLevel(2),
+                    &pano_jnd::ActionState::REST,
+                )
                 .pspnr_db;
             let qs = computer
-                .tile_quality(&fs, ts, pano_video::codec::QualityLevel(2), &pano_jnd::ActionState::REST)
+                .tile_quality(
+                    &fs,
+                    ts,
+                    pano_video::codec::QualityLevel(2),
+                    &pano_jnd::ActionState::REST,
+                )
                 .pspnr_db;
             diffs.push((qd - qs).abs());
         }
@@ -143,7 +153,12 @@ pub fn render_table2(t: &Table2) -> String {
         t.resolution.0, t.resolution.1, t.fps
     ));
     for (g, c, s) in &t.genres {
-        out.push_str(&format!("  {:<12} {:>2} videos ({:.0}%)\n", g, c, s * 100.0));
+        out.push_str(&format!(
+            "  {:<12} {:>2} videos ({:.0}%)\n",
+            g,
+            c,
+            s * 100.0
+        ));
     }
     out
 }

@@ -20,6 +20,21 @@ pub struct ChunkResult {
     pub stall_secs: f64,
     /// Buffer level right after this chunk was enqueued, seconds.
     pub buffer_after_secs: f64,
+    /// Transfer retries spent on this chunk's tiles (attempts beyond the
+    /// first, across all fetches).
+    pub retries: u32,
+    /// Fetches abandoned because their projected finish overran the
+    /// playback deadline.
+    pub abandoned: u32,
+    /// Bytes moved on the wire by failed attempts and thrown away
+    /// (partial transfers cut by resets).
+    pub wasted_bytes: u64,
+    /// Tiles degraded to the ladder floor after a deadline abandonment.
+    pub degraded_tiles: u32,
+    /// Tiles lost outright: retry budget exhausted, or abandoned with no
+    /// level left to degrade to. Visible losses are late-fetched and
+    /// charged as stall by the blank-penalty path.
+    pub lost_tiles: u32,
 }
 
 /// QoE of a whole playback session.
@@ -71,6 +86,42 @@ impl SessionResult {
     pub fn mos(&self) -> f64 {
         mos_to_scale(self.mean_pspnr())
     }
+
+    /// Total transfer retries across the session.
+    pub fn total_retries(&self) -> u64 {
+        self.chunks.iter().map(|c| c.retries as u64).sum()
+    }
+
+    /// Total deadline-abandoned fetches across the session.
+    pub fn total_abandoned(&self) -> u64 {
+        self.chunks.iter().map(|c| c.abandoned as u64).sum()
+    }
+
+    /// Total bytes wasted on failed attempts across the session.
+    pub fn total_wasted_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.wasted_bytes).sum()
+    }
+
+    /// Total tiles degraded to the ladder floor across the session.
+    pub fn total_degraded_tiles(&self) -> u64 {
+        self.chunks.iter().map(|c| c.degraded_tiles as u64).sum()
+    }
+
+    /// Total tiles lost outright across the session.
+    pub fn total_lost_tiles(&self) -> u64 {
+        self.chunks.iter().map(|c| c.lost_tiles as u64).sum()
+    }
+
+    /// Wasted bytes as a share of all bytes on the wire, in percent.
+    pub fn wasted_byte_pct(&self) -> f64 {
+        let wasted = self.total_wasted_bytes() as f64;
+        let wire = self.total_bytes() as f64 + wasted;
+        if wire <= 0.0 {
+            0.0
+        } else {
+            100.0 * wasted / wire
+        }
+    }
 }
 
 /// Mean of a sample set (0 for empty input).
@@ -104,6 +155,11 @@ mod tests {
                     bytes: 100_000,
                     stall_secs: 0.5,
                     buffer_after_secs: 1.0,
+                    retries: 2,
+                    abandoned: 1,
+                    wasted_bytes: 50_000,
+                    degraded_tiles: 1,
+                    lost_tiles: 0,
                 },
                 ChunkResult {
                     chunk_idx: 1,
@@ -111,6 +167,11 @@ mod tests {
                     bytes: 150_000,
                     stall_secs: 0.0,
                     buffer_after_secs: 2.0,
+                    retries: 1,
+                    abandoned: 0,
+                    wasted_bytes: 0,
+                    degraded_tiles: 0,
+                    lost_tiles: 1,
                 },
             ],
             startup_secs: 0.8,
@@ -131,6 +192,18 @@ mod tests {
     }
 
     #[test]
+    fn robustness_aggregates() {
+        let s = session();
+        assert_eq!(s.total_retries(), 3);
+        assert_eq!(s.total_abandoned(), 1);
+        assert_eq!(s.total_wasted_bytes(), 50_000);
+        assert_eq!(s.total_degraded_tiles(), 1);
+        assert_eq!(s.total_lost_tiles(), 1);
+        // 50 KB wasted on 300 KB wire bytes.
+        assert!((s.wasted_byte_pct() - 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_session_is_zeroes() {
         let s = SessionResult {
             chunks: vec![],
@@ -141,6 +214,8 @@ mod tests {
         assert_eq!(s.mean_pspnr(), 0.0);
         assert_eq!(s.buffering_ratio_pct(), 0.0);
         assert_eq!(s.mean_bandwidth_bps(), 0.0);
+        assert_eq!(s.total_retries(), 0);
+        assert_eq!(s.wasted_byte_pct(), 0.0);
     }
 
     #[test]

@@ -44,11 +44,7 @@ pub fn clustile_tiling(unit: GridDims, popularity: &[f64], n_tiles: usize) -> Ve
         unit.cell_count(),
         "one popularity value per cell"
     );
-    let grid = ScoreGrid::new(
-        unit,
-        popularity.to_vec(),
-        vec![1.0; unit.cell_count()],
-    );
+    let grid = ScoreGrid::new(unit, popularity.to_vec(), vec![1.0; unit.cell_count()]);
     group_tiles(&grid, n_tiles).tiles
 }
 
@@ -95,10 +91,7 @@ mod tests {
         // No tile should straddle the popularity boundary once variance is
         // minimised with 6 tiles: every tile is popularity-uniform.
         for t in &tiles {
-            let vals: Vec<f64> = t
-                .cells()
-                .map(|c| popularity[unit.linear(c)])
-                .collect();
+            let vals: Vec<f64> = t.cells().map(|c| popularity[unit.linear(c)]).collect();
             let first = vals[0];
             assert!(
                 vals.iter().all(|&v| (v - first).abs() < 1e-12),

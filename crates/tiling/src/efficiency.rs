@@ -53,8 +53,7 @@ impl ScoreGrid {
                 let idx = (r + 1) * stride + (c + 1);
                 pw[idx] = w + pw[idx - 1] + pw[idx - stride] - pw[idx - stride - 1];
                 pws[idx] = w * s + pws[idx - 1] + pws[idx - stride] - pws[idx - stride - 1];
-                pws2[idx] =
-                    w * s * s + pws2[idx - 1] + pws2[idx - stride] - pws2[idx - stride - 1];
+                pws2[idx] = w * s * s + pws2[idx - 1] + pws2[idx - stride] - pws2[idx - stride - 1];
             }
         }
         ScoreGrid {
@@ -150,7 +149,9 @@ pub fn efficiency_scores(
     for cell in dims.cells() {
         let tile = encoder.encode_tile(eq, dims, features, GridRect::unit(cell));
         let action = &actions[dims.linear(cell)];
-        let p_low = computer.tile_quality(features, &tile, q_low, action).pspnr_db;
+        let p_low = computer
+            .tile_quality(features, &tile, q_low, action)
+            .pspnr_db;
         let p_high = computer
             .tile_quality(features, &tile, q_high, action)
             .pspnr_db;
@@ -187,11 +188,7 @@ mod tests {
 
     #[test]
     fn weights_shift_the_mean() {
-        let g = ScoreGrid::new(
-            GridDims::new(1, 2),
-            vec![0.0, 10.0],
-            vec![3.0, 1.0],
-        );
+        let g = ScoreGrid::new(GridDims::new(1, 2), vec![0.0, 10.0], vec![3.0, 1.0]);
         let full = GridDims::new(1, 2).full_rect();
         assert!((g.rect_mean(full) - 2.5).abs() < 1e-12);
     }

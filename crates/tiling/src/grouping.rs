@@ -76,8 +76,7 @@ pub fn group_tiles(grid: &ScoreGrid, n_tiles: usize) -> GroupingResult {
                     None => true,
                     Some((ci, _, cg)) => {
                         gain > *cg + 1e-12
-                            || ((gain - *cg).abs() <= 1e-12
-                                && r.area() > rects[*ci].area())
+                            || ((gain - *cg).abs() <= 1e-12 && r.area() > rects[*ci].area())
                     }
                 };
                 if better {
@@ -214,11 +213,7 @@ mod tests {
 
     #[test]
     fn more_tiles_than_cells_saturates() {
-        let g = ScoreGrid::new(
-            GridDims::new(2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![1.0; 4],
-        );
+        let g = ScoreGrid::new(GridDims::new(2, 2), vec![1.0, 2.0, 3.0, 4.0], vec![1.0; 4]);
         let res = group_tiles(&g, 100);
         assert_eq!(res.tiles.len(), 4);
         for t in &res.tiles {

@@ -94,6 +94,42 @@ impl BandwidthTrace {
         BandwidthTrace::new(interval, samples)
     }
 
+    /// Zeroes throughput over `[start_secs, start_secs + duration_secs)`,
+    /// modelling a full connectivity outage (tunnel, elevator, handover
+    /// blackout). Samples partially covered by the window are zeroed
+    /// whole — an outage silences the entire sample it touches. Panics on
+    /// negative inputs; a window past the end of the trace is a no-op.
+    pub fn with_outage(mut self, start_secs: f64, duration_secs: f64) -> Self {
+        assert!(
+            start_secs >= 0.0 && duration_secs >= 0.0,
+            "outage window must be non-negative"
+        );
+        let end = start_secs + duration_secs;
+        for (i, s) in self.samples.iter_mut().enumerate() {
+            let t0 = i as f64 * self.interval;
+            let t1 = t0 + self.interval;
+            if t1 > start_secs && t0 < end {
+                *s = 0.0;
+            }
+        }
+        self
+    }
+
+    /// A Markov 4G trace with a set of outage windows punched into it —
+    /// the burst-loss condition for robustness sweeps. `outages` is a
+    /// slice of `(start_secs, duration_secs)` pairs.
+    pub fn markov_4g_with_outages(
+        mean_bps: f64,
+        secs: f64,
+        seed: u64,
+        outages: &[(f64, f64)],
+    ) -> Self {
+        outages.iter().fold(
+            Self::markov_4g(mean_bps, secs, seed),
+            |tr, &(start, dur)| tr.with_outage(start, dur),
+        )
+    }
+
     /// Trace duration in seconds.
     pub fn duration_secs(&self) -> f64 {
         self.samples.len() as f64 * self.interval
@@ -261,6 +297,53 @@ mod tests {
         let tr = BandwidthTrace::new(1.0, vec![0.0, 0.0]);
         assert!(tr.transfer_time(0.0, 1000.0).is_infinite());
         assert_eq!(tr.transfer_time(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn outage_zeroes_covered_samples_only() {
+        let tr = BandwidthTrace::constant(1e6, 10.0, 1.0).with_outage(3.0, 2.0);
+        assert_eq!(tr.throughput_at(2.5), 1e6);
+        assert_eq!(tr.throughput_at(3.5), 0.0);
+        assert_eq!(tr.throughput_at(4.5), 0.0);
+        assert_eq!(tr.throughput_at(5.5), 1e6);
+        // A transfer started inside the outage waits for it to end.
+        let t = tr.transfer_time(3.0, 125_000.0);
+        assert!((t - 3.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn outage_partially_covering_a_sample_silences_it() {
+        let tr = BandwidthTrace::constant(1e6, 4.0, 1.0).with_outage(1.5, 1.0);
+        // Window [1.5, 2.5) touches samples 1 and 2; both go dark.
+        assert_eq!(tr.throughput_at(1.0), 0.0);
+        assert_eq!(tr.throughput_at(2.0), 0.0);
+        assert_eq!(tr.throughput_at(3.0), 1e6);
+    }
+
+    #[test]
+    fn outage_past_the_end_is_a_noop() {
+        let base = BandwidthTrace::constant(1e6, 5.0, 1.0);
+        assert_eq!(base.clone().with_outage(50.0, 10.0), base);
+        assert_eq!(base.clone().with_outage(2.0, 0.0), base);
+    }
+
+    #[test]
+    fn markov_with_outages_matches_manual_punching() {
+        let manual = BandwidthTrace::markov_4g(1e6, 60.0, 7)
+            .with_outage(5.0, 3.0)
+            .with_outage(20.0, 2.0);
+        let built =
+            BandwidthTrace::markov_4g_with_outages(1e6, 60.0, 7, &[(5.0, 3.0), (20.0, 2.0)]);
+        assert_eq!(manual, built);
+        assert_eq!(built.throughput_at(6.0), 0.0);
+        assert_eq!(built.throughput_at(21.0), 0.0);
+        assert!(built.mean_bps() < 1e6, "outages lower the mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window must be non-negative")]
+    fn negative_outage_panics() {
+        BandwidthTrace::constant(1e6, 5.0, 1.0).with_outage(-1.0, 2.0);
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl PopularityPrior {
                     sum[2] += v[2];
                 }
                 let k = traces.len() as f64;
-                let norm =
-                    (sum[0] * sum[0] + sum[1] * sum[1] + sum[2] * sum[2]).sqrt() / k;
+                let norm = (sum[0] * sum[0] + sum[1] * sum[1] + sum[2] * sum[2]).sqrt() / k;
                 (Viewpoint::from_vector(sum), norm)
             })
             .collect();
@@ -272,8 +271,7 @@ mod tests {
 
     #[test]
     fn prior_round_trips_serde() {
-        let prior =
-            PopularityPrior::from_traces(&[still_trace(10.0, 5.0)], 5.0, 1.0);
+        let prior = PopularityPrior::from_traces(&[still_trace(10.0, 5.0)], 5.0, 1.0);
         let json = serde_json::to_string(&prior).unwrap();
         let back: PopularityPrior = serde_json::from_str(&json).unwrap();
         // JSON float formatting may shave a ULP off the concentration;

@@ -378,8 +378,10 @@ mod tests {
         let feats = extractor.extract(&scene, 30, 0, 1.0);
         let actions = est.chunk_actions(&scene, &tr, &feats, 0.0);
         // A background cell far from the object.
-        let bg = Equirect::PAPER_FULL
-            .sphere_to_cell(GridDims::PANO_UNIT, &Viewpoint::new(Degrees(120.0), Degrees(0.0)));
+        let bg = Equirect::PAPER_FULL.sphere_to_cell(
+            GridDims::PANO_UNIT,
+            &Viewpoint::new(Degrees(120.0), Degrees(0.0)),
+        );
         let a = actions.cell(bg);
         assert!((a.dof_diff - 1.5).abs() < 0.1, "dof diff {}", a.dof_diff);
         // The focused cell itself has a small difference (its feature DoF

@@ -216,7 +216,10 @@ mod tests {
             parse_viewpoint_log("0.1 1 1\n0.1 2 2\n"),
             Err(ImportError::NonMonotonicTime { line: 2 })
         );
-        assert_eq!(parse_viewpoint_log("# only comments\n"), Err(ImportError::Empty));
+        assert_eq!(
+            parse_viewpoint_log("# only comments\n"),
+            Err(ImportError::Empty)
+        );
     }
 
     #[test]

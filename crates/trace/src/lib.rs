@@ -33,8 +33,8 @@ pub mod viewpoint;
 
 pub use bandwidth::{BandwidthTrace, ThroughputPredictor};
 pub use cross_user::{CrossUserPredictor, PopularityPrior};
-pub use import::{format_viewpoint_log, parse_bandwidth_log, parse_viewpoint_log, ImportError};
 pub use features::{ActionEstimator, CellActions};
+pub use import::{format_viewpoint_log, parse_bandwidth_log, parse_viewpoint_log, ImportError};
 pub use noise::add_viewpoint_noise;
 pub use predictor::{ConservativeSpeedEstimator, LinearViewpointPredictor};
 pub use viewpoint::{TraceGenerator, ViewpointSample, ViewpointTrace};

@@ -22,9 +22,8 @@ pub fn add_viewpoint_noise(trace: &ViewpointTrace, noise_deg: f64, seed: u64) ->
             let dist = rng.gen_range(0.0..=noise_deg);
             let dir: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let mut out = *s;
-            out.vp = s
-                .vp
-                .offset(Degrees(dist * dir.cos()), Degrees(dist * dir.sin()));
+            out.vp =
+                s.vp.offset(Degrees(dist * dir.cos()), Degrees(dist * dir.sin()));
             out
         })
         .collect();

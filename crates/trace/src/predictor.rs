@@ -238,7 +238,10 @@ mod tests {
     #[test]
     fn conservative_estimate_zero_without_history() {
         let tr = sweep_trace(10.0, 5.0);
-        assert_eq!(ConservativeSpeedEstimator::default().estimate(&tr, 0.0), 0.0);
+        assert_eq!(
+            ConservativeSpeedEstimator::default().estimate(&tr, 0.0),
+            0.0
+        );
     }
 
     #[test]

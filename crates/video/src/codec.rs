@@ -210,11 +210,7 @@ impl EncodedChunk {
     /// Panics if `levels.len() != tiles.len()`.
     pub fn total_size_mixed(&self, levels: &[QualityLevel]) -> u64 {
         assert_eq!(levels.len(), self.tiles.len(), "one level per tile");
-        self.tiles
-            .iter()
-            .zip(levels)
-            .map(|(t, &l)| t.size(l))
-            .sum()
+        self.tiles.iter().zip(levels).map(|(t, &l)| t.size(l)).sum()
     }
 }
 
@@ -306,7 +302,9 @@ impl Encoder {
         // Frames per chunk: rate model is per frame, intra/inter mix folded
         // into bpp_scale. Boundary context loss inflates the body bits in
         // proportion to the tile's perimeter-to-area ratio.
-        let frames = (features.duration_secs * features.fps as f64).round().max(1.0);
+        let frames = (features.duration_secs * features.fps as f64)
+            .round()
+            .max(1.0);
         let perimeter_px = 2.0 * (w as f64 + h as f64);
         let boundary_factor = 1.0 + c.boundary_loss * perimeter_px / pixel_area as f64;
 
@@ -470,13 +468,9 @@ mod tests {
         let eq = Equirect::PAPER_FULL;
         let feats = flat_features(20.0, 0.0);
         let dims = GridDims::PANO_UNIT;
-        let tiling = vec![
-            GridRect::new(0, 0, 12, 12),
-            GridRect::new(0, 12, 12, 12),
-        ];
+        let tiling = vec![GridRect::new(0, 0, 12, 12), GridRect::new(0, 12, 12, 12)];
         let chunk = enc.encode_chunk(&eq, &feats, &tiling);
-        let mixed =
-            chunk.total_size_mixed(&[QualityLevel::LOWEST, QualityLevel::HIGHEST]);
+        let mixed = chunk.total_size_mixed(&[QualityLevel::LOWEST, QualityLevel::HIGHEST]);
         assert_eq!(
             mixed,
             chunk.tiles[0].size(QualityLevel::LOWEST) + chunk.tiles[1].size(QualityLevel::HIGHEST)
@@ -508,7 +502,11 @@ impl Encoder {
     /// zero. This is the bridge that lets tests validate the quantile
     /// PSPNR pipeline against the exact per-pixel Eq. 1–3 computation on
     /// real rendered frames.
-    pub fn encode_plane(&self, original: &crate::frame::LumaPlane, level: QualityLevel) -> crate::frame::LumaPlane {
+    pub fn encode_plane(
+        &self,
+        original: &crate::frame::LumaPlane,
+        level: QualityLevel,
+    ) -> crate::frame::LumaPlane {
         let stats = original.block_stats(0, 0, original.width(), original.height());
         let mae = self.mean_abs_error(stats.gradient_energy, level);
         let mut out = original.clone();

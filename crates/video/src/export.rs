@@ -105,9 +105,8 @@ impl DatasetExport {
 
     /// Reads a bundle back: the index plus every referenced video record.
     pub fn read_from_dir(dir: &Path) -> io::Result<(DatasetIndex, Vec<VideoRecord>)> {
-        let index: DatasetIndex =
-            serde_json::from_slice(&fs::read(dir.join("index.json"))?)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let index: DatasetIndex = serde_json::from_slice(&fs::read(dir.join("index.json"))?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if index.format_version != EXPORT_FORMAT_VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -133,10 +132,8 @@ mod tests {
     use crate::dataset::DatasetSpec;
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "pano_export_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("pano_export_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -186,11 +183,7 @@ mod tests {
         let mut index: DatasetIndex =
             serde_json::from_slice(&fs::read(dir.join("index.json")).unwrap()).unwrap();
         index.format_version += 1;
-        fs::write(
-            dir.join("index.json"),
-            serde_json::to_vec(&index).unwrap(),
-        )
-        .unwrap();
+        fs::write(dir.join("index.json"), serde_json::to_vec(&index).unwrap()).unwrap();
         let err = DatasetExport::read_from_dir(&dir).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         fs::remove_dir_all(&dir).ok();

@@ -157,7 +157,11 @@ impl LumaPlane {
         BlockStats {
             mean,
             variance: (sum_sq / n - mean * mean).max(0.0),
-            gradient_energy: if grad_n == 0 { 0.0 } else { grad / grad_n as f64 },
+            gradient_energy: if grad_n == 0 {
+                0.0
+            } else {
+                grad / grad_n as f64
+            },
         }
     }
 

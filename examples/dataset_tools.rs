@@ -45,7 +45,10 @@ fn main() {
             n_logs += 1;
         }
     }
-    println!("Wrote {n_logs} head-movement logs to {}", traces_dir.display());
+    println!(
+        "Wrote {n_logs} head-movement logs to {}",
+        traces_dir.display()
+    );
 
     // 3. Re-import every log and compute the Fig. 3 statistics.
     let est = ActionEstimator::new(Equirect::PAPER_FULL);
@@ -77,5 +80,8 @@ fn main() {
         "  DoF difference   > 0.7 diop.: {:>5.1}% of samples",
         100.0 * fraction_above(&dof_diffs, 0.7)
     );
-    println!("\nBundle is self-contained: ship {} to reproduce.", out_dir.display());
+    println!(
+        "\nBundle is self-contained: ship {} to reproduce.",
+        out_dir.display()
+    );
 }

@@ -73,7 +73,12 @@ fn main() {
     let bw = BandwidthTrace::lte_low(240.0, 23);
     let cfg = SessionConfig::default();
     println!("\nMethod comparison over {:.2} Mbps:", bw.mean_bps() / 1e6);
-    for method in [Method::Pano, Method::Pano360JndUniform, Method::Flare, Method::WholeVideo] {
+    for method in [
+        Method::Pano,
+        Method::Pano360JndUniform,
+        Method::Flare,
+        Method::WholeVideo,
+    ] {
         let r = simulate_session(&video, method, &user, &bw, &cfg);
         println!(
             "  {:<26} PSPNR {:>5.1} dB | MOS {:.2} | buffering {:>5.2}% | {:>4.0} kbps",

@@ -17,7 +17,10 @@ fn main() {
     //    variable-size tiling, encoding at the 5-QP ladder, PSPNR lookup
     //    table, augmented manifest.
     let spec = VideoSpec::generate(0, Genre::Sports, 20.0, 42);
-    println!("Preparing {} video ({}s)...", spec.genre, spec.duration_secs);
+    println!(
+        "Preparing {} video ({}s)...",
+        spec.genre, spec.duration_secs
+    );
     let provider = PanoProvider::prepare(&spec);
     println!(
         "  {} chunks, {:.0} tiles/chunk, manifest {} KB",
@@ -40,7 +43,10 @@ fn main() {
     let trace = TraceGenerator::default().generate(&provider.prepared().scene, 7);
     let bw = BandwidthTrace::lte_high(120.0, 3);
 
-    println!("\nStreaming over a {:.2} Mbps LTE-like link:", bw.mean_bps() / 1e6);
+    println!(
+        "\nStreaming over a {:.2} Mbps LTE-like link:",
+        bw.mean_bps() / 1e6
+    );
     for method in [Method::Pano, Method::Flare, Method::WholeVideo] {
         let session = client.stream(method, &trace, &bw);
         println!(

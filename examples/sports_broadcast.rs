@@ -39,8 +39,16 @@ fn main() {
     let bw = BandwidthTrace::lte_high(240.0, 17);
     let cfg = SessionConfig::default();
 
-    println!("\nMethod comparison over {:.2} Mbps (4 tracking users):", bw.mean_bps() / 1e6);
-    for method in [Method::Pano, Method::ClusTile, Method::Flare, Method::WholeVideo] {
+    println!(
+        "\nMethod comparison over {:.2} Mbps (4 tracking users):",
+        bw.mean_bps() / 1e6
+    );
+    for method in [
+        Method::Pano,
+        Method::ClusTile,
+        Method::Flare,
+        Method::WholeVideo,
+    ] {
         let mut pspnr = 0.0;
         let mut buf = 0.0;
         let mut kbps = 0.0;

@@ -37,8 +37,8 @@ fn exact_pixel_pspnr_matches_closed_form_on_rendered_frames() {
             // Skip combinations whose errors would clamp at grey 0/255:
             // clamping truncates the realised distribution and the exact
             // score legitimately diverges from the unclamped closed form.
-            let max_err = encoder.mean_abs_error(0.0, level)
-                * pano_video::codec::DISTORTION_QUANTILES[15];
+            let max_err =
+                encoder.mean_abs_error(0.0, level) * pano_video::codec::DISTORTION_QUANTILES[15];
             let headroom = (bg as f64).min(255.0 - bg as f64);
             if max_err >= headroom {
                 continue;
@@ -106,5 +106,10 @@ fn dark_frames_mask_more_than_mid_grey_frames() {
         let encoded = encoder.encode_plane(&original, QualityLevel(0));
         pspnr_planes(&original, &encoded, &jnd_map)
     };
-    assert!(score(20) > score(128), "dark {} vs mid {}", score(20), score(128));
+    assert!(
+        score(20) > score(128),
+        "dark {} vs mid {}",
+        score(20),
+        score(128)
+    );
 }

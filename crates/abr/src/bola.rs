@@ -10,6 +10,7 @@
 //! rung. The control parameters `V` and `γp` are derived from the buffer
 //! capacity and the target minimum buffer, as in the BOLA construction.
 
+use pano_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// BOLA tuning.
@@ -35,12 +36,27 @@ impl Default for BolaConfig {
 #[derive(Debug, Clone, Default)]
 pub struct BolaController {
     config: BolaConfig,
+    tel: Telemetry,
+    decisions: Counter,
 }
 
 impl BolaController {
     /// Creates a controller.
     pub fn new(config: BolaConfig) -> Self {
-        BolaController { config }
+        BolaController {
+            config,
+            tel: Telemetry::disabled(),
+            decisions: Counter::noop(),
+        }
+    }
+
+    /// Attaches telemetry: every decision is timed under the
+    /// `bola_decide` span and counted in `abr.bola.decisions`. Decisions
+    /// are unchanged.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.decisions = tel.counter("abr.bola.decisions");
+        self
     }
 
     /// The active configuration.
@@ -60,6 +76,8 @@ impl BolaController {
             "ladder must ascend"
         );
         assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        let _span = self.tel.span("bola_decide");
+        self.decisions.inc();
         let c = &self.config;
         if buffer_secs <= c.min_buffer_secs {
             return 0;
@@ -147,6 +165,25 @@ mod tests {
     #[should_panic(expected = "ladder must ascend")]
     fn descending_ladder_panics() {
         BolaController::default().pick_rate(&[10, 5], 3.0, 1.0);
+    }
+
+    #[test]
+    fn telemetry_counts_decisions_without_changing_them() {
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("bola-test", 0),
+            0,
+        );
+        let plain = BolaController::default();
+        let instrumented = BolaController::default().with_telemetry(&tel);
+        for q in [0.0, 1.5, 3.0, 6.0, 7.9] {
+            assert_eq!(
+                plain.pick_rate(&ladder(), q, 1.0),
+                instrumented.pick_rate(&ladder(), q, 1.0)
+            );
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["abr.bola.decisions"], 5);
+        assert_eq!(snap.histograms["span.bola_decide"].count, 5);
     }
 
     #[test]

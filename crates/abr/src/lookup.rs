@@ -19,6 +19,7 @@
 //! the §6.3 compression numbers.
 
 use pano_jnd::{ActionState, Multipliers, PspnrComputer, PSPNR_CAP_DB};
+use pano_telemetry::Telemetry;
 use pano_video::codec::{EncodedTile, QualityLevel};
 use pano_video::ChunkFeatures;
 use serde::{Deserialize, Serialize};
@@ -128,12 +129,24 @@ pub struct PowerLawTable {
 /// Builds lookup tables from the provider-side encodings.
 pub struct LookupBuilder<'a> {
     computer: &'a PspnrComputer,
+    tel: Telemetry,
 }
 
 impl<'a> LookupBuilder<'a> {
     /// Creates a builder around the provider's PSPNR computer.
     pub fn new(computer: &'a PspnrComputer) -> Self {
-        LookupBuilder { computer }
+        LookupBuilder {
+            computer,
+            tel: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: each build is timed under a
+    /// `lookup_build_{full,ratio,power}` span and the produced entry
+    /// counts land in `abr.lookup.*.entries`. Tables are unchanged.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self
     }
 
     /// Ground-truth PSPNR for a tile-level-action triple (provider side).
@@ -169,7 +182,8 @@ impl<'a> LookupBuilder<'a> {
 
     /// Builds the full n³ table over all chunks.
     pub fn build_full(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> FullLookupTable {
-        let entries = chunks
+        let _span = self.tel.span("lookup_build_full");
+        let entries: FullEntries = chunks
             .iter()
             .map(|(features, tiles)| {
                 tiles
@@ -208,12 +222,22 @@ impl<'a> LookupBuilder<'a> {
                     .collect()
             })
             .collect();
+        let n: u64 = entries
+            .iter()
+            .flatten()
+            .flatten()
+            .flatten()
+            .flatten()
+            .map(|lum| lum.len() as u64)
+            .sum();
+        self.tel.counter("abr.lookup.full.entries").add(n);
         FullLookupTable { entries }
     }
 
     /// Builds the 1-D ratio table.
     pub fn build_ratio(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> RatioLookupTable {
-        let curves = chunks
+        let _span = self.tel.span("lookup_build_ratio");
+        let curves: Vec<Vec<Vec<Vec<f64>>>> = chunks
             .iter()
             .map(|(features, tiles)| {
                 tiles
@@ -231,6 +255,13 @@ impl<'a> LookupBuilder<'a> {
                     .collect()
             })
             .collect();
+        let n: u64 = curves
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|curve| curve.len() as u64)
+            .sum();
+        self.tel.counter("abr.lookup.ratio.entries").add(n);
         RatioLookupTable {
             curves,
             multipliers: *self.computer.multipliers(),
@@ -242,7 +273,8 @@ impl<'a> LookupBuilder<'a> {
     /// PSPNR cap are excluded from the fit (they would drag the low-ratio
     /// region upward); estimates are clamped to the cap on evaluation.
     pub fn build_power(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> PowerLawTable {
-        let params = chunks
+        let _span = self.tel.span("lookup_build_power");
+        let params: Vec<Vec<Vec<(f64, f64)>>> = chunks
             .iter()
             .map(|(features, tiles)| {
                 tiles
@@ -300,6 +332,12 @@ impl<'a> LookupBuilder<'a> {
                     .collect()
             })
             .collect();
+        let n: u64 = params
+            .iter()
+            .flatten()
+            .map(|levels| levels.len() as u64)
+            .sum();
+        self.tel.counter("abr.lookup.power.entries").add(n);
         PowerLawTable {
             params,
             multipliers: *self.computer.multipliers(),
@@ -544,6 +582,48 @@ mod tests {
         assert_eq!(interp(&RATIO_GRID, &ys, 100.0), 128.0);
         let mid = interp(&RATIO_GRID, &ys, 1.25);
         assert!(mid > 1.0 && mid < 2.0);
+    }
+
+    #[test]
+    fn telemetry_counts_entries_without_changing_tables() {
+        let (comp, chunks) = builders_fixture();
+        let plain = LookupBuilder::new(&comp);
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("lookup-test", 0),
+            0,
+        );
+        let instrumented = LookupBuilder::new(&comp).with_telemetry(&tel);
+
+        let ratio_a = plain.build_ratio(&chunks);
+        let ratio_b = instrumented.build_ratio(&chunks);
+        let a = ActionState {
+            rel_speed_deg_s: 12.0,
+            dof_diff: 0.5,
+            lum_change: 40.0,
+        };
+        assert_eq!(
+            ratio_a.estimate(0, 1, QualityLevel(1), &a),
+            ratio_b.estimate(0, 1, QualityLevel(1), &a)
+        );
+        instrumented.build_power(&chunks);
+        instrumented.build_full(&chunks);
+
+        let snap = tel.snapshot();
+        // 3 chunks × 3 tiles × |levels| × 8 ratio points.
+        let levels = QualityLevel::all().count() as u64;
+        assert_eq!(snap.counters["abr.lookup.ratio.entries"], 9 * levels * 8);
+        assert_eq!(snap.counters["abr.lookup.power.entries"], 9 * levels);
+        assert_eq!(
+            snap.counters["abr.lookup.full.entries"],
+            9 * levels * 5 * 5 * 5
+        );
+        for span in [
+            "span.lookup_build_full",
+            "span.lookup_build_ratio",
+            "span.lookup_build_power",
+        ] {
+            assert_eq!(snap.histograms[span].count, 1, "missing {span}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! configurable target ({1, 2, 3} s in the paper's Fig. 15 sweeps). The
 //! chosen rate for the next chunk becomes the tile allocator's budget.
 
+use pano_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// MPC tuning knobs.
@@ -48,6 +49,8 @@ impl Default for MpcConfig {
 pub struct MpcController {
     config: MpcConfig,
     last_rate_idx: Option<usize>,
+    tel: Telemetry,
+    decisions: Counter,
 }
 
 impl MpcController {
@@ -56,7 +59,17 @@ impl MpcController {
         MpcController {
             config,
             last_rate_idx: None,
+            tel: Telemetry::disabled(),
+            decisions: Counter::noop(),
         }
+    }
+
+    /// Attaches telemetry: every solve is timed under the `mpc_solve`
+    /// span and counted in `abr.mpc.decisions`. Decisions are unchanged.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.decisions = tel.counter("abr.mpc.decisions");
+        self
     }
 
     /// The active configuration.
@@ -97,6 +110,8 @@ impl MpcController {
             "ladder must ascend"
         );
         assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        let _span = self.tel.span("mpc_solve");
+        self.decisions.inc();
         let bps = predicted_bps.max(1.0);
         let c = self.config;
 
@@ -178,6 +193,25 @@ mod tests {
             (0.0..3.0).contains(&dl),
             "download {dl}s won't starve the buffer"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_decisions_without_changing_them() {
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("mpc-test", 0),
+            0,
+        );
+        let mut plain = MpcController::new(MpcConfig::default());
+        let mut instrumented = MpcController::new(MpcConfig::default()).with_telemetry(&tel);
+        for (buf, tput) in [(3.0, 50e6), (0.2, 0.2e6), (2.0, 1.0e6)] {
+            assert_eq!(
+                plain.pick_rate(&ladder(), buf, tput, 1.0),
+                instrumented.pick_rate(&ladder(), buf, tput, 1.0)
+            );
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["abr.mpc.decisions"], 3);
+        assert_eq!(snap.histograms["span.mpc_solve"].count, 3);
     }
 
     #[test]

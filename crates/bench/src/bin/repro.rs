@@ -1,22 +1,75 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro                 # list experiments
-//! repro all             # run everything
-//! repro fig15 fig18a    # run specific experiments
-//! repro --seed 7 fig4   # override the seed
+//! repro                        # list experiments
+//! repro all                    # run everything
+//! repro fig15 fig18a           # run specific experiments
+//! repro --experiment robust    # flag form of the same selection
+//! repro --seed 7 fig4          # override the seed
+//! repro --quiet all            # suppress progress chatter
+//! repro --json robust          # machine-readable progress on stdout
 //! ```
 //!
-//! Each run prints the rendered rows/series and writes
-//! `results/<id>.txt` and `results/<id>.json` under the workspace root.
+//! Each run prints the rendered rows/series plus a telemetry run report,
+//! and writes four artifacts under the workspace root:
+//!
+//! * `results/<id>.txt` / `results/<id>.json` — the rendered rows and the
+//!   raw result value, as before;
+//! * `results/telemetry/<run_id>.jsonl` — the structured event stream,
+//!   every record stamped with the run id and seed;
+//! * `results/telemetry/<run_id>.report.txt` — the rendered run report.
 
+use pano_telemetry::{Json, RunId, Telemetry};
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// How progress is narrated: human lines, JSON events, or nothing.
+/// Result artifacts are written to disk in every mode.
+#[derive(Clone, Copy, PartialEq)]
+enum Progress {
+    Human,
+    Json,
+    Quiet,
+}
+
+impl Progress {
+    /// Emits one progress event. In JSON mode every event is one object
+    /// per line on stdout; in human mode `text` (when given) is printed;
+    /// quiet mode drops everything.
+    fn event(&self, kind: &str, fields: Json, text: Option<&str>) {
+        match self {
+            Progress::Quiet => {}
+            Progress::Json => {
+                let mut pairs = vec![("event".to_string(), Json::from(kind))];
+                if let Json::Obj(map) = fields {
+                    pairs.extend(map);
+                }
+                println!("{}", Json::Obj(pairs.into_iter().collect()));
+            }
+            Progress::Human => {
+                if let Some(t) = text {
+                    println!("{t}");
+                }
+            }
+        }
+    }
+}
+
+fn usage(registry: &[pano_bench::Experiment]) {
+    println!("Usage: repro [--seed N] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n");
+    println!("Available experiments:");
+    for e in registry {
+        println!("  {:<8} {}", e.id, e.title);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;
+    let mut progress = Progress::Human;
+    let mut selected_ids: Vec<String> = Vec::new();
+
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         args.remove(pos);
         if pos < args.len() {
@@ -26,21 +79,36 @@ fn main() {
             });
         }
     }
+    while let Some(pos) = args.iter().position(|a| a == "--experiment") {
+        args.remove(pos);
+        if pos < args.len() {
+            selected_ids.push(args.remove(pos));
+        } else {
+            eprintln!("--experiment needs an id");
+            std::process::exit(2);
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--quiet") {
+        args.remove(pos);
+        progress = Progress::Quiet;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        progress = Progress::Json;
+    }
+    selected_ids.extend(args);
 
     let registry = pano_bench::experiments();
-    if args.is_empty() {
-        println!("Usage: repro [--seed N] <experiment ...|all>\n");
-        println!("Available experiments:");
-        for e in &registry {
-            println!("  {:<8} {}", e.id, e.title);
-        }
+    if selected_ids.is_empty() {
+        usage(&registry);
         return;
     }
 
-    let selected: Vec<&pano_bench::Experiment> = if args.iter().any(|a| a == "all") {
+    let selected: Vec<&pano_bench::Experiment> = if selected_ids.iter().any(|a| a == "all") {
         registry.iter().collect()
     } else {
-        args.iter()
+        selected_ids
+            .iter()
             .map(|id| {
                 registry.iter().find(|e| e.id == *id).unwrap_or_else(|| {
                     eprintln!("unknown experiment '{id}' (run with no args to list)");
@@ -51,23 +119,89 @@ fn main() {
     };
 
     let out_dir = PathBuf::from("results");
-    fs::create_dir_all(&out_dir).expect("create results dir");
+    let tel_dir = out_dir.join("telemetry");
+    fs::create_dir_all(&tel_dir).expect("create results dir");
 
     for e in selected {
-        println!("=== {} — {}\n", e.id, e.title);
-        let t0 = Instant::now();
-        let (text, value) = (e.run)(seed);
-        println!("{text}");
-        println!(
-            "[{} finished in {:.2}s]\n",
-            e.id,
-            t0.elapsed().as_secs_f64()
+        let run_id = RunId::from_parts(e.id, seed);
+        let jsonl_path = tel_dir.join(format!("{run_id}.jsonl"));
+        // Telemetry must never take a reproduction run down: if the
+        // artifact file cannot be created, fall back to aggregation-only.
+        let tel = Telemetry::jsonl(run_id, seed, &jsonl_path).unwrap_or_else(|err| {
+            eprintln!(
+                "warning: no telemetry artifact at {}: {err}",
+                jsonl_path.display()
+            );
+            Telemetry::recording(run_id, seed)
+        });
+
+        progress.event(
+            "start",
+            Json::obj([
+                ("experiment", Json::from(e.id)),
+                ("title", Json::from(e.title)),
+                ("run_id", Json::from(run_id.to_string())),
+                ("seed", Json::from(seed)),
+            ]),
+            Some(&format!(
+                "=== {} — {} (run {run_id}, seed {seed})\n",
+                e.id, e.title
+            )),
         );
+        tel.emit(
+            "experiment_start",
+            None,
+            Json::obj([("id", Json::from(e.id)), ("title", Json::from(e.title))]),
+        );
+
+        let t0 = Instant::now();
+        let (text, value) = {
+            let _span = tel.span(e.id);
+            (e.run)(seed, &tel)
+        };
+        let secs = t0.elapsed().as_secs_f64();
+
+        tel.emit(
+            "experiment_end",
+            None,
+            Json::obj([("id", Json::from(e.id)), ("wall_secs", Json::from(secs))]),
+        );
+        tel.flush();
+        let report = tel.report(e.title).render();
+
         fs::write(out_dir.join(format!("{}.txt", e.id)), &text).expect("write text result");
         fs::write(
             out_dir.join(format!("{}.json", e.id)),
             serde_json::to_vec_pretty(&value).expect("serialise"),
         )
         .expect("write json result");
+        let report_path = tel_dir.join(format!("{run_id}.report.txt"));
+        fs::write(&report_path, &report).expect("write run report");
+
+        progress.event(
+            "finish",
+            Json::obj([
+                ("experiment", Json::from(e.id)),
+                ("run_id", Json::from(run_id.to_string())),
+                ("wall_secs", Json::from(secs)),
+                (
+                    "text_path",
+                    Json::from(out_dir.join(format!("{}.txt", e.id)).display().to_string()),
+                ),
+                (
+                    "json_path",
+                    Json::from(out_dir.join(format!("{}.json", e.id)).display().to_string()),
+                ),
+                (
+                    "telemetry_path",
+                    Json::from(jsonl_path.display().to_string()),
+                ),
+                ("report_path", Json::from(report_path.display().to_string())),
+            ]),
+            Some(&format!(
+                "{text}\n{report}\n[{} finished in {secs:.2}s]\n",
+                e.id
+            )),
+        );
     }
 }

@@ -11,6 +11,7 @@
 //!
 //! The library part hosts the experiment registry shared by both.
 
+use pano_telemetry::Telemetry;
 use serde::Serialize;
 
 /// An experiment the `repro` binary can run.
@@ -19,8 +20,11 @@ pub struct Experiment {
     pub id: &'static str,
     /// What the paper artefact shows.
     pub title: &'static str,
-    /// Runs the experiment; returns (rendered text, JSON value).
-    pub run: fn(u64) -> (String, serde_json::Value),
+    /// Runs the experiment; returns (rendered text, JSON value). The
+    /// telemetry handle stamps the run id/seed into every record; drivers
+    /// that are instrumented thread it into their configs, the rest
+    /// ignore it (pass [`Telemetry::disabled()`] for silent runs).
+    pub run: fn(u64, &Telemetry) -> (String, serde_json::Value),
 }
 
 fn json<T: Serialize>(v: &T) -> serde_json::Value {
@@ -34,7 +38,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig3",
             title: "Fig.3: distributions of the new quality-determining factors",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig3::run(8, 8, 40.0, seed);
                 (exp::fig3::render(&r), json(&r))
             },
@@ -42,7 +46,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig4",
             title: "Fig.4: video size vs tiling granularity",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig4::run(10, 4.0, seed);
                 (exp::fig4::render(&r), json(&r))
             },
@@ -50,7 +54,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig6",
             title: "Fig.6/7: JND vs factors (simulated observer panel)",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig6::run(20, seed);
                 (exp::fig6::render(&r), json(&r))
             },
@@ -58,7 +62,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig8",
             title: "Fig.8: MOS estimation accuracy of quality metrics",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig8::run(21, 20, seed);
                 (exp::fig8::render(&r), json(&r))
             },
@@ -66,7 +70,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig9",
             title: "Fig.9: variable-size tiling pipeline",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig9::run(seed);
                 (exp::fig9::render(&r), json(&r))
             },
@@ -74,7 +78,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig10",
             title: "Fig.10: conservative lower-bound speed estimation",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig10::run(120.0, seed);
                 (exp::fig10::render(&r), json(&r))
             },
@@ -82,7 +86,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig13",
             title: "Fig.13: MOS by genre (survey simulation)",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig13::run(20, 48.0, seed);
                 (exp::fig13::render(&r), json(&r))
             },
@@ -90,7 +94,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig15",
             title: "Fig.1/15: PSPNR vs buffering, methods x genres x traces",
-            run: |seed| {
+            run: |seed, _tel| {
                 let cfg = exp::fig15::Fig15Config {
                     seed,
                     ..exp::fig15::Fig15Config::default()
@@ -102,7 +106,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig16",
             title: "Fig.16: robustness to viewpoint/bandwidth prediction errors",
-            run: |seed| {
+            run: |seed, _tel| {
                 let cfg = exp::fig16::Fig16Config {
                     seed,
                     ..exp::fig16::Fig16Config::default()
@@ -114,7 +118,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig17",
             title: "Fig.17: system overheads",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::fig17::run(30.0, seed);
                 (exp::fig17::render(&r), json(&r))
             },
@@ -122,7 +126,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig18a",
             title: "Fig.18a: component-wise bandwidth analysis",
-            run: |seed| {
+            run: |seed, _tel| {
                 let cfg = exp::fig18::Fig18Config {
                     seed,
                     ..exp::fig18::Fig18Config::default()
@@ -134,7 +138,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig18b",
             title: "Fig.18b: bandwidth by genre at the quality target",
-            run: |seed| {
+            run: |seed, _tel| {
                 let cfg = exp::fig18::Fig18Config {
                     seed,
                     genres: vec![
@@ -151,9 +155,10 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "robust",
             title: "Robustness: QoE cliff under injected delivery faults",
-            run: |seed| {
+            run: |seed, tel| {
                 let cfg = exp::robustness::RobustnessConfig {
                     seed,
+                    telemetry: tel.clone(),
                     ..exp::robustness::RobustnessConfig::default()
                 };
                 let r = exp::robustness::run(&cfg);
@@ -163,7 +168,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "table2",
             title: "Table 2: dataset summary",
-            run: |seed| {
+            run: |seed, _tel| {
                 let t = exp::tables::table2(seed);
                 (exp::tables::render_table2(&t), json(&t))
             },
@@ -171,7 +176,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "table3",
             title: "Table 3: PSPNR to MOS map",
-            run: |_| {
+            run: |_, _tel| {
                 let t = exp::tables::table3();
                 (exp::tables::render_table3(), json(&t))
             },
@@ -179,7 +184,7 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "sec63",
             title: "Sec 6.3: lookup-table compression and PSPNR sampling",
-            run: |seed| {
+            run: |seed, _tel| {
                 let r = exp::tables::sec63(seed);
                 (exp::tables::render_sec63(&r), json(&r))
             },
@@ -217,11 +222,22 @@ mod tests {
     fn quick_experiments_produce_output() {
         // Only the cheap ones in unit tests; the heavy ones run in the
         // repro binary and integration tests.
+        let tel = Telemetry::disabled();
         for id in ["fig4", "fig9", "table2", "table3"] {
             let e = find(id).expect("registered");
-            let (text, value) = (e.run)(7);
+            let (text, value) = (e.run)(7, &tel);
             assert!(!text.is_empty(), "{id} rendered empty");
             assert!(!value.is_null(), "{id} json null");
         }
+    }
+
+    #[test]
+    fn telemetry_handle_does_not_change_results() {
+        let e = find("fig4").expect("registered");
+        let (plain_text, plain_json) = (e.run)(3, &Telemetry::disabled());
+        let tel = Telemetry::recording(pano_telemetry::RunId::from_parts("bench-test", 3), 3);
+        let (tel_text, tel_json) = (e.run)(3, &tel);
+        assert_eq!(plain_text, tel_text);
+        assert_eq!(plain_json, tel_json);
     }
 }

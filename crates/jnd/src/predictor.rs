@@ -6,6 +6,7 @@
 //! comparing the distributions of relative estimation error. This module
 //! provides the ordinary-least-squares fit and the error accounting.
 
+use pano_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Which quality metric feeds the predictor — used for labelling results.
@@ -79,6 +80,20 @@ impl LinearPredictor {
             intercept,
             r_squared,
         }
+    }
+
+    /// [`LinearPredictor::fit`] with telemetry: the fit is timed under the
+    /// `predictor_fit` span, counted in `jnd.predictor.fits`, and the
+    /// resulting goodness-of-fit lands in the `jnd.predictor.r_squared`
+    /// gauge. The fitted predictor is identical to the plain `fit`.
+    pub fn fit_with_telemetry(points: &[(f64, f64)], tel: &Telemetry) -> LinearPredictor {
+        let fitted = {
+            let _span = tel.span("predictor_fit");
+            LinearPredictor::fit(points)
+        };
+        tel.counter("jnd.predictor.fits").inc();
+        tel.gauge("jnd.predictor.r_squared").set(fitted.r_squared);
+        fitted
     }
 
     /// Predicted MOS for a metric value.
@@ -188,6 +203,22 @@ mod tests {
         let ea = median(&pa.relative_errors(&a_pts));
         let eb = median(&pb.relative_errors(&b_pts));
         assert!(ea < eb, "clean metric {ea} vs noisy {eb}");
+    }
+
+    #[test]
+    fn fit_with_telemetry_matches_plain_fit() {
+        let pts = [(1.0, 1.2), (2.0, 1.9), (3.0, 3.4), (4.0, 3.8), (5.0, 5.3)];
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("predictor-test", 0),
+            0,
+        );
+        let plain = LinearPredictor::fit(&pts);
+        let instrumented = LinearPredictor::fit_with_telemetry(&pts, &tel);
+        assert_eq!(plain, instrumented);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["jnd.predictor.fits"], 1);
+        assert!((snap.gauges["jnd.predictor.r_squared"] - plain.r_squared).abs() < 1e-12);
+        assert_eq!(snap.histograms["span.predictor_fit"].count, 1);
     }
 
     #[test]

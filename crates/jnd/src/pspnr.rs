@@ -16,6 +16,7 @@
 
 use crate::content::ContentJnd;
 use crate::multipliers::{ActionState, Multipliers};
+use pano_telemetry::{Counter, Telemetry};
 use pano_video::codec::{EncodedChunk, EncodedTile, QualityLevel};
 use pano_video::{ChunkFeatures, LumaPlane};
 use serde::{Deserialize, Serialize};
@@ -80,6 +81,9 @@ pub struct TileQuality {
 pub struct PspnrComputer {
     content: ContentJnd,
     multipliers: Multipliers,
+    tel: Telemetry,
+    tile_evals: Counter,
+    chunk_evals: Counter,
 }
 
 impl PspnrComputer {
@@ -88,7 +92,21 @@ impl PspnrComputer {
         PspnrComputer {
             content,
             multipliers,
+            tel: Telemetry::disabled(),
+            tile_evals: Counter::noop(),
+            chunk_evals: Counter::noop(),
         }
+    }
+
+    /// Attaches telemetry: tile and chunk evaluations are counted in
+    /// `jnd.pspnr.tile_evals` / `jnd.pspnr.chunk_evals` and each chunk
+    /// aggregate is timed under the `pspnr_chunk` span. Scores are
+    /// unchanged.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.tile_evals = tel.counter("jnd.pspnr.tile_evals");
+        self.chunk_evals = tel.counter("jnd.pspnr.chunk_evals");
+        self
     }
 
     /// The content-JND model in use.
@@ -157,6 +175,7 @@ impl PspnrComputer {
         level: QualityLevel,
         action: &ActionState,
     ) -> TileQuality {
+        self.tile_evals.inc();
         let ratio = self.multipliers.action_ratio(action);
         let quantiles = tile.error_quantiles(level);
         let mut pmse = 0.0;
@@ -191,6 +210,8 @@ impl PspnrComputer {
     ) -> f64 {
         assert_eq!(levels.len(), chunk.tiles.len(), "one level per tile");
         assert_eq!(actions.len(), chunk.tiles.len(), "one action per tile");
+        let _span = self.tel.span("pspnr_chunk");
+        self.chunk_evals.inc();
         let mut weighted = 0.0;
         let mut area = 0.0;
         for ((tile, &level), action) in chunk.tiles.iter().zip(levels).zip(actions) {
@@ -347,6 +368,30 @@ mod tests {
             &rest,
         );
         assert!(low < mixed && mixed < high, "{low} {mixed} {high}");
+    }
+
+    #[test]
+    fn telemetry_counts_evaluations_without_changing_scores() {
+        let (_, _, feats, chunk) = setup();
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("pspnr-test", 0),
+            0,
+        );
+        let plain = PspnrComputer::default();
+        let instrumented = PspnrComputer::default().with_telemetry(&tel);
+        let levels = vec![QualityLevel(2); chunk.tiles.len()];
+        let a = ActionState::REST;
+        assert_eq!(
+            plain.chunk_pspnr_uniform_action(&feats, &chunk, &levels, &a),
+            instrumented.chunk_pspnr_uniform_action(&feats, &chunk, &levels, &a)
+        );
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["jnd.pspnr.chunk_evals"], 1);
+        assert_eq!(
+            snap.counters["jnd.pspnr.tile_evals"],
+            chunk.tiles.len() as u64
+        );
+        assert_eq!(snap.histograms["span.pspnr_chunk"].count, 1);
     }
 
     #[test]

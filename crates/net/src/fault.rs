@@ -25,6 +25,7 @@
 //! and whether the fetch was abandoned against its deadline.
 
 use crate::connection::FetchResult;
+use pano_telemetry::{Counter, Histogram, Json, Telemetry};
 use pano_trace::BandwidthTrace;
 use serde::{Deserialize, Serialize};
 
@@ -300,6 +301,52 @@ impl FetchOutcome {
     }
 }
 
+/// Cached telemetry handles for the fetch hot path. Handles are resolved
+/// once (name lookup takes a lock); updates are lock-free atomics. The
+/// default is all-no-op, matching disabled telemetry.
+#[derive(Debug, Clone, Default)]
+struct NetMetrics {
+    tel: Telemetry,
+    requests: Counter,
+    attempts: Counter,
+    retries: Counter,
+    delivered: Counter,
+    abandoned: Counter,
+    failed: Counter,
+    outcome_clean: Counter,
+    outcome_request_lost: Counter,
+    outcome_reset: Counter,
+    outcome_stuck: Counter,
+    watchdog_fires: Counter,
+    backoff_waits: Counter,
+    backoff_secs: Histogram,
+    fetch_duration_secs: Histogram,
+    bytes_wasted: Counter,
+}
+
+impl NetMetrics {
+    fn new(tel: &Telemetry) -> Self {
+        NetMetrics {
+            tel: tel.clone(),
+            requests: tel.counter("net.fetch.requests"),
+            attempts: tel.counter("net.fetch.attempts"),
+            retries: tel.counter("net.fetch.retries"),
+            delivered: tel.counter("net.fetch.delivered"),
+            abandoned: tel.counter("net.fetch.abandoned"),
+            failed: tel.counter("net.fetch.failed"),
+            outcome_clean: tel.counter("net.fetch.outcome.clean"),
+            outcome_request_lost: tel.counter("net.fetch.outcome.request_lost"),
+            outcome_reset: tel.counter("net.fetch.outcome.reset"),
+            outcome_stuck: tel.counter("net.fetch.outcome.stuck"),
+            watchdog_fires: tel.counter("net.watchdog.fires"),
+            backoff_waits: tel.counter("net.backoff.waits"),
+            backoff_secs: tel.histogram("net.backoff_secs"),
+            fetch_duration_secs: tel.histogram("net.fetch_duration_secs"),
+            bytes_wasted: tel.counter("bytes.wasted"),
+        }
+    }
+}
+
 /// A persistent connection with fault injection and recovery.
 ///
 /// Composes the trace-driven transfer math of
@@ -323,6 +370,8 @@ pub struct FaultyConnection {
     wasted_bytes: u64,
     /// Retries beyond first attempts, across all requests.
     retries: u64,
+    /// Cached telemetry handles (all-no-op unless `with_telemetry`).
+    metrics: NetMetrics,
 }
 
 impl FaultyConnection {
@@ -340,6 +389,7 @@ impl FaultyConnection {
             total_bytes: 0,
             wasted_bytes: 0,
             retries: 0,
+            metrics: NetMetrics::default(),
         }
     }
 
@@ -347,6 +397,16 @@ impl FaultyConnection {
     pub fn with_request_overhead(mut self, secs: f64) -> Self {
         assert!(secs >= 0.0, "overhead must be non-negative");
         self.request_overhead_secs = secs;
+        self
+    }
+
+    /// Attaches telemetry: fetches record the `net.fetch.*` funnel,
+    /// per-attempt outcomes, backoff waits and wasted bytes, and emit
+    /// `fetch_fault` / `fetch_abandoned` events stamped with the
+    /// connection clock. Telemetry only observes — it never changes a
+    /// fetch outcome or the clock.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.metrics = NetMetrics::new(tel);
         self
     }
 
@@ -421,6 +481,7 @@ impl FaultyConnection {
     pub fn fetch_with_deadline(&mut self, bytes: u64, deadline_secs: f64) -> FetchOutcome {
         let request = self.requests;
         self.requests += 1;
+        self.metrics.requests.inc();
         let start = self.now;
         let mut attempts = 0u32;
         let mut wasted = 0u64;
@@ -438,14 +499,33 @@ impl FaultyConnection {
             // miss the deadline, so don't waste the wire on it.
             if payload_start + clean_dt > deadline_secs {
                 abandoned = true;
+                if self.metrics.tel.is_enabled() {
+                    self.metrics.tel.emit(
+                        "fetch_abandoned",
+                        Some(self.now),
+                        Json::obj([
+                            ("request", Json::from(request)),
+                            ("attempts", Json::from(attempts)),
+                            ("bytes", Json::from(bytes)),
+                            ("deadline_secs", Json::from(deadline_secs)),
+                            (
+                                "projected_finish_secs",
+                                Json::from(payload_start + clean_dt),
+                            ),
+                        ]),
+                    );
+                }
                 break;
             }
             attempts += 1;
-            match self.plan.decide(request, attempts, self.now) {
+            self.metrics.attempts.inc();
+            let fault = self.plan.decide(request, attempts, self.now);
+            match fault {
                 Fault::None => {
                     self.now = payload_start + clean_dt;
                     self.total_bytes += bytes;
                     delivered = true;
+                    self.metrics.outcome_clean.inc();
                 }
                 Fault::RequestLost | Fault::Stuck => {
                     // No useful bytes; the watchdog fires after the
@@ -453,6 +533,12 @@ impl FaultyConnection {
                     let lost = self.request_overhead_secs + self.policy.timeout_secs(clean_dt);
                     self.now += lost;
                     retry_secs += lost;
+                    self.metrics.watchdog_fires.inc();
+                    if matches!(fault, Fault::RequestLost) {
+                        self.metrics.outcome_request_lost.inc();
+                    } else {
+                        self.metrics.outcome_stuck.inc();
+                    }
                 }
                 Fault::Reset { progress } => {
                     let partial = ((bytes as f64) * progress).floor() as u64;
@@ -462,7 +548,28 @@ impl FaultyConnection {
                     self.now += lost;
                     retry_secs += lost;
                     wasted += partial;
+                    self.metrics.outcome_reset.inc();
                 }
+            }
+            if fault != Fault::None && self.metrics.tel.is_enabled() {
+                self.metrics.tel.emit(
+                    "fetch_fault",
+                    Some(self.now),
+                    Json::obj([
+                        ("request", Json::from(request)),
+                        ("attempt", Json::from(attempts)),
+                        ("bytes", Json::from(bytes)),
+                        (
+                            "kind",
+                            Json::from(match fault {
+                                Fault::None => unreachable!(),
+                                Fault::RequestLost => "request_lost",
+                                Fault::Reset { .. } => "reset",
+                                Fault::Stuck => "stuck",
+                            }),
+                        ),
+                    ]),
+                );
             }
             if delivered {
                 break;
@@ -471,11 +578,23 @@ impl FaultyConnection {
                 let b = self.policy.backoff_secs(self.plan.seed, request, attempts);
                 self.now += b;
                 retry_secs += b;
+                self.metrics.backoff_waits.inc();
+                self.metrics.backoff_secs.record(b);
             }
         }
 
         self.wasted_bytes += wasted;
         self.retries += attempts.saturating_sub(1) as u64;
+        self.metrics.retries.add(attempts.saturating_sub(1) as u64);
+        self.metrics.bytes_wasted.add(wasted);
+        self.metrics.fetch_duration_secs.record(self.now - start);
+        if delivered {
+            self.metrics.delivered.inc();
+        } else if abandoned {
+            self.metrics.abandoned.inc();
+        } else {
+            self.metrics.failed.inc();
+        }
         FetchOutcome {
             result: FetchResult {
                 start,
@@ -670,6 +789,92 @@ mod tests {
     #[should_panic(expected = "loss rate must be in [0, 1]")]
     fn out_of_range_loss_rate_panics() {
         FaultPlan::uniform(1.5, 0);
+    }
+
+    #[test]
+    fn telemetry_matches_connection_accounting() {
+        use pano_telemetry::{RunId, Telemetry};
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("net-test", 11), 11);
+        let plan = FaultPlan::uniform(0.5, 11);
+        let mut c =
+            FaultyConnection::new(mbps(2.0), plan, RetryPolicy::default()).with_telemetry(&tel);
+        let sizes = vec![30_000u64; 40];
+        let outcomes = c.fetch_batch(&sizes);
+
+        let snap = tel.snapshot();
+        let count = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+        assert_eq!(count("net.fetch.requests"), 40);
+        assert_eq!(count("net.fetch.retries"), c.retries());
+        assert_eq!(count("bytes.wasted"), c.wasted_bytes());
+        assert_eq!(
+            count("net.fetch.attempts"),
+            outcomes.iter().map(|o| o.attempts as u64).sum::<u64>()
+        );
+        assert_eq!(
+            count("net.fetch.delivered"),
+            outcomes.iter().filter(|o| o.delivered).count() as u64
+        );
+        assert_eq!(
+            count("net.fetch.delivered") + count("net.fetch.abandoned") + count("net.fetch.failed"),
+            40
+        );
+        // Every attempt resolved to exactly one outcome class.
+        assert_eq!(
+            count("net.fetch.outcome.clean")
+                + count("net.fetch.outcome.request_lost")
+                + count("net.fetch.outcome.reset")
+                + count("net.fetch.outcome.stuck"),
+            count("net.fetch.attempts")
+        );
+        // Watchdog fires on losses and wedges only.
+        assert_eq!(
+            count("net.watchdog.fires"),
+            count("net.fetch.outcome.request_lost") + count("net.fetch.outcome.stuck")
+        );
+        assert_eq!(snap.histograms["net.fetch_duration_secs"].count, 40);
+        // The event stream carries one record per injected fault.
+        let faults = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind == "fetch_fault")
+            .count() as u64;
+        assert_eq!(
+            faults,
+            count("net.fetch.attempts") - count("net.fetch.outcome.clean")
+        );
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_outcomes() {
+        use pano_telemetry::{RunId, Telemetry};
+        let tr = BandwidthTrace::markov_4g(1e6, 120.0, 23);
+        let plan = FaultPlan::uniform(0.3, 5);
+        let tel = Telemetry::recording(RunId::from_parts("perturb", 5), 5);
+        let mut bare = FaultyConnection::new(tr.clone(), plan.clone(), RetryPolicy::default());
+        let mut instrumented =
+            FaultyConnection::new(tr, plan, RetryPolicy::default()).with_telemetry(&tel);
+        let sizes = [40_000u64, 80_000, 10_000, 0, 120_000, 60_000];
+        assert_eq!(bare.fetch_batch(&sizes), instrumented.fetch_batch(&sizes));
+        assert_eq!(bare.now(), instrumented.now());
+    }
+
+    #[test]
+    fn abandonment_emits_a_deadline_event() {
+        use pano_telemetry::{Json, RunId, Telemetry};
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("abandon", 1), 1);
+        let mut c = FaultyConnection::new(mbps(1.0), FaultPlan::none(), RetryPolicy::default())
+            .with_request_overhead(0.0)
+            .with_telemetry(&tel);
+        let o = c.fetch_with_deadline(125_000, 0.5);
+        assert!(o.abandoned);
+        assert_eq!(tel.snapshot().counters["net.fetch.abandoned"], 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "fetch_abandoned");
+        assert_eq!(
+            events[0].fields.get("bytes").and_then(Json::as_f64),
+            Some(125_000.0)
+        );
     }
 }
 

@@ -13,6 +13,7 @@ use pano_abr::{Manifest, PowerLawTable};
 use pano_geo::Viewport;
 use pano_geo::{Equirect, GridDims, GridRect};
 use pano_jnd::{ActionState, PspnrComputer};
+use pano_telemetry::{Json, Telemetry};
 use pano_tiling::{clustile_tiling, efficiency_scores, group_tiles, uniform_tiling};
 use pano_trace::{ActionEstimator, PopularityPrior, TraceGenerator, ViewpointTrace};
 use pano_video::codec::{EncodedChunk, Encoder};
@@ -35,6 +36,11 @@ pub struct AssetConfig {
     pub history_seed: u64,
     /// Chunk duration, seconds (paper: 1.0).
     pub chunk_secs: f64,
+    /// Telemetry handle for the preparation pipeline: stage spans
+    /// (`prepare_features` … `prepare_lookup`), lookup-table build
+    /// counters and an `asset_prepared` event. Disabled by default and
+    /// purely observational.
+    pub telemetry: Telemetry,
 }
 
 impl Default for AssetConfig {
@@ -47,6 +53,7 @@ impl Default for AssetConfig {
             history_users: 6,
             history_seed: 0x9157,
             chunk_secs: 1.0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -97,19 +104,23 @@ impl PreparedVideo {
         let dims = config.unit_grid;
         let scene = spec.scene();
         let encoder = Encoder::default();
-        let computer = PspnrComputer::default();
+        let tel = &config.telemetry;
+        let computer = PspnrComputer::default().with_telemetry(tel);
         let n_chunks = (scene.duration_secs() / config.chunk_secs).ceil() as usize;
 
         // 1. Feature extraction (the Yolo/tracking/luminance/DoF pass).
         let t0 = std::time::Instant::now();
+        let stage_span = tel.span("prepare_features");
         let extractor = pano_video::FeatureExtractor::new(eq, dims);
         let features: Vec<ChunkFeatures> = (0..n_chunks)
             .map(|k| extractor.extract(&scene, spec.fps, k, config.chunk_secs))
             .collect();
+        drop(stage_span);
         let t_features = t0.elapsed().as_secs_f64();
 
         // 2. History traces -> per-cell averaged actions -> tilings.
         let t0 = std::time::Instant::now();
+        let stage_span = tel.span("prepare_tiling");
         let history = TraceGenerator::default().generate_population(
             &scene,
             config.history_users,
@@ -140,10 +151,12 @@ impl PreparedVideo {
         let uniform = uniform_tiling(dims, config.uniform_grid.0, config.uniform_grid.1);
         let popularity = viewing_popularity(&eq, dims, &history, scene.duration_secs());
         let clustile = clustile_tiling(dims, &popularity, config.clustile_tiles);
+        drop(stage_span);
         let t_tiling = t0.elapsed().as_secs_f64();
 
         // 3. Encoding under each tiling.
         let t0 = std::time::Instant::now();
+        let stage_span = tel.span("prepare_encoding");
         let whole = vec![dims.full_rect()];
         let encode_fixed = |tiling: &[GridRect]| -> Vec<EncodedChunk> {
             (0..n_chunks)
@@ -156,16 +169,20 @@ impl PreparedVideo {
         let uniform_chunks = encode_fixed(&uniform);
         let clustile_chunks = encode_fixed(&clustile);
         let whole_chunks = encode_fixed(&whole);
+        drop(stage_span);
         let t_encoding = t0.elapsed().as_secs_f64();
 
         // 4. Lookup table + manifest over the Pano tiling.
         let t0 = std::time::Instant::now();
+        let stage_span = tel.span("prepare_lookup");
         let pairs: Vec<(ChunkFeatures, Vec<pano_video::codec::EncodedTile>)> = features
             .iter()
             .cloned()
             .zip(pano_chunks.iter().map(|c| c.tiles.clone()))
             .collect();
-        let lookup = LookupBuilder::new(&computer).build_power(&pairs);
+        let lookup = LookupBuilder::new(&computer)
+            .with_telemetry(tel)
+            .build_power(&pairs);
         let tracker = Tracker::default();
         let manifest_chunks = pano_chunks
             .iter()
@@ -209,7 +226,25 @@ impl PreparedVideo {
             chunks: manifest_chunks,
             lookup_table: serde_json::to_vec(&lookup).expect("lookup serialises"),
         };
+        drop(stage_span);
         let t_lookup = t0.elapsed().as_secs_f64();
+
+        if tel.is_enabled() {
+            tel.emit(
+                "asset_prepared",
+                None,
+                Json::obj([
+                    ("video_id", Json::from(spec.id)),
+                    ("n_chunks", Json::from(n_chunks)),
+                    ("pano_tiles", Json::from(config.pano_tiles)),
+                    ("manifest_bytes", Json::from(manifest.serialized_bytes())),
+                    ("t_features_secs", Json::from(t_features)),
+                    ("t_tiling_secs", Json::from(t_tiling)),
+                    ("t_encoding_secs", Json::from(t_encoding)),
+                    ("t_lookup_secs", Json::from(t_lookup)),
+                ]),
+            );
+        }
 
         PreparedVideo {
             spec: spec.clone(),
@@ -419,6 +454,33 @@ mod tests {
         assert_eq!(v.chunks_for(Method::Flare)[0].tiles.len(), 72);
         assert_eq!(v.chunks_for(Method::Pano360JndUniform)[0].tiles.len(), 72);
         assert_eq!(v.chunks_for(Method::WholeVideo)[0].tiles.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_records_preparation_stages() {
+        let tel = Telemetry::recording(pano_telemetry::RunId::from_parts("asset-test", 0), 0);
+        let v = PreparedVideo::prepare(
+            &small_video(),
+            &AssetConfig {
+                history_users: 3,
+                telemetry: tel.clone(),
+                ..AssetConfig::default()
+            },
+        );
+        let snap = tel.snapshot();
+        for s in [
+            "span.prepare_features",
+            "span.prepare_tiling",
+            "span.prepare_encoding",
+            "span.prepare_lookup",
+        ] {
+            assert_eq!(snap.histograms[s].count, 1, "stage {s}");
+        }
+        // The lookup build reported its entry count: chunks × tiles × levels.
+        assert_eq!(
+            snap.counters["abr.lookup.power.entries"],
+            (v.n_chunks() * v.config().pano_tiles * 5) as u64
+        );
     }
 
     #[test]

@@ -36,12 +36,13 @@
 
 use crate::asset::PreparedVideo;
 use crate::methods::Method;
-use crate::metrics::{ChunkResult, SessionResult};
+use crate::metrics::{BufferSample, ChunkResult, SessionResult};
 use pano_abr::allocate::{allocate_pareto, TileChoice};
 use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController, PlaybackBuffer};
 use pano_geo::Viewport;
 use pano_jnd::{ActionState, PspnrComputer};
 use pano_net::{Connection, FaultPlan, FaultyConnection, RetryPolicy};
+use pano_telemetry::{Counter, Gauge, Histogram, Json, Telemetry};
 use pano_trace::{
     BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, ThroughputPredictor,
     ViewpointTrace,
@@ -119,6 +120,12 @@ pub struct SessionConfig {
     /// default so the calibrated experiment suite keeps its exact
     /// behaviour; the robustness sweeps turn it on.
     pub deadline_abandonment: bool,
+    /// Telemetry handle threaded through the whole session: the delivery
+    /// path, the rate controllers, per-chunk phase spans, byte-class
+    /// counters and `chunk` events all record into it. Disabled by
+    /// default; telemetry only observes — every session is byte-identical
+    /// with it on or off.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SessionConfig {
@@ -134,6 +141,38 @@ impl Default for SessionConfig {
             fault_plan: FaultPlan::none(),
             retry_policy: RetryPolicy::default(),
             deadline_abandonment: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// Cached session-level telemetry handles. All handles are no-ops when
+/// built from disabled telemetry, so the hot loop pays a branch at most.
+#[derive(Debug, Clone, Default)]
+struct SessionMetrics {
+    bytes_visible: Counter,
+    bytes_margin: Counter,
+    bytes_late_fetch: Counter,
+    tiles_degraded: Counter,
+    tiles_lost: Counter,
+    tiles_late_fetched: Counter,
+    buffer_level: Histogram,
+    stall: Histogram,
+    buffer_gauge: Gauge,
+}
+
+impl SessionMetrics {
+    fn new(tel: &Telemetry) -> SessionMetrics {
+        SessionMetrics {
+            bytes_visible: tel.counter("bytes.visible"),
+            bytes_margin: tel.counter("bytes.margin"),
+            bytes_late_fetch: tel.counter("bytes.late_fetch"),
+            tiles_degraded: tel.counter("sim.tiles.degraded"),
+            tiles_lost: tel.counter("sim.tiles.lost"),
+            tiles_late_fetched: tel.counter("sim.tiles.late_fetched"),
+            buffer_level: tel.histogram("sim.buffer_level_secs"),
+            stall: tel.histogram("sim.stall_secs"),
+            buffer_gauge: tel.gauge("sim.buffer_secs"),
         }
     }
 }
@@ -151,11 +190,41 @@ pub fn simulate_session(
     let eq = video.spec.resolution;
     let dims = video.config().unit_grid;
 
+    let tel = &config.telemetry;
+    let sm = SessionMetrics::new(tel);
+    let _session_span = tel.span("session");
+    if tel.is_enabled() {
+        tel.emit(
+            "session_start",
+            Some(0.0),
+            Json::obj([
+                ("method", Json::from(method.to_string())),
+                ("n_chunks", Json::from(chunks.len())),
+                ("chunk_secs", Json::from(chunk_secs)),
+                ("target_buffer_secs", Json::from(config.target_buffer_secs)),
+                (
+                    "rate_controller",
+                    Json::from(match config.rate_controller {
+                        RateController::Mpc => "mpc",
+                        RateController::Bola => "bola",
+                    }),
+                ),
+                ("manifest_only", Json::from(config.manifest_only)),
+                (
+                    "deadline_abandonment",
+                    Json::from(config.deadline_abandonment),
+                ),
+                ("faulty", Json::from(config.fault_plan.is_active())),
+            ]),
+        );
+    }
+
     let mut connection = FaultyConnection::new(
         bandwidth.clone(),
         config.fault_plan.clone(),
         config.retry_policy,
-    );
+    )
+    .with_telemetry(tel);
     let mut buffer = PlaybackBuffer::new(config.buffer_capacity_secs);
     // The per-chunk request overhead is set before each pick_rate from the
     // chunk's actual fetch mask (the tile count MPC must pay requests for
@@ -163,11 +232,13 @@ pub fn simulate_session(
     let mut mpc = MpcController::new(MpcConfig {
         target_buffer_secs: config.target_buffer_secs,
         ..MpcConfig::default()
-    });
+    })
+    .with_telemetry(tel);
     let bola = BolaController::new(BolaConfig {
         buffer_capacity_secs: config.buffer_capacity_secs,
         min_buffer_secs: (config.target_buffer_secs / 2.0).max(0.5),
-    });
+    })
+    .with_telemetry(tel);
     let vp_predictor = LinearViewpointPredictor::default();
     let cross_user = pano_trace::CrossUserPredictor::default();
     let speed_estimator = ConservativeSpeedEstimator::default();
@@ -178,6 +249,7 @@ pub fn simulate_session(
     let action_estimator = pano_trace::ActionEstimator::new(eq);
 
     let mut results = Vec::with_capacity(chunks.len());
+    let mut trajectory = Vec::with_capacity(chunks.len());
     let mut startup_secs = 0.0;
     let mut late_stall_total = 0.0;
 
@@ -189,53 +261,83 @@ pub fn simulate_session(
         let horizon = (buffer.level_secs() + chunk_secs / 2.0).max(config.min_horizon_secs);
 
         // 1. Predictions.
-        let predicted_vp = if config.cross_user_prediction {
-            cross_user.predict(user_trace, &video.popularity_prior, now, horizon)
-        } else {
-            vp_predictor.predict(user_trace, now, horizon)
+        let (predicted_vp, predicted_bps) = {
+            let _span = tel.span("predict");
+            let vp = if config.cross_user_prediction {
+                cross_user.predict(user_trace, &video.popularity_prior, now, horizon)
+            } else {
+                vp_predictor.predict(user_trace, now, horizon)
+            };
+            (vp, tp_predictor.predict(bandwidth, now))
         };
-        let predicted_bps = tp_predictor.predict(bandwidth, now);
 
-        // 2. Which tiles to fetch: skip tiles predicted fully invisible.
-        let fetched = fetch_mask(video, method, encoded, &predicted_vp, PREDICTION_MARGIN_DEG);
-
-        // 3. Chunk budget via MPC over the fetched tiles' ladder.
-        let ladder: Vec<u64> = QualityLevel::all()
-            .map(|l| {
-                encoded
-                    .tiles
-                    .iter()
-                    .zip(&fetched)
-                    .filter(|&(_, &f)| f)
-                    .map(|(t, _)| t.size(l))
-                    .sum()
-            })
-            .collect();
-        let n_fetched = fetched.iter().filter(|&&f| f).count();
-        mpc.set_chunk_overhead(n_fetched as f64 * Connection::DEFAULT_OVERHEAD_SECS);
-        let rate_idx = match config.rate_controller {
-            RateController::Mpc => {
-                mpc.pick_rate(&ladder, buffer.level_secs(), predicted_bps, chunk_secs)
-            }
-            RateController::Bola => bola.pick_rate(&ladder, buffer.level_secs(), chunk_secs),
+        // 2–3. Which tiles to fetch, then the chunk budget via MPC over
+        // the fetched tiles' ladder.
+        let (fetched, budget) = {
+            let _span = tel.span("rate_control");
+            let fetched = fetch_mask(video, method, encoded, &predicted_vp, PREDICTION_MARGIN_DEG);
+            let ladder: Vec<u64> = QualityLevel::all()
+                .map(|l| {
+                    encoded
+                        .tiles
+                        .iter()
+                        .zip(&fetched)
+                        .filter(|&(_, &f)| f)
+                        .map(|(t, _)| t.size(l))
+                        .sum()
+                })
+                .collect();
+            let n_fetched = fetched.iter().filter(|&&f| f).count();
+            mpc.set_chunk_overhead(n_fetched as f64 * Connection::DEFAULT_OVERHEAD_SECS);
+            let rate_idx = match config.rate_controller {
+                RateController::Mpc => {
+                    mpc.pick_rate(&ladder, buffer.level_secs(), predicted_bps, chunk_secs)
+                }
+                RateController::Bola => bola.pick_rate(&ladder, buffer.level_secs(), chunk_secs),
+            };
+            (fetched, ladder[rate_idx])
         };
-        let budget = ladder[rate_idx];
 
         // 4. Tile-level allocation among the fetched tiles.
-        let levels = allocate_tiles(
-            video,
-            method,
-            encoded,
-            &fetched,
-            k,
-            budget,
-            &predicted_vp,
-            user_trace,
-            now,
-            &speed_estimator,
-            &action_estimator,
-            config.manifest_only,
-        );
+        let levels = {
+            let _span = tel.span("allocate");
+            allocate_tiles(
+                video,
+                method,
+                encoded,
+                &fetched,
+                k,
+                budget,
+                &predicted_vp,
+                user_trace,
+                now,
+                &speed_estimator,
+                &action_estimator,
+                config.manifest_only,
+            )
+        };
+
+        // Per-tile minimum great-circle distance to the predicted
+        // viewpoint — the byte-class split (visible vs margin ring) the
+        // telemetry reports. Only computed when telemetry is on.
+        let tile_min_dists: Vec<f64> = if tel.is_enabled() {
+            encoded
+                .tiles
+                .iter()
+                .map(|tile| {
+                    tile.rect
+                        .cells()
+                        .map(|cell| {
+                            predicted_vp
+                                .great_circle_distance(&eq.cell_center(dims, cell))
+                                .value()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // 5. Fetch over the (possibly faulty) connection; the buffer
         // drains while downloading. With deadline abandonment on, a fetch
@@ -257,6 +359,7 @@ pub fn simulate_session(
         let mut wasted: u64 = 0;
         let mut degraded: u32 = 0;
         let mut lost: u32 = 0;
+        let fetch_span = tel.span("fetch");
         for (tile_idx, tile) in encoded.tiles.iter().enumerate() {
             let Some(mut level) = levels[tile_idx] else {
                 continue;
@@ -267,6 +370,13 @@ pub fn simulate_session(
                 wasted += outcome.wasted_bytes;
                 if outcome.delivered {
                     chunk_bytes += outcome.result.bytes;
+                    if tel.is_enabled() {
+                        if tile_min_dists[tile_idx] <= VISIBLE_LIMIT_DEG {
+                            sm.bytes_visible.add(outcome.result.bytes);
+                        } else {
+                            sm.bytes_margin.add(outcome.result.bytes);
+                        }
+                    }
                     levels[tile_idx] = Some(level);
                     break;
                 }
@@ -287,6 +397,7 @@ pub fn simulate_session(
                             // re-request rather than show blank content.
                             level = QualityLevel::LOWEST;
                             degraded += 1;
+                            sm.tiles_degraded.inc();
                             continue;
                         }
                     }
@@ -295,9 +406,11 @@ pub fn simulate_session(
                 // exhausted: the tile is lost for this chunk.
                 levels[tile_idx] = None;
                 lost += 1;
+                sm.tiles_lost.inc();
                 break;
             }
         }
+        drop(fetch_span);
         let finish = connection.now();
         let dl_time = finish - now;
         let stall = if k == 0 {
@@ -329,6 +442,7 @@ pub fn simulate_session(
         let actual_viewport = Viewport::hmd(user_trace.viewpoint_at(playback_t + chunk_secs / 2.0));
         let mut late_bytes: u64 = 0;
         let mut late_stall = 0.0;
+        let late_span = tel.span("late_fetch");
         for (tile, level) in encoded.tiles.iter().zip(&mut levels) {
             if level.is_some() {
                 continue;
@@ -343,6 +457,8 @@ pub fn simulate_session(
             if visible {
                 let bytes = tile.size(QualityLevel::LOWEST);
                 late_bytes += bytes;
+                sm.bytes_late_fetch.add(bytes);
+                sm.tiles_late_fetched.inc();
                 let dt = bandwidth.transfer_time(playback_t, bytes as f64);
                 late_stall += if dt.is_finite() {
                     dt
@@ -352,8 +468,10 @@ pub fn simulate_session(
                 *level = Some(QualityLevel::LOWEST);
             }
         }
+        drop(late_span);
 
         // 7. Score the chunk as played, under the actual trajectory.
+        let score_span = tel.span("score");
         let true_actions = action_estimator.chunk_actions(
             &video.scene,
             user_trace,
@@ -370,13 +488,40 @@ pub fn simulate_session(
             &eq,
             dims,
         );
+        drop(score_span);
+
+        let buffer_after = buffer.level_secs();
+        sm.buffer_gauge.set(buffer_after);
+        sm.buffer_level.record(buffer_after);
+        sm.stall.record(stall + late_stall);
+        trajectory.push(BufferSample {
+            t_secs: connection.now(),
+            buffer_secs: buffer_after,
+        });
+        if tel.is_enabled() {
+            tel.emit(
+                "chunk",
+                Some(connection.now()),
+                Json::obj([
+                    ("chunk_idx", Json::from(k)),
+                    ("pspnr_db", Json::from(pspnr)),
+                    ("bytes", Json::from(chunk_bytes + late_bytes)),
+                    ("stall_secs", Json::from(stall + late_stall)),
+                    ("buffer_secs", Json::from(buffer_after)),
+                    ("retries", Json::from(retries)),
+                    ("abandoned", Json::from(abandoned)),
+                    ("degraded_tiles", Json::from(degraded)),
+                    ("lost_tiles", Json::from(lost)),
+                ]),
+            );
+        }
 
         results.push(ChunkResult {
             chunk_idx: k,
             pspnr_db: pspnr,
             bytes: chunk_bytes + late_bytes,
             stall_secs: stall + late_stall,
-            buffer_after_secs: buffer.level_secs(),
+            buffer_after_secs: buffer_after,
             retries,
             abandoned,
             wasted_bytes: wasted,
@@ -390,12 +535,31 @@ pub fn simulate_session(
     let remaining = buffer.level_secs();
     buffer.play(remaining);
 
-    SessionResult {
+    let result = SessionResult {
         chunks: results,
         startup_secs,
         total_stall_secs: buffer.stall_secs() + late_stall_total,
         total_played_secs: buffer.played_secs(),
+        buffer_trajectory: trajectory,
+    };
+    if tel.is_enabled() {
+        tel.emit(
+            "session_end",
+            Some(connection.now()),
+            Json::obj([
+                ("mean_pspnr_db", Json::from(result.mean_pspnr())),
+                ("total_bytes", Json::from(result.total_bytes())),
+                ("startup_secs", Json::from(result.startup_secs)),
+                ("total_stall_secs", Json::from(result.total_stall_secs)),
+                ("total_played_secs", Json::from(result.total_played_secs)),
+                (
+                    "buffering_ratio_pct",
+                    Json::from(result.buffering_ratio_pct()),
+                ),
+            ]),
+        );
     }
+    result
 }
 
 /// Which tiles to fetch: a tile is skipped when *every* cell is farther
@@ -1235,6 +1399,112 @@ mod failure_injection_tests {
             },
         );
         assert_eq!(other.chunks.len(), a.chunks.len());
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    //! Telemetry only observes: an instrumented session must be
+    //! byte-identical to the plain one, while the registry fills with the
+    //! span timings, byte classes and per-chunk events of the run.
+
+    use super::*;
+    use crate::asset::AssetConfig;
+    use pano_telemetry::RunId;
+    use pano_trace::TraceGenerator;
+    use pano_video::{Genre, VideoSpec};
+
+    fn fixture() -> (PreparedVideo, ViewpointTrace, BandwidthTrace) {
+        let spec = VideoSpec::generate(5, Genre::Sports, 8.0, 3);
+        let video = PreparedVideo::prepare(
+            &spec,
+            &AssetConfig {
+                history_users: 3,
+                ..AssetConfig::default()
+            },
+        );
+        let trace = TraceGenerator::default().generate(&video.scene, 17);
+        let bw = BandwidthTrace::lte_high(20.0, 5);
+        (video, trace, bw)
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_session() {
+        let (video, trace, bw) = fixture();
+        let plain = simulate_session(&video, Method::Pano, &trace, &bw, &SessionConfig::default());
+        let tel = Telemetry::recording(RunId::from_parts("session-test", 17), 17);
+        let instrumented = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                telemetry: tel.clone(),
+                ..SessionConfig::default()
+            },
+        );
+        assert_eq!(plain, instrumented);
+
+        let snap = tel.snapshot();
+        // One span per chunk for each phase, one session span.
+        let n = plain.chunks.len() as u64;
+        for phase in [
+            "span.session/predict",
+            "span.session/rate_control",
+            "span.session/allocate",
+            "span.session/fetch",
+            "span.session/late_fetch",
+            "span.session/score",
+        ] {
+            assert_eq!(snap.histograms[phase].count, n, "phase {phase}");
+        }
+        assert_eq!(snap.histograms["span.session"].count, 1);
+        // Every delivered byte lands in exactly one class.
+        let classed = snap.counters["bytes.visible"]
+            + snap.counters["bytes.margin"]
+            + snap.counters.get("bytes.late_fetch").copied().unwrap_or(0);
+        assert_eq!(classed, plain.total_bytes(), "byte classes partition");
+        // The rate controller decided once per chunk.
+        assert_eq!(snap.counters["abr.mpc.decisions"], n);
+        // Buffer trajectory surfaced both as a result field and a gauge.
+        assert_eq!(plain.buffer_trajectory.len(), plain.chunks.len());
+        assert_eq!(
+            snap.gauges["sim.buffer_secs"],
+            plain.buffer_trajectory.last().unwrap().buffer_secs
+        );
+        assert_eq!(snap.histograms["sim.buffer_level_secs"].count, n);
+    }
+
+    #[test]
+    fn faulty_session_telemetry_matches_result_accounting() {
+        let (video, trace, bw) = fixture();
+        let tel = Telemetry::recording(RunId::from_parts("faulty-session", 3), 3);
+        let r = simulate_session(
+            &video,
+            Method::Pano,
+            &trace,
+            &bw,
+            &SessionConfig {
+                fault_plan: FaultPlan::uniform(0.2, 0xFEED),
+                deadline_abandonment: true,
+                telemetry: tel.clone(),
+                ..SessionConfig::default()
+            },
+        );
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["net.fetch.retries"], r.total_retries());
+        assert_eq!(snap.counters["bytes.wasted"], r.total_wasted_bytes());
+        assert_eq!(
+            snap.counters
+                .get("sim.tiles.degraded")
+                .copied()
+                .unwrap_or(0),
+            r.total_degraded_tiles()
+        );
+        assert_eq!(
+            snap.counters.get("sim.tiles.lost").copied().unwrap_or(0),
+            r.total_lost_tiles()
+        );
     }
 }
 

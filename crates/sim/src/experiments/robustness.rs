@@ -15,6 +15,7 @@ use crate::client::{simulate_session, SessionConfig};
 use crate::methods::Method;
 use crate::metrics::mean;
 use pano_net::{FaultPlan, RetryPolicy};
+use pano_telemetry::{Json, Telemetry};
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{Genre, VideoSpec};
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,10 @@ pub struct RobustnessConfig {
     pub loss_rates: Vec<f64>,
     /// Seed.
     pub seed: u64,
+    /// Telemetry handle; each sweep cell aggregates into a child registry
+    /// (derived run id) that is merged back into this parent after the
+    /// cell completes, so concurrent cells never contend on one registry.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RobustnessConfig {
@@ -39,6 +44,7 @@ impl Default for RobustnessConfig {
             users: 3,
             loss_rates: vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4],
             seed: 0x20B5,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -97,11 +103,14 @@ pub struct RobustnessResult {
 /// Runs the sweep: one sports video, a mid-session outage punched into
 /// the link, and per-user seeded fault plans at each loss rate.
 pub fn run(config: &RobustnessConfig) -> RobustnessResult {
+    let tel = &config.telemetry;
+    let _sweep_span = tel.span("robust_sweep");
     let spec = VideoSpec::generate(3, Genre::Sports, config.video_secs, config.seed);
     let video = PreparedVideo::prepare(
         &spec,
         &AssetConfig {
             history_users: 4,
+            telemetry: tel.clone(),
             ..AssetConfig::default()
         },
     );
@@ -114,10 +123,15 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
     let mut conditions = Vec::new();
     for &loss in &config.loss_rates {
         for (label, policy) in policies() {
-            conditions.push((loss, label, policy));
+            let cell_idx = conditions.len() as u64;
+            conditions.push((cell_idx, loss, label, policy));
         }
     }
-    let rows = crate::experiments::parallel_map(conditions, |(loss, label, policy)| {
+    let cells = crate::experiments::parallel_map(conditions, |(cell_idx, loss, label, policy)| {
+        // Per-cell child registry: sessions inside a cell run sequentially
+        // and share it; concurrent cells each own their registry while
+        // streaming events to the parent's sink under a derived run id.
+        let cell_tel = tel.child(label, cell_idx);
         let runs: Vec<_> = users
             .iter()
             .enumerate()
@@ -126,12 +140,13 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
                     fault_plan: FaultPlan::uniform(loss, config.seed ^ ((u as u64) << 7)),
                     retry_policy: policy,
                     deadline_abandonment: true,
+                    telemetry: cell_tel.clone(),
                     ..SessionConfig::default()
                 };
                 simulate_session(&video, Method::Pano, user, &bw, &cfg)
             })
             .collect();
-        RobustnessRow {
+        let row = RobustnessRow {
             loss_pct: loss * 100.0,
             policy: label.to_string(),
             pspnr_db: mean(&runs.iter().map(|r| r.mean_pspnr()).collect::<Vec<_>>()),
@@ -165,8 +180,32 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
                     .map(|r| r.total_lost_tiles() as f64)
                     .collect::<Vec<_>>(),
             ),
+        };
+        if cell_tel.is_enabled() {
+            cell_tel.emit(
+                "cell_summary",
+                None,
+                Json::obj([
+                    ("loss_pct", Json::from(row.loss_pct)),
+                    ("policy", Json::from(row.policy.as_str())),
+                    ("users", Json::from(users.len())),
+                    ("pspnr_db", Json::from(row.pspnr_db)),
+                    ("buffering_pct", Json::from(row.buffering_pct)),
+                    ("wasted_kb", Json::from(row.wasted_kb)),
+                    ("retries", Json::from(row.retries)),
+                    ("abandoned", Json::from(row.abandoned)),
+                    ("lost_tiles", Json::from(row.lost_tiles)),
+                    ("metrics", cell_tel.snapshot().to_json()),
+                ]),
+            );
         }
+        (row, cell_tel.snapshot())
     });
+    let mut rows = Vec::with_capacity(cells.len());
+    for (row, cell_snapshot) in cells {
+        tel.merge(&cell_snapshot);
+        rows.push(row);
+    }
     RobustnessResult { rows }
 }
 
@@ -202,6 +241,7 @@ mod tests {
             users: 2,
             loss_rates: vec![0.0, 0.2],
             seed: 0xB0B,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -228,6 +268,44 @@ mod tests {
         let txt = render(&r);
         assert!(txt.contains("policy"));
         assert!(txt.lines().count() >= 2 + r.rows.len());
+    }
+
+    #[test]
+    fn telemetry_aggregates_cells_without_changing_rows() {
+        let plain = run(&tiny());
+        let (tel, sink) = Telemetry::in_memory(
+            pano_telemetry::RunId::from_parts("robust-test", 0xB0B),
+            0xB0B,
+        );
+        let instrumented = run(&RobustnessConfig {
+            telemetry: tel.clone(),
+            ..tiny()
+        });
+        // Telemetry observes; the sweep itself is untouched.
+        assert_eq!(plain, instrumented);
+
+        // Every cell merged its child registry back into the parent.
+        let snap = tel.snapshot();
+        assert_eq!(snap.histograms["span.robust_sweep"].count, 1);
+        assert!(snap.counters["net.fetch.requests"] > 0);
+        assert!(snap.counters["abr.mpc.decisions"] > 0);
+        let sessions = (2 * policies().len() * tiny().users) as u64;
+        assert_eq!(snap.histograms["span.session"].count, sessions);
+
+        // One cell_summary event per (loss rate x policy) cell, each
+        // stamped with a run id derived from the parent's.
+        let summaries: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "cell_summary")
+            .collect();
+        assert_eq!(summaries.len(), plain.rows.len());
+        for e in &summaries {
+            assert_ne!(e.run_id, tel.run_id());
+            assert_eq!(e.seed, 0xB0B);
+            assert!(e.fields.get("metrics").is_some());
+            assert!(e.fields.get("policy").and_then(|p| p.as_str()).is_some());
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod metrics;
 pub use asset::{AssetConfig, PreparedVideo};
 pub use client::{simulate_session, RateController, SessionConfig};
 pub use methods::Method;
-pub use metrics::{ChunkResult, SessionResult};
+pub use metrics::{BufferSample, ChunkResult, SessionResult};
 // Delivery-fault configuration, re-exported so session callers can fill
 // `SessionConfig` without depending on `pano-net` directly.
 pub use pano_net::{FaultPlan, RetryPolicy};

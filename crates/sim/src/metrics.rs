@@ -37,6 +37,18 @@ pub struct ChunkResult {
     pub lost_tiles: u32,
 }
 
+/// One sample of the client buffer level, taken right after a chunk was
+/// enqueued. The series doubles as a telemetry gauge trace: replaying it
+/// through a `sim.buffer_secs` gauge reproduces the session's buffer
+/// trajectory from the result record alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferSample {
+    /// Connection clock at the sample, seconds.
+    pub t_secs: f64,
+    /// Buffer level at the sample, seconds of content.
+    pub buffer_secs: f64,
+}
+
 /// QoE of a whole playback session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionResult {
@@ -48,6 +60,8 @@ pub struct SessionResult {
     pub total_stall_secs: f64,
     /// Total played video, seconds.
     pub total_played_secs: f64,
+    /// Buffer level sampled once per chunk, in playback order.
+    pub buffer_trajectory: Vec<BufferSample>,
 }
 
 impl SessionResult {
@@ -110,6 +124,34 @@ impl SessionResult {
     /// Total tiles lost outright across the session.
     pub fn total_lost_tiles(&self) -> u64 {
         self.chunks.iter().map(|c| c.lost_tiles as u64).sum()
+    }
+
+    /// Lowest sampled buffer level across the session, seconds (0 when no
+    /// samples were taken).
+    pub fn min_buffer_secs(&self) -> f64 {
+        let m = self
+            .buffer_trajectory
+            .iter()
+            .map(|s| s.buffer_secs)
+            .fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Replays the buffer trajectory into a telemetry registry as the
+    /// `sim.buffer_secs` gauge plus the `sim.buffer_level_secs` histogram
+    /// — lets a stored result be analysed with the same report tooling as
+    /// a live session.
+    pub fn replay_buffer_trajectory(&self, tel: &pano_telemetry::Telemetry) {
+        let gauge = tel.gauge("sim.buffer_secs");
+        let hist = tel.histogram("sim.buffer_level_secs");
+        for s in &self.buffer_trajectory {
+            gauge.set(s.buffer_secs);
+            hist.record(s.buffer_secs);
+        }
     }
 
     /// Wasted bytes as a share of all bytes on the wire, in percent.
@@ -177,6 +219,16 @@ mod tests {
             startup_secs: 0.8,
             total_stall_secs: 0.5,
             total_played_secs: 2.0,
+            buffer_trajectory: vec![
+                BufferSample {
+                    t_secs: 0.8,
+                    buffer_secs: 1.0,
+                },
+                BufferSample {
+                    t_secs: 2.1,
+                    buffer_secs: 2.0,
+                },
+            ],
         }
     }
 
@@ -210,12 +262,29 @@ mod tests {
             startup_secs: 0.0,
             total_stall_secs: 0.0,
             total_played_secs: 0.0,
+            buffer_trajectory: vec![],
         };
         assert_eq!(s.mean_pspnr(), 0.0);
         assert_eq!(s.buffering_ratio_pct(), 0.0);
         assert_eq!(s.mean_bandwidth_bps(), 0.0);
         assert_eq!(s.total_retries(), 0);
         assert_eq!(s.wasted_byte_pct(), 0.0);
+        assert_eq!(s.min_buffer_secs(), 0.0);
+    }
+
+    #[test]
+    fn buffer_trajectory_replays_into_telemetry() {
+        let s = session();
+        assert_eq!(s.min_buffer_secs(), 1.0);
+        let tel = pano_telemetry::Telemetry::recording(
+            pano_telemetry::RunId::from_parts("metrics-test", 0),
+            0,
+        );
+        s.replay_buffer_trajectory(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauges["sim.buffer_secs"], 2.0);
+        assert_eq!(snap.histograms["sim.buffer_level_secs"].count, 2);
+        assert_eq!(snap.histograms["sim.buffer_level_secs"].min, 1.0);
     }
 
     #[test]

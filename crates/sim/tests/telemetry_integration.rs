@@ -1,0 +1,104 @@
+//! Cross-crate telemetry integration: instrumentation must observe the
+//! streaming stack without perturbing it, whichever sink is attached, and
+//! the JSONL artifact must replay as stamped, parseable events.
+
+use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::{simulate_session, Method, SessionConfig};
+use pano_telemetry::{read_jsonl, RunId, Telemetry};
+use pano_trace::{BandwidthTrace, TraceGenerator};
+use pano_video::{Genre, VideoSpec};
+
+fn run_session(video: &PreparedVideo, tel: Telemetry) -> pano_sim::SessionResult {
+    let trace = TraceGenerator::default().generate(&video.scene, 6);
+    let bw = BandwidthTrace::lte_high(20.0, 9);
+    simulate_session(
+        video,
+        Method::Pano,
+        &trace,
+        &bw,
+        &SessionConfig {
+            telemetry: tel,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+#[test]
+fn zero_fault_session_is_identical_under_every_sink() {
+    let spec = VideoSpec::generate(3, Genre::Sports, 16.0, 21);
+    let video = PreparedVideo::prepare(
+        &spec,
+        &AssetConfig {
+            history_users: 4,
+            ..AssetConfig::default()
+        },
+    );
+    let run_id = RunId::from_parts("itest", 21);
+
+    let plain = run_session(&video, Telemetry::disabled());
+    let noop = Telemetry::recording(run_id, 21);
+    let with_noop = run_session(&video, noop.clone());
+    let path =
+        std::env::temp_dir().join(format!("pano-telemetry-itest-{}.jsonl", std::process::id()));
+    let jsonl = Telemetry::jsonl(run_id, 21, &path).expect("create jsonl sink");
+    let with_jsonl = run_session(&video, jsonl.clone());
+    jsonl.flush();
+
+    // The no-op and JSONL sinks both leave the session untouched —
+    // identical QoE down to the serialised bytes.
+    assert_eq!(plain, with_noop);
+    assert_eq!(plain, with_jsonl);
+    let noop_bytes = serde_json::to_vec(&with_noop).expect("serialise");
+    let jsonl_bytes = serde_json::to_vec(&with_jsonl).expect("serialise");
+    assert_eq!(noop_bytes, jsonl_bytes);
+
+    // Deterministic aggregates (counters, gauges) agree across sinks;
+    // span histograms are wall-clock and so excluded.
+    let noop_snap = noop.snapshot();
+    let jsonl_snap = jsonl.snapshot();
+    assert_eq!(noop_snap.counters, jsonl_snap.counters);
+    assert_eq!(noop_snap.gauges, jsonl_snap.gauges);
+    assert_eq!(
+        noop_snap.counters["net.fetch.delivered"], noop_snap.counters["net.fetch.requests"],
+        "a zero-fault session delivers every request"
+    );
+    assert_eq!(noop_snap.counters["net.fetch.retries"], 0);
+    assert_eq!(noop_snap.counters["net.fetch.abandoned"], 0);
+
+    // The artifact replays: every event stamped with the run id and seed,
+    // with the expected record stream.
+    let events = read_jsonl(&path).expect("read artifact");
+    assert!(!events.is_empty());
+    for e in &events {
+        assert_eq!(e.run_id, run_id);
+        assert_eq!(e.seed, 21);
+    }
+    assert_eq!(
+        events.iter().filter(|e| e.kind == "session_start").count(),
+        1
+    );
+    assert_eq!(
+        events.iter().filter(|e| e.kind == "chunk").count(),
+        plain.chunks.len()
+    );
+    assert_eq!(events.iter().filter(|e| e.kind == "session_end").count(), 1);
+    // Chunk events carry the simulation clock, monotonically.
+    let chunk_times: Vec<f64> = events
+        .iter()
+        .filter(|e| e.kind == "chunk")
+        .map(|e| e.t_secs.expect("chunk events are timestamped"))
+        .collect();
+    assert!(chunk_times.windows(2).all(|w| w[0] <= w[1]));
+
+    // The run report renders the live session's conventional sections.
+    let report = noop.report("integration").render();
+    for needle in [
+        "stage timings",
+        "retry/abandonment funnel",
+        "bytes by class",
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,321 @@
+//! # pano-telemetry — observability substrate for the streaming stack
+//!
+//! Production-scale streaming needs to see *where* time and bytes go —
+//! inside the JND predictor, the quality-allocation lookup table, the MPC
+//! solver and the fault/retry delivery path — without perturbing the
+//! simulation results it observes. This crate provides:
+//!
+//! * a **metrics registry** ([`metrics`]) — counters, gauges and
+//!   log-scaled histograms (p50/p90/p99/max) behind cheap atomic
+//!   handles, mergeable across threads in any order;
+//! * **span timing** ([`span`]) — RAII guards with nestable scopes and
+//!   per-scope wall-time/call-count aggregation;
+//! * pluggable **sinks** ([`sink`]) — no-op (default), in-memory (tests)
+//!   and JSONL (the replayable run artifact);
+//! * a **run report** ([`report`]) — folds one run's telemetry into a
+//!   human-readable table (stage timings, fetch outcome breakdown,
+//!   retry/abandonment funnel, bytes by tile class).
+//!
+//! The entry point is the [`Telemetry`] handle: a cheaply cloneable
+//! capability that the instrumented crates (`pano-net`, `pano-abr`,
+//! `pano-jnd`, `pano-sim`, `pano-bench`) accept and thread through. The
+//! disabled handle ([`Telemetry::disabled`], also the `Default`) reduces
+//! every operation to a branch on an `Option` — no clock reads, no
+//! allocation, no atomics — which is what keeps the hot paths within
+//! their overhead budget (see DESIGN.md §9).
+//!
+//! The crate is dependency-free (std only) so it can sit below every
+//! other crate in the workspace, including in minimal builds; it carries
+//! its own tiny JSON layer ([`json`]) for the event stream.
+//!
+//! ```
+//! use pano_telemetry::{Json, RunId, Telemetry};
+//!
+//! let (tel, sink) = Telemetry::in_memory(RunId::from_parts("demo", 7), 7);
+//! {
+//!     let _session = tel.span("session");
+//!     tel.counter("net.fetch.requests").inc();
+//!     let _fetch = tel.span("fetch");
+//! }
+//! tel.emit("chunk", Some(0.0), Json::obj([("pspnr_db", Json::from(62.0))]));
+//! assert_eq!(sink.events().len(), 1);
+//! let report = tel.report("demo");
+//! assert!(report.render().contains("session/fetch"));
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod runid;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use report::RunReport;
+pub use runid::RunId;
+pub use sink::{read_jsonl, Event, JsonlSink, MemorySink, NoopSink, Sink};
+pub use span::SpanGuard;
+
+use std::path::Path;
+use std::sync::Arc;
+
+struct Inner {
+    registry: Registry,
+    sink: Arc<dyn Sink>,
+    run_id: RunId,
+    seed: u64,
+}
+
+/// The telemetry capability handle.
+///
+/// Cloning is an `Arc` bump; the disabled handle is a `None` and costs a
+/// branch per operation. All methods are safe to call from any thread.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Telemetry(disabled)"),
+            Some(i) => write!(f, "Telemetry(run {}, seed {})", i.run_id, i.seed),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The inert handle: every operation is a no-op. This is the default
+    /// for all instrumented configs, preserving the repo's
+    /// reproducibility contract at zero cost.
+    pub fn disabled() -> Telemetry {
+        Telemetry(None)
+    }
+
+    /// An enabled handle over an explicit sink.
+    pub fn with_sink(run_id: RunId, seed: u64, sink: Arc<dyn Sink>) -> Telemetry {
+        Telemetry(Some(Arc::new(Inner {
+            registry: Registry::new(),
+            sink,
+            run_id,
+            seed,
+        })))
+    }
+
+    /// An enabled handle that aggregates metrics but drops events.
+    pub fn recording(run_id: RunId, seed: u64) -> Telemetry {
+        Telemetry::with_sink(run_id, seed, Arc::new(NoopSink))
+    }
+
+    /// An enabled handle buffering events in memory (tests, reports).
+    pub fn in_memory(run_id: RunId, seed: u64) -> (Telemetry, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (
+            Telemetry::with_sink(run_id, seed, sink.clone() as Arc<dyn Sink>),
+            sink,
+        )
+    }
+
+    /// An enabled handle streaming events to a JSONL file.
+    pub fn jsonl(run_id: RunId, seed: u64, path: impl AsRef<Path>) -> std::io::Result<Telemetry> {
+        let sink = Arc::new(JsonlSink::create(path)?);
+        Ok(Telemetry::with_sink(run_id, seed, sink))
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The run stamp ([`RunId::NONE`] when disabled).
+    pub fn run_id(&self) -> RunId {
+        self.0.as_ref().map_or(RunId::NONE, |i| i.run_id)
+    }
+
+    /// The run seed (0 when disabled).
+    pub fn seed(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.seed)
+    }
+
+    /// A counter handle (no-op when disabled). Cache the handle outside
+    /// hot loops: registration takes a lock, updates do not.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.0
+            .as_ref()
+            .map_or_else(Counter::noop, |i| i.registry.counter(name))
+    }
+
+    /// A gauge handle (no-op when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.0
+            .as_ref()
+            .map_or_else(Gauge::noop, |i| i.registry.gauge(name))
+    }
+
+    /// A histogram handle (no-op when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.0
+            .as_ref()
+            .map_or_else(Histogram::noop, |i| i.registry.histogram(name))
+    }
+
+    /// Opens a timing span; the returned RAII guard records wall time
+    /// into `span.<nested/path>` on drop. Inert (not even a clock read)
+    /// when disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard::noop(),
+            Some(i) => span::enter(&i.registry, name),
+        }
+    }
+
+    /// Emits one structured event to the sink, stamped with the run id
+    /// and seed. `t_secs` is the simulation clock when the emitter has
+    /// one.
+    pub fn emit(&self, kind: &str, t_secs: Option<f64>, fields: Json) {
+        if let Some(i) = &self.0 {
+            i.sink.emit(&Event {
+                run_id: i.run_id,
+                seed: i.seed,
+                t_secs,
+                kind: kind.to_string(),
+                fields,
+            });
+        }
+    }
+
+    /// Copies the registry out as a serialisable snapshot (empty when
+    /// disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.0
+            .as_ref()
+            .map_or_else(Snapshot::default, |i| i.registry.snapshot())
+    }
+
+    /// Folds a snapshot (e.g. a child's or another thread's) into this
+    /// registry.
+    pub fn merge(&self, snap: &Snapshot) {
+        if let Some(i) = &self.0 {
+            i.registry.merge(snap);
+        }
+    }
+
+    /// A child handle: fresh registry, same sink/seed, derived run id.
+    /// Lets concurrent sub-runs (sweep cells, per-user sessions)
+    /// aggregate independently and merge back in any order while
+    /// streaming events to the same artifact.
+    pub fn child(&self, label: &str, index: u64) -> Telemetry {
+        match &self.0 {
+            None => Telemetry::disabled(),
+            Some(i) => Telemetry(Some(Arc::new(Inner {
+                registry: Registry::new(),
+                sink: i.sink.clone(),
+                run_id: i.run_id.child(label, index),
+                seed: i.seed,
+            }))),
+        }
+    }
+
+    /// Builds a run report over the current snapshot.
+    pub fn report(&self, title: impl Into<String>) -> RunReport {
+        RunReport::new(title, self.run_id(), self.seed(), self.snapshot())
+    }
+
+    /// Flushes the sink (JSONL buffers).
+    pub fn flush(&self) {
+        if let Some(i) = &self.0 {
+            i.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_fully_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        assert_eq!(tel.run_id(), RunId::NONE);
+        tel.counter("c").inc();
+        tel.gauge("g").set(1.0);
+        tel.histogram("h").record(1.0);
+        let _span = tel.span("s");
+        tel.emit("e", None, Json::Null);
+        assert!(tel.snapshot().is_empty());
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_handle_aggregates_and_emits() {
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("t", 3), 3);
+        assert!(tel.is_enabled());
+        tel.counter("net.fetch.requests").add(2);
+        {
+            let _outer = tel.span("outer");
+            let _inner = tel.span("inner");
+        }
+        tel.emit("chunk", Some(4.0), Json::obj([("k", Json::from(1u64))]));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["net.fetch.requests"], 2);
+        assert_eq!(snap.histograms["span.outer/inner"].count, 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].run_id, tel.run_id());
+        assert_eq!(events[0].seed, 3);
+        assert_eq!(events[0].t_secs, Some(4.0));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tel = Telemetry::recording(RunId::from_parts("t", 1), 1);
+        let clone = tel.clone();
+        clone.counter("x").inc();
+        tel.counter("x").inc();
+        assert_eq!(tel.snapshot().counters["x"], 2);
+    }
+
+    #[test]
+    fn children_merge_back_in_any_order() {
+        let parent = Telemetry::recording(RunId::from_parts("parent", 9), 9);
+        let a = parent.child("cell", 0);
+        let b = parent.child("cell", 1);
+        assert_ne!(a.run_id(), b.run_id());
+        assert_ne!(a.run_id(), parent.run_id());
+        a.counter("n").add(1);
+        b.counter("n").add(2);
+        // Children are isolated until merged.
+        assert!(parent.snapshot().counters.is_empty());
+        parent.merge(&b.snapshot());
+        parent.merge(&a.snapshot());
+        assert_eq!(parent.snapshot().counters["n"], 3);
+    }
+
+    #[test]
+    fn jsonl_handle_streams_replayable_records() {
+        let path = std::env::temp_dir().join(format!(
+            "pano-telemetry-lib-test-{}.jsonl",
+            std::process::id()
+        ));
+        let tel = Telemetry::jsonl(RunId::from_parts("jsonl", 11), 11, &path).expect("create");
+        tel.emit(
+            "session_start",
+            Some(0.0),
+            Json::obj([("method", Json::from("Pano"))]),
+        );
+        tel.emit(
+            "chunk",
+            Some(1.0),
+            Json::obj([("pspnr_db", Json::from(60.0))]),
+        );
+        tel.flush();
+        let events = read_jsonl(&path).expect("read");
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| e.run_id == tel.run_id() && e.seed == 11));
+        std::fs::remove_file(&path).ok();
+    }
+}

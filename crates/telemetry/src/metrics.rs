@@ -1,0 +1,613 @@
+//! The metrics registry: counters, gauges and log-scaled histograms
+//! behind cheap atomic handles.
+//!
+//! Handles are `Arc`s onto plain atomics, so the hot path pays one
+//! relaxed atomic op per update and zero allocation; registration (the
+//! name → handle lookup) takes a mutex and is meant for setup code.
+//! Registries are mergeable: a [`Snapshot`] is a plain serialisable
+//! value, and folding snapshots into a registry (or into each other) is
+//! commutative and associative — counters add, histogram buckets add,
+//! gauges keep their maximum — so per-thread registries can be combined
+//! in any order.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Buckets per decade of the log-scaled histograms (10^(1/16) ≈ 1.155
+/// relative width — ~8 % worst-case quantile error).
+const BUCKETS_PER_DECADE: usize = 16;
+/// Decades covered: [1e-9, 1e9).
+const DECADES: usize = 18;
+/// Log10 of the smallest finite bucket bound.
+const MIN_EXP: f64 = -9.0;
+/// Regular buckets, plus one underflow (index 0, v ≤ 1e-9 including 0)
+/// and one overflow slot at the end.
+const N_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES + 2;
+
+/// Bucket index for a sample value.
+fn bucket_idx(v: f64) -> usize {
+    if v.is_nan() || v <= 1e-9 {
+        return 0; // underflow: zero, negatives, NaN
+    }
+    let pos = (v.log10() - MIN_EXP) * BUCKETS_PER_DECADE as f64;
+    if pos < 0.0 {
+        0
+    } else {
+        (pos.floor() as usize + 1).min(N_BUCKETS - 1)
+    }
+}
+
+/// Representative value of a bucket (geometric midpoint of its bounds).
+fn bucket_value(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    let lo = MIN_EXP + (idx - 1) as f64 / BUCKETS_PER_DECADE as f64;
+    10f64.powf(lo + 0.5 / BUCKETS_PER_DECADE as f64)
+}
+
+/// A monotone counter handle. The default/no-op handle ignores updates.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that drops every update — the disabled-telemetry path.
+    pub const fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(a) = &self.0 {
+            a.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge handle storing an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that drops every update.
+    pub const fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(a) = &self.0 {
+            a.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |a| f64::from_bits(a.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared state of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits, CAS-accumulated.
+    sum: AtomicU64,
+    /// f64 bits; f64::INFINITY when empty.
+    min: AtomicU64,
+    /// f64 bits; f64::NEG_INFINITY when empty.
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        self.buckets[bucket_idx(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&self.sum, |s| s + v);
+        cas_f64(&self.min, |m| m.min(v));
+        cas_f64(&self.max, |m| m.max(v));
+    }
+
+    fn add_bucket(&self, idx: usize, n: u64) {
+        if idx < N_BUCKETS {
+            self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// CAS loop updating an f64 stored as bits.
+fn cas_f64(slot: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A log-scaled histogram handle (p50/p90/p99/max over ~16 buckets per
+/// decade, range 1e-9..1e9).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A handle that drops every sample.
+    pub const fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Sample count so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Serialisable, mergeable state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (+∞ when empty).
+    pub min: f64,
+    /// Largest sample (−∞ when empty).
+    pub max: f64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the log-scaled buckets,
+    /// clamped to the exact observed `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_value(idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (commutative, associative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *merged.entry(idx).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+
+    /// Serialises to a JSON object (non-finite min/max become `null`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min)),
+            ("max", Json::from(self.max)),
+            ("p50", Json::from(self.quantile(0.5))),
+            ("p90", Json::from(self.quantile(0.9))),
+            ("p99", Json::from(self.quantile(0.99))),
+            (
+                "buckets",
+                Json::arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(i, n)| Json::arr([Json::from(u64::from(i)), Json::from(n)])),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A serialisable point-in-time copy of a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds `other` into `self`: counters add, gauges keep the maximum,
+    /// histograms merge bucket-wise. Commutative and associative, so
+    /// per-thread snapshots can be combined in any order.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            *e = e.max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .and_modify(|mine| mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises to a JSON object — the payload of `*_summary` events in
+    /// the JSONL artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), Json::from(*v))),
+                ),
+            ),
+            (
+                "gauges",
+                Json::obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), Json::from(*v))),
+                ),
+            ),
+            (
+                "histograms",
+                Json::obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.as_str(), h.to_json())),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Named metrics. Registration locks a map; the returned handles are
+/// lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        let a = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(a.clone()))
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        let a = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())));
+        Gauge(Some(a.clone()))
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        let h = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCore::new()));
+        Histogram(Some(h.clone()))
+    }
+
+    /// Copies the current state out as a serialisable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, a)| (k.clone(), a.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, a)| (k.clone(), f64::from_bits(a.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<(u32, u64)> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i as u32, n))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: f64::from_bits(h.sum.load(Ordering::Relaxed)),
+                        min: f64::from_bits(h.min.load(Ordering::Relaxed)),
+                        max: f64::from_bits(h.max.load(Ordering::Relaxed)),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Folds a snapshot into the live registry, with the same semantics
+    /// as [`Snapshot::merge`].
+    pub fn merge(&self, snap: &Snapshot) {
+        for (k, v) in &snap.counters {
+            self.counter(k).add(*v);
+        }
+        for (k, v) in &snap.gauges {
+            let g = self.gauge(k);
+            g.set(g.get().max(*v));
+        }
+        for (k, h) in &snap.histograms {
+            let live = self.histogram(k);
+            let core = live.0.as_ref().expect("registry handle is live");
+            for &(idx, n) in &h.buckets {
+                core.add_bucket(idx as usize, n);
+            }
+            core.count.fetch_add(h.count, Ordering::Relaxed);
+            cas_f64(&core.sum, |s| s + h.sum);
+            cas_f64(&core.min, |m| m.min(h.min));
+            cas_f64(&core.max, |m| m.max(h.max));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.inc();
+        c.add(4);
+        // The same name returns the same underlying atomic.
+        assert_eq!(r.counter("a").get(), 5);
+        let g = r.gauge("b");
+        g.set(2.5);
+        assert_eq!(r.gauge("b").get(), 2.5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.gauges["b"], 2.5);
+    }
+
+    #[test]
+    fn noop_handles_drop_everything() {
+        let c = Counter::noop();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(3.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::noop();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scaled_and_monotone() {
+        // Indices grow with the value, one decade spans BUCKETS_PER_DECADE.
+        assert_eq!(bucket_idx(0.0), 0);
+        assert_eq!(bucket_idx(-1.0), 0);
+        assert_eq!(bucket_idx(f64::NAN), 0);
+        let i1 = bucket_idx(1.0);
+        let i10 = bucket_idx(10.0);
+        assert_eq!(i10 - i1, BUCKETS_PER_DECADE);
+        let mut last = 0;
+        for e in -8..8 {
+            let idx = bucket_idx(10f64.powi(e));
+            assert!(idx > last, "10^{e}");
+            last = idx;
+        }
+        // Overflow clamps.
+        assert_eq!(bucket_idx(1e300), N_BUCKETS - 1);
+        // Representative value sits inside the bucket.
+        for v in [1e-6, 0.003, 0.5, 1.0, 7.0, 1234.0] {
+            let rep = bucket_value(bucket_idx(v));
+            assert!(rep / v < 1.2 && v / rep < 1.2, "rep {rep} too far from {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_sample_set() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 .. 1.0
+        }
+        let s = &r.snapshot().histograms["lat"];
+        assert_eq!(s.count, 1000);
+        assert!((s.mean() - 0.5005).abs() < 1e-9);
+        assert!(
+            (s.quantile(0.5) - 0.5).abs() < 0.1,
+            "p50 {}",
+            s.quantile(0.5)
+        );
+        assert!(
+            (s.quantile(0.9) - 0.9).abs() < 0.15,
+            "p90 {}",
+            s.quantile(0.9)
+        );
+        assert!(s.quantile(1.0) <= s.max + 1e-12);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.min, 0.001);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let all = Registry::new();
+        for i in 0..100 {
+            let v = (i as f64 + 1.0) * 0.01;
+            if i % 2 == 0 {
+                a.histogram("h").record(v);
+            } else {
+                b.histogram("h").record(v);
+            }
+            all.histogram("h").record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        let expect = all.snapshot();
+        assert_eq!(sa.histograms["h"], expect.histograms["h"]);
+        // And folding into a live registry agrees too.
+        let live = Registry::new();
+        live.merge(&a.snapshot());
+        live.merge(&b.snapshot());
+        assert_eq!(live.snapshot().histograms["h"], expect.histograms["h"]);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let a = Registry::new();
+        a.counter("c").add(3);
+        a.gauge("g").set(1.0);
+        a.histogram("h").record(0.5);
+        let b = Registry::new();
+        b.counter("c").add(4);
+        b.counter("only_b").inc();
+        b.gauge("g").set(2.0);
+        b.histogram("h").record(5.0);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters["c"], 7);
+        assert_eq!(ab.gauges["g"], 2.0);
+        assert_eq!(ab.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![],
+        };
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(0.5);
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json.get("counters")
+                .unwrap()
+                .get("c")
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            json.get("gauges").unwrap().get("g").and_then(Json::as_f64),
+            Some(1.5)
+        );
+        let h = json.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(h.get("min").and_then(Json::as_f64), Some(0.5));
+        // The rendered text is valid JSON (empty-histogram ±∞ would not be).
+        assert!(Json::parse(&json.to_string()).is_some());
+    }
+}

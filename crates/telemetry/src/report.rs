@@ -1,0 +1,390 @@
+//! Run reports: fold a registry snapshot into a human-readable summary.
+//!
+//! The report is layout-driven, not schema-driven: whatever spans and
+//! metrics the run recorded are rendered, with dedicated sections for the
+//! conventional metric families the streaming stack emits —
+//!
+//! * `span.*` histograms → the stage-timing table;
+//! * `net.fetch.*` counters → the fetch-outcome breakdown and the
+//!   retry/abandonment funnel;
+//! * `bytes.*` counters → bytes by tile class;
+//! * `sim.buffer_level_secs` / `sim.stall_secs` histograms → the
+//!   stall-attribution section.
+//!
+//! Anything else lands in a generic "other metrics" tail, so ad-hoc
+//! instrumentation shows up without touching this file.
+
+use crate::metrics::Snapshot;
+use crate::runid::RunId;
+use crate::span::SPAN_PREFIX;
+
+/// A rendered run report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    title: String,
+    run_id: RunId,
+    seed: u64,
+    snapshot: Snapshot,
+}
+
+/// Formats a duration in adaptive units.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1}KB", b / 1e3)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+impl RunReport {
+    /// Builds a report over a snapshot.
+    pub fn new(title: impl Into<String>, run_id: RunId, seed: u64, snapshot: Snapshot) -> Self {
+        RunReport {
+            title: title.into(),
+            run_id,
+            seed,
+            snapshot,
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run report: {} (run {:>16}, seed {})\n",
+            self.title, self.run_id, self.seed
+        ));
+
+        self.render_stage_timings(&mut out);
+        self.render_fetch_outcomes(&mut out);
+        self.render_funnel(&mut out);
+        self.render_bytes(&mut out);
+        self.render_buffer(&mut out);
+        self.render_other(&mut out);
+        out
+    }
+
+    /// Stage timings from `span.*` histograms, heaviest first.
+    fn render_stage_timings(&self, out: &mut String) {
+        let mut spans: Vec<(&String, &crate::metrics::HistogramSnapshot)> = self
+            .snapshot
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with(SPAN_PREFIX))
+            .collect();
+        if spans.is_empty() {
+            return;
+        }
+        spans.sort_by(|a, b| {
+            b.1.sum
+                .partial_cmp(&a.1.sum)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let width = spans
+            .iter()
+            .map(|(k, _)| k.len() - SPAN_PREFIX.len())
+            .max()
+            .unwrap_or(8)
+            .max(5);
+        out.push_str("\nstage timings\n");
+        out.push_str(&format!(
+            "  {:<width$} | {:>8} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+            "stage", "calls", "total", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in spans {
+            out.push_str(&format!(
+                "  {:<width$} | {:>8} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+                &name[SPAN_PREFIX.len()..],
+                h.count,
+                fmt_secs(h.sum),
+                fmt_secs(h.quantile(0.5)),
+                fmt_secs(h.quantile(0.9)),
+                fmt_secs(h.quantile(0.99)),
+                fmt_secs(h.max.max(0.0)),
+            ));
+        }
+    }
+
+    /// Per-attempt outcome breakdown from `net.fetch.outcome.*`.
+    fn render_fetch_outcomes(&self, out: &mut String) {
+        let attempts = self.counter("net.fetch.attempts");
+        if attempts == 0 {
+            return;
+        }
+        out.push_str("\nfetch outcomes (per attempt)\n");
+        for (label, key) in [
+            ("clean", "net.fetch.outcome.clean"),
+            ("request lost", "net.fetch.outcome.request_lost"),
+            ("reset", "net.fetch.outcome.reset"),
+            ("stuck", "net.fetch.outcome.stuck"),
+        ] {
+            let n = self.counter(key);
+            if n > 0 || key.ends_with("clean") {
+                out.push_str(&format!(
+                    "  {:<14} {:>9}  ({:.1}%)\n",
+                    label,
+                    n,
+                    100.0 * n as f64 / attempts as f64
+                ));
+            }
+        }
+        let watchdog = self.counter("net.watchdog.fires");
+        let backoffs = self.counter("net.backoff.waits");
+        if watchdog + backoffs > 0 {
+            let backoff_secs = self
+                .snapshot
+                .histograms
+                .get("net.backoff_secs")
+                .map(|h| h.sum)
+                .unwrap_or(0.0);
+            out.push_str(&format!(
+                "  watchdog fires {watchdog}, backoff waits {backoffs} ({} total)\n",
+                fmt_secs(backoff_secs)
+            ));
+        }
+    }
+
+    /// The retry/abandonment funnel: requests → attempts → resolution.
+    fn render_funnel(&self, out: &mut String) {
+        let requests = self.counter("net.fetch.requests");
+        if requests == 0 {
+            return;
+        }
+        let pct = |n: u64| 100.0 * n as f64 / requests as f64;
+        out.push_str("\nretry/abandonment funnel\n");
+        out.push_str(&format!("  requests       {requests:>9}\n"));
+        out.push_str(&format!(
+            "  ├ attempts     {:>9}  (retries {})\n",
+            self.counter("net.fetch.attempts"),
+            self.counter("net.fetch.retries")
+        ));
+        out.push_str(&format!(
+            "  ├ delivered    {:>9}  ({:.1}%)\n",
+            self.counter("net.fetch.delivered"),
+            pct(self.counter("net.fetch.delivered"))
+        ));
+        out.push_str(&format!(
+            "  ├ abandoned    {:>9}  ({:.1}%)\n",
+            self.counter("net.fetch.abandoned"),
+            pct(self.counter("net.fetch.abandoned"))
+        ));
+        out.push_str(&format!(
+            "  └ exhausted    {:>9}  ({:.1}%)\n",
+            self.counter("net.fetch.failed"),
+            pct(self.counter("net.fetch.failed"))
+        ));
+        let degraded = self.counter("sim.tiles.degraded");
+        let lost = self.counter("sim.tiles.lost");
+        let late = self.counter("sim.tiles.late_fetched");
+        if degraded + lost + late > 0 {
+            out.push_str(&format!(
+                "  tiles: degraded {degraded}, lost {lost}, late-fetched {late}\n"
+            ));
+        }
+    }
+
+    /// Bytes by class from `bytes.*` counters.
+    fn render_bytes(&self, out: &mut String) {
+        let classes: Vec<(&String, &u64)> = self
+            .snapshot
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("bytes."))
+            .collect();
+        if classes.is_empty() {
+            return;
+        }
+        let total: u64 = classes.iter().map(|(_, &v)| v).sum();
+        out.push_str("\nbytes by class\n");
+        for (name, &v) in &classes {
+            out.push_str(&format!(
+                "  {:<18} {:>10}  ({:.1}%)\n",
+                &name["bytes.".len()..],
+                fmt_bytes(v),
+                if total > 0 {
+                    100.0 * v as f64 / total as f64
+                } else {
+                    0.0
+                }
+            ));
+        }
+        out.push_str(&format!("  {:<18} {:>10}\n", "total", fmt_bytes(total)));
+    }
+
+    /// Buffer trajectory and stall attribution.
+    fn render_buffer(&self, out: &mut String) {
+        let buffer = self.snapshot.histograms.get("sim.buffer_level_secs");
+        let stalls = self.snapshot.histograms.get("sim.stall_secs");
+        if buffer.is_none() && stalls.is_none() {
+            return;
+        }
+        out.push_str("\nbuffer & stalls\n");
+        if let Some(h) = buffer {
+            out.push_str(&format!(
+                "  buffer level: min {} / p50 {} / max {} over {} samples\n",
+                fmt_secs(h.min.max(0.0)),
+                fmt_secs(h.quantile(0.5)),
+                fmt_secs(h.max.max(0.0)),
+                h.count
+            ));
+        }
+        if let Some(h) = stalls {
+            let stalled: u64 = h
+                .buckets
+                .iter()
+                .filter(|&&(idx, _)| idx > 0)
+                .map(|&(_, n)| n)
+                .sum();
+            out.push_str(&format!(
+                "  stalls: {} of {} chunks stalled, total {} (worst {})\n",
+                stalled,
+                h.count,
+                fmt_secs(h.sum),
+                fmt_secs(h.max.max(0.0))
+            ));
+        }
+    }
+
+    /// Everything not covered by a dedicated section.
+    fn render_other(&self, out: &mut String) {
+        let covered = |k: &str| {
+            k.starts_with("net.fetch.")
+                || k.starts_with("bytes.")
+                || k == "net.watchdog.fires"
+                || k == "net.backoff.waits"
+                || k.starts_with("sim.tiles.")
+        };
+        let rest: Vec<(&String, &u64)> = self
+            .snapshot
+            .counters
+            .iter()
+            .filter(|(k, _)| !covered(k))
+            .collect();
+        let hist_covered = |k: &str| {
+            k.starts_with(SPAN_PREFIX)
+                || k == "net.backoff_secs"
+                || k == "sim.buffer_level_secs"
+                || k == "sim.stall_secs"
+        };
+        let rest_hists: Vec<(&String, &crate::metrics::HistogramSnapshot)> = self
+            .snapshot
+            .histograms
+            .iter()
+            .filter(|(k, _)| !hist_covered(k))
+            .collect();
+        if rest.is_empty() && self.snapshot.gauges.is_empty() && rest_hists.is_empty() {
+            return;
+        }
+        out.push_str("\nother metrics\n");
+        for (k, v) in rest {
+            out.push_str(&format!("  {k:<32} {v}\n"));
+        }
+        for (k, v) in &self.snapshot.gauges {
+            out.push_str(&format!("  {k:<32} {v:.3}\n"));
+        }
+        for (k, h) in rest_hists {
+            out.push_str(&format!(
+                "  {k:<32} n={} mean={:.4} p50={:.4} max={:.4}\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.max.max(0.0)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_renders_every_section() {
+        let r = Registry::new();
+        r.histogram("span.session/fetch").record(0.01);
+        r.histogram("span.session/score").record(0.002);
+        r.counter("net.fetch.requests").add(100);
+        r.counter("net.fetch.attempts").add(120);
+        r.counter("net.fetch.retries").add(20);
+        r.counter("net.fetch.delivered").add(95);
+        r.counter("net.fetch.abandoned").add(3);
+        r.counter("net.fetch.failed").add(2);
+        r.counter("net.fetch.outcome.clean").add(95);
+        r.counter("net.fetch.outcome.request_lost").add(15);
+        r.counter("net.fetch.outcome.reset").add(10);
+        r.counter("net.watchdog.fires").add(15);
+        r.counter("net.backoff.waits").add(20);
+        r.histogram("net.backoff_secs").record(0.05);
+        r.counter("bytes.visible").add(2_000_000);
+        r.counter("bytes.wasted").add(100_000);
+        r.counter("sim.tiles.degraded").add(4);
+        r.counter("sim.tiles.lost").add(1);
+        r.histogram("sim.buffer_level_secs").record(2.0);
+        r.histogram("sim.stall_secs").record(0.0);
+        r.histogram("sim.stall_secs").record(0.7);
+        r.gauge("sim.buffer_secs").set(1.8);
+        r.counter("abr.mpc.decisions").add(24);
+        r.histogram("net.fetch_duration_secs").record(0.2);
+
+        let report = RunReport::new("test", RunId::from_parts("t", 1), 1, r.snapshot());
+        let text = report.render();
+        for needle in [
+            "stage timings",
+            "session/fetch",
+            "fetch outcomes",
+            "request lost",
+            "retry/abandonment funnel",
+            "delivered",
+            "bytes by class",
+            "wasted",
+            "buffer & stalls",
+            "1 of 2 chunks stalled",
+            "other metrics",
+            "abr.mpc.decisions",
+            "net.fetch_duration_secs",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let report = RunReport::new("empty", RunId::NONE, 0, Snapshot::default());
+        let text = report.render();
+        assert!(text.starts_with("run report: empty"));
+        assert!(!text.contains("stage timings"));
+        assert!(!text.contains("funnel"));
+    }
+
+    #[test]
+    fn formatting_helpers_pick_sane_units() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0035), "3.50ms");
+        assert_eq!(fmt_secs(2e-5), "20.0us");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2_048), "2.0KB");
+        assert_eq!(fmt_bytes(3_500_000), "3.50MB");
+        assert_eq!(fmt_bytes(7_200_000_000), "7.20GB");
+    }
+}

@@ -1,0 +1,222 @@
+//! Event sinks: where structured telemetry records go.
+//!
+//! The registry handles aggregate; events carry the *stream* — one
+//! JSON-able record per interesting occurrence (session start, chunk
+//! played, fetch fault, experiment finished). Three sinks cover the
+//! deployment spectrum:
+//!
+//! * [`NoopSink`] — the default: events vanish, aggregation still works.
+//! * [`MemorySink`] — buffers events for tests and in-process reports.
+//! * [`JsonlSink`] — streams one JSON object per line to a file, the
+//!   replayable run artifact under `results/telemetry/`.
+
+use crate::json::Json;
+use crate::runid::RunId;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Run stamp — every record of one run carries the same id, so a
+    /// JSONL artifact is self-describing.
+    pub run_id: RunId,
+    /// The seed the run was launched with (replay key).
+    pub seed: u64,
+    /// Simulation-clock timestamp, when the emitter has one.
+    pub t_secs: Option<f64>,
+    /// Record kind, e.g. `session_start`, `chunk`, `fetch_fault`.
+    pub kind: String,
+    /// Kind-specific payload.
+    pub fields: Json,
+}
+
+impl Event {
+    /// Serialises to one compact JSON object (a JSONL line).
+    pub fn to_json_line(&self) -> String {
+        let mut pairs = vec![
+            ("run_id", Json::from(self.run_id.to_string())),
+            ("seed", Json::from(self.seed)),
+            ("kind", Json::from(self.kind.as_str())),
+            ("fields", self.fields.clone()),
+        ];
+        if let Some(t) = self.t_secs {
+            pairs.push(("t_secs", Json::from(t)));
+        }
+        Json::obj(pairs).to_string()
+    }
+
+    /// Parses one JSONL line back into an event.
+    pub fn from_json_line(line: &str) -> Option<Event> {
+        let v = Json::parse(line)?;
+        Some(Event {
+            run_id: RunId::parse(v.get("run_id")?.as_str()?)?,
+            seed: v.get("seed")?.as_f64()? as u64,
+            t_secs: v.get("t_secs").and_then(Json::as_f64),
+            kind: v.get("kind")?.as_str()?.to_string(),
+            fields: v.get("fields").cloned().unwrap_or(Json::Null),
+        })
+    }
+}
+
+/// Where events go. Implementations must be cheap to call concurrently.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Drops every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; for tests and in-process inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(&path)?)),
+            path,
+        })
+    }
+
+    /// The file this sink streams to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // Telemetry must never take the run down: I/O errors are dropped.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+/// Parses a JSONL artifact back into events (replay/analysis path).
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(Event::from_json_line)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: &str) -> Event {
+        Event {
+            run_id: RunId::from_parts("test", 7),
+            seed: 7,
+            t_secs: Some(1.5),
+            kind: kind.to_string(),
+            fields: Json::obj([("x", Json::from(1u64))]),
+        }
+    }
+
+    #[test]
+    fn event_json_line_roundtrips() {
+        let e = event("chunk");
+        assert_eq!(Event::from_json_line(&e.to_json_line()), Some(e));
+        // Without a timestamp the key is omitted entirely.
+        let mut e2 = event("fault");
+        e2.t_secs = None;
+        let line = e2.to_json_line();
+        assert!(!line.contains("t_secs"));
+        assert_eq!(Event::from_json_line(&line), Some(e2));
+        assert_eq!(Event::from_json_line("not json"), None);
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.emit(&event("a"));
+        s.emit(&event("b"));
+        let got = s.events();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind, "a");
+        assert_eq!(got[1].kind, "b");
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips_through_the_file() {
+        let path =
+            std::env::temp_dir().join(format!("pano-telemetry-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create sink");
+        sink.emit(&event("session_start"));
+        sink.emit(&event("chunk"));
+        sink.flush();
+        let events = read_jsonl(&path).expect("read back");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "session_start");
+        assert_eq!(events[1].seed, 7);
+        assert_eq!(events[1].t_secs, Some(1.5));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,160 @@
+//! RAII span timing with nestable scopes.
+//!
+//! A span measures the wall time between its creation and drop and folds
+//! it into the registry histogram `span.<path>`, where `<path>` is the
+//! `/`-joined stack of enclosing span names on the current thread — so
+//! `session/fetch` and `session/score` aggregate separately even though
+//! both are called `fetch`/`score` at their call sites. Call counts come
+//! for free as the histogram's sample count.
+//!
+//! Guards are meant to be held lexically (`let _span = tel.span("x");`).
+//! Dropping out of LIFO order mis-attributes nesting for the rest of the
+//! enclosing scope but never panics or corrupts timing totals.
+
+use crate::metrics::{Histogram, Registry};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// The enclosing span names on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Histogram-name prefix under which span timings are registered.
+pub const SPAN_PREFIX: &str = "span.";
+
+/// Starts a span on `registry`; used by `Telemetry::span`.
+pub(crate) fn enter(registry: &Registry, name: &'static str) -> SpanGuard {
+    let path = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        let mut p = String::with_capacity(
+            SPAN_PREFIX.len() + stack.iter().map(|n| n.len() + 1).sum::<usize>(),
+        );
+        p.push_str(SPAN_PREFIX);
+        for (i, part) in stack.iter().enumerate() {
+            if i > 0 {
+                p.push('/');
+            }
+            p.push_str(part);
+        }
+        p
+    });
+    SpanGuard {
+        active: Some(Active {
+            hist: registry.histogram(&path),
+            start: Instant::now(),
+        }),
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    hist: Histogram,
+    start: Instant,
+}
+
+/// RAII guard: records elapsed wall time (seconds) on drop. The inert
+/// guard (disabled telemetry) costs nothing — not even a clock read.
+#[derive(Debug, Default)]
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+impl SpanGuard {
+    /// An inert guard.
+    pub fn noop() -> Self {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            active.hist.record(active.start.elapsed().as_secs_f64());
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let r = Registry::new();
+        {
+            let _outer = enter(&r, "outer");
+            {
+                let _inner = enter(&r, "inner");
+            }
+            {
+                let _inner = enter(&r, "inner");
+            }
+        }
+        {
+            let _other = enter(&r, "inner"); // top level this time
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histograms["span.outer"].count, 1);
+        assert_eq!(s.histograms["span.outer/inner"].count, 2);
+        assert_eq!(s.histograms["span.inner"].count, 1);
+        // Wall time is non-negative and the outer span covers the inner.
+        assert!(s.histograms["span.outer"].sum >= 0.0);
+        assert!(s.histograms["span.outer"].sum >= s.histograms["span.outer/inner"].sum);
+    }
+
+    #[test]
+    fn three_deep_nesting_and_reuse() {
+        let r = Registry::new();
+        for _ in 0..3 {
+            let _a = enter(&r, "a");
+            let _b = enter(&r, "b");
+            let _c = enter(&r, "c");
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histograms["span.a"].count, 3);
+        assert_eq!(s.histograms["span.a/b"].count, 3);
+        assert_eq!(s.histograms["span.a/b/c"].count, 3);
+    }
+
+    #[test]
+    fn noop_guard_records_nothing_and_keeps_stack_clean() {
+        let r = Registry::new();
+        {
+            let _outer = enter(&r, "outer");
+            let _noop = SpanGuard::noop();
+        }
+        // A noop guard must not pop the real span's stack entry early:
+        // a fresh span after the block is top-level again.
+        {
+            let _x = enter(&r, "x");
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histograms["span.outer"].count, 1);
+        assert!(
+            s.histograms.contains_key("span.x"),
+            "{:?}",
+            s.histograms.keys()
+        );
+    }
+
+    #[test]
+    fn threads_keep_independent_stacks() {
+        let r = std::sync::Arc::new(Registry::new());
+        let r2 = r.clone();
+        let t = std::thread::spawn(move || {
+            let _g = enter(&r2, "worker");
+        });
+        let _main = enter(&r, "main");
+        t.join().unwrap();
+        drop(_main);
+        let s = r.snapshot();
+        // "worker" ran on its own thread: top-level, not nested in "main".
+        assert_eq!(s.histograms["span.worker"].count, 1);
+        assert_eq!(s.histograms["span.main"].count, 1);
+    }
+}

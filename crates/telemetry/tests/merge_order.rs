@@ -1,0 +1,83 @@
+//! Property test: merging per-thread registries is order-independent.
+//!
+//! The sweep harness snapshots one registry per worker thread and folds
+//! them into the parent in completion order, which is nondeterministic —
+//! so the merge must be commutative and associative or run reports would
+//! differ run to run.
+
+use pano_telemetry::{Registry, Snapshot};
+use proptest::prelude::*;
+
+/// One registry's worth of recorded activity.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(String, u64),
+    Gauge(String, f64),
+    Hist(String, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = prop::sample::select(vec!["a", "b", "c"]);
+    prop_oneof![
+        (name.clone(), 0u64..1000).prop_map(|(n, v)| Op::Count(n.to_string(), v)),
+        (name.clone(), 0.0f64..100.0).prop_map(|(n, v)| Op::Gauge(n.to_string(), v)),
+        // Dyadic rationals: histogram sums stay exact in f64 regardless
+        // of addition order, so snapshot equality is exact too.
+        (name, 0u32..1_000_000).prop_map(|(n, v)| Op::Hist(n.to_string(), f64::from(v) / 64.0)),
+    ]
+}
+
+fn registry_from(ops: &[Op]) -> Registry {
+    let r = Registry::new();
+    for op in ops {
+        match op {
+            Op::Count(n, v) => r.counter(n).add(*v),
+            Op::Gauge(n, v) => r.gauge(n).set(*v),
+            Op::Hist(n, v) => r.histogram(n).record(*v),
+        }
+    }
+    r
+}
+
+proptest! {
+    /// Any permutation of snapshot folds yields the same snapshot.
+    #[test]
+    fn prop_merge_order_independent(
+        threads in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..20), 2..5),
+        seed in 0u64..1000,
+    ) {
+        let snaps: Vec<Snapshot> =
+            threads.iter().map(|ops| registry_from(ops).snapshot()).collect();
+
+        // Identity permutation.
+        let mut forward = Snapshot::default();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        // A seeded shuffle.
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        let mut state = seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = Snapshot::default();
+        for &i in &order {
+            shuffled.merge(&snaps[i]);
+        }
+        prop_assert_eq!(&forward, &shuffled);
+
+        // And folding into a live registry agrees with pure folds.
+        let live = Registry::new();
+        for &i in &order {
+            live.merge(&snaps[i]);
+        }
+        let mut live_snap = live.snapshot();
+        // A live registry materialises gauge entries at 0 and merges
+        // via max; drop gauges that no thread ever set.
+        live_snap.gauges.retain(|k, _| forward.gauges.contains_key(k));
+        prop_assert_eq!(&forward.counters, &live_snap.counters);
+        prop_assert_eq!(&forward.histograms, &live_snap.histograms);
+    }
+}

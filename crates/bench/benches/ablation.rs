@@ -4,7 +4,7 @@
 //! bandwidth savings the `repro fig18a` experiment reports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore};
 use pano_sim::{simulate_session, Method, SessionConfig};
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{Genre, VideoSpec};
@@ -17,10 +17,12 @@ fn bench_ablation(c: &mut Criterion) {
     };
 
     c.bench_function("prepare_video_6s", |b| {
-        b.iter(|| PreparedVideo::prepare(&spec, &config))
+        // A fresh store per iteration keeps the build cost visible (a
+        // shared store would cache-hit after the first sample).
+        b.iter(|| AssetStore::new().get(&spec, &config))
     });
 
-    let video = PreparedVideo::prepare(&spec, &config);
+    let video = AssetStore::new().get(&spec, &config);
     let trace = TraceGenerator::default().generate(&video.scene, 5);
     let bw = BandwidthTrace::lte_high(60.0, 9);
     let cfg = SessionConfig::default();

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController};
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore};
 use pano_sim::{simulate_session, Method, SessionConfig};
 use pano_trace::{
     BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, TraceGenerator,
@@ -13,7 +13,7 @@ use pano_video::{Genre, VideoSpec};
 
 fn bench_adaptation(c: &mut Criterion) {
     let spec = VideoSpec::generate(1, Genre::Sports, 8.0, 77);
-    let video = PreparedVideo::prepare(
+    let video = AssetStore::new().get(
         &spec,
         &AssetConfig {
             history_users: 3,

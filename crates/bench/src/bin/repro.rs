@@ -6,9 +6,14 @@
 //! repro fig15 fig18a           # run specific experiments
 //! repro --experiment robust    # flag form of the same selection
 //! repro --seed 7 fig4          # override the seed
+//! repro --threads 4 fig15      # bound the sweep-grid worker pool
 //! repro --quiet all            # suppress progress chatter
 //! repro --json robust          # machine-readable progress on stdout
 //! ```
+//!
+//! `--threads N` (or the `PANO_THREADS` env var) bounds the worker pool
+//! every sweep grid fans out over; results are byte-identical for any
+//! worker count, so use it purely to fit the machine.
 //!
 //! Each run prints the rendered rows/series plus a telemetry run report,
 //! and writes four artifacts under the workspace root:
@@ -57,7 +62,9 @@ impl Progress {
 }
 
 fn usage(registry: &[pano_bench::Experiment]) {
-    println!("Usage: repro [--seed N] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n");
+    println!(
+        "Usage: repro [--seed N] [--threads N] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n"
+    );
     println!("Available experiments:");
     for e in registry {
         println!("  {:<8} {}", e.id, e.title);
@@ -77,6 +84,25 @@ fn main() {
                 eprintln!("--seed needs an integer");
                 std::process::exit(2);
             });
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        args.remove(pos);
+        if pos < args.len() {
+            let n: usize = args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--threads needs a positive integer");
+                std::process::exit(2);
+            }
+            // Experiment configs built by the registry leave `workers`
+            // unset, so the env var reaches every sweep grid.
+            std::env::set_var(pano_sim::experiments::THREADS_ENV, n.to_string());
+        } else {
+            eprintln!("--threads needs a positive integer");
+            std::process::exit(2);
         }
     }
     while let Some(pos) = args.iter().position(|a| a == "--experiment") {

@@ -1,0 +1,93 @@
+//! `sweep_bench` — wall-clock benchmark of the sweep engine.
+//!
+//! Runs the Fig. 15 grid twice over the same cells — once on a single
+//! worker, once on the machine's full pool — verifies the two runs
+//! produce byte-identical JSON, and writes a `BENCH_sweep.json` artifact
+//! with both wall-clocks and the asset-store hit/miss statistics.
+//!
+//! ```text
+//! cargo run --release -p pano-bench --bin sweep_bench [-- out.json]
+//! ```
+
+use pano_sim::experiments::{effective_workers, fig15};
+use pano_telemetry::{RunId, Telemetry};
+use pano_video::Genre;
+use std::time::Instant;
+
+fn config(workers: usize, telemetry: Telemetry) -> fig15::Fig15Config {
+    fig15::Fig15Config {
+        genres: vec![Genre::Sports, Genre::Documentary],
+        videos_per_genre: 1,
+        video_secs: 32.0,
+        users_per_video: 2,
+        buffer_targets: vec![1.0, 2.0],
+        seed: 0xF15,
+        workers: Some(workers),
+        telemetry,
+        ..fig15::Fig15Config::default()
+    }
+}
+
+fn timed_run(workers: usize) -> (f64, Vec<u8>, pano_telemetry::Snapshot) {
+    let tel = Telemetry::recording(RunId::from_parts("sweep-bench", workers as u64), 0xF15);
+    let t0 = Instant::now();
+    let r = fig15::run(&config(workers, tel.clone()));
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = serde_json::to_vec(&r).expect("serialise");
+    (secs, bytes, tel.snapshot())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let pool = effective_workers(None);
+
+    let (serial_secs, serial_bytes, serial_snap) = timed_run(1);
+    let (parallel_secs, parallel_bytes, parallel_snap) = timed_run(pool);
+
+    let identical = serial_bytes == parallel_bytes;
+    assert!(
+        identical,
+        "sweep results must be byte-identical across worker counts"
+    );
+
+    let counter =
+        |snap: &pano_telemetry::Snapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let build_secs = |snap: &pano_telemetry::Snapshot| {
+        snap.histograms
+            .get("sim.asset_store.build_secs")
+            .map(|h| h.sum)
+            .unwrap_or(0.0)
+    };
+    let report = serde_json::json!({
+        "experiment": "fig15",
+        "cells": 2 * 2 * 2 * fig15::Fig15Config::default().methods.len(),
+        "json_identical": identical,
+        "serial": {
+            "workers": 1,
+            "wall_secs": serial_secs,
+            "store_hits": counter(&serial_snap, "sim.asset_store.hits"),
+            "store_misses": counter(&serial_snap, "sim.asset_store.misses"),
+            "store_build_secs": build_secs(&serial_snap),
+        },
+        "parallel": {
+            "workers": pool,
+            "wall_secs": parallel_secs,
+            "store_hits": counter(&parallel_snap, "sim.asset_store.hits"),
+            "store_misses": counter(&parallel_snap, "sim.asset_store.misses"),
+            "store_build_secs": build_secs(&parallel_snap),
+        },
+        "speedup": serial_secs / parallel_secs.max(1e-9),
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_vec_pretty(&report).expect("serialise report"),
+    )
+    .expect("write benchmark artifact");
+    println!(
+        "sweep_bench: fig15 grid serial {serial_secs:.2}s vs {pool} workers {parallel_secs:.2}s \
+         (x{:.2}); results byte-identical; wrote {out_path}",
+        serial_secs / parallel_secs.max(1e-9)
+    );
+}

@@ -86,17 +86,23 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig13",
             title: "Fig.13: MOS by genre (survey simulation)",
-            run: |seed, _tel| {
-                let r = exp::fig13::run(20, 48.0, seed);
+            run: |seed, tel| {
+                let cfg = exp::fig13::Fig13Config {
+                    seed,
+                    telemetry: tel.clone(),
+                    ..exp::fig13::Fig13Config::default()
+                };
+                let r = exp::fig13::run(&cfg);
                 (exp::fig13::render(&r), json(&r))
             },
         },
         Experiment {
             id: "fig15",
             title: "Fig.1/15: PSPNR vs buffering, methods x genres x traces",
-            run: |seed, _tel| {
+            run: |seed, tel| {
                 let cfg = exp::fig15::Fig15Config {
                     seed,
+                    telemetry: tel.clone(),
                     ..exp::fig15::Fig15Config::default()
                 };
                 let r = exp::fig15::run(&cfg);
@@ -106,9 +112,10 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig16",
             title: "Fig.16: robustness to viewpoint/bandwidth prediction errors",
-            run: |seed, _tel| {
+            run: |seed, tel| {
                 let cfg = exp::fig16::Fig16Config {
                     seed,
+                    telemetry: tel.clone(),
                     ..exp::fig16::Fig16Config::default()
                 };
                 let r = exp::fig16::run(&cfg);
@@ -126,9 +133,10 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig18a",
             title: "Fig.18a: component-wise bandwidth analysis",
-            run: |seed, _tel| {
+            run: |seed, tel| {
                 let cfg = exp::fig18::Fig18Config {
                     seed,
+                    telemetry: tel.clone(),
                     ..exp::fig18::Fig18Config::default()
                 };
                 let r = exp::fig18::run(&cfg);
@@ -138,9 +146,10 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment {
             id: "fig18b",
             title: "Fig.18b: bandwidth by genre at the quality target",
-            run: |seed, _tel| {
+            run: |seed, tel| {
                 let cfg = exp::fig18::Fig18Config {
                     seed,
+                    telemetry: tel.clone(),
                     genres: vec![
                         pano_video::Genre::Documentary,
                         pano_video::Genre::Sports,

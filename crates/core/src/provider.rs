@@ -5,13 +5,14 @@
 //! tilings and sizes, and export the augmented manifest.
 
 use pano_abr::Manifest;
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore, PreparedVideo};
 use pano_video::codec::QualityLevel;
 use pano_video::VideoSpec;
+use std::sync::Arc;
 
 /// The provider-side artefacts for one video.
 pub struct PanoProvider {
-    prepared: PreparedVideo,
+    prepared: Arc<PreparedVideo>,
 }
 
 impl PanoProvider {
@@ -21,10 +22,18 @@ impl PanoProvider {
         Self::prepare_with(spec, &AssetConfig::default())
     }
 
-    /// Runs the pipeline with custom knobs.
+    /// Runs the pipeline with custom knobs. Preparation is routed through
+    /// a fresh [`AssetStore`]; use [`PanoProvider::prepare_in`] to share a
+    /// store (and its cache) across providers.
     pub fn prepare_with(spec: &VideoSpec, config: &AssetConfig) -> PanoProvider {
+        Self::prepare_in(&AssetStore::new(), spec, config)
+    }
+
+    /// Runs the pipeline through `store`, reusing any cached artefact for
+    /// the same `(spec, config)` pair.
+    pub fn prepare_in(store: &AssetStore, spec: &VideoSpec, config: &AssetConfig) -> PanoProvider {
         PanoProvider {
-            prepared: PreparedVideo::prepare(spec, config),
+            prepared: store.get(spec, config),
         }
     }
 
@@ -104,6 +113,18 @@ mod tests {
             assert!(s > prev);
             prev = s;
         }
+    }
+
+    #[test]
+    fn providers_share_artefacts_through_one_store() {
+        let spec = VideoSpec::generate(1, Genre::Tourism, 3.0, 7);
+        let store = AssetStore::new();
+        let config = AssetConfig::default();
+        let a = PanoProvider::prepare_in(&store, &spec, &config);
+        let b = PanoProvider::prepare_in(&store, &spec, &config);
+        assert!(std::ptr::eq(a.prepared(), b.prepared()));
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().hits, 1);
     }
 }
 

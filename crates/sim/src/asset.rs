@@ -7,6 +7,14 @@
 //! the PSPNR machinery, the lookup table, and the manifest. Building it is
 //! the provider's offline preprocessing; the client simulators only read
 //! from it.
+//!
+//! Preparation is expensive and its inputs are pure data, so callers
+//! never invoke [`PreparedVideo::prepare`] directly: they go through the
+//! [`AssetStore`], a content-addressed cache keyed by a stable hash of
+//! `(VideoSpec, AssetConfig)` that returns shared [`Arc<PreparedVideo>`]
+//! handles, coalesces concurrent builds of the same key, fans misses out
+//! across worker threads ([`AssetStore::get_many`]) and reports hit/miss/
+//! build-time counters through `pano-telemetry`.
 
 use pano_abr::lookup::LookupBuilder;
 use pano_abr::{Manifest, PowerLawTable};
@@ -18,6 +26,10 @@ use pano_tiling::{clustile_tiling, efficiency_scores, group_tiles, uniform_tilin
 use pano_trace::{ActionEstimator, PopularityPrior, TraceGenerator, ViewpointTrace};
 use pano_video::codec::{EncodedChunk, Encoder};
 use pano_video::{ChunkFeatures, Scene, Tracker, VideoSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Knobs for the preparation pipeline.
 #[derive(Debug, Clone)]
@@ -99,6 +111,10 @@ pub struct PreparedVideo {
 
 impl PreparedVideo {
     /// Runs the full provider pipeline on one video.
+    ///
+    /// This is the raw (uncached) build; production callers go through
+    /// [`AssetStore::get`], which deduplicates identical `(spec, config)`
+    /// requests across an experiment grid.
     pub fn prepare(spec: &VideoSpec, config: &AssetConfig) -> PreparedVideo {
         let eq = spec.resolution;
         let dims = config.unit_grid;
@@ -287,6 +303,171 @@ impl PreparedVideo {
             }
             Method::ClusTile => &self.clustile_chunks,
             Method::WholeVideo => &self.whole_chunks,
+        }
+    }
+}
+
+/// FNV-1a over explicit byte streams: a stable, dependency-free content
+/// hash for the asset-store key (not `std::hash`, whose output may vary
+/// across releases and processes).
+struct ContentHash(u64);
+
+impl ContentHash {
+    fn new() -> ContentHash {
+        ContentHash(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+}
+
+/// Content address of one prepared-video request: every field of the
+/// `VideoSpec` (via its serialised form — the spec is pure data) plus
+/// every preparation knob of the `AssetConfig`. The telemetry handle is
+/// deliberately excluded: it is observational and never changes the
+/// built artefact.
+fn asset_key(spec: &VideoSpec, config: &AssetConfig) -> u64 {
+    let mut h = ContentHash::new();
+    h.eat(&serde_json::to_vec(spec).expect("video spec serialises"));
+    h.eat_u64(config.unit_grid.rows as u64);
+    h.eat_u64(config.unit_grid.cols as u64);
+    h.eat_u64(config.pano_tiles as u64);
+    h.eat_u64(config.uniform_grid.0 as u64);
+    h.eat_u64(config.uniform_grid.1 as u64);
+    h.eat_u64(config.clustile_tiles as u64);
+    h.eat_u64(config.history_users as u64);
+    h.eat_u64(config.history_seed);
+    h.eat_u64(config.chunk_secs.to_bits());
+    h.0
+}
+
+/// Hit/miss/build-time counters of one [`AssetStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Requests served from cache (including waits on an in-flight build).
+    pub hits: u64,
+    /// Requests that built the artefact.
+    pub misses: u64,
+    /// Total wall-clock spent building, seconds.
+    pub build_secs: f64,
+}
+
+/// Content-addressed cache of prepared videos.
+///
+/// Keys are a stable hash of `(VideoSpec, AssetConfig)` (telemetry
+/// excluded), values are shared [`Arc<PreparedVideo>`] handles. Each key
+/// owns a `OnceLock` slot, so concurrent requests for the same asset
+/// coalesce into one build — the losers block and then count as hits.
+/// When the store carries an enabled telemetry handle it reports
+/// `sim.asset_store.{hits,misses}` counters and a
+/// `sim.asset_store.build_secs` histogram.
+pub struct AssetStore {
+    slots: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreparedVideo>>>>>,
+    telemetry: Telemetry,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_secs: Mutex<f64>,
+}
+
+impl Default for AssetStore {
+    fn default() -> Self {
+        AssetStore::new()
+    }
+}
+
+impl AssetStore {
+    /// An empty store with no telemetry.
+    pub fn new() -> AssetStore {
+        AssetStore::with_telemetry(&Telemetry::disabled())
+    }
+
+    /// An empty store reporting its counters into `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> AssetStore {
+        AssetStore {
+            slots: Mutex::new(HashMap::new()),
+            telemetry: telemetry.clone(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            build_secs: Mutex::new(0.0),
+        }
+    }
+
+    /// Returns the prepared video for `(spec, config)`, building it on
+    /// first request. Safe to call from any thread; concurrent requests
+    /// for the same key share one build.
+    ///
+    /// A build inherits the store's telemetry handle when the config
+    /// carries a disabled one, so preparation-stage spans land in the
+    /// sweep's registry either way.
+    pub fn get(&self, spec: &VideoSpec, config: &AssetConfig) -> Arc<PreparedVideo> {
+        let key = asset_key(spec, config);
+        let slot = {
+            let mut slots = self.slots.lock().expect("asset-store map lock");
+            slots.entry(key).or_default().clone()
+        };
+        let mut built_now = false;
+        let video = slot
+            .get_or_init(|| {
+                built_now = true;
+                let build_config = if self.telemetry.is_enabled() && !config.telemetry.is_enabled()
+                {
+                    AssetConfig {
+                        telemetry: self.telemetry.clone(),
+                        ..config.clone()
+                    }
+                } else {
+                    config.clone()
+                };
+                let t0 = std::time::Instant::now();
+                let video = Arc::new(PreparedVideo::prepare(spec, &build_config));
+                let secs = t0.elapsed().as_secs_f64();
+                *self.build_secs.lock().expect("asset-store time lock") += secs;
+                self.telemetry
+                    .histogram("sim.asset_store.build_secs")
+                    .record(secs);
+                video
+            })
+            .clone();
+        if built_now {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.counter("sim.asset_store.misses").inc();
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.counter("sim.asset_store.hits").inc();
+        }
+        video
+    }
+
+    /// Resolves a batch of requests, fanning cache misses out across
+    /// worker threads. Duplicate requests in the batch coalesce into one
+    /// build. Results come back in request order.
+    pub fn get_many(&self, requests: Vec<(&VideoSpec, &AssetConfig)>) -> Vec<Arc<PreparedVideo>> {
+        crate::experiments::parallel_map(requests, |(spec, config)| self.get(spec, config))
+    }
+
+    /// Number of distinct assets cached (or being built).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("asset-store map lock").len()
+    }
+
+    /// Whether the store has served no build yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hit/miss/build-time counters so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            build_secs: *self.build_secs.lock().expect("asset-store time lock"),
         }
     }
 }
@@ -491,6 +672,98 @@ mod tests {
             let v = PreparedVideo::prepare(spec, &small_config());
             assert_eq!(v.n_chunks(), 4);
         }
+    }
+}
+
+#[cfg(test)]
+mod store_tests {
+    use super::*;
+    use pano_video::{Genre, VideoSpec};
+
+    fn spec() -> VideoSpec {
+        VideoSpec::generate(0, Genre::Sports, 4.0, 42)
+    }
+
+    fn config() -> AssetConfig {
+        AssetConfig {
+            history_users: 3,
+            ..AssetConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_request_hits_the_cache_and_shares_the_artefact() {
+        let store = AssetStore::new();
+        assert!(store.is_empty());
+        let a = store.get(&spec(), &config());
+        let b = store.get(&spec(), &config());
+        assert!(Arc::ptr_eq(&a, &b), "second request must share the build");
+        assert_eq!(store.len(), 1);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.build_secs > 0.0);
+    }
+
+    #[test]
+    fn key_separates_specs_and_configs_but_not_telemetry() {
+        let s = spec();
+        let c = config();
+        assert_eq!(asset_key(&s, &c), asset_key(&s, &c));
+        let other_spec = VideoSpec::generate(1, Genre::Sports, 4.0, 42);
+        assert_ne!(asset_key(&s, &c), asset_key(&other_spec, &c));
+        let other_config = AssetConfig {
+            pano_tiles: 20,
+            ..config()
+        };
+        assert_ne!(asset_key(&s, &c), asset_key(&s, &other_config));
+        // Telemetry is observational: it must not split the cache.
+        let instrumented = AssetConfig {
+            telemetry: Telemetry::recording(pano_telemetry::RunId::from_parts("key", 0), 0),
+            ..config()
+        };
+        assert_eq!(asset_key(&s, &c), asset_key(&s, &instrumented));
+    }
+
+    #[test]
+    fn get_many_coalesces_duplicates_across_threads() {
+        let store = AssetStore::new();
+        let s = spec();
+        let c = config();
+        let out = store.get_many(vec![(&s, &c); 6]);
+        assert_eq!(out.len(), 6);
+        for v in &out {
+            assert!(Arc::ptr_eq(v, &out[0]));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "one build for six requests");
+        assert_eq!(stats.hits, 5);
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_and_build_time() {
+        let tel = Telemetry::recording(pano_telemetry::RunId::from_parts("store", 1), 1);
+        let store = AssetStore::with_telemetry(&tel);
+        store.get(&spec(), &config());
+        store.get(&spec(), &config());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["sim.asset_store.misses"], 1);
+        assert_eq!(snap.counters["sim.asset_store.hits"], 1);
+        assert_eq!(snap.histograms["sim.asset_store.build_secs"].count, 1);
+        // The build inherited the store's telemetry: its stage spans are
+        // in the same registry even though the config carried none.
+        assert_eq!(snap.histograms["span.prepare_features"].count, 1);
+    }
+
+    #[test]
+    fn store_build_matches_direct_preparation() {
+        let direct = PreparedVideo::prepare(&spec(), &config());
+        let cached = AssetStore::new().get(&spec(), &config());
+        assert_eq!(cached.n_chunks(), direct.n_chunks());
+        assert_eq!(cached.pano_tiling, direct.pano_tiling);
+        assert_eq!(
+            cached.manifest.serialized_bytes(),
+            direct.manifest.serialized_bytes()
+        );
     }
 }
 

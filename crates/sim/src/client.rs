@@ -889,13 +889,14 @@ fn perceived_pspnr(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use pano_trace::TraceGenerator;
     use pano_video::{Genre, VideoSpec};
+    use std::sync::Arc;
 
-    fn prepared() -> PreparedVideo {
+    fn prepared() -> Arc<PreparedVideo> {
         let spec = VideoSpec::generate(1, Genre::Sports, 24.0, 77);
-        PreparedVideo::prepare(
+        AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 3,
@@ -1040,7 +1041,7 @@ mod cross_user_tests {
     //! gains depend on content; the prediction error is the direct claim.)
 
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use crate::metrics::mean;
     use pano_trace::{CrossUserPredictor, TraceGenerator};
     use pano_video::{Genre, VideoSpec};
@@ -1048,7 +1049,7 @@ mod cross_user_tests {
     #[test]
     fn cross_user_prior_reduces_long_horizon_prediction_error() {
         let spec = VideoSpec::generate(2, Genre::Sports, 24.0, 7);
-        let video = PreparedVideo::prepare(
+        let video = AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 10,
@@ -1095,14 +1096,14 @@ mod rate_controller_tests {
     //! while BOLA needs no prediction at all.
 
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use pano_trace::TraceGenerator;
     use pano_video::{Genre, VideoSpec};
 
     #[test]
     fn bola_sessions_are_viable_and_prediction_free() {
         let spec = VideoSpec::generate(4, Genre::Tourism, 16.0, 3);
-        let video = PreparedVideo::prepare(
+        let video = AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 3,
@@ -1156,13 +1157,14 @@ mod failure_injection_tests {
     //! gaps in the link.
 
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use pano_trace::TraceGenerator;
     use pano_video::{Genre, VideoSpec};
+    use std::sync::Arc;
 
-    fn video_fixture() -> PreparedVideo {
+    fn video_fixture() -> Arc<PreparedVideo> {
         let spec = VideoSpec::generate(6, Genre::Documentary, 12.0, 5);
-        PreparedVideo::prepare(
+        AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 3,
@@ -1409,14 +1411,15 @@ mod telemetry_tests {
     //! span timings, byte classes and per-chunk events of the run.
 
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use pano_telemetry::RunId;
     use pano_trace::TraceGenerator;
     use pano_video::{Genre, VideoSpec};
+    use std::sync::Arc;
 
-    fn fixture() -> (PreparedVideo, ViewpointTrace, BandwidthTrace) {
+    fn fixture() -> (Arc<PreparedVideo>, ViewpointTrace, BandwidthTrace) {
         let spec = VideoSpec::generate(5, Genre::Sports, 8.0, 3);
-        let video = PreparedVideo::prepare(
+        let video = AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 3,
@@ -1515,14 +1518,14 @@ mod dash_compat_tests {
     //! client closely — the whole point of the two-phase decoupling.
 
     use super::*;
-    use crate::asset::AssetConfig;
+    use crate::asset::{AssetConfig, AssetStore};
     use pano_trace::TraceGenerator;
     use pano_video::{Genre, VideoSpec};
 
     #[test]
     fn manifest_only_client_tracks_the_full_model() {
         let spec = VideoSpec::generate(3, Genre::Sports, 16.0, 21);
-        let video = PreparedVideo::prepare(
+        let video = AssetStore::new().get(
             &spec,
             &AssetConfig {
                 history_users: 4,

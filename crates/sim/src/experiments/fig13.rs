@@ -7,12 +7,14 @@
 //! and the figure reports the per-genre mean opinion scores with standard
 //! errors.
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
+use crate::experiments::SweepGrid;
 use crate::methods::Method;
 use crate::metrics::std_dev;
 use pano_jnd::mos::mean_opinion;
 use pano_jnd::Rater;
+use pano_telemetry::Telemetry;
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{DatasetSpec, Genre};
 use serde::{Deserialize, Serialize};
@@ -42,11 +44,43 @@ pub struct Fig13Result {
     pub improvement_range_pct: (f64, f64),
 }
 
-/// Runs Fig. 13 with `n_raters` simulated participants (paper: 20).
-pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
-    let dataset = DatasetSpec::generate_with_duration(50, video_secs, seed);
+/// Scale knobs.
+#[derive(Debug, Clone)]
+pub struct Fig13Config {
+    /// Simulated survey participants (paper: 20).
+    pub n_raters: usize,
+    /// Video duration, seconds.
+    pub video_secs: f64,
+    /// Seed.
+    pub seed: u64,
+    /// Telemetry handle; per-genre cells report into child registries
+    /// merged back into this parent.
+    pub telemetry: Telemetry,
+    /// Worker-pool bound for the sweep grid.
+    pub workers: Option<usize>,
+}
+
+impl Default for Fig13Config {
+    fn default() -> Self {
+        Fig13Config {
+            n_raters: 20,
+            video_secs: 48.0,
+            seed: 0x13,
+            telemetry: Telemetry::disabled(),
+            workers: None,
+        }
+    }
+}
+
+/// Runs Fig. 13: one grid cell per genre, each streaming both methods
+/// under both bandwidth conditions past the rater panel.
+pub fn run(config: &Fig13Config) -> Fig13Result {
+    let seed = config.seed;
+    let n_raters = config.n_raters;
+    let dataset = DatasetSpec::generate_with_duration(50, config.video_secs, seed);
     let asset_config = AssetConfig {
         history_users: 4,
+        telemetry: config.telemetry.clone(),
         ..AssetConfig::default()
     };
     let gen = TraceGenerator::default();
@@ -55,28 +89,40 @@ pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
         ("1.05 Mbps", BandwidthTrace::lte_high(600.0, seed ^ 12)),
     ];
 
-    // Prepare all seven genre videos in parallel (the expensive step).
-    let genre_videos: Vec<(Genre, PreparedVideo)> =
-        crate::experiments::parallel_map(Genre::ALL.to_vec(), |genre| {
-            let spec = dataset
+    // Prefetch all seven genre videos through the store (the expensive
+    // step, built in parallel on cache misses).
+    let store = AssetStore::with_telemetry(&config.telemetry);
+    let specs: Vec<_> = Genre::ALL
+        .iter()
+        .map(|&genre| {
+            dataset
                 .by_genre(genre)
                 .next()
-                .expect("dataset covers all genres");
-            (genre, PreparedVideo::prepare(spec, &asset_config))
-        });
+                .expect("dataset covers all genres")
+        })
+        .collect();
+    let videos = store.get_many(specs.iter().map(|s| (*s, &asset_config)).collect());
 
-    let mut bars = Vec::new();
-    let mut improvements: Vec<f64> = Vec::new();
-    for (genre, video) in &genre_videos {
-        let genre = *genre;
+    let cells: Vec<_> = Genre::ALL.iter().copied().zip(videos).collect();
+    let grid = SweepGrid::new("fig13", seed, &config.telemetry).with_workers(config.workers);
+    let per_genre = grid.run(cells, |ctx, (genre, video)| {
         // One real trajectory per genre, as in the survey (recorded video).
         let trace = gen.generate(&video.scene, seed ^ (video.spec.id as u64) << 3);
-
+        let mut bars = Vec::new();
+        let mut improvements = Vec::new();
         for (bw_label, bw) in &conditions {
             let mut genre_mos = Vec::new();
             for method in [Method::Flare, Method::Pano] {
-                let session =
-                    simulate_session(video, method, &trace, bw, &SessionConfig::default());
+                let session = simulate_session(
+                    &video,
+                    method,
+                    &trace,
+                    bw,
+                    &SessionConfig {
+                        telemetry: ctx.telemetry.clone(),
+                        ..SessionConfig::default()
+                    },
+                );
                 // The panel rates the session's perceived quality.
                 let true_mos = session.mos();
                 let ratings: Vec<u8> = (0..n_raters as u32)
@@ -98,6 +144,14 @@ pub fn run(n_raters: usize, video_secs: f64, seed: u64) -> Fig13Result {
                 improvements.push(100.0 * (genre_mos[1] - genre_mos[0]) / genre_mos[0]);
             }
         }
+        (bars, improvements)
+    });
+
+    let mut bars = Vec::new();
+    let mut improvements: Vec<f64> = Vec::new();
+    for (genre_bars, genre_improvements) in per_genre {
+        bars.extend(genre_bars);
+        improvements.extend(genre_improvements);
     }
     let min_imp = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_imp = improvements
@@ -140,7 +194,12 @@ mod tests {
 
     #[test]
     fn pano_rates_higher_across_genres() {
-        let r = run(12, 32.0, 0x13);
+        let r = run(&Fig13Config {
+            n_raters: 12,
+            video_secs: 32.0,
+            seed: 0x13,
+            ..Fig13Config::default()
+        });
         // 7 genres x 2 methods x 2 conditions.
         assert_eq!(r.bars.len(), 28);
         // Pano's mean MOS across all bars beats the baseline's.
@@ -168,7 +227,12 @@ mod tests {
 
     #[test]
     fn render_lists_conditions() {
-        let r = run(5, 16.0, 3);
+        let r = run(&Fig13Config {
+            n_raters: 5,
+            video_secs: 16.0,
+            seed: 3,
+            ..Fig13Config::default()
+        });
         let txt = render(&r);
         assert!(txt.contains("0.71 Mbps"));
         assert!(txt.contains("1.05 Mbps"));

@@ -7,10 +7,12 @@
 //! rebuffering trade-off scatter. Fig. 1 is the same data summarised
 //! across all videos.
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
+use crate::experiments::SweepGrid;
 use crate::methods::Method;
 use crate::metrics::{mean, std_dev};
+use pano_telemetry::Telemetry;
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{DatasetSpec, Genre};
 use serde::{Deserialize, Serialize};
@@ -55,6 +57,10 @@ pub struct Fig15Config {
     pub methods: Vec<Method>,
     /// RNG seed.
     pub seed: u64,
+    /// Telemetry handle; per-cell children merge back into it.
+    pub telemetry: Telemetry,
+    /// Worker-pool bound for the sweep grid.
+    pub workers: Option<usize>,
 }
 
 impl Default for Fig15Config {
@@ -72,6 +78,8 @@ impl Default for Fig15Config {
             buffer_targets: vec![1.0, 2.0, 3.0],
             methods: Method::FIG15.to_vec(),
             seed: 0xF15,
+            telemetry: Telemetry::disabled(),
+            workers: None,
         }
     }
 }
@@ -114,13 +122,17 @@ impl Fig15Result {
     }
 }
 
-/// Runs the Fig. 15 sweep.
+/// Runs the Fig. 15 sweep: assets are prefetched through the store once
+/// per genre, then the whole (genre × trace × buffer-target × method)
+/// cross-product fans out as grid cells, sessions running sequentially
+/// inside each cell.
 pub fn run(config: &Fig15Config) -> Fig15Result {
     // Build one dataset large enough to cover the genre mix, then pick
     // per-genre videos.
     let dataset = DatasetSpec::generate_with_duration(50, config.video_secs, config.seed);
     let asset_config = AssetConfig {
         history_users: 4,
+        telemetry: config.telemetry.clone(),
         ..AssetConfig::default()
     };
     let gen = TraceGenerator::default();
@@ -130,63 +142,83 @@ pub fn run(config: &Fig15Config) -> Fig15Result {
         ("Trace #2", BandwidthTrace::lte_high(600.0, config.seed ^ 2)),
     ];
 
-    let mut points = Vec::new();
-    for &genre in &config.genres {
-        let videos: Vec<_> = dataset
-            .by_genre(genre)
-            .take(config.videos_per_genre)
-            .collect();
-        let prepared: Vec<PreparedVideo> = videos
-            .iter()
-            .map(|spec| PreparedVideo::prepare(spec, &asset_config))
-            .collect();
-        for (trace_label, bw) in &traces {
+    // Prefetch every genre's videos in parallel through the store — the
+    // dominant serial cost of the old driver, now paid once up front.
+    let store = AssetStore::with_telemetry(&config.telemetry);
+    let genre_specs: Vec<Vec<_>> = config
+        .genres
+        .iter()
+        .map(|&genre| {
+            dataset
+                .by_genre(genre)
+                .take(config.videos_per_genre)
+                .collect()
+        })
+        .collect();
+    let requests: Vec<_> = genre_specs
+        .iter()
+        .flat_map(|specs| specs.iter().map(|s| (*s, &asset_config)))
+        .collect();
+    let mut flat = store.get_many(requests).into_iter();
+    let prepared_by_genre: Vec<Vec<_>> = genre_specs
+        .iter()
+        .map(|specs| (&mut flat).take(specs.len()).collect())
+        .collect();
+
+    // One grid cell per (genre × trace × buffer-target × method), in the
+    // figure's row order.
+    let mut cells = Vec::new();
+    for (genre_idx, &genre) in config.genres.iter().enumerate() {
+        for (trace_idx, (trace_label, _)) in traces.iter().enumerate() {
             for &target in &config.buffer_targets {
                 for &method in &config.methods {
-                    // One task per (video, user): sessions are independent,
-                    // so fan them out across worker threads.
-                    let mut tasks = Vec::new();
-                    for video in &prepared {
-                        let users = gen.generate_population(
-                            &video.scene,
-                            config.users_per_video,
-                            config.seed ^ (video.spec.id as u64) << 4,
-                        );
-                        for user in users {
-                            tasks.push((video, user));
-                        }
-                    }
-                    let sessions = crate::experiments::parallel_map(tasks, |(video, user)| {
-                        simulate_session(
-                            video,
-                            method,
-                            &user,
-                            bw,
-                            &SessionConfig {
-                                target_buffer_secs: target,
-                                ..SessionConfig::default()
-                            },
-                        )
-                    });
-                    let pspnrs: Vec<f64> = sessions.iter().map(|r| r.mean_pspnr()).collect();
-                    let buffs: Vec<f64> =
-                        sessions.iter().map(|r| r.buffering_ratio_pct()).collect();
-                    let bws: Vec<f64> = sessions.iter().map(|r| r.mean_bandwidth_bps()).collect();
-                    points.push(ScatterPoint {
-                        method,
-                        genre: genre.label().to_string(),
-                        trace: trace_label.to_string(),
-                        buffer_target_secs: target,
-                        buffering_pct: mean(&buffs),
-                        buffering_sd: std_dev(&buffs),
-                        pspnr_db: mean(&pspnrs),
-                        pspnr_sd: std_dev(&pspnrs),
-                        bandwidth_bps: mean(&bws),
-                    });
+                    cells.push((genre_idx, genre, trace_idx, *trace_label, target, method));
                 }
             }
         }
     }
+    let grid = SweepGrid::new("fig15", config.seed, &config.telemetry).with_workers(config.workers);
+    let points = grid.run(
+        cells,
+        |ctx, (genre_idx, genre, trace_idx, trace_label, target, method)| {
+            let bw = &traces[trace_idx].1;
+            let mut sessions = Vec::new();
+            for video in &prepared_by_genre[genre_idx] {
+                let users = gen.generate_population(
+                    &video.scene,
+                    config.users_per_video,
+                    config.seed ^ (video.spec.id as u64) << 4,
+                );
+                for user in users {
+                    sessions.push(simulate_session(
+                        video,
+                        method,
+                        &user,
+                        bw,
+                        &SessionConfig {
+                            target_buffer_secs: target,
+                            telemetry: ctx.telemetry.clone(),
+                            ..SessionConfig::default()
+                        },
+                    ));
+                }
+            }
+            let pspnrs: Vec<f64> = sessions.iter().map(|r| r.mean_pspnr()).collect();
+            let buffs: Vec<f64> = sessions.iter().map(|r| r.buffering_ratio_pct()).collect();
+            let bws: Vec<f64> = sessions.iter().map(|r| r.mean_bandwidth_bps()).collect();
+            ScatterPoint {
+                method,
+                genre: genre.label().to_string(),
+                trace: trace_label.to_string(),
+                buffer_target_secs: target,
+                buffering_pct: mean(&buffs),
+                buffering_sd: std_dev(&buffs),
+                pspnr_db: mean(&pspnrs),
+                pspnr_sd: std_dev(&pspnrs),
+                bandwidth_bps: mean(&bws),
+            }
+        },
+    );
     Fig15Result { points }
 }
 
@@ -233,6 +265,7 @@ mod tests {
             buffer_targets: vec![2.0],
             methods: Method::FIG15.to_vec(),
             seed: 0xF15,
+            ..Fig15Config::default()
         }
     }
 
@@ -289,6 +322,7 @@ mod tests {
             buffer_targets: vec![2.0],
             methods: Method::FIG15.to_vec(),
             seed: 1,
+            ..Fig15Config::default()
         });
         let txt = render(&r);
         for m in Method::FIG15 {

@@ -9,11 +9,12 @@
 //! * (d) (buffering, PSPNR) under biased throughput prediction
 //!   (0 %, ±10 %, ±30 %) for both methods.
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
-use crate::experiments::LabelledCdf;
+use crate::experiments::{LabelledCdf, SweepGrid};
 use crate::methods::Method;
 use crate::metrics::mean;
+use pano_telemetry::Telemetry;
 use pano_trace::{add_viewpoint_noise, BandwidthTrace, TraceGenerator};
 use pano_video::{Genre, VideoSpec};
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,10 @@ pub struct Fig16Config {
     pub biases: Vec<f64>,
     /// Seed.
     pub seed: u64,
+    /// Telemetry handle; per-cell children merge back into it.
+    pub telemetry: Telemetry,
+    /// Worker-pool bound for the sweep grids.
+    pub workers: Option<usize>,
 }
 
 impl Default for Fig16Config {
@@ -58,43 +63,60 @@ impl Default for Fig16Config {
             noise_sweep: vec![0.0, 25.0, 50.0, 100.0, 150.0],
             biases: vec![0.0, 0.1, 0.3],
             seed: 0x16,
+            telemetry: Telemetry::disabled(),
+            workers: None,
         }
     }
 }
 
-/// Runs the Fig. 16 suite on one sports video.
+/// Runs the Fig. 16 suite on one sports video. Each panel is one sweep
+/// grid over its full cross-product (noise × user for (a)–(c), bias ×
+/// method for (d)).
 pub fn run(config: &Fig16Config) -> Fig16Result {
     let spec = VideoSpec::generate(3, Genre::Sports, config.video_secs, config.seed);
-    let video = PreparedVideo::prepare(
+    let video = AssetStore::with_telemetry(&config.telemetry).get(
         &spec,
         &AssetConfig {
             history_users: 4,
+            telemetry: config.telemetry.clone(),
             ..AssetConfig::default()
         },
     );
     let gen = TraceGenerator::default();
     let users: Vec<_> = gen.generate_population(&video.scene, config.users, config.seed ^ 5);
     let bw = BandwidthTrace::lte_low(600.0, config.seed ^ 7);
-    let session_cfg = SessionConfig::default();
 
-    // Panels (a) and (b): per-chunk PSPNR with clean vs noisy prediction.
+    // Panels (a) and (b): per-chunk PSPNR with clean vs noisy prediction,
+    // one cell per (noise level × user).
+    let mut ab_cells = Vec::new();
+    for &noise in &config.noise_levels {
+        for (u, user) in users.iter().enumerate() {
+            ab_cells.push((noise, u, user));
+        }
+    }
+    let grid =
+        SweepGrid::new("fig16ab", config.seed, &config.telemetry).with_workers(config.workers);
+    let ab_runs = grid.run(ab_cells, |ctx, (noise, u, user)| {
+        let session_cfg = SessionConfig {
+            telemetry: ctx.telemetry.clone(),
+            ..SessionConfig::default()
+        };
+        let clean = simulate_session(&video, Method::Pano, user, &bw, &session_cfg);
+        // The client predicts from a noise-shifted trace, but the
+        // true perception still follows the clean trace: simulate
+        // with the noisy trace driving decisions and score both
+        // runs' chunk PSPNR difference as the estimation error.
+        let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 9);
+        let noisy = simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg);
+        (clean, noisy)
+    });
     let mut error_cdfs = Vec::new();
     let mut quality_cdfs = Vec::new();
-    for &noise in &config.noise_levels {
-        let runs =
-            crate::experiments::parallel_map(users.iter().enumerate().collect(), |(u, user)| {
-                let clean = simulate_session(&video, Method::Pano, user, &bw, &session_cfg);
-                // The client predicts from a noise-shifted trace, but the
-                // true perception still follows the clean trace: simulate
-                // with the noisy trace driving decisions and score both
-                // runs' chunk PSPNR difference as the estimation error.
-                let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 9);
-                let noisy = simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg);
-                (clean, noisy)
-            });
+    for (level_idx, &noise) in config.noise_levels.iter().enumerate() {
+        let runs = &ab_runs[level_idx * users.len()..(level_idx + 1) * users.len()];
         let mut errors = Vec::new();
         let mut qualities = Vec::new();
-        for (clean, noisy) in &runs {
+        for (clean, noisy) in runs {
             for (c_clean, c_noisy) in clean.chunks.iter().zip(&noisy.chunks) {
                 errors.push((c_clean.pspnr_db - c_noisy.pspnr_db).abs());
             }
@@ -110,47 +132,65 @@ pub fn run(config: &Fig16Config) -> Fig16Result {
         ));
     }
 
-    // Panel (c): mean PSPNR vs noise for Pano and the baseline.
-    let mut pspnr_vs_noise = Vec::new();
+    // Panel (c): mean PSPNR vs noise for Pano and the baseline, one cell
+    // per (noise level × user).
+    let mut c_cells = Vec::new();
     for &noise in &config.noise_sweep {
-        let pairs =
-            crate::experiments::parallel_map(users.iter().enumerate().collect(), |(u, user)| {
-                let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 10);
-                (
-                    simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg)
-                        .mean_pspnr(),
-                    simulate_session(&video, Method::Flare, &noisy_trace, &bw, &session_cfg)
-                        .mean_pspnr(),
-                )
-            });
-        let pano_q: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let flare_q: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        for (u, user) in users.iter().enumerate() {
+            c_cells.push((noise, u, user));
+        }
+    }
+    let grid =
+        SweepGrid::new("fig16c", config.seed, &config.telemetry).with_workers(config.workers);
+    let pairs = grid.run(c_cells, |ctx, (noise, u, user)| {
+        let session_cfg = SessionConfig {
+            telemetry: ctx.telemetry.clone(),
+            ..SessionConfig::default()
+        };
+        let noisy_trace = add_viewpoint_noise(user, noise, config.seed ^ (u as u64) << 10);
+        (
+            simulate_session(&video, Method::Pano, &noisy_trace, &bw, &session_cfg).mean_pspnr(),
+            simulate_session(&video, Method::Flare, &noisy_trace, &bw, &session_cfg).mean_pspnr(),
+        )
+    });
+    let mut pspnr_vs_noise = Vec::new();
+    for (sweep_idx, &noise) in config.noise_sweep.iter().enumerate() {
+        let level = &pairs[sweep_idx * users.len()..(sweep_idx + 1) * users.len()];
+        let pano_q: Vec<f64> = level.iter().map(|p| p.0).collect();
+        let flare_q: Vec<f64> = level.iter().map(|p| p.1).collect();
         pspnr_vs_noise.push((noise, mean(&pano_q), mean(&flare_q)));
     }
 
-    // Panel (d): throughput-prediction bias.
-    let mut bandwidth_error = Vec::new();
+    // Panel (d): throughput-prediction bias, one cell per (bias × method)
+    // with the user population inside.
+    let mut d_cells = Vec::new();
     for &bias in &config.biases {
         for method in [Method::Pano, Method::Flare] {
-            let mut buffs = Vec::new();
-            let mut quals = Vec::new();
-            for user in &users {
-                let r = simulate_session(
-                    &video,
-                    method,
-                    user,
-                    &bw,
-                    &SessionConfig {
-                        throughput_bias: bias,
-                        ..SessionConfig::default()
-                    },
-                );
-                buffs.push(r.buffering_ratio_pct());
-                quals.push(r.mean_pspnr());
-            }
-            bandwidth_error.push((bias * 100.0, method, mean(&buffs), mean(&quals)));
+            d_cells.push((bias, method));
         }
     }
+    let grid =
+        SweepGrid::new("fig16d", config.seed, &config.telemetry).with_workers(config.workers);
+    let bandwidth_error = grid.run(d_cells, |ctx, (bias, method)| {
+        let mut buffs = Vec::new();
+        let mut quals = Vec::new();
+        for user in &users {
+            let r = simulate_session(
+                &video,
+                method,
+                user,
+                &bw,
+                &SessionConfig {
+                    throughput_bias: bias,
+                    telemetry: ctx.telemetry.clone(),
+                    ..SessionConfig::default()
+                },
+            );
+            buffs.push(r.buffering_ratio_pct());
+            quals.push(r.mean_pspnr());
+        }
+        (bias * 100.0, method, mean(&buffs), mean(&quals))
+    });
 
     Fig16Result {
         error_cdfs,
@@ -206,6 +246,7 @@ mod tests {
             noise_sweep: vec![0.0, 80.0],
             biases: vec![0.0, 0.3],
             seed: 0x16,
+            ..Fig16Config::default()
         }
     }
 

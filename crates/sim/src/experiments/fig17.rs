@@ -12,7 +12,7 @@
 //! * (c) provider pre-processing time per minute of video, split into
 //!   encoding and manifest/lookup formation.
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
 use crate::methods::Method;
 use pano_trace::{BandwidthTrace, TraceGenerator};
@@ -60,7 +60,8 @@ pub fn run(video_secs: f64, seed: u64) -> Fig17Result {
     };
 
     // Provider-side preparation (Fig. 17c): measured inside prepare().
-    let video = PreparedVideo::prepare(&spec, &config);
+    // The store is fresh, so this is a miss and prep_times are real.
+    let video = AssetStore::new().get(&spec, &config);
     let (t_feat, t_tiling, t_encode, t_lookup) = video.prep_times;
     let per_min = 60.0 / video_secs;
 

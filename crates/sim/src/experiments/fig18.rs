@@ -7,10 +7,12 @@
 //! * (b) Bandwidth needed to reach the quality target per genre, Pano vs
 //!   the viewport-driven baseline (paper: 41–46 % savings).
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore, PreparedVideo};
 use crate::client::{simulate_session, SessionConfig};
+use crate::experiments::SweepGrid;
 use crate::methods::Method;
 use crate::metrics::mean;
+use pano_telemetry::{Json, Telemetry};
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{DatasetSpec, Genre};
 use serde::{Deserialize, Serialize};
@@ -40,11 +42,16 @@ fn bandwidth_to_reach_target(
     users: &[pano_trace::ViewpointTrace],
     target_db: f64,
 ) -> f64 {
+    // Sessions run sequentially: the sweep grid already parallelises
+    // across (video × method) cells, and the bisection is serial anyway.
     let quality_at = |bps: f64| -> f64 {
         let bw = BandwidthTrace::constant(bps, 600.0, 1.0);
-        let q = crate::experiments::parallel_map(users.iter().collect(), |u| {
-            simulate_session(video, method, u, &bw, &SessionConfig::default()).mean_pspnr()
-        });
+        let q: Vec<f64> = users
+            .iter()
+            .map(|u| {
+                simulate_session(video, method, u, &bw, &SessionConfig::default()).mean_pspnr()
+            })
+            .collect();
         mean(&q)
     };
     let mut lo = 0.05e6;
@@ -74,6 +81,10 @@ pub struct Fig18Config {
     pub genres: Vec<Genre>,
     /// Seed.
     pub seed: u64,
+    /// Telemetry handle; the asset store and sweep grid report into it.
+    pub telemetry: Telemetry,
+    /// Worker-pool bound for the sweep grid.
+    pub workers: Option<usize>,
 }
 
 impl Default for Fig18Config {
@@ -83,48 +94,97 @@ impl Default for Fig18Config {
             users: 3,
             genres: vec![Genre::Documentary, Genre::Sports, Genre::Adventure],
             seed: 0x18,
+            telemetry: Telemetry::disabled(),
+            workers: None,
         }
     }
 }
 
-/// Runs both panels.
+/// One grid cell: a bandwidth-target search for a method on a video.
+struct SearchCell {
+    video: std::sync::Arc<PreparedVideo>,
+    method: Method,
+    user_seed: u64,
+}
+
+/// Runs both panels as one sweep grid. The sports video anchors panel
+/// (a) and reappears among panel (b)'s genres; the asset store dedupes
+/// that build (the old driver prepared it twice).
 pub fn run(config: &Fig18Config) -> Fig18Result {
     let dataset = DatasetSpec::generate_with_duration(50, config.video_secs, config.seed);
     let asset_config = AssetConfig {
         history_users: 4,
+        telemetry: config.telemetry.clone(),
         ..AssetConfig::default()
     };
     let gen = TraceGenerator::default();
+    let store = AssetStore::with_telemetry(&config.telemetry);
 
-    // Panel (a): the ablation ladder on one sports video.
-    let spec = dataset
+    // Panel (a) anchor plus panel (b)'s genre videos, all through the
+    // store in one parallel prefetch.
+    let sports_spec = dataset
         .by_genre(Genre::Sports)
         .next()
         .expect("sports video exists");
-    let video = PreparedVideo::prepare(spec, &asset_config);
-    let users = gen.generate_population(&video.scene, config.users, config.seed ^ 21);
-    let ablation = Method::ABLATION
+    let genre_specs: Vec<_> = config
+        .genres
         .iter()
-        .map(|&m| {
-            (
-                m,
-                bandwidth_to_reach_target(&video, m, &users, TARGET_PSPNR_DB) / 1000.0,
-            )
-        })
+        .map(|&genre| dataset.by_genre(genre).next().expect("genre exists"))
         .collect();
+    let mut requests = vec![(sports_spec, &asset_config)];
+    requests.extend(genre_specs.iter().map(|s| (*s, &asset_config)));
+    let mut videos = store.get_many(requests).into_iter();
+    let sports = videos.next().expect("sports video prepared");
+    let genre_videos: Vec<_> = videos.collect();
 
-    // Panel (b): per-genre Pano vs viewport-driven.
+    // Cells: the ablation ladder on the sports video, then (Pano, Flare)
+    // per genre.
+    let mut cells = Vec::new();
+    for m in Method::ABLATION {
+        cells.push(SearchCell {
+            video: sports.clone(),
+            method: m,
+            user_seed: config.seed ^ 21,
+        });
+    }
+    for (spec, video) in genre_specs.iter().zip(&genre_videos) {
+        for method in [Method::Pano, Method::Flare] {
+            cells.push(SearchCell {
+                video: video.clone(),
+                method,
+                user_seed: config.seed ^ (spec.id as u64) << 6,
+            });
+        }
+    }
+
+    let grid = SweepGrid::new("fig18", config.seed, &config.telemetry).with_workers(config.workers);
+    let found = grid.run(cells, |ctx, cell| {
+        let users = gen.generate_population(&cell.video.scene, config.users, cell.user_seed);
+        let bps = bandwidth_to_reach_target(&cell.video, cell.method, &users, TARGET_PSPNR_DB);
+        if ctx.telemetry.is_enabled() {
+            ctx.telemetry.emit(
+                "cell_summary",
+                None,
+                Json::obj([
+                    ("video_id", Json::from(cell.video.spec.id)),
+                    ("method", Json::from(cell.method.label())),
+                    ("target_db", Json::from(TARGET_PSPNR_DB)),
+                    ("kbps", Json::from(bps / 1000.0)),
+                ]),
+            );
+        }
+        bps
+    });
+
+    let ablation: Vec<(Method, f64)> = Method::ABLATION
+        .iter()
+        .zip(&found)
+        .map(|(&m, &bps)| (m, bps / 1000.0))
+        .collect();
     let mut by_genre = Vec::new();
-    for &genre in &config.genres {
-        let spec = dataset.by_genre(genre).next().expect("genre exists");
-        let video = PreparedVideo::prepare(spec, &asset_config);
-        let users = gen.generate_population(
-            &video.scene,
-            config.users,
-            config.seed ^ (spec.id as u64) << 6,
-        );
-        let pano = bandwidth_to_reach_target(&video, Method::Pano, &users, TARGET_PSPNR_DB);
-        let flare = bandwidth_to_reach_target(&video, Method::Flare, &users, TARGET_PSPNR_DB);
+    for (i, &genre) in config.genres.iter().enumerate() {
+        let pano = found[Method::ABLATION.len() + 2 * i];
+        let flare = found[Method::ABLATION.len() + 2 * i + 1];
         let saving = 100.0 * (1.0 - pano / flare);
         by_genre.push((
             genre.label().to_string(),
@@ -169,7 +229,32 @@ mod tests {
             users: 2,
             genres: vec![Genre::Sports, Genre::Documentary],
             seed: 0x18,
+            ..Fig18Config::default()
         }
+    }
+
+    #[test]
+    fn sports_video_is_prepared_once_for_both_panels() {
+        // Panel (a) anchors on the Sports video and panel (b)'s genre
+        // list contains Sports again: the store must dedupe that build
+        // (the old driver prepared it twice).
+        let tel = Telemetry::recording(pano_telemetry::RunId::from_parts("fig18-store", 1), 1);
+        let r = run(&Fig18Config {
+            telemetry: tel.clone(),
+            ..tiny()
+        });
+        assert_eq!(r.ablation.len(), Method::ABLATION.len());
+        let snap = tel.snapshot();
+        assert!(
+            snap.counters["sim.asset_store.hits"] >= 1,
+            "sports video request must hit the cache: {:?}",
+            snap.counters
+        );
+        // Three distinct videos (sports + documentary + the deduped
+        // sports) -> two builds.
+        assert_eq!(snap.counters["sim.asset_store.misses"], 2);
+        assert_eq!(snap.counters["sim.asset_store.hits"], 1);
+        assert_eq!(snap.histograms["span.fig18"].count, 1);
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod grid;
 pub mod robustness;
 pub mod tables;
+
+pub use grid::{derive_cell_seed, CellCtx, SweepGrid};
 
 use serde::{Deserialize, Serialize};
 
@@ -78,39 +81,83 @@ mod tests {
     }
 }
 
+/// Environment override for the worker count used by [`parallel_map`]
+/// and [`SweepGrid`]; plumbed from `repro --threads N`.
+pub const THREADS_ENV: &str = "PANO_THREADS";
+
+/// Resolves the worker count for a parallel region: an explicit request
+/// wins, then the [`THREADS_ENV`] override, then the machine's available
+/// parallelism. Always at least 1.
+pub fn effective_workers(request: Option<usize>) -> usize {
+    request
+        .filter(|n| *n > 0)
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
 /// Fans `items` out across worker threads and collects `f(item)` in input
-/// order. The simulation is CPU-bound, so plain scoped threads (not an
-/// async runtime) are the right tool; results are written into pre-sized
-/// slots so no ordering logic is needed.
+/// order, with the worker count from [`effective_workers`]`(None)`.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    {
-        let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
-        for pair in items.into_iter().enumerate() {
-            queue.push(pair);
-        }
-        let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<R>>> =
-            slots.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..n_workers {
+    parallel_map_with(None, items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`None` defers to the
+/// env/machine default). The simulation is CPU-bound, so plain scoped
+/// threads (not an async runtime) are the right tool. Each worker pops
+/// `(index, item)` pairs off a shared queue and accumulates its results
+/// locally; the calling thread then writes every result into its slot
+/// through the join handles — the slots are touched by one thread only,
+/// so no per-slot locking is needed and input order is preserved.
+pub fn parallel_map_with<T, R, F>(workers: Option<usize>, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_items = items.len();
+    let n_workers = effective_workers(workers).min(n_items.max(1));
+    if n_workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
+    for pair in items.into_iter().enumerate() {
+        queue.push(pair);
+    }
+    let batches: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
                 scope.spawn(|_| {
+                    let mut done = Vec::new();
                     while let Some((idx, item)) = queue.pop() {
-                        let r = f(item);
-                        **slot_ptrs[idx].lock() = Some(r);
+                        done.push((idx, f(item)));
                     }
-                });
-            }
-        })
-        .expect("worker threads do not panic");
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker threads do not panic"))
+            .collect()
+    })
+    .expect("worker threads do not panic");
+    let mut slots: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
+    for (idx, r) in batches.into_iter().flatten() {
+        slots[idx] = Some(r);
     }
     slots
         .into_iter()
@@ -120,7 +167,7 @@ where
 
 #[cfg(test)]
 mod parallel_tests {
-    use super::parallel_map;
+    use super::{effective_workers, parallel_map, parallel_map_with};
 
     #[test]
     fn preserves_order_and_covers_all_items() {
@@ -140,5 +187,33 @@ mod parallel_tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |i: u64| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let serial = parallel_map_with(Some(1), (0..64).collect(), |i: u64| i * 3);
+        let parallel = parallel_map_with(Some(4), (0..64).collect(), |i: u64| i * 3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn explicit_request_beats_env_and_machine() {
+        assert_eq!(effective_workers(Some(5)), 5);
+        // A zero request is ignored rather than deadlocking the pool.
+        assert!(effective_workers(Some(0)) >= 1);
+        assert!(effective_workers(None) >= 1);
+    }
+
+    #[test]
+    fn env_override_is_honoured() {
+        // Process-global, but worker counts never change results — the
+        // other tests in this binary stay correct whichever value they
+        // observe while this one runs.
+        std::env::set_var(super::THREADS_ENV, "3");
+        assert_eq!(effective_workers(None), 3);
+        assert_eq!(effective_workers(Some(2)), 2);
+        std::env::set_var(super::THREADS_ENV, "not-a-number");
+        assert!(effective_workers(None) >= 1);
+        std::env::remove_var(super::THREADS_ENV);
     }
 }

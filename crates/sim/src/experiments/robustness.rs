@@ -10,8 +10,9 @@
 //! Every condition replays the same users over the same outage-punched
 //! trace with a seeded [`FaultPlan`], so rows are exactly reproducible.
 
-use crate::asset::{AssetConfig, PreparedVideo};
+use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
+use crate::experiments::SweepGrid;
 use crate::methods::Method;
 use crate::metrics::mean;
 use pano_net::{FaultPlan, RetryPolicy};
@@ -35,6 +36,9 @@ pub struct RobustnessConfig {
     /// (derived run id) that is merged back into this parent after the
     /// cell completes, so concurrent cells never contend on one registry.
     pub telemetry: Telemetry,
+    /// Worker-pool bound for the sweep grid (`None` = `PANO_THREADS` env
+    /// override or the machine's available parallelism).
+    pub workers: Option<usize>,
 }
 
 impl Default for RobustnessConfig {
@@ -45,6 +49,7 @@ impl Default for RobustnessConfig {
             loss_rates: vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4],
             seed: 0x20B5,
             telemetry: Telemetry::disabled(),
+            workers: None,
         }
     }
 }
@@ -104,9 +109,8 @@ pub struct RobustnessResult {
 /// the link, and per-user seeded fault plans at each loss rate.
 pub fn run(config: &RobustnessConfig) -> RobustnessResult {
     let tel = &config.telemetry;
-    let _sweep_span = tel.span("robust_sweep");
     let spec = VideoSpec::generate(3, Genre::Sports, config.video_secs, config.seed);
-    let video = PreparedVideo::prepare(
+    let video = AssetStore::with_telemetry(tel).get(
         &spec,
         &AssetConfig {
             history_users: 4,
@@ -123,15 +127,16 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
     let mut conditions = Vec::new();
     for &loss in &config.loss_rates {
         for (label, policy) in policies() {
-            let cell_idx = conditions.len() as u64;
-            conditions.push((cell_idx, loss, label, policy));
+            conditions.push((loss, label, policy));
         }
     }
-    let cells = crate::experiments::parallel_map(conditions, |(cell_idx, loss, label, policy)| {
-        // Per-cell child registry: sessions inside a cell run sequentially
-        // and share it; concurrent cells each own their registry while
-        // streaming events to the parent's sink under a derived run id.
-        let cell_tel = tel.child(label, cell_idx);
+    let grid = SweepGrid::new("robust_sweep", config.seed, tel).with_workers(config.workers);
+    let rows = grid.run(conditions, |ctx, (loss, label, policy)| {
+        // The grid hands each cell a child registry: sessions inside a
+        // cell run sequentially and share it; concurrent cells each own
+        // their registry while streaming events to the parent's sink
+        // under a derived run id.
+        let cell_tel = &ctx.telemetry;
         let runs: Vec<_> = users
             .iter()
             .enumerate()
@@ -199,13 +204,8 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
                 ]),
             );
         }
-        (row, cell_tel.snapshot())
+        row
     });
-    let mut rows = Vec::with_capacity(cells.len());
-    for (row, cell_snapshot) in cells {
-        tel.merge(&cell_snapshot);
-        rows.push(row);
-    }
     RobustnessResult { rows }
 }
 
@@ -241,7 +241,7 @@ mod tests {
             users: 2,
             loss_rates: vec![0.0, 0.2],
             seed: 0xB0B,
-            telemetry: Telemetry::disabled(),
+            ..RobustnessConfig::default()
         }
     }
 

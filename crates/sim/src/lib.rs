@@ -22,8 +22,9 @@ pub mod experiments;
 pub mod methods;
 pub mod metrics;
 
-pub use asset::{AssetConfig, PreparedVideo};
+pub use asset::{AssetConfig, AssetStore, PreparedVideo, StoreStats};
 pub use client::{simulate_session, RateController, SessionConfig};
+pub use experiments::{CellCtx, SweepGrid};
 pub use methods::Method;
 pub use metrics::{BufferSample, ChunkResult, SessionResult};
 // Delivery-fault configuration, re-exported so session callers can fill

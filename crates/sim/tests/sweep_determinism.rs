@@ -1,0 +1,76 @@
+//! The sweep engine's central guarantee: the worker count is a pure
+//! throughput knob. A grid run with one worker and the same grid run
+//! with many workers must produce byte-identical JSON results and the
+//! same merged telemetry aggregates.
+
+use pano_sim::experiments::{fig15, robustness};
+use pano_telemetry::{RunId, Snapshot, Telemetry};
+use pano_video::Genre;
+
+fn fig15_config(workers: Option<usize>, telemetry: Telemetry) -> fig15::Fig15Config {
+    fig15::Fig15Config {
+        genres: vec![Genre::Sports, Genre::Documentary],
+        videos_per_genre: 1,
+        video_secs: 16.0,
+        users_per_video: 2,
+        buffer_targets: vec![2.0],
+        workers,
+        telemetry,
+        ..fig15::Fig15Config::default()
+    }
+}
+
+/// Deterministic aggregates must agree: counters and gauges exactly,
+/// histograms by key and count (their values are wall-clock timings).
+fn assert_snapshots_agree(serial: &Snapshot, parallel: &Snapshot) {
+    assert_eq!(serial.counters, parallel.counters, "counters diverge");
+    assert_eq!(serial.gauges, parallel.gauges, "gauges diverge");
+    let serial_keys: Vec<_> = serial.histograms.keys().collect();
+    let parallel_keys: Vec<_> = parallel.histograms.keys().collect();
+    assert_eq!(serial_keys, parallel_keys, "histogram keys diverge");
+    for (key, h) in &serial.histograms {
+        assert_eq!(
+            h.count, parallel.histograms[key].count,
+            "histogram {key} count diverges"
+        );
+    }
+}
+
+#[test]
+fn fig15_grid_is_identical_across_worker_counts() {
+    let tel_serial = Telemetry::recording(RunId::from_parts("det-serial", 7), 7);
+    let serial = fig15::run(&fig15_config(Some(1), tel_serial.clone()));
+    let tel_parallel = Telemetry::recording(RunId::from_parts("det-parallel", 7), 7);
+    let parallel = fig15::run(&fig15_config(Some(4), tel_parallel.clone()));
+
+    let serial_bytes = serde_json::to_vec(&serial).expect("serialise");
+    let parallel_bytes = serde_json::to_vec(&parallel).expect("serialise");
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "fig15 JSON must be byte-identical for 1 vs 4 workers"
+    );
+    assert_snapshots_agree(&tel_serial.snapshot(), &tel_parallel.snapshot());
+}
+
+#[test]
+fn robustness_grid_is_identical_across_worker_counts() {
+    let run = |workers| {
+        let tel = Telemetry::recording(RunId::from_parts("det-robust", 3), 3);
+        let r = robustness::run(&robustness::RobustnessConfig {
+            video_secs: 12.0,
+            users: 2,
+            loss_rates: vec![0.0, 0.2],
+            seed: 3,
+            telemetry: tel.clone(),
+            workers,
+        });
+        (serde_json::to_vec(&r).expect("serialise"), tel.snapshot())
+    };
+    let (serial_bytes, serial_snap) = run(Some(1));
+    let (parallel_bytes, parallel_snap) = run(Some(3));
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "robustness JSON must be byte-identical for 1 vs 3 workers"
+    );
+    assert_snapshots_agree(&serial_snap, &parallel_snap);
+}

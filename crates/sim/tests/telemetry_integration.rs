@@ -2,7 +2,7 @@
 //! streaming stack without perturbing it, whichever sink is attached, and
 //! the JSONL artifact must replay as stamped, parseable events.
 
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore, PreparedVideo};
 use pano_sim::{simulate_session, Method, SessionConfig};
 use pano_telemetry::{read_jsonl, RunId, Telemetry};
 use pano_trace::{BandwidthTrace, TraceGenerator};
@@ -26,7 +26,7 @@ fn run_session(video: &PreparedVideo, tel: Telemetry) -> pano_sim::SessionResult
 #[test]
 fn zero_fault_session_is_identical_under_every_sink() {
     let spec = VideoSpec::generate(3, Genre::Sports, 16.0, 21);
-    let video = PreparedVideo::prepare(
+    let video = AssetStore::new().get(
         &spec,
         &AssetConfig {
             history_users: 4,

@@ -13,7 +13,7 @@
 
 use pano_geo::{Degrees, Equirect};
 use pano_jnd::Multipliers;
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore};
 use pano_sim::{simulate_session, Method, SessionConfig};
 use pano_trace::{ActionEstimator, BandwidthTrace, TraceGenerator};
 use pano_video::scene::LuminanceEvent;
@@ -42,7 +42,7 @@ fn main() {
         });
     }
 
-    let video = PreparedVideo::prepare(&spec, &AssetConfig::default());
+    let video = AssetStore::new().get(&spec, &AssetConfig::default());
     let scene = &video.scene;
 
     // A browsing user sweeping between the lit and dark sides.

@@ -12,7 +12,7 @@
 //! ```
 
 use pano_geo::{CellIdx, GridDims};
-use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::asset::{AssetConfig, AssetStore};
 use pano_sim::{simulate_session, Method, SessionConfig};
 use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{Genre, VideoSpec};
@@ -28,7 +28,7 @@ fn main() {
             .map(|o| o.yaw_speed.abs())
             .fold(0.0, f64::max)
     );
-    let video = PreparedVideo::prepare(&spec, &AssetConfig::default());
+    let video = AssetStore::new().get(&spec, &AssetConfig::default());
 
     // A user population that mostly tracks the athletes.
     let gen = TraceGenerator {

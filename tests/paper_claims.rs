@@ -88,6 +88,7 @@ fn claim_fig18a_every_component_saves_bandwidth() {
         users: 2,
         genres: vec![pano_video::Genre::Sports],
         seed: 0x18A,
+        ..exp::fig18::Fig18Config::default()
     });
     let base = r.ablation.first().expect("baseline present").1;
     let full = r.ablation.last().expect("full pano present").1;

@@ -62,17 +62,26 @@ pub const LUM_GRID: [f64; 5] = [0.0, 50.0, 100.0, 200.0, 240.0];
 /// multiplier range 1..60).
 pub const RATIO_GRID: [f64; 8] = [1.0, 1.5, 2.25, 3.4, 5.0, 10.0, 25.0, 60.0];
 
+/// Index of the grid point nearest to `x` (ties pick the earlier point,
+/// NaN snaps to the first). Binary search over the sorted grid — this
+/// runs once per factor per online estimate, so it must not scan.
+#[inline]
 fn nearest_idx(grid: &[f64], x: f64) -> usize {
-    let mut best = 0;
-    let mut bd = f64::INFINITY;
-    for (i, &g) in grid.iter().enumerate() {
-        let d = (g - x).abs();
-        if d < bd {
-            bd = d;
-            best = i;
-        }
+    let i = grid.partition_point(|&g| g < x);
+    if i == 0 {
+        return 0;
     }
-    best
+    if i == grid.len() {
+        return grid.len() - 1;
+    }
+    // grid[i-1] < x <= grid[i]: both differences are the exact absolute
+    // distances, so the tie-break (<=, earlier index wins) matches the
+    // first-minimum semantics of a forward scan.
+    if x - grid[i - 1] <= grid[i] - x {
+        i - 1
+    } else {
+        i
+    }
 }
 
 /// Rounds to four significant decimal digits — enough for dB-scale
@@ -87,6 +96,7 @@ fn round4(v: f64) -> f64 {
 }
 
 /// Interpolates `y(x)` on a sorted grid (linear, clamped at the ends).
+#[inline]
 fn interp(grid: &[f64], ys: &[f64], x: f64) -> f64 {
     debug_assert_eq!(grid.len(), ys.len());
     if x <= grid[0] {
@@ -95,10 +105,9 @@ fn interp(grid: &[f64], ys: &[f64], x: f64) -> f64 {
     if x >= grid[grid.len() - 1] {
         return ys[ys.len() - 1];
     }
-    let mut i = 0;
-    while grid[i + 1] < x {
-        i += 1;
-    }
+    // First segment whose upper end reaches x: with grid[0] < x < last,
+    // partition_point lands on the same index the old forward scan found.
+    let i = grid.partition_point(|&g| g < x).max(1) - 1;
     let f = (x - grid[i]) / (grid[i + 1] - grid[i]);
     ys[i] + (ys[i + 1] - ys[i]) * f
 }
@@ -127,9 +136,25 @@ pub struct PowerLawTable {
 }
 
 /// Builds lookup tables from the provider-side encodings.
+///
+/// The `build_*` methods take per-chunk `(&ChunkFeatures, &[EncodedTile])`
+/// pairs borrowed straight from the prepared artefacts — building a table
+/// allocates nothing proportional to the video.
 pub struct LookupBuilder<'a> {
     computer: &'a PspnrComputer,
     tel: Telemetry,
+}
+
+/// PSPNR from pre-fetched error quantiles at an effective JND threshold —
+/// the 1-D table kernel with the per-(tile, level) invariants hoisted out.
+#[inline]
+fn pspnr_from_quantiles_at_jnd(quantiles: &[f64; 16], jnd: f64) -> f64 {
+    let pmse = PspnrComputer::pmse_with_jnd_spread(quantiles, jnd);
+    if pmse <= 1e-12 {
+        PSPNR_CAP_DB
+    } else {
+        (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
+    }
 }
 
 impl<'a> LookupBuilder<'a> {
@@ -162,30 +187,12 @@ impl<'a> LookupBuilder<'a> {
             .pspnr_db
     }
 
-    /// PSPNR as a function of a raw action ratio (used by the 1-D tables):
-    /// evaluates the PMSE at `jnd = content_jnd × ratio` directly.
-    fn pspnr_at_ratio(
-        &self,
-        features: &ChunkFeatures,
-        tile: &EncodedTile,
-        level: QualityLevel,
-        ratio: f64,
-    ) -> f64 {
-        let jnd = self.computer.tile_content_jnd(features, tile) * ratio;
-        let pmse = PspnrComputer::pmse_with_jnd_spread(&tile.error_quantiles(level), jnd);
-        if pmse <= 1e-12 {
-            PSPNR_CAP_DB
-        } else {
-            (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
-        }
-    }
-
     /// Builds the full n³ table over all chunks.
-    pub fn build_full(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> FullLookupTable {
+    pub fn build_full(&self, chunks: &[(&ChunkFeatures, &[EncodedTile])]) -> FullLookupTable {
         let _span = self.tel.span("lookup_build_full");
         let entries: FullEntries = chunks
             .iter()
-            .map(|(features, tiles)| {
+            .map(|&(features, tiles)| {
                 tiles
                     .iter()
                     .map(|tile| {
@@ -235,19 +242,29 @@ impl<'a> LookupBuilder<'a> {
     }
 
     /// Builds the 1-D ratio table.
-    pub fn build_ratio(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> RatioLookupTable {
+    pub fn build_ratio(&self, chunks: &[(&ChunkFeatures, &[EncodedTile])]) -> RatioLookupTable {
         let _span = self.tel.span("lookup_build_ratio");
         let curves: Vec<Vec<Vec<Vec<f64>>>> = chunks
             .iter()
-            .map(|(features, tiles)| {
+            .map(|&(features, tiles)| {
                 tiles
                     .iter()
                     .map(|tile| {
+                        // The content JND depends only on (features, tile):
+                        // hoist it out of the level × ratio grid instead of
+                        // recomputing it for every entry.
+                        let content_jnd = self.computer.tile_content_jnd(features, tile);
                         QualityLevel::all()
                             .map(|level| {
+                                let quantiles = tile.error_quantiles(level);
                                 RATIO_GRID
                                     .iter()
-                                    .map(|&r| round4(self.pspnr_at_ratio(features, tile, level, r)))
+                                    .map(|&r| {
+                                        round4(pspnr_from_quantiles_at_jnd(
+                                            &quantiles,
+                                            content_jnd * r,
+                                        ))
+                                    })
                                     .collect()
                             })
                             .collect()
@@ -272,20 +289,25 @@ impl<'a> LookupBuilder<'a> {
     /// `ln P = ln a + b ln A` over the ratio grid. Points saturated at the
     /// PSPNR cap are excluded from the fit (they would drag the low-ratio
     /// region upward); estimates are clamped to the cap on evaluation.
-    pub fn build_power(&self, chunks: &[(ChunkFeatures, Vec<EncodedTile>)]) -> PowerLawTable {
+    pub fn build_power(&self, chunks: &[(&ChunkFeatures, &[EncodedTile])]) -> PowerLawTable {
         let _span = self.tel.span("lookup_build_power");
         let params: Vec<Vec<Vec<(f64, f64)>>> = chunks
             .iter()
-            .map(|(features, tiles)| {
+            .map(|&(features, tiles)| {
                 tiles
                     .iter()
                     .map(|tile| {
+                        let content_jnd = self.computer.tile_content_jnd(features, tile);
                         QualityLevel::all()
                             .map(|level| {
+                                let quantiles = tile.error_quantiles(level);
                                 let mut pts: Vec<(f64, f64)> = RATIO_GRID
                                     .iter()
                                     .filter_map(|&r| {
-                                        let p = self.pspnr_at_ratio(features, tile, level, r);
+                                        let p = pspnr_from_quantiles_at_jnd(
+                                            &quantiles,
+                                            content_jnd * r,
+                                        );
                                         if p < PSPNR_CAP_DB - 1e-6 {
                                             Some((r.ln(), p.max(1.0).ln()))
                                         } else {
@@ -444,11 +466,18 @@ mod tests {
         (PspnrComputer::default(), chunk_fixture(3))
     }
 
+    /// Borrows owned fixture pairs into the builder's input shape.
+    fn borrow_pairs(
+        owned: &[(ChunkFeatures, Vec<EncodedTile>)],
+    ) -> Vec<(&ChunkFeatures, &[EncodedTile])> {
+        owned.iter().map(|(f, t)| (f, t.as_slice())).collect()
+    }
+
     #[test]
     fn full_table_matches_ground_truth_on_grid_points() {
         let (comp, chunks) = builders_fixture();
         let b = LookupBuilder::new(&comp);
-        let full = b.build_full(&chunks);
+        let full = b.build_full(&borrow_pairs(&chunks));
         let action = ActionState {
             rel_speed_deg_s: 10.0,
             dof_diff: 0.7,
@@ -464,7 +493,7 @@ mod tests {
     #[test]
     fn full_table_snaps_off_grid_points() {
         let (comp, chunks) = builders_fixture();
-        let full = LookupBuilder::new(&comp).build_full(&chunks);
+        let full = LookupBuilder::new(&comp).build_full(&borrow_pairs(&chunks));
         // 11 deg/s snaps to the 10 deg/s grid point.
         let est = full.estimate(
             0,
@@ -490,7 +519,7 @@ mod tests {
     #[test]
     fn ratio_table_tracks_ground_truth() {
         let (comp, chunks) = builders_fixture();
-        let ratio = LookupBuilder::new(&comp).build_ratio(&chunks);
+        let ratio = LookupBuilder::new(&comp).build_ratio(&borrow_pairs(&chunks));
         for (speed, dof) in [(0.0, 0.0), (5.0, 0.3), (15.0, 1.0), (40.0, 2.0)] {
             let action = ActionState {
                 rel_speed_deg_s: speed,
@@ -515,7 +544,7 @@ mod tests {
         // distortion imperceptible), the fit may only err *conservatively*
         // (underestimate, never overestimate).
         let (comp, chunks) = builders_fixture();
-        let power = LookupBuilder::new(&comp).build_power(&chunks);
+        let power = LookupBuilder::new(&comp).build_power(&borrow_pairs(&chunks));
         for level in QualityLevel::all() {
             let action = ActionState {
                 rel_speed_deg_s: 12.0,
@@ -543,8 +572,8 @@ mod tests {
     #[test]
     fn estimates_monotone_in_action_ratio() {
         let (comp, chunks) = builders_fixture();
-        let ratio = LookupBuilder::new(&comp).build_ratio(&chunks);
-        let power = LookupBuilder::new(&comp).build_power(&chunks);
+        let ratio = LookupBuilder::new(&comp).build_ratio(&borrow_pairs(&chunks));
+        let power = LookupBuilder::new(&comp).build_power(&borrow_pairs(&chunks));
         let mut prev_r = 0.0;
         let mut prev_p = 0.0;
         for speed in [0.0, 5.0, 10.0, 20.0, 40.0] {
@@ -568,9 +597,9 @@ mod tests {
         // tiles) must show the same ordering with a large factor.
         let (comp, chunks) = builders_fixture();
         let b = LookupBuilder::new(&comp);
-        let full = b.build_full(&chunks).serialized_bytes();
-        let ratio = b.build_ratio(&chunks).serialized_bytes();
-        let power = b.build_power(&chunks).serialized_bytes();
+        let full = b.build_full(&borrow_pairs(&chunks)).serialized_bytes();
+        let ratio = b.build_ratio(&borrow_pairs(&chunks)).serialized_bytes();
+        let power = b.build_power(&borrow_pairs(&chunks)).serialized_bytes();
         assert!(full > 5 * ratio, "full {full} should dwarf ratio {ratio}");
         assert!(ratio > power, "ratio {ratio} vs power {power}");
     }
@@ -594,8 +623,8 @@ mod tests {
         );
         let instrumented = LookupBuilder::new(&comp).with_telemetry(&tel);
 
-        let ratio_a = plain.build_ratio(&chunks);
-        let ratio_b = instrumented.build_ratio(&chunks);
+        let ratio_a = plain.build_ratio(&borrow_pairs(&chunks));
+        let ratio_b = instrumented.build_ratio(&borrow_pairs(&chunks));
         let a = ActionState {
             rel_speed_deg_s: 12.0,
             dof_diff: 0.5,
@@ -605,8 +634,8 @@ mod tests {
             ratio_a.estimate(0, 1, QualityLevel(1), &a),
             ratio_b.estimate(0, 1, QualityLevel(1), &a)
         );
-        instrumented.build_power(&chunks);
-        instrumented.build_full(&chunks);
+        instrumented.build_power(&borrow_pairs(&chunks));
+        instrumented.build_full(&borrow_pairs(&chunks));
 
         let snap = tel.snapshot();
         // 3 chunks × 3 tiles × |levels| × 8 ratio points.
@@ -632,5 +661,84 @@ mod tests {
         assert_eq!(nearest_idx(&SPEED_GRID, 7.0), 1);
         assert_eq!(nearest_idx(&SPEED_GRID, 8.0), 2);
         assert_eq!(nearest_idx(&SPEED_GRID, 500.0), 4);
+    }
+
+    /// The linear forward scan `nearest_idx` replaced — kept here as the
+    /// behavioural reference the binary search is pinned against.
+    fn nearest_idx_linear(grid: &[f64], x: f64) -> usize {
+        let mut best = 0;
+        let mut bd = f64::INFINITY;
+        for (i, &g) in grid.iter().enumerate() {
+            let d = (g - x).abs();
+            if d < bd {
+                bd = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The linear forward scan `interp` replaced.
+    fn interp_linear(grid: &[f64], ys: &[f64], x: f64) -> f64 {
+        if x <= grid[0] {
+            return ys[0];
+        }
+        if x >= grid[grid.len() - 1] {
+            return ys[ys.len() - 1];
+        }
+        let mut i = 0;
+        while grid[i + 1] < x {
+            i += 1;
+        }
+        let f = (x - grid[i]) / (grid[i + 1] - grid[i]);
+        ys[i] + (ys[i + 1] - ys[i]) * f
+    }
+
+    /// Query points exercising every regime of a grid: a dense sweep past
+    /// both ends, the exact grid points, the exact midpoints (the tie
+    /// case) and NaN.
+    fn probe_points(grid: &[f64]) -> Vec<f64> {
+        let lo = grid[0] - 1.0;
+        let hi = grid[grid.len() - 1] + 1.0;
+        let mut xs: Vec<f64> = (0..=2000)
+            .map(|i| lo + (hi - lo) * i as f64 / 2000.0)
+            .collect();
+        xs.extend_from_slice(grid);
+        for w in grid.windows(2) {
+            xs.push(0.5 * (w[0] + w[1]));
+        }
+        xs.push(f64::NAN);
+        xs
+    }
+
+    #[test]
+    fn nearest_idx_matches_linear_reference_on_paper_grids() {
+        for grid in [
+            &SPEED_GRID[..],
+            &DOF_GRID[..],
+            &LUM_GRID[..],
+            &RATIO_GRID[..],
+        ] {
+            for x in probe_points(grid) {
+                assert_eq!(
+                    nearest_idx(grid, x),
+                    nearest_idx_linear(grid, x),
+                    "grid {grid:?} x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interp_matches_linear_reference_on_ratio_grid() {
+        let ys = [41.0, 43.5, 47.25, 52.0, 55.5, 63.0, 78.5, 96.0];
+        for x in probe_points(&RATIO_GRID) {
+            if x.is_nan() {
+                continue; // interp's contract assumes a numeric query.
+            }
+            let new = interp(&RATIO_GRID, &ys, x);
+            let old = interp_linear(&RATIO_GRID, &ys, x);
+            assert_eq!(new.to_bits(), old.to_bits(), "x {x}: {new} vs {old}");
+        }
     }
 }

@@ -39,7 +39,9 @@ fn chunk_fixture(n_chunks: usize) -> Vec<(ChunkFeatures, Vec<EncodedTile>)> {
 
 fn bench_lookup(c: &mut Criterion) {
     let computer = PspnrComputer::default();
-    let chunks = chunk_fixture(10);
+    let owned = chunk_fixture(10);
+    let chunks: Vec<(&ChunkFeatures, &[EncodedTile])> =
+        owned.iter().map(|(f, t)| (f, t.as_slice())).collect();
     let builder = LookupBuilder::new(&computer);
 
     c.bench_function("lookup_build_full", |b| {

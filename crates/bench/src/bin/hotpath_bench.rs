@@ -1,0 +1,429 @@
+//! `hotpath_bench` — wall-clock benchmark of the asset-preparation hot
+//! paths, with a regression gate against a committed baseline.
+//!
+//! Times a cold [`PreparedVideo::prepare`] of the default sports video at
+//! 1/2/4/pool workers (verifying the artefacts are byte-identical at every
+//! count), then micro-benchmarks the four kernels the preparation and
+//! client hot paths lean on: the fused PMSE-with-JND-spread pass, the
+//! power-law lookup build, the online lookup estimate, and the Pareto
+//! bitrate allocation. Results land in `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run --release -p pano-bench --bin hotpath_bench -- \
+//!     [OUT.json] [--baseline PATH] [--min-speedup X] [--write-baseline PATH]
+//! ```
+//!
+//! The regression gate compares the measured serial prepare against
+//! `--baseline` after rescaling by a fixed-FP-workload calibration (so a
+//! faster or slower runner does not trip it), with 20% tolerance. A
+//! baseline marked `"provisional": true` arms nothing: the bench prints
+//! the values a real baseline should carry (also emitted via
+//! `--write-baseline`) and skips the hard failure. `--min-speedup X`
+//! additionally fails the run if prepare at 4 workers is not `X`× faster
+//! than serial — enforced only when the machine actually has ≥4 workers.
+
+use pano_abr::allocate::{allocate_pareto, TileChoice};
+use pano_abr::lookup::{LookupBuilder, LookupScheme};
+use pano_jnd::{ActionState, PspnrComputer};
+use pano_sim::asset::{AssetConfig, PreparedVideo};
+use pano_sim::experiments::effective_workers;
+use pano_telemetry::Telemetry;
+use pano_video::codec::{EncodedTile, QualityLevel, DISTORTION_QUANTILES};
+use pano_video::{ChunkFeatures, Genre, VideoSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Relative wall-clock regression tolerated before the gate fails.
+const GATE_TOLERANCE: f64 = 0.20;
+/// Iterations of the fused PMSE kernel; its wall clock doubles as the
+/// machine-speed calibration for the baseline comparison.
+const PMSE_ITERS: u64 = 2_000_000;
+const ESTIMATE_ITERS: u64 = 1_000_000;
+const PARETO_ITERS: u64 = 2_000;
+
+fn spec() -> VideoSpec {
+    VideoSpec::generate(0, Genre::Sports, 12.0, 42)
+}
+
+fn config(workers: usize) -> AssetConfig {
+    AssetConfig {
+        workers: Some(workers),
+        telemetry: Telemetry::disabled(),
+        ..AssetConfig::default()
+    }
+}
+
+fn timed_prepare(workers: usize) -> (f64, PreparedVideo) {
+    let t0 = Instant::now();
+    let prepared = PreparedVideo::prepare(&spec(), &config(workers));
+    (t0.elapsed().as_secs_f64(), prepared)
+}
+
+/// Fused PMSE spread over a sweep of JND thresholds; returns (total secs,
+/// ns/op). The fixed workload also serves as the calibration figure.
+fn bench_pmse_spread() -> (f64, f64) {
+    let mut quantiles = DISTORTION_QUANTILES;
+    for v in &mut quantiles {
+        *v *= 6.0;
+    }
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..PMSE_ITERS {
+        let jnd = 2.0 + (i & 63) as f64 * 0.4;
+        acc += PspnrComputer::pmse_with_jnd_spread(black_box(&quantiles), black_box(jnd));
+    }
+    black_box(acc);
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, secs * 1e9 / PMSE_ITERS as f64)
+}
+
+/// Full power-law lookup build over the prepared video's borrowed
+/// `(features, tiles)` pairs; returns ms per build.
+fn bench_lookup_build(prepared: &PreparedVideo) -> f64 {
+    let pairs: Vec<(&ChunkFeatures, &[EncodedTile])> = prepared
+        .features
+        .iter()
+        .zip(prepared.pano_chunks.iter().map(|c| c.tiles.as_slice()))
+        .collect();
+    let builder = LookupBuilder::new(&prepared.computer);
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    while iters < 3 || (t0.elapsed().as_secs_f64() < 0.2 && iters < 64) {
+        black_box(builder.build_power(black_box(&pairs)));
+        iters += 1;
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Online PSPNR estimates against the shipped power-law table; ns/op.
+fn bench_online_estimate(prepared: &PreparedVideo) -> f64 {
+    let levels: Vec<QualityLevel> = QualityLevel::all().collect();
+    let n_chunks = prepared.pano_chunks.len();
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..ESTIMATE_ITERS {
+        let chunk = (i as usize) % n_chunks;
+        let tile = (i as usize * 7) % prepared.pano_chunks[chunk].tiles.len();
+        let level = levels[(i as usize) % levels.len()];
+        let action = ActionState {
+            rel_speed_deg_s: (i % 40) as f64,
+            lum_change: ((i * 11) % 240) as f64,
+            dof_diff: ((i % 20) as f64) * 0.1,
+        };
+        acc += prepared
+            .lookup
+            .estimate(chunk, tile, level, black_box(&action));
+    }
+    black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e9 / ESTIMATE_ITERS as f64
+}
+
+/// Pareto allocation over chunk 0's tiles across a sweep of budgets, with
+/// the choices built exactly the way the client builds them; µs/op.
+fn bench_pareto(prepared: &PreparedVideo) -> f64 {
+    let tiles = &prepared.pano_chunks[0].tiles;
+    let choices: Vec<TileChoice> = tiles
+        .iter()
+        .enumerate()
+        .map(|(tile_idx, tile)| {
+            let mut pmse = [0.0; 5];
+            for l in QualityLevel::all() {
+                let db =
+                    prepared
+                        .lookup
+                        .estimate_at_ratio(0, tile_idx, l, 1.0 + tile_idx as f64 * 0.05);
+                let rms = 255.0 / 10f64.powf(db / 20.0);
+                pmse[l.0 as usize] = rms * rms;
+            }
+            for l in 1..5 {
+                if pmse[l] > pmse[l - 1] {
+                    pmse[l] = pmse[l - 1];
+                }
+            }
+            TileChoice {
+                size_bytes: tile.size_bytes,
+                pmse,
+                pixel_area: tile.pixel_area,
+            }
+        })
+        .collect();
+    let floor: u64 = choices.iter().map(|c| c.size_bytes[0]).sum();
+    let ceil: u64 = choices.iter().map(|c| c.size_bytes[4]).sum();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..PARETO_ITERS {
+        let budget = floor + (ceil - floor) * (i % 100) / 100;
+        acc += allocate_pareto(black_box(&choices), black_box(budget)).total_bytes;
+    }
+    black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e6 / PARETO_ITERS as f64
+}
+
+/// The committed perf baseline this run is gated against.
+#[derive(serde::Deserialize)]
+struct Baseline {
+    /// `true` until real numbers from the reference runner are committed;
+    /// a provisional baseline reports instead of failing.
+    #[serde(default)]
+    provisional: bool,
+    #[serde(default)]
+    calibration_secs: f64,
+    #[serde(default)]
+    prepare_serial_secs: f64,
+}
+
+/// Outcome of the baseline comparison.
+#[derive(Debug, PartialEq)]
+enum Gate {
+    /// No hard limit applied (provisional or degenerate baseline).
+    Skipped(&'static str),
+    /// Within the rescaled limit (secs).
+    Pass(f64),
+    /// Over the rescaled limit (secs).
+    Fail(f64),
+}
+
+/// Compares a measured serial prepare against the baseline, rescaled by
+/// the ratio of the two machines' calibration workloads.
+fn gate(measured_serial: f64, measured_cal: f64, base: &Baseline, tol: f64) -> Gate {
+    if base.provisional {
+        return Gate::Skipped("baseline is provisional");
+    }
+    if base.calibration_secs <= 0.0 || base.prepare_serial_secs <= 0.0 {
+        return Gate::Skipped("baseline has no measurements");
+    }
+    let scale = measured_cal / base.calibration_secs;
+    let limit = base.prepare_serial_secs * scale * (1.0 + tol);
+    if measured_serial > limit {
+        Gate::Fail(limit)
+    } else {
+        Gate::Pass(limit)
+    }
+}
+
+struct Args {
+    out_path: String,
+    baseline: Option<String>,
+    min_speedup: Option<f64>,
+    write_baseline: Option<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
+    let mut args = Args {
+        out_path: "BENCH_hotpath.json".to_string(),
+        baseline: None,
+        min_speedup: None,
+        write_baseline: None,
+    };
+    while let Some(a) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")),
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")
+                        .parse()
+                        .expect("--min-speedup takes a number"),
+                )
+            }
+            _ => args.out_path = a,
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    let pool = effective_workers(None);
+    let mut counts = vec![1usize, 2, 4, pool];
+    counts.sort_unstable();
+    counts.dedup();
+
+    // Cold prepare per worker count, checking byte-identity throughout.
+    let mut runs: Vec<(usize, f64)> = Vec::new();
+    let mut reference_bytes: Option<Vec<u8>> = None;
+    let mut last = None;
+    for &w in &counts {
+        let (secs, prepared) = timed_prepare(w);
+        let bytes = prepared.artifact_bytes();
+        match &reference_bytes {
+            None => reference_bytes = Some(bytes),
+            Some(r) => assert_eq!(
+                *r, bytes,
+                "prepared artefacts must be byte-identical at {w} workers"
+            ),
+        }
+        println!("hotpath_bench: prepare @ {w:>2} workers: {secs:.3}s");
+        runs.push((w, secs));
+        last = Some(prepared);
+    }
+    let prepared = last.expect("at least one prepare ran");
+    let serial_secs = runs[0].1;
+
+    let (calibration_secs, pmse_ns) = bench_pmse_spread();
+    let lookup_build_ms = bench_lookup_build(&prepared);
+    let estimate_ns = bench_online_estimate(&prepared);
+    let pareto_us = bench_pareto(&prepared);
+    println!(
+        "hotpath_bench: kernels: pmse_spread {pmse_ns:.1}ns, lookup_build {lookup_build_ms:.2}ms, \
+         estimate {estimate_ns:.1}ns, pareto {pareto_us:.1}us"
+    );
+
+    // Baseline regression gate.
+    let gate_outcome = args.baseline.as_ref().map(|path| {
+        let raw = std::fs::read(path).expect("read baseline file");
+        let base: Baseline = serde_json::from_slice(&raw).expect("parse baseline file");
+        let g = gate(serial_secs, calibration_secs, &base, GATE_TOLERANCE);
+        match &g {
+            Gate::Skipped(why) => println!("hotpath_bench: gate skipped ({why})"),
+            Gate::Pass(limit) => {
+                println!("hotpath_bench: gate pass (serial {serial_secs:.3}s <= limit {limit:.3}s)")
+            }
+            Gate::Fail(limit) => println!(
+                "hotpath_bench: REGRESSION: serial prepare {serial_secs:.3}s \
+                 exceeds rescaled limit {limit:.3}s"
+            ),
+        }
+        g
+    });
+
+    if let Some(path) = &args.write_baseline {
+        let baseline = serde_json::json!({
+            "provisional": false,
+            "calibration_secs": calibration_secs,
+            "prepare_serial_secs": serial_secs,
+            "note": "Reference-machine hotpath baseline; regenerate with \
+                     hotpath_bench --write-baseline.",
+        });
+        std::fs::write(
+            path,
+            serde_json::to_vec_pretty(&baseline).expect("serialise"),
+        )
+        .expect("write baseline");
+        println!("hotpath_bench: wrote fresh baseline to {path}");
+    }
+
+    let report = serde_json::json!({
+        "experiment": "hotpath",
+        "video": {"genre": "Sports", "secs": 12.0, "seed": 42},
+        "artifacts_identical": true,
+        "prepare": runs.iter().map(|&(w, secs)| serde_json::json!({
+            "workers": w,
+            "wall_secs": secs,
+            "speedup": serial_secs / secs.max(1e-9),
+        })).collect::<Vec<_>>(),
+        "kernels": {
+            "pmse_spread_ns": pmse_ns,
+            "lookup_build_ms": lookup_build_ms,
+            "online_estimate_ns": estimate_ns,
+            "pareto_allocate_us": pareto_us,
+        },
+        "calibration_secs": calibration_secs,
+        "gate": match &gate_outcome {
+            None => serde_json::json!({"checked": false}),
+            Some(Gate::Skipped(why)) => serde_json::json!({"checked": false, "skipped": why}),
+            Some(Gate::Pass(limit)) => serde_json::json!({"checked": true, "pass": true, "limit_secs": limit}),
+            Some(Gate::Fail(limit)) => serde_json::json!({"checked": true, "pass": false, "limit_secs": limit}),
+        },
+    });
+    std::fs::write(
+        &args.out_path,
+        serde_json::to_vec_pretty(&report).expect("serialise report"),
+    )
+    .expect("write benchmark artifact");
+    println!("hotpath_bench: wrote {}", args.out_path);
+
+    if matches!(gate_outcome, Some(Gate::Fail(_))) {
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        let at4 = runs
+            .iter()
+            .find(|&&(w, _)| w == 4)
+            .map(|&(_, secs)| serial_secs / secs.max(1e-9));
+        match at4 {
+            Some(s) if pool >= 4 && s < min => {
+                println!(
+                    "hotpath_bench: SPEEDUP SHORTFALL: x{s:.2} at 4 workers < required x{min:.2}"
+                );
+                std::process::exit(1);
+            }
+            Some(s) if pool >= 4 => {
+                println!("hotpath_bench: speedup x{s:.2} at 4 workers >= x{min:.2}")
+            }
+            _ => println!("hotpath_bench: skipping --min-speedup: only {pool} hardware workers"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(provisional: bool, cal: f64, serial: f64) -> Baseline {
+        Baseline {
+            provisional,
+            calibration_secs: cal,
+            prepare_serial_secs: serial,
+        }
+    }
+
+    #[test]
+    fn provisional_baseline_never_fails() {
+        let g = gate(1e9, 1.0, &base(true, 1.0, 0.001), GATE_TOLERANCE);
+        assert_eq!(g, Gate::Skipped("baseline is provisional"));
+    }
+
+    #[test]
+    fn degenerate_baseline_is_skipped() {
+        let g = gate(1.0, 1.0, &base(false, 0.0, 0.0), GATE_TOLERANCE);
+        assert_eq!(g, Gate::Skipped("baseline has no measurements"));
+    }
+
+    #[test]
+    fn gate_rescales_by_calibration_ratio() {
+        // Baseline machine: 10s prepare at 1s calibration. This machine
+        // runs the calibration in 2s (half speed), so the limit is
+        // 10 * 2 * 1.2 = 24s.
+        let b = base(false, 1.0, 10.0);
+        match gate(23.9, 2.0, &b, GATE_TOLERANCE) {
+            Gate::Pass(limit) => assert!((limit - 24.0).abs() < 1e-9),
+            other => panic!("expected pass, got {other:?}"),
+        }
+        match gate(24.1, 2.0, &b, GATE_TOLERANCE) {
+            Gate::Fail(limit) => assert!((limit - 24.0).abs() < 1e-9),
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_tolerance_on_same_machine_passes() {
+        let b = base(false, 1.0, 10.0);
+        assert!(matches!(gate(11.9, 1.0, &b, GATE_TOLERANCE), Gate::Pass(_)));
+        assert!(matches!(gate(12.1, 1.0, &b, GATE_TOLERANCE), Gate::Fail(_)));
+    }
+
+    #[test]
+    fn baseline_parses_with_defaults() {
+        let b: Baseline = serde_json::from_str(r#"{"note": "x"}"#).expect("parse");
+        assert!(!b.provisional);
+        assert_eq!(b.calibration_secs, 0.0);
+    }
+
+    #[test]
+    fn args_parse_flags_and_positional() {
+        let a = parse_args(
+            ["out.json", "--baseline", "b.json", "--min-speedup", "2.0"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(a.out_path, "out.json");
+        assert_eq!(a.baseline.as_deref(), Some("b.json"));
+        assert_eq!(a.min_speedup, Some(2.0));
+        assert!(a.write_baseline.is_none());
+    }
+}

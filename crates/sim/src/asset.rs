@@ -15,7 +15,15 @@
 //! handles, coalesces concurrent builds of the same key, fans misses out
 //! across worker threads ([`AssetStore::get_many`]) and reports hit/miss/
 //! build-time counters through `pano-telemetry`.
+//!
+//! Preparation itself is parallel *inside* one video: chunks are
+//! independent, so every per-chunk stage (feature extraction, action
+//! averaging + tiling, encoding, manifest assembly) fans out over
+//! `AssetConfig::workers` threads while one-time work (trace generation,
+//! the lookup fit) stays on the calling thread. The worker count is a
+//! pure throughput knob — the artefact is byte-identical at any setting.
 
+use crate::experiments::parallel_map_with;
 use pano_abr::lookup::LookupBuilder;
 use pano_abr::{Manifest, PowerLawTable};
 use pano_geo::Viewport;
@@ -53,6 +61,13 @@ pub struct AssetConfig {
     /// counters and an `asset_prepared` event. Disabled by default and
     /// purely observational.
     pub telemetry: Telemetry,
+    /// Worker threads for the per-chunk fan-outs inside one preparation
+    /// (`None` = the `PANO_THREADS` env override or the machine's cores,
+    /// via [`crate::experiments::effective_workers`]). Purely a
+    /// throughput knob: the built artefact is byte-identical at any
+    /// worker count, so — like `telemetry` — it does not enter the
+    /// asset-store key.
+    pub workers: Option<usize>,
 }
 
 impl Default for AssetConfig {
@@ -66,6 +81,7 @@ impl Default for AssetConfig {
             history_seed: 0x9157,
             chunk_secs: 1.0,
             telemetry: Telemetry::disabled(),
+            workers: None,
         }
     }
 }
@@ -115,6 +131,13 @@ impl PreparedVideo {
     /// This is the raw (uncached) build; production callers go through
     /// [`AssetStore::get`], which deduplicates identical `(spec, config)`
     /// requests across an experiment grid.
+    ///
+    /// Every per-chunk stage fans out across `config.workers` threads
+    /// (chunks are independent by construction). Results are collected in
+    /// chunk order and telemetry counters are commutative atomics, so the
+    /// artefact and the merged telemetry aggregates are identical at any
+    /// worker count — see [`PreparedVideo::artifact_bytes`] and the
+    /// `prepare_determinism` test.
     pub fn prepare(spec: &VideoSpec, config: &AssetConfig) -> PreparedVideo {
         let eq = spec.resolution;
         let dims = config.unit_grid;
@@ -123,18 +146,24 @@ impl PreparedVideo {
         let tel = &config.telemetry;
         let computer = PspnrComputer::default().with_telemetry(tel);
         let n_chunks = (scene.duration_secs() / config.chunk_secs).ceil() as usize;
+        let workers = config.workers;
+        let chunk_ids = || (0..n_chunks).collect::<Vec<usize>>();
 
-        // 1. Feature extraction (the Yolo/tracking/luminance/DoF pass).
+        // 1. Feature extraction (the Yolo/tracking/luminance/DoF pass),
+        // one chunk per work item.
         let t0 = std::time::Instant::now();
         let stage_span = tel.span("prepare_features");
         let extractor = pano_video::FeatureExtractor::new(eq, dims);
-        let features: Vec<ChunkFeatures> = (0..n_chunks)
-            .map(|k| extractor.extract(&scene, spec.fps, k, config.chunk_secs))
-            .collect();
+        let features: Vec<ChunkFeatures> = parallel_map_with(workers, chunk_ids(), |k| {
+            extractor.extract(&scene, spec.fps, k, config.chunk_secs)
+        });
         drop(stage_span);
         let t_features = t0.elapsed().as_secs_f64();
 
-        // 2. History traces -> per-cell averaged actions -> tilings.
+        // 2. History traces -> per-cell averaged actions -> tilings. The
+        // trace population is generated once (it is shared state seeded
+        // per video); the per-chunk action averaging and efficiency-score
+        // grouping fan out together.
         let t0 = std::time::Instant::now();
         let stage_span = tel.span("prepare_tiling");
         let history = TraceGenerator::default().generate_population(
@@ -145,95 +174,97 @@ impl PreparedVideo {
         let est = ActionEstimator::new(eq);
         let popularity_prior =
             PopularityPrior::from_traces(&history, scene.duration_secs(), config.chunk_secs);
-        let history_actions: Vec<Vec<ActionState>> = (0..n_chunks)
-            .map(|k| {
-                average_actions(
+        let per_chunk: Vec<(Vec<ActionState>, Vec<GridRect>)> =
+            parallel_map_with(workers, chunk_ids(), |k| {
+                let actions = average_actions(
                     &est,
                     &scene,
                     &history,
                     &features[k],
                     k as f64 * config.chunk_secs,
-                )
-            })
-            .collect();
-
-        let pano_tiling: Vec<Vec<GridRect>> = (0..n_chunks)
-            .map(|k| {
-                let grid =
-                    efficiency_scores(&encoder, &computer, &eq, &features[k], &history_actions[k]);
-                group_tiles(&grid, config.pano_tiles).tiles
-            })
-            .collect();
+                );
+                let grid = efficiency_scores(&encoder, &computer, &eq, &features[k], &actions);
+                let tiles = group_tiles(&grid, config.pano_tiles).tiles;
+                (actions, tiles)
+            });
+        let (history_actions, pano_tiling): (Vec<Vec<ActionState>>, Vec<Vec<GridRect>>) =
+            per_chunk.into_iter().unzip();
         let uniform = uniform_tiling(dims, config.uniform_grid.0, config.uniform_grid.1);
         let popularity = viewing_popularity(&eq, dims, &history, scene.duration_secs());
         let clustile = clustile_tiling(dims, &popularity, config.clustile_tiles);
         drop(stage_span);
         let t_tiling = t0.elapsed().as_secs_f64();
 
-        // 3. Encoding under each tiling.
+        // 3. Encoding under each tiling: all four encodings of one chunk
+        // form one work item (they share the chunk's features).
         let t0 = std::time::Instant::now();
         let stage_span = tel.span("prepare_encoding");
         let whole = vec![dims.full_rect()];
-        let encode_fixed = |tiling: &[GridRect]| -> Vec<EncodedChunk> {
-            (0..n_chunks)
-                .map(|k| encoder.encode_chunk(&eq, &features[k], tiling))
-                .collect()
-        };
-        let pano_chunks: Vec<EncodedChunk> = (0..n_chunks)
-            .map(|k| encoder.encode_chunk(&eq, &features[k], &pano_tiling[k]))
-            .collect();
-        let uniform_chunks = encode_fixed(&uniform);
-        let clustile_chunks = encode_fixed(&clustile);
-        let whole_chunks = encode_fixed(&whole);
+        let encoded: Vec<[EncodedChunk; 4]> = parallel_map_with(workers, chunk_ids(), |k| {
+            [
+                encoder.encode_chunk(&eq, &features[k], &pano_tiling[k]),
+                encoder.encode_chunk(&eq, &features[k], &uniform),
+                encoder.encode_chunk(&eq, &features[k], &clustile),
+                encoder.encode_chunk(&eq, &features[k], &whole),
+            ]
+        });
+        let mut pano_chunks = Vec::with_capacity(n_chunks);
+        let mut uniform_chunks = Vec::with_capacity(n_chunks);
+        let mut clustile_chunks = Vec::with_capacity(n_chunks);
+        let mut whole_chunks = Vec::with_capacity(n_chunks);
+        for [p, u, c, w] in encoded {
+            pano_chunks.push(p);
+            uniform_chunks.push(u);
+            clustile_chunks.push(c);
+            whole_chunks.push(w);
+        }
         drop(stage_span);
         let t_encoding = t0.elapsed().as_secs_f64();
 
-        // 4. Lookup table + manifest over the Pano tiling.
+        // 4. Lookup table + manifest over the Pano tiling. The builder
+        // borrows the feature/tile pairs straight from the artefacts —
+        // nothing proportional to the video is cloned.
         let t0 = std::time::Instant::now();
         let stage_span = tel.span("prepare_lookup");
-        let pairs: Vec<(ChunkFeatures, Vec<pano_video::codec::EncodedTile>)> = features
+        let pairs: Vec<(&ChunkFeatures, &[pano_video::codec::EncodedTile])> = features
             .iter()
-            .cloned()
-            .zip(pano_chunks.iter().map(|c| c.tiles.clone()))
+            .zip(pano_chunks.iter().map(|c| c.tiles.as_slice()))
             .collect();
         let lookup = LookupBuilder::new(&computer)
             .with_telemetry(tel)
             .build_power(&pairs);
         let tracker = Tracker::default();
-        let manifest_chunks = pano_chunks
-            .iter()
-            .enumerate()
-            .map(|(k, enc)| {
-                let rects: Vec<(u32, u32, u32, u32)> = enc
-                    .tiles
-                    .iter()
-                    .map(|t| eq.rect_pixel_rect(dims, t.rect))
-                    .collect();
-                let stats: Vec<(f64, f64)> = enc
-                    .tiles
-                    .iter()
-                    .map(|t| {
-                        let mut lum = 0.0;
-                        let mut dof = 0.0;
-                        let mut n = 0.0;
-                        for cell in t.rect.cells() {
-                            let f = features[k].cell(cell);
-                            lum += f.luminance;
-                            dof += f.dof_dioptre;
-                            n += 1.0;
-                        }
-                        (lum / n, dof / n)
-                    })
-                    .collect();
-                let objects = tracker.track_chunk(
-                    &scene,
-                    spec.fps,
-                    k as f64 * config.chunk_secs,
-                    config.chunk_secs,
-                );
-                Manifest::chunk_from_encoding(spec.id, enc, &rects, &stats, objects)
-            })
-            .collect();
+        let pano_chunk_refs: Vec<(usize, &EncodedChunk)> = pano_chunks.iter().enumerate().collect();
+        let manifest_chunks = parallel_map_with(workers, pano_chunk_refs, |(k, enc)| {
+            let rects: Vec<(u32, u32, u32, u32)> = enc
+                .tiles
+                .iter()
+                .map(|t| eq.rect_pixel_rect(dims, t.rect))
+                .collect();
+            let stats: Vec<(f64, f64)> = enc
+                .tiles
+                .iter()
+                .map(|t| {
+                    let mut lum = 0.0;
+                    let mut dof = 0.0;
+                    let mut n = 0.0;
+                    for cell in t.rect.cells() {
+                        let f = features[k].cell(cell);
+                        lum += f.luminance;
+                        dof += f.dof_dioptre;
+                        n += 1.0;
+                    }
+                    (lum / n, dof / n)
+                })
+                .collect();
+            let objects = tracker.track_chunk(
+                &scene,
+                spec.fps,
+                k as f64 * config.chunk_secs,
+                config.chunk_secs,
+            );
+            Manifest::chunk_from_encoding(spec.id, enc, &rects, &stats, objects)
+        });
         let manifest = Manifest {
             video_id: spec.id,
             resolution: (eq.width, eq.height),
@@ -288,6 +319,46 @@ impl PreparedVideo {
         &self.config
     }
 
+    /// Serialises every deterministic build artefact — features, history
+    /// actions, the three tilings, all four encoding families, the lookup
+    /// table, the manifest and the popularity prior. Wall-clock timings
+    /// (`prep_times`) are excluded. This is the byte-identity witness the
+    /// determinism tests and `hotpath_bench` compare across worker counts.
+    pub fn artifact_bytes(&self) -> Vec<u8> {
+        #[derive(Serialize)]
+        struct Artifacts<'a> {
+            spec: &'a VideoSpec,
+            features: &'a [ChunkFeatures],
+            history_actions: &'a [Vec<ActionState>],
+            pano_tiling: &'a [Vec<GridRect>],
+            uniform_tiling: &'a [GridRect],
+            clustile_tiling: &'a [GridRect],
+            pano_chunks: &'a [EncodedChunk],
+            uniform_chunks: &'a [EncodedChunk],
+            clustile_chunks: &'a [EncodedChunk],
+            whole_chunks: &'a [EncodedChunk],
+            lookup: &'a PowerLawTable,
+            manifest: &'a Manifest,
+            popularity_prior: &'a PopularityPrior,
+        }
+        serde_json::to_vec(&Artifacts {
+            spec: &self.spec,
+            features: &self.features,
+            history_actions: &self.history_actions,
+            pano_tiling: &self.pano_tiling,
+            uniform_tiling: &self.uniform_tiling,
+            clustile_tiling: &self.clustile_tiling,
+            pano_chunks: &self.pano_chunks,
+            uniform_chunks: &self.uniform_chunks,
+            clustile_chunks: &self.clustile_chunks,
+            whole_chunks: &self.whole_chunks,
+            lookup: &self.lookup,
+            manifest: &self.manifest,
+            popularity_prior: &self.popularity_prior,
+        })
+        .expect("prepared artefacts serialise")
+    }
+
     /// Number of chunks.
     pub fn n_chunks(&self) -> usize {
         self.features.len()
@@ -330,8 +401,9 @@ impl ContentHash {
 
 /// Content address of one prepared-video request: every field of the
 /// `VideoSpec` (via its serialised form — the spec is pure data) plus
-/// every preparation knob of the `AssetConfig`. The telemetry handle is
-/// deliberately excluded: it is observational and never changes the
+/// every preparation knob of the `AssetConfig`. The telemetry handle and
+/// the worker count are deliberately excluded: telemetry is observational
+/// and the worker count is a pure throughput knob — neither changes the
 /// built artefact.
 fn asset_key(spec: &VideoSpec, config: &AssetConfig) -> u64 {
     let mut h = ContentHash::new();
@@ -722,6 +794,12 @@ mod store_tests {
             ..config()
         };
         assert_eq!(asset_key(&s, &c), asset_key(&s, &instrumented));
+        // The worker count is a throughput knob: same artefact, same key.
+        let threaded = AssetConfig {
+            workers: Some(7),
+            ..config()
+        };
+        assert_eq!(asset_key(&s, &c), asset_key(&s, &threaded));
     }
 
     #[test]

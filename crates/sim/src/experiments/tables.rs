@@ -90,13 +90,14 @@ pub fn sec63(seed: u64) -> Sec63Result {
         pano_geo::GridRect::new(0, 0, 12, 12),
         pano_geo::GridRect::new(0, 12, 12, 12),
     ];
-    let pairs: Vec<_> = (0..10)
+    let owned: Vec<_> = (0..10)
         .map(|k| {
             let f = extractor.extract(&scene, spec.fps, k, 1.0);
             let enc = encoder.encode_chunk(&eq, &f, &tiling);
             (f, enc.tiles)
         })
         .collect();
+    let pairs: Vec<_> = owned.iter().map(|(f, t)| (f, t.as_slice())).collect();
     let b = LookupBuilder::new(&computer);
     let full = b.build_full(&pairs).serialized_bytes();
     let ratio = b.build_ratio(&pairs).serialized_bytes();

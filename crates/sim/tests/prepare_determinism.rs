@@ -1,0 +1,78 @@
+//! The intra-prepare analogue of `sweep_determinism`: the worker count
+//! of `PreparedVideo::prepare`'s per-chunk fan-outs is a pure throughput
+//! knob. A cold build at 1 worker and a cold build at N workers must
+//! produce byte-identical artefacts, the same merged telemetry
+//! aggregates, and indistinguishable asset-store behaviour.
+
+use pano_sim::asset::{AssetConfig, AssetStore, PreparedVideo};
+use pano_telemetry::{RunId, Snapshot, Telemetry};
+use pano_video::{Genre, VideoSpec};
+use std::sync::Arc;
+
+fn spec() -> VideoSpec {
+    VideoSpec::generate(0, Genre::Sports, 6.0, 42)
+}
+
+fn config(workers: Option<usize>, telemetry: Telemetry) -> AssetConfig {
+    AssetConfig {
+        history_users: 3,
+        workers,
+        telemetry,
+        ..AssetConfig::default()
+    }
+}
+
+/// Deterministic aggregates must agree: counters and gauges exactly,
+/// histograms by key and count (their values are wall-clock timings).
+fn assert_snapshots_agree(serial: &Snapshot, parallel: &Snapshot) {
+    assert_eq!(serial.counters, parallel.counters, "counters diverge");
+    assert_eq!(serial.gauges, parallel.gauges, "gauges diverge");
+    let serial_keys: Vec<_> = serial.histograms.keys().collect();
+    let parallel_keys: Vec<_> = parallel.histograms.keys().collect();
+    assert_eq!(serial_keys, parallel_keys, "histogram keys diverge");
+    for (key, h) in &serial.histograms {
+        assert_eq!(
+            h.count, parallel.histograms[key].count,
+            "histogram {key} count diverges"
+        );
+    }
+}
+
+#[test]
+fn cold_prepare_is_byte_identical_across_worker_counts() {
+    let tel_serial = Telemetry::recording(RunId::from_parts("prep-serial", 1), 1);
+    let serial = PreparedVideo::prepare(&spec(), &config(Some(1), tel_serial.clone()));
+    let tel_parallel = Telemetry::recording(RunId::from_parts("prep-parallel", 1), 1);
+    let parallel = PreparedVideo::prepare(&spec(), &config(Some(4), tel_parallel.clone()));
+
+    assert_eq!(
+        serial.artifact_bytes(),
+        parallel.artifact_bytes(),
+        "prepared artefacts must be byte-identical for 1 vs 4 workers"
+    );
+    assert_snapshots_agree(&tel_serial.snapshot(), &tel_parallel.snapshot());
+}
+
+#[test]
+fn prepare_workers_do_not_split_the_asset_store() {
+    // The worker count is excluded from the store key: requests for the
+    // same video at different counts coalesce into one build, so the
+    // hit/miss stats are exactly what a single-config workload shows.
+    let store = AssetStore::new();
+    let s = spec();
+    let a = store.get(&s, &config(Some(1), Telemetry::disabled()));
+    let b = store.get(&s, &config(Some(3), Telemetry::disabled()));
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "worker counts must share one cached artefact"
+    );
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn store_builds_agree_with_direct_builds_at_any_worker_count() {
+    let direct = PreparedVideo::prepare(&spec(), &config(Some(1), Telemetry::disabled()));
+    let via_store = AssetStore::new().get(&spec(), &config(Some(2), Telemetry::disabled()));
+    assert_eq!(direct.artifact_bytes(), via_store.artifact_bytes());
+}

@@ -156,8 +156,9 @@ pub fn efficiency_scores(
             .tile_quality(features, &tile, q_high, action)
             .pspnr_db;
         scores.push((p_high - p_low) / dq);
-        let (_, _, w, h) = eq.cell_pixel_rect(dims, cell);
-        weights.push((w * h) as f64);
+        // The encoder already projected the unit rect to pixels; its area
+        // is exactly this cell's `cell_pixel_rect` width × height.
+        weights.push(tile.pixel_area as f64);
     }
     ScoreGrid::new(dims, scores, weights)
 }
@@ -357,8 +358,7 @@ pub fn efficiency_scores_refined(
             sqp += dq * (p - mean_p);
         }
         scores.push(sqp / sqq);
-        let (_, _, w, h) = eq.cell_pixel_rect(dims, cell);
-        weights.push((w * h) as f64);
+        weights.push(tile.pixel_area as f64);
     }
     ScoreGrid::new(dims, scores, weights)
 }

@@ -168,33 +168,50 @@ impl FeatureExtractor {
         let k = self.spatial_samples;
         let nt = self.time_samples;
 
+        // Per-chunk invariants, hoisted out of the cell loop: one frozen
+        // scene snapshot per time sample (sample times within the chunk,
+        // endpoints inclusive) plus one at the midpoint for object ids.
+        // Object positions and speeds are thereby computed nt + 1 times
+        // per chunk instead of once per (cell, spatial sample, time).
+        let instants: Vec<crate::scene::SceneInstant<'_>> = (0..nt)
+            .map(|ti| scene.instant(t0 + chunk_secs * ti as f64 / (nt - 1) as f64))
+            .collect();
+        let mid_instant = scene.instant(mid);
+
         let mut cells = Vec::with_capacity(self.dims.cell_count());
+        // Scratch lattice of sphere points, reused across cells: the
+        // sample positions do not depend on the time sample.
+        let mut points = Vec::with_capacity(k * k);
         for cell in self.dims.cells() {
             let (x0, y0, w, h) = self.eq.cell_pixel_rect(self.dims, cell);
+            points.clear();
+            for sy in 0..k {
+                for sx in 0..k {
+                    let px = x0 as f64 + (sx as f64 + 0.5) / k as f64 * w as f64;
+                    let py = y0 as f64 + (sy as f64 + 0.5) / k as f64 * h as f64;
+                    points.push(self.eq.pixel_to_sphere(px, py));
+                }
+            }
             let mut luma = 0.0;
             let mut dof = 0.0;
             let mut speed = 0.0;
             let mut texture = 0.0;
             let mut n = 0.0;
-            for ti in 0..nt {
-                // Sample times within the chunk, endpoints inclusive.
-                let t = t0 + chunk_secs * ti as f64 / (nt - 1) as f64;
-                for sy in 0..k {
-                    for sx in 0..k {
-                        let px = x0 as f64 + (sx as f64 + 0.5) / k as f64 * w as f64;
-                        let py = y0 as f64 + (sy as f64 + 0.5) / k as f64 * h as f64;
-                        let p = self.eq.pixel_to_sphere(px, py);
-                        let s = scene.sample(&p, t);
-                        luma += s.luma;
-                        dof += s.dof_dioptre;
-                        speed += s.content_speed;
-                        texture += s.texture_amp;
-                        n += 1.0;
-                    }
+            // Accumulation order (time-outer, row-major lattice inner) is
+            // unchanged, so the sums are bit-identical to the unhoisted
+            // per-point sampling.
+            for inst in &instants {
+                for p in &points {
+                    let s = inst.sample(p);
+                    luma += s.luma;
+                    dof += s.dof_dioptre;
+                    speed += s.content_speed;
+                    texture += s.texture_amp;
+                    n += 1.0;
                 }
             }
             let center = self.eq.cell_center(self.dims, cell);
-            let object_id = scene.object_at(&center, mid).map(|o| o.id);
+            let object_id = mid_instant.object_at(&center).map(|o| o.id);
             cells.push(CellFeatures {
                 luminance: luma / n,
                 dof_dioptre: dof / n,

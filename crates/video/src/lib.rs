@@ -33,5 +33,5 @@ pub use dataset::{DatasetSpec, Genre, VideoSpec};
 pub use export::{DatasetExport, DatasetIndex, VideoRecord};
 pub use features::{CellFeatures, ChunkFeatures, FeatureExtractor};
 pub use frame::LumaPlane;
-pub use scene::{LuminanceEvent, ObjectSpec, Scene, SceneSpec};
+pub use scene::{LuminanceEvent, ObjectSpec, Scene, SceneInstant, SceneSpec};
 pub use tracking::{ObjectTrack, TrackedObject, Tracker};

@@ -278,6 +278,23 @@ impl Scene {
         }
     }
 
+    /// Freezes the scene at time `t`: object positions and angular speeds
+    /// are computed once, so dense spatial sampling (the feature
+    /// extractor's k² × cells lattice) does not re-derive the trigonometry
+    /// per point. Samples are bit-identical to [`Scene::sample`] at `t`.
+    pub fn instant(&self, t: f64) -> SceneInstant<'_> {
+        SceneInstant {
+            scene: self,
+            t,
+            objects: self
+                .spec
+                .objects
+                .iter()
+                .map(|o| (o.position(t), o.angular_speed(t)))
+                .collect(),
+        }
+    }
+
     /// Renders the full equirectangular frame at time `t` to a luma plane
     /// of the projection's resolution.
     ///
@@ -294,6 +311,77 @@ impl Scene {
             }
         }
         plane
+    }
+}
+
+/// A scene frozen at one time: per-object position and angular speed are
+/// precomputed so repeated spatial queries cost no per-object trigonometry.
+///
+/// Produced by [`Scene::instant`]; [`SceneInstant::sample`] and
+/// [`SceneInstant::object_at`] agree exactly with the corresponding
+/// [`Scene`] methods at the snapshot time.
+#[derive(Debug, Clone)]
+pub struct SceneInstant<'a> {
+    scene: &'a Scene,
+    t: f64,
+    /// `(position(t), angular_speed(t))` per object, in spec order.
+    objects: Vec<(Viewpoint, f64)>,
+}
+
+impl SceneInstant<'_> {
+    /// The snapshot time, seconds.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Index of the topmost covering object and its great-circle distance
+    /// to `p`, if any — same precedence as [`Scene::object_at`].
+    fn object_hit(&self, p: &Viewpoint) -> Option<(usize, f64)> {
+        self.scene
+            .spec
+            .objects
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, o)| {
+                let d = self.objects[i].0.great_circle_distance(p).value();
+                (d <= o.size_deg / 2.0).then_some((i, d))
+            })
+    }
+
+    /// The object covering sphere point `p`, topmost first, if any.
+    pub fn object_at(&self, p: &Viewpoint) -> Option<&ObjectSpec> {
+        self.object_hit(p).map(|(i, _)| &self.scene.spec.objects[i])
+    }
+
+    /// Analytic sample at sphere point `p` — bit-identical to
+    /// `scene.sample(p, t)` at the snapshot time.
+    pub fn sample(&self, p: &Viewpoint) -> SceneSample {
+        let ev = self.scene.event_offset(self.t, p.yaw());
+        if let Some((i, d)) = self.object_hit(p) {
+            let obj = &self.scene.spec.objects[i];
+            let tex = if obj.texture_amp > 0.0 {
+                obj.texture_amp * (d / obj.size_deg * 8.0 * std::f64::consts::PI).sin()
+            } else {
+                0.0
+            };
+            SceneSample {
+                luma: (obj.base_luma as f64 + tex + ev).clamp(0.0, 255.0),
+                dof_dioptre: obj.dof_dioptre,
+                content_speed: self.objects[i].1,
+                texture_amp: obj.texture_amp,
+                object_id: Some(obj.id),
+            }
+        } else {
+            SceneSample {
+                luma: (self.scene.bg_luma_field(p) + self.scene.bg_texture(p) + ev)
+                    .clamp(0.0, 255.0),
+                dof_dioptre: self.scene.spec.bg_dof_dioptre,
+                content_speed: 0.0,
+                texture_amp: self.scene.spec.bg_texture_amp,
+                object_id: None,
+            }
+        }
     }
 }
 
@@ -473,5 +561,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_duration_panics() {
         Scene::new(SceneSpec::test_stimulus(0.0, 0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn instant_matches_pointwise_sample_bit_for_bit() {
+        // Two overlapping objects over a textured background with an
+        // event: every code path of sample() is exercised.
+        let mut spec = SceneSpec::test_stimulus(12.0, 1.2, 140);
+        spec.bg_luma_amp = 20.0;
+        spec.bg_texture_freq = 14.0;
+        spec.bg_texture_amp = 18.0;
+        spec.objects[0].texture_amp = 9.0;
+        spec.objects[0].size_deg = 25.0;
+        spec.objects.push(ObjectSpec {
+            id: 1,
+            yaw0: Degrees(5.0),
+            pitch0: Degrees(2.0),
+            yaw_speed: -8.0,
+            pitch_amp: 4.0,
+            pitch_period: 3.0,
+            size_deg: 20.0,
+            dof_dioptre: 0.7,
+            base_luma: 90,
+            texture_amp: 6.0,
+        });
+        spec.events.push(LuminanceEvent {
+            start: 0.5,
+            ramp_secs: 1.0,
+            from_level: 0.0,
+            to_level: 40.0,
+            yaw_range: Some((Degrees(-60.0), Degrees(60.0))),
+        });
+        let scene = Scene::new(spec, 10.0);
+        for t in [0.0, 0.75, 1.3, 4.0] {
+            let inst = scene.instant(t);
+            assert_eq!(inst.time(), t);
+            for yaw in (-180..180).step_by(7) {
+                for pitch in (-88..=88).step_by(11) {
+                    let p = Viewpoint::new(Degrees(yaw as f64), Degrees(pitch as f64));
+                    let a = scene.sample(&p, t);
+                    let b = inst.sample(&p);
+                    assert_eq!(a.luma.to_bits(), b.luma.to_bits(), "t {t} p {p:?}");
+                    assert_eq!(a, b, "t {t} p {p:?}");
+                    assert_eq!(
+                        scene.object_at(&p, t).map(|o| o.id),
+                        inst.object_at(&p).map(|o| o.id)
+                    );
+                }
+            }
+        }
     }
 }

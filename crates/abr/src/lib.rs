@@ -16,6 +16,8 @@
 //! **manifest** ([`manifest`]). [`buffer`] provides the playback-buffer
 //! bookkeeping shared by the client simulators.
 
+#![forbid(unsafe_code)]
+
 pub mod allocate;
 pub mod bola;
 pub mod buffer;

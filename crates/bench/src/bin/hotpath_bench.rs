@@ -281,7 +281,15 @@ fn main() {
         match &g {
             Gate::Skipped(why) => println!("hotpath_bench: gate skipped ({why})"),
             Gate::Pass(limit) => {
-                println!("hotpath_bench: gate pass (serial {serial_secs:.3}s <= limit {limit:.3}s)")
+                println!(
+                    "hotpath_bench: gate pass (serial {serial_secs:.3}s <= limit {limit:.3}s)"
+                );
+                if serial_secs * 3.0 < *limit {
+                    println!(
+                        "hotpath_bench: note: baseline is loose (>3x headroom) — tighten it \
+                         from this run's candidate via --write-baseline and commit the result"
+                    );
+                }
             }
             Gate::Fail(limit) => println!(
                 "hotpath_bench: REGRESSION: serial prepare {serial_secs:.3}s \

@@ -182,6 +182,7 @@ fn main() {
 
         let t0 = Instant::now();
         let (text, value) = {
+            // pano-lint: allow(telemetry-name): e.id is a &'static str from the static EXPERIMENTS table — still greppable
             let _span = tel.span(e.id);
             (e.run)(seed, &tel)
         };

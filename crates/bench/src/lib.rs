@@ -11,6 +11,8 @@
 //!
 //! The library part hosts the experiment registry shared by both.
 
+#![forbid(unsafe_code)]
+
 use pano_telemetry::Telemetry;
 use serde::Serialize;
 

@@ -26,6 +26,8 @@
 //! assert!(session.mean_pspnr() > 30.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod provider;
 

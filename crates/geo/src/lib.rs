@@ -19,6 +19,8 @@
 //! The crate is `std`-only, allocation-light, and has no dependencies beyond
 //! `serde` for (de)serialising the geometric types embedded in manifests.
 
+#![forbid(unsafe_code)]
+
 pub mod angle;
 pub mod grid;
 pub mod projection;

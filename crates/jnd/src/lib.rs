@@ -26,6 +26,8 @@
 //! * [`predictor`] — linear MOS predictors on top of quality metrics,
 //!   used by the Fig. 8 metric-accuracy comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod content;
 pub mod mos;
 pub mod multipliers;

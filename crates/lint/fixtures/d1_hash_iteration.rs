@@ -1,0 +1,14 @@
+// Fixture: rule D1 must fire on hash collections in artefact crates.
+// Scanned by the self-tests under a pretend `crates/sim/src/` path.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(items: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &it in items {
+        seen.insert(it);
+        *counts.entry(it).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

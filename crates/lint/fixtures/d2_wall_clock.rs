@@ -1,0 +1,11 @@
+// Fixture: rule D2 must fire on wall-clock and scheduler reads outside
+// pano-telemetry and bench binaries.
+use std::time::SystemTime;
+
+pub fn stamp() -> (f64, u64) {
+    let t0 = std::time::Instant::now();
+    let _id = std::thread::current().id();
+    let epoch = SystemTime::now();
+    let _ = epoch;
+    (t0.elapsed().as_secs_f64(), 0)
+}

@@ -1,0 +1,13 @@
+// Fixture: rule D3 must fire on entropy-seeded RNGs, even inside tests.
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flaky_by_construction() {
+        let _rng = rand::rngs::SmallRng::from_entropy();
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: rule P1 must fire on panicking calls in library code of the
+// net/trace/sim crates (scanned under a pretend `crates/sim/src/` path).
+pub fn fragile(input: Option<&str>) -> usize {
+    let s = input.unwrap();
+    let n: usize = s.parse().expect("numeric input");
+    if n == 0 {
+        panic!("zero is not allowed");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::fragile(Some("3")), 3);
+        let v: Option<u8> = Some(1);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: suppressions without a justification, or naming an unknown
+// rule, are themselves deny-level findings (S0 bad-suppression).
+use std::collections::HashMap; // pano-lint: allow(hash-iteration):
+
+// pano-lint: allow(made-up-rule): this rule does not exist
+pub fn probe(map: &HashMap<u32, u32>) -> usize {
+    map.len()
+}

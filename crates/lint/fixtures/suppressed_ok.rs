@@ -1,0 +1,13 @@
+// Fixture: a justified suppression silences the finding and is recorded
+// (used = true) in the report.
+use std::collections::HashMap; // pano-lint: allow(hash-iteration): fixture map is never iterated, only probed by key
+
+pub fn checked(input: Option<u32>) -> u32 {
+    // pano-lint: allow(panic-path): fixture invariant — caller validated the input
+    input.expect("validated")
+}
+
+// pano-lint: allow(hash-iteration): suppressions are per line — the type position needs its own
+pub fn lookup(map: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    map.get(&k).copied()
+}

@@ -1,0 +1,7 @@
+// Fixture: rule T1 must fire when a telemetry sink gets a non-literal
+// name, and stay quiet for literal names.
+pub fn record(telemetry: &pano_telemetry::Telemetry, label: &str, v: f64) {
+    telemetry.counter("fixture_calls", 1); // literal: fine
+    telemetry.gauge(label, v); // non-literal: T1
+    let _guard = telemetry.span(label); // non-literal: T1
+}

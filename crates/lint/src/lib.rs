@@ -1,0 +1,1054 @@
+//! # pano-lint — workspace determinism & robustness lint
+//!
+//! The whole evaluation pipeline rests on one invariant: artefacts are
+//! byte-identical for a given seed at any worker count. The runtime
+//! determinism tests (`sweep_determinism`, `prepare_determinism`) catch
+//! violations *after* they ship; this tool catches the known sources of
+//! nondeterminism and fragility at review time, statically:
+//!
+//! * **D1 `hash-iteration`** — no `HashMap`/`HashSet` in the numeric /
+//!   artefact crates (geo, video, jnd, tiling, abr, trace, sim): their
+//!   iteration order is seeded per process, so anything folded out of one
+//!   becomes run-dependent. Use `BTreeMap`/`BTreeSet` or an explicit sort.
+//! * **D2 `wall-clock`** — no `Instant`/`SystemTime`/`thread::current`
+//!   outside `pano-telemetry` and the bench binaries: wall-clock readings
+//!   leak nondeterminism into whatever they touch. Timing goes through
+//!   `pano_telemetry::Stopwatch` or spans, where it is auditable.
+//! * **D3 `entropy-rng`** — no `thread_rng`/`from_entropy`/`OsRng`
+//!   anywhere (tests included): every RNG must be seeded explicitly
+//!   (splitmix64 derivation per cell/user is the house pattern).
+//! * **P1 `panic-path`** — no `unwrap()`/`expect()`/`panic!` in non-test
+//!   library code of net/trace/sim: delivery and import failures must
+//!   surface as typed errors, not process aborts.
+//! * **T1 `telemetry-name`** — metric/span/event names passed to
+//!   `.counter(` / `.gauge(` / `.histogram(` / `.span(` / `.emit(` must
+//!   be string literals, so the metric registry stays greppable.
+//!
+//! Any rule can be suppressed per line with a **mandatory justification**:
+//!
+//! ```text
+//! // pano-lint: allow(<slug>): <reason>
+//! ```
+//!
+//! either trailing on the offending line or on its own line directly
+//! above it. A suppression without a reason is itself a deny-level
+//! finding, and every suppression (used or not) is listed in the JSON
+//! report so the gate's blind spots stay visible.
+//!
+//! The engine is a hand-rolled Rust lexer plus token-pattern rules, not a
+//! full parser: the rules are token-shaped (identifier and punctuation
+//! sequences), the lexer understands strings / raw strings / char
+//! literals / lifetimes / nested comments well enough never to fire
+//! inside them, and `#[cfg(test)]` regions are masked by brace matching.
+//! That trades type-awareness (a method *named* `span` on a non-telemetry
+//! type would false-positive) for a zero-dependency tool that lints the
+//! workspace in milliseconds — the false-positive escape hatch is a
+//! justified suppression.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileCtx, Rule, RULES};
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds. Literal payloads are dropped — the rules only ever match
+/// identifiers and punctuation, and need to know that a literal *is* a
+/// string (rule T1), not what it says.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// A string or byte-string literal (including raw forms).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A `//` comment, kept for suppression parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineComment {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Text after the `//`.
+    pub text: String,
+    /// Whether any code token precedes the comment on its line.
+    pub code_before: bool,
+}
+
+/// Lexes Rust source into tokens plus the line comments.
+pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
+    let b = source.as_bytes();
+    let mut toks: Vec<Token> = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                let code_before = toks.last().is_some_and(|t| t.line == line);
+                comments.push(LineComment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..j]).into_owned(),
+                    code_before,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if j + 1 < n && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_quoted(b, i, &mut line);
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' => {
+                if let Some((end, is_str)) = raw_or_byte_literal(b, i, &mut line) {
+                    toks.push(Token {
+                        tok: if is_str { Tok::Str } else { Tok::Char },
+                        line,
+                    });
+                    i = end;
+                } else {
+                    i = push_ident(b, i, line, &mut toks);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    i = skip_quoted_char(b, i);
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    // Lifetime: consume the identifier after the quote.
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                i = push_ident(b, i, line, &mut toks);
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+fn push_ident(b: &[u8], i: usize, line: usize, toks: &mut Vec<Token>) -> usize {
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    toks.push(Token {
+        tok: Tok::Ident(String::from_utf8_lossy(&b[i..j]).into_owned()),
+        line,
+    });
+    j
+}
+
+/// Skips a `"..."` literal starting at `i`; returns the index past the
+/// closing quote and counts embedded newlines into `line`.
+fn skip_quoted(b: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a `'\x'`-style escaped char literal; returns the index past the
+/// closing quote.
+fn skip_quoted_char(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Recognises raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`,
+/// `br#"…"#`) and byte chars (`b'…'`) starting at `i`. Returns the index
+/// past the literal and whether it is string-like, or `None` if the `r`
+/// / `b` is just the start of an identifier.
+fn raw_or_byte_literal(b: &[u8], i: usize, line: &mut usize) -> Option<(usize, bool)> {
+    let n = b.len();
+    let mut j = i + 1;
+    if b[i] == b'b' {
+        if j < n && b[j] == b'\'' {
+            return Some((skip_quoted_char(b, j), false));
+        }
+        if j < n && b[j] == b'"' {
+            return Some((skip_quoted(b, j, line), true));
+        }
+        if j < n && b[j] == b'r' {
+            j += 1;
+        } else {
+            return None;
+        }
+    }
+    // Now expecting `#…#"` of a raw (byte) string.
+    let mut hashes = 0usize;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks; no escapes in raw strings.
+    while j < n {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, true));
+            }
+        }
+        j += 1;
+    }
+    Some((j, true))
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item (module, fn,
+/// impl, use) by brace matching, so test-exempt rules can skip them.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
+            // Skip any further attributes on the same item.
+            let mut j = after_attr;
+            while j + 1 < tokens.len()
+                && tokens[j].tok == Tok::Punct('#')
+                && tokens[j + 1].tok == Tok::Punct('[')
+            {
+                j = skip_balanced(tokens, j + 1, '[', ']');
+            }
+            // Consume the item: up to a top-level `;` or the matching `}`
+            // of its first brace block.
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = j.min(tokens.len().saturating_sub(1));
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Returns the identifier text if the token is an identifier.
+pub fn ident_str(t: &Tok) -> Option<&str> {
+    match t {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Whether the token is exactly the identifier `s`.
+pub fn is_ident(t: &Tok, s: &str) -> bool {
+    matches!(t, Tok::Ident(i) if i == s)
+}
+
+/// If an attribute starting at `i` is `#[cfg(…test…)]`, returns the token
+/// index just past its closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.tok != Tok::Punct('#') || tokens.get(i + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    if !is_ident(&tokens.get(i + 2)?.tok, "cfg") {
+        return None;
+    }
+    let end = skip_balanced(tokens, i + 1, '[', ']');
+    let has_test = tokens[i..end].iter().any(|t| is_ident(&t.tok, "test"));
+    if has_test {
+        Some(end)
+    } else {
+        None
+    }
+}
+
+/// Given `tokens[open_idx]` == the opening delimiter, returns the index
+/// just past its matching closer (counting all bracket kinds uniformly).
+fn skip_balanced(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct(c) if c == open => depth += 1,
+            Tok::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Rule code, e.g. `D1`.
+    pub code: &'static str,
+    /// Rule slug, e.g. `hash-iteration`.
+    pub slug: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.path, self.line, self.code, self.slug, self.message
+        )
+    }
+}
+
+/// One `// pano-lint: allow(…): …` suppression found in the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuppressionRecord {
+    /// Rule slug the suppression targets.
+    pub slug: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line the suppression applies to.
+    pub line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether it actually silenced a finding.
+    pub used: bool,
+}
+
+/// The result of scanning one file or a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Every suppression encountered, used or not.
+    pub suppressions: Vec<SuppressionRecord>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether any finding matches the deny set (`all` or explicit
+    /// codes/slugs).
+    pub fn denied(&self, deny: &[String]) -> bool {
+        self.findings.iter().any(|f| {
+            deny.iter()
+                .any(|d| d == "all" || d.eq_ignore_ascii_case(f.code) || d == f.slug)
+        })
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self, root: &str, deny: &[String]) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"tool\": \"pano-lint\",\n");
+        out.push_str(&format!("  \"root\": \"{}\",\n", json_escape(root)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"deny\": [{}],\n",
+            deny.iter()
+                .map(|d| format!("\"{}\"", json_escape(d)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"code\": \"{}\", \"slug\": \"{}\", \"summary\": \"{}\"}}{}\n",
+                r.code,
+                r.slug,
+                json_escape(r.summary),
+                if i + 1 < RULES.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"code\": \"{}\", \"slug\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}{}\n",
+                f.code,
+                f.slug,
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"slug\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+                 \"reason\": \"{}\", \"used\": {}}}{}\n",
+                json_escape(&s.slug),
+                json_escape(&s.path),
+                s.line,
+                json_escape(&s.reason),
+                s.used,
+                if i + 1 < self.suppressions.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"ok\": {}\n}}\n", !self.denied(deny)));
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed suppression comment, before matching against findings.
+#[derive(Debug, Clone)]
+struct PendingSuppression {
+    slug: String,
+    reason: String,
+    target_line: usize,
+}
+
+/// Extracts suppressions from a file's line comments. Malformed
+/// suppressions (missing reason, unknown rule) become findings.
+fn collect_suppressions(
+    rel_path: &str,
+    tokens: &[Token],
+    comments: &[LineComment],
+) -> (Vec<PendingSuppression>, Vec<Finding>) {
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Only a comment that *starts* with the marker is a suppression;
+        // this keeps prose and doc comments (`//! … pano-lint: allow(…)`)
+        // that merely describe the syntax from registering as malformed.
+        let Some(rest) = c.text.trim_start().strip_prefix("pano-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let parsed = parse_allow(rest);
+        match parsed {
+            Some((slug, reason)) if !reason.is_empty() => {
+                if RULES.iter().any(|r| r.slug == slug) {
+                    let target_line = if c.code_before {
+                        c.line
+                    } else {
+                        tokens
+                            .iter()
+                            .find(|t| t.line > c.line)
+                            .map_or(c.line + 1, |t| t.line)
+                    };
+                    out.push(PendingSuppression {
+                        slug,
+                        reason,
+                        target_line,
+                    });
+                } else {
+                    bad.push(Finding {
+                        code: "S0",
+                        slug: "bad-suppression",
+                        path: rel_path.to_string(),
+                        line: c.line,
+                        message: format!("suppression names unknown rule '{slug}'"),
+                    });
+                }
+            }
+            _ => bad.push(Finding {
+                code: "S0",
+                slug: "bad-suppression",
+                path: rel_path.to_string(),
+                line: c.line,
+                message: "malformed suppression: expected \
+                          `pano-lint: allow(<rule>): <reason>` with a non-empty reason"
+                    .to_string(),
+            }),
+        }
+    }
+    (out, bad)
+}
+
+/// Parses `allow(<slug>): <reason>`; returns `(slug, reason)`.
+fn parse_allow(s: &str) -> Option<(String, String)> {
+    let s = s.strip_prefix("allow(")?;
+    let close = s.find(')')?;
+    let slug = s[..close].trim().to_string();
+    let rest = s[close + 1..].trim_start();
+    let reason = rest.strip_prefix(':')?.trim().to_string();
+    Some((slug, reason))
+}
+
+/// Scans one file's source under its workspace-relative path.
+pub fn scan_source(rel_path: &str, source: &str) -> Report {
+    let (tokens, comments) = lex(source);
+    let mask = test_mask(&tokens);
+    let ctx = FileCtx::from_path(rel_path);
+    let raw = rules::check(&ctx, &tokens, &mask);
+    let (pending, mut findings) = collect_suppressions(rel_path, &tokens, &comments);
+    let mut suppressions: Vec<SuppressionRecord> = pending
+        .iter()
+        .map(|p| SuppressionRecord {
+            slug: p.slug.clone(),
+            path: rel_path.to_string(),
+            line: p.target_line,
+            reason: p.reason.clone(),
+            used: false,
+        })
+        .collect();
+    for mut f in raw {
+        f.path = rel_path.to_string();
+        let hit = pending
+            .iter()
+            .position(|p| p.slug == f.slug && p.target_line == f.line);
+        match hit {
+            Some(idx) => suppressions[idx].used = true,
+            None => findings.push(f),
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    Report {
+        findings,
+        suppressions,
+        files_scanned: 1,
+    }
+}
+
+/// Directories never scanned (build outputs, VCS, the lint fixtures —
+/// which violate the rules on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "fixtures"];
+
+/// Recursively collects the workspace's `.rs` files, sorted for stable
+/// report order.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir)?;
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans every `.rs` file under `root` and merges the per-file reports.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let file_report = scan_source(&rel, &source);
+        report.findings.extend(file_report.findings);
+        report.suppressions.extend(file_report.suppressions);
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.code.cmp(b.code))
+    });
+    report
+        .suppressions
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// The workspace root this tool lints: `--root` wins, else the lint
+/// crate's grandparent (when built by cargo), else the current directory.
+pub fn default_root() -> PathBuf {
+    if let Some(dir) = option_env!("CARGO_MANIFEST_DIR") {
+        let p = Path::new(dir);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+#[cfg(test)]
+mod lexer_tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tokens_carry_lines() {
+        let (toks, _) = lex("foo\nbar(baz)\n");
+        assert_eq!(
+            toks[0],
+            Token {
+                tok: Tok::Ident("foo".into()),
+                line: 1
+            }
+        );
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(
+            toks[2],
+            Token {
+                tok: Tok::Punct('('),
+                line: 2
+            }
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ids = idents(r#"let x = "HashMap::unwrap() // no"; y"#);
+        assert_eq!(ids, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_opaque() {
+        let ids = idents(r##"let a = r#"thread_rng " quote"#; let b = br"panic!"; c"##);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "c"]);
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let (toks, _) = lex("let s = \"a\nb\nc\";\nnext");
+        let next = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("next".into()))
+            .expect("next token");
+        assert_eq!(next.line, 4);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let (toks, comments) = lex("code(); // trailing note\n// own line\nmore();");
+        assert!(toks.iter().all(|t| t.tok != Tok::Ident("trailing".into())));
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].code_before);
+        assert!(!comments[1].code_before);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_skip_cleanly() {
+        let ids = idents("a /* outer /* inner unwrap() */ still */ b");
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let (toks, _) = lex("x.0.unwrap()");
+        assert!(toks
+            .windows(2)
+            .any(|w| w[0].tok == Tok::Punct('.') && w[1].tok == Tok::Ident("unwrap".into())));
+    }
+}
+
+#[cfg(test)]
+mod mask_tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn lib2() { z.unwrap(); }";
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        let unwraps: Vec<(usize, bool)> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.tok == Tok::Ident("unwrap".into()))
+            .map(|(t, m)| (t.line, *m))
+            .collect();
+        assert_eq!(unwraps, vec![(1, false), (4, true), (6, false)]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked_too() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() { a.unwrap(); } }\nkeep";
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        let keep = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("keep".into()))
+            .expect("keep");
+        assert!(!mask[keep]);
+        let unw = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("unwrap".into()))
+            .expect("unwrap");
+        assert!(mask[unw]);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_inside_the_mask() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { a.unwrap(); }\nfn live() {}";
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        let unw = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("unwrap".into()))
+            .expect("unwrap");
+        assert!(mask[unw]);
+        let live = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("live".into()))
+            .expect("live");
+        assert!(!mask[live]);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_masked() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() { a.unwrap(); }";
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        assert!(mask.iter().all(|m| !m));
+    }
+}
+
+#[cfg(test)]
+mod suppression_tests {
+    use super::*;
+
+    #[test]
+    fn trailing_suppression_silences_same_line() {
+        let src = "use std::collections::HashMap; \
+                   // pano-lint: allow(hash-iteration): keyed by insertion, never iterated\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressions.len(), 1);
+        assert!(r.suppressions[0].used);
+        assert_eq!(
+            r.suppressions[0].reason,
+            "keyed by insertion, never iterated"
+        );
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let src = "// pano-lint: allow(hash-iteration): scratch map, drained via sort\n\
+                   use std::collections::HashMap;\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.suppressions[0].used);
+        assert_eq!(r.suppressions[0].line, 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding() {
+        let src = "// pano-lint: allow(hash-iteration):\nuse std::collections::HashMap;\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"S0"), "{codes:?}");
+        assert!(codes.contains(&"D1"), "{codes:?}");
+    }
+
+    #[test]
+    fn suppression_for_unknown_rule_is_a_finding() {
+        let src = "// pano-lint: allow(no-such-rule): because\nfn f() {}\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].code, "S0");
+    }
+
+    #[test]
+    fn suppression_of_wrong_rule_does_not_silence() {
+        let src = "// pano-lint: allow(wall-clock): not the right rule\n\
+                   use std::collections::HashMap;\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].code, "D1");
+        assert!(!r.suppressions[0].used);
+    }
+
+    #[test]
+    fn unused_suppressions_are_listed() {
+        let src = "// pano-lint: allow(panic-path): nothing here panics actually\nfn f() {}\n";
+        let r = scan_source("crates/net/src/x.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressions.len(), 1);
+        assert!(!r.suppressions[0].used);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn deny_matches_all_codes_and_slugs() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            code: "D1",
+            slug: "hash-iteration",
+            path: "x.rs".into(),
+            line: 1,
+            message: "m".into(),
+        });
+        assert!(r.denied(&["all".into()]));
+        assert!(r.denied(&["D1".into()]));
+        assert!(r.denied(&["d1".into()]));
+        assert!(r.denied(&["hash-iteration".into()]));
+        assert!(!r.denied(&["P1".into()]));
+        assert!(!r.denied(&[]));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let mut r = Report::default();
+        r.files_scanned = 3;
+        r.findings.push(Finding {
+            code: "P1",
+            slug: "panic-path",
+            path: "crates/net/src/a.rs".into(),
+            line: 9,
+            message: "`.unwrap()` in library code".into(),
+        });
+        r.suppressions.push(SuppressionRecord {
+            slug: "panic-path".into(),
+            path: "crates/sim/src/b.rs".into(),
+            line: 4,
+            reason: "invariant: \"quoted\"".into(),
+            used: true,
+        });
+        let json = r.to_json("/repo", &["all".to_string()]);
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 9"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}
+
+#[cfg(test)]
+mod workspace_tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        default_root()
+    }
+
+    #[test]
+    fn walker_skips_fixtures_and_target() {
+        let files = collect_rs_files(&repo_root()).expect("walk");
+        assert!(
+            files.iter().any(|p| p.ends_with("crates/lint/src/lib.rs")),
+            "walker must find this very file"
+        );
+        for p in &files {
+            let s = p.to_string_lossy();
+            assert!(!s.contains("/fixtures/"), "fixtures leaked: {s}");
+            assert!(!s.contains("/target/"), "target leaked: {s}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_clean_under_deny_all() {
+        // The tree itself must pass the gate: every violation either
+        // fixed or carrying a justified suppression. This is the same
+        // check CI runs via `cargo run -p pano-lint -- --deny all`.
+        let report = scan_workspace(&repo_root()).expect("scan");
+        assert!(
+            report.findings.is_empty(),
+            "workspace has lint findings:\n{}",
+            report
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        for s in &report.suppressions {
+            assert!(
+                !s.reason.is_empty(),
+                "unjustified suppression at {}:{}",
+                s.path,
+                s.line
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `pano-lint` CLI.
+//!
+//! ```text
+//! pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>]
+//! ```
+//!
+//! Exit codes: `0` clean (no denied findings), `1` denied findings
+//! present, `2` usage or I/O error. The JSON report is written whether or
+//! not the gate passes, so CI can always upload it.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pano_lint::{default_root, scan_workspace, Report};
+
+struct Options {
+    root: PathBuf,
+    deny: Vec<String>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root = default_root();
+    let mut deny = vec!["all".to_string()];
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--deny" => {
+                let v = args.next().ok_or("--deny needs `all` or a comma list")?;
+                deny = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--json" => {
+                json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options { root, deny, json })
+}
+
+const USAGE: &str = "usage: pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>]";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("pano-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pano-lint: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let denied = print_human(&report, &opts.deny);
+    if let Some(path) = &opts.json {
+        let json = report.to_json(&opts.root.display().to_string(), &opts.deny);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("pano-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report: {}", path.display());
+    }
+    if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints the findings and suppression audit; returns whether the deny
+/// set was hit.
+fn print_human(report: &Report, deny: &[String]) -> bool {
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let used = report.suppressions.iter().filter(|s| s.used).count();
+    let unused = report.suppressions.len() - used;
+    println!(
+        "pano-lint: {} files, {} finding(s), {} suppression(s) ({} unused)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len(),
+        unused
+    );
+    for s in report.suppressions.iter().filter(|s| !s.used) {
+        println!(
+            "note: unused suppression for `{}` at {}:{} — consider removing it",
+            s.slug, s.path, s.line
+        );
+    }
+    let denied = report.denied(deny);
+    if denied {
+        println!("pano-lint: FAIL (deny = {})", deny.join(","));
+    } else {
+        println!("pano-lint: ok");
+    }
+    denied
+}

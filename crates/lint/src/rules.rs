@@ -1,0 +1,481 @@
+//! The rule set and the per-file token scanner.
+//!
+//! Each rule is a token-pattern matcher scoped by [`FileCtx`] (which
+//! crate the file belongs to, whether it is test or bench code). Rules
+//! deliberately over-approximate — a method merely *named* like a
+//! telemetry sink will match T1 — because the suppression mechanism in
+//! the engine is the sanctioned escape hatch and leaves an audit trail.
+
+use crate::{ident_str, is_ident, Finding, Tok, Token};
+
+/// Static description of one lint rule.
+#[derive(Debug)]
+pub struct Rule {
+    /// Short code used in output and `--deny`, e.g. `D1`.
+    pub code: &'static str,
+    /// Slug used in suppressions, e.g. `hash-iteration`.
+    pub slug: &'static str,
+    /// One-line summary for reports.
+    pub summary: &'static str,
+}
+
+/// Every rule the tool knows, in output order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "D1",
+        slug: "hash-iteration",
+        summary: "no HashMap/HashSet in numeric/artefact crates; iteration order is \
+                  per-process and breaks byte-identical artefacts — use BTreeMap/BTreeSet",
+    },
+    Rule {
+        code: "D2",
+        slug: "wall-clock",
+        summary: "no Instant::now/SystemTime/thread::current outside pano-telemetry and \
+                  bench binaries — route timing through pano_telemetry::Stopwatch or spans",
+    },
+    Rule {
+        code: "D3",
+        slug: "entropy-rng",
+        summary: "no thread_rng/from_entropy/OsRng anywhere (tests included) — every RNG \
+                  must be explicitly seeded (splitmix64 derivation)",
+    },
+    Rule {
+        code: "P1",
+        slug: "panic-path",
+        summary: "no unwrap()/expect()/panic! in non-test library code of net/trace/sim — \
+                  surface failures as typed errors",
+    },
+    Rule {
+        code: "T1",
+        slug: "telemetry-name",
+        summary: "telemetry metric/span/event names must be string literals so the metric \
+                  registry stays greppable",
+    },
+];
+
+/// Crates whose artefacts must be byte-deterministic (rule D1 scope).
+const D1_CRATES: &[&str] = &["geo", "video", "jnd", "tiling", "abr", "trace", "sim"];
+
+/// Crates whose library code must not panic (rule P1 scope).
+const P1_CRATES: &[&str] = &["net", "trace", "sim"];
+
+/// Telemetry sink methods whose first argument rule T1 constrains.
+const T1_SINKS: &[&str] = &["counter", "gauge", "histogram", "span", "emit"];
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileCtx {
+    /// `crates/<name>/…` → `Some(name)`; the root umbrella crate → `None`.
+    pub crate_name: Option<String>,
+    /// Under a `tests/` directory (integration tests).
+    pub is_test_file: bool,
+    /// A bench binary (`crates/bench/src/bin/…`), `benches/` or
+    /// `examples/` — exempt from the wall-clock rule.
+    pub is_bench_or_example: bool,
+}
+
+impl FileCtx {
+    /// Classifies a workspace-relative path (`/`-separated).
+    pub fn from_path(rel_path: &str) -> FileCtx {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] => Some((*name).to_string()),
+            _ => None,
+        };
+        let is_test_file = parts.iter().any(|p| *p == "tests");
+        let is_bench_bin = crate_name.as_deref() == Some("bench")
+            && parts.contains(&"src")
+            && parts.contains(&"bin");
+        let is_bench_or_example =
+            is_bench_bin || parts.iter().any(|p| *p == "benches" || *p == "examples");
+        FileCtx {
+            crate_name,
+            is_test_file,
+            is_bench_or_example,
+        }
+    }
+
+    fn in_crates(&self, set: &[&str]) -> bool {
+        self.crate_name.as_deref().is_some_and(|c| set.contains(&c))
+    }
+}
+
+/// Runs every rule over one file's tokens. `mask[i]` marks tokens inside
+/// `#[cfg(test)]` regions. Returned findings are unsuppressed — the
+/// engine matches them against suppressions afterwards.
+pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let d1 = ctx.in_crates(D1_CRATES);
+    let d2 = ctx.crate_name.as_deref() != Some("telemetry") && !ctx.is_bench_or_example;
+    let p1 = ctx.in_crates(P1_CRATES);
+    let t1 = ctx.crate_name.as_deref() != Some("telemetry");
+    for i in 0..tokens.len() {
+        let in_test = mask[i] || ctx.is_test_file;
+        let line = tokens[i].line;
+        let id = ident_str(&tokens[i].tok);
+
+        // D3 applies everywhere, tests included: a seeded test is
+        // reproducible, an entropy-seeded one is a flake generator.
+        if let Some(name @ ("thread_rng" | "from_entropy" | "OsRng")) = id {
+            out.push(finding(
+                "entropy-rng",
+                line,
+                format!("`{name}` draws from process entropy"),
+            ));
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if d1 {
+            if let Some(name @ ("HashMap" | "HashSet")) = id {
+                out.push(finding(
+                    "hash-iteration",
+                    line,
+                    format!(
+                        "`{name}` has seeded iteration order; use BTree{} or sort",
+                        {
+                            if name == "HashMap" {
+                                "Map"
+                            } else {
+                                "Set"
+                            }
+                        }
+                    ),
+                ));
+            }
+        }
+
+        if d2 {
+            if is_ident(&tokens[i].tok, "Instant") && path_call(tokens, i, "now") {
+                out.push(finding(
+                    "wall-clock",
+                    line,
+                    "`Instant::now()` reads the wall clock".into(),
+                ));
+            }
+            if is_ident(&tokens[i].tok, "SystemTime") {
+                out.push(finding(
+                    "wall-clock",
+                    line,
+                    "`SystemTime` reads the wall clock".into(),
+                ));
+            }
+            if is_ident(&tokens[i].tok, "thread") && path_call(tokens, i, "current") {
+                out.push(finding(
+                    "wall-clock",
+                    line,
+                    "`thread::current()` is scheduler-dependent".into(),
+                ));
+            }
+        }
+
+        if p1 {
+            if let Some(name @ ("unwrap" | "expect")) = id {
+                let method_call = i > 0
+                    && tokens[i - 1].tok == Tok::Punct('.')
+                    && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+                if method_call {
+                    out.push(finding(
+                        "panic-path",
+                        line,
+                        format!("`.{name}()` can abort the process; return a typed error"),
+                    ));
+                }
+            }
+            if is_ident(&tokens[i].tok, "panic")
+                && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!'))
+            {
+                out.push(finding(
+                    "panic-path",
+                    line,
+                    "`panic!` aborts the process; return a typed error".into(),
+                ));
+            }
+        }
+
+        if t1 {
+            if let Some(name) = id.filter(|n| T1_SINKS.contains(n)) {
+                let method_call =
+                    i > 0 && tokens[i - 1].tok == Tok::Punct('.') && opens_paren(tokens, i + 1);
+                if method_call {
+                    let first_arg = tokens.get(i + 2).map(|t| &t.tok);
+                    let literal = matches!(first_arg, Some(Tok::Str));
+                    // `.span()` with no argument (e.g. tracing-style) still
+                    // violates the greppable-name contract.
+                    if !literal {
+                        out.push(finding(
+                            "telemetry-name",
+                            line,
+                            format!("`.{name}(…)` name must be a string literal"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds a finding for the rule with the given slug.
+fn finding(slug: &str, line: usize, message: String) -> Finding {
+    let r = RULES
+        .iter()
+        .find(|r| r.slug == slug)
+        .unwrap_or_else(|| unreachable!("unknown rule slug {slug}"));
+    Finding {
+        code: r.code,
+        slug: r.slug,
+        path: String::new(),
+        line,
+        message,
+    }
+}
+
+/// Whether `tokens[i]` is followed by `::segment`.
+fn path_call(tokens: &[Token], i: usize, segment: &str) -> bool {
+    tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| is_ident(&t.tok, segment))
+}
+
+/// Whether `tokens[i]` is an opening parenthesis.
+fn opens_paren(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).map(|t| &t.tok) == Some(&Tok::Punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lex, scan_source, test_mask};
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let (tokens, _) = lex(src);
+        let mask = test_mask(&tokens);
+        check(&FileCtx::from_path(path), &tokens, &mask)
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn classifies_paths() {
+        let c = FileCtx::from_path("crates/sim/src/asset.rs");
+        assert_eq!(c.crate_name.as_deref(), Some("sim"));
+        assert!(!c.is_test_file && !c.is_bench_or_example);
+
+        let t = FileCtx::from_path("crates/sim/tests/asset_store_stress.rs");
+        assert!(t.is_test_file);
+
+        let b = FileCtx::from_path("crates/bench/src/bin/hotpath_bench.rs");
+        assert!(b.is_bench_or_example);
+
+        let root = FileCtx::from_path("src/lib.rs");
+        assert_eq!(root.crate_name, None);
+    }
+
+    #[test]
+    fn d1_fires_only_in_artefact_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(codes(&run("crates/sim/src/x.rs", src)), vec!["D1"]);
+        assert_eq!(codes(&run("crates/trace/src/x.rs", src)), vec!["D1"]);
+        assert!(run("crates/net/src/x.rs", src).is_empty());
+        assert!(run("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_ignores_test_code() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }";
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+        assert!(run("crates/sim/tests/t.rs", "use std::collections::HashSet;").is_empty());
+    }
+
+    #[test]
+    fn d2_fires_outside_telemetry_and_bench() {
+        let src = "let t = std::time::Instant::now();";
+        assert_eq!(codes(&run("crates/sim/src/x.rs", src)), vec!["D2"]);
+        assert_eq!(codes(&run("crates/abr/src/x.rs", src)), vec!["D2"]);
+        assert!(run("crates/telemetry/src/span.rs", src).is_empty());
+        assert!(run("crates/bench/src/bin/hotpath_bench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_catches_system_time_and_thread_current() {
+        assert_eq!(
+            codes(&run("crates/net/src/x.rs", "let t = SystemTime::now();")),
+            vec!["D2"]
+        );
+        assert_eq!(
+            codes(&run(
+                "crates/sim/src/x.rs",
+                "let id = std::thread::current().id();"
+            )),
+            vec!["D2"]
+        );
+        // Plain `thread::spawn` is fine.
+        assert!(run("crates/sim/src/x.rs", "std::thread::spawn(f);").is_empty());
+    }
+
+    #[test]
+    fn d3_fires_everywhere_even_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let mut r = rand::thread_rng(); } }";
+        assert_eq!(codes(&run("crates/jnd/src/x.rs", src)), vec!["D3"]);
+        assert_eq!(
+            codes(&run(
+                "crates/sim/tests/t.rs",
+                "let r = SmallRng::from_entropy();"
+            )),
+            vec!["D3"]
+        );
+        assert_eq!(
+            codes(&run("crates/net/src/x.rs", "use rand::rngs::OsRng;")),
+            vec!["D3"]
+        );
+    }
+
+    #[test]
+    fn p1_fires_on_unwrap_expect_panic_in_scoped_crates() {
+        assert_eq!(
+            codes(&run("crates/net/src/x.rs", "let v = res.unwrap();")),
+            vec!["P1"]
+        );
+        assert_eq!(
+            codes(&run("crates/trace/src/x.rs", "let v = res.expect(\"m\");")),
+            vec!["P1"]
+        );
+        assert_eq!(
+            codes(&run("crates/sim/src/x.rs", "panic!(\"boom\");")),
+            vec!["P1"]
+        );
+    }
+
+    #[test]
+    fn p1_skips_other_crates_tests_and_lookalikes() {
+        assert!(run("crates/geo/src/x.rs", "let v = res.unwrap();").is_empty());
+        assert!(run(
+            "crates/net/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f() { r.unwrap(); } }"
+        )
+        .is_empty());
+        // Not method calls / not panics:
+        assert!(run("crates/net/src/x.rs", "let v = r.unwrap_or_else(f);").is_empty());
+        assert!(run("crates/sim/src/x.rs", "std::panic::resume_unwind(e);").is_empty());
+        assert!(run("crates/sim/src/x.rs", "let c = x.unwrap_or(0);").is_empty());
+    }
+
+    #[test]
+    fn t1_requires_literal_names() {
+        assert!(run(
+            "crates/sim/src/x.rs",
+            "telemetry.counter(\"asset_hits\", 1);"
+        )
+        .is_empty());
+        assert_eq!(
+            codes(&run("crates/sim/src/x.rs", "telemetry.counter(name, 1);")),
+            vec!["T1"]
+        );
+        assert_eq!(
+            codes(&run("crates/sim/src/x.rs", "let _g = t.span(self.label);")),
+            vec!["T1"]
+        );
+        // Method definitions and the telemetry crate itself are exempt.
+        assert!(run("crates/sim/src/x.rs", "pub fn span(&self, name: &str) {}").is_empty());
+        assert!(run("crates/telemetry/src/lib.rs", "self.emit(name, fields);").is_empty());
+    }
+
+    fn fixture(name: &str) -> (String, String) {
+        let path = crate::default_root()
+            .join("crates/lint/fixtures")
+            .join(name);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+        (format!("crates/sim/src/{name}"), src)
+    }
+
+    fn fixture_report(name: &str) -> crate::Report {
+        let (path, src) = fixture(name);
+        scan_source(&path, &src)
+    }
+
+    #[test]
+    fn fixture_d1_fires() {
+        let r = fixture_report("d1_hash_iteration.rs");
+        assert!(
+            r.findings.iter().any(|f| f.code == "D1"),
+            "{:?}",
+            r.findings
+        );
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_d2_fires() {
+        let r = fixture_report("d2_wall_clock.rs");
+        let n = r.findings.iter().filter(|f| f.code == "D2").count();
+        assert!(
+            n >= 3,
+            "want Instant/SystemTime/thread::current: {:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn fixture_d3_fires() {
+        let r = fixture_report("d3_entropy_rng.rs");
+        assert!(r.findings.iter().filter(|f| f.code == "D3").count() >= 2);
+    }
+
+    #[test]
+    fn fixture_p1_fires() {
+        let r = fixture_report("p1_panic_path.rs");
+        let n = r.findings.iter().filter(|f| f.code == "P1").count();
+        assert!(n >= 3, "want unwrap+expect+panic: {:?}", r.findings);
+    }
+
+    #[test]
+    fn fixture_t1_fires() {
+        let r = fixture_report("t1_telemetry_name.rs");
+        assert!(
+            r.findings.iter().any(|f| f.code == "T1"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn fixture_suppressed_ok_is_clean_and_audited() {
+        let r = fixture_report("suppressed_ok.rs");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(!r.suppressions.is_empty());
+        assert!(r
+            .suppressions
+            .iter()
+            .all(|s| s.used && !s.reason.is_empty()));
+    }
+
+    #[test]
+    fn fixture_suppressed_bad_denies() {
+        let r = fixture_report("suppressed_bad.rs");
+        assert!(
+            r.findings.iter().any(|f| f.code == "S0"),
+            "{:?}",
+            r.findings
+        );
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixtures_live_outside_the_walked_tree() {
+        let root = crate::default_root();
+        let files = crate::collect_rs_files(&root).expect("walk");
+        assert!(
+            !files
+                .iter()
+                .any(|p: &PathBuf| p.to_string_lossy().contains("lint/fixtures")),
+            "fixtures must not be scanned as workspace code"
+        );
+    }
+}

@@ -14,6 +14,8 @@
 //! wedged transfers, and a retry/backoff/timeout policy. A zero-fault
 //! plan degenerates to the plain [`Connection`], byte for byte.
 
+#![forbid(unsafe_code)]
+
 pub mod connection;
 pub mod fault;
 

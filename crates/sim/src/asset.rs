@@ -29,13 +29,13 @@ use pano_abr::{Manifest, PowerLawTable};
 use pano_geo::Viewport;
 use pano_geo::{Equirect, GridDims, GridRect};
 use pano_jnd::{ActionState, PspnrComputer};
-use pano_telemetry::{Json, Telemetry};
+use pano_telemetry::{Json, Stopwatch, Telemetry};
 use pano_tiling::{clustile_tiling, efficiency_scores, group_tiles, uniform_tiling};
 use pano_trace::{ActionEstimator, PopularityPrior, TraceGenerator, ViewpointTrace};
 use pano_video::codec::{EncodedChunk, Encoder};
 use pano_video::{ChunkFeatures, Scene, Tracker, VideoSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -151,20 +151,20 @@ impl PreparedVideo {
 
         // 1. Feature extraction (the Yolo/tracking/luminance/DoF pass),
         // one chunk per work item.
-        let t0 = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let stage_span = tel.span("prepare_features");
         let extractor = pano_video::FeatureExtractor::new(eq, dims);
         let features: Vec<ChunkFeatures> = parallel_map_with(workers, chunk_ids(), |k| {
             extractor.extract(&scene, spec.fps, k, config.chunk_secs)
         });
         drop(stage_span);
-        let t_features = t0.elapsed().as_secs_f64();
+        let t_features = sw.elapsed_secs();
 
         // 2. History traces -> per-cell averaged actions -> tilings. The
         // trace population is generated once (it is shared state seeded
         // per video); the per-chunk action averaging and efficiency-score
         // grouping fan out together.
-        let t0 = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let stage_span = tel.span("prepare_tiling");
         let history = TraceGenerator::default().generate_population(
             &scene,
@@ -193,11 +193,11 @@ impl PreparedVideo {
         let popularity = viewing_popularity(&eq, dims, &history, scene.duration_secs());
         let clustile = clustile_tiling(dims, &popularity, config.clustile_tiles);
         drop(stage_span);
-        let t_tiling = t0.elapsed().as_secs_f64();
+        let t_tiling = sw.elapsed_secs();
 
         // 3. Encoding under each tiling: all four encodings of one chunk
         // form one work item (they share the chunk's features).
-        let t0 = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let stage_span = tel.span("prepare_encoding");
         let whole = vec![dims.full_rect()];
         let encoded: Vec<[EncodedChunk; 4]> = parallel_map_with(workers, chunk_ids(), |k| {
@@ -219,12 +219,12 @@ impl PreparedVideo {
             whole_chunks.push(w);
         }
         drop(stage_span);
-        let t_encoding = t0.elapsed().as_secs_f64();
+        let t_encoding = sw.elapsed_secs();
 
         // 4. Lookup table + manifest over the Pano tiling. The builder
         // borrows the feature/tile pairs straight from the artefacts —
         // nothing proportional to the video is cloned.
-        let t0 = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let stage_span = tel.span("prepare_lookup");
         let pairs: Vec<(&ChunkFeatures, &[pano_video::codec::EncodedTile])> = features
             .iter()
@@ -271,10 +271,11 @@ impl PreparedVideo {
             fps: spec.fps,
             qp_ladder: pano_video::codec::QP_LADDER.to_vec(),
             chunks: manifest_chunks,
+            // pano-lint: allow(panic-path): serialising pure in-memory data; failure is a codec bug, not an input error
             lookup_table: serde_json::to_vec(&lookup).expect("lookup serialises"),
         };
         drop(stage_span);
-        let t_lookup = t0.elapsed().as_secs_f64();
+        let t_lookup = sw.elapsed_secs();
 
         if tel.is_enabled() {
             tel.emit(
@@ -356,6 +357,7 @@ impl PreparedVideo {
             manifest: &self.manifest,
             popularity_prior: &self.popularity_prior,
         })
+        // pano-lint: allow(panic-path): serialising pure in-memory data; failure is a codec bug, not an input error
         .expect("prepared artefacts serialise")
     }
 
@@ -407,6 +409,7 @@ impl ContentHash {
 /// built artefact.
 fn asset_key(spec: &VideoSpec, config: &AssetConfig) -> u64 {
     let mut h = ContentHash::new();
+    // pano-lint: allow(panic-path): serialising pure in-memory data; failure is a codec bug, not an input error
     h.eat(&serde_json::to_vec(spec).expect("video spec serialises"));
     h.eat_u64(config.unit_grid.rows as u64);
     h.eat_u64(config.unit_grid.cols as u64);
@@ -441,7 +444,7 @@ pub struct StoreStats {
 /// `sim.asset_store.{hits,misses}` counters and a
 /// `sim.asset_store.build_secs` histogram.
 pub struct AssetStore {
-    slots: Mutex<HashMap<u64, Arc<OnceLock<Arc<PreparedVideo>>>>>,
+    slots: Mutex<BTreeMap<u64, Arc<OnceLock<Arc<PreparedVideo>>>>>,
     telemetry: Telemetry,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -463,7 +466,7 @@ impl AssetStore {
     /// An empty store reporting its counters into `telemetry`.
     pub fn with_telemetry(telemetry: &Telemetry) -> AssetStore {
         AssetStore {
-            slots: Mutex::new(HashMap::new()),
+            slots: Mutex::new(BTreeMap::new()),
             telemetry: telemetry.clone(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -481,7 +484,9 @@ impl AssetStore {
     pub fn get(&self, spec: &VideoSpec, config: &AssetConfig) -> Arc<PreparedVideo> {
         let key = asset_key(spec, config);
         let slot = {
-            let mut slots = self.slots.lock().expect("asset-store map lock");
+            // Poisoning means a build panicked; the map itself is still
+            // coherent (slot insertion is atomic w.r.t. the lock).
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
             slots.entry(key).or_default().clone()
         };
         let mut built_now = false;
@@ -497,10 +502,10 @@ impl AssetStore {
                 } else {
                     config.clone()
                 };
-                let t0 = std::time::Instant::now();
+                let sw = Stopwatch::start();
                 let video = Arc::new(PreparedVideo::prepare(spec, &build_config));
-                let secs = t0.elapsed().as_secs_f64();
-                *self.build_secs.lock().expect("asset-store time lock") += secs;
+                let secs = sw.elapsed_secs();
+                *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()) += secs;
                 self.telemetry
                     .histogram("sim.asset_store.build_secs")
                     .record(secs);
@@ -526,7 +531,7 @@ impl AssetStore {
 
     /// Number of distinct assets cached (or being built).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("asset-store map lock").len()
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the store has served no build yet.
@@ -539,7 +544,7 @@ impl AssetStore {
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            build_secs: *self.build_secs.lock().expect("asset-store time lock"),
+            build_secs: *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 }

@@ -98,6 +98,7 @@ pub fn run(config: &Fig13Config) -> Fig13Result {
             dataset
                 .by_genre(genre)
                 .next()
+                // pano-lint: allow(panic-path): Genre::ALL is baked into DatasetSpec::generate — absence is a dataset-construction bug
                 .expect("dataset covers all genres")
         })
         .collect();

@@ -93,9 +93,9 @@ pub fn run(video_secs: f64, seed: u64) -> Fig17Result {
 
     let mut rows = Vec::new();
     for method in [Method::Flare, Method::Pano] {
-        let t0 = std::time::Instant::now();
+        let sw = pano_telemetry::Stopwatch::start();
         let session = simulate_session(&video, method, &trace, &bw, &cfg);
-        let cpu = t0.elapsed().as_secs_f64();
+        let cpu = sw.elapsed_secs();
         let n_chunks = session.chunks.len().max(1);
         let bytes = session.total_bytes() as f64;
         let decode = DECODE_RENDER_SECS_PER_MB * bytes / 1e6 / n_chunks as f64;

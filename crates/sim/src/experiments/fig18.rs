@@ -125,15 +125,18 @@ pub fn run(config: &Fig18Config) -> Fig18Result {
     let sports_spec = dataset
         .by_genre(Genre::Sports)
         .next()
+        // pano-lint: allow(panic-path): the generated dataset always carries a sports video; absence is a dataset-construction bug
         .expect("sports video exists");
     let genre_specs: Vec<_> = config
         .genres
         .iter()
+        // pano-lint: allow(panic-path): config.genres is a subset of the generated dataset's genres by construction
         .map(|&genre| dataset.by_genre(genre).next().expect("genre exists"))
         .collect();
     let mut requests = vec![(sports_spec, &asset_config)];
     requests.extend(genre_specs.iter().map(|s| (*s, &asset_config)));
     let mut videos = store.get_many(requests).into_iter();
+    // pano-lint: allow(panic-path): get_many returns one result per request and the sports request is pushed first
     let sports = videos.next().expect("sports video prepared");
     let genre_videos: Vec<_> = videos.collect();
 

@@ -92,6 +92,7 @@ impl SweepGrid {
         R: Send,
         F: Fn(&CellCtx, C) -> R + Sync,
     {
+        // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
         let _sweep_span = self.telemetry.span(self.label);
         let ctxs: Vec<CellCtx> = (0..cells.len())
             .map(|i| CellCtx {

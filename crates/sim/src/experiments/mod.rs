@@ -46,15 +46,14 @@ impl LabelledCdf {
 
     /// Value at a given percentile (0–100), by nearest point.
     pub fn percentile(&self, pct: f64) -> f64 {
-        if self.points.is_empty() {
+        let Some(&(fallback, _)) = self.points.last() else {
             return 0.0;
-        }
+        };
         let target = pct / 100.0;
         self.points
             .iter()
             .find(|(_, c)| *c >= target)
-            .map(|(v, _)| *v)
-            .unwrap_or(self.points.last().expect("non-empty").0)
+            .map_or(fallback, |(v, _)| *v)
     }
 }
 
@@ -151,18 +150,19 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker threads do not panic"))
+            // A worker that panicked carries its payload in the join
+            // error; re-raise it on the caller instead of inventing a
+            // second panic here.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
-    .expect("worker threads do not panic");
-    let mut slots: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
-    for (idx, r) in batches.into_iter().flatten() {
-        slots[idx] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    let mut indexed: Vec<(usize, R)> = batches.into_iter().flatten().collect();
+    // Every index 0..n_items appears exactly once (the queue hands each
+    // item to one worker), so sorting by index restores input order.
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(indexed.len(), n_items);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

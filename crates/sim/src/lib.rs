@@ -16,6 +16,8 @@
 //! * [`experiments`] — one driver per table/figure of the paper; each
 //!   returns a serialisable result the `repro` binary prints.
 
+#![forbid(unsafe_code)]
+
 pub mod asset;
 pub mod client;
 pub mod experiments;

@@ -1,0 +1,126 @@
+//! Threaded stress test for `AssetStore` miss coalescing.
+//!
+//! Many threads race `get` on the same key (and on a small set of
+//! distinct keys) with no staggering: the store must run **exactly one
+//! build per distinct key** — the racing losers block on the in-flight
+//! `OnceLock` and count as hits — and every caller must come back with
+//! the same shared artefact (pointer-equal, hence byte-identical).
+
+use pano_sim::asset::{AssetConfig, AssetStore, PreparedVideo};
+use pano_video::{Genre, VideoSpec};
+use std::sync::Arc;
+
+fn spec(id: u32) -> VideoSpec {
+    VideoSpec::generate(id, Genre::Sports, 4.0, 42)
+}
+
+fn config() -> AssetConfig {
+    AssetConfig {
+        history_users: 2,
+        ..AssetConfig::default()
+    }
+}
+
+#[test]
+fn racing_gets_on_one_key_build_exactly_once() {
+    const THREADS: usize = 8;
+    let store = AssetStore::new();
+    let s = spec(0);
+    let c = config();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| scope.spawn(|| store.get(&s, &c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = store.stats();
+    assert_eq!(stats.misses, 1, "exactly one build for one key");
+    assert_eq!(
+        stats.hits,
+        THREADS as u64 - 1,
+        "every other caller is a hit"
+    );
+    assert_eq!(store.len(), 1);
+    for v in &results {
+        assert!(
+            Arc::ptr_eq(v, &results[0]),
+            "racing callers must share one artefact"
+        );
+    }
+    // Pointer equality already implies identical bytes, but assert the
+    // determinism witness explicitly — it is the invariant under test.
+    assert_eq!(results[0].artifact_bytes(), results[1].artifact_bytes());
+}
+
+#[test]
+fn racing_gets_across_keys_build_once_per_key() {
+    const KEYS: u32 = 3;
+    const CALLERS_PER_KEY: usize = 4;
+    let store = AssetStore::new();
+    let specs: Vec<VideoSpec> = (0..KEYS).map(spec).collect();
+    let c = config();
+    let results: Vec<(u32, Arc<PreparedVideo>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for k in 0..KEYS {
+            for _ in 0..CALLERS_PER_KEY {
+                let s = &specs[k as usize];
+                let (store, c) = (&store, &c);
+                handles.push(scope.spawn(move || (k, store.get(s, c))));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = store.stats();
+    assert_eq!(stats.misses, KEYS as u64, "one build per distinct key");
+    assert_eq!(
+        stats.hits,
+        (KEYS as usize * (CALLERS_PER_KEY - 1)) as u64,
+        "all other callers are hits"
+    );
+    assert_eq!(store.len(), KEYS as usize);
+    assert!(stats.build_secs > 0.0);
+
+    // Within each key, every caller shares the same artefact; across
+    // keys, artefacts differ.
+    for k in 0..KEYS {
+        let mine: Vec<_> = results.iter().filter(|(rk, _)| *rk == k).collect();
+        assert_eq!(mine.len(), CALLERS_PER_KEY);
+        for (_, v) in &mine {
+            assert!(Arc::ptr_eq(v, &mine[0].1));
+        }
+    }
+    let first_of = |k: u32| {
+        results
+            .iter()
+            .find(|(rk, _)| *rk == k)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    assert!(!Arc::ptr_eq(&first_of(0), &first_of(1)));
+    assert_ne!(first_of(0).artifact_bytes(), first_of(1).artifact_bytes());
+}
+
+#[test]
+fn repeated_racing_rounds_never_rebuild() {
+    // Three rounds of racing callers on the same key: the build happens
+    // in round one only; later rounds are pure hits on the cached Arc.
+    let store = AssetStore::new();
+    let s = spec(7);
+    let c = config();
+    let mut all = Vec::new();
+    for _ in 0..3 {
+        let round: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| store.get(&s, &c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        all.extend(round);
+    }
+    let stats = store.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 11);
+    for v in &all {
+        assert!(Arc::ptr_eq(v, &all[0]));
+    }
+}

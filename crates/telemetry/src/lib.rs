@@ -28,6 +28,10 @@
 //! other crate in the workspace, including in minimal builds; it carries
 //! its own tiny JSON layer ([`json`]) for the event stream.
 //!
+//! It is also the workspace's **only** sanctioned home for wall-clock
+//! reads ([`Stopwatch`], span timing): the `pano-lint` D2 rule bans
+//! `Instant::now()`/`SystemTime` everywhere else outside bench binaries.
+//!
 //! ```
 //! use pano_telemetry::{Json, RunId, Telemetry};
 //!
@@ -43,6 +47,9 @@
 //! assert!(report.render().contains("session/fetch"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -55,7 +62,7 @@ pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapsh
 pub use report::RunReport;
 pub use runid::RunId;
 pub use sink::{read_jsonl, Event, JsonlSink, MemorySink, NoopSink, Sink};
-pub use span::SpanGuard;
+pub use span::{SpanGuard, Stopwatch};
 
 use std::path::Path;
 use std::sync::Arc;

@@ -79,6 +79,33 @@ impl Drop for SpanGuard {
     }
 }
 
+/// The sanctioned wall-clock reader for the rest of the workspace.
+///
+/// The `pano-lint` D2 rule bans `Instant::now()`/`SystemTime` outside
+/// this crate and the bench binaries: ad-hoc clock reads leak
+/// nondeterminism into whatever stores them. Code that legitimately
+/// needs a duration (stage timings destined for diagnostics, never for
+/// artefact bytes) starts a `Stopwatch` instead — keeping every clock
+/// read greppable to one type and this crate the single audit point.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    begin: Instant,
+}
+
+impl Stopwatch {
+    /// Reads the clock once and starts timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            begin: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since `start()`. May be called repeatedly.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.begin.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +167,15 @@ mod tests {
             "{:?}",
             s.histograms.keys()
         );
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
     }
 
     #[test]

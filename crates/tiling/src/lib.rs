@@ -15,6 +15,8 @@
 //! [`baselines`] provides the comparison tilings: uniform grids (Flare
 //! style) and a ClusTile-style popularity clustering.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod efficiency;
 pub mod grouping;

@@ -102,13 +102,11 @@ pub fn parse_viewpoint_log(text: &str) -> Result<ViewpointTrace, ImportError> {
         }
         raw.push((t, Viewpoint::new(Degrees(yaw), Degrees(pitch))));
     }
-    if raw.is_empty() {
-        return Err(ImportError::Empty);
-    }
-
     // Resample onto the fixed grid, starting at the first timestamp.
-    let t0 = raw[0].0;
-    let t_end = raw.last().expect("non-empty").0;
+    let (t0, t_end) = match (raw.first(), raw.last()) {
+        (Some(&(first, _)), Some(&(last, _))) => (first, last),
+        _ => return Err(ImportError::Empty),
+    };
     let n = ((t_end - t0) / TRACE_INTERVAL_SECS).floor() as usize + 1;
     let mut vps = Vec::with_capacity(n);
     let mut cursor = 0usize;

@@ -23,6 +23,8 @@
 //! * [`cross_user`] — a CUB360-style extension (paper §10): a population
 //!   popularity prior blended with the linear extrapolation.
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod cross_user;
 pub mod features;

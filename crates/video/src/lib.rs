@@ -20,6 +20,8 @@
 //! * [`features`] — the per-cell chunk features every downstream stage
 //!   (JND, tiling, adaptation) consumes.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod dataset;
 pub mod export;

@@ -1,1 +1,3 @@
 //! Placeholder lib for the umbrella `pano` package; the real API lives in the member crates.
+
+#![forbid(unsafe_code)]

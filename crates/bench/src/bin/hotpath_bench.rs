@@ -307,11 +307,13 @@ fn main() {
             "note": "Reference-machine hotpath baseline; regenerate with \
                      hotpath_bench --write-baseline.",
         });
-        std::fs::write(
+        if let Err(err) = pano_telemetry::atomic_write(
             path,
-            serde_json::to_vec_pretty(&baseline).expect("serialise"),
-        )
-        .expect("write baseline");
+            &serde_json::to_vec_pretty(&baseline).expect("serialise"),
+        ) {
+            eprintln!("error: failed to write baseline {path}: {err}");
+            std::process::exit(1);
+        }
         println!("hotpath_bench: wrote fresh baseline to {path}");
     }
 
@@ -338,11 +340,13 @@ fn main() {
             Some(Gate::Fail(limit)) => serde_json::json!({"checked": true, "pass": false, "limit_secs": limit}),
         },
     });
-    std::fs::write(
+    if let Err(err) = pano_telemetry::atomic_write(
         &args.out_path,
-        serde_json::to_vec_pretty(&report).expect("serialise report"),
-    )
-    .expect("write benchmark artifact");
+        &serde_json::to_vec_pretty(&report).expect("serialise report"),
+    ) {
+        eprintln!("error: failed to write {}: {err}", args.out_path);
+        std::process::exit(1);
+    }
     println!("hotpath_bench: wrote {}", args.out_path);
 
     if matches!(gate_outcome, Some(Gate::Fail(_))) {

@@ -7,6 +7,7 @@
 //! repro --experiment robust    # flag form of the same selection
 //! repro --seed 7 fig4          # override the seed
 //! repro --threads 4 fig15      # bound the sweep-grid worker pool
+//! repro --resume robust        # replay journaled cells after a crash
 //! repro --quiet all            # suppress progress chatter
 //! repro --json robust          # machine-readable progress on stdout
 //! ```
@@ -14,6 +15,22 @@
 //! `--threads N` (or the `PANO_THREADS` env var) bounds the worker pool
 //! every sweep grid fans out over; results are byte-identical for any
 //! worker count, so use it purely to fit the machine.
+//!
+//! Checkpointed sweeps journal every completed cell under
+//! `results/checkpoints/` (override with `PANO_CHECKPOINT_DIR`; set it
+//! empty to disable). After an interruption — a crash, a kill, a power
+//! cut — `repro --resume <id>` replays the journaled cells and computes
+//! only the missing ones; the final artifacts are byte-identical to an
+//! uninterrupted run at any worker count.
+//!
+//! Result files are written atomically (tmp + fsync + rename), so a
+//! crash mid-write can never leave a torn `results/*.json` behind.
+//!
+//! Exit codes: `0` — every cell of every experiment completed; `3` —
+//! finished, but at least one sweep cell panicked and was quarantined
+//! (see the `sweep.cells.*` counters in the run report); `1` — an
+//! experiment failed outright or an artifact could not be written;
+//! `2` — usage error.
 //!
 //! Each run prints the rendered rows/series plus a telemetry run report,
 //! and writes four artifacts under the workspace root:
@@ -24,10 +41,23 @@
 //!   every record stamped with the run id and seed;
 //! * `results/telemetry/<run_id>.report.txt` — the rendered run report.
 
-use pano_telemetry::{Json, RunId, Telemetry};
+use pano_sim::experiments::{CHECKPOINT_DIR_ENV, RESUME_ENV};
+use pano_telemetry::{atomic_write, Json, RunId, Telemetry};
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Renders a contained panic payload for the failure report.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// How progress is narrated: human lines, JSON events, or nothing.
 /// Result artifacts are written to disk in every mode.
@@ -63,7 +93,7 @@ impl Progress {
 
 fn usage(registry: &[pano_bench::Experiment]) {
     println!(
-        "Usage: repro [--seed N] [--threads N] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n"
+        "Usage: repro [--seed N] [--threads N] [--resume] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n"
     );
     println!("Available experiments:");
     for e in registry {
@@ -114,6 +144,10 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        std::env::set_var(RESUME_ENV, "1");
+    }
     if let Some(pos) = args.iter().position(|a| a == "--quiet") {
         args.remove(pos);
         progress = Progress::Quiet;
@@ -146,8 +180,19 @@ fn main() {
 
     let out_dir = PathBuf::from("results");
     let tel_dir = out_dir.join("telemetry");
-    fs::create_dir_all(&tel_dir).expect("create results dir");
+    if let Err(err) = fs::create_dir_all(&tel_dir) {
+        eprintln!("error: cannot create {}: {err}", tel_dir.display());
+        std::process::exit(1);
+    }
+    // Checkpointing is on by default for repro runs: sweeps journal
+    // completed cells under results/checkpoints. Point the env var
+    // elsewhere to move the journal, or set it empty to disable.
+    if std::env::var_os(CHECKPOINT_DIR_ENV).is_none() {
+        std::env::set_var(CHECKPOINT_DIR_ENV, out_dir.join("checkpoints"));
+    }
 
+    let mut fatal = false;
+    let mut partial = false;
     for e in selected {
         let run_id = RunId::from_parts(e.id, seed);
         let jsonl_path = tel_dir.join(format!("{run_id}.jsonl"));
@@ -181,12 +226,48 @@ fn main() {
         );
 
         let t0 = Instant::now();
-        let (text, value) = {
+        // The sweep grids already contain per-cell panics; this outer
+        // net catches a driver that fails outside any grid, so one bad
+        // experiment cannot take down the rest of an `all` run.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
             // pano-lint: allow(telemetry-name): e.id is a &'static str from the static EXPERIMENTS table — still greppable
             let _span = tel.span(e.id);
             (e.run)(seed, &tel)
-        };
+        }));
         let secs = t0.elapsed().as_secs_f64();
+
+        let (text, value) = match outcome {
+            Ok(pair) => pair,
+            Err(payload) => {
+                let panic_msg = panic_text(payload.as_ref());
+                fatal = true;
+                tel.emit(
+                    "experiment_failed",
+                    None,
+                    Json::obj([
+                        ("id", Json::from(e.id)),
+                        ("wall_secs", Json::from(secs)),
+                        ("panic", Json::from(panic_msg.as_str())),
+                    ]),
+                );
+                tel.flush();
+                progress.event(
+                    "failed",
+                    Json::obj([
+                        ("experiment", Json::from(e.id)),
+                        ("run_id", Json::from(run_id.to_string())),
+                        ("wall_secs", Json::from(secs)),
+                        ("panic", Json::from(panic_msg.as_str())),
+                    ]),
+                    Some(&format!(
+                        "[{} FAILED after {secs:.2}s: {panic_msg}]\n",
+                        e.id
+                    )),
+                );
+                eprintln!("error: experiment {} panicked: {panic_msg}", e.id);
+                continue;
+            }
+        };
 
         tel.emit(
             "experiment_end",
@@ -195,15 +276,30 @@ fn main() {
         );
         tel.flush();
         let report = tel.report(e.title).render();
+        let quarantined = tel
+            .snapshot()
+            .counters
+            .get("sweep.cells.quarantined")
+            .copied()
+            .unwrap_or(0);
+        if quarantined > 0 {
+            partial = true;
+        }
+        let status = if quarantined > 0 { "partial" } else { "ok" };
 
-        fs::write(out_dir.join(format!("{}.txt", e.id)), &text).expect("write text result");
-        fs::write(
-            out_dir.join(format!("{}.json", e.id)),
-            serde_json::to_vec_pretty(&value).expect("serialise"),
-        )
-        .expect("write json result");
+        let mut write_artifact = |path: &PathBuf, bytes: &[u8]| {
+            if let Err(err) = atomic_write(path, bytes) {
+                eprintln!("error: failed to write {}: {err}", path.display());
+                fatal = true;
+            }
+        };
+        write_artifact(&out_dir.join(format!("{}.txt", e.id)), text.as_bytes());
+        write_artifact(
+            &out_dir.join(format!("{}.json", e.id)),
+            &serde_json::to_vec_pretty(&value).expect("serialise"),
+        );
         let report_path = tel_dir.join(format!("{run_id}.report.txt"));
-        fs::write(&report_path, &report).expect("write run report");
+        write_artifact(&report_path, report.as_bytes());
 
         progress.event(
             "finish",
@@ -211,6 +307,8 @@ fn main() {
                 ("experiment", Json::from(e.id)),
                 ("run_id", Json::from(run_id.to_string())),
                 ("wall_secs", Json::from(secs)),
+                ("status", Json::from(status)),
+                ("quarantined_cells", Json::from(quarantined)),
                 (
                     "text_path",
                     Json::from(out_dir.join(format!("{}.txt", e.id)).display().to_string()),
@@ -226,9 +324,21 @@ fn main() {
                 ("report_path", Json::from(report_path.display().to_string())),
             ]),
             Some(&format!(
-                "{text}\n{report}\n[{} finished in {secs:.2}s]\n",
+                "{text}\n{report}\n[{} finished in {secs:.2}s, status {status}]\n",
                 e.id
             )),
         );
+        if quarantined > 0 {
+            eprintln!(
+                "warning: {} finished with {quarantined} quarantined cell(s); rows omitted",
+                e.id
+            );
+        }
+    }
+    if fatal {
+        std::process::exit(1);
+    }
+    if partial {
+        std::process::exit(3);
     }
 }

@@ -10,7 +10,7 @@
 //! ```
 
 use pano_sim::experiments::{effective_workers, fig15};
-use pano_telemetry::{RunId, Telemetry};
+use pano_telemetry::{atomic_write, RunId, Telemetry};
 use pano_video::Genre;
 use std::time::Instant;
 
@@ -80,11 +80,13 @@ fn main() {
         },
         "speedup": serial_secs / parallel_secs.max(1e-9),
     });
-    std::fs::write(
+    if let Err(err) = atomic_write(
         &out_path,
-        serde_json::to_vec_pretty(&report).expect("serialise report"),
-    )
-    .expect("write benchmark artifact");
+        &serde_json::to_vec_pretty(&report).expect("serialise report"),
+    ) {
+        eprintln!("error: failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
     println!(
         "sweep_bench: fig15 grid serial {serial_secs:.2}s vs {pool} workers {parallel_secs:.2}s \
          (x{:.2}); results byte-identical; wrote {out_path}",

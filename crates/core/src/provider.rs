@@ -68,9 +68,11 @@ impl PanoProvider {
         self.prepared.scene.duration_secs()
     }
 
-    /// Writes the augmented manifest to `path` as JSON.
+    /// Writes the augmented manifest to `path` as JSON, atomically: a
+    /// crash mid-write leaves either the old file or the new one, never
+    /// a torn manifest.
     pub fn write_manifest(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.prepared.manifest.to_json())
+        pano_telemetry::atomic_write_str(path, &self.prepared.manifest.to_json())
     }
 
     /// Writes the provider's history head-movement traces (the ones the
@@ -85,9 +87,9 @@ impl PanoProvider {
             self.prepared.config().history_seed ^ self.prepared.spec.id as u64,
         );
         for (i, trace) in history.iter().enumerate() {
-            std::fs::write(
-                dir.join(format!("history_user_{i:02}.log")),
-                pano_trace::format_viewpoint_log(trace),
+            pano_telemetry::atomic_write_str(
+                &dir.join(format!("history_user_{i:02}.log")),
+                &pano_trace::format_viewpoint_log(trace),
             )?;
         }
         Ok(history.len())

@@ -1,0 +1,23 @@
+// Fixture: rule P2 must fire on raw artefact writes in any non-test
+// code outside pano-telemetry (scanned under a pretend
+// `crates/sim/src/` path) — a crash mid-write leaves a torn file.
+use std::fs::File;
+
+pub fn dump_results(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn open_report(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_writes_in_tests_are_fine() {
+        let dir = std::env::temp_dir().join("p2_fixture");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.txt"), b"ok").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -72,6 +72,7 @@ fn main() -> ExitCode {
     let denied = print_human(&report, &opts.deny);
     if let Some(path) = &opts.json {
         let json = report.to_json(&opts.root.display().to_string(), &opts.deny);
+        // pano-lint: allow(raw-artifact-write): the lint report is advisory tooling output, not a results artefact, and pano-lint must not depend on pano-telemetry
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("pano-lint: writing {}: {e}", path.display());
             return ExitCode::from(2);

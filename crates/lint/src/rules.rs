@@ -46,6 +46,13 @@ pub const RULES: &[Rule] = &[
                   surface failures as typed errors",
     },
     Rule {
+        code: "P2",
+        slug: "raw-artifact-write",
+        summary: "no raw fs::write/File::create outside pano-telemetry (bench binaries and \
+                  examples included) — a crash mid-write leaves a torn artefact; route \
+                  writes through pano_telemetry::atomic_write",
+    },
+    Rule {
         code: "T1",
         slug: "telemetry-name",
         summary: "telemetry metric/span/event names must be string literals so the metric \
@@ -108,6 +115,7 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
     let d1 = ctx.in_crates(D1_CRATES);
     let d2 = ctx.crate_name.as_deref() != Some("telemetry") && !ctx.is_bench_or_example;
     let p1 = ctx.in_crates(P1_CRATES);
+    let p2 = ctx.crate_name.as_deref() != Some("telemetry");
     let t1 = ctx.crate_name.as_deref() != Some("telemetry");
     for i in 0..tokens.len() {
         let in_test = mask[i] || ctx.is_test_file;
@@ -167,6 +175,26 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
                     "wall-clock",
                     line,
                     "`thread::current()` is scheduler-dependent".into(),
+                ));
+            }
+        }
+
+        if p2 {
+            // Unlike D2, bench binaries and examples are NOT exempt:
+            // their outputs are exactly the artefacts crash safety is
+            // about. The telemetry crate hosts the sanctioned writers.
+            if is_ident(&tokens[i].tok, "fs") && path_call(tokens, i, "write") {
+                out.push(finding(
+                    "raw-artifact-write",
+                    line,
+                    "`fs::write` can tear on crash; use pano_telemetry::atomic_write".into(),
+                ));
+            }
+            if is_ident(&tokens[i].tok, "File") && path_call(tokens, i, "create") {
+                out.push(finding(
+                    "raw-artifact-write",
+                    line,
+                    "`File::create` can tear on crash; use pano_telemetry::atomic_write".into(),
                 ));
             }
         }
@@ -367,6 +395,37 @@ mod tests {
     }
 
     #[test]
+    fn p2_fires_everywhere_outside_telemetry_even_bench() {
+        let write = "std::fs::write(path, bytes).unwrap();";
+        assert!(codes(&run("crates/sim/src/x.rs", write)).contains(&"P2"));
+        // Bench binaries and examples write the very artefacts crash
+        // safety protects — they are in scope, unlike D2.
+        assert!(codes(&run("crates/bench/src/bin/b.rs", write)).contains(&"P2"));
+        assert!(codes(&run("examples/e.rs", write)).contains(&"P2"));
+        assert_eq!(
+            codes(&run("crates/abr/src/x.rs", "let f = File::create(p)?;")),
+            vec!["P2"]
+        );
+        // The telemetry crate hosts the sanctioned writers.
+        assert!(run("crates/telemetry/src/artifact.rs", write).is_empty());
+        assert!(run("crates/telemetry/src/sink.rs", "File::create(&path)?;").is_empty());
+    }
+
+    #[test]
+    fn p2_skips_tests_and_lookalikes() {
+        assert!(run(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f() { std::fs::write(p, b).unwrap(); } }"
+        )
+        .is_empty());
+        assert!(run("crates/sim/tests/t.rs", "fs::write(p, b).unwrap();").is_empty());
+        // Directory creation and non-path writes are fine.
+        assert!(run("crates/abr/src/x.rs", "fs::create_dir_all(dir)?;").is_empty());
+        assert!(run("crates/abr/src/x.rs", "writer.write(buf)?;").is_empty());
+        assert!(run("crates/abr/src/x.rs", "File::create_new(p)?;").is_empty());
+    }
+
+    #[test]
     fn t1_requires_literal_names() {
         assert!(run(
             "crates/sim/src/x.rs",
@@ -433,6 +492,14 @@ mod tests {
         let r = fixture_report("p1_panic_path.rs");
         let n = r.findings.iter().filter(|f| f.code == "P1").count();
         assert!(n >= 3, "want unwrap+expect+panic: {:?}", r.findings);
+    }
+
+    #[test]
+    fn fixture_p2_fires() {
+        let r = fixture_report("p2_raw_artifact_write.rs");
+        let n = r.findings.iter().filter(|f| f.code == "P2").count();
+        assert!(n >= 2, "want fs::write + File::create: {:?}", r.findings);
+        assert!(r.denied(&["all".to_string()]));
     }
 
     #[test]

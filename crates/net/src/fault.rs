@@ -35,6 +35,7 @@ const RESET_SALT: u64 = 0x20;
 const STALL_SALT: u64 = 0x30;
 const PROGRESS_SALT: u64 = 0x40;
 const JITTER_SALT: u64 = 0x50;
+const GE_STATE_SALT: u64 = 0x60;
 
 /// SplitMix64 finaliser — the standard 64-bit avalanche mix.
 fn splitmix64(mut z: u64) -> u64 {
@@ -72,6 +73,27 @@ pub enum Fault {
     Stuck,
 }
 
+/// Two-state Markov (Gilbert–Elliott) loss parameters: the channel
+/// alternates between a Good state with rare loss and a Bad state with
+/// heavy loss, producing the *correlated* loss bursts real last-mile
+/// links exhibit — independently of the per-attempt uniform knobs.
+///
+/// The chain is seeded and stateless like every other fault decision:
+/// the state at request `r` is a pure function of `(seed, r)`, folded
+/// from one hash draw per preceding request, so replays are exact and
+/// order-independent across connections sharing a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per request.
+    pub p_good_to_bad: f64,
+    /// P(Bad → Good) per request.
+    pub p_bad_to_good: f64,
+    /// P(request lost) per attempt while in the Good state.
+    pub loss_good: f64,
+    /// P(request lost) per attempt while in the Bad state.
+    pub loss_bad: f64,
+}
+
 /// A seeded, deterministic plan of delivery faults.
 ///
 /// All rates are per-attempt probabilities in `[0, 1]`. The plan is
@@ -92,6 +114,12 @@ pub struct FaultPlan {
     /// Burst windows `[start, end)` in connection time during which every
     /// attempt is reset — a mid-session reset storm.
     pub reset_bursts: Vec<(f64, f64)>,
+    /// Correlated burst loss: when set, the Gilbert–Elliott chain's
+    /// state-dependent loss rate *replaces* [`FaultPlan::request_loss`]
+    /// in [`FaultPlan::decide`] (reset/stall knobs still apply). Default
+    /// `None` keeps old serialised plans loadable unchanged.
+    #[serde(default)]
+    pub burst_loss: Option<GilbertElliott>,
 }
 
 impl Default for FaultPlan {
@@ -111,6 +139,7 @@ impl FaultPlan {
             stall_rate: 0.0,
             reconnect_penalty_secs: 0.0,
             reset_bursts: Vec::new(),
+            burst_loss: None,
         }
     }
 
@@ -129,6 +158,45 @@ impl FaultPlan {
             stall_rate: loss_rate * 0.25,
             reconnect_penalty_secs: 0.2,
             reset_bursts: Vec::new(),
+            burst_loss: None,
+        }
+    }
+
+    /// A correlated burst-loss plan: request loss follows a seeded
+    /// two-state Markov (Gilbert–Elliott) chain instead of a uniform
+    /// per-attempt rate — `loss_good` applies in the Good state,
+    /// `loss_bad` in the Bad state, and the chain moves Good→Bad /
+    /// Bad→Good with the given per-request probabilities. Reset/stall
+    /// rates start at zero; compose with a struct update to add them.
+    /// Panics unless every probability is in `[0, 1]`.
+    pub fn gilbert_elliott(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        seed: u64,
+    ) -> Self {
+        for (name, p) in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability in [0, 1]"
+            );
+        }
+        FaultPlan {
+            seed,
+            reconnect_penalty_secs: 0.2,
+            burst_loss: Some(GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            }),
+            ..FaultPlan::none()
         }
     }
 
@@ -149,6 +217,27 @@ impl FaultPlan {
             || self.reset_rate > 0.0
             || self.stall_rate > 0.0
             || !self.reset_bursts.is_empty()
+            || self
+                .burst_loss
+                .is_some_and(|ge| ge.loss_good > 0.0 || ge.loss_bad > 0.0)
+    }
+
+    /// The Gilbert–Elliott chain state when request `request` is issued:
+    /// `true` = Bad. Folded from one hash draw per request since the
+    /// chain's start (Good before request 0) — O(request) work, pure in
+    /// `(seed, request)`, so every connection sharing the plan sees the
+    /// same burst timeline.
+    fn burst_state_is_bad(&self, ge: &GilbertElliott, request: u64) -> bool {
+        let mut bad = false;
+        for r in 0..=request {
+            let u = unit_hash(self.seed, r, 0, GE_STATE_SALT);
+            bad = if bad {
+                u >= ge.p_bad_to_good
+            } else {
+                u < ge.p_good_to_bad
+            };
+        }
+        bad
     }
 
     /// The fault (if any) striking attempt `attempt` of request `request`
@@ -163,7 +252,12 @@ impl FaultPlan {
                 progress: unit_hash(self.seed, request, attempt, PROGRESS_SALT),
             };
         }
-        if unit_hash(self.seed, request, attempt, LOSS_SALT) < self.request_loss {
+        let loss_rate = match &self.burst_loss {
+            Some(ge) if self.burst_state_is_bad(ge, request) => ge.loss_bad,
+            Some(ge) => ge.loss_good,
+            None => self.request_loss,
+        };
+        if unit_hash(self.seed, request, attempt, LOSS_SALT) < loss_rate {
             return Fault::RequestLost;
         }
         if unit_hash(self.seed, request, attempt, RESET_SALT) < self.reset_rate {
@@ -721,6 +815,78 @@ mod tests {
         assert!(c.retries() > 0, "a 50% loss rate must force retries");
         let retried_ok = outcomes.iter().any(|o| o.delivered && o.attempts > 1);
         assert!(retried_ok, "some delivery should need a retry");
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_is_deterministic_and_bursty() {
+        let plan = FaultPlan::gilbert_elliott(0.05, 0.2, 0.02, 0.9, 21);
+        let lost: Vec<bool> = (0..4000u64)
+            .map(|r| plan.decide(r, 0, 0.0) == Fault::RequestLost)
+            .collect();
+        // Deterministic replay, request by request.
+        for r in 0..200u64 {
+            assert_eq!(plan.decide(r, 0, 0.0), plan.decide(r, 0, 0.0));
+        }
+        let total = lost.iter().filter(|&&l| l).count();
+        assert!(total > 0, "the bad state must lose requests");
+        // Correlation: loss given the previous request was lost must be
+        // far likelier than the unconditional rate — the signature of
+        // bursts, absent by construction from the uniform plan.
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in lost.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let unconditional = total as f64 / lost.len() as f64;
+        let conditional = after_loss_lost as f64 / after_loss.max(1) as f64;
+        assert!(
+            conditional > unconditional * 1.5,
+            "conditional {conditional:.3} vs unconditional {unconditional:.3}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_seeds_give_independent_burst_timelines() {
+        // loss_good = 0, loss_bad = 1: the loss pattern *is* the state
+        // pattern, so differing sequences prove independent chains.
+        let a = FaultPlan::gilbert_elliott(0.1, 0.3, 0.0, 1.0, 1);
+        let b = FaultPlan::gilbert_elliott(0.1, 0.3, 0.0, 1.0, 2);
+        let seq = |p: &FaultPlan| -> Vec<bool> {
+            (0..512u64)
+                .map(|r| p.decide(r, 0, 0.0) == Fault::RequestLost)
+                .collect()
+        };
+        assert_ne!(seq(&a), seq(&b));
+        // And the chain actually visits both states.
+        let sa = seq(&a);
+        assert!(sa.iter().any(|&l| l) && sa.iter().any(|&l| !l));
+    }
+
+    #[test]
+    fn gilbert_elliott_activity_and_validation() {
+        assert!(FaultPlan::gilbert_elliott(0.1, 0.3, 0.0, 0.5, 1).is_active());
+        assert!(!FaultPlan::gilbert_elliott(0.1, 0.3, 0.0, 0.0, 1).is_active());
+        let r = std::panic::catch_unwind(|| FaultPlan::gilbert_elliott(1.5, 0.3, 0.0, 0.5, 1));
+        assert!(r.is_err(), "out-of-range probabilities must be rejected");
+    }
+
+    #[test]
+    fn fault_plan_json_without_burst_loss_still_parses() {
+        // Serialised plans from before the Gilbert–Elliott field existed.
+        let legacy = r#"{"seed":7,"request_loss":0.1,"reset_rate":0.05,"stall_rate":0.0,"reconnect_penalty_secs":0.2,"reset_bursts":[]}"#;
+        let plan: FaultPlan = serde_json::from_str(legacy).expect("legacy plans parse");
+        assert_eq!(plan.burst_loss, None);
+        assert_eq!(plan.request_loss, 0.1);
+        // And the new field round-trips.
+        let ge = FaultPlan::gilbert_elliott(0.1, 0.3, 0.01, 0.8, 9);
+        let back: FaultPlan =
+            serde_json::from_str(&serde_json::to_string(&ge).expect("ser")).expect("de");
+        assert_eq!(back, ge);
     }
 
     #[test]

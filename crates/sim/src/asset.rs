@@ -430,8 +430,28 @@ pub struct StoreStats {
     pub hits: u64,
     /// Requests that built the artefact.
     pub misses: u64,
+    /// Cache entries evicted because their artefact bytes no longer
+    /// matched the checksum recorded at build time. Each quarantine is
+    /// followed by a rebuild (counted as a miss).
+    pub quarantined: u64,
     /// Total wall-clock spent building, seconds.
     pub build_secs: f64,
+}
+
+/// A cached build plus the integrity checksum recorded when it was
+/// built: FNV-1a over [`PreparedVideo::artifact_bytes`]. Cache hits are
+/// re-verified against it; a mismatch quarantines the entry.
+#[derive(Clone)]
+struct StoredAsset {
+    video: Arc<PreparedVideo>,
+    checksum: u64,
+}
+
+/// FNV-1a of an artefact byte stream (same hash family as the store key).
+fn artifact_checksum(bytes: &[u8]) -> u64 {
+    let mut h = ContentHash::new();
+    h.eat(bytes);
+    h.0
 }
 
 /// Content-addressed cache of prepared videos.
@@ -441,13 +461,21 @@ pub struct StoreStats {
 /// owns a `OnceLock` slot, so concurrent requests for the same asset
 /// coalesce into one build — the losers block and then count as hits.
 /// When the store carries an enabled telemetry handle it reports
-/// `sim.asset_store.{hits,misses}` counters and a
+/// `sim.asset_store.{hits,misses,quarantined}` counters and a
 /// `sim.asset_store.build_secs` histogram.
+///
+/// Every build records an FNV checksum of its deterministic artefact
+/// bytes; cache hits re-verify it before handing the asset out. An
+/// entry whose bytes have drifted (a wild write, a corrupted shared
+/// artefact) is quarantined — dropped from the map, counted and
+/// reported via an `asset_quarantined` event — and rebuilt fresh
+/// rather than silently poisoning every downstream experiment cell.
 pub struct AssetStore {
-    slots: Mutex<BTreeMap<u64, Arc<OnceLock<Arc<PreparedVideo>>>>>,
+    slots: Mutex<BTreeMap<u64, Arc<OnceLock<StoredAsset>>>>,
     telemetry: Telemetry,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
     build_secs: Mutex<f64>,
 }
 
@@ -470,6 +498,7 @@ impl AssetStore {
             telemetry: telemetry.clone(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             build_secs: Mutex::new(0.0),
         }
     }
@@ -481,45 +510,98 @@ impl AssetStore {
     /// A build inherits the store's telemetry handle when the config
     /// carries a disabled one, so preparation-stage spans land in the
     /// sweep's registry either way.
+    ///
+    /// Cache hits are integrity-checked against the checksum recorded at
+    /// build time; a mismatching entry is quarantined and rebuilt.
     pub fn get(&self, spec: &VideoSpec, config: &AssetConfig) -> Arc<PreparedVideo> {
         let key = asset_key(spec, config);
-        let slot = {
-            // Poisoning means a build panicked; the map itself is still
-            // coherent (slot insertion is atomic w.r.t. the lock).
-            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-            slots.entry(key).or_default().clone()
-        };
-        let mut built_now = false;
-        let video = slot
-            .get_or_init(|| {
-                built_now = true;
-                let build_config = if self.telemetry.is_enabled() && !config.telemetry.is_enabled()
-                {
-                    AssetConfig {
-                        telemetry: self.telemetry.clone(),
-                        ..config.clone()
+        loop {
+            let slot = {
+                // Poisoning means a build panicked; the map itself is still
+                // coherent (slot insertion is atomic w.r.t. the lock).
+                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                slots.entry(key).or_default().clone()
+            };
+            let mut built_now = false;
+            let stored = slot
+                .get_or_init(|| {
+                    built_now = true;
+                    let build_config =
+                        if self.telemetry.is_enabled() && !config.telemetry.is_enabled() {
+                            AssetConfig {
+                                telemetry: self.telemetry.clone(),
+                                ..config.clone()
+                            }
+                        } else {
+                            config.clone()
+                        };
+                    let sw = Stopwatch::start();
+                    let video = Arc::new(PreparedVideo::prepare(spec, &build_config));
+                    let secs = sw.elapsed_secs();
+                    *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()) += secs;
+                    self.telemetry
+                        .histogram("sim.asset_store.build_secs")
+                        .record(secs);
+                    StoredAsset {
+                        checksum: artifact_checksum(&video.artifact_bytes()),
+                        video,
                     }
-                } else {
-                    config.clone()
-                };
-                let sw = Stopwatch::start();
-                let video = Arc::new(PreparedVideo::prepare(spec, &build_config));
-                let secs = sw.elapsed_secs();
-                *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()) += secs;
-                self.telemetry
-                    .histogram("sim.asset_store.build_secs")
-                    .record(secs);
-                video
-            })
-            .clone();
-        if built_now {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.telemetry.counter("sim.asset_store.misses").inc();
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.telemetry.counter("sim.asset_store.hits").inc();
+                })
+                .clone();
+            if built_now {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counter("sim.asset_store.misses").inc();
+                return stored.video;
+            }
+            if artifact_checksum(&stored.video.artifact_bytes()) == stored.checksum {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counter("sim.asset_store.hits").inc();
+                return stored.video;
+            }
+            // The cached artefact no longer matches its build-time
+            // checksum: quarantine this slot and retry, which rebuilds.
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.counter("sim.asset_store.quarantined").inc();
+            if self.telemetry.is_enabled() {
+                self.telemetry.emit(
+                    "asset_quarantined",
+                    None,
+                    Json::obj([
+                        ("video_id", Json::from(spec.id)),
+                        ("key", Json::from(format!("{key:016x}"))),
+                        ("expected_checksum", Json::from(stored.checksum)),
+                    ]),
+                );
+            }
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            // Only evict the slot we verified — a concurrent quarantine
+            // may already have replaced it with a fresh build.
+            if let Some(current) = slots.get(&key) {
+                if Arc::ptr_eq(current, &slot) {
+                    slots.remove(&key);
+                }
+            }
         }
-        video
+    }
+
+    /// Test hook: overwrites the cached checksum for `(spec, config)` so
+    /// integrity verification can be exercised without unsafe memory
+    /// tricks. The entry must already be built.
+    #[cfg(test)]
+    fn corrupt_checksum_for_test(&self, spec: &VideoSpec, config: &AssetConfig) {
+        let key = asset_key(spec, config);
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let stored = slots
+            .get(&key)
+            .and_then(|slot| slot.get())
+            .expect("asset must be built before corrupting")
+            .clone();
+        let tampered = OnceLock::new();
+        let _ = tampered.set(StoredAsset {
+            checksum: stored.checksum ^ 0xDEAD_BEEF,
+            video: stored.video,
+        });
+        slots.insert(key, Arc::new(tampered));
     }
 
     /// Resolves a batch of requests, fanning cache misses out across
@@ -544,6 +626,7 @@ impl AssetStore {
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             build_secs: *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
@@ -835,6 +918,31 @@ mod store_tests {
         // The build inherited the store's telemetry: its stage spans are
         // in the same registry even though the config carried none.
         assert_eq!(snap.histograms["span.prepare_features"].count, 1);
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_and_rebuilt() {
+        let tel = Telemetry::recording(pano_telemetry::RunId::from_parts("quarantine", 2), 2);
+        let store = AssetStore::with_telemetry(&tel);
+        let s = spec();
+        let c = config();
+        let first = store.get(&s, &c);
+        store.corrupt_checksum_for_test(&s, &c);
+        let rebuilt = store.get(&s, &c);
+        // The tampered entry was evicted; the caller got a fresh build
+        // with the same deterministic bytes, never the poisoned handle.
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(first.artifact_bytes(), rebuilt.artifact_bytes());
+        let stats = store.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.misses, 2, "quarantine forces a rebuild");
+        assert_eq!(stats.hits, 0);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["sim.asset_store.quarantined"], 1);
+        // A healthy entry still verifies and hits.
+        let again = store.get(&s, &c);
+        assert!(Arc::ptr_eq(&rebuilt, &again));
+        assert_eq!(store.stats().hits, 1);
     }
 
     #[test]

@@ -178,7 +178,7 @@ pub fn run(config: &Fig15Config) -> Fig15Result {
         }
     }
     let grid = SweepGrid::new("fig15", config.seed, &config.telemetry).with_workers(config.workers);
-    let points = grid.run(
+    let points = grid.run_checkpointed(
         cells,
         |ctx, (genre_idx, genre, trace_idx, trace_label, target, method)| {
             let bw = &traces[trace_idx].1;
@@ -219,7 +219,11 @@ pub fn run(config: &Fig15Config) -> Fig15Result {
             }
         },
     );
-    Fig15Result { points }
+    // A quarantined cell (contained panic, counted under sweep.cells.*)
+    // drops its point rather than poisoning the figure.
+    Fig15Result {
+        points: points.into_iter().filter_map(|p| p.ok()).collect(),
+    }
 }
 
 /// Renders the scatter rows grouped by genre × trace.

@@ -1,4 +1,4 @@
-//! Declarative parallel experiment grids.
+//! Declarative parallel experiment grids, with supervised execution.
 //!
 //! Every evaluation artefact in the paper (Figs. 13–18, the robustness
 //! sweep) is a cross-product of independent cells — (video × user × trace
@@ -10,13 +10,30 @@
 //! child back into the parent after the sweep — the pattern that was
 //! private to `robustness.rs` before, now shared by every figure.
 //!
+//! On top of that sits the **supervisor** (DESIGN.md §13): a panicking
+//! cell is contained with `catch_unwind`, captured as a typed
+//! [`CellFailure`], optionally retried under a bounded
+//! [`CellRetryPolicy`], and quarantined — every other cell completes
+//! untouched. A soft wall-clock budget flags runaway cells, and a
+//! checkpoint journal ([`super::journal`]) makes long sweeps resumable:
+//! completed cells replay from disk, only missing/failed ones re-execute.
+//!
 //! Determinism contract: cell order in the returned vector equals cell
 //! order in the input, per-cell seeds depend only on `(sweep seed, cell
 //! index)`, and the telemetry merge is commutative — so a sweep's result
-//! JSON and merged snapshot are identical whatever the worker count.
+//! JSON and merged snapshot are identical whatever the worker count, and
+//! (for `run_checkpointed`) whether or not the run was interrupted and
+//! resumed.
 
-use crate::experiments::{effective_workers, parallel_map_with};
-use pano_telemetry::{Json, Telemetry};
+use crate::experiments::{
+    effective_workers, journal, parallel_map_with, CELL_BUDGET_ENV, CHECKPOINT_DIR_ENV, RESUME_ENV,
+};
+use pano_telemetry::{Json, Snapshot, Stopwatch, Telemetry};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Splitmix64 over `(sweep_seed, index)`: well-mixed per-cell seeds that
 /// are stable across worker counts and disjoint even for adjacent cells.
@@ -43,6 +60,63 @@ pub struct CellCtx {
     pub telemetry: Telemetry,
 }
 
+/// A quarantined cell: the typed record of a panic the supervisor
+/// contained. The rest of the sweep is unaffected — `index` and `seed`
+/// identify exactly which cell to re-run (`repro --resume` does so
+/// automatically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Flat index of the failed cell in grid enumeration order.
+    pub index: usize,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// The panic payload, when it was a string (the common case).
+    pub panic_msg: String,
+    /// Attempts consumed, including the final failing one.
+    pub attempts: u32,
+    /// Wall-clock seconds spent across all attempts (diagnostic only —
+    /// never folded into artefact bytes).
+    pub elapsed_secs: f64,
+}
+
+/// Bounded retry budget for a failing cell. The default is one attempt —
+/// deterministic cell functions fail identically on retry, so retries
+/// only help when a cell touches something external (I/O, allocation
+/// pressure). Quarantine happens after the last attempt fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRetryPolicy {
+    /// Total attempts per cell, minimum 1.
+    pub max_attempts: u32,
+}
+
+impl Default for CellRetryPolicy {
+    fn default() -> Self {
+        CellRetryPolicy { max_attempts: 1 }
+    }
+}
+
+impl CellRetryPolicy {
+    /// No retries: quarantine on the first panic.
+    pub const NONE: CellRetryPolicy = CellRetryPolicy { max_attempts: 1 };
+
+    /// Up to `max_attempts` total attempts (values below 1 are clamped).
+    pub fn attempts(max_attempts: u32) -> CellRetryPolicy {
+        CellRetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+}
+
+/// Where (and whether) a sweep journals completed cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory for journal files (conventionally `results/checkpoints`).
+    pub dir: PathBuf,
+    /// Replay completed cells from an existing journal before executing
+    /// the rest. A fresh (non-resume) run truncates any prior journal.
+    pub resume: bool,
+}
+
 /// Declarative executor for one experiment grid.
 ///
 /// ```ignore
@@ -56,17 +130,26 @@ pub struct SweepGrid {
     seed: u64,
     telemetry: Telemetry,
     workers: Option<usize>,
+    retry: CellRetryPolicy,
+    budget_secs: Option<f64>,
+    checkpoints: Option<CheckpointSpec>,
 }
 
 impl SweepGrid {
     /// A grid named `label` (the span and child-run-id label) over the
-    /// sweep-level `seed`, reporting into `telemetry`.
+    /// sweep-level `seed`, reporting into `telemetry`. Checkpointing and
+    /// the cell budget default from the environment (`PANO_CHECKPOINT_DIR`,
+    /// `PANO_RESUME`, `PANO_CELL_BUDGET_SECS` — plumbed by `repro`);
+    /// builders below override.
     pub fn new(label: &'static str, seed: u64, telemetry: &Telemetry) -> SweepGrid {
         SweepGrid {
             label,
             seed,
             telemetry: telemetry.clone(),
             workers: None,
+            retry: CellRetryPolicy::default(),
+            budget_secs: env_budget_secs(),
+            checkpoints: env_checkpoints(),
         }
     }
 
@@ -74,6 +157,27 @@ impl SweepGrid {
     /// the machine's available parallelism).
     pub fn with_workers(mut self, workers: Option<usize>) -> SweepGrid {
         self.workers = workers;
+        self
+    }
+
+    /// Overrides the retry budget for failing cells.
+    pub fn with_retry(mut self, retry: CellRetryPolicy) -> SweepGrid {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the soft per-cell wall-clock budget (`None` disables).
+    /// Over-budget cells are *flagged* (counter + event + run report),
+    /// never killed: results stay deterministic, the watchdog is purely
+    /// diagnostic.
+    pub fn with_cell_budget_secs(mut self, budget: Option<f64>) -> SweepGrid {
+        self.budget_secs = budget.filter(|b| *b > 0.0);
+        self
+    }
+
+    /// Overrides the checkpoint journal location (`None` disables).
+    pub fn with_checkpoints(mut self, checkpoints: Option<CheckpointSpec>) -> SweepGrid {
+        self.checkpoints = checkpoints;
         self
     }
 
@@ -86,6 +190,12 @@ impl SweepGrid {
     /// in cell order. Opens a `span.<label>` over the whole sweep, then
     /// merges every cell's child registry into the parent and emits one
     /// `sweep_grid` summary event.
+    ///
+    /// Panic containment: a panicking cell no longer takes the sweep's
+    /// sibling cells down with it — every other cell completes and its
+    /// telemetry is merged before the *first* failing cell's original
+    /// panic payload is re-raised on the caller. Callers that want the
+    /// failure as a value instead use [`SweepGrid::run_supervised`].
     pub fn run<C, R, F>(&self, cells: Vec<C>, f: F) -> Vec<R>
     where
         C: Send,
@@ -94,35 +204,381 @@ impl SweepGrid {
     {
         // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
         let _sweep_span = self.telemetry.span(self.label);
-        let ctxs: Vec<CellCtx> = (0..cells.len())
-            .map(|i| CellCtx {
-                index: i,
-                seed: derive_cell_seed(self.seed, i as u64),
-                telemetry: self.telemetry.child(self.label, i as u64),
-            })
-            .collect();
+        let ctxs = self.contexts(cells.len());
         let ctx_slice = &ctxs;
         let indexed: Vec<(usize, C)> = cells.into_iter().enumerate().collect();
         let n_cells = indexed.len();
-        let results = parallel_map_with(self.workers, indexed, |(i, cell)| f(&ctx_slice[i], cell));
+        let outcomes: Vec<Result<R, Box<dyn std::any::Any + Send>>> =
+            parallel_map_with(self.workers, indexed, |(i, cell)| {
+                let ctx = &ctx_slice[i];
+                let sw = Stopwatch::start();
+                let out = catch_unwind(AssertUnwindSafe(|| f(ctx, cell)));
+                match &out {
+                    Ok(_) => self.note_over_budget(ctx, sw.elapsed_secs()),
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        self.note_attempt_failed(ctx, 1, sw.elapsed_secs(), &msg);
+                    }
+                }
+                out
+            });
         // Merge order is fixed (cell order) for definiteness, though the
         // registry merge is commutative anyway.
         for ctx in &ctxs {
             self.telemetry.merge(&ctx.telemetry.snapshot());
         }
-        if self.telemetry.is_enabled() {
-            self.telemetry.emit(
-                "sweep_grid",
-                None,
-                Json::obj([
-                    ("label", Json::from(self.label)),
-                    ("cells", Json::from(n_cells)),
-                    ("workers", Json::from(effective_workers(self.workers))),
-                ]),
-            );
+        self.emit_summary(n_cells, 0, 0);
+        let mut results = Vec::with_capacity(n_cells);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for out in outcomes {
+            match out {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
         }
         results
     }
+
+    /// [`SweepGrid::run`] with failures quarantined instead of re-raised:
+    /// a panicking cell becomes `Err(`[`CellFailure`]`)` in its slot
+    /// (after exhausting the [`CellRetryPolicy`]) while every other
+    /// cell's result is byte-identical to a panic-free sweep. Cell order
+    /// and per-cell seeds are unchanged from `run`.
+    pub fn run_supervised<C, R, F>(&self, cells: Vec<C>, f: F) -> Vec<Result<R, CellFailure>>
+    where
+        C: Send + Clone,
+        R: Send,
+        F: Fn(&CellCtx, C) -> R + Sync,
+    {
+        // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
+        let _sweep_span = self.telemetry.span(self.label);
+        let ctxs = self.contexts(cells.len());
+        let n_cells = cells.len();
+        let results = self.execute(
+            &ctxs,
+            cells.into_iter().enumerate().collect(),
+            &f,
+            &|_, _| {},
+        );
+        for ctx in &ctxs {
+            self.telemetry.merge(&ctx.telemetry.snapshot());
+        }
+        let quarantined = results.iter().filter(|r| r.is_err()).count();
+        self.emit_summary(n_cells, 0, quarantined);
+        results
+    }
+
+    /// [`SweepGrid::run_supervised`] plus the checkpoint journal: every
+    /// completed cell is appended to a JSONL journal keyed by `(label,
+    /// sweep seed, cell index, config fingerprint)`; when
+    /// [`CheckpointSpec::resume`] is set, journaled cells replay from
+    /// disk (result bytes and telemetry snapshot alike) and only
+    /// missing/failed cells re-execute — the returned vector is
+    /// byte-identical to an uninterrupted run at any worker count.
+    /// Without a [`CheckpointSpec`] this is exactly `run_supervised`.
+    pub fn run_checkpointed<C, R, F>(&self, cells: Vec<C>, f: F) -> Vec<Result<R, CellFailure>>
+    where
+        C: Send + Clone + Serialize,
+        R: Send + Serialize + DeserializeOwned,
+        F: Fn(&CellCtx, C) -> R + Sync,
+    {
+        let Some(spec) = self.checkpoints.clone() else {
+            return self.run_supervised(cells, f);
+        };
+        let Some(fp) = journal::fingerprint(self.label, self.seed, &cells) else {
+            // Unserialisable cells cannot be keyed: journaling is off.
+            return self.run_supervised(cells, f);
+        };
+        let path = journal::journal_path(&spec.dir, self.label, self.seed, fp);
+        // Decode replayed cells up front; any record that fails to decode
+        // as R falls back to execution.
+        let mut replay: BTreeMap<usize, (R, Snapshot)> = BTreeMap::new();
+        if spec.resume {
+            for (idx, rec) in journal::load(&path, self.label, self.seed, fp) {
+                if idx >= cells.len() {
+                    continue;
+                }
+                if let Ok(r) = serde_json::from_value::<R>(rec.result) {
+                    replay.insert(idx, (r, rec.telemetry));
+                }
+            }
+        }
+        let writer = if spec.resume && !replay.is_empty() {
+            journal::Writer::append_to(&path)
+        } else {
+            journal::Writer::create(&path)
+        };
+
+        // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
+        let _sweep_span = self.telemetry.span(self.label);
+        let n_cells = cells.len();
+        let ctxs = self.contexts(n_cells);
+        let to_run: Vec<(usize, C)> = cells
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !replay.contains_key(i))
+            .collect();
+        let run_indices: Vec<usize> = to_run.iter().map(|(i, _)| *i).collect();
+        let executed = self.execute(&ctxs, to_run, &f, &|ctx: &CellCtx, r: &R| {
+            if let (Some(w), Ok(value)) = (&writer, serde_json::to_value(r)) {
+                w.append(
+                    self.label,
+                    self.seed,
+                    fp,
+                    ctx.index,
+                    ctx.seed,
+                    &value,
+                    &ctx.telemetry.snapshot(),
+                );
+            }
+        });
+        let mut executed: BTreeMap<usize, Result<R, CellFailure>> =
+            run_indices.into_iter().zip(executed).collect();
+
+        // Assemble in cell order, merging telemetry as we go: executed
+        // cells from their child registries, replayed cells from their
+        // journaled snapshots — the merged parent summary comes out
+        // identical to an uninterrupted run's.
+        let mut results: Vec<Result<R, CellFailure>> = Vec::with_capacity(n_cells);
+        let mut replayed_n = 0usize;
+        for (i, ctx) in ctxs.iter().enumerate() {
+            if let Some((r, snap)) = replay.remove(&i) {
+                self.telemetry.merge(&snap);
+                self.telemetry.emit(
+                    "cell_replayed",
+                    None,
+                    Json::obj([
+                        ("label", Json::from(self.label)),
+                        ("cell", Json::from(i)),
+                        ("seed", Json::from(ctx.seed)),
+                    ]),
+                );
+                replayed_n += 1;
+                results.push(Ok(r));
+                continue;
+            }
+            self.telemetry.merge(&ctx.telemetry.snapshot());
+            results.push(executed.remove(&i).unwrap_or_else(|| {
+                Err(CellFailure {
+                    index: i,
+                    seed: ctx.seed,
+                    panic_msg: "cell produced no result".to_string(),
+                    attempts: 0,
+                    elapsed_secs: 0.0,
+                })
+            }));
+        }
+        if let Some(w) = &writer {
+            w.finalize();
+        }
+        let quarantined = results.iter().filter(|r| r.is_err()).count();
+        self.emit_summary(n_cells, replayed_n, quarantined);
+        results
+    }
+
+    /// Runs the given `(index, cell)` subset under supervision, in subset
+    /// order. `on_done` fires on the worker immediately after a cell
+    /// succeeds (the journal-append hook).
+    fn execute<C, R, F, G>(
+        &self,
+        ctxs: &[CellCtx],
+        indexed: Vec<(usize, C)>,
+        f: &F,
+        on_done: &G,
+    ) -> Vec<Result<R, CellFailure>>
+    where
+        C: Send + Clone,
+        R: Send,
+        F: Fn(&CellCtx, C) -> R + Sync,
+        G: Fn(&CellCtx, &R) + Sync,
+    {
+        parallel_map_with(self.workers, indexed, |(i, cell)| {
+            let ctx = &ctxs[i];
+            let out = self.supervise_cell(ctx, cell, f);
+            if let Ok(r) = &out {
+                on_done(ctx, r);
+            }
+            out
+        })
+    }
+
+    /// One cell under supervision: contain panics, retry within the
+    /// budget, quarantine on exhaustion, flag over-budget completions.
+    fn supervise_cell<C, R, F>(&self, ctx: &CellCtx, cell: C, f: &F) -> Result<R, CellFailure>
+    where
+        C: Clone,
+        F: Fn(&CellCtx, C) -> R,
+    {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let sw = Stopwatch::start();
+        let mut attempt = 0u32;
+        let mut last_msg = String::new();
+        while attempt < max_attempts {
+            attempt += 1;
+            let arg = cell.clone();
+            match catch_unwind(AssertUnwindSafe(|| f(ctx, arg))) {
+                Ok(r) => {
+                    self.note_over_budget(ctx, sw.elapsed_secs());
+                    return Ok(r);
+                }
+                Err(payload) => {
+                    last_msg = panic_message(payload.as_ref());
+                    self.note_attempt_failed(ctx, attempt, sw.elapsed_secs(), &last_msg);
+                    if attempt < max_attempts {
+                        self.note_retry(ctx, attempt);
+                    }
+                }
+            }
+        }
+        let failure = CellFailure {
+            index: ctx.index,
+            seed: ctx.seed,
+            panic_msg: last_msg,
+            attempts: attempt,
+            elapsed_secs: sw.elapsed_secs(),
+        };
+        self.note_quarantined(&failure);
+        Err(failure)
+    }
+
+    fn contexts(&self, n: usize) -> Vec<CellCtx> {
+        (0..n)
+            .map(|i| CellCtx {
+                index: i,
+                seed: derive_cell_seed(self.seed, i as u64),
+                telemetry: self.telemetry.child(self.label, i as u64),
+            })
+            .collect()
+    }
+
+    fn emit_summary(&self, cells: usize, replayed: usize, quarantined: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.emit(
+            "sweep_grid",
+            None,
+            Json::obj([
+                ("label", Json::from(self.label)),
+                ("cells", Json::from(cells)),
+                ("workers", Json::from(effective_workers(self.workers))),
+                ("replayed", Json::from(replayed)),
+                ("quarantined", Json::from(quarantined)),
+            ]),
+        );
+    }
+
+    /// Failure-taxonomy bookkeeping. Counters live on the *parent*
+    /// registry (deterministic for a deterministic cell function, so they
+    /// survive the worker-count and resume determinism contracts); the
+    /// matching events carry the diagnostic detail, wall-clock included.
+    fn note_attempt_failed(&self, ctx: &CellCtx, attempt: u32, elapsed: f64, msg: &str) {
+        self.telemetry.counter("sweep.cells.failed").inc();
+        self.telemetry.emit(
+            "cell_failed",
+            None,
+            Json::obj([
+                ("label", Json::from(self.label)),
+                ("cell", Json::from(ctx.index)),
+                ("seed", Json::from(ctx.seed)),
+                ("attempt", Json::from(attempt)),
+                ("elapsed_secs", Json::from(elapsed)),
+                ("panic", Json::from(msg)),
+            ]),
+        );
+    }
+
+    fn note_retry(&self, ctx: &CellCtx, failed_attempt: u32) {
+        self.telemetry.counter("sweep.cells.retried").inc();
+        self.telemetry.emit(
+            "cell_retried",
+            None,
+            Json::obj([
+                ("label", Json::from(self.label)),
+                ("cell", Json::from(ctx.index)),
+                ("seed", Json::from(ctx.seed)),
+                ("failed_attempt", Json::from(failed_attempt)),
+            ]),
+        );
+    }
+
+    fn note_quarantined(&self, failure: &CellFailure) {
+        self.telemetry.counter("sweep.cells.quarantined").inc();
+        self.telemetry.emit(
+            "cell_quarantined",
+            None,
+            Json::obj([
+                ("label", Json::from(self.label)),
+                ("cell", Json::from(failure.index)),
+                ("seed", Json::from(failure.seed)),
+                ("attempts", Json::from(failure.attempts)),
+                ("elapsed_secs", Json::from(failure.elapsed_secs)),
+                ("panic", Json::from(failure.panic_msg.as_str())),
+            ]),
+        );
+    }
+
+    /// The watchdog: purely diagnostic, fires only when a budget is set.
+    fn note_over_budget(&self, ctx: &CellCtx, elapsed: f64) {
+        let Some(budget) = self.budget_secs else {
+            return;
+        };
+        if elapsed <= budget {
+            return;
+        }
+        self.telemetry.counter("sweep.cells.over_budget").inc();
+        self.telemetry.emit(
+            "cell_over_budget",
+            None,
+            Json::obj([
+                ("label", Json::from(self.label)),
+                ("cell", Json::from(ctx.index)),
+                ("seed", Json::from(ctx.seed)),
+                ("elapsed_secs", Json::from(elapsed)),
+                ("budget_secs", Json::from(budget)),
+            ]),
+        );
+    }
+}
+
+/// Extracts the message from a panic payload; panics raised by
+/// `panic!("…")` carry a `&str` or `String`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn env_checkpoints() -> Option<CheckpointSpec> {
+    let dir = std::env::var_os(CHECKPOINT_DIR_ENV).filter(|v| !v.is_empty())?;
+    let resume = std::env::var(RESUME_ENV)
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false);
+    Some(CheckpointSpec {
+        dir: PathBuf::from(dir),
+        resume,
+    })
+}
+
+fn env_budget_secs() -> Option<f64> {
+    std::env::var(CELL_BUDGET_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|b| *b > 0.0)
 }
 
 #[cfg(test)]
@@ -148,7 +604,9 @@ mod tests {
     #[test]
     fn results_keep_cell_order_for_any_worker_count() {
         for workers in [Some(1), Some(3), None] {
-            let grid = SweepGrid::new("order", 7, &Telemetry::disabled()).with_workers(workers);
+            let grid = SweepGrid::new("order", 7, &Telemetry::disabled())
+                .with_checkpoints(None)
+                .with_workers(workers);
             let out = grid.run((0..40).collect(), |ctx, cell: u64| {
                 assert_eq!(ctx.index as u64, cell);
                 (cell, ctx.seed)
@@ -164,7 +622,9 @@ mod tests {
     #[test]
     fn child_registries_merge_into_the_parent() {
         let (tel, sink) = Telemetry::in_memory(RunId::from_parts("grid-test", 5), 5);
-        let grid = SweepGrid::new("sweep_test", 5, &tel).with_workers(Some(2));
+        let grid = SweepGrid::new("sweep_test", 5, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(2));
         let parent_run = tel.run_id();
         let out = grid.run(vec![3u64, 4, 5], |ctx, cell| {
             ctx.telemetry.counter("grid.test.work").add(cell);
@@ -191,11 +651,148 @@ mod tests {
 
     #[test]
     fn disabled_telemetry_costs_nothing_and_still_runs() {
-        let grid = SweepGrid::new("noop", 0, &Telemetry::disabled());
+        let grid = SweepGrid::new("noop", 0, &Telemetry::disabled()).with_checkpoints(None);
         let out = grid.run(vec![1, 2], |ctx, c: i32| {
             assert!(!ctx.telemetry.is_enabled());
             c * 10
         });
         assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn run_contains_the_panic_until_siblings_finish_then_reraises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("contain", 1), 1);
+        let grid = SweepGrid::new("contain", 1, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(2));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            grid.run((0..8).collect(), |_ctx, cell: u64| {
+                if cell == 3 {
+                    panic!("cell 3 poisoned");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                cell
+            })
+        }));
+        let payload = caught.expect_err("the poisoned cell's panic must re-raise");
+        assert_eq!(panic_message(payload.as_ref()), "cell 3 poisoned");
+        // Every sibling still ran to completion before the re-raise.
+        assert_eq!(completed.load(Ordering::SeqCst), 7);
+        assert_eq!(tel.snapshot().counters["sweep.cells.failed"], 1);
+        assert_eq!(
+            sink.events()
+                .iter()
+                .filter(|e| e.kind == "cell_failed")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn run_supervised_quarantines_with_the_right_index_and_seed() {
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("quarantine", 9), 9);
+        let grid = SweepGrid::new("quarantine", 9, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(3));
+        let out = grid.run_supervised((0..10).collect(), |ctx, cell: u64| {
+            if cell == 4 {
+                panic!("boom at {}", cell);
+            }
+            (cell, ctx.seed)
+        });
+        assert_eq!(out.len(), 10);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 4 {
+                let failure = slot.as_ref().expect_err("cell 4 must be quarantined");
+                assert_eq!(failure.index, 4);
+                assert_eq!(failure.seed, derive_cell_seed(9, 4));
+                assert_eq!(failure.attempts, 1);
+                assert!(failure.panic_msg.contains("boom at 4"), "{failure:?}");
+            } else {
+                let (cell, seed) = slot.as_ref().expect("healthy cell");
+                assert_eq!(*cell, i as u64);
+                assert_eq!(*seed, derive_cell_seed(9, i as u64));
+            }
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["sweep.cells.failed"], 1);
+        assert_eq!(snap.counters["sweep.cells.quarantined"], 1);
+        assert!(!snap.counters.contains_key("sweep.cells.retried"));
+        let kinds: Vec<&str> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind.starts_with("cell_"))
+            .map(|e| match e.kind.as_str() {
+                "cell_failed" => "cell_failed",
+                "cell_quarantined" => "cell_quarantined",
+                other => panic!("unexpected event {other}"),
+            })
+            .collect();
+        assert_eq!(kinds, vec!["cell_failed", "cell_quarantined"]);
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts_and_can_rescue_flaky_cells() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Deterministically "flaky": fails twice, succeeds on the third.
+        let tries = AtomicU32::new(0);
+        let tel = Telemetry::recording(RunId::from_parts("retry", 2), 2);
+        let grid = SweepGrid::new("retry", 2, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(1))
+            .with_retry(CellRetryPolicy::attempts(3));
+        let out = grid.run_supervised(vec![0u64], |_ctx, cell| {
+            if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            cell + 100
+        });
+        assert_eq!(out[0].as_ref().expect("rescued"), &100);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters["sweep.cells.failed"], 2);
+        assert_eq!(snap.counters["sweep.cells.retried"], 2);
+        assert!(!snap.counters.contains_key("sweep.cells.quarantined"));
+
+        // And a permanently failing cell exhausts the budget.
+        let grid = SweepGrid::new("retry", 2, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(1))
+            .with_retry(CellRetryPolicy::attempts(2));
+        let out = grid.run_supervised(vec![0u64], |_ctx, _| -> u64 { panic!("permanent") });
+        let failure = out[0].as_ref().expect_err("quarantined");
+        assert_eq!(failure.attempts, 2);
+    }
+
+    #[test]
+    fn watchdog_flags_over_budget_cells() {
+        let tel = Telemetry::recording(RunId::from_parts("budget", 3), 3);
+        let grid = SweepGrid::new("budget", 3, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(1))
+            // Any real work exceeds a zero-adjacent budget.
+            .with_cell_budget_secs(Some(1e-12));
+        let out = grid.run_supervised(vec![1u64, 2], |_ctx, c| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            c
+        });
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(tel.snapshot().counters["sweep.cells.over_budget"], 2);
+
+        // No budget → no flags, and non-positive budgets are rejected.
+        let grid = SweepGrid::new("budget", 3, &tel)
+            .with_checkpoints(None)
+            .with_cell_budget_secs(Some(0.0));
+        let _ = grid.run_supervised(vec![1u64], |_ctx, c| c);
+        assert_eq!(tel.snapshot().counters["sweep.cells.over_budget"], 2);
+    }
+
+    #[test]
+    fn env_flag_parsing_for_resume() {
+        // Exercised via the helper rather than env mutation (parallel
+        // tests share the environment).
+        assert!(CellRetryPolicy::attempts(0).max_attempts >= 1);
+        assert_eq!(CellRetryPolicy::default(), CellRetryPolicy::NONE);
     }
 }

@@ -1,0 +1,423 @@
+//! Checkpoint journal for resumable sweeps.
+//!
+//! [`SweepGrid::run_checkpointed`](crate::experiments::SweepGrid::run_checkpointed)
+//! appends one JSONL record per *completed* cell — quarantined cells are
+//! deliberately absent so a resume re-executes them. Each record carries
+//! the cell's result (as a `serde_json` value; the workspace enables
+//! `float_roundtrip`, so every `f64` survives the text round-trip
+//! bit-exactly) and the cell's child-telemetry snapshot (floats encoded
+//! as `f64::to_bits` so even the ±∞ sentinels of empty histograms
+//! survive), keyed by `(label, sweep seed, cell index, config
+//! fingerprint)`.
+//!
+//! The journal is itself written by a process that may die at any
+//! instant, so the *reader* is torn-write-tolerant: a record is trusted
+//! only if its line is newline-terminated, parses, and matches the key;
+//! everything from the first untrusted line onward is truncated away on
+//! load. Losing a record never loses correctness — the cell is simply
+//! recomputed — which is why the writer is best-effort and append-only
+//! rather than atomic-rename (and why its raw file I/O is exempt from
+//! the P2 artefact-write rule: a torn tail here is handled by design,
+//! not a hazard).
+
+use pano_telemetry::{HistogramSnapshot, Snapshot};
+use serde::Serialize;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format version stamped into every record.
+pub const JOURNAL_VERSION: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a fingerprint of a sweep's full configuration: label, seed, cell
+/// count and every cell's serialised bytes. A journal written under a
+/// different grid (reordered cells, changed knobs) never replays into
+/// this one. `None` when a cell refuses to serialise — journaling is
+/// then disabled rather than risking a wrong key.
+pub fn fingerprint<C: Serialize>(label: &str, seed: u64, cells: &[C]) -> Option<u64> {
+    let mut h = FNV_OFFSET;
+    h = fnv(h, label.as_bytes());
+    h = fnv(h, &seed.to_le_bytes());
+    h = fnv(h, &(cells.len() as u64).to_le_bytes());
+    for cell in cells {
+        let bytes = serde_json::to_vec(cell).ok()?;
+        h = fnv(h, &bytes);
+    }
+    Some(h)
+}
+
+/// The journal file for one `(label, seed, fingerprint)` triple. The key
+/// is in the name, so concurrent sweeps and stale journals of other
+/// configurations never collide.
+pub fn journal_path(dir: &Path, label: &str, seed: u64, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{label}_{seed:016x}_{fingerprint:016x}.jsonl"))
+}
+
+/// One journaled cell: its result value and child-telemetry snapshot.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Flat cell index in grid enumeration order.
+    pub cell: usize,
+    /// The cell's derived seed (recorded for diagnostics/validation).
+    pub cell_seed: u64,
+    /// The cell's result, as serialised by the producing run.
+    pub result: Value,
+    /// The cell's child-telemetry snapshot at completion.
+    pub telemetry: Snapshot,
+}
+
+/// Loads every trusted record from `path`, keyed by cell index.
+///
+/// Trust stops at the first line that is torn (no trailing newline),
+/// unparseable, or keyed to a different sweep; the file is truncated to
+/// the trusted prefix so subsequent appends produce clean lines. A
+/// missing or empty file is an empty map — resume of a journal-less
+/// sweep just runs everything.
+pub fn load(path: &Path, label: &str, seed: u64, fingerprint: u64) -> BTreeMap<usize, Record> {
+    let Ok(bytes) = fs::read(path) else {
+        return BTreeMap::new();
+    };
+    let mut records = BTreeMap::new();
+    let mut trusted = 0usize;
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
+            break; // torn tail: last line never got its newline
+        };
+        let end = start + nl + 1;
+        let line = &bytes[start..end - 1];
+        let Some(rec) = std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| parse_record(s.trim_end_matches('\r'), label, seed, fingerprint))
+        else {
+            break;
+        };
+        records.insert(rec.cell, rec);
+        trusted = end;
+        start = end;
+    }
+    if trusted < bytes.len() {
+        if let Ok(f) = OpenOptions::new().write(true).open(path) {
+            let _ = f.set_len(trusted as u64);
+        }
+    }
+    records
+}
+
+fn parse_record(line: &str, label: &str, seed: u64, fingerprint: u64) -> Option<Record> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    let obj = v.as_object()?;
+    if obj.get("v")?.as_u64()? != JOURNAL_VERSION
+        || obj.get("label")?.as_str()? != label
+        || obj.get("sweep_seed")?.as_u64()? != seed
+        || obj.get("fingerprint")?.as_u64()? != fingerprint
+    {
+        return None;
+    }
+    Some(Record {
+        cell: usize::try_from(obj.get("cell")?.as_u64()?).ok()?,
+        cell_seed: obj.get("cell_seed")?.as_u64()?,
+        result: obj.get("result")?.clone(),
+        telemetry: snapshot_from_value(obj.get("telemetry")?)?,
+    })
+}
+
+/// Serialises a snapshot with floats as `u64` bit patterns: registered-
+/// but-empty histograms carry `min = +∞` / `max = −∞`, which plain JSON
+/// cannot represent, and bit patterns also sidestep any question of
+/// decimal round-tripping.
+pub fn snapshot_to_value(s: &Snapshot) -> Value {
+    let counters: Map<String, Value> = s
+        .counters
+        .iter()
+        .map(|(k, &v)| (k.clone(), Value::from(v)))
+        .collect();
+    let gauges: Map<String, Value> = s
+        .gauges
+        .iter()
+        .map(|(k, &v)| (k.clone(), Value::from(v.to_bits())))
+        .collect();
+    let histograms: Map<String, Value> = s
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<Value> = h
+                .buckets
+                .iter()
+                .map(|&(idx, n)| Value::from(vec![Value::from(idx), Value::from(n)]))
+                .collect();
+            let mut obj = Map::new();
+            obj.insert("count".into(), Value::from(h.count));
+            obj.insert("sum".into(), Value::from(h.sum.to_bits()));
+            obj.insert("min".into(), Value::from(h.min.to_bits()));
+            obj.insert("max".into(), Value::from(h.max.to_bits()));
+            obj.insert("buckets".into(), Value::from(buckets));
+            (k.clone(), Value::from(obj))
+        })
+        .collect();
+    let mut root = Map::new();
+    root.insert("counters".into(), Value::from(counters));
+    root.insert("gauges".into(), Value::from(gauges));
+    root.insert("histograms".into(), Value::from(histograms));
+    Value::from(root)
+}
+
+/// Inverse of [`snapshot_to_value`]; `None` on any shape mismatch.
+pub fn snapshot_from_value(v: &Value) -> Option<Snapshot> {
+    let obj = v.as_object()?;
+    let mut snap = Snapshot::default();
+    for (k, v) in obj.get("counters")?.as_object()? {
+        snap.counters.insert(k.clone(), v.as_u64()?);
+    }
+    for (k, v) in obj.get("gauges")?.as_object()? {
+        snap.gauges.insert(k.clone(), f64::from_bits(v.as_u64()?));
+    }
+    for (k, h) in obj.get("histograms")?.as_object()? {
+        let h = h.as_object()?;
+        let mut buckets = Vec::new();
+        for pair in h.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            buckets.push((u32::try_from(pair[0].as_u64()?).ok()?, pair[1].as_u64()?));
+        }
+        snap.histograms.insert(
+            k.clone(),
+            HistogramSnapshot {
+                count: h.get("count")?.as_u64()?,
+                sum: f64::from_bits(h.get("sum")?.as_u64()?),
+                min: f64::from_bits(h.get("min")?.as_u64()?),
+                max: f64::from_bits(h.get("max")?.as_u64()?),
+                buckets,
+            },
+        );
+    }
+    Some(snap)
+}
+
+/// Append-side of the journal. All methods are best-effort: an I/O
+/// failure silently costs a recompute on resume, never a panic — the
+/// journal must not introduce failure modes into the sweep it protects.
+#[derive(Debug)]
+pub struct Writer {
+    file: Mutex<std::fs::File>,
+}
+
+impl Writer {
+    /// Opens a fresh journal, truncating any previous contents (they
+    /// describe a finished or abandoned run of the same key).
+    pub fn create(path: &Path) -> Option<Writer> {
+        Self::open(path, true)
+    }
+
+    /// Opens the journal for appending after [`load`] has already
+    /// truncated any torn tail.
+    pub fn append_to(path: &Path) -> Option<Writer> {
+        Self::open(path, false)
+    }
+
+    fn open(path: &Path, truncate: bool) -> Option<Writer> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).ok()?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(!truncate)
+            .truncate(truncate)
+            .open(path)
+            .ok()?;
+        Some(Writer {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one completed cell. The line is flushed to the OS
+    /// immediately (surviving SIGKILL); durability against power loss
+    /// waits for [`Writer::finalize`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn append(
+        &self,
+        label: &str,
+        seed: u64,
+        fingerprint: u64,
+        cell: usize,
+        cell_seed: u64,
+        result: &Value,
+        telemetry: &Snapshot,
+    ) {
+        let mut obj = Map::new();
+        obj.insert("v".into(), Value::from(JOURNAL_VERSION));
+        obj.insert("label".into(), Value::from(label));
+        obj.insert("sweep_seed".into(), Value::from(seed));
+        obj.insert("fingerprint".into(), Value::from(fingerprint));
+        obj.insert("cell".into(), Value::from(cell));
+        obj.insert("cell_seed".into(), Value::from(cell_seed));
+        obj.insert("result".into(), result.clone());
+        obj.insert("telemetry".into(), snapshot_to_value(telemetry));
+        let mut line = Value::from(obj).to_string();
+        line.push('\n');
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+
+    /// Syncs the journal to the device at the end of the sweep.
+    pub fn finalize(&self) {
+        let f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = f.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pano_journal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("n".into(), 7);
+        s.gauges.insert("g".into(), -0.125);
+        s.histograms.insert(
+            "h".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 3.5,
+                min: 1.0,
+                max: 2.5,
+                buckets: vec![(4, 1), (9, 1)],
+            },
+        );
+        // A registered-but-empty histogram: carries the ±∞ sentinels that
+        // plain JSON floats cannot express.
+        s.histograms.insert(
+            "empty".into(),
+            HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                buckets: vec![],
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let s = sample_snapshot();
+        let back = snapshot_from_value(&snapshot_to_value(&s)).expect("decode");
+        assert_eq!(back.counters, s.counters);
+        assert_eq!(back.gauges.len(), 1);
+        assert_eq!(back.gauges["g"].to_bits(), (-0.125f64).to_bits());
+        let h = &back.histograms["h"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 3.5, 1.0, 2.5));
+        assert_eq!(h.buckets, vec![(4, 1), (9, 1)]);
+        let e = &back.histograms["empty"];
+        assert!(e.min.is_infinite() && e.min > 0.0);
+        assert!(e.max.is_infinite() && e.max < 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_label_seed_and_cells() {
+        let cells = vec![(1u64, "a"), (2, "b")];
+        let fp = fingerprint("lab", 5, &cells).expect("fp");
+        assert_eq!(fingerprint("lab", 5, &cells), Some(fp));
+        assert_ne!(fingerprint("other", 5, &cells), Some(fp));
+        assert_ne!(fingerprint("lab", 6, &cells), Some(fp));
+        let mut reordered = cells.clone();
+        reordered.reverse();
+        assert_ne!(fingerprint("lab", 5, &reordered), Some(fp));
+    }
+
+    #[test]
+    fn write_load_round_trip_and_key_mismatch() {
+        let dir = tmp_dir("roundtrip");
+        let path = journal_path(&dir, "lab", 5, 0xfeed);
+        let w = Writer::create(&path).expect("create");
+        let snap = sample_snapshot();
+        w.append(
+            "lab",
+            5,
+            0xfeed,
+            0,
+            111,
+            &serde_json::json!({"x": 0.1}),
+            &snap,
+        );
+        w.append(
+            "lab",
+            5,
+            0xfeed,
+            2,
+            333,
+            &serde_json::json!({"x": 2.5}),
+            &snap,
+        );
+        w.finalize();
+
+        let recs = load(&path, "lab", 5, 0xfeed);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[&0].cell_seed, 111);
+        assert_eq!(recs[&2].result["x"], serde_json::json!(2.5));
+        assert_eq!(recs[&2].telemetry.counters["n"], 7);
+
+        // A different fingerprint trusts nothing (and truncates: the file
+        // is someone else's from this key's point of view).
+        assert!(load(&path, "lab", 5, 0xbeef).is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let path = journal_path(&dir, "lab", 1, 7);
+        let w = Writer::create(&path).expect("create");
+        let snap = Snapshot::default();
+        w.append("lab", 1, 7, 0, 10, &serde_json::json!(1), &snap);
+        w.append("lab", 1, 7, 1, 11, &serde_json::json!(2), &snap);
+        drop(w);
+        // Simulate a crash mid-append: chop the second record in half.
+        let bytes = fs::read(&path).expect("read");
+        let first_nl = bytes.iter().position(|&b| b == b'\n').expect("nl") + 1;
+        let cut = first_nl + (bytes.len() - first_nl) / 2;
+        fs::write(&path, &bytes[..cut]).expect("corrupt");
+
+        let recs = load(&path, "lab", 1, 7);
+        assert_eq!(recs.len(), 1, "only the intact record is trusted");
+        assert!(recs.contains_key(&0));
+        // The torn tail is gone from disk: appends resume cleanly.
+        assert_eq!(fs::read(&path).expect("reread").len(), first_nl);
+        let w = Writer::append_to(&path).expect("append");
+        w.append("lab", 1, 7, 1, 11, &serde_json::json!(2), &snap);
+        drop(w);
+        assert_eq!(load(&path, "lab", 1, 7).len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let dir = tmp_dir("missing");
+        assert!(load(&journal_path(&dir, "lab", 0, 0), "lab", 0, 0).is_empty());
+    }
+}

@@ -19,10 +19,13 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod grid;
+pub mod journal;
 pub mod robustness;
 pub mod tables;
 
-pub use grid::{derive_cell_seed, CellCtx, SweepGrid};
+pub use grid::{
+    derive_cell_seed, CellCtx, CellFailure, CellRetryPolicy, CheckpointSpec, SweepGrid,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +86,21 @@ mod tests {
 /// Environment override for the worker count used by [`parallel_map`]
 /// and [`SweepGrid`]; plumbed from `repro --threads N`.
 pub const THREADS_ENV: &str = "PANO_THREADS";
+
+/// Environment override enabling the checkpoint journal: a directory
+/// path (conventionally `results/checkpoints`) under which [`SweepGrid`]
+/// journals completed cells. Plumbed by `repro`; empty/unset disables.
+pub const CHECKPOINT_DIR_ENV: &str = "PANO_CHECKPOINT_DIR";
+
+/// Environment flag (`1`/`true`) telling checkpointed sweeps to replay
+/// completed cells from an existing journal; plumbed from
+/// `repro --resume`.
+pub const RESUME_ENV: &str = "PANO_RESUME";
+
+/// Environment override for the soft per-cell wall-clock budget, in
+/// seconds: over-budget cells are flagged in telemetry and the run
+/// report, never killed. Unset or non-positive disables the watchdog.
+pub const CELL_BUDGET_ENV: &str = "PANO_CELL_BUDGET_SECS";
 
 /// Resolves the worker count for a parallel region: an explicit request
 /// wins, then the [`THREADS_ENV`] override, then the machine's available

@@ -3,12 +3,19 @@
 //! Not a figure from the paper: the paper evaluates Pano over clean (if
 //! bursty) links, while any deployment sees request losses, mid-transfer
 //! resets and connectivity outages. This sweep crosses a request-loss
-//! rate against a retry policy and reports where the QoE cliff sits for
-//! each: mean viewport PSPNR, buffering ratio, wasted wire bytes, and the
-//! retry/abandonment/loss counters from the fault-injected delivery path.
+//! rate against a retry policy and a loss *model* — uniform per-attempt
+//! loss versus Gilbert–Elliott correlated bursts — and reports where the
+//! QoE cliff sits for each: mean viewport PSPNR, buffering ratio, wasted
+//! wire bytes, and the retry/abandonment/loss counters from the
+//! fault-injected delivery path.
 //!
 //! Every condition replays the same users over the same outage-punched
 //! trace with a seeded [`FaultPlan`], so rows are exactly reproducible.
+//! The sweep runs under the supervised grid: a panicking cell is
+//! quarantined (its row omitted, taxonomy counters recording it) instead
+//! of destroying the sweep, and with checkpointing enabled (`repro`
+//! plumbs `PANO_CHECKPOINT_DIR`/`--resume`) completed cells replay from
+//! the journal after an interruption.
 
 use crate::asset::{AssetConfig, AssetStore};
 use crate::client::{simulate_session, SessionConfig};
@@ -21,6 +28,27 @@ use pano_trace::{BandwidthTrace, TraceGenerator};
 use pano_video::{Genre, VideoSpec};
 use serde::{Deserialize, Serialize};
 
+/// How request loss is drawn within a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Uniform per-attempt loss at the cell's rate ([`FaultPlan::uniform`]).
+    Uniform,
+    /// Gilbert–Elliott correlated bursts scaled to the cell's rate
+    /// ([`FaultPlan::gilbert_elliott`]): quiet in the Good state, heavy
+    /// in the Bad state, same expected severity knob.
+    Burst,
+}
+
+impl FaultModel {
+    /// Table/row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultModel::Uniform => "uniform",
+            FaultModel::Burst => "burst",
+        }
+    }
+}
+
 /// Scale knobs.
 #[derive(Debug, Clone)]
 pub struct RobustnessConfig {
@@ -30,6 +58,8 @@ pub struct RobustnessConfig {
     pub users: usize,
     /// Request-loss rates swept along the x-axis.
     pub loss_rates: Vec<f64>,
+    /// Loss models crossed against every rate.
+    pub fault_models: Vec<FaultModel>,
     /// Seed.
     pub seed: u64,
     /// Telemetry handle; each sweep cell aggregates into a child registry
@@ -47,6 +77,7 @@ impl Default for RobustnessConfig {
             video_secs: 24.0,
             users: 3,
             loss_rates: vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4],
+            fault_models: vec![FaultModel::Uniform, FaultModel::Burst],
             seed: 0x20B5,
             telemetry: Telemetry::disabled(),
             workers: None,
@@ -82,6 +113,8 @@ pub fn policies() -> Vec<(&'static str, RetryPolicy)> {
 pub struct RobustnessRow {
     /// Request-loss rate, percent.
     pub loss_pct: f64,
+    /// Loss-model label ([`FaultModel::label`]).
+    pub fault_model: String,
     /// Retry-policy label.
     pub policy: String,
     /// Mean viewport PSPNR, dB.
@@ -101,7 +134,9 @@ pub struct RobustnessRow {
 /// Sweep result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RobustnessResult {
-    /// One row per (loss rate × policy), loss-major order.
+    /// One row per (loss rate × fault model × policy), loss-major order.
+    /// Quarantined cells (a contained panic, visible in the
+    /// `sweep.cells.*` counters) are omitted rather than fabricated.
     pub rows: Vec<RobustnessRow>,
 }
 
@@ -126,12 +161,14 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
 
     let mut conditions = Vec::new();
     for &loss in &config.loss_rates {
-        for (label, policy) in policies() {
-            conditions.push((loss, label, policy));
+        for &model in &config.fault_models {
+            for (label, policy) in policies() {
+                conditions.push((loss, model, label, policy));
+            }
         }
     }
     let grid = SweepGrid::new("robust_sweep", config.seed, tel).with_workers(config.workers);
-    let rows = grid.run(conditions, |ctx, (loss, label, policy)| {
+    let rows = grid.run_checkpointed(conditions, |ctx, (loss, model, label, policy)| {
         // The grid hands each cell a child registry: sessions inside a
         // cell run sequentially and share it; concurrent cells each own
         // their registry while streaming events to the parent's sink
@@ -141,8 +178,26 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
             .iter()
             .enumerate()
             .map(|(u, user)| {
+                let user_seed = config.seed ^ ((u as u64) << 7);
+                let fault_plan = match model {
+                    FaultModel::Uniform => FaultPlan::uniform(loss, user_seed),
+                    // Same severity knob, bursty delivery: rare loss in
+                    // the Good state, concentrated loss in the Bad state,
+                    // with the uniform plan's reset/stall mix on top.
+                    FaultModel::Burst => FaultPlan {
+                        reset_rate: loss * 0.5,
+                        stall_rate: loss * 0.25,
+                        ..FaultPlan::gilbert_elliott(
+                            0.1,
+                            0.3,
+                            (0.2 * loss).min(1.0),
+                            (2.0 * loss).min(1.0),
+                            user_seed,
+                        )
+                    },
+                };
                 let cfg = SessionConfig {
-                    fault_plan: FaultPlan::uniform(loss, config.seed ^ ((u as u64) << 7)),
+                    fault_plan,
                     retry_policy: policy,
                     deadline_abandonment: true,
                     telemetry: cell_tel.clone(),
@@ -153,6 +208,7 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
             .collect();
         let row = RobustnessRow {
             loss_pct: loss * 100.0,
+            fault_model: model.label().to_string(),
             policy: label.to_string(),
             pspnr_db: mean(&runs.iter().map(|r| r.mean_pspnr()).collect::<Vec<_>>()),
             buffering_pct: mean(
@@ -192,6 +248,7 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
                 None,
                 Json::obj([
                     ("loss_pct", Json::from(row.loss_pct)),
+                    ("fault_model", Json::from(row.fault_model.as_str())),
                     ("policy", Json::from(row.policy.as_str())),
                     ("users", Json::from(users.len())),
                     ("pspnr_db", Json::from(row.pspnr_db)),
@@ -206,19 +263,24 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResult {
         }
         row
     });
-    RobustnessResult { rows }
+    // Quarantined cells surface through the sweep.cells.* counters; the
+    // table simply omits them.
+    RobustnessResult {
+        rows: rows.into_iter().filter_map(|r| r.ok()).collect(),
+    }
 }
 
 /// Renders the sweep as a loss-rate × policy table.
 pub fn render(r: &RobustnessResult) -> String {
     let mut out = String::from("Robustness: QoE vs request-loss rate under three retry policies\n");
     out.push_str(
-        "  loss% | policy   | PSPNR dB | buffering% | wasted KB | retries | abandoned | lost\n",
+        "  loss% | model   | policy   | PSPNR dB | buffering% | wasted KB | retries | abandoned | lost\n",
     );
     for row in &r.rows {
         out.push_str(&format!(
-            "  {:>5.1} | {:<8} | {:>8.2} | {:>10.2} | {:>9.1} | {:>7.1} | {:>9.1} | {:>4.1}\n",
+            "  {:>5.1} | {:<7} | {:<8} | {:>8.2} | {:>10.2} | {:>9.1} | {:>7.1} | {:>9.1} | {:>4.1}\n",
             row.loss_pct,
+            row.fault_model,
             row.policy,
             row.pspnr_db,
             row.buffering_pct,
@@ -248,12 +310,13 @@ mod tests {
     #[test]
     fn sweep_covers_every_condition_and_degrades() {
         let r = run(&tiny());
-        assert_eq!(r.rows.len(), 2 * policies().len());
+        // 2 loss rates x 2 fault models x 3 policies.
+        assert_eq!(r.rows.len(), 2 * 2 * policies().len());
         for row in &r.rows {
             assert!(row.pspnr_db.is_finite() && row.pspnr_db > 0.0, "{row:?}");
             assert!((0.0..=100.0).contains(&row.buffering_pct), "{row:?}");
         }
-        // At zero loss no retries fire under any policy.
+        // At zero loss no retries fire under any policy or model.
         for row in r.rows.iter().filter(|r| r.loss_pct == 0.0) {
             assert_eq!(row.retries, 0.0, "{row:?}");
             assert_eq!(row.wasted_kb, 0.0, "{row:?}");
@@ -262,12 +325,46 @@ mod tests {
         let heavy_default = r
             .rows
             .iter()
-            .find(|r| r.loss_pct == 20.0 && r.policy == "default")
+            .find(|r| r.loss_pct == 20.0 && r.fault_model == "uniform" && r.policy == "default")
             .expect("row exists");
         assert!(heavy_default.retries > 0.0, "{heavy_default:?}");
         let txt = render(&r);
         assert!(txt.contains("policy"));
+        assert!(txt.contains("model"));
         assert!(txt.lines().count() >= 2 + r.rows.len());
+    }
+
+    #[test]
+    fn burst_model_is_a_distinct_condition_at_heavy_loss() {
+        let r = run(&tiny());
+        let at = |model: &str| {
+            r.rows
+                .iter()
+                .find(|row| {
+                    row.loss_pct == 20.0 && row.fault_model == model && row.policy == "default"
+                })
+                .expect("row exists")
+                .clone()
+        };
+        let uniform = at("uniform");
+        let burst = at("burst");
+        // Same severity knob, different delivery pattern: the sessions
+        // must actually diverge, not silently share a fault plan.
+        assert_ne!(
+            (
+                uniform.pspnr_db,
+                uniform.retries,
+                uniform.lost_tiles,
+                uniform.buffering_pct
+            ),
+            (
+                burst.pspnr_db,
+                burst.retries,
+                burst.lost_tiles,
+                burst.buffering_pct
+            ),
+            "uniform and burst cells produced identical metrics"
+        );
     }
 
     #[test]
@@ -289,11 +386,11 @@ mod tests {
         assert_eq!(snap.histograms["span.robust_sweep"].count, 1);
         assert!(snap.counters["net.fetch.requests"] > 0);
         assert!(snap.counters["abr.mpc.decisions"] > 0);
-        let sessions = (2 * policies().len() * tiny().users) as u64;
+        let sessions = (plain.rows.len() * tiny().users) as u64;
         assert_eq!(snap.histograms["span.session"].count, sessions);
 
-        // One cell_summary event per (loss rate x policy) cell, each
-        // stamped with a run id derived from the parent's.
+        // One cell_summary event per (loss rate x model x policy) cell,
+        // each stamped with a run id derived from the parent's.
         let summaries: Vec<_> = sink
             .events()
             .into_iter()
@@ -314,7 +411,9 @@ mod tests {
         let at = |policy: &str| {
             r.rows
                 .iter()
-                .find(|row| row.loss_pct == 20.0 && row.policy == policy)
+                .find(|row| {
+                    row.loss_pct == 20.0 && row.fault_model == "uniform" && row.policy == policy
+                })
                 .expect("row exists")
                 .clone()
         };

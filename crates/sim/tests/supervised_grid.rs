@@ -1,0 +1,281 @@
+//! Supervisor-layer guarantees of [`SweepGrid`], end to end:
+//!
+//! * a panicking cell is quarantined with the right index/seed while
+//!   every sibling's result stays byte-identical to a panic-free sweep,
+//!   at any worker count (property-tested over the failure position);
+//! * a checkpoint journal written at N workers resumes at 1 worker (and
+//!   vice versa): replayed cells come back byte-identical, only the
+//!   missing cells re-execute, and the merged telemetry summary equals
+//!   an uninterrupted run's;
+//! * a torn trailing journal record (the crash-mid-append case) is
+//!   truncated on resume, never trusted;
+//! * a tampered journal record fails validation and falls back to
+//!   re-execution instead of replaying corrupt bytes.
+
+use pano_sim::experiments::{derive_cell_seed, CheckpointSpec, SweepGrid};
+use pano_telemetry::{RunId, Telemetry};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic cell payload with enough structure to make byte
+/// drift visible.
+fn evaluate(cell: u64, seed: u64) -> (u64, u64, f64) {
+    (cell, seed, (cell as f64 + 1.0) / 3.0)
+}
+
+/// Fresh scratch directory per test; std::env::temp_dir is fine here —
+/// the journal itself is what's under test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pano_supervised_grid_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn checkpoints(dir: &std::path::Path, resume: bool) -> Option<CheckpointSpec> {
+    Some(CheckpointSpec {
+        dir: dir.to_path_buf(),
+        resume,
+    })
+}
+
+const N_CELLS: u64 = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Inject a panic at an arbitrary cell: the quarantine lands on
+    /// exactly that index (with its derived seed), and every other
+    /// cell's serialised bytes match a panic-free sweep — independent
+    /// of the worker count.
+    #[test]
+    fn panicking_cell_never_perturbs_siblings(
+        fail_idx in 0u64..N_CELLS,
+        workers in prop_oneof![Just(1usize), Just(3usize)],
+    ) {
+        let clean = SweepGrid::new("prop_clean", 0xC0, &Telemetry::disabled())
+            .with_checkpoints(None)
+            .with_workers(Some(workers))
+            .run((0..N_CELLS).collect(), |ctx, cell: u64| evaluate(cell, ctx.seed));
+        let clean_bytes: Vec<Vec<u8>> = clean
+            .iter()
+            .map(|r| serde_json::to_vec(r).expect("serialise"))
+            .collect();
+
+        let out = SweepGrid::new("prop_clean", 0xC0, &Telemetry::disabled())
+            .with_checkpoints(None)
+            .with_workers(Some(workers))
+            .run_supervised((0..N_CELLS).collect(), |ctx, cell: u64| {
+                if cell == fail_idx {
+                    panic!("injected failure at {cell}");
+                }
+                evaluate(cell, ctx.seed)
+            });
+
+        prop_assert_eq!(out.len(), N_CELLS as usize);
+        for (i, slot) in out.iter().enumerate() {
+            if i as u64 == fail_idx {
+                let failure = slot.as_ref().err().expect("injected cell quarantined");
+                prop_assert_eq!(failure.index, i);
+                prop_assert_eq!(failure.seed, derive_cell_seed(0xC0, i as u64));
+                prop_assert!(failure.panic_msg.contains("injected failure"));
+            } else {
+                let r = slot.as_ref().ok().expect("sibling unaffected");
+                let bytes = serde_json::to_vec(r).expect("serialise");
+                prop_assert_eq!(&bytes, &clean_bytes[i]);
+            }
+        }
+    }
+}
+
+#[test]
+fn journal_written_parallel_resumes_serial_with_identical_bytes() {
+    let dir = scratch("resume");
+    // One sweep label/seed shared by every pass: same journal key.
+    let cells = || (0..N_CELLS).collect::<Vec<u64>>();
+    let fail_on_first_pass = [2u64, 7, 11];
+
+    // Reference: one uninterrupted run, checkpointing off.
+    let tel_clean = Telemetry::recording(RunId::from_parts("resume-clean", 5), 5);
+    let clean = SweepGrid::new("resume_sweep", 5, &tel_clean)
+        .with_checkpoints(None)
+        .with_workers(Some(3))
+        .run_supervised(cells(), |ctx, cell| {
+            ctx.telemetry.counter("test.cell.value").add(cell + 1);
+            evaluate(cell, ctx.seed)
+        });
+
+    // Pass 1 at 3 workers: three cells "crash" (panic stands in for the
+    // process dying before those cells complete), the rest journal.
+    let tel_crashed = Telemetry::recording(RunId::from_parts("resume-crash", 5), 5);
+    let crashed = SweepGrid::new("resume_sweep", 5, &tel_crashed)
+        .with_checkpoints(checkpoints(&dir, false))
+        .with_workers(Some(3))
+        .run_supervised_like_checkpointed(cells(), &fail_on_first_pass);
+    assert_eq!(crashed.iter().filter(|r| r.is_err()).count(), 3);
+
+    // Pass 2 at 1 worker, resume on, healthy function: only the three
+    // missing cells execute, everything else replays from the journal.
+    let executed = AtomicUsize::new(0);
+    let tel_resumed = Telemetry::recording(RunId::from_parts("resume-replay", 5), 5);
+    let resumed = SweepGrid::new("resume_sweep", 5, &tel_resumed)
+        .with_checkpoints(checkpoints(&dir, true))
+        .with_workers(Some(1))
+        .run_checkpointed(cells(), |ctx, cell| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            ctx.telemetry.counter("test.cell.value").add(cell + 1);
+            evaluate(cell, ctx.seed)
+        });
+
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        fail_on_first_pass.len(),
+        "only the cells missing from the journal re-execute"
+    );
+    // Byte-identical results, cell by cell.
+    for (i, (c, r)) in clean.iter().zip(&resumed).enumerate() {
+        let c = c.as_ref().expect("clean run is panic-free");
+        let r = r.as_ref().expect("resumed run completes every cell");
+        assert_eq!(
+            serde_json::to_vec(c).expect("serialise"),
+            serde_json::to_vec(r).expect("serialise"),
+            "cell {i}"
+        );
+    }
+    // Identical merged counter aggregates: replayed snapshots + fresh
+    // executions must add up to exactly the uninterrupted totals.
+    assert_eq!(
+        tel_clean.snapshot().counters,
+        tel_resumed.snapshot().counters
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pass-1 helper for the resume test: runs the checkpointed sweep with
+/// the given cells panicking. Lives on a tiny extension trait so the
+/// test body above reads as the three passes it is.
+trait CrashyRun {
+    fn run_supervised_like_checkpointed(
+        self,
+        cells: Vec<u64>,
+        fail: &[u64],
+    ) -> Vec<Result<(u64, u64, f64), pano_sim::experiments::CellFailure>>;
+}
+
+impl CrashyRun for SweepGrid {
+    fn run_supervised_like_checkpointed(
+        self,
+        cells: Vec<u64>,
+        fail: &[u64],
+    ) -> Vec<Result<(u64, u64, f64), pano_sim::experiments::CellFailure>> {
+        self.run_checkpointed(cells, |ctx, cell| {
+            if fail.contains(&cell) {
+                panic!("simulated crash before cell {cell} completed");
+            }
+            ctx.telemetry.counter("test.cell.value").add(cell + 1);
+            evaluate(cell, ctx.seed)
+        })
+    }
+}
+
+/// Find the journal file a sweep wrote under `dir` (there is exactly
+/// one per (label, seed, fingerprint) key).
+fn journal_file(dir: &std::path::Path) -> PathBuf {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 1, "one journal per sweep key: {files:?}");
+    files.remove(0)
+}
+
+#[test]
+fn torn_trailing_record_is_truncated_and_recomputed() {
+    let dir = scratch("torn");
+    let cells = || (0..6u64).collect::<Vec<u64>>();
+    let full = SweepGrid::new("torn_sweep", 9, &Telemetry::disabled())
+        .with_checkpoints(checkpoints(&dir, false))
+        .with_workers(Some(1))
+        .run_checkpointed(cells(), |ctx, cell| evaluate(cell, ctx.seed));
+    assert!(full.iter().all(|r| r.is_ok()));
+
+    // Crash mid-append: chop the final record in half, no newline.
+    let path = journal_file(&dir);
+    let bytes = std::fs::read(&path).expect("journal readable");
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    assert_eq!(lines.len(), 6);
+    let keep = bytes.len() - lines[5].len() + lines[5].len() / 2;
+    std::fs::write(&path, &bytes[..keep]).expect("tear journal");
+
+    let executed = AtomicUsize::new(0);
+    let resumed = SweepGrid::new("torn_sweep", 9, &Telemetry::disabled())
+        .with_checkpoints(checkpoints(&dir, true))
+        .with_workers(Some(1))
+        .run_checkpointed(cells(), |ctx, cell| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            evaluate(cell, ctx.seed)
+        });
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        1,
+        "only the torn record's cell recomputes"
+    );
+    for (a, b) in full.iter().zip(&resumed) {
+        assert_eq!(
+            a.as_ref().expect("full run ok"),
+            b.as_ref().expect("resumed run ok")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_journal_record_is_distrusted_not_replayed() {
+    let dir = scratch("tamper");
+    let cells = || (0..4u64).collect::<Vec<u64>>();
+    let full = SweepGrid::new("tamper_sweep", 4, &Telemetry::disabled())
+        .with_checkpoints(checkpoints(&dir, false))
+        .with_workers(Some(1))
+        .run_checkpointed(cells(), |ctx, cell| evaluate(cell, ctx.seed));
+    assert!(full.iter().all(|r| r.is_ok()));
+
+    // Flip the key fields of the second record: the journal trusts the
+    // prefix before it and re-executes everything from there on.
+    let path = journal_file(&dir);
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let tampered: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 1 {
+                l.replace("\"sweep_seed\":4", "\"sweep_seed\":5")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    std::fs::write(&path, tampered.join("\n") + "\n").expect("tamper journal");
+
+    let executed = AtomicUsize::new(0);
+    let resumed = SweepGrid::new("tamper_sweep", 4, &Telemetry::disabled())
+        .with_checkpoints(checkpoints(&dir, true))
+        .with_workers(Some(2))
+        .run_checkpointed(cells(), |ctx, cell| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            evaluate(cell, ctx.seed)
+        });
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        3,
+        "cells 1..4 recompute; only the clean prefix replays"
+    );
+    for (a, b) in full.iter().zip(&resumed) {
+        assert_eq!(
+            a.as_ref().expect("full run ok"),
+            b.as_ref().expect("resumed run ok")
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -60,6 +60,10 @@ fn robustness_grid_is_identical_across_worker_counts() {
             video_secs: 12.0,
             users: 2,
             loss_rates: vec![0.0, 0.2],
+            fault_models: vec![
+                robustness::FaultModel::Uniform,
+                robustness::FaultModel::Burst,
+            ],
             seed: 3,
             telemetry: tel.clone(),
             workers,

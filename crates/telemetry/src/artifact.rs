@@ -1,0 +1,121 @@
+//! Crash-safe artefact writes.
+//!
+//! Every results file this workspace produces (experiment JSON, rendered
+//! tables, run reports, benchmark artifacts) is consumed by diff-based
+//! tooling: CI compares byte ranges, the resume machinery compares whole
+//! files. A torn write — a process killed between `open(O_TRUNC)` and the
+//! final `write` — would leave a half-file that *looks* like a result.
+//! [`atomic_write`] closes that window with the classic tmp + fsync +
+//! rename dance: readers observe either the complete old bytes or the
+//! complete new bytes, never a prefix.
+//!
+//! The `pano-lint` P2 rule (`raw-artefact-write`) denies plain
+//! `fs::write`/`File::create` in artefact-producing code outside this
+//! crate, so every results write is auditable at this single choke point.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the data lands in a sibling
+/// temporary file first, is fsynced, and is then renamed over `path`.
+/// Parent directories are created as needed. On any error the target
+/// file is left untouched (a stale temporary may remain; it is
+/// re-created, not appended, on retry).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Flush the data to the device before the rename publishes it:
+        // rename-before-fsync can expose an empty file after a crash.
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the error we report is the write failure.
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Convenience wrapper for text artefacts.
+pub fn atomic_write_str(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+/// The sibling temporary for `path`: same directory (rename must not
+/// cross filesystems), name suffixed with the writer's pid so concurrent
+/// processes never clobber each other's staging file.
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("artifact"));
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pano_atomic_write_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("nested/result.json");
+        atomic_write(&path, b"{\"v\":1}").expect("first write");
+        assert_eq!(fs::read(&path).expect("read"), b"{\"v\":1}");
+        atomic_write(&path, b"{\"v\":2}").expect("overwrite");
+        assert_eq!(fs::read(&path).expect("read"), b"{\"v\":2}");
+        // No staging file left behind.
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn string_variant_matches_bytes() {
+        let dir = tmp_dir("str");
+        let path = dir.join("report.txt");
+        atomic_write_str(&path, "hello\n").expect("write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "hello\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_leaves_existing_file_intact() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("keep.json");
+        atomic_write(&path, b"old").expect("seed");
+        // Writing *through* an existing file as if it were a directory
+        // must fail without touching the original.
+        let bad = path.join("child.json");
+        assert!(atomic_write(&bad, b"new").is_err());
+        assert_eq!(fs::read(&path).expect("read"), b"old");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_path_is_a_sibling() {
+        let t = tmp_path(Path::new("results/robust.json"));
+        assert_eq!(t.parent(), Some(Path::new("results")));
+        let name = t.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("robust.json.tmp."), "{name}");
+    }
+}

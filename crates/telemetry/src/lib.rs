@@ -14,7 +14,10 @@
 //!   and JSONL (the replayable run artifact);
 //! * a **run report** ([`report`]) — folds one run's telemetry into a
 //!   human-readable table (stage timings, fetch outcome breakdown,
-//!   retry/abandonment funnel, bytes by tile class).
+//!   retry/abandonment funnel, bytes by tile class);
+//! * **crash-safe artefact writes** ([`artifact`]) — the tmp + fsync +
+//!   rename helper ([`atomic_write`]) every binary uses for `results/`
+//!   files, enforced workspace-wide by the `pano-lint` P2 rule.
 //!
 //! The entry point is the [`Telemetry`] handle: a cheaply cloneable
 //! capability that the instrumented crates (`pano-net`, `pano-abr`,
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -57,6 +61,7 @@ pub mod runid;
 pub mod sink;
 pub mod span;
 
+pub use artifact::{atomic_write, atomic_write_str};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::RunReport;

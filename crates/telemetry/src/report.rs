@@ -76,12 +76,37 @@ impl RunReport {
         ));
 
         self.render_stage_timings(&mut out);
+        self.render_supervisor(&mut out);
         self.render_fetch_outcomes(&mut out);
         self.render_funnel(&mut out);
         self.render_bytes(&mut out);
         self.render_buffer(&mut out);
         self.render_other(&mut out);
         out
+    }
+
+    /// Sweep-supervisor failure taxonomy from `sweep.cells.*` counters.
+    /// Silent when the run had no contained failures, retries, or
+    /// over-budget cells — the healthy case stays clutter-free.
+    fn render_supervisor(&self, out: &mut String) {
+        let failed = self.counter("sweep.cells.failed");
+        let retried = self.counter("sweep.cells.retried");
+        let quarantined = self.counter("sweep.cells.quarantined");
+        let over_budget = self.counter("sweep.cells.over_budget");
+        if failed + retried + quarantined + over_budget == 0 {
+            return;
+        }
+        out.push_str("\nsweep supervisor\n");
+        for (label, n) in [
+            ("failed attempts", failed),
+            ("retried", retried),
+            ("quarantined", quarantined),
+            ("over budget", over_budget),
+        ] {
+            if n > 0 {
+                out.push_str(&format!("  {label:<18} {n:>9}\n"));
+            }
+        }
     }
 
     /// Stage timings from `span.*` histograms, heaviest first.
@@ -273,6 +298,7 @@ impl RunReport {
                 || k == "net.watchdog.fires"
                 || k == "net.backoff.waits"
                 || k.starts_with("sim.tiles.")
+                || k.starts_with("sweep.cells.")
         };
         let rest: Vec<(&String, &u64)> = self
             .snapshot
@@ -366,6 +392,23 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn supervisor_section_appears_only_on_failures() {
+        let r = Registry::new();
+        r.counter("sweep.cells.failed").add(2);
+        r.counter("sweep.cells.retried").add(1);
+        r.counter("sweep.cells.quarantined").add(1);
+        let report = RunReport::new("sup", RunId::from_parts("t", 1), 1, r.snapshot());
+        let text = report.render();
+        assert!(text.contains("sweep supervisor"), "{text}");
+        assert!(text.contains("quarantined"), "{text}");
+        // Covered by the dedicated section, not the generic tail.
+        assert!(!text.contains("sweep.cells.failed"), "{text}");
+
+        let clean = RunReport::new("clean", RunId::NONE, 0, Registry::new().snapshot());
+        assert!(!clean.render().contains("sweep supervisor"));
     }
 
     #[test]

@@ -80,9 +80,11 @@ impl DatasetExport {
     pub fn write_to_dir(dataset: &DatasetSpec, dir: &Path) -> io::Result<usize> {
         fs::create_dir_all(dir)?;
         let index = Self::index(dataset);
-        fs::write(
+        // Atomic writes: an interrupted export leaves whole files or no
+        // file, never a torn JSON a later read_from_dir chokes on.
+        pano_telemetry::atomic_write(
             dir.join("index.json"),
-            serde_json::to_vec_pretty(&index).expect("index serialises"),
+            &serde_json::to_vec_pretty(&index).expect("index serialises"),
         )?;
         let mut written = 1;
         for v in &dataset.videos {
@@ -94,9 +96,9 @@ impl DatasetExport {
                 resolution: v.resolution,
                 scene: v.scene.clone(),
             };
-            fs::write(
+            pano_telemetry::atomic_write(
                 dir.join(format!("video_{:03}.json", v.id)),
-                serde_json::to_vec_pretty(&record).expect("record serialises"),
+                &serde_json::to_vec_pretty(&record).expect("record serialises"),
             )?;
             written += 1;
         }

@@ -41,7 +41,8 @@ fn main() {
         for user in 0..4u64 {
             let trace = gen.generate(&scene, 1000 + video.id as u64 * 64 + user);
             let path = traces_dir.join(format!("video_{:03}_user_{user}.log", video.id));
-            fs::write(&path, format_viewpoint_log(&trace)).expect("write log");
+            pano_telemetry::atomic_write_str(&path, &format_viewpoint_log(&trace))
+                .expect("write log");
             n_logs += 1;
         }
     }

@@ -10,8 +10,14 @@
 //!
 //! ```text
 //! cargo run --release -p pano-bench --bin hotpath_bench -- \
-//!     [OUT.json] [--baseline PATH] [--min-speedup X] [--write-baseline PATH]
+//!     [OUT.json] [--baseline PATH] [--min-speedup X] [--write-baseline PATH] [--trace]
 //! ```
+//!
+//! With `--trace`, the prepare runs stream span-traced telemetry to
+//! `results/telemetry/<run_id>.jsonl` and the flushed stream is folded
+//! into a Chrome trace next to it — see DESIGN.md §14. Expect the traced
+//! wall-clocks to read slightly high; the artifact byte-identity check
+//! is unaffected.
 //!
 //! The regression gate compares the measured serial prepare against
 //! `--baseline` after rescaling by a fixed-FP-workload calibration (so a
@@ -45,17 +51,17 @@ fn spec() -> VideoSpec {
     VideoSpec::generate(0, Genre::Sports, 12.0, 42)
 }
 
-fn config(workers: usize) -> AssetConfig {
+fn config(workers: usize, telemetry: Telemetry) -> AssetConfig {
     AssetConfig {
         workers: Some(workers),
-        telemetry: Telemetry::disabled(),
+        telemetry,
         ..AssetConfig::default()
     }
 }
 
-fn timed_prepare(workers: usize) -> (f64, PreparedVideo) {
+fn timed_prepare(workers: usize, telemetry: Telemetry) -> (f64, PreparedVideo) {
     let t0 = Instant::now();
-    let prepared = PreparedVideo::prepare(&spec(), &config(workers));
+    let prepared = PreparedVideo::prepare(&spec(), &config(workers, telemetry));
     (t0.elapsed().as_secs_f64(), prepared)
 }
 
@@ -206,6 +212,7 @@ struct Args {
     baseline: Option<String>,
     min_speedup: Option<f64>,
     write_baseline: Option<String>,
+    trace: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
@@ -214,6 +221,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
         baseline: None,
         min_speedup: None,
         write_baseline: None,
+        trace: false,
     };
     while let Some(a) = argv.next() {
         let mut value = |flag: &str| {
@@ -230,6 +238,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
                         .expect("--min-speedup takes a number"),
                 )
             }
+            "--trace" => args.trace = true,
             _ => args.out_path = a,
         }
     }
@@ -242,13 +251,21 @@ fn main() {
     let mut counts = vec![1usize, 2, 4, pool];
     counts.sort_unstable();
     counts.dedup();
+    // One telemetry stream spans the whole bench: disabled (true zero
+    // cost) unless `--trace` asked for span timelines.
+    let run = pano_bench::bench_run("hotpath-bench", 42, args.trace);
+    let tel = if args.trace {
+        run.telemetry.clone()
+    } else {
+        Telemetry::disabled()
+    };
 
     // Cold prepare per worker count, checking byte-identity throughout.
     let mut runs: Vec<(usize, f64)> = Vec::new();
     let mut reference_bytes: Option<Vec<u8>> = None;
     let mut last = None;
     for &w in &counts {
-        let (secs, prepared) = timed_prepare(w);
+        let (secs, prepared) = timed_prepare(w, tel.clone());
         let bytes = prepared.artifact_bytes();
         match &reference_bytes {
             None => reference_bytes = Some(bytes),
@@ -272,6 +289,10 @@ fn main() {
         "hotpath_bench: kernels: pmse_spread {pmse_ns:.1}ns, lookup_build {lookup_build_ms:.2}ms, \
          estimate {estimate_ns:.1}ns, pareto {pareto_us:.1}us"
     );
+    // The trace artifact lands before any gate can exit the process.
+    if let Some(tp) = pano_bench::finish_run(&run) {
+        println!("hotpath_bench: trace at {}", tp.display());
+    }
 
     // Baseline regression gate.
     let gate_outcome = args.baseline.as_ref().map(|path| {
@@ -429,13 +450,21 @@ mod tests {
     #[test]
     fn args_parse_flags_and_positional() {
         let a = parse_args(
-            ["out.json", "--baseline", "b.json", "--min-speedup", "2.0"]
-                .into_iter()
-                .map(String::from),
+            [
+                "out.json",
+                "--baseline",
+                "b.json",
+                "--min-speedup",
+                "2.0",
+                "--trace",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(a.out_path, "out.json");
         assert_eq!(a.baseline.as_deref(), Some("b.json"));
         assert_eq!(a.min_speedup, Some(2.0));
         assert!(a.write_baseline.is_none());
+        assert!(a.trace);
     }
 }

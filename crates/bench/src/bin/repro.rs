@@ -10,6 +10,7 @@
 //! repro --resume robust        # replay journaled cells after a crash
 //! repro --quiet all            # suppress progress chatter
 //! repro --json robust          # machine-readable progress on stdout
+//! repro --all --trace          # run everything with span timelines
 //! ```
 //!
 //! `--threads N` (or the `PANO_THREADS` env var) bounds the worker pool
@@ -40,6 +41,15 @@
 //! * `results/telemetry/<run_id>.jsonl` — the structured event stream,
 //!   every record stamped with the run id and seed;
 //! * `results/telemetry/<run_id>.report.txt` — the rendered run report.
+//!
+//! With `--trace` the event stream additionally carries `span_begin` /
+//! `span_end` records for every instrumented scope, and after each
+//! experiment the stream is folded into
+//! `results/telemetry/<run_id>.trace.json` — Chrome trace-event JSON,
+//! loadable in `chrome://tracing`, Perfetto, or `pano-obs`. Every run
+//! also ends with a `run_summary` event carrying the final metric
+//! snapshot, the anchor record `pano-obs diff` uses to attribute drift
+//! between two runs.
 
 use pano_sim::experiments::{CHECKPOINT_DIR_ENV, RESUME_ENV};
 use pano_telemetry::{atomic_write, Json, RunId, Telemetry};
@@ -93,7 +103,7 @@ impl Progress {
 
 fn usage(registry: &[pano_bench::Experiment]) {
     println!(
-        "Usage: repro [--seed N] [--threads N] [--resume] [--quiet] [--json] [--experiment ID] <experiment ...|all>\n"
+        "Usage: repro [--seed N] [--threads N] [--resume] [--trace] [--quiet] [--json] [--experiment ID] <experiment ...|--all|all>\n"
     );
     println!("Available experiments:");
     for e in registry {
@@ -148,6 +158,15 @@ fn main() {
         args.remove(pos);
         std::env::set_var(RESUME_ENV, "1");
     }
+    let mut trace = false;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        trace = true;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--all") {
+        args.remove(pos);
+        selected_ids.push("all".to_string());
+    }
     if let Some(pos) = args.iter().position(|a| a == "--quiet") {
         args.remove(pos);
         progress = Progress::Quiet;
@@ -198,7 +217,7 @@ fn main() {
         let jsonl_path = tel_dir.join(format!("{run_id}.jsonl"));
         // Telemetry must never take a reproduction run down: if the
         // artifact file cannot be created, fall back to aggregation-only.
-        let tel = Telemetry::jsonl(run_id, seed, &jsonl_path).unwrap_or_else(|err| {
+        let tel = Telemetry::jsonl_traced(run_id, seed, &jsonl_path, trace).unwrap_or_else(|err| {
             eprintln!(
                 "warning: no telemetry artifact at {}: {err}",
                 jsonl_path.display()
@@ -250,6 +269,7 @@ fn main() {
                         ("panic", Json::from(panic_msg.as_str())),
                     ]),
                 );
+                tel.emit("run_summary", None, tel.snapshot().to_json());
                 tel.flush();
                 progress.event(
                     "failed",
@@ -274,7 +294,22 @@ fn main() {
             None,
             Json::obj([("id", Json::from(e.id)), ("wall_secs", Json::from(secs))]),
         );
+        // The final metric snapshot travels inside the stream itself so
+        // a single JSONL file is a self-contained `pano-obs diff` input.
+        tel.emit("run_summary", None, tel.snapshot().to_json());
         tel.flush();
+        // Fold the flushed stream into a Chrome trace-event file. A
+        // failure here degrades the artifact set, never the run.
+        let trace_path = trace.then(|| tel_dir.join(format!("{run_id}.trace.json")));
+        let trace_path = trace_path.filter(|tp| {
+            match pano_telemetry::trace::write_chrome_trace(&jsonl_path, tp) {
+                Ok(_) => true,
+                Err(err) => {
+                    eprintln!("warning: no trace artifact at {}: {err}", tp.display());
+                    false
+                }
+            }
+        });
         let report = tel.report(e.title).render();
         let quarantined = tel
             .snapshot()
@@ -301,28 +336,32 @@ fn main() {
         let report_path = tel_dir.join(format!("{run_id}.report.txt"));
         write_artifact(&report_path, report.as_bytes());
 
+        let mut finish_fields = vec![
+            ("experiment", Json::from(e.id)),
+            ("run_id", Json::from(run_id.to_string())),
+            ("wall_secs", Json::from(secs)),
+            ("status", Json::from(status)),
+            ("quarantined_cells", Json::from(quarantined)),
+            (
+                "text_path",
+                Json::from(out_dir.join(format!("{}.txt", e.id)).display().to_string()),
+            ),
+            (
+                "json_path",
+                Json::from(out_dir.join(format!("{}.json", e.id)).display().to_string()),
+            ),
+            (
+                "telemetry_path",
+                Json::from(jsonl_path.display().to_string()),
+            ),
+            ("report_path", Json::from(report_path.display().to_string())),
+        ];
+        if let Some(tp) = &trace_path {
+            finish_fields.push(("trace_path", Json::from(tp.display().to_string())));
+        }
         progress.event(
             "finish",
-            Json::obj([
-                ("experiment", Json::from(e.id)),
-                ("run_id", Json::from(run_id.to_string())),
-                ("wall_secs", Json::from(secs)),
-                ("status", Json::from(status)),
-                ("quarantined_cells", Json::from(quarantined)),
-                (
-                    "text_path",
-                    Json::from(out_dir.join(format!("{}.txt", e.id)).display().to_string()),
-                ),
-                (
-                    "json_path",
-                    Json::from(out_dir.join(format!("{}.json", e.id)).display().to_string()),
-                ),
-                (
-                    "telemetry_path",
-                    Json::from(jsonl_path.display().to_string()),
-                ),
-                ("report_path", Json::from(report_path.display().to_string())),
-            ]),
+            Json::obj(finish_fields),
             Some(&format!(
                 "{text}\n{report}\n[{} finished in {secs:.2}s, status {status}]\n",
                 e.id

@@ -6,11 +6,16 @@
 //! with both wall-clocks and the asset-store hit/miss statistics.
 //!
 //! ```text
-//! cargo run --release -p pano-bench --bin sweep_bench [-- out.json]
+//! cargo run --release -p pano-bench --bin sweep_bench [-- out.json] [--trace]
 //! ```
+//!
+//! With `--trace`, each timed run additionally streams span-traced
+//! telemetry to `results/telemetry/<run_id>.jsonl` and folds it into a
+//! Chrome trace next to it — see DESIGN.md §14.
 
+use pano_bench::{bench_run, finish_run};
 use pano_sim::experiments::{effective_workers, fig15};
-use pano_telemetry::{atomic_write, RunId, Telemetry};
+use pano_telemetry::{atomic_write, Telemetry};
 use pano_video::Genre;
 use std::time::Instant;
 
@@ -28,23 +33,36 @@ fn config(workers: usize, telemetry: Telemetry) -> fig15::Fig15Config {
     }
 }
 
-fn timed_run(workers: usize) -> (f64, Vec<u8>, pano_telemetry::Snapshot) {
-    let tel = Telemetry::recording(RunId::from_parts("sweep-bench", workers as u64), 0xF15);
+fn timed_run(workers: usize, trace: bool) -> (f64, Vec<u8>, pano_telemetry::Snapshot) {
+    let run = bench_run(&format!("sweep-bench-{workers}w"), 0xF15, trace);
     let t0 = Instant::now();
-    let r = fig15::run(&config(workers, tel.clone()));
+    let r = fig15::run(&config(workers, run.telemetry.clone()));
     let secs = t0.elapsed().as_secs_f64();
     let bytes = serde_json::to_vec(&r).expect("serialise");
-    (secs, bytes, tel.snapshot())
+    let snap = run.telemetry.snapshot();
+    if let Some(tp) = finish_run(&run) {
+        println!("sweep_bench: trace at {}", tp.display());
+    }
+    (secs, bytes, snap)
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    let out_path = args
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
     let pool = effective_workers(None);
 
-    let (serial_secs, serial_bytes, serial_snap) = timed_run(1);
-    let (parallel_secs, parallel_bytes, parallel_snap) = timed_run(pool);
+    let (serial_secs, serial_bytes, serial_snap) = timed_run(1, trace);
+    let (parallel_secs, parallel_bytes, parallel_snap) = timed_run(pool, trace);
 
     let identical = serial_bytes == parallel_bytes;
     assert!(

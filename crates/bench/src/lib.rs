@@ -15,6 +15,7 @@
 
 use pano_telemetry::Telemetry;
 use serde::Serialize;
+use std::path::PathBuf;
 
 /// An experiment the `repro` binary can run.
 pub struct Experiment {
@@ -206,6 +207,72 @@ pub fn experiments() -> Vec<Experiment> {
 /// Looks up one experiment by id.
 pub fn find(id: &str) -> Option<Experiment> {
     experiments().into_iter().find(|e| e.id == id)
+}
+
+/// A bench run's telemetry plus the artifact path `--trace` adds.
+///
+/// Benches default to aggregation-only telemetry: zero files, near-zero
+/// overhead. With `trace` the run instead gets a span-traced JSONL sink
+/// under `results/telemetry/`, and [`finish_run`] folds the flushed
+/// stream into Chrome trace-event JSON next to it.
+pub struct BenchRun {
+    pub telemetry: Telemetry,
+    pub jsonl_path: Option<PathBuf>,
+}
+
+/// Builds telemetry for a bench run; span-traced to disk when asked.
+/// Falls back to aggregation-only (with a warning) if the artifact file
+/// cannot be created — telemetry must never take a bench down.
+pub fn bench_run(label: &str, seed: u64, trace: bool) -> BenchRun {
+    let run_id = pano_telemetry::RunId::from_parts(label, seed);
+    if !trace {
+        return BenchRun {
+            telemetry: Telemetry::recording(run_id, seed),
+            jsonl_path: None,
+        };
+    }
+    let dir = PathBuf::from("results").join("telemetry");
+    let path = dir.join(format!("{run_id}.jsonl"));
+    let telemetry = std::fs::create_dir_all(&dir)
+        .and_then(|()| Telemetry::jsonl_traced(run_id, seed, &path, true));
+    match telemetry {
+        Ok(telemetry) => BenchRun {
+            telemetry,
+            jsonl_path: Some(path),
+        },
+        Err(err) => {
+            eprintln!(
+                "warning: no telemetry artifact at {}: {err}",
+                path.display()
+            );
+            BenchRun {
+                telemetry: Telemetry::recording(run_id, seed),
+                jsonl_path: None,
+            }
+        }
+    }
+}
+
+/// Ends a bench run: emits the final `run_summary` event (the anchor
+/// record `pano-obs diff` reads), flushes, and — when the run was traced
+/// — folds the stream into `<run_id>.trace.json`. Returns the trace path
+/// when one was written.
+pub fn finish_run(run: &BenchRun) -> Option<PathBuf> {
+    run.telemetry
+        .emit("run_summary", None, run.telemetry.snapshot().to_json());
+    run.telemetry.flush();
+    let jsonl = run.jsonl_path.as_ref()?;
+    let trace_path = jsonl.with_extension("trace.json");
+    match pano_telemetry::trace::write_chrome_trace(jsonl, &trace_path) {
+        Ok(_) => Some(trace_path),
+        Err(err) => {
+            eprintln!(
+                "warning: no trace artifact at {}: {err}",
+                trace_path.display()
+            );
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,738 @@
+//! `pano-obs`: post-hoc observability over pano run artifacts.
+//!
+//! Three capabilities, one small crate (DESIGN.md §14):
+//!
+//! * **Run-diff attribution** ([`diff`]) — load two runs (telemetry
+//!   JSONL streams or `BENCH_*.json` artifacts), flatten each to a
+//!   `metric → value` table and rank every difference. Exact-class
+//!   metrics (counters, event counts, configuration) flag on *any*
+//!   drift — on identical seeds they are covered by the determinism
+//!   contract — while timing-class metrics (span percentiles, wall
+//!   seconds, speedups) flag only when both a relative and an absolute
+//!   threshold are exceeded, so benign scheduler noise never fails a
+//!   gate.
+//! * **Failure explanation** ([`explain`]) — find the quarantine
+//!   records in a telemetry stream or checkpoint journal and render
+//!   each cell's flight-recorder tail, ending with a "died N ms into
+//!   span X" narrative reconstructed from the tail's span events.
+//! * **Bench history** ([`append_history`]) — fold an artifact's
+//!   flattened metrics into an append-only `bench_history.jsonl`, one
+//!   record per measurement, written atomically.
+//!
+//! Everything here *reads* artifacts produced elsewhere; the only write
+//! path is the history file, which goes through
+//! [`pano_telemetry::atomic_write_str`].
+
+use pano_telemetry::{atomic_write_str, Event, Json, Snapshot};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Flattened run metrics: dotted metric name → numeric value.
+pub type Metrics = BTreeMap<String, f64>;
+
+/// A loaded run: display name plus flattened metrics.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Display name (the file name).
+    pub source: String,
+    /// Flattened `metric → value` table.
+    pub metrics: Metrics,
+}
+
+/// Loads a run input — telemetry JSONL or a single-document JSON bench
+/// artifact — and flattens it to metrics.
+pub fn load_run(path: &Path) -> Result<RunMetrics, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let metrics = parse_run(&text).ok_or_else(|| {
+        format!(
+            "{}: not a telemetry JSONL stream or JSON bench artifact",
+            path.display()
+        )
+    })?;
+    let source = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    Ok(RunMetrics { source, metrics })
+}
+
+/// Parses run text: a JSON document without a `kind` field is treated
+/// as a bench artifact (numeric leaves flattened to dotted paths); any
+/// other text is decoded as a telemetry event stream. `None` when the
+/// text is neither.
+pub fn parse_run(text: &str) -> Option<Metrics> {
+    if let Some(doc) = Json::parse(text) {
+        if doc.get("kind").is_none() {
+            return Some(flatten_value("", &doc));
+        }
+    }
+    stream_metrics(text)
+}
+
+/// Metrics of a telemetry JSONL stream: per-kind event counts, plus the
+/// flattened final `run_summary` snapshot when the run emitted one.
+/// Unparseable lines (the torn tail of a killed run) are skipped; a
+/// stream with no parseable event at all is `None`.
+fn stream_metrics(text: &str) -> Option<Metrics> {
+    let mut metrics = Metrics::new();
+    let mut summary: Option<Snapshot> = None;
+    let mut parsed_any = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(event) = Event::from_json_line(line) else {
+            continue;
+        };
+        parsed_any = true;
+        *metrics
+            .entry(format!("events.{}", event.kind))
+            .or_insert(0.0) += 1.0;
+        if event.kind == "run_summary" {
+            // Last one wins: the stream's final aggregate state.
+            summary = Snapshot::from_json(&event.fields).or(summary);
+        }
+    }
+    if !parsed_any {
+        return None;
+    }
+    if let Some(snap) = summary {
+        flatten_snapshot(&snap, &mut metrics);
+    }
+    Some(metrics)
+}
+
+/// Flattens a telemetry snapshot: `counter.<name>`, `gauge.<name>`, and
+/// per-histogram `count`/`sum`/`p50`/`p90`/`p99` under the histogram's
+/// own name (`span.session.p90`, …).
+pub fn flatten_snapshot(snap: &Snapshot, out: &mut Metrics) {
+    for (name, v) in &snap.counters {
+        out.insert(format!("counter.{name}"), *v as f64);
+    }
+    for (name, v) in &snap.gauges {
+        out.insert(format!("gauge.{name}"), *v);
+    }
+    for (name, h) in &snap.histograms {
+        out.insert(format!("{name}.count"), h.count as f64);
+        out.insert(format!("{name}.sum"), h.sum);
+        out.insert(format!("{name}.p50"), h.quantile(0.5));
+        out.insert(format!("{name}.p90"), h.quantile(0.9));
+        out.insert(format!("{name}.p99"), h.quantile(0.99));
+    }
+}
+
+/// Recursively flattens a JSON document's numeric (and boolean, as 0/1)
+/// leaves into dotted-path metrics. Arrays flatten by index.
+pub fn flatten_value(prefix: &str, v: &Json) -> Metrics {
+    let mut out = Metrics::new();
+    flatten_into(prefix, v, &mut out);
+    out
+}
+
+fn flatten_into(prefix: &str, v: &Json, out: &mut Metrics) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match v {
+        Json::Obj(map) => {
+            for (k, child) in map {
+                flatten_into(&join(k), child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten_into(&join(&i.to_string()), child, out);
+            }
+        }
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Bool(b) => {
+            out.insert(prefix.to_string(), f64::from(u8::from(*b)));
+        }
+        Json::Str(_) | Json::Null => {}
+    }
+}
+
+/// How a metric is judged in a diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Deterministic under the repo's contracts: any drift flags.
+    Exact,
+    /// Wall-clock-derived: flags only past both thresholds.
+    Timing,
+}
+
+/// Classifies a flattened metric name. Counts and counters are exact;
+/// anything carrying seconds, span timings or speedups is timing.
+pub fn classify(name: &str) -> MetricClass {
+    if name.starts_with("counter.") || name.starts_with("events.") || name.ends_with(".count") {
+        return MetricClass::Exact;
+    }
+    if name.contains("secs") || name.contains("speedup") || name.starts_with("span.") {
+        return MetricClass::Timing;
+    }
+    MetricClass::Exact
+}
+
+/// Flagging thresholds for timing-class metrics: a metric drifts only
+/// when it moves by more than `rel` *relatively* AND `abs` in absolute
+/// value — small spans jitter relatively, long sweeps jitter absolutely,
+/// and requiring both keeps identical-seed diffs quiet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Relative drift gate, as a fraction (0.30 = 30%).
+    pub rel: f64,
+    /// Absolute drift gate, in the metric's own unit.
+    pub abs: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            rel: 0.30,
+            abs: 0.5,
+        }
+    }
+}
+
+/// One diffed metric.
+#[derive(Debug, Clone)]
+pub struct DiffFinding {
+    /// Flattened metric name.
+    pub metric: String,
+    /// How the metric was judged.
+    pub class: MetricClass,
+    /// Value in run A (`None` when absent there).
+    pub a: Option<f64>,
+    /// Value in run B (`None` when absent there).
+    pub b: Option<f64>,
+    /// `b − a` (0 when either side is absent).
+    pub delta: f64,
+    /// `|delta|` relative to the larger magnitude (1.0 for appear/vanish).
+    pub rel: f64,
+    /// Whether this difference exceeds its class's gate.
+    pub flagged: bool,
+}
+
+/// Diffs two flattened runs, returning every differing metric ranked
+/// most-suspicious first: flagged before unflagged, then by relative
+/// drift, then by name for a stable order.
+pub fn diff(a: &Metrics, b: &Metrics, thresholds: Thresholds) -> Vec<DiffFinding> {
+    let mut findings = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    for key in keys {
+        let class = classify(key);
+        let finding = match (a.get(key), b.get(key)) {
+            (Some(&x), Some(&y)) => {
+                if x == y {
+                    continue;
+                }
+                let delta = y - x;
+                let scale = x.abs().max(y.abs());
+                let rel = if scale > 0.0 {
+                    delta.abs() / scale
+                } else {
+                    0.0
+                };
+                let flagged = match class {
+                    MetricClass::Exact => true,
+                    MetricClass::Timing => delta.abs() > thresholds.abs && rel > thresholds.rel,
+                };
+                DiffFinding {
+                    metric: key.clone(),
+                    class,
+                    a: Some(x),
+                    b: Some(y),
+                    delta,
+                    rel,
+                    flagged,
+                }
+            }
+            (x, y) => DiffFinding {
+                metric: key.clone(),
+                class,
+                a: x.copied(),
+                b: y.copied(),
+                delta: 0.0,
+                rel: 1.0,
+                // A metric appearing or vanishing is structural drift,
+                // whatever its class.
+                flagged: true,
+            },
+        };
+        findings.push(finding);
+    }
+    findings.sort_by(|p, q| {
+        q.flagged
+            .cmp(&p.flagged)
+            .then_with(|| {
+                q.rel
+                    .partial_cmp(&p.rel)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| p.metric.cmp(&q.metric))
+    });
+    findings
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{v}"),
+        Some(v) => format!("{v:.6}"),
+    }
+}
+
+/// Renders a ranked diff as a text report. `top` bounds the rows shown;
+/// the summary line always states how many findings were elided, so a
+/// truncated report never reads as a complete one.
+pub fn render_diff(a: &RunMetrics, b: &RunMetrics, findings: &[DiffFinding], top: usize) -> String {
+    let flagged = findings.iter().filter(|f| f.flagged).count();
+    let mut out = String::new();
+    out.push_str(&format!("run diff: {} -> {}\n", a.source, b.source));
+    out.push_str(&format!(
+        "{} metrics differ, {} above thresholds\n",
+        findings.len(),
+        flagged
+    ));
+    if findings.is_empty() {
+        out.push_str("runs are metric-identical\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<44} {:>14} {:>14} {:>12} {:>8}  class\n",
+        "metric", "a", "b", "delta", "rel%"
+    ));
+    for f in findings.iter().take(top) {
+        out.push_str(&format!(
+            "{:<44} {:>14} {:>14} {:>12} {:>8.1} {} {}\n",
+            f.metric,
+            fmt_value(f.a),
+            fmt_value(f.b),
+            fmt_value(Some(f.delta)),
+            f.rel * 100.0,
+            if f.flagged { "!" } else { " " },
+            match f.class {
+                MetricClass::Exact => "exact",
+                MetricClass::Timing => "timing",
+            }
+        ));
+    }
+    if findings.len() > top {
+        out.push_str(&format!(
+            "… {} more not shown (--top)\n",
+            findings.len() - top
+        ));
+    }
+    out
+}
+
+/// One explained failure, rendered as text lines.
+#[derive(Debug, Clone)]
+pub struct Explained {
+    /// `(label, cell index)` when known.
+    pub cell: Option<(String, u64)>,
+    /// The rendered block.
+    pub text: String,
+}
+
+/// Scans a telemetry JSONL stream or checkpoint journal for quarantine
+/// records and renders each one's flight-recorder tail with a
+/// died-inside-span narrative. Unparseable lines are skipped — the
+/// input may be the torn artifact of a killed run.
+pub fn explain(text: &str) -> Vec<Explained> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(v) = Json::parse(line) else { continue };
+        if v.get("kind").and_then(Json::as_str) == Some("cell_quarantined") {
+            if let Some(e) = explain_quarantine_event(&v) {
+                out.push(e);
+            }
+        } else if v.get("failed").and_then(Json::as_bool) == Some(true) {
+            if let Some(e) = explain_journal_failure(&v) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+fn explain_quarantine_event(v: &Json) -> Option<Explained> {
+    let fields = v.get("fields")?;
+    let label = fields.get("label").and_then(Json::as_str).unwrap_or("?");
+    let cell = fields.get("cell").and_then(Json::as_f64).unwrap_or(-1.0) as u64;
+    let tail: Vec<String> = fields
+        .get("tail")
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|l| l.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(Explained {
+        cell: Some((label.to_string(), cell)),
+        text: render_failure(
+            label,
+            cell,
+            fields.get("seed").and_then(Json::as_f64),
+            fields.get("attempts").and_then(Json::as_f64),
+            fields.get("elapsed_secs").and_then(Json::as_f64),
+            fields.get("panic").and_then(Json::as_str).unwrap_or(""),
+            &tail,
+        ),
+    })
+}
+
+fn explain_journal_failure(v: &Json) -> Option<Explained> {
+    let failure = v.get("failure")?;
+    let label = v.get("label").and_then(Json::as_str).unwrap_or("?");
+    let cell = v.get("cell").and_then(Json::as_f64).unwrap_or(-1.0) as u64;
+    let tail: Vec<String> = failure
+        .get("tail")
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|l| l.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(Explained {
+        cell: Some((label.to_string(), cell)),
+        text: render_failure(
+            label,
+            cell,
+            v.get("cell_seed").and_then(Json::as_f64),
+            failure.get("attempts").and_then(Json::as_f64),
+            failure.get("elapsed_secs").and_then(Json::as_f64),
+            failure
+                .get("panic_msg")
+                .and_then(Json::as_str)
+                .unwrap_or(""),
+            &tail,
+        ),
+    })
+}
+
+fn render_failure(
+    label: &str,
+    cell: u64,
+    seed: Option<f64>,
+    attempts: Option<f64>,
+    elapsed: Option<f64>,
+    panic_msg: &str,
+    tail: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("cell {cell} of `{label}` quarantined"));
+    if let Some(a) = attempts {
+        out.push_str(&format!(" after {a} attempt(s)"));
+    }
+    if let Some(e) = elapsed {
+        out.push_str(&format!(", {e:.3}s elapsed"));
+    }
+    out.push('\n');
+    if let Some(s) = seed {
+        out.push_str(&format!("  seed: {:#018x}\n", s as u64));
+    }
+    if !panic_msg.is_empty() {
+        out.push_str(&format!("  panic: {panic_msg}\n"));
+    }
+    if tail.is_empty() {
+        out.push_str("  flight recorder: empty (recorder disabled or cell died silently)\n");
+        return out;
+    }
+    out.push_str(&format!("  last {} events before death:\n", tail.len()));
+    let events: Vec<Option<Event>> = tail.iter().map(|l| Event::from_json_line(l)).collect();
+    for (line, event) in tail.iter().zip(&events) {
+        match event {
+            Some(e) => out.push_str(&format!("    {}\n", render_event(e))),
+            None => out.push_str(&format!("    (unparseable) {line}\n")),
+        }
+    }
+    out.push_str(&format!("  {}\n", death_narrative(&events)));
+    out
+}
+
+/// Renders one tail event compactly.
+fn render_event(e: &Event) -> String {
+    match e.kind.as_str() {
+        "span_begin" | "span_end" => {
+            let path = e.fields.get("path").and_then(Json::as_str).unwrap_or("?");
+            let t_us = e.fields.get("t_us").and_then(Json::as_f64).unwrap_or(0.0);
+            let arrow = if e.kind == "span_begin" { ">" } else { "<" };
+            format!("[{:>10.0}us] {arrow} {path}", t_us)
+        }
+        _ => match e.t_secs {
+            Some(t) => format!("[t={t:.3}s] {} {}", e.kind, e.fields),
+            None => format!("{} {}", e.kind, e.fields),
+        },
+    }
+}
+
+/// Reconstructs where the cell died from the tail's span events: the
+/// innermost span still open at the end of the tail, and how far into
+/// it the last recorded event falls.
+fn death_narrative(events: &[Option<Event>]) -> String {
+    // Per-tid stacks of (path, begin t_us).
+    let mut open: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut last_us: Option<f64> = None;
+    for e in events.iter().flatten() {
+        let tid = e.fields.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let t_us = e.fields.get("t_us").and_then(Json::as_f64);
+        if let Some(t) = t_us {
+            last_us = Some(last_us.map_or(t, |l: f64| l.max(t)));
+        }
+        match e.kind.as_str() {
+            "span_begin" => {
+                let path = e
+                    .fields
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                open.entry(tid)
+                    .or_default()
+                    .push((path, t_us.unwrap_or(0.0)));
+            }
+            "span_end" => {
+                open.entry(tid).or_default().pop();
+            }
+            _ => {}
+        }
+    }
+    let innermost = open
+        .values()
+        .filter_map(|stack| stack.last())
+        .max_by(|p, q| p.1.partial_cmp(&q.1).unwrap_or(std::cmp::Ordering::Equal));
+    match (innermost, last_us) {
+        (Some((path, begin)), Some(last)) => format!(
+            "diagnosis: died ~{:.1}ms after entering span `{path}`",
+            (last - begin) / 1000.0
+        ),
+        (Some((path, _)), None) => {
+            format!("diagnosis: died inside span `{path}`")
+        }
+        _ => "diagnosis: no span open at death (tail has no trace; re-run with --trace for span-level attribution)".to_string(),
+    }
+}
+
+/// Appends one record to the bench-history JSONL: `{"seq": n, "source":
+/// name, "metrics": {…}}`. The whole file is rewritten through
+/// [`atomic_write_str`], so a crash never tears it. Returns the new
+/// record's sequence number.
+pub fn append_history(path: &Path, source: &str, metrics: &Metrics) -> std::io::Result<u64> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut lines: Vec<String> = existing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    let seq = lines.len() as u64 + 1;
+    let record = Json::obj([
+        ("seq", Json::from(seq)),
+        ("source", Json::from(source)),
+        (
+            "metrics",
+            Json::obj(metrics.iter().map(|(k, v)| (k.as_str(), Json::from(*v)))),
+        ),
+    ]);
+    lines.push(record.to_string());
+    atomic_write_str(path, &(lines.join("\n") + "\n"))?;
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_separates_exact_from_timing() {
+        assert_eq!(classify("counter.sim.fetch.store_hits"), MetricClass::Exact);
+        assert_eq!(classify("events.chunk"), MetricClass::Exact);
+        assert_eq!(classify("span.session.count"), MetricClass::Exact);
+        assert_eq!(classify("span.session.p90"), MetricClass::Timing);
+        assert_eq!(classify("serial.wall_secs"), MetricClass::Timing);
+        assert_eq!(classify("speedup"), MetricClass::Timing);
+        assert_eq!(classify("serial.workers"), MetricClass::Exact);
+        assert_eq!(classify("json_identical"), MetricClass::Exact);
+    }
+
+    #[test]
+    fn bench_artifacts_flatten_numeric_and_bool_leaves() {
+        let doc = Json::parse(
+            r#"{"experiment":"sweep","cells":12,"json_identical":true,
+                "serial":{"wall_secs":2.5,"workers":1},
+                "parallel":{"wall_secs":0.9,"workers":4},"speedup":2.77}"#,
+        )
+        .expect("parse");
+        let m = flatten_value("", &doc);
+        assert_eq!(m["cells"], 12.0);
+        assert_eq!(m["json_identical"], 1.0);
+        assert_eq!(m["serial.wall_secs"], 2.5);
+        assert_eq!(m["parallel.workers"], 4.0);
+        assert_eq!(m["speedup"], 2.77);
+        assert!(!m.contains_key("experiment"), "strings are not metrics");
+    }
+
+    #[test]
+    fn diff_flags_exact_drift_and_tolerates_timing_jitter() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.insert("counter.hits".into(), 100.0);
+        b.insert("counter.hits".into(), 99.0);
+        a.insert("span.session.p90".into(), 1.00);
+        b.insert("span.session.p90".into(), 1.20); // +20%, under 30% gate
+        a.insert("serial.wall_secs".into(), 10.0);
+        b.insert("serial.wall_secs".into(), 20.0); // +100% and +10s: drift
+        let out = diff(&a, &b, Thresholds::default());
+        let flagged: Vec<&str> = out
+            .iter()
+            .filter(|f| f.flagged)
+            .map(|f| f.metric.as_str())
+            .collect();
+        assert_eq!(flagged, vec!["serial.wall_secs", "counter.hits"]);
+        // The tolerated jitter still appears, unflagged, after them.
+        assert!(out
+            .iter()
+            .any(|f| f.metric == "span.session.p90" && !f.flagged));
+    }
+
+    #[test]
+    fn diff_of_identical_runs_is_empty() {
+        let mut a = Metrics::new();
+        a.insert("counter.hits".into(), 100.0);
+        a.insert("span.session.p90".into(), 1.0);
+        assert!(diff(&a, &a.clone(), Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn appearing_and_vanishing_metrics_always_flag() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.insert("counter.only_in_a".into(), 1.0);
+        b.insert("span.only_in_b.p50".into(), 0.001);
+        let out = diff(&a, &b, Thresholds::default());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.flagged));
+    }
+
+    #[test]
+    fn timing_needs_both_gates() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        // Huge relative, tiny absolute: a 2ms span tripling.
+        a.insert("span.tiny.p99".into(), 0.002);
+        b.insert("span.tiny.p99".into(), 0.006);
+        // Tiny relative, huge absolute: a 1000s sweep moving 20s.
+        a.insert("sweep.wall_secs".into(), 1000.0);
+        b.insert("sweep.wall_secs".into(), 1020.0);
+        let out = diff(&a, &b, Thresholds::default());
+        assert!(out.iter().all(|f| !f.flagged), "{out:?}");
+    }
+
+    #[test]
+    fn explain_renders_quarantine_events_with_a_narrative() {
+        let tail_begin = r#"{"run_id":"00000000000000aa","seed":3,"kind":"span_begin","fields":{"path":"session","tid":1,"t_us":100}}"#;
+        let tail_step = r#"{"run_id":"00000000000000aa","seed":3,"kind":"chunk","fields":{"idx":4},"t_secs":1.5}"#;
+        let line = Json::obj([
+            ("run_id", Json::from("00000000000000ff")),
+            ("seed", Json::from(3u64)),
+            ("kind", Json::from("cell_quarantined")),
+            (
+                "fields",
+                Json::obj([
+                    ("label", Json::from("fig15")),
+                    ("cell", Json::from(7u64)),
+                    ("seed", Json::from(42u64)),
+                    ("attempts", Json::from(1u64)),
+                    ("elapsed_secs", Json::from(0.25)),
+                    ("panic", Json::from("boom")),
+                    (
+                        "tail",
+                        Json::arr([Json::from(tail_begin), Json::from(tail_step)]),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string();
+        let out = explain(&line);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cell, Some(("fig15".to_string(), 7)));
+        let text = &out[0].text;
+        assert!(text.contains("cell 7 of `fig15`"), "{text}");
+        assert!(text.contains("panic: boom"), "{text}");
+        assert!(text.contains("last 2 events"), "{text}");
+        assert!(
+            text.contains("died") && text.contains("span `session`"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_reads_journal_failure_records() {
+        let line = r#"{"v":1,"label":"fig16","sweep_seed":9,"fingerprint":1,"cell":2,"cell_seed":77,"failed":true,"failure":{"index":2,"seed":77,"panic_msg":"injected","attempts":1,"elapsed_secs":0.1,"tail":[]}}"#;
+        let out = explain(line);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].text.contains("cell 2 of `fig16`"));
+        assert!(out[0].text.contains("injected"));
+        assert!(out[0].text.contains("flight recorder: empty"));
+    }
+
+    #[test]
+    fn history_appends_sequenced_records_atomically() {
+        let dir = std::env::temp_dir().join(format!("pano_obs_hist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bench_history.jsonl");
+        let mut m = Metrics::new();
+        m.insert("speedup".into(), 2.5);
+        assert_eq!(
+            append_history(&path, "BENCH_sweep.json", &m).expect("append"),
+            1
+        );
+        m.insert("speedup".into(), 2.7);
+        assert_eq!(
+            append_history(&path, "BENCH_sweep.json", &m).expect("append"),
+            2
+        );
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let last = Json::parse(lines[1]).expect("parse");
+        assert_eq!(last.get("seq").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            last.get("metrics")
+                .and_then(|m| m.get("speedup"))
+                .and_then(Json::as_f64),
+            Some(2.7)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_metrics_counts_events_and_folds_the_summary() {
+        let stream = [
+            r#"{"run_id":"00000000000000aa","seed":1,"kind":"chunk","fields":{},"t_secs":0.5}"#,
+            r#"{"run_id":"00000000000000aa","seed":1,"kind":"chunk","fields":{},"t_secs":1.0}"#,
+            r#"{"run_id":"00000000000000aa","seed":1,"kind":"run_summary","fields":{"counters":{"hits":3},"gauges":{},"histograms":{}}}"#,
+            "{torn",
+        ]
+        .join("\n");
+        let m = parse_run(&stream).expect("stream parses");
+        assert_eq!(m["events.chunk"], 2.0);
+        assert_eq!(m["events.run_summary"], 1.0);
+        assert_eq!(m["counter.hits"], 3.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! `pano-obs` — inspect, diff and explain pano run artifacts.
+//!
+//! ```text
+//! pano-obs diff <A> <B> [--rel F] [--abs F] [--top N] [--soft]
+//! pano-obs explain <FILE>...
+//! pano-obs trace <IN.jsonl> <OUT.trace.json>
+//! pano-obs history <ARTIFACT>... --out <HISTORY.jsonl>
+//! ```
+//!
+//! Exit codes form the CI contract: `0` clean, `1` fatal (unreadable or
+//! unrecognised input), `2` usage, `4` drift above thresholds (`diff`
+//! without `--soft` only — `--soft` reports the same findings but exits
+//! `0`, the warn-only gate).
+
+use pano_obs::{append_history, diff, explain, load_run, render_diff, RunMetrics, Thresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const EXIT_OK: u8 = 0;
+const EXIT_FATAL: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_DRIFT: u8 = 4;
+
+const USAGE: &str = "pano-obs — inspect, diff and explain pano run artifacts
+
+USAGE:
+    pano-obs diff <A> <B> [--rel F] [--abs F] [--top N] [--soft]
+    pano-obs explain <FILE>...
+    pano-obs trace <IN.jsonl> <OUT.trace.json>
+    pano-obs history <ARTIFACT>... --out <HISTORY.jsonl>
+
+INPUTS:
+    Telemetry JSONL streams (results/telemetry/<run>.jsonl), checkpoint
+    journals (results/checkpoints/*.jsonl) and JSON bench artifacts
+    (BENCH_*.json) are all accepted where they make sense.
+
+OPTIONS (diff):
+    --rel F    relative drift gate for timing metrics (default 0.30)
+    --abs F    absolute drift gate for timing metrics (default 0.5)
+    --top N    max rows to print (default 20)
+    --soft     report drift but exit 0 (warn-only CI gate)
+
+EXIT CODES:
+    0 clean   1 fatal   2 usage   4 drift above thresholds";
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{name} needs a value"));
+    }
+    args.remove(i);
+    Ok(Some(args.remove(i)))
+}
+
+fn take_f64(args: &mut Vec<String>, name: &str) -> Result<Option<f64>, String> {
+    match take_value(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("{name} needs a number, got `{v}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if take_flag(&mut args, "--help") || take_flag(&mut args, "-h") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::from(EXIT_OK);
+    }
+    let command = args.remove(0);
+    let outcome = match command.as_str() {
+        "diff" => cmd_diff(args),
+        "explain" => cmd_explain(args),
+        "trace" => cmd_trace(args),
+        "history" => cmd_history(args),
+        other => Err((EXIT_USAGE, format!("unknown command `{other}`\n\n{USAGE}"))),
+    };
+    match outcome {
+        Ok(code) => ExitCode::from(code),
+        Err((code, message)) => {
+            eprintln!("pano-obs: {message}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+fn cmd_diff(mut args: Vec<String>) -> Result<u8, (u8, String)> {
+    let usage = |m: String| (EXIT_USAGE, m);
+    let rel = take_f64(&mut args, "--rel").map_err(usage)?;
+    let abs = take_f64(&mut args, "--abs").map_err(usage)?;
+    let top = take_value(&mut args, "--top")
+        .map_err(usage)?
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--top needs an integer, got `{v}`"))
+        })
+        .transpose()
+        .map_err(usage)?
+        .unwrap_or(20);
+    let soft = take_flag(&mut args, "--soft");
+    let [a, b]: [String; 2] = <[String; 2]>::try_from(args)
+        .map_err(|rest| usage(format!("diff takes exactly two inputs, got {}", rest.len())))?;
+
+    let defaults = Thresholds::default();
+    let thresholds = Thresholds {
+        rel: rel.unwrap_or(defaults.rel),
+        abs: abs.unwrap_or(defaults.abs),
+    };
+    let a = load_metrics(&a)?;
+    let b = load_metrics(&b)?;
+    let findings = diff(&a.metrics, &b.metrics, thresholds);
+    print!("{}", render_diff(&a, &b, &findings, top));
+    let drift = findings.iter().any(|f| f.flagged);
+    if drift && soft {
+        println!("drift above thresholds (soft mode: exiting 0)");
+    }
+    Ok(if drift && !soft { EXIT_DRIFT } else { EXIT_OK })
+}
+
+fn load_metrics(path: &str) -> Result<RunMetrics, (u8, String)> {
+    load_run(&PathBuf::from(path)).map_err(|e| (EXIT_FATAL, e))
+}
+
+fn cmd_explain(args: Vec<String>) -> Result<u8, (u8, String)> {
+    if args.is_empty() {
+        return Err((
+            EXIT_USAGE,
+            format!("explain needs at least one file\n\n{USAGE}"),
+        ));
+    }
+    let mut failures = 0usize;
+    for path in &args {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| (EXIT_FATAL, format!("{path}: {e}")))?;
+        for block in explain(&text) {
+            failures += 1;
+            println!("— {path}");
+            print!("{}", block.text);
+        }
+    }
+    if failures == 0 {
+        println!("no quarantined cells found in {} file(s)", args.len());
+    }
+    Ok(EXIT_OK)
+}
+
+fn cmd_trace(args: Vec<String>) -> Result<u8, (u8, String)> {
+    let [input, output]: [String; 2] = <[String; 2]>::try_from(args).map_err(|rest| {
+        (
+            EXIT_USAGE,
+            format!(
+                "trace takes <IN.jsonl> <OUT.trace.json>, got {} args",
+                rest.len()
+            ),
+        )
+    })?;
+    let n =
+        pano_telemetry::trace::write_chrome_trace(&PathBuf::from(&input), &PathBuf::from(&output))
+            .map_err(|e| (EXIT_FATAL, format!("{input}: {e}")))?;
+    println!("wrote {output}: {n} trace events");
+    Ok(EXIT_OK)
+}
+
+fn cmd_history(mut args: Vec<String>) -> Result<u8, (u8, String)> {
+    let out = take_value(&mut args, "--out")
+        .map_err(|m| (EXIT_USAGE, m))?
+        .ok_or((
+            EXIT_USAGE,
+            "history needs --out <HISTORY.jsonl>".to_string(),
+        ))?;
+    if args.is_empty() {
+        return Err((
+            EXIT_USAGE,
+            format!("history needs at least one artifact\n\n{USAGE}"),
+        ));
+    }
+    let out_path = PathBuf::from(&out);
+    for path in &args {
+        let run = load_metrics(path)?;
+        let seq = append_history(&out_path, &run.source, &run.metrics)
+            .map_err(|e| (EXIT_FATAL, format!("{out}: {e}")))?;
+        println!("{out}: appended seq {seq} from {}", run.source);
+    }
+    Ok(EXIT_OK)
+}

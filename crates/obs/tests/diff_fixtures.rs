@@ -1,0 +1,69 @@
+//! Fixture-pair diff test: two hand-authored telemetry runs with known
+//! deltas must produce exactly the expected attribution, and a run
+//! diffed against itself must be clean — the identical-seed CI gate.
+
+use pano_obs::{diff, load_run, MetricClass, Thresholds};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn fixture_pair_attributes_the_known_deltas() {
+    let a = load_run(&fixture("run_a.jsonl")).expect("run_a loads");
+    let b = load_run(&fixture("run_b.jsonl")).expect("run_b loads");
+    let findings = diff(&a.metrics, &b.metrics, Thresholds::default());
+
+    let get = |name: &str| {
+        findings
+            .iter()
+            .find(|f| f.metric == name)
+            .unwrap_or_else(|| panic!("finding for {name} missing: {findings:?}"))
+    };
+
+    // The fetch funnel moved 20 requests from hits to misses: exact
+    // drift, flagged regardless of magnitude.
+    let hits = get("counter.sim.fetch.store_hits");
+    assert!(hits.flagged && hits.class == MetricClass::Exact);
+    assert_eq!(
+        (hits.a, hits.b, hits.delta),
+        (Some(100.0), Some(80.0), -20.0)
+    );
+    let misses = get("counter.sim.fetch.store_misses");
+    assert!(misses.flagged);
+    assert_eq!(misses.delta, 20.0);
+
+    // Run B played one more chunk and ran two more sessions.
+    let chunks = get("events.chunk");
+    assert!(chunks.flagged && chunks.delta == 1.0);
+    let sessions = get("span.session.count");
+    assert!(sessions.flagged && sessions.class == MetricClass::Exact);
+    assert_eq!(sessions.delta, 2.0);
+
+    // Session time ballooned 2.0s -> 9.0s: past both timing gates.
+    let sum = get("span.session.sum");
+    assert!(sum.flagged && sum.class == MetricClass::Timing);
+    assert_eq!(sum.delta, 7.0);
+
+    // Unchanged metrics produce no finding at all.
+    assert!(findings
+        .iter()
+        .all(|f| f.metric != "counter.sweep.cells.quarantined"));
+    assert!(findings.iter().all(|f| f.metric != "gauge.net.queue.depth"));
+
+    // Ranking: every flagged finding precedes every unflagged one.
+    let first_unflagged = findings.iter().position(|f| !f.flagged);
+    if let Some(cut) = first_unflagged {
+        assert!(findings[cut..].iter().all(|f| !f.flagged), "{findings:?}");
+    }
+}
+
+#[test]
+fn identical_runs_diff_clean() {
+    let a = load_run(&fixture("run_a.jsonl")).expect("run_a loads");
+    let findings = diff(&a.metrics, &a.metrics, Thresholds::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}

@@ -26,14 +26,22 @@
 //! resumed.
 
 use crate::experiments::{
-    effective_workers, journal, parallel_map_with, CELL_BUDGET_ENV, CHECKPOINT_DIR_ENV, RESUME_ENV,
+    effective_workers, journal, parallel_map_with, CELL_BUDGET_ENV, CHECKPOINT_DIR_ENV,
+    FLIGHT_RECORDER_CAP_ENV, INJECT_PANIC_ENV, RESUME_ENV,
 };
-use pano_telemetry::{Json, Snapshot, Stopwatch, Telemetry};
+use pano_telemetry::{Json, RingSink, Snapshot, Stopwatch, Telemetry};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Default flight-recorder depth: the last N telemetry events per cell,
+/// kept in a fixed ring and serialised into the quarantine record when
+/// the cell dies. Small enough that a wide sweep's recorders stay cheap,
+/// deep enough to hold the span stack plus the last few emits.
+pub const DEFAULT_FLIGHT_RECORDER_CAP: usize = 32;
 
 /// Splitmix64 over `(sweep_seed, index)`: well-mixed per-cell seeds that
 /// are stable across worker counts and disjoint even for adjacent cells.
@@ -77,6 +85,11 @@ pub struct CellFailure {
     /// Wall-clock seconds spent across all attempts (diagnostic only —
     /// never folded into artefact bytes).
     pub elapsed_secs: f64,
+    /// Flight-recorder tail: the last events the cell emitted before it
+    /// died, one telemetry JSONL line per entry (oldest first). Empty
+    /// when the recorder is disabled. `pano-obs explain` renders these.
+    #[serde(default)]
+    pub tail: Vec<String>,
 }
 
 /// Bounded retry budget for a failing cell. The default is one attempt —
@@ -133,6 +146,8 @@ pub struct SweepGrid {
     retry: CellRetryPolicy,
     budget_secs: Option<f64>,
     checkpoints: Option<CheckpointSpec>,
+    recorder_cap: usize,
+    inject_cell: Option<usize>,
 }
 
 impl SweepGrid {
@@ -150,6 +165,8 @@ impl SweepGrid {
             retry: CellRetryPolicy::default(),
             budget_secs: env_budget_secs(),
             checkpoints: env_checkpoints(),
+            recorder_cap: env_recorder_cap(),
+            inject_cell: env_inject_cell(label),
         }
     }
 
@@ -178,6 +195,17 @@ impl SweepGrid {
     /// Overrides the checkpoint journal location (`None` disables).
     pub fn with_checkpoints(mut self, checkpoints: Option<CheckpointSpec>) -> SweepGrid {
         self.checkpoints = checkpoints;
+        self
+    }
+
+    /// Overrides the flight-recorder depth: the supervised paths keep
+    /// each cell's last `cap` telemetry events in a bounded ring and
+    /// serialise that tail into the [`CellFailure`] if the cell is
+    /// quarantined. `0` disables recording entirely (no ring, no tee).
+    /// The recorder only *observes* the event stream — results, merged
+    /// counters and artefact bytes are identical with it on or off.
+    pub fn with_flight_recorder(mut self, cap: usize) -> SweepGrid {
+        self.recorder_cap = cap;
         self
     }
 
@@ -259,10 +287,11 @@ impl SweepGrid {
     {
         // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
         let _sweep_span = self.telemetry.span(self.label);
-        let ctxs = self.contexts(cells.len());
+        let (ctxs, rings) = self.recorded_contexts(cells.len());
         let n_cells = cells.len();
         let results = self.execute(
             &ctxs,
+            &rings,
             cells.into_iter().enumerate().collect(),
             &f,
             &|_, _| {},
@@ -319,26 +348,47 @@ impl SweepGrid {
         // pano-lint: allow(telemetry-name): the label is a &'static str chosen from the fixed experiment table (fig13…fig18)
         let _sweep_span = self.telemetry.span(self.label);
         let n_cells = cells.len();
-        let ctxs = self.contexts(n_cells);
+        let (ctxs, rings) = self.recorded_contexts(n_cells);
         let to_run: Vec<(usize, C)> = cells
             .into_iter()
             .enumerate()
             .filter(|(i, _)| !replay.contains_key(i))
             .collect();
         let run_indices: Vec<usize> = to_run.iter().map(|(i, _)| *i).collect();
-        let executed = self.execute(&ctxs, to_run, &f, &|ctx: &CellCtx, r: &R| {
-            if let (Some(w), Ok(value)) = (&writer, serde_json::to_value(r)) {
-                w.append(
-                    self.label,
-                    self.seed,
-                    fp,
-                    ctx.index,
-                    ctx.seed,
-                    &value,
-                    &ctx.telemetry.snapshot(),
-                );
+        let on_done = |ctx: &CellCtx, out: &Result<R, CellFailure>| {
+            let Some(w) = &writer else { return };
+            match out {
+                Ok(r) => {
+                    if let Ok(value) = serde_json::to_value(r) {
+                        w.append(
+                            self.label,
+                            self.seed,
+                            fp,
+                            ctx.index,
+                            ctx.seed,
+                            &value,
+                            &ctx.telemetry.snapshot(),
+                        );
+                    }
+                }
+                // Failures are journaled too — not for replay (a resume
+                // re-executes them) but so the flight-recorder tail
+                // survives even a SIGKILL of the sweep process.
+                Err(failure) => {
+                    if let Ok(value) = serde_json::to_value(failure) {
+                        w.append_failure(
+                            self.label,
+                            self.seed,
+                            fp,
+                            failure.index,
+                            failure.seed,
+                            &value,
+                        );
+                    }
+                }
             }
-        });
+        };
+        let executed = self.execute(&ctxs, &rings, to_run, &f, &on_done);
         let mut executed: BTreeMap<usize, Result<R, CellFailure>> =
             run_indices.into_iter().zip(executed).collect();
 
@@ -372,6 +422,7 @@ impl SweepGrid {
                     panic_msg: "cell produced no result".to_string(),
                     attempts: 0,
                     elapsed_secs: 0.0,
+                    tail: Vec::new(),
                 })
             }));
         }
@@ -385,10 +436,11 @@ impl SweepGrid {
 
     /// Runs the given `(index, cell)` subset under supervision, in subset
     /// order. `on_done` fires on the worker immediately after a cell
-    /// succeeds (the journal-append hook).
+    /// settles — `Ok` or quarantined — the journal-append hook.
     fn execute<C, R, F, G>(
         &self,
         ctxs: &[CellCtx],
+        rings: &[Option<Arc<RingSink>>],
         indexed: Vec<(usize, C)>,
         f: &F,
         on_done: &G,
@@ -397,33 +449,53 @@ impl SweepGrid {
         C: Send + Clone,
         R: Send,
         F: Fn(&CellCtx, C) -> R + Sync,
-        G: Fn(&CellCtx, &R) + Sync,
+        G: Fn(&CellCtx, &Result<R, CellFailure>) + Sync,
     {
         parallel_map_with(self.workers, indexed, |(i, cell)| {
             let ctx = &ctxs[i];
-            let out = self.supervise_cell(ctx, cell, f);
-            if let Ok(r) = &out {
-                on_done(ctx, r);
-            }
+            let out = self.supervise_cell(ctx, rings[i].as_deref(), cell, f);
+            on_done(ctx, &out);
             out
         })
     }
 
     /// One cell under supervision: contain panics, retry within the
     /// budget, quarantine on exhaustion, flag over-budget completions.
-    fn supervise_cell<C, R, F>(&self, ctx: &CellCtx, cell: C, f: &F) -> Result<R, CellFailure>
+    /// On quarantine the flight recorder's tail — the last events the
+    /// cell emitted — is folded into the [`CellFailure`].
+    fn supervise_cell<C, R, F>(
+        &self,
+        ctx: &CellCtx,
+        ring: Option<&RingSink>,
+        cell: C,
+        f: &F,
+    ) -> Result<R, CellFailure>
     where
         C: Clone,
         F: Fn(&CellCtx, C) -> R,
     {
         let max_attempts = self.retry.max_attempts.max(1);
+        let inject = self.inject_cell == Some(ctx.index);
         let sw = Stopwatch::start();
         let mut attempt = 0u32;
         let mut last_msg = String::new();
         while attempt < max_attempts {
             attempt += 1;
             let arg = cell.clone();
-            match catch_unwind(AssertUnwindSafe(|| f(ctx, arg))) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                let r = f(ctx, arg);
+                if inject {
+                    // Fault-injection drill (`PANO_INJECT_CELL_PANIC`):
+                    // die *after* the cell body so the flight recorder
+                    // holds a realistic tail of the cell's last events.
+                    // pano-lint: allow(panic-path): deliberate injected failure, contained by this very supervisor
+                    panic!(
+                        "injected panic ({INJECT_PANIC_ENV}) in {}:{}",
+                        self.label, ctx.index
+                    );
+                }
+                r
+            })) {
                 Ok(r) => {
                     self.note_over_budget(ctx, sw.elapsed_secs());
                     return Ok(r);
@@ -437,12 +509,16 @@ impl SweepGrid {
                 }
             }
         }
+        let tail = ring.map_or_else(Vec::new, |r| {
+            r.tail().iter().map(|e| e.to_json_line()).collect()
+        });
         let failure = CellFailure {
             index: ctx.index,
             seed: ctx.seed,
             panic_msg: last_msg,
             attempts: attempt,
             elapsed_secs: sw.elapsed_secs(),
+            tail,
         };
         self.note_quarantined(&failure);
         Err(failure)
@@ -456,6 +532,28 @@ impl SweepGrid {
                 telemetry: self.telemetry.child(self.label, i as u64),
             })
             .collect()
+    }
+
+    /// [`SweepGrid::contexts`] with a flight recorder teed onto each
+    /// cell's event stream (the supervised paths). The ring only copies
+    /// events — registries, results and the parent-bound stream are
+    /// untouched — so a recorded sweep is byte-identical to a plain one.
+    fn recorded_contexts(&self, n: usize) -> (Vec<CellCtx>, Vec<Option<Arc<RingSink>>>) {
+        (0..n)
+            .map(|i| {
+                let (telemetry, ring) =
+                    self.telemetry
+                        .child_recorded(self.label, i as u64, self.recorder_cap);
+                (
+                    CellCtx {
+                        index: i,
+                        seed: derive_cell_seed(self.seed, i as u64),
+                        telemetry,
+                    },
+                    ring,
+                )
+            })
+            .unzip()
     }
 
     fn emit_summary(&self, cells: usize, replayed: usize, quarantined: usize) {
@@ -521,6 +619,10 @@ impl SweepGrid {
                 ("attempts", Json::from(failure.attempts)),
                 ("elapsed_secs", Json::from(failure.elapsed_secs)),
                 ("panic", Json::from(failure.panic_msg.as_str())),
+                (
+                    "tail",
+                    Json::arr(failure.tail.iter().map(|l| Json::from(l.as_str()))),
+                ),
             ]),
         );
     }
@@ -579,6 +681,24 @@ fn env_budget_secs() -> Option<f64> {
         .ok()
         .and_then(|s| s.trim().parse::<f64>().ok())
         .filter(|b| *b > 0.0)
+}
+
+fn env_recorder_cap() -> usize {
+    std::env::var(FLIGHT_RECORDER_CAP_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_FLIGHT_RECORDER_CAP)
+}
+
+/// Parses `PANO_INJECT_CELL_PANIC` = `"<label>:<index>"`; `None` unless
+/// the label matches this grid.
+fn env_inject_cell(label: &str) -> Option<usize> {
+    let v = std::env::var(INJECT_PANIC_ENV).ok()?;
+    let (l, idx) = v.trim().split_once(':')?;
+    if l != label {
+        return None;
+    }
+    idx.trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -786,6 +906,108 @@ mod tests {
             .with_cell_budget_secs(Some(0.0));
         let _ = grid.run_supervised(vec![1u64], |_ctx, c| c);
         assert_eq!(tel.snapshot().counters["sweep.cells.over_budget"], 2);
+    }
+
+    #[test]
+    fn quarantine_carries_the_flight_recorder_tail() {
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("tail", 4), 4);
+        let grid = SweepGrid::new("tail", 4, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(1))
+            .with_flight_recorder(4);
+        let out = grid.run_supervised((0..2).collect(), |ctx, cell: u64| {
+            for step in 0..8u64 {
+                ctx.telemetry
+                    .emit("cell_step", None, Json::from(cell * 10 + step));
+            }
+            if cell == 1 {
+                panic!("dies after emitting");
+            }
+            cell
+        });
+        assert!(out[0].is_ok());
+        let failure = out[1].as_ref().expect_err("cell 1 quarantined");
+        // The ring kept exactly the last `cap` events, oldest first.
+        assert_eq!(failure.tail.len(), 4);
+        assert!(failure.tail.iter().all(|l| l.contains("cell_step")));
+        assert!(failure.tail.last().expect("tail").contains("17"));
+        // The quarantine event mirrors the tail for the JSONL stream.
+        let quarantine = sink
+            .events()
+            .into_iter()
+            .find(|e| e.kind == "cell_quarantined")
+            .expect("quarantine event");
+        let tail = quarantine.fields.get("tail").and_then(Json::as_array);
+        assert_eq!(tail.map(<[Json]>::len), Some(4));
+        // The healthy sibling's events still reached the parent sink.
+        assert_eq!(
+            sink.events()
+                .iter()
+                .filter(|e| e.kind == "cell_step")
+                .count(),
+            16
+        );
+    }
+
+    #[test]
+    fn flight_recorder_zero_cap_disables_the_tail() {
+        let tel = Telemetry::recording(RunId::from_parts("tail0", 5), 5);
+        let grid = SweepGrid::new("tail0", 5, &tel)
+            .with_checkpoints(None)
+            .with_workers(Some(1))
+            .with_flight_recorder(0);
+        let out = grid.run_supervised(vec![0u64], |ctx, _| -> u64 {
+            ctx.telemetry.emit("cell_step", None, Json::from(1u64));
+            panic!("dies")
+        });
+        let failure = out[0].as_ref().expect_err("quarantined");
+        assert!(failure.tail.is_empty());
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_results_or_merged_counters() {
+        let run = |cap: usize| {
+            let tel = Telemetry::recording(RunId::from_parts("noperturb", 6), 6);
+            let grid = SweepGrid::new("noperturb", 6, &tel)
+                .with_checkpoints(None)
+                .with_workers(Some(2))
+                .with_flight_recorder(cap);
+            let out = grid.run_supervised((0..6).collect(), |ctx, cell: u64| {
+                ctx.telemetry.counter("grid.noperturb.work").add(cell);
+                if cell == 3 {
+                    panic!("boom");
+                }
+                cell * ctx.seed
+            });
+            (out, tel.snapshot())
+        };
+        let (plain, plain_snap) = run(0);
+        let (recorded, recorded_snap) = run(16);
+        // Results differ only in the failure's tail — compare the rest.
+        assert_eq!(plain.len(), recorded.len());
+        for (a, b) in plain.iter().zip(&recorded) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => {
+                    assert_eq!((x.index, x.seed, x.attempts), (y.index, y.seed, y.attempts));
+                }
+                other => panic!("recorder changed an outcome: {other:?}"),
+            }
+        }
+        assert_eq!(plain_snap.counters, recorded_snap.counters);
+    }
+
+    #[test]
+    fn injection_env_parses_label_and_index() {
+        // The env var is namespaced by label, so touching it here cannot
+        // affect other tests' grids.
+        std::env::set_var(INJECT_PANIC_ENV, "zz_inject_probe:2");
+        assert_eq!(env_inject_cell("zz_inject_probe"), Some(2));
+        assert_eq!(env_inject_cell("other_label"), None);
+        std::env::set_var(INJECT_PANIC_ENV, "malformed");
+        assert_eq!(env_inject_cell("malformed"), None);
+        std::env::remove_var(INJECT_PANIC_ENV);
+        assert_eq!(env_inject_cell("zz_inject_probe"), None);
     }
 
     #[test]

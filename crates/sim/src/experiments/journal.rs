@@ -1,8 +1,13 @@
 //! Checkpoint journal for resumable sweeps.
 //!
 //! [`SweepGrid::run_checkpointed`](crate::experiments::SweepGrid::run_checkpointed)
-//! appends one JSONL record per *completed* cell — quarantined cells are
-//! deliberately absent so a resume re-executes them. Each record carries
+//! appends one JSONL record per *completed* cell, plus a `"failed"`
+//! marker record per quarantined cell. Failure records are never
+//! replayed — a resume re-executes the cell — but they persist the
+//! quarantine diagnosis (panic message, attempts, flight-recorder tail)
+//! across even a SIGKILL of the sweep, where the in-process failure
+//! vector is lost; `pano-obs explain` reads them back. Each completed
+//! record carries
 //! the cell's result (as a `serde_json` value; the workspace enables
 //! `float_roundtrip`, so every `f64` survives the text round-trip
 //! bit-exactly) and the cell's child-telemetry snapshot (floats encoded
@@ -80,7 +85,29 @@ pub struct Record {
     pub telemetry: Snapshot,
 }
 
-/// Loads every trusted record from `path`, keyed by cell index.
+/// A journaled quarantine: trusted on load (it does not truncate the
+/// journal) but never replayed — the cell re-executes on resume. The
+/// `failure` value is the serialised `CellFailure`, flight-recorder
+/// tail included.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Flat cell index in grid enumeration order.
+    pub cell: usize,
+    /// The cell's derived seed.
+    pub cell_seed: u64,
+    /// The serialised `CellFailure` as written by the producing run.
+    pub failure: Value,
+}
+
+enum Line {
+    Completed(Record),
+    Failed(FailureRecord),
+}
+
+/// Loads every trusted *completed* record from `path`, keyed by cell
+/// index. Failure records are trusted (they do not stop the scan) but
+/// omitted, so quarantined cells re-execute on resume; use
+/// [`load_failures`] to read them.
 ///
 /// Trust stops at the first line that is torn (no trailing newline),
 /// unparseable, or keyed to a different sweep; the file is truncated to
@@ -88,10 +115,35 @@ pub struct Record {
 /// missing or empty file is an empty map — resume of a journal-less
 /// sweep just runs everything.
 pub fn load(path: &Path, label: &str, seed: u64, fingerprint: u64) -> BTreeMap<usize, Record> {
-    let Ok(bytes) = fs::read(path) else {
-        return BTreeMap::new();
-    };
     let mut records = BTreeMap::new();
+    scan(path, label, seed, fingerprint, &mut |line| {
+        if let Line::Completed(rec) = line {
+            records.insert(rec.cell, rec);
+        }
+    });
+    records
+}
+
+/// Every trusted failure record in `path`, in append order. Later
+/// records for the same cell (a retried resume that failed again) are
+/// all kept — the history is part of the diagnosis.
+pub fn load_failures(path: &Path, label: &str, seed: u64, fingerprint: u64) -> Vec<FailureRecord> {
+    let mut failures = Vec::new();
+    scan(path, label, seed, fingerprint, &mut |line| {
+        if let Line::Failed(rec) = line {
+            failures.push(rec);
+        }
+    });
+    failures
+}
+
+/// The shared trusted-prefix scan behind [`load`] and [`load_failures`]:
+/// walks newline-terminated lines, hands each trusted record to `sink`,
+/// and truncates the file to the trusted prefix.
+fn scan(path: &Path, label: &str, seed: u64, fingerprint: u64, sink: &mut dyn FnMut(Line)) {
+    let Ok(bytes) = fs::read(path) else {
+        return;
+    };
     let mut trusted = 0usize;
     let mut start = 0usize;
     while start < bytes.len() {
@@ -106,7 +158,7 @@ pub fn load(path: &Path, label: &str, seed: u64, fingerprint: u64) -> BTreeMap<u
         else {
             break;
         };
-        records.insert(rec.cell, rec);
+        sink(rec);
         trusted = end;
         start = end;
     }
@@ -115,10 +167,9 @@ pub fn load(path: &Path, label: &str, seed: u64, fingerprint: u64) -> BTreeMap<u
             let _ = f.set_len(trusted as u64);
         }
     }
-    records
 }
 
-fn parse_record(line: &str, label: &str, seed: u64, fingerprint: u64) -> Option<Record> {
+fn parse_record(line: &str, label: &str, seed: u64, fingerprint: u64) -> Option<Line> {
     let v: Value = serde_json::from_str(line).ok()?;
     let obj = v.as_object()?;
     if obj.get("v")?.as_u64()? != JOURNAL_VERSION
@@ -128,12 +179,21 @@ fn parse_record(line: &str, label: &str, seed: u64, fingerprint: u64) -> Option<
     {
         return None;
     }
-    Some(Record {
-        cell: usize::try_from(obj.get("cell")?.as_u64()?).ok()?,
-        cell_seed: obj.get("cell_seed")?.as_u64()?,
+    let cell = usize::try_from(obj.get("cell")?.as_u64()?).ok()?;
+    let cell_seed = obj.get("cell_seed")?.as_u64()?;
+    if obj.get("failed").and_then(Value::as_bool) == Some(true) {
+        return Some(Line::Failed(FailureRecord {
+            cell,
+            cell_seed,
+            failure: obj.get("failure")?.clone(),
+        }));
+    }
+    Some(Line::Completed(Record {
+        cell,
+        cell_seed,
         result: obj.get("result")?.clone(),
         telemetry: snapshot_from_value(obj.get("telemetry")?)?,
-    })
+    }))
 }
 
 /// Serialises a snapshot with floats as `u64` bit patterns: registered-
@@ -277,6 +337,35 @@ impl Writer {
         let _ = f.flush();
     }
 
+    /// Appends one quarantined cell as a `"failed"` marker record:
+    /// trusted on load, never replayed, carrying the serialised
+    /// `CellFailure` (flight-recorder tail included) so the diagnosis
+    /// survives the process.
+    pub fn append_failure(
+        &self,
+        label: &str,
+        seed: u64,
+        fingerprint: u64,
+        cell: usize,
+        cell_seed: u64,
+        failure: &Value,
+    ) {
+        let mut obj = Map::new();
+        obj.insert("v".into(), Value::from(JOURNAL_VERSION));
+        obj.insert("label".into(), Value::from(label));
+        obj.insert("sweep_seed".into(), Value::from(seed));
+        obj.insert("fingerprint".into(), Value::from(fingerprint));
+        obj.insert("cell".into(), Value::from(cell));
+        obj.insert("cell_seed".into(), Value::from(cell_seed));
+        obj.insert("failed".into(), Value::from(true));
+        obj.insert("failure".into(), failure.clone());
+        let mut line = Value::from(obj).to_string();
+        line.push('\n');
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+
     /// Syncs the journal to the device at the end of the sweep.
     pub fn finalize(&self) {
         let f = self.file.lock().unwrap_or_else(|e| e.into_inner());
@@ -412,6 +501,40 @@ mod tests {
         w.append("lab", 1, 7, 1, 11, &serde_json::json!(2), &snap);
         drop(w);
         assert_eq!(load(&path, "lab", 1, 7).len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_records_are_trusted_but_not_replayed() {
+        let dir = tmp_dir("failure");
+        let path = journal_path(&dir, "lab", 3, 0xabc);
+        let w = Writer::create(&path).expect("create");
+        let snap = Snapshot::default();
+        w.append("lab", 3, 0xabc, 0, 10, &serde_json::json!(1), &snap);
+        w.append_failure(
+            "lab",
+            3,
+            0xabc,
+            1,
+            11,
+            &serde_json::json!({"panic_msg": "boom", "tail": ["{\"kind\":\"x\"}"]}),
+        );
+        // A completed record *after* the failure must still be trusted:
+        // the failure marker does not truncate the journal.
+        w.append("lab", 3, 0xabc, 2, 12, &serde_json::json!(3), &snap);
+        w.finalize();
+
+        let recs = load(&path, "lab", 3, 0xabc);
+        assert_eq!(
+            recs.keys().copied().collect::<Vec<_>>(),
+            vec![0, 2],
+            "the failed cell is not replayable"
+        );
+        let failures = load_failures(&path, "lab", 3, 0xabc);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cell, 1);
+        assert_eq!(failures[0].cell_seed, 11);
+        assert_eq!(failures[0].failure["panic_msg"], serde_json::json!("boom"));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,6 +25,7 @@ pub mod tables;
 
 pub use grid::{
     derive_cell_seed, CellCtx, CellFailure, CellRetryPolicy, CheckpointSpec, SweepGrid,
+    DEFAULT_FLIGHT_RECORDER_CAP,
 };
 
 use serde::{Deserialize, Serialize};
@@ -101,6 +102,18 @@ pub const RESUME_ENV: &str = "PANO_RESUME";
 /// seconds: over-budget cells are flagged in telemetry and the run
 /// report, never killed. Unset or non-positive disables the watchdog.
 pub const CELL_BUDGET_ENV: &str = "PANO_CELL_BUDGET_SECS";
+
+/// Environment override for the flight-recorder depth: how many of a
+/// cell's most recent telemetry events the supervised paths keep in a
+/// bounded ring for the quarantine record. `0` disables the recorder;
+/// unset means [`grid::DEFAULT_FLIGHT_RECORDER_CAP`].
+pub const FLIGHT_RECORDER_CAP_ENV: &str = "PANO_FLIGHT_RECORDER_CAP";
+
+/// Fault-injection drill: `"<label>:<index>"` makes the supervised
+/// paths panic *after* that cell's body completes, exercising the
+/// quarantine + flight-recorder machinery end to end (the CI drill).
+/// Only the named grid and cell are affected.
+pub const INJECT_PANIC_ENV: &str = "PANO_INJECT_CELL_PANIC";
 
 /// Resolves the worker count for a parallel region: an explicit request
 /// wins, then the [`THREADS_ENV`] override, then the machine's available

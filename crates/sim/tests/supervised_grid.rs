@@ -87,6 +87,58 @@ proptest! {
             }
         }
     }
+
+    /// The flight recorder is a pure observer: for any failure position,
+    /// recorder depth and worker count, every result's serialised bytes
+    /// and the merged counter aggregates are identical to a sweep with
+    /// the recorder off. (The quarantined slot itself is compared minus
+    /// its `tail` field — the tail is the recorder's entire output.)
+    #[test]
+    fn flight_recorder_never_perturbs_results_or_counters(
+        fail_idx in 0u64..N_CELLS,
+        cap in prop_oneof![Just(1usize), Just(4usize), Just(64usize)],
+        workers in prop_oneof![Just(1usize), Just(3usize)],
+    ) {
+        let sweep = |cap: usize| {
+            let tel = Telemetry::recording(RunId::from_parts("prop-recorder", 0xD1), 0xD1);
+            let out = SweepGrid::new("prop_recorder", 0xD1, &tel)
+                .with_checkpoints(None)
+                .with_workers(Some(workers))
+                .with_flight_recorder(cap)
+                .run_supervised((0..N_CELLS).collect(), |ctx, cell: u64| {
+                    ctx.telemetry.counter("test.cell.value").add(cell + 1);
+                    ctx.telemetry.emit("cell_step", None, pano_telemetry::Json::from(cell));
+                    if cell == fail_idx {
+                        panic!("injected failure at {cell}");
+                    }
+                    evaluate(cell, ctx.seed)
+                });
+            (out, tel.snapshot())
+        };
+        let (off, off_snap) = sweep(0);
+        let (on, on_snap) = sweep(cap);
+
+        prop_assert_eq!(off_snap.counters, on_snap.counters);
+        for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(
+                        serde_json::to_vec(x).expect("serialise"),
+                        serde_json::to_vec(y).expect("serialise"),
+                        "cell {}", i
+                    );
+                }
+                (Err(x), Err(y)) => {
+                    prop_assert_eq!(i as u64, fail_idx);
+                    prop_assert_eq!((x.index, x.seed, x.attempts), (y.index, y.seed, y.attempts));
+                    prop_assert_eq!(&x.panic_msg, &y.panic_msg);
+                    prop_assert!(x.tail.is_empty(), "recorder off leaves no tail");
+                    prop_assert!(!y.tail.is_empty(), "recorder on captures a tail");
+                }
+                other => prop_assert!(false, "recorder changed an outcome: {:?}", other),
+            }
+        }
+    }
 }
 
 #[test]

@@ -60,23 +60,31 @@ pub mod report;
 pub mod runid;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use artifact::{atomic_write, atomic_write_str};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use report::RunReport;
 pub use runid::RunId;
-pub use sink::{read_jsonl, Event, JsonlSink, MemorySink, NoopSink, Sink};
+pub use sink::{read_jsonl, Event, JsonlSink, MemorySink, NoopSink, RingSink, Sink, TeeSink};
 pub use span::{SpanGuard, Stopwatch};
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 struct Inner {
     registry: Registry,
     sink: Arc<dyn Sink>,
     run_id: RunId,
     seed: u64,
+    /// When set, every span additionally emits `span_begin`/`span_end`
+    /// events into the sink stream (the `--trace` timeline export).
+    trace_spans: bool,
+    /// One monotonic origin per run, shared by every child handle, so
+    /// all span-event timestamps live on a single timeline.
+    origin: Instant,
 }
 
 /// The telemetry capability handle.
@@ -105,11 +113,27 @@ impl Telemetry {
 
     /// An enabled handle over an explicit sink.
     pub fn with_sink(run_id: RunId, seed: u64, sink: Arc<dyn Sink>) -> Telemetry {
+        Telemetry::with_sink_traced(run_id, seed, sink, false)
+    }
+
+    /// [`Telemetry::with_sink`] with span events opted in (or not): when
+    /// `trace_spans` is set, every [`Telemetry::span`] emits a
+    /// `span_begin`/`span_end` event pair into the sink, the raw
+    /// material of the [`trace`] timeline export. Aggregated results are
+    /// identical either way.
+    pub fn with_sink_traced(
+        run_id: RunId,
+        seed: u64,
+        sink: Arc<dyn Sink>,
+        trace_spans: bool,
+    ) -> Telemetry {
         Telemetry(Some(Arc::new(Inner {
             registry: Registry::new(),
             sink,
             run_id,
             seed,
+            trace_spans,
+            origin: Instant::now(),
         })))
     }
 
@@ -131,6 +155,23 @@ impl Telemetry {
     pub fn jsonl(run_id: RunId, seed: u64, path: impl AsRef<Path>) -> std::io::Result<Telemetry> {
         let sink = Arc::new(JsonlSink::create(path)?);
         Ok(Telemetry::with_sink(run_id, seed, sink))
+    }
+
+    /// [`Telemetry::jsonl`] with span events opted in or out — the
+    /// `repro --trace` entry point.
+    pub fn jsonl_traced(
+        run_id: RunId,
+        seed: u64,
+        path: impl AsRef<Path>,
+        trace_spans: bool,
+    ) -> std::io::Result<Telemetry> {
+        let sink = Arc::new(JsonlSink::create(path)?);
+        Ok(Telemetry::with_sink_traced(run_id, seed, sink, trace_spans))
+    }
+
+    /// Whether spans on this handle emit begin/end events.
+    pub fn span_events_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|i| i.trace_spans)
     }
 
     /// Whether this handle records anything at all.
@@ -173,12 +214,23 @@ impl Telemetry {
 
     /// Opens a timing span; the returned RAII guard records wall time
     /// into `span.<nested/path>` on drop. Inert (not even a clock read)
-    /// when disabled.
+    /// when disabled. When span events are enabled
+    /// ([`Telemetry::with_sink_traced`]) the guard additionally emits a
+    /// `span_begin` now and a `span_end` on drop.
     #[inline]
     pub fn span(&self, name: &'static str) -> SpanGuard {
         match &self.0 {
             None => SpanGuard::noop(),
-            Some(i) => span::enter(&i.registry, name),
+            Some(i) => span::enter(
+                &i.registry,
+                name,
+                i.trace_spans.then(|| span::SpanTrace {
+                    sink: i.sink.clone(),
+                    run_id: i.run_id,
+                    seed: i.seed,
+                    origin: i.origin,
+                }),
+            ),
         }
     }
 
@@ -225,7 +277,43 @@ impl Telemetry {
                 sink: i.sink.clone(),
                 run_id: i.run_id.child(label, index),
                 seed: i.seed,
+                trace_spans: i.trace_spans,
+                origin: i.origin,
             }))),
+        }
+    }
+
+    /// A child handle with a flight recorder attached: like
+    /// [`Telemetry::child`], but the child's sink is a [`TeeSink`] over
+    /// the parent's sink and a fresh [`RingSink`] of capacity `cap`, so
+    /// the last `cap` events of this child are retrievable after the
+    /// fact (the sweep supervisor serialises them into quarantine
+    /// records). Returns `None` for the ring when the handle is disabled
+    /// or `cap` is 0 — in both cases this degrades to a plain child with
+    /// no recording overhead.
+    pub fn child_recorded(
+        &self,
+        label: &str,
+        index: u64,
+        cap: usize,
+    ) -> (Telemetry, Option<Arc<RingSink>>) {
+        match &self.0 {
+            None => (Telemetry::disabled(), None),
+            Some(_) if cap == 0 => (self.child(label, index), None),
+            Some(i) => {
+                let ring = Arc::new(RingSink::new(cap));
+                let tee: Arc<dyn Sink> =
+                    Arc::new(TeeSink::new(i.sink.clone(), ring.clone() as Arc<dyn Sink>));
+                let child = Telemetry(Some(Arc::new(Inner {
+                    registry: Registry::new(),
+                    sink: tee,
+                    run_id: i.run_id.child(label, index),
+                    seed: i.seed,
+                    trace_spans: i.trace_spans,
+                    origin: i.origin,
+                })));
+                (child, Some(ring))
+            }
         }
     }
 
@@ -303,6 +391,65 @@ mod tests {
         parent.merge(&b.snapshot());
         parent.merge(&a.snapshot());
         assert_eq!(parent.snapshot().counters["n"], 3);
+    }
+
+    #[test]
+    fn traced_handle_emits_span_events_and_children_inherit() {
+        let sink = Arc::new(MemorySink::new());
+        let tel = Telemetry::with_sink_traced(
+            RunId::from_parts("traced", 2),
+            2,
+            sink.clone() as Arc<dyn Sink>,
+            true,
+        );
+        assert!(tel.span_events_enabled());
+        {
+            let _s = tel.span("outer");
+        }
+        let child = tel.child("cell", 0);
+        assert!(child.span_events_enabled());
+        {
+            let _s = child.span("inner");
+        }
+        let kinds: Vec<String> = sink.events().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec!["span_begin", "span_end", "span_begin", "span_end"]
+        );
+        // Child span events carry the derived run id.
+        assert_eq!(sink.events()[2].run_id, child.run_id());
+
+        // The untraced handle emits nothing for spans.
+        let (plain, plain_sink) = Telemetry::in_memory(RunId::from_parts("plain", 2), 2);
+        assert!(!plain.span_events_enabled());
+        {
+            let _s = plain.span("quiet");
+        }
+        assert!(plain_sink.is_empty());
+    }
+
+    #[test]
+    fn recorded_child_tees_into_its_ring_without_perturbing_the_stream() {
+        let (tel, sink) = Telemetry::in_memory(RunId::from_parts("rec", 3), 3);
+        let (child, ring) = tel.child_recorded("cell", 7, 2);
+        let ring = ring.expect("enabled parent with cap > 0 gets a ring");
+        for i in 0..4u64 {
+            child.emit("work", None, Json::from(i));
+        }
+        // The main stream saw everything; the ring kept the tail.
+        assert_eq!(sink.len(), 4);
+        let tail = ring.tail();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[1].fields.as_f64(), Some(3.0));
+        assert_eq!(tail[0].run_id, child.run_id());
+
+        // cap == 0 and disabled parents degrade to plain children.
+        let (plain, no_ring) = tel.child_recorded("cell", 8, 0);
+        assert!(no_ring.is_none());
+        assert!(plain.is_enabled());
+        let (off, no_ring) = Telemetry::disabled().child_recorded("cell", 0, 4);
+        assert!(no_ring.is_none());
+        assert!(!off.is_enabled());
     }
 
     #[test]

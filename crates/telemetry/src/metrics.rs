@@ -209,19 +209,35 @@ impl HistogramSnapshot {
 
     /// Approximate quantile `q` in `[0, 1]` from the log-scaled buckets,
     /// clamped to the exact observed `[min, max]`. 0 when empty.
+    ///
+    /// Defensive about inconsistent states that can reach it through
+    /// decoded artifacts (a `count > 0` snapshot with no buckets, or
+    /// non-finite min/max): it degrades to the unclamped bucket value or
+    /// 0 rather than propagating ±∞ — `f64::clamp` panics on an inverted
+    /// range, and renderers fed a decoded snapshot must never crash.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
+        if self.count == 0 || self.buckets.is_empty() {
             return 0.0;
         }
+        let bounded = self.min.is_finite() && self.max.is_finite() && self.min <= self.max;
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for &(idx, n) in &self.buckets {
             seen += n;
             if seen >= target {
-                return bucket_value(idx as usize).clamp(self.min, self.max);
+                let v = bucket_value(idx as usize);
+                return if bounded {
+                    v.clamp(self.min, self.max)
+                } else {
+                    v
+                };
             }
         }
-        self.max
+        if bounded {
+            self.max
+        } else {
+            bucket_value(self.buckets[self.buckets.len() - 1].0 as usize)
+        }
     }
 
     /// Folds `other` into `self` (commutative, associative).
@@ -256,6 +272,28 @@ impl HistogramSnapshot {
                 ),
             ),
         ])
+    }
+
+    /// Inverse of [`HistogramSnapshot::to_json`]; `None` on shape
+    /// mismatch. `min`/`max` serialise as `null` when the histogram was
+    /// empty (JSON has no ±∞), so `null` decodes back to the empty-state
+    /// sentinels.
+    pub fn from_json(v: &Json) -> Option<HistogramSnapshot> {
+        let mut buckets = Vec::new();
+        for pair in v.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            buckets.push((pair[0].as_f64()? as u32, pair[1].as_f64()? as u64));
+        }
+        Some(HistogramSnapshot {
+            count: v.get("count")?.as_f64()? as u64,
+            sum: v.get("sum")?.as_f64().unwrap_or(0.0),
+            min: v.get("min")?.as_f64().unwrap_or(f64::INFINITY),
+            max: v.get("max")?.as_f64().unwrap_or(f64::NEG_INFINITY),
+            buckets,
+        })
     }
 }
 
@@ -324,6 +362,31 @@ impl Snapshot {
                 ),
             ),
         ])
+    }
+
+    /// Inverse of [`Snapshot::to_json`] — the decode side of
+    /// `run_summary` events, used by `pano-obs diff` to recover a run's
+    /// merged registry from its JSONL artifact. `None` on any shape
+    /// mismatch.
+    pub fn from_json(v: &Json) -> Option<Snapshot> {
+        let (Json::Obj(counters), Json::Obj(gauges), Json::Obj(histograms)) =
+            (v.get("counters")?, v.get("gauges")?, v.get("histograms")?)
+        else {
+            return None;
+        };
+        let mut snap = Snapshot::default();
+        for (k, c) in counters {
+            snap.counters.insert(k.clone(), c.as_f64()? as u64);
+        }
+        for (k, g) in gauges {
+            // Non-finite gauges serialise as null; 0 is the sanest decode.
+            snap.gauges.insert(k.clone(), g.as_f64().unwrap_or(0.0));
+        }
+        for (k, h) in histograms {
+            snap.histograms
+                .insert(k.clone(), HistogramSnapshot::from_json(h)?);
+        }
+        Some(snap)
     }
 }
 
@@ -584,6 +647,56 @@ mod tests {
         };
         assert_eq!(s.quantile(0.5), 0.0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_degrades_on_inconsistent_decoded_states() {
+        // count > 0 but no buckets (malformed artifact): 0, not a panic.
+        let s = HistogramSnapshot {
+            count: 3,
+            sum: 1.0,
+            min: 0.1,
+            max: 0.9,
+            buckets: vec![],
+        };
+        assert_eq!(s.quantile(0.5), 0.0);
+        // Non-finite bounds (empty-histogram sentinels leaking through a
+        // decode with count > 0): unclamped bucket value, not a panic.
+        let s = HistogramSnapshot {
+            count: 1,
+            sum: 1.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![(100, 1)],
+        };
+        let q = s.quantile(0.5);
+        assert!(q.is_finite() && q > 0.0, "{q}");
+        assert!(s.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_from_json() {
+        let r = Registry::new();
+        r.counter("c").add(42);
+        r.gauge("g").set(-1.25);
+        r.histogram("h").record(0.5);
+        r.histogram("h").record(2.0);
+        // Registered-but-empty histogram round-trips its sentinels.
+        let _ = r.histogram("empty");
+        let snap = r.snapshot();
+        let back = Snapshot::from_json(&Json::parse(&snap.to_json().to_string()).expect("parse"))
+            .expect("decode");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms["h"].count, 2);
+        assert_eq!(back.histograms["h"].buckets, snap.histograms["h"].buckets);
+        assert_eq!(back.histograms["h"].min, snap.histograms["h"].min);
+        let e = &back.histograms["empty"];
+        assert!(e.min.is_infinite() && e.min > 0.0);
+        assert!(e.max.is_infinite() && e.max < 0.0);
+        // Malformed shapes decode to None, never panic.
+        assert!(Snapshot::from_json(&Json::Null).is_none());
+        assert!(HistogramSnapshot::from_json(&Json::obj([("count", Json::from(1u64))])).is_none());
     }
 
     #[test]

@@ -120,10 +120,14 @@ impl RunReport {
         if spans.is_empty() {
             return;
         }
+        // Heaviest first; ties (and NaN sums from malformed decodes)
+        // break on the name so merged scope tables render in one
+        // deterministic order regardless of map insertion history.
         spans.sort_by(|a, b| {
             b.1.sum
                 .partial_cmp(&a.1.sum)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
         });
         let width = spans
             .iter()
@@ -137,6 +141,21 @@ impl RunReport {
             "stage", "calls", "total", "p50", "p90", "p99", "max"
         ));
         for (name, h) in spans {
+            if h.count == 0 {
+                // A registered scope that never ran (e.g. decoded from a
+                // partial run): percentiles of nothing are "-", not 0.
+                out.push_str(&format!(
+                    "  {:<width$} | {:>8} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+                    &name[SPAN_PREFIX.len()..],
+                    0,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "  {:<width$} | {:>8} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9}\n",
                 &name[SPAN_PREFIX.len()..],
@@ -260,6 +279,13 @@ impl RunReport {
     fn render_buffer(&self, out: &mut String) {
         let buffer = self.snapshot.histograms.get("sim.buffer_level_secs");
         let stalls = self.snapshot.histograms.get("sim.stall_secs");
+        if buffer.is_none() && stalls.is_none() {
+            return;
+        }
+        // Registered-but-empty histograms carry ±∞ sentinels; rendering
+        // them would print "infs". An empty section header is dropped too.
+        let buffer = buffer.filter(|h| h.count > 0);
+        let stalls = stalls.filter(|h| h.count > 0);
         if buffer.is_none() && stalls.is_none() {
             return;
         }
@@ -418,6 +444,62 @@ mod tests {
         assert!(text.starts_with("run report: empty"));
         assert!(!text.contains("stage timings"));
         assert!(!text.contains("funnel"));
+    }
+
+    #[test]
+    fn zero_call_scopes_and_empty_histograms_render_sanely() {
+        let mut snap = Snapshot::default();
+        // A scope that was registered but never completed a call.
+        snap.histograms.insert(
+            "span.session/fetch".to_string(),
+            crate::metrics::HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                buckets: vec![],
+            },
+        );
+        // An empty buffer histogram must not print ±∞.
+        snap.histograms.insert(
+            "sim.buffer_level_secs".to_string(),
+            crate::metrics::HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                buckets: vec![],
+            },
+        );
+        let text = RunReport::new("edge", RunId::NONE, 0, snap).render();
+        assert!(text.contains("session/fetch"), "{text}");
+        assert!(text.contains('-'), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        assert!(!text.contains("buffer & stalls"), "{text}");
+    }
+
+    #[test]
+    fn stage_timing_ties_order_by_name() {
+        let mut snap = Snapshot::default();
+        for name in ["span.zeta", "span.alpha", "span.mid"] {
+            snap.histograms.insert(
+                name.to_string(),
+                crate::metrics::HistogramSnapshot {
+                    count: 1,
+                    sum: 0.5,
+                    min: 0.5,
+                    max: 0.5,
+                    buckets: vec![(1, 1)],
+                },
+            );
+        }
+        let text = RunReport::new("ties", RunId::NONE, 0, snap).render();
+        let pos = |n: &str| {
+            text.find(n)
+                .unwrap_or_else(|| panic!("{n} missing:\n{text}"))
+        };
+        assert!(pos("alpha") < pos("mid"));
+        assert!(pos("mid") < pos("zeta"));
     }
 
     #[test]

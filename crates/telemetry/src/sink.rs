@@ -9,13 +9,21 @@
 //! * [`MemorySink`] — buffers events for tests and in-process reports.
 //! * [`JsonlSink`] — streams one JSON object per line to a file, the
 //!   replayable run artifact under `results/telemetry/`.
+//!
+//! Two combinators support the flight recorder (DESIGN.md §14):
+//!
+//! * [`RingSink`] — a bounded ring holding the last N events (fixed
+//!   allocation, oldest evicted first); the per-cell flight recorder.
+//! * [`TeeSink`] — forwards every event to two sinks, letting a cell's
+//!   events both stream to the run artifact and land in its ring.
 
 use crate::json::Json;
 use crate::runid::RunId;
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One structured telemetry record.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +163,95 @@ impl Sink for JsonlSink {
     }
 }
 
+/// A bounded ring buffer over the last N events — the flight recorder.
+///
+/// Capacity is fixed at construction (one allocation, never grown);
+/// emitting into a full ring evicts the oldest event. [`RingSink::tail`]
+/// copies the survivors out in arrival order — the "what happened just
+/// before the crash" record serialised into
+/// [`CellFailure`](../pano_sim/experiments/struct.CellFailure.html)s by
+/// the sweep supervisor. A capacity of 0 keeps nothing (every emit is a
+/// cheap early return), which is how the recorder is disabled.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap,
+            buf: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained events, oldest first.
+    pub fn tail(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops everything retained so far.
+    pub fn clear(&self) {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Sink for RingSink {
+    fn emit(&self, event: &Event) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Forwards every event (and flush) to both sinks.
+pub struct TeeSink {
+    a: Arc<dyn Sink>,
+    b: Arc<dyn Sink>,
+}
+
+impl TeeSink {
+    /// A tee over `a` and `b`; both see every event, `a` first.
+    pub fn new(a: Arc<dyn Sink>, b: Arc<dyn Sink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink").finish_non_exhaustive()
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event) {
+        self.a.emit(event);
+        self.b.emit(event);
+    }
+
+    fn flush(&self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
 /// Parses a JSONL artifact back into events (replay/analysis path).
 pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Event>> {
     let text = std::fs::read_to_string(path)?;
@@ -202,6 +299,39 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].kind, "a");
         assert_eq!(got[1].kind, "b");
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_last_n_in_order() {
+        let ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.emit(&event(&format!("e{i}")));
+        }
+        let tail = ring.tail();
+        assert_eq!(tail.len(), 3);
+        let kinds: Vec<&str> = tail.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["e2", "e3", "e4"]);
+        ring.clear();
+        assert!(ring.tail().is_empty());
+
+        // Zero capacity retains nothing.
+        let off = RingSink::new(0);
+        off.emit(&event("dropped"));
+        assert!(off.tail().is_empty());
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_branches() {
+        let mem = Arc::new(MemorySink::new());
+        let ring = Arc::new(RingSink::new(2));
+        let tee = TeeSink::new(mem.clone(), ring.clone());
+        for i in 0..3 {
+            tee.emit(&event(&format!("t{i}")));
+        }
+        tee.flush();
+        assert_eq!(mem.len(), 3, "the primary sink sees everything");
+        let kinds: Vec<String> = ring.tail().iter().map(|e| e.kind.clone()).collect();
+        assert_eq!(kinds, vec!["t1", "t2"], "the ring keeps only the tail");
     }
 
     #[test]

@@ -7,24 +7,65 @@
 //! both are called `fetch`/`score` at their call sites. Call counts come
 //! for free as the histogram's sample count.
 //!
+//! When the owning [`Telemetry`](crate::Telemetry) handle has **span
+//! events** enabled (`repro --trace`), each guard additionally emits a
+//! `span_begin`/`span_end` event pair into the sink stream, stamped with
+//! a monotonic microsecond timestamp (one shared origin per run), the
+//! scope path and a small per-thread id — the raw material the
+//! [`trace`](crate::trace) module folds into a Chrome trace-event JSON
+//! timeline. Aggregation is unchanged either way: the histogram record
+//! on drop is identical with events on or off.
+//!
 //! Guards are meant to be held lexically (`let _span = tel.span("x");`).
 //! Dropping out of LIFO order mis-attributes nesting for the rest of the
 //! enclosing scope but never panics or corrupts timing totals.
 
+use crate::json::Json;
 use crate::metrics::{Histogram, Registry};
+use crate::runid::RunId;
+use crate::sink::{Event, Sink};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 thread_local! {
     /// The enclosing span names on this thread, innermost last.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Small dense id for this thread, assigned on first span event.
+    /// Thread ids only label trace timelines — they are never folded
+    /// into results, so assignment order being scheduler-dependent is
+    /// fine.
+    static THREAD_TRACE_ID: u64 = NEXT_THREAD_TRACE_ID.fetch_add(1, Ordering::Relaxed);
 }
+
+static NEXT_THREAD_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Histogram-name prefix under which span timings are registered.
 pub const SPAN_PREFIX: &str = "span.";
 
-/// Starts a span on `registry`; used by `Telemetry::span`.
-pub(crate) fn enter(registry: &Registry, name: &'static str) -> SpanGuard {
+/// Event kind emitted when a traced span opens.
+pub const SPAN_BEGIN_KIND: &str = "span_begin";
+/// Event kind emitted when a traced span closes.
+pub const SPAN_END_KIND: &str = "span_end";
+
+/// Everything a traced span needs to stamp begin/end events: the sink,
+/// the run identity and the run's shared monotonic origin.
+pub(crate) struct SpanTrace {
+    pub sink: Arc<dyn Sink>,
+    pub run_id: RunId,
+    pub seed: u64,
+    pub origin: Instant,
+}
+
+/// Starts a span on `registry`; used by `Telemetry::span`. With a
+/// `trace` context the guard emits `span_begin` now and `span_end` on
+/// drop; without one it only records into the histogram.
+pub(crate) fn enter(
+    registry: &Registry,
+    name: &'static str,
+    trace: Option<SpanTrace>,
+) -> SpanGuard {
     let path = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
         stack.push(name);
@@ -40,18 +81,81 @@ pub(crate) fn enter(registry: &Registry, name: &'static str) -> SpanGuard {
         }
         p
     });
+    let emitter = trace.map(|t| {
+        let tid = THREAD_TRACE_ID.with(|id| *id);
+        let t_us = t.origin.elapsed().as_micros() as u64;
+        let scope = path[SPAN_PREFIX.len()..].to_string();
+        t.sink.emit(&Event {
+            run_id: t.run_id,
+            seed: t.seed,
+            t_secs: None,
+            kind: SPAN_BEGIN_KIND.to_string(),
+            fields: span_fields(&scope, tid, t_us, None),
+        });
+        SpanEmitter {
+            trace: t,
+            scope,
+            tid,
+            begin_us: t_us,
+        }
+    });
     SpanGuard {
         active: Some(Active {
             hist: registry.histogram(&path),
             start: Instant::now(),
+            emitter,
         }),
     }
 }
 
-#[derive(Debug)]
+/// The common field layout of `span_begin`/`span_end` events.
+fn span_fields(scope: &str, tid: u64, t_us: u64, dur_us: Option<u64>) -> Json {
+    let mut pairs = vec![
+        ("path", Json::from(scope)),
+        ("tid", Json::from(tid)),
+        ("t_us", Json::from(t_us)),
+    ];
+    if let Some(d) = dur_us {
+        pairs.push(("dur_us", Json::from(d)));
+    }
+    Json::obj(pairs)
+}
+
+struct SpanEmitter {
+    trace: SpanTrace,
+    scope: String,
+    tid: u64,
+    begin_us: u64,
+}
+
+impl SpanEmitter {
+    fn end(&self) {
+        let t_us = self.trace.origin.elapsed().as_micros() as u64;
+        self.trace.sink.emit(&Event {
+            run_id: self.trace.run_id,
+            seed: self.trace.seed,
+            t_secs: None,
+            kind: SPAN_END_KIND.to_string(),
+            fields: span_fields(
+                &self.scope,
+                self.tid,
+                t_us,
+                Some(t_us.saturating_sub(self.begin_us)),
+            ),
+        });
+    }
+}
+
 struct Active {
     hist: Histogram,
     start: Instant,
+    emitter: Option<SpanEmitter>,
+}
+
+impl std::fmt::Debug for Active {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Active").finish_non_exhaustive()
+    }
 }
 
 /// RAII guard: records elapsed wall time (seconds) on drop. The inert
@@ -72,6 +176,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
             active.hist.record(active.start.elapsed().as_secs_f64());
+            if let Some(emitter) = &active.emitter {
+                emitter.end();
+            }
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });
@@ -109,21 +216,26 @@ impl Stopwatch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::MemorySink;
+
+    fn plain(registry: &Registry, name: &'static str) -> SpanGuard {
+        enter(registry, name, None)
+    }
 
     #[test]
     fn spans_nest_into_slash_paths() {
         let r = Registry::new();
         {
-            let _outer = enter(&r, "outer");
+            let _outer = plain(&r, "outer");
             {
-                let _inner = enter(&r, "inner");
+                let _inner = plain(&r, "inner");
             }
             {
-                let _inner = enter(&r, "inner");
+                let _inner = plain(&r, "inner");
             }
         }
         {
-            let _other = enter(&r, "inner"); // top level this time
+            let _other = plain(&r, "inner"); // top level this time
         }
         let s = r.snapshot();
         assert_eq!(s.histograms["span.outer"].count, 1);
@@ -138,9 +250,9 @@ mod tests {
     fn three_deep_nesting_and_reuse() {
         let r = Registry::new();
         for _ in 0..3 {
-            let _a = enter(&r, "a");
-            let _b = enter(&r, "b");
-            let _c = enter(&r, "c");
+            let _a = plain(&r, "a");
+            let _b = plain(&r, "b");
+            let _c = plain(&r, "c");
         }
         let s = r.snapshot();
         assert_eq!(s.histograms["span.a"].count, 3);
@@ -152,13 +264,13 @@ mod tests {
     fn noop_guard_records_nothing_and_keeps_stack_clean() {
         let r = Registry::new();
         {
-            let _outer = enter(&r, "outer");
+            let _outer = plain(&r, "outer");
             let _noop = SpanGuard::noop();
         }
         // A noop guard must not pop the real span's stack entry early:
         // a fresh span after the block is top-level again.
         {
-            let _x = enter(&r, "x");
+            let _x = plain(&r, "x");
         }
         let s = r.snapshot();
         assert_eq!(s.histograms["span.outer"].count, 1);
@@ -167,6 +279,60 @@ mod tests {
             "{:?}",
             s.histograms.keys()
         );
+    }
+
+    #[test]
+    fn traced_spans_emit_balanced_begin_end_pairs() {
+        let r = Registry::new();
+        let sink = Arc::new(MemorySink::new());
+        let origin = Instant::now();
+        let trace = |sink: &Arc<MemorySink>| {
+            Some(SpanTrace {
+                sink: sink.clone() as Arc<dyn Sink>,
+                run_id: RunId::from_parts("trace", 1),
+                seed: 1,
+                origin,
+            })
+        };
+        {
+            let _a = enter(&r, "outer", trace(&sink));
+            let _b = enter(&r, "inner", trace(&sink));
+        }
+        let events = sink.events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SPAN_BEGIN_KIND,
+                SPAN_BEGIN_KIND,
+                SPAN_END_KIND,
+                SPAN_END_KIND
+            ]
+        );
+        // LIFO close order: inner ends before outer.
+        assert_eq!(
+            events[2].fields.get("path").and_then(Json::as_str),
+            Some("outer/inner")
+        );
+        assert_eq!(
+            events[3].fields.get("path").and_then(Json::as_str),
+            Some("outer")
+        );
+        // Timestamps are monotone within the thread, and ends carry a
+        // duration consistent with their begin.
+        let t: Vec<f64> = events
+            .iter()
+            .map(|e| e.fields.get("t_us").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(t.windows(2).all(|w| w[0] <= w[1]), "{t:?}");
+        let dur = events[3]
+            .fields
+            .get("dur_us")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((dur - (t[3] - t[0])).abs() < 1.0, "dur {dur} vs {t:?}");
+        // The histogram aggregate is unaffected by tracing.
+        assert_eq!(r.snapshot().histograms["span.outer/inner"].count, 1);
     }
 
     #[test]
@@ -183,9 +349,9 @@ mod tests {
         let r = std::sync::Arc::new(Registry::new());
         let r2 = r.clone();
         let t = std::thread::spawn(move || {
-            let _g = enter(&r2, "worker");
+            let _g = enter(&r2, "worker", None);
         });
-        let _main = enter(&r, "main");
+        let _main = plain(&r, "main");
         t.join().unwrap();
         drop(_main);
         let s = r.snapshot();

@@ -1,0 +1,300 @@
+//! Chrome trace-event export: fold a run's JSONL into a timeline.
+//!
+//! A traced run (`repro --trace`, `Telemetry::with_sink_traced`) streams
+//! `span_begin`/`span_end` events carrying a monotonic microsecond
+//! timestamp, the `/`-joined scope path and a per-thread id. This module
+//! folds that stream — plus the run's ordinary simulation-clock events —
+//! into the [Chrome trace-event format] that `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly:
+//!
+//! * every span pair becomes a `ph:"B"`/`ph:"E"` duration slice on
+//!   **pid 1** ("wall clock"), one track per recording thread;
+//! * every other event that carries a simulation-clock `t_secs` becomes
+//!   an instant (`ph:"i"`) on **pid 2** ("sim clock") — the two clocks
+//!   are unrelated, so they get separate processes rather than a fake
+//!   shared axis.
+//!
+//! The fold is defensive about the stream it is given: events are sorted
+//! by timestamp (stably, so per-thread begin/end order survives), an
+//! `end` without a matching `begin` is dropped, and a `begin` whose run
+//! died before the end (SIGKILL, panic) is closed at the last timestamp
+//! seen — the output always has balanced, monotone slices, which the
+//! golden test pins.
+//!
+//! [Chrome trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::Json;
+use crate::sink::{read_jsonl, Event};
+use crate::span::{SPAN_BEGIN_KIND, SPAN_END_KIND};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Process id carrying wall-clock span slices.
+const PID_SPANS: u64 = 1;
+/// Process id carrying simulation-clock instants.
+const PID_SIM: u64 = 2;
+
+/// One entry of the `traceEvents` array, before serialisation.
+struct Slice {
+    ts_us: f64,
+    tid: u64,
+    phase: char,
+    name: String,
+    args: Json,
+    pid: u64,
+}
+
+impl Slice {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "cat",
+                Json::from(if self.pid == PID_SPANS {
+                    "span"
+                } else {
+                    "event"
+                }),
+            ),
+            ("ph", Json::from(self.phase.to_string())),
+            ("ts", Json::from(self.ts_us)),
+            ("pid", Json::from(self.pid)),
+            ("tid", Json::from(self.tid)),
+            ("args", self.args.clone()),
+        ])
+    }
+}
+
+fn span_slice(e: &Event, phase: char) -> Option<Slice> {
+    let path = e.fields.get("path")?.as_str()?.to_string();
+    let tid = e.fields.get("tid")?.as_f64()? as u64;
+    let ts_us = e.fields.get("t_us")?.as_f64()?;
+    Some(Slice {
+        ts_us,
+        tid,
+        phase,
+        name: path,
+        args: Json::obj([("run_id", Json::from(e.run_id.to_string()))]),
+        pid: PID_SPANS,
+    })
+}
+
+/// A `ph:"M"` metadata record naming a process or thread track.
+fn metadata(name: &str, pid: u64, tid: u64, label: &str) -> Json {
+    Json::obj([
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("args", Json::obj([("name", Json::from(label))])),
+    ])
+}
+
+/// Folds a run's event stream into a Chrome trace-event JSON document.
+///
+/// Always produces a loadable trace: span slices are balanced (orphan
+/// ends dropped, dangling begins closed at the last seen timestamp) and
+/// sorted by timestamp. Works on any stream — a run recorded without
+/// `--trace` simply yields a trace of sim-clock instants only.
+pub fn chrome_trace(events: &[Event]) -> Json {
+    let mut spans: Vec<Slice> = Vec::new();
+    let mut instants: Vec<Slice> = Vec::new();
+    // Per-tid stack of indices into `spans` awaiting their end.
+    let mut open: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut max_ts = 0.0f64;
+
+    for e in events {
+        match e.kind.as_str() {
+            SPAN_BEGIN_KIND => {
+                if let Some(s) = span_slice(e, 'B') {
+                    max_ts = max_ts.max(s.ts_us);
+                    open.entry(s.tid).or_default().push(spans.len());
+                    spans.push(s);
+                }
+            }
+            SPAN_END_KIND => {
+                if let Some(s) = span_slice(e, 'E') {
+                    // An end with no begin on this thread (truncated
+                    // stream head) has nothing to close: drop it.
+                    let Some(stack) = open.get_mut(&s.tid) else {
+                        continue;
+                    };
+                    if stack.pop().is_none() {
+                        continue;
+                    }
+                    max_ts = max_ts.max(s.ts_us);
+                    spans.push(s);
+                }
+            }
+            _ => {
+                let Some(t) = e.t_secs else { continue };
+                let args = match &e.fields {
+                    Json::Obj(_) => e.fields.clone(),
+                    other => Json::obj([("value", other.clone())]),
+                };
+                instants.push(Slice {
+                    ts_us: t * 1e6,
+                    tid: 0,
+                    phase: 'i',
+                    name: e.kind.clone(),
+                    args,
+                    pid: PID_SIM,
+                });
+            }
+        }
+    }
+
+    // Close every span the run never got to end (crash, SIGKILL): an
+    // `E` at the last timestamp seen, innermost first so nesting stays
+    // well-formed per thread.
+    for (tid, stack) in &open {
+        for &idx in stack.iter().rev() {
+            spans.push(Slice {
+                ts_us: max_ts,
+                tid: *tid,
+                phase: 'E',
+                name: spans[idx].name.clone(),
+                args: Json::obj([("truncated", Json::from(true))]),
+                pid: PID_SPANS,
+            });
+        }
+    }
+
+    // Stable sort: equal timestamps keep stream order, which is the
+    // per-thread nesting order.
+    spans.sort_by(|a, b| {
+        a.ts_us
+            .partial_cmp(&b.ts_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    instants.sort_by(|a, b| {
+        a.ts_us
+            .partial_cmp(&b.ts_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut trace_events: Vec<Json> = Vec::with_capacity(spans.len() + instants.len() + 2);
+    if !spans.is_empty() {
+        trace_events.push(metadata("process_name", PID_SPANS, 0, "wall clock (spans)"));
+    }
+    if !instants.is_empty() {
+        trace_events.push(metadata("process_name", PID_SIM, 0, "sim clock (events)"));
+    }
+    trace_events.extend(spans.iter().map(Slice::to_json));
+    trace_events.extend(instants.iter().map(Slice::to_json));
+
+    Json::obj([
+        ("traceEvents", Json::arr(trace_events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+/// Reads a telemetry JSONL artifact, folds it with [`chrome_trace`] and
+/// atomically writes the trace JSON to `out`. Returns the number of
+/// `traceEvents` entries written.
+pub fn write_chrome_trace(jsonl: &Path, out: &Path) -> std::io::Result<usize> {
+    let events = read_jsonl(jsonl)?;
+    let trace = chrome_trace(&events);
+    let n = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len);
+    crate::artifact::atomic_write_str(out, &trace.to_string())?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runid::RunId;
+
+    fn span_event(kind: &str, path: &str, tid: u64, t_us: u64) -> Event {
+        Event {
+            run_id: RunId::from_parts("trace", 1),
+            seed: 1,
+            t_secs: None,
+            kind: kind.to_string(),
+            fields: Json::obj([
+                ("path", Json::from(path)),
+                ("tid", Json::from(tid)),
+                ("t_us", Json::from(t_us)),
+            ]),
+        }
+    }
+
+    fn sim_event(kind: &str, t: f64) -> Event {
+        Event {
+            run_id: RunId::from_parts("trace", 1),
+            seed: 1,
+            t_secs: Some(t),
+            kind: kind.to_string(),
+            fields: Json::obj([("x", Json::from(1u64))]),
+        }
+    }
+
+    fn phases(trace: &Json) -> Vec<(String, String)> {
+        trace
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Json::as_str).unwrap().to_string(),
+                    e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_stream_folds_to_nested_slices() {
+        let events = vec![
+            span_event(SPAN_BEGIN_KIND, "session", 1, 10),
+            span_event(SPAN_BEGIN_KIND, "session/fetch", 1, 20),
+            span_event(SPAN_END_KIND, "session/fetch", 1, 30),
+            span_event(SPAN_END_KIND, "session", 1, 40),
+            sim_event("chunk", 0.5),
+        ];
+        let trace = chrome_trace(&events);
+        assert_eq!(
+            phases(&trace),
+            vec![
+                ("B".to_string(), "session".to_string()),
+                ("B".to_string(), "session/fetch".to_string()),
+                ("E".to_string(), "session/fetch".to_string()),
+                ("E".to_string(), "session".to_string()),
+                ("i".to_string(), "chunk".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_begin_is_closed_and_orphan_end_dropped() {
+        let events = vec![
+            // Orphan end: stream head truncated before its begin.
+            span_event(SPAN_END_KIND, "lost", 2, 5),
+            span_event(SPAN_BEGIN_KIND, "session", 1, 10),
+            span_event(SPAN_BEGIN_KIND, "session/fetch", 1, 20),
+            // Run dies here: neither span ever ends.
+        ];
+        let trace = chrome_trace(&events);
+        let ph = phases(&trace);
+        let begins = ph.iter().filter(|(p, _)| p == "B").count();
+        let ends = ph.iter().filter(|(p, _)| p == "E").count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2, "dangling begins are closed: {ph:?}");
+        assert!(ph.iter().all(|(_, name)| name != "lost"));
+    }
+
+    #[test]
+    fn untraced_stream_still_yields_a_loadable_trace() {
+        let events = vec![sim_event("chunk", 1.0), sim_event("chunk", 2.0)];
+        let trace = chrome_trace(&events);
+        let arr = trace.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 1 process-name metadata + 2 instants.
+        assert_eq!(arr.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden test for the Chrome trace-event export: a traced run with
+//! nested spans across threads must fold into a trace document that
+//! round-trips through the in-crate JSON parser with monotone
+//! timestamps and balanced begin/end slices.
+
+use pano_telemetry::trace::chrome_trace;
+use pano_telemetry::{Json, MemorySink, RunId, Sink, Telemetry};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runs a small traced workload: nested spans on the driving thread,
+/// plus two worker threads each recording their own span stack.
+fn traced_run() -> Vec<pano_telemetry::Event> {
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = Telemetry::with_sink_traced(
+        RunId::from_parts("trace_golden", 7),
+        7,
+        sink.clone() as Arc<dyn Sink>,
+        true,
+    );
+
+    {
+        let _session = telemetry.span("session");
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = telemetry.clone();
+                std::thread::spawn(move || {
+                    let _cell = t.span("cell");
+                    let _tiles = t.span("tiles");
+                    t.counter("tiles_scored").inc();
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        telemetry.emit(
+            "chunk_done",
+            Some(1.0),
+            Json::obj([("idx", Json::from(0u64))]),
+        );
+    }
+
+    sink.events()
+}
+
+#[test]
+fn traced_run_folds_to_a_balanced_monotone_trace() {
+    let events = traced_run();
+    // The raw stream carries begin/end pairs for every span.
+    let begins = events.iter().filter(|e| e.kind == "span_begin").count();
+    let ends = events.iter().filter(|e| e.kind == "span_end").count();
+    assert_eq!(begins, 5, "session + 2x(cell, tiles): {events:?}");
+    assert_eq!(begins, ends);
+
+    let trace = chrome_trace(&events);
+
+    // Round-trip: the serialized document must re-parse with the
+    // in-crate parser and keep the traceEvents array intact.
+    let parsed = Json::parse(&trace.to_string()).expect("trace JSON re-parses");
+    let arr = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array")
+        .to_vec();
+
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut slices = 0;
+    for e in &arr {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        if ph == "M" {
+            continue;
+        }
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        assert!(ts >= 0.0);
+        if ph == "B" || ph == "E" {
+            assert!(
+                ts >= last_ts,
+                "span timestamps are monotone: {ts} < {last_ts}"
+            );
+            last_ts = ts;
+            let tid = e.get("tid").and_then(Json::as_f64).unwrap() as u64;
+            let d = depth.entry(tid).or_insert(0);
+            *d += if ph == "B" { 1 } else { -1 };
+            assert!(*d >= 0, "an end never precedes its begin on a track");
+            slices += 1;
+        }
+    }
+    assert_eq!(slices, 10, "5 spans -> 5 B/E pairs");
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "every track balances: {depth:?}"
+    );
+
+    // The sim-clock instant landed on its own process.
+    let instant = arr
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("chunk_done"))
+        .expect("sim-clock instant present");
+    assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+    assert_eq!(instant.get("ts").and_then(Json::as_f64), Some(1e6));
+}
+
+#[test]
+fn untraced_handles_emit_no_span_events() {
+    let sink = Arc::new(MemorySink::new());
+    let telemetry = Telemetry::with_sink_traced(
+        RunId::from_parts("trace_golden", 8),
+        8,
+        sink.clone() as Arc<dyn Sink>,
+        false,
+    );
+    {
+        let _s = telemetry.span("session");
+    }
+    assert!(sink.events().iter().all(|e| !e.kind.starts_with("span_")));
+}

@@ -1,0 +1,116 @@
+//! `fleet_bench` — wall-clock benchmark of the event-engine fleet core.
+//!
+//! Stands up the default fleet (session count overridable with
+//! `PANO_FLEET_SESSIONS`) twice on the virtual-clock engine, verifies
+//! the two runs produce byte-identical JSON — the engine's determinism
+//! claim, measured rather than assumed — and writes a `BENCH_fleet.json`
+//! artifact with sessions/sec, events/sec, peak queue depth, peak RSS,
+//! and the trace-heap sharing note.
+//!
+//! ```text
+//! cargo run --release -p pano-bench --bin fleet_bench [-- out.json] [--trace]
+//! ```
+//!
+//! With `--trace`, each timed run additionally streams span-traced
+//! telemetry to `results/telemetry/<run_id>.jsonl` and folds it into a
+//! Chrome trace next to it — see DESIGN.md §14.
+
+use pano_bench::{bench_run, finish_run};
+use pano_sim::engine::{run_fleet, FleetConfig, FleetResult};
+use pano_sim::experiments::fleet::sessions_from_env;
+use pano_sim::SessionConfig;
+use pano_telemetry::atomic_write;
+use std::time::Instant;
+
+/// Default fleet size for the CI benchmark: big enough that the event
+/// queue is genuinely interleaved, small enough for a PR gate.
+const DEFAULT_SESSIONS: usize = 2000;
+
+/// Peak resident-set size in KiB, from `/proc/self/status` `VmHWM`.
+/// Returns 0 where procfs is unavailable (non-Linux) — the drift gate
+/// treats a missing row as informational, never fatal.
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn timed_run(label: &str, sessions: usize, trace: bool) -> (f64, Vec<u8>, FleetResult) {
+    let run = bench_run(label, 0xF1EE7, trace);
+    let config = FleetConfig {
+        sessions,
+        session: SessionConfig {
+            telemetry: run.telemetry.clone(),
+            ..SessionConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let t0 = Instant::now();
+    let (result, session_results) = run_fleet(&config);
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = serde_json::to_vec(&(&result, &session_results)).expect("serialise fleet run");
+    if let Some(tp) = finish_run(&run) {
+        println!("fleet_bench: trace at {}", tp.display());
+    }
+    (secs, bytes, result)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    let out_path = args
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let sessions = sessions_from_env(DEFAULT_SESSIONS);
+
+    let (first_secs, first_bytes, result) = timed_run("fleet-bench-a", sessions, trace);
+    let (second_secs, second_bytes, _) = timed_run("fleet-bench-b", sessions, trace);
+
+    let identical = first_bytes == second_bytes;
+    assert!(
+        identical,
+        "fleet runs must be byte-identical across repetitions"
+    );
+
+    let secs = first_secs.min(second_secs);
+    let sessions_per_sec = result.sessions as f64 / secs.max(1e-9);
+    let events_per_sec = result.events_processed as f64 / secs.max(1e-9);
+    let report = serde_json::json!({
+        "experiment": "fleet",
+        "sessions": result.sessions,
+        "json_identical": identical,
+        "wall_secs": secs,
+        "sessions_per_sec": sessions_per_sec,
+        "events_per_sec": events_per_sec,
+        "events_processed": result.events_processed,
+        "peak_queue_len": result.peak_queue_len,
+        "peak_rss_kib": peak_rss_kib(),
+        "mean_pspnr_db": result.mean_pspnr_db,
+        "trace_heap_bytes_shared": result.trace_heap_bytes_shared,
+        "trace_heap_bytes_if_cloned": result.trace_heap_bytes_if_cloned,
+    });
+    if let Err(err) = atomic_write(
+        &out_path,
+        &serde_json::to_vec_pretty(&report).expect("serialise report"),
+    ) {
+        eprintln!("error: failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "fleet_bench: {} sessions in {secs:.2}s ({sessions_per_sec:.0} sessions/s, \
+         {events_per_sec:.0} events/s, peak queue {}); runs byte-identical; wrote {out_path}",
+        result.sessions, result.peak_queue_len
+    );
+}

@@ -7,6 +7,7 @@
 //! repro --experiment robust    # flag form of the same selection
 //! repro --seed 7 fig4          # override the seed
 //! repro --threads 4 fig15      # bound the sweep-grid worker pool
+//! repro --fleet 10000          # 10k-session fleet on the event engine
 //! repro --resume robust        # replay journaled cells after a crash
 //! repro --quiet all            # suppress progress chatter
 //! repro --json robust          # machine-readable progress on stdout
@@ -103,7 +104,7 @@ impl Progress {
 
 fn usage(registry: &[pano_bench::Experiment]) {
     println!(
-        "Usage: repro [--seed N] [--threads N] [--resume] [--trace] [--quiet] [--json] [--experiment ID] <experiment ...|--all|all>\n"
+        "Usage: repro [--seed N] [--threads N] [--fleet N] [--resume] [--trace] [--quiet] [--json] [--experiment ID] <experiment ...|--all|all>\n"
     );
     println!("Available experiments:");
     for e in registry {
@@ -145,6 +146,26 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--fleet") {
+        args.remove(pos);
+        if pos < args.len() {
+            let n: usize = args.remove(pos).parse().unwrap_or_else(|_| {
+                eprintln!("--fleet needs a positive session count");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--fleet needs a positive session count");
+                std::process::exit(2);
+            }
+            std::env::set_var(pano_sim::experiments::FLEET_SESSIONS_ENV, n.to_string());
+            // `repro --fleet 10000` alone is a complete invocation: the
+            // flag both scales and selects the fleet experiment.
+            selected_ids.push("fleet".to_string());
+        } else {
+            eprintln!("--fleet needs a positive session count");
+            std::process::exit(2);
+        }
+    }
     while let Some(pos) = args.iter().position(|a| a == "--experiment") {
         args.remove(pos);
         if pos < args.len() {
@@ -176,6 +197,16 @@ fn main() {
         progress = Progress::Json;
     }
     selected_ids.extend(args);
+    // `--fleet N fleet` and friends select each experiment once.
+    let mut seen: Vec<String> = Vec::new();
+    selected_ids.retain(|id| {
+        if seen.contains(id) {
+            false
+        } else {
+            seen.push(id.clone());
+            true
+        }
+    });
 
     let registry = pano_bench::experiments();
     if selected_ids.is_empty() {

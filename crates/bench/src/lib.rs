@@ -178,6 +178,14 @@ pub fn experiments() -> Vec<Experiment> {
             },
         },
         Experiment {
+            id: "fleet",
+            title: "Fleet: N staggered sessions on one virtual-clock engine",
+            run: |seed, tel| {
+                let r = exp::fleet::run(seed, tel);
+                (exp::fleet::render(&r), json(&r))
+            },
+        },
+        Experiment {
             id: "table2",
             title: "Table 2: dataset summary",
             run: |seed, _tel| {
@@ -284,7 +292,7 @@ mod tests {
         let ids: Vec<&str> = experiments().iter().map(|e| e.id).collect();
         for required in [
             "fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig13", "fig15", "fig16", "fig17",
-            "fig18a", "fig18b", "robust", "table2", "table3", "sec63",
+            "fig18a", "fig18b", "robust", "fleet", "table2", "table3", "sec63",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

@@ -1,0 +1,23 @@
+// Fixture: rule D4 must fire on float/wall-clock ordering keys in the
+// event engine. Scanned by the self-tests under a pretend
+// `crates/sim/src/engine/` path (and re-scanned outside that scope,
+// where the same source must be D4-clean).
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::time::Instant;
+
+pub struct Event {
+    pub id: u64,
+}
+
+pub struct BadQueue {
+    // f64 has no total order: NaN poisons the heap invariant and ties
+    // break by platform-shaped rounding, not by a deterministic key.
+    pub heap: BinaryHeap<Reverse<(f64, u64)>>,
+    // Instant keys tie event order to the wall clock of the run.
+    pub by_deadline: BTreeMap<Instant, Event>,
+}
+
+pub fn schedule(q: &mut BadQueue, at_secs: f64, id: u64) {
+    q.heap.push(Reverse((at_secs, id)));
+}

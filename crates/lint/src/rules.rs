@@ -40,6 +40,13 @@ pub const RULES: &[Rule] = &[
                   must be explicitly seeded (splitmix64 derivation)",
     },
     Rule {
+        code: "D4",
+        slug: "float-event-key",
+        summary: "no f64/f32/Instant ordering keys in BinaryHeap/BTreeMap inside the sim \
+                  event engine — float comparisons are partial and platform-shaped; order \
+                  events by the integer (TimeNs, session, seq) total key",
+    },
+    Rule {
         code: "P1",
         slug: "panic-path",
         summary: "no unwrap()/expect()/panic! in non-test library code of net/trace/sim — \
@@ -79,6 +86,9 @@ pub struct FileCtx {
     /// A bench binary (`crates/bench/src/bin/…`), `benches/` or
     /// `examples/` — exempt from the wall-clock rule.
     pub is_bench_or_example: bool,
+    /// Inside the sim event engine (`crates/sim/src/engine*`) — the
+    /// scope of the float-event-key rule D4.
+    pub in_engine: bool,
 }
 
 impl FileCtx {
@@ -95,10 +105,13 @@ impl FileCtx {
             && parts.contains(&"bin");
         let is_bench_or_example =
             is_bench_bin || parts.iter().any(|p| *p == "benches" || *p == "examples");
+        let in_engine = crate_name.as_deref() == Some("sim")
+            && parts.iter().skip(2).any(|p| p.starts_with("engine"));
         FileCtx {
             crate_name,
             is_test_file,
             is_bench_or_example,
+            in_engine,
         }
     }
 
@@ -114,6 +127,7 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
     let mut out = Vec::new();
     let d1 = ctx.in_crates(D1_CRATES);
     let d2 = ctx.crate_name.as_deref() != Some("telemetry") && !ctx.is_bench_or_example;
+    let d4 = ctx.in_engine;
     let p1 = ctx.in_crates(P1_CRATES);
     let p2 = ctx.crate_name.as_deref() != Some("telemetry");
     let t1 = ctx.crate_name.as_deref() != Some("telemetry");
@@ -152,6 +166,21 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
                         }
                     ),
                 ));
+            }
+        }
+
+        if d4 {
+            if let Some(container @ ("BinaryHeap" | "BTreeMap")) = id {
+                if let Some(bad) = float_key_in_generics(tokens, i) {
+                    out.push(finding(
+                        "float-event-key",
+                        line,
+                        format!(
+                            "`{container}<…{bad}…>` orders events by `{bad}`; use the \
+                             integer `(TimeNs, session, seq)` total key"
+                        ),
+                    ));
+                }
             }
         }
 
@@ -261,6 +290,32 @@ fn finding(slug: &str, line: usize, message: String) -> Finding {
     }
 }
 
+/// Scans the generic-argument list opening right after `tokens[i]` for a
+/// float or wall-clock type, tracking `<`/`>` depth and stopping at the
+/// matching close (or a bounded window, so a stray `<` cannot send the
+/// scan across the whole file). Returns the offending type name.
+fn float_key_in_generics<'t>(tokens: &'t [Token], i: usize) -> Option<&'t str> {
+    if tokens.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('<')) {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 2;
+    let limit = (i + 2 + 64).min(tokens.len());
+    while j < limit && depth > 0 {
+        match &tokens[j].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => depth -= 1,
+            tok => {
+                if let Some(name @ ("f64" | "f32" | "Instant" | "SystemTime")) = ident_str(tok) {
+                    return Some(name);
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
 /// Whether `tokens[i]` is followed by `::segment`.
 fn path_call(tokens: &[Token], i: usize, segment: &str) -> bool {
     tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
@@ -362,6 +417,36 @@ mod tests {
             codes(&run("crates/net/src/x.rs", "use rand::rngs::OsRng;")),
             vec!["D3"]
         );
+    }
+
+    #[test]
+    fn d4_fires_only_inside_the_engine() {
+        let heap = "let q: BinaryHeap<Reverse<(f64, u64)>> = BinaryHeap::new();";
+        let map = "let m: BTreeMap<Instant, Event> = BTreeMap::new();";
+        assert_eq!(
+            codes(&run("crates/sim/src/engine/queue.rs", heap)),
+            vec!["D4"]
+        );
+        assert_eq!(codes(&run("crates/sim/src/engine.rs", map)), vec!["D4"]);
+        // The same pattern outside the engine scope is D4-silent.
+        assert!(run("crates/sim/src/client.rs", heap).is_empty());
+        assert!(run("crates/abr/src/mpc.rs", map).is_empty());
+    }
+
+    #[test]
+    fn d4_allows_integer_keys_and_skips_tests() {
+        let ok = "let q: BinaryHeap<Reverse<ScheduledEvent>> = BinaryHeap::new();\n\
+                  let m: BTreeMap<EventKey, u64> = BTreeMap::new();";
+        assert!(run("crates/sim/src/engine/queue.rs", ok).is_empty());
+        let bad_in_test =
+            "#[cfg(test)]\nmod t { fn f() { let q: BinaryHeap<f64> = BinaryHeap::new(); } }";
+        assert!(run("crates/sim/src/engine/queue.rs", bad_in_test).is_empty());
+        // Bare mentions without a generic list don't fire.
+        assert!(run(
+            "crates/sim/src/engine/mod.rs",
+            "use std::collections::BinaryHeap;"
+        )
+        .is_empty());
     }
 
     #[test]
@@ -485,6 +570,20 @@ mod tests {
     fn fixture_d3_fires() {
         let r = fixture_report("d3_entropy_rng.rs");
         assert!(r.findings.iter().filter(|f| f.code == "D3").count() >= 2);
+    }
+
+    #[test]
+    fn fixture_d4_fires() {
+        // The shared fixture() helper maps into `crates/sim/src/`, which
+        // is outside D4's engine scope — scan under an engine path.
+        let (_, src) = fixture("d4_float_event_key.rs");
+        let r = scan_source("crates/sim/src/engine/d4_float_event_key.rs", &src);
+        let n = r.findings.iter().filter(|f| f.code == "D4").count();
+        assert!(n >= 2, "want heap + map keys: {:?}", r.findings);
+        assert!(r.denied(&["all".to_string()]));
+        // Outside the engine the same source is D4-clean.
+        let outside = scan_source("crates/sim/src/d4_float_event_key.rs", &src);
+        assert!(!outside.findings.iter().any(|f| f.code == "D4"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::connection::FetchResult;
 use pano_telemetry::{Counter, Histogram, Json, Telemetry};
 use pano_trace::BandwidthTrace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Domain-separation salts for the per-decision hash draws.
 const LOSS_SALT: u64 = 0x10;
@@ -383,6 +384,21 @@ pub struct FetchOutcome {
     pub retry_secs: f64,
 }
 
+/// An in-flight fetch started via [`FaultyConnection::begin_fetch`]:
+/// the event-driven "start fetch → completion event at t" interface.
+/// `completes_at_secs` is where the driver schedules the completion
+/// event; `outcome` is what that event resolves to. The outcome exists
+/// at issue time because delivery is a pure function of (trace, plan,
+/// policy, clock) — precomputing it is the honest discrete-event
+/// formulation, not a shortcut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingFetch {
+    /// Connection time at which the fetch resolves, seconds.
+    pub completes_at_secs: f64,
+    /// The resolution the completion event delivers.
+    pub outcome: FetchOutcome,
+}
+
 impl FetchOutcome {
     /// Retries beyond the first attempt.
     pub fn retries(&self) -> u32 {
@@ -418,6 +434,29 @@ struct NetMetrics {
     bytes_wasted: Counter,
 }
 
+/// Pre-resolved `net.*` telemetry handles that many connections can
+/// share. Resolving a handle takes a registry lock per name; a fleet of
+/// ten thousand sessions must not pay that 15-name lookup per session.
+/// Build one per registry with [`ConnectionMetrics::new`] and attach it
+/// to each connection via [`FaultyConnection::with_metrics`] — the
+/// handles are cheap atomics under `Arc`, so the clone per connection is
+/// a few pointer copies. Counter semantics are identical to per-session
+/// [`FaultyConnection::with_telemetry`]: the registry already merges
+/// same-name handles, this just skips the redundant lookups.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionMetrics {
+    inner: NetMetrics,
+}
+
+impl ConnectionMetrics {
+    /// Resolves the `net.*` handle set once against `tel`'s registry.
+    pub fn new(tel: &Telemetry) -> Self {
+        ConnectionMetrics {
+            inner: NetMetrics::new(tel),
+        }
+    }
+}
+
 impl NetMetrics {
     fn new(tel: &Telemetry) -> Self {
         NetMetrics {
@@ -449,8 +488,10 @@ impl NetMetrics {
 /// clock-identical to the plain connection.
 #[derive(Debug, Clone)]
 pub struct FaultyConnection {
-    trace: BandwidthTrace,
-    plan: FaultPlan,
+    /// Shared, immutable inputs: a fleet of connections over the same
+    /// link holds one trace/plan allocation, not one copy per session.
+    trace: Arc<BandwidthTrace>,
+    plan: Arc<FaultPlan>,
     policy: RetryPolicy,
     /// Per-request overhead, seconds.
     request_overhead_secs: f64,
@@ -471,11 +512,19 @@ pub struct FaultyConnection {
 impl FaultyConnection {
     /// Opens a connection at time 0 over `trace` with the given fault plan
     /// and retry policy. Panics on an inconsistent policy.
-    pub fn new(trace: BandwidthTrace, plan: FaultPlan, policy: RetryPolicy) -> Self {
+    ///
+    /// Accepts owned values (which allocate one `Arc` each) or
+    /// pre-shared `Arc`s — fleet callers pass `Arc` clones so N sessions
+    /// over the same link share a single trace allocation.
+    pub fn new(
+        trace: impl Into<Arc<BandwidthTrace>>,
+        plan: impl Into<Arc<FaultPlan>>,
+        policy: RetryPolicy,
+    ) -> Self {
         policy.validate();
         FaultyConnection {
-            trace,
-            plan,
+            trace: trace.into(),
+            plan: plan.into(),
             policy,
             request_overhead_secs: crate::Connection::DEFAULT_OVERHEAD_SECS,
             now: 0.0,
@@ -501,6 +550,15 @@ impl FaultyConnection {
     /// fetch outcome or the clock.
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.metrics = NetMetrics::new(tel);
+        self
+    }
+
+    /// Attaches a pre-resolved, shared handle set instead of resolving
+    /// `net.*` names against the registry per connection — same
+    /// observable counters as [`FaultyConnection::with_telemetry`],
+    /// minus the per-session name lookups a fleet cannot afford.
+    pub fn with_metrics(mut self, metrics: &ConnectionMetrics) -> Self {
+        self.metrics = metrics.inner.clone();
         self
     }
 
@@ -554,6 +612,25 @@ impl FaultyConnection {
     /// Fetches one object with no deadline.
     pub fn fetch(&mut self, bytes: u64) -> FetchOutcome {
         self.fetch_with_deadline(bytes, f64::INFINITY)
+    }
+
+    /// Non-blocking counterpart of [`FaultyConnection::fetch_with_deadline`]
+    /// for discrete-event drivers: starts the fetch now and reports when
+    /// it will resolve, so the caller can schedule a completion event at
+    /// `completes_at_secs` instead of blocking on the transfer.
+    ///
+    /// Because the whole delivery path is deterministic in the trace,
+    /// plan and clock, the outcome is fully known at issue time — the
+    /// returned [`PendingFetch`] carries it. The connection clock still
+    /// advances to the resolution instant (the link is busy until then),
+    /// exactly as the synchronous call would; the two interfaces are
+    /// byte-identical per fetch.
+    pub fn begin_fetch(&mut self, bytes: u64, deadline_secs: f64) -> PendingFetch {
+        let outcome = self.fetch_with_deadline(bytes, deadline_secs);
+        PendingFetch {
+            completes_at_secs: outcome.result.finish,
+            outcome,
+        }
     }
 
     /// Fetches a batch of objects back-to-back with no deadline.
@@ -1007,6 +1084,49 @@ mod tests {
         assert_eq!(
             faults,
             count("net.fetch.attempts") - count("net.fetch.outcome.clean")
+        );
+    }
+
+    #[test]
+    fn begin_fetch_matches_the_synchronous_interface() {
+        // Shared-Arc construction: two connections over one trace/plan
+        // allocation, one driven synchronously and one event-style.
+        let tr = Arc::new(BandwidthTrace::markov_4g(1e6, 120.0, 9));
+        let plan = Arc::new(FaultPlan::uniform(0.3, 77));
+        let mut sync_c = FaultyConnection::new(tr.clone(), plan.clone(), RetryPolicy::default());
+        let mut evt_c = FaultyConnection::new(tr, plan, RetryPolicy::default());
+        for &b in &[40_000u64, 80_000, 10_000, 0, 120_000] {
+            let s = sync_c.fetch_with_deadline(b, 30.0);
+            let p = evt_c.begin_fetch(b, 30.0);
+            assert_eq!(s, p.outcome, "{b} bytes");
+            assert_eq!(p.completes_at_secs, p.outcome.result.finish);
+            assert_eq!(evt_c.now(), p.completes_at_secs);
+        }
+        assert_eq!(sync_c.now(), evt_c.now());
+    }
+
+    #[test]
+    fn shared_metrics_match_per_connection_telemetry() {
+        use pano_telemetry::{RunId, Telemetry};
+        let tr = BandwidthTrace::markov_4g(1.5e6, 60.0, 4);
+        let plan = FaultPlan::uniform(0.4, 6);
+        let sizes = vec![25_000u64; 20];
+
+        let tel_a = Telemetry::recording(RunId::from_parts("net-shared", 1), 1);
+        let mut a = FaultyConnection::new(tr.clone(), plan.clone(), RetryPolicy::default())
+            .with_telemetry(&tel_a);
+
+        let tel_b = Telemetry::recording(RunId::from_parts("net-shared", 2), 2);
+        let shared = ConnectionMetrics::new(&tel_b);
+        let mut b = FaultyConnection::new(tr, plan, RetryPolicy::default()).with_metrics(&shared);
+
+        assert_eq!(a.fetch_batch(&sizes), b.fetch_batch(&sizes));
+        let sa = tel_a.snapshot();
+        let sb = tel_b.snapshot();
+        assert_eq!(sa.counters, sb.counters);
+        assert_eq!(
+            sa.histograms["net.fetch_duration_secs"].count,
+            sb.histograms["net.fetch_duration_secs"].count
         );
     }
 

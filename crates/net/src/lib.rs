@@ -20,4 +20,6 @@ pub mod connection;
 pub mod fault;
 
 pub use connection::{Connection, FetchResult};
-pub use fault::{Fault, FaultPlan, FaultyConnection, FetchOutcome, RetryPolicy};
+pub use fault::{
+    ConnectionMetrics, Fault, FaultPlan, FaultyConnection, FetchOutcome, PendingFetch, RetryPolicy,
+};

@@ -1,8 +1,12 @@
 //! The playback-session simulator.
 //!
 //! One call to [`simulate_session`] plays one video for one user with one
-//! method over one bandwidth trace, and returns the QoE record. The loop
-//! per chunk is exactly the client workflow of paper §7:
+//! method over one bandwidth trace, and returns the QoE record. The call
+//! drives the [`crate::engine`] discrete-event core with a single
+//! session; [`simulate_session_legacy`] is the original imperative loop,
+//! kept as the byte-identical reference the equivalence suite pins the
+//! engine against. The workflow per chunk is exactly the client
+//! workflow of paper §7:
 //!
 //! 1. predict the viewpoint at the chunk's playback time (linear
 //!    regression) and the throughput (harmonic mean, optionally biased);
@@ -52,22 +56,22 @@ use pano_video::codec::{EncodedChunk, QualityLevel};
 /// Angular distance beyond which distortion is imperceptible: nothing
 /// outside this radius of the viewpoint reaches the user's eyes (half the
 /// HMD viewport diagonal, rounded up).
-const VISIBLE_LIMIT_DEG: f64 = 70.0;
+pub(crate) const VISIBLE_LIMIT_DEG: f64 = 70.0;
 
 /// Prediction safety margin: tiles within `VISIBLE_LIMIT_DEG + margin` of
 /// the *predicted* viewpoint are fetched; beyond it they are skipped and,
 /// if the prediction was wrong, late-fetched at base quality with a stall.
-const PREDICTION_MARGIN_DEG: f64 = 20.0;
+pub(crate) const PREDICTION_MARGIN_DEG: f64 = 20.0;
 
 /// Extra request overhead charged per late-fetched (missed) tile, seconds.
-const LATE_FETCH_OVERHEAD_SECS: f64 = 0.020;
+pub(crate) const LATE_FETCH_OVERHEAD_SECS: f64 = 0.020;
 
 /// Floor rate for the late-fetch stall estimate, bps. When the trace is
 /// dead from the playback instant onward, the exact transfer-time
 /// integral diverges; a real player would abort long before, so the
 /// estimate is clamped as if the link crawled at this rate instead of
 /// charging a multi-hour stall for one base-quality tile.
-const LATE_FETCH_FLOOR_BPS: f64 = 64_000.0;
+pub(crate) const LATE_FETCH_FLOOR_BPS: f64 = 64_000.0;
 
 /// Which chunk-level rate controller the session uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -148,21 +152,25 @@ impl Default for SessionConfig {
 
 /// Cached session-level telemetry handles. All handles are no-ops when
 /// built from disabled telemetry, so the hot loop pays a branch at most.
+///
+/// The engine resolves exactly one of these per registry and shares it
+/// across every session it hosts — a fleet never registers per-session
+/// duplicates; events carry a `session` field instead.
 #[derive(Debug, Clone, Default)]
-struct SessionMetrics {
-    bytes_visible: Counter,
-    bytes_margin: Counter,
-    bytes_late_fetch: Counter,
-    tiles_degraded: Counter,
-    tiles_lost: Counter,
-    tiles_late_fetched: Counter,
-    buffer_level: Histogram,
-    stall: Histogram,
-    buffer_gauge: Gauge,
+pub(crate) struct SessionMetrics {
+    pub(crate) bytes_visible: Counter,
+    pub(crate) bytes_margin: Counter,
+    pub(crate) bytes_late_fetch: Counter,
+    pub(crate) tiles_degraded: Counter,
+    pub(crate) tiles_lost: Counter,
+    pub(crate) tiles_late_fetched: Counter,
+    pub(crate) buffer_level: Histogram,
+    pub(crate) stall: Histogram,
+    pub(crate) buffer_gauge: Gauge,
 }
 
 impl SessionMetrics {
-    fn new(tel: &Telemetry) -> SessionMetrics {
+    pub(crate) fn new(tel: &Telemetry) -> SessionMetrics {
         SessionMetrics {
             bytes_visible: tel.counter("bytes.visible"),
             bytes_margin: tel.counter("bytes.margin"),
@@ -178,7 +186,49 @@ impl SessionMetrics {
 }
 
 /// Simulates one playback session; see the module docs for the loop.
+///
+/// Since the event-driven refactor this is a thin wrapper that admits
+/// one session into a single-session [`crate::engine::Engine`] and runs
+/// its queue dry — the decisions, delivery and scoring all execute in
+/// the engine's event handlers, byte-identically to
+/// [`simulate_session_legacy`] (pinned by the `engine_equivalence`
+/// suite, which every figure inherits).
 pub fn simulate_session(
+    video: &PreparedVideo,
+    method: Method,
+    user_trace: &ViewpointTrace,
+    bandwidth: &BandwidthTrace,
+    config: &SessionConfig,
+) -> SessionResult {
+    use crate::engine::{Engine, SessionSpec};
+    let mut engine = Engine::single_session(config.telemetry.clone());
+    engine.add_session(SessionSpec {
+        video,
+        method,
+        user_trace,
+        bandwidth: std::sync::Arc::new(bandwidth.clone()),
+        fault_plan: std::sync::Arc::new(config.fault_plan.clone()),
+        config,
+        arrival_secs: 0.0,
+    });
+    let mut results = engine.run();
+    let Some(result) = results.pop() else {
+        // Unreachable: a single admitted session always finalizes.
+        return SessionResult {
+            chunks: Vec::new(),
+            startup_secs: 0.0,
+            total_stall_secs: 0.0,
+            total_played_secs: 0.0,
+            buffer_trajectory: Vec::new(),
+        };
+    };
+    result
+}
+
+/// The pre-engine imperative session loop, retained verbatim as the
+/// reference implementation the `engine_equivalence` suite pins
+/// [`simulate_session`] against, byte for byte.
+pub fn simulate_session_legacy(
     video: &PreparedVideo,
     method: Method,
     user_trace: &ViewpointTrace,
@@ -566,7 +616,7 @@ pub fn simulate_session(
 /// than `VISIBLE_LIMIT_DEG + PREDICTION_MARGIN_DEG` from the predicted
 /// viewpoint. Whole-video streaming has one tile covering the sphere, so
 /// it can never skip.
-fn fetch_mask(
+pub(crate) fn fetch_mask(
     video: &PreparedVideo,
     method: Method,
     encoded: &EncodedChunk,
@@ -596,7 +646,7 @@ fn fetch_mask(
 /// Method-specific tile-level quality allocation over the fetched tiles;
 /// `None` = skipped.
 #[allow(clippy::too_many_arguments)]
-fn allocate_tiles(
+pub(crate) fn allocate_tiles(
     video: &PreparedVideo,
     method: Method,
     encoded: &EncodedChunk,
@@ -840,7 +890,7 @@ fn allocate_tiles(
 /// to base quality by the late-fetch step; any remaining `None` tiles are
 /// invisible and contribute zero. The area-weighted mean converts to dB.
 #[allow(clippy::too_many_arguments)]
-fn perceived_pspnr(
+pub(crate) fn perceived_pspnr(
     computer: &PspnrComputer,
     features: &pano_video::ChunkFeatures,
     encoded: &EncodedChunk,

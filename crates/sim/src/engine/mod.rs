@@ -1,0 +1,313 @@
+//! # The virtual-clock discrete-event engine
+//!
+//! One scheduler, one integer clock, any number of concurrent playback
+//! sessions. The legacy `simulate_session` loop runs a session to
+//! completion on its own call stack; this module runs the *same
+//! computation* as a set of event handlers over a shared
+//! [`EventQueue`], so tens of thousands of sessions interleave in one
+//! process at O(active events) cost. DESIGN.md §15 is the long-form
+//! architecture note; the short form:
+//!
+//! ## Event taxonomy
+//!
+//! - **viewpoint-tick** — a session is ready to decide its next chunk:
+//!   predict viewpoint/throughput, pick the budget (MPC/BOLA as event
+//!   handlers), allocate tiles, issue the first fetch.
+//! - **fetch-complete** — the in-flight tile transfer resolved; account
+//!   it, then fetch the next tile, degrade-and-retry, or close the
+//!   fetch phase.
+//! - **retry-timer** — re-issue the current tile after a deadline
+//!   abandonment degraded it to the ladder floor.
+//! - **playback-deadline** — the pacing idle (buffer above target)
+//!   elapsed; play it out and close the chunk.
+//!
+//! ## Determinism argument
+//!
+//! Three invariants make an engine run a pure function of its specs,
+//! independent of session count or interleaving:
+//!
+//! 1. **Total event order.** Every event is keyed `(time_ns, session,
+//!    seq)` — an integer triple with no duplicates (the seq is globally
+//!    monotone). Pop order is unique; no f64 or `Instant` ever orders
+//!    the queue (enforced by lint rule D4).
+//! 2. **Eager clocks.** The delivery path is deterministic in (trace,
+//!    plan, clock), so a fetch's outcome is computed synchronously at
+//!    issue time ([`pano_net::FaultyConnection::begin_fetch`]) and the
+//!    completion event merely *orders* cross-session interleaving.
+//!    Session state never depends on another session's events.
+//! 3. **Seed isolation.** Per-session randomness (fault plans, traces)
+//!    derives from per-session splitmix64 seeds, never from shared
+//!    mutable RNG state.
+//!
+//! Together: each session's results are byte-identical to running it
+//! alone — which is byte-identical to the legacy loop, since the
+//! handlers are a verbatim transcription of it (pinned by the
+//! `engine_equivalence` suite).
+
+mod fleet;
+mod queue;
+mod session;
+
+pub use fleet::{run_fleet, FleetConfig, FleetResult};
+pub use queue::{EventKey, EventKind, EventQueue, ScheduledEvent, TimeNs};
+pub use session::{SessionSpec, SessionState};
+
+use crate::client::SessionMetrics;
+use crate::metrics::SessionResult;
+use pano_net::ConnectionMetrics;
+use pano_telemetry::Telemetry;
+use session::EngineCtx;
+
+/// Load counters of a finished engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Sessions the engine hosted.
+    pub sessions: usize,
+    /// Events popped and dispatched.
+    pub events_processed: u64,
+    /// High-water mark of pending events — the O(active events) memory
+    /// bound, measured.
+    pub peak_queue_len: usize,
+}
+
+/// The discrete-event driver: owns the queue, the sessions and the
+/// *shared* telemetry handles (one `SessionMetrics`/`ConnectionMetrics`
+/// resolution per engine, however many sessions join — a fleet never
+/// registers per-session duplicates).
+pub struct Engine<'a> {
+    telemetry: Telemetry,
+    phase_spans: bool,
+    session_event_field: bool,
+    queue: EventQueue,
+    sessions: Vec<SessionState<'a>>,
+    metrics: SessionMetrics,
+    net_metrics: ConnectionMetrics,
+    events_processed: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine for exactly one session on the legacy timeline:
+    /// per-chunk phase spans on (the session owns the thread's span
+    /// stack), no `session` event field. This is what the
+    /// [`crate::simulate_session`] wrapper drives — telemetry-identical
+    /// to the legacy loop.
+    pub fn single_session(telemetry: Telemetry) -> Engine<'a> {
+        Engine::build(telemetry, true, false)
+    }
+
+    /// An engine for a fleet: phase spans off (sessions interleave on
+    /// one thread, so span nesting would be meaningless), session ids
+    /// stamped on `session_start`/`chunk`/`session_end` events instead.
+    pub fn fleet(telemetry: Telemetry) -> Engine<'a> {
+        Engine::build(telemetry, false, true)
+    }
+
+    fn build(telemetry: Telemetry, phase_spans: bool, session_event_field: bool) -> Engine<'a> {
+        let metrics = SessionMetrics::new(&telemetry);
+        let net_metrics = ConnectionMetrics::new(&telemetry);
+        Engine {
+            telemetry,
+            phase_spans,
+            session_event_field,
+            queue: EventQueue::new(),
+            sessions: Vec::new(),
+            metrics,
+            net_metrics,
+            events_processed: 0,
+        }
+    }
+
+    /// Admits a session and schedules its first viewpoint tick at its
+    /// arrival time. Returns the session id (dense, in admission order).
+    pub fn add_session(&mut self, spec: SessionSpec<'a>) -> u64 {
+        let id = self.sessions.len() as u64;
+        let mut state = SessionState::new(
+            id,
+            spec,
+            &self.telemetry,
+            &self.net_metrics,
+            self.phase_spans,
+            self.session_event_field,
+        );
+        state.start(&mut self.queue);
+        self.sessions.push(state);
+        id
+    }
+
+    /// Runs the queue dry and returns the finished sessions in id
+    /// order. Each handler invocation is one span of the legacy loop;
+    /// the pop order is the unique `(time, session, seq)` order.
+    pub fn run(&mut self) -> Vec<SessionResult> {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                break;
+            };
+            self.events_processed += 1;
+            let idx = ev.key.session as usize;
+            let Engine {
+                queue,
+                sessions,
+                metrics,
+                telemetry,
+                phase_spans,
+                session_event_field,
+                ..
+            } = self;
+            let Some(state) = sessions.get_mut(idx) else {
+                continue;
+            };
+            let mut ctx = EngineCtx {
+                queue,
+                metrics,
+                telemetry,
+                phase_spans: *phase_spans,
+                session_field: *session_event_field,
+            };
+            state.handle(ev.kind, &mut ctx);
+        }
+        self.sessions
+            .iter_mut()
+            .filter_map(|s| s.take_result())
+            .collect()
+    }
+
+    /// Load counters after (or during) a run.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sessions: self.sessions.len(),
+            events_processed: self.events_processed,
+            peak_queue_len: self.queue.peak_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::{AssetConfig, AssetStore, PreparedVideo};
+    use crate::client::{simulate_session_legacy, SessionConfig};
+    use crate::methods::Method;
+    use pano_net::FaultPlan;
+    use pano_trace::{BandwidthTrace, TraceGenerator, ViewpointTrace};
+    use pano_video::{Genre, VideoSpec};
+    use std::sync::Arc;
+
+    fn fixture() -> (Arc<PreparedVideo>, ViewpointTrace, Arc<BandwidthTrace>) {
+        let spec = VideoSpec::generate(9, Genre::Sports, 8.0, 41);
+        let video = AssetStore::new().get(
+            &spec,
+            &AssetConfig {
+                history_users: 3,
+                ..AssetConfig::default()
+            },
+        );
+        let trace = TraceGenerator::default().generate(&video.scene, 23);
+        let bw = Arc::new(BandwidthTrace::lte_high(20.0, 11));
+        (video, trace, bw)
+    }
+
+    fn spec<'a>(
+        video: &'a PreparedVideo,
+        trace: &'a ViewpointTrace,
+        bw: &Arc<BandwidthTrace>,
+        config: &'a SessionConfig,
+        arrival_secs: f64,
+    ) -> SessionSpec<'a> {
+        SessionSpec {
+            video,
+            method: Method::Pano,
+            user_trace: trace,
+            bandwidth: bw.clone(),
+            fault_plan: Arc::new(config.fault_plan.clone()),
+            config,
+            arrival_secs,
+        }
+    }
+
+    #[test]
+    fn engine_single_session_matches_legacy_loop() {
+        let (video, trace, bw) = fixture();
+        let config = SessionConfig::default();
+        let legacy = simulate_session_legacy(&video, Method::Pano, &trace, &bw, &config);
+        let mut engine = Engine::single_session(config.telemetry.clone());
+        engine.add_session(spec(&video, &trace, &bw, &config, 0.0));
+        let mut results = engine.run();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results.pop(), Some(legacy));
+        let stats = engine.stats();
+        assert!(stats.events_processed > 0);
+        assert!(stats.peak_queue_len >= 1);
+    }
+
+    #[test]
+    fn interleaved_sessions_match_solo_runs() {
+        // The core fleet claim: interleaving sessions under one queue
+        // changes nothing about any individual session.
+        let (video, trace_a, bw) = fixture();
+        let trace_b = TraceGenerator::default().generate(&video.scene, 77);
+        let config = SessionConfig::default();
+        let solo_a = simulate_session_legacy(&video, Method::Pano, &trace_a, &bw, &config);
+        let solo_b = simulate_session_legacy(&video, Method::Pano, &trace_b, &bw, &config);
+
+        let mut engine = Engine::fleet(Telemetry::disabled());
+        engine.add_session(spec(&video, &trace_a, &bw, &config, 0.0));
+        engine.add_session(spec(&video, &trace_b, &bw, &config, 0.0));
+        let results = engine.run();
+        assert_eq!(results, vec![solo_a, solo_b]);
+        assert_eq!(engine.stats().sessions, 2);
+    }
+
+    #[test]
+    fn staggered_arrival_shifts_only_the_wall_clock() {
+        // On a constant link the trace is time-invariant, so a staggered
+        // session must reproduce the arrival-0 session exactly except
+        // for its buffer-trajectory timestamps, which shift by the
+        // arrival offset.
+        let (video, trace, _) = fixture();
+        let bw = Arc::new(BandwidthTrace::constant(2.0e6, 30.0, 1.0));
+        let config = SessionConfig::default();
+
+        let run_at = |arrival: f64| {
+            let mut engine = Engine::fleet(Telemetry::disabled());
+            engine.add_session(spec(&video, &trace, &bw, &config, arrival));
+            let mut rs = engine.run();
+            rs.pop()
+        };
+        let Some(base) = run_at(0.0) else {
+            panic!("arrival-0 session must finish");
+        };
+        let Some(shifted) = run_at(5.5) else {
+            panic!("staggered session must finish");
+        };
+        assert_eq!(base.chunks, shifted.chunks);
+        assert_eq!(base.startup_secs, shifted.startup_secs);
+        assert_eq!(base.total_stall_secs, shifted.total_stall_secs);
+        assert_eq!(
+            base.buffer_trajectory.len(),
+            shifted.buffer_trajectory.len()
+        );
+        for (b, s) in base
+            .buffer_trajectory
+            .iter()
+            .zip(&shifted.buffer_trajectory)
+        {
+            assert!((s.t_secs - b.t_secs - 5.5).abs() < 1e-9);
+            assert_eq!(b.buffer_secs, s.buffer_secs);
+        }
+    }
+
+    #[test]
+    fn faulty_engine_session_matches_legacy_loop() {
+        let (video, trace, bw) = fixture();
+        let config = SessionConfig {
+            fault_plan: FaultPlan::uniform(0.15, 0xD1CE).with_reset_burst(3.0, 5.0),
+            deadline_abandonment: true,
+            ..SessionConfig::default()
+        };
+        let legacy = simulate_session_legacy(&video, Method::Pano, &trace, &bw, &config);
+        let mut engine = Engine::single_session(config.telemetry.clone());
+        engine.add_session(spec(&video, &trace, &bw, &config, 0.0));
+        let mut results = engine.run();
+        assert_eq!(results.pop(), Some(legacy));
+    }
+}

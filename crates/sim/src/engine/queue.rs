@@ -1,0 +1,362 @@
+//! The virtual-clock event queue: an integer total order, no f64 keys.
+//!
+//! Every event is keyed by `(time_ns, session, seq)` — a [`TimeNs`]
+//! nanosecond tick, the owning session's id and a globally monotone
+//! sequence number. The triple is a *total* order: two distinct events
+//! never compare equal, so the pop order is a pure function of the
+//! schedule calls and never of heap internals, insertion hazards or
+//! float rounding. That is the determinism contract the fleet engine
+//! rests on, and the `pano-lint` D4 rule (`float-event-key`) statically
+//! keeps raw `f64`/`Instant` keys out of this module's ordered
+//! containers.
+//!
+//! Seconds (the currency of the rest of the simulator) cross into key
+//! space exactly once, through [`TimeNs::from_secs`] — a monotone,
+//! saturating conversion used *only for ordering*. Session arithmetic
+//! keeps using the original f64s, so engine-driven sessions stay
+//! byte-identical to the legacy loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time as integer nanoseconds since the run origin.
+///
+/// The key type event ordering goes through: `u64` ticks give a total
+/// order with none of the `NaN`/`-0.0` hazards of comparing raw seconds,
+/// and nanosecond resolution is far below any physical timescale the
+/// simulator produces (request overheads are milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct TimeNs(pub u64);
+
+impl TimeNs {
+    /// Converts seconds to a tick, monotonically and totally: negative
+    /// and `-0.0` inputs clamp to 0, `NaN` and anything at or beyond
+    /// `u64::MAX` nanoseconds saturates to the far future. For finite
+    /// positive seconds the mapping is order-preserving, so events
+    /// scheduled at later instants always sort later.
+    pub fn from_secs(secs: f64) -> TimeNs {
+        let ns = secs * 1e9;
+        if ns.is_nan() || ns >= u64::MAX as f64 {
+            TimeNs(u64::MAX)
+        } else if ns <= 0.0 {
+            TimeNs(0)
+        } else {
+            TimeNs(ns as u64)
+        }
+    }
+
+    /// The tick as seconds — diagnostics only, never fed back into
+    /// session arithmetic (the f64 originals are kept for that).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+/// The total-order key `(time, session, seq)`.
+///
+/// Derived `Ord` compares fields lexicographically in declaration order:
+/// virtual time first, then session id (so simultaneous events across
+/// sessions interleave by id, not by heap accident), then the global
+/// sequence number, which is unique — the tie-breaker of last resort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Virtual due time.
+    pub time: TimeNs,
+    /// Owning session id.
+    pub session: u64,
+    /// Globally monotone sequence number, assigned at schedule time.
+    pub seq: u64,
+}
+
+/// What the engine does when an event comes due. The variants are the
+/// event taxonomy of DESIGN.md §15; the payload (which tile, which
+/// pending outcome) lives in the session's own state, keyed by the
+/// session id — events stay `Copy` and the queue stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start the next chunk: read the viewpoint, predict, decide, fetch.
+    ViewpointTick,
+    /// The in-flight tile fetch's completion instant arrived.
+    FetchComplete,
+    /// Re-request the current tile (degraded to the ladder floor) after
+    /// a deadline abandonment.
+    RetryTimer,
+    /// The pacing idle ends: play out the idle interval and close the
+    /// chunk.
+    PlaybackDeadline,
+}
+
+/// An event in the queue: its total-order key plus what to do.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledEvent {
+    /// The total-order key.
+    pub key: EventKey,
+    /// What to do when it pops.
+    pub kind: EventKind,
+}
+
+// Equality and ordering are by key alone. Keys from `schedule` are
+// unique (the seq is globally monotone), so `a == b` implies `a` and
+// `b` are the same event and the `Ord`/`Eq` consistency contract holds.
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A min-queue of [`ScheduledEvent`]s popping in exact key order.
+///
+/// Cost is O(log active events) per operation and O(active events)
+/// memory — the active set for a fleet is a few events per in-flight
+/// session, not the whole schedule, which is what lets one process hold
+/// tens of thousands of concurrent sessions.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<ScheduledEvent>>,
+    next_seq: u64,
+    scheduled: u64,
+    peak_len: usize,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` for `session` at virtual time `at`, assigning
+    /// the next global sequence number, and returns the full key.
+    pub fn schedule(&mut self, at: TimeNs, session: u64, kind: EventKind) -> EventKey {
+        let key = EventKey {
+            time: at,
+            session,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.push(ScheduledEvent { key, kind });
+        key
+    }
+
+    /// Inserts a fully-specified event. [`EventQueue::schedule`] is the
+    /// normal entry point; this one lets tests force arbitrary keys —
+    /// duplicate ones included — at the queue.
+    pub fn push(&mut self, ev: ScheduledEvent) {
+        self.heap.push(Reverse(ev));
+        self.scheduled += 1;
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
+    }
+
+    /// Removes and returns the least event by `(time, session, seq)`.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// Events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The high-water mark of pending events — the O(active events)
+    /// memory claim, measured.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events ever inserted.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [EventKind; 4] = [
+        EventKind::ViewpointTick,
+        EventKind::FetchComplete,
+        EventKind::RetryTimer,
+        EventKind::PlaybackDeadline,
+    ];
+
+    #[test]
+    fn from_secs_is_monotone_and_saturating() {
+        assert_eq!(TimeNs::from_secs(0.0), TimeNs(0));
+        assert_eq!(TimeNs::from_secs(-1.0), TimeNs(0));
+        assert_eq!(TimeNs::from_secs(-0.0), TimeNs(0));
+        assert_eq!(TimeNs::from_secs(1.0), TimeNs(1_000_000_000));
+        assert_eq!(TimeNs::from_secs(f64::INFINITY), TimeNs(u64::MAX));
+        assert_eq!(TimeNs::from_secs(f64::NAN), TimeNs(u64::MAX));
+        assert_eq!(TimeNs::from_secs(1e30), TimeNs(u64::MAX));
+        let samples = [0.0, 1e-9, 0.002, 0.5, 1.0, 60.0, 3600.0, 1e6, 1e12];
+        for w in samples.windows(2) {
+            assert!(
+                TimeNs::from_secs(w[0]) <= TimeNs::from_secs(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn pops_time_then_session_then_seq() {
+        let mut q = EventQueue::new();
+        // Scheduled deliberately out of order.
+        q.schedule(TimeNs(50), 2, EventKind::FetchComplete); // seq 0
+        q.schedule(TimeNs(10), 9, EventKind::ViewpointTick); // seq 1
+        q.schedule(TimeNs(50), 1, EventKind::RetryTimer); // seq 2
+        q.schedule(TimeNs(10), 3, EventKind::PlaybackDeadline); // seq 3
+        q.schedule(TimeNs(50), 1, EventKind::FetchComplete); // seq 4
+        let order: Vec<(u64, u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.key.time.0, e.key.session, e.key.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(10, 3, 3), (10, 9, 1), (50, 1, 2), (50, 1, 4), (50, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn schedule_assigns_monotone_seqs_fifo_among_full_ties() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..10)
+            .map(|_| q.schedule(TimeNs(7), 4, EventKind::ViewpointTick))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k.seq, i as u64);
+        }
+        let popped: Vec<EventKey> = std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+        assert_eq!(popped, keys, "equal (time, session) pops in FIFO seq order");
+    }
+
+    #[test]
+    fn duplicate_keys_all_surface() {
+        let mut q = EventQueue::new();
+        let key = EventKey {
+            time: TimeNs(3),
+            session: 0,
+            seq: 0,
+        };
+        for kind in KINDS {
+            q.push(ScheduledEvent { key, kind });
+        }
+        assert_eq!(q.len(), 4);
+        let mut n = 0;
+        while let Some(ev) = q.pop() {
+            assert_eq!(ev.key, key);
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn counters_track_load() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        for i in 0..5 {
+            q.schedule(TimeNs(i), 0, EventKind::ViewpointTick);
+        }
+        q.pop();
+        q.pop();
+        q.schedule(TimeNs(9), 0, EventKind::ViewpointTick);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peak_len(), 5);
+        assert_eq!(q.total_scheduled(), 6);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The satellite contract: under adversarial insertion —
+            /// arbitrary interleavings, duplicate times, duplicate
+            /// sessions, even fully duplicate keys — the queue pops in
+            /// exact `(time, session, seq)` order.
+            #[test]
+            fn pops_in_exact_total_key_order(
+                raw in proptest::collection::vec(
+                    // Tight ranges force heavy tie collision on every field.
+                    (0u64..64, 0u64..4, 0u64..16, 0usize..4),
+                    1..256,
+                )
+            ) {
+                let mut q = EventQueue::new();
+                for &(t, s, seq, k) in &raw {
+                    q.push(ScheduledEvent {
+                        key: EventKey { time: TimeNs(t), session: s, seq },
+                        kind: KINDS[k],
+                    });
+                }
+                let mut expected: Vec<EventKey> = raw
+                    .iter()
+                    .map(|&(t, s, seq, _)| EventKey { time: TimeNs(t), session: s, seq })
+                    .collect();
+                expected.sort();
+                let popped: Vec<EventKey> =
+                    std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+                prop_assert_eq!(popped, expected);
+            }
+
+            /// `from_secs` is monotone over arbitrary finite positive
+            /// pairs — the property that makes integer ordering agree
+            /// with the f64 session clocks it mirrors.
+            #[test]
+            fn from_secs_monotone(a in 0.0f64..1e15, b in 0.0f64..1e15) {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(TimeNs::from_secs(lo) <= TimeNs::from_secs(hi));
+            }
+
+            /// Interleaved schedule/pop never violates the order among
+            /// whatever is pending at each pop.
+            #[test]
+            fn interleaved_pops_are_locally_minimal(
+                ops in proptest::collection::vec((0u64..32, 0u64..4, any::<bool>()), 1..128)
+            ) {
+                let mut q = EventQueue::new();
+                let mut last: Option<EventKey> = None;
+                for &(t, s, do_pop) in &ops {
+                    q.schedule(TimeNs(t), s, EventKind::ViewpointTick);
+                    if do_pop {
+                        if let Some(ev) = q.pop() {
+                            // Each popped key is <= everything still pending.
+                            let rest: Vec<EventKey> =
+                                std::iter::from_fn(|| q.pop()).map(|e| e.key).collect();
+                            for k in &rest {
+                                prop_assert!(ev.key <= *k);
+                                q.push(ScheduledEvent {
+                                    key: *k,
+                                    kind: EventKind::ViewpointTick,
+                                });
+                            }
+                            last = Some(ev.key);
+                        }
+                    }
+                }
+                let _ = last;
+            }
+        }
+    }
+}

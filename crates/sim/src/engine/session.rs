@@ -1,0 +1,779 @@
+//! The per-session state machine: the legacy chunk loop cut at its
+//! natural suspension points.
+//!
+//! [`SessionState`] is `simulate_session`'s imperative body turned
+//! inside out. Where the loop *blocked* — on a tile transfer, on the
+//! pacing idle — the state machine *returns* and leaves a scheduled
+//! event behind; everything between two suspension points is a verbatim
+//! transcription of the corresponding span of the legacy loop, in the
+//! same order, on the same f64s. That is the whole byte-identity
+//! argument: the engine changes *when the code runs*, never *what it
+//! computes* (see DESIGN.md §15 for the full determinism argument).
+//!
+//! The one new degree of freedom is `arrival_secs`: a fleet staggers
+//! session starts along the virtual clock. The session's own connection
+//! clock starts at its arrival, and every *user/content-timeline*
+//! consumer (viewpoint prediction, speed/action estimation, playback
+//! scoring) sees `now - arrival_secs`, while *wall-clock* consumers
+//! (the bandwidth trace, fetch deadlines) see the absolute clock. At
+//! `arrival_secs == 0.0` both collapse to the legacy `now` and the
+//! transcription is exact.
+
+use std::sync::Arc;
+
+use crate::asset::PreparedVideo;
+use crate::client::{
+    allocate_tiles, fetch_mask, perceived_pspnr, RateController, SessionConfig, SessionMetrics,
+    LATE_FETCH_FLOOR_BPS, LATE_FETCH_OVERHEAD_SECS, PREDICTION_MARGIN_DEG, VISIBLE_LIMIT_DEG,
+};
+use crate::methods::Method;
+use crate::metrics::{BufferSample, ChunkResult, SessionResult};
+use pano_abr::{BolaConfig, BolaController, MpcConfig, MpcController, PlaybackBuffer};
+use pano_geo::Viewport;
+use pano_net::{Connection, ConnectionMetrics, FaultPlan, FaultyConnection, FetchOutcome};
+use pano_telemetry::{Json, SpanGuard, Telemetry};
+use pano_trace::{
+    BandwidthTrace, ConservativeSpeedEstimator, LinearViewpointPredictor, ThroughputPredictor,
+    ViewpointTrace,
+};
+use pano_video::codec::QualityLevel;
+
+use super::queue::{EventKind, EventQueue, TimeNs};
+
+/// Everything one session needs, borrowed or shared — nothing is cloned
+/// per session. The trace and fault plan arrive as `Arc`s so a 10k-
+/// session fleet over 8 links holds 8 trace allocations, not 10k.
+///
+/// The engine reads the fault plan and bandwidth from the spec, not
+/// from `config` — [`SessionConfig::fault_plan`] is the legacy wrapper's
+/// input and [`crate::simulate_session`] forwards it here. Telemetry
+/// likewise comes from the [`super::Engine`], not from
+/// `config.telemetry`.
+pub struct SessionSpec<'a> {
+    /// The prepared video asset (shared across the fleet).
+    pub video: &'a PreparedVideo,
+    /// Streaming method under test.
+    pub method: Method,
+    /// The user's head-motion trace (session-relative timeline).
+    pub user_trace: &'a ViewpointTrace,
+    /// Bandwidth trace of the session's link, shared via `Arc`.
+    pub bandwidth: Arc<BandwidthTrace>,
+    /// Delivery-fault plan, shared via `Arc` (per-session plans carry
+    /// per-session splitmix64 seeds; a zero-fault fleet shares one).
+    pub fault_plan: Arc<FaultPlan>,
+    /// Session knobs (rate controller, buffer targets, …).
+    pub config: &'a SessionConfig,
+    /// When the session joins, on the fleet's virtual clock. 0.0 for
+    /// the single-session wrapper — the legacy timeline.
+    pub arrival_secs: f64,
+}
+
+/// What the engine lends a handler for the duration of one event: the
+/// queue to schedule follow-ups into and the *shared* telemetry handles
+/// (one [`SessionMetrics`]/[`ConnectionMetrics`] resolution per engine,
+/// not per session).
+pub(crate) struct EngineCtx<'e> {
+    pub queue: &'e mut EventQueue,
+    pub metrics: &'e SessionMetrics,
+    pub telemetry: &'e Telemetry,
+    /// Per-chunk phase spans (`predict`/`fetch`/…) are only sound when
+    /// one session owns the thread-local span stack — the single-session
+    /// wrapper. A fleet interleaves sessions on one thread, so it runs
+    /// span-free and identifies work by the `session` event field.
+    pub phase_spans: bool,
+    /// Stamp `session_start`/`chunk`/`session_end` events with the
+    /// session id (fleet mode) instead of registering per-session
+    /// telemetry children.
+    pub session_field: bool,
+}
+
+/// In-flight state of the current chunk — the locals of one legacy loop
+/// iteration that must survive across suspension points.
+struct ChunkCtx {
+    /// `connection.now()` when the chunk's decision phase ran (the
+    /// legacy `now`).
+    start_secs: f64,
+    /// Predicted viewpoint the decisions were made against.
+    predicted_vp: pano_geo::Viewpoint,
+    /// Allocation outcome, patched in place as tiles deliver/degrade.
+    levels: Vec<Option<QualityLevel>>,
+    /// Per-tile min distance to `predicted_vp` (empty when telemetry is
+    /// off — only the byte-class split reads it, under the same guard
+    /// as the legacy loop).
+    tile_min_dists: Vec<f64>,
+    /// Fetch abandonment deadline (absolute clock).
+    deadline: f64,
+    /// Tile currently being fetched.
+    tile_idx: usize,
+    /// Level the current fetch was issued at (drops to the ladder floor
+    /// on degradation).
+    level: QualityLevel,
+    /// Outcome of the in-flight fetch, resolved at issue time and
+    /// consumed when its completion event pops.
+    pending: Option<FetchOutcome>,
+    chunk_bytes: u64,
+    retries: u32,
+    abandoned: u32,
+    wasted: u64,
+    degraded: u32,
+    lost: u32,
+    /// Held across the whole tile-fetch phase, like the legacy
+    /// `fetch_span`.
+    fetch_span: SpanGuard,
+    /// `connection.now()` when the last tile resolved.
+    fetch_finish_secs: f64,
+    /// Rebuffering charged to this chunk's download.
+    stall: f64,
+    /// Pacing target for the pending playback-deadline event.
+    idle_until_secs: f64,
+}
+
+/// One session's complete state between events. Construction runs the
+/// legacy prologue (telemetry, connection, controllers, predictors);
+/// each event handler runs one span of the legacy loop body.
+pub struct SessionState<'a> {
+    id: u64,
+    video: &'a PreparedVideo,
+    method: Method,
+    user_trace: &'a ViewpointTrace,
+    bandwidth: Arc<BandwidthTrace>,
+    config: &'a SessionConfig,
+    arrival_secs: f64,
+    eq: pano_geo::Equirect,
+    dims: pano_geo::GridDims,
+    connection: FaultyConnection,
+    buffer: PlaybackBuffer,
+    mpc: MpcController,
+    bola: BolaController,
+    vp_predictor: LinearViewpointPredictor,
+    cross_user: pano_trace::CrossUserPredictor,
+    speed_estimator: ConservativeSpeedEstimator,
+    tp_predictor: ThroughputPredictor,
+    action_estimator: pano_trace::ActionEstimator,
+    results: Vec<ChunkResult>,
+    trajectory: Vec<BufferSample>,
+    startup_secs: f64,
+    late_stall_total: f64,
+    /// Next chunk to decide (the legacy loop index).
+    k: usize,
+    chunk: Option<ChunkCtx>,
+    session_span: SpanGuard,
+    result: Option<SessionResult>,
+}
+
+impl<'a> SessionState<'a> {
+    /// Runs the legacy session prologue: session span, `session_start`
+    /// event, connection, buffer, controllers and predictors — in the
+    /// legacy order, so telemetry snapshots match field for field.
+    pub(crate) fn new(
+        id: u64,
+        spec: SessionSpec<'a>,
+        tel: &Telemetry,
+        net_metrics: &ConnectionMetrics,
+        phase_spans: bool,
+        session_field: bool,
+    ) -> SessionState<'a> {
+        let SessionSpec {
+            video,
+            method,
+            user_trace,
+            bandwidth,
+            fault_plan,
+            config,
+            arrival_secs,
+        } = spec;
+        let chunks = video.chunks_for(method);
+        let chunk_secs = video.config().chunk_secs;
+        let eq = video.spec.resolution;
+        let dims = video.config().unit_grid;
+
+        let session_span = if phase_spans {
+            tel.span("session")
+        } else {
+            SpanGuard::noop()
+        };
+        if tel.is_enabled() {
+            let mut fields = vec![
+                ("method", Json::from(method.to_string())),
+                ("n_chunks", Json::from(chunks.len())),
+                ("chunk_secs", Json::from(chunk_secs)),
+                ("target_buffer_secs", Json::from(config.target_buffer_secs)),
+                (
+                    "rate_controller",
+                    Json::from(match config.rate_controller {
+                        RateController::Mpc => "mpc",
+                        RateController::Bola => "bola",
+                    }),
+                ),
+                ("manifest_only", Json::from(config.manifest_only)),
+                (
+                    "deadline_abandonment",
+                    Json::from(config.deadline_abandonment),
+                ),
+                ("faulty", Json::from(fault_plan.is_active())),
+            ];
+            if session_field {
+                fields.push(("session", Json::from(id)));
+            }
+            tel.emit("session_start", Some(arrival_secs), Json::obj(fields));
+        }
+
+        let connection = FaultyConnection::new(bandwidth.clone(), fault_plan, config.retry_policy)
+            .with_metrics(net_metrics);
+        let buffer = PlaybackBuffer::new(config.buffer_capacity_secs);
+        let mpc = MpcController::new(MpcConfig {
+            target_buffer_secs: config.target_buffer_secs,
+            ..MpcConfig::default()
+        })
+        .with_telemetry(tel);
+        let bola = BolaController::new(BolaConfig {
+            buffer_capacity_secs: config.buffer_capacity_secs,
+            min_buffer_secs: (config.target_buffer_secs / 2.0).max(0.5),
+        })
+        .with_telemetry(tel);
+
+        let n_chunks = chunks.len();
+        SessionState {
+            id,
+            video,
+            method,
+            user_trace,
+            bandwidth,
+            config,
+            arrival_secs,
+            eq,
+            dims,
+            connection,
+            buffer,
+            mpc,
+            bola,
+            vp_predictor: LinearViewpointPredictor::default(),
+            cross_user: pano_trace::CrossUserPredictor::default(),
+            speed_estimator: ConservativeSpeedEstimator::default(),
+            tp_predictor: ThroughputPredictor {
+                bias: config.throughput_bias,
+                ..ThroughputPredictor::default()
+            },
+            action_estimator: pano_trace::ActionEstimator::new(eq),
+            results: Vec::with_capacity(n_chunks),
+            trajectory: Vec::with_capacity(n_chunks),
+            startup_secs: 0.0,
+            late_stall_total: 0.0,
+            k: 0,
+            chunk: None,
+            session_span,
+            result: None,
+        }
+    }
+
+    /// Schedules the session's first viewpoint tick at its arrival.
+    pub(crate) fn start(&mut self, queue: &mut EventQueue) {
+        queue.schedule(
+            TimeNs::from_secs(self.arrival_secs),
+            self.id,
+            EventKind::ViewpointTick,
+        );
+    }
+
+    /// Dispatches one due event to its handler.
+    pub(crate) fn handle(&mut self, kind: EventKind, ctx: &mut EngineCtx) {
+        match kind {
+            EventKind::ViewpointTick => self.on_viewpoint_tick(ctx),
+            EventKind::FetchComplete => self.on_fetch_complete(ctx),
+            EventKind::RetryTimer => self.issue_tile_fetch(ctx),
+            EventKind::PlaybackDeadline => self.on_playback_deadline(ctx),
+        }
+    }
+
+    /// The finished session, once the queue has drained its events.
+    pub(crate) fn take_result(&mut self) -> Option<SessionResult> {
+        self.result.take()
+    }
+
+    /// Decision phase of the next chunk — the top of the legacy loop:
+    /// predict, pick the budget, allocate tiles, then issue the first
+    /// tile fetch.
+    fn on_viewpoint_tick(&mut self, ctx: &mut EngineCtx) {
+        let tel = ctx.telemetry;
+        let chunks = self.video.chunks_for(self.method);
+        if self.k >= chunks.len() {
+            self.finalize(ctx);
+            return;
+        }
+        if self.k == 0 {
+            // Join the fleet: the link exists only from the arrival on.
+            // `idle_until(0.0)` is a no-op, preserving the legacy clock.
+            self.connection.idle_until(self.arrival_secs);
+        }
+        let encoded = &chunks[self.k];
+        let chunk_secs = self.video.config().chunk_secs;
+        let now = self.connection.now();
+        // The user/content timeline of a staggered session lags the
+        // fleet clock by its arrival; identical to `now` at arrival 0.
+        let rel_now = now - self.arrival_secs;
+        let horizon =
+            (self.buffer.level_secs() + chunk_secs / 2.0).max(self.config.min_horizon_secs);
+
+        // 1. Predictions.
+        let (predicted_vp, predicted_bps) = {
+            let _span = if ctx.phase_spans {
+                tel.span("predict")
+            } else {
+                SpanGuard::noop()
+            };
+            let vp = if self.config.cross_user_prediction {
+                self.cross_user.predict(
+                    self.user_trace,
+                    &self.video.popularity_prior,
+                    rel_now,
+                    horizon,
+                )
+            } else {
+                self.vp_predictor.predict(self.user_trace, rel_now, horizon)
+            };
+            (vp, self.tp_predictor.predict(&self.bandwidth, now))
+        };
+
+        // 2–3. Which tiles to fetch, then the chunk budget via MPC over
+        // the fetched tiles' ladder.
+        let (fetched, budget) = {
+            let _span = if ctx.phase_spans {
+                tel.span("rate_control")
+            } else {
+                SpanGuard::noop()
+            };
+            let fetched = fetch_mask(
+                self.video,
+                self.method,
+                encoded,
+                &predicted_vp,
+                PREDICTION_MARGIN_DEG,
+            );
+            let ladder: Vec<u64> = QualityLevel::all()
+                .map(|l| {
+                    encoded
+                        .tiles
+                        .iter()
+                        .zip(&fetched)
+                        .filter(|&(_, &f)| f)
+                        .map(|(t, _)| t.size(l))
+                        .sum()
+                })
+                .collect();
+            let n_fetched = fetched.iter().filter(|&&f| f).count();
+            self.mpc
+                .set_chunk_overhead(n_fetched as f64 * Connection::DEFAULT_OVERHEAD_SECS);
+            let rate_idx = match self.config.rate_controller {
+                RateController::Mpc => {
+                    self.mpc
+                        .pick_rate(&ladder, self.buffer.level_secs(), predicted_bps, chunk_secs)
+                }
+                RateController::Bola => {
+                    self.bola
+                        .pick_rate(&ladder, self.buffer.level_secs(), chunk_secs)
+                }
+            };
+            (fetched, ladder[rate_idx])
+        };
+
+        // 4. Tile-level allocation among the fetched tiles.
+        let levels = {
+            let _span = if ctx.phase_spans {
+                tel.span("allocate")
+            } else {
+                SpanGuard::noop()
+            };
+            allocate_tiles(
+                self.video,
+                self.method,
+                encoded,
+                &fetched,
+                self.k,
+                budget,
+                &predicted_vp,
+                self.user_trace,
+                rel_now,
+                &self.speed_estimator,
+                &self.action_estimator,
+                self.config.manifest_only,
+            )
+        };
+
+        // Per-tile distances for the byte-class split; telemetry-only.
+        let tile_min_dists: Vec<f64> = if tel.is_enabled() {
+            encoded
+                .tiles
+                .iter()
+                .map(|tile| {
+                    tile.rect
+                        .cells()
+                        .map(|cell| {
+                            predicted_vp
+                                .great_circle_distance(&self.eq.cell_center(self.dims, cell))
+                                .value()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let deadline = if self.config.deadline_abandonment && self.k > 0 {
+            now + self.buffer.level_secs() + chunk_secs
+        } else {
+            f64::INFINITY
+        };
+
+        self.chunk = Some(ChunkCtx {
+            start_secs: now,
+            predicted_vp,
+            levels,
+            tile_min_dists,
+            deadline,
+            tile_idx: 0,
+            level: QualityLevel::LOWEST,
+            pending: None,
+            chunk_bytes: 0,
+            retries: 0,
+            abandoned: 0,
+            wasted: 0,
+            degraded: 0,
+            lost: 0,
+            fetch_span: if ctx.phase_spans {
+                tel.span("fetch")
+            } else {
+                SpanGuard::noop()
+            },
+            fetch_finish_secs: now,
+            stall: 0.0,
+            idle_until_secs: now,
+        });
+        self.next_tile_from(0, ctx);
+    }
+
+    /// Advances to the next tile with an allocated level at or after
+    /// `start` and issues its fetch; with none left, the fetch phase is
+    /// over.
+    fn next_tile_from(&mut self, start: usize, ctx: &mut EngineCtx) {
+        let Some(ch) = self.chunk.as_mut() else {
+            return;
+        };
+        let mut idx = start;
+        while idx < ch.levels.len() {
+            if let Some(level) = ch.levels[idx] {
+                ch.tile_idx = idx;
+                ch.level = level;
+                self.issue_tile_fetch(ctx);
+                return;
+            }
+            idx += 1;
+        }
+        self.finish_fetch_phase(ctx);
+    }
+
+    /// Starts fetching the current tile at the current level and
+    /// schedules its completion event. Also the retry-timer handler: a
+    /// degraded tile re-enters here with its level already floored.
+    fn issue_tile_fetch(&mut self, ctx: &mut EngineCtx) {
+        let Some(ch) = self.chunk.as_mut() else {
+            return;
+        };
+        let tile = &self.video.chunks_for(self.method)[self.k].tiles[ch.tile_idx];
+        let pending = self
+            .connection
+            .begin_fetch(tile.size(ch.level), ch.deadline);
+        ctx.queue.schedule(
+            TimeNs::from_secs(pending.completes_at_secs),
+            self.id,
+            EventKind::FetchComplete,
+        );
+        ch.pending = Some(pending.outcome);
+    }
+
+    /// One turn of the legacy per-tile fetch loop: account the outcome,
+    /// then deliver, degrade-and-retry, or mark the tile lost.
+    fn on_fetch_complete(&mut self, ctx: &mut EngineCtx) {
+        let tel = ctx.telemetry;
+        let Some(ch) = self.chunk.as_mut() else {
+            return;
+        };
+        let Some(outcome) = ch.pending.take() else {
+            return;
+        };
+        ch.retries += outcome.retries();
+        ch.wasted += outcome.wasted_bytes;
+        if outcome.delivered {
+            ch.chunk_bytes += outcome.result.bytes;
+            if tel.is_enabled() {
+                if ch.tile_min_dists[ch.tile_idx] <= VISIBLE_LIMIT_DEG {
+                    ctx.metrics.bytes_visible.add(outcome.result.bytes);
+                } else {
+                    ctx.metrics.bytes_margin.add(outcome.result.bytes);
+                }
+            }
+            ch.levels[ch.tile_idx] = Some(ch.level);
+            let next = ch.tile_idx + 1;
+            self.next_tile_from(next, ctx);
+            return;
+        }
+        if outcome.abandoned {
+            ch.abandoned += 1;
+            if ch.level > QualityLevel::LOWEST {
+                let tile = &self.video.chunks_for(self.method)[self.k].tiles[ch.tile_idx];
+                let min_dist = tile
+                    .rect
+                    .cells()
+                    .map(|cell| {
+                        ch.predicted_vp
+                            .great_circle_distance(&self.eq.cell_center(self.dims, cell))
+                            .value()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if min_dist <= VISIBLE_LIMIT_DEG {
+                    // Predicted visible: degrade to the floor and
+                    // re-request rather than show blank content.
+                    ch.level = QualityLevel::LOWEST;
+                    ch.degraded += 1;
+                    ctx.metrics.tiles_degraded.inc();
+                    ctx.queue.schedule(
+                        TimeNs::from_secs(self.connection.now()),
+                        self.id,
+                        EventKind::RetryTimer,
+                    );
+                    return;
+                }
+            }
+        }
+        // Abandoned at the floor / margin ring, or retry budget
+        // exhausted: the tile is lost for this chunk.
+        ch.levels[ch.tile_idx] = None;
+        ch.lost += 1;
+        ctx.metrics.tiles_lost.inc();
+        let next = ch.tile_idx + 1;
+        self.next_tile_from(next, ctx);
+    }
+
+    /// All tiles resolved: charge the download against the buffer and
+    /// either schedule the pacing idle or close the chunk now.
+    fn finish_fetch_phase(&mut self, ctx: &mut EngineCtx) {
+        let Some(ch) = self.chunk.as_mut() else {
+            return;
+        };
+        ch.fetch_span = SpanGuard::noop();
+        let finish = self.connection.now();
+        let dl_time = finish - ch.start_secs;
+        let stall = if self.k == 0 {
+            // Start-up: the first chunk's download is startup delay, not
+            // rebuffering.
+            self.startup_secs = dl_time;
+            0.0
+        } else {
+            self.buffer.play(dl_time)
+        };
+        let chunk_secs = self.video.config().chunk_secs;
+        self.buffer.add_chunk(chunk_secs);
+        ch.fetch_finish_secs = finish;
+        ch.stall = stall;
+
+        // Pace: if the buffer is above target, idle before the next
+        // fetch — as an event, so other sessions run in the gap.
+        let surplus = self.buffer.level_secs() - self.config.target_buffer_secs;
+        if surplus > 0.0 {
+            let idle_t = finish + surplus.min(chunk_secs);
+            ch.idle_until_secs = idle_t;
+            ctx.queue.schedule(
+                TimeNs::from_secs(idle_t),
+                self.id,
+                EventKind::PlaybackDeadline,
+            );
+            return;
+        }
+        self.complete_chunk(ctx);
+    }
+
+    /// The pacing idle elapsed: play it out and close the chunk.
+    fn on_playback_deadline(&mut self, ctx: &mut EngineCtx) {
+        let Some(ch) = self.chunk.as_ref() else {
+            return;
+        };
+        let idle_t = ch.idle_until_secs;
+        let finish = ch.fetch_finish_secs;
+        self.connection.idle_until(idle_t);
+        let played = self.connection.now() - finish;
+        self.buffer.play(played);
+        self.complete_chunk(ctx);
+    }
+
+    /// Tail of the legacy loop body: late-fetch viewport misses, score
+    /// the chunk as played, record it, then tick the next chunk.
+    fn complete_chunk(&mut self, ctx: &mut EngineCtx) {
+        let tel = ctx.telemetry;
+        let Some(mut ch) = self.chunk.take() else {
+            return;
+        };
+        let chunks = self.video.chunks_for(self.method);
+        let encoded = &chunks[self.k];
+        let chunk_secs = self.video.config().chunk_secs;
+
+        // 6. Late-fetch any skipped or lost tile the actual viewport
+        // landed on. Playback time is session-relative; the bandwidth
+        // trace is sampled at the absolute instant the stall occurs.
+        let playback_t = self.k as f64 * chunk_secs;
+        let actual_viewport =
+            Viewport::hmd(self.user_trace.viewpoint_at(playback_t + chunk_secs / 2.0));
+        let mut late_bytes: u64 = 0;
+        let mut late_stall = 0.0;
+        let late_span = if ctx.phase_spans {
+            tel.span("late_fetch")
+        } else {
+            SpanGuard::noop()
+        };
+        for (tile, level) in encoded.tiles.iter().zip(&mut ch.levels) {
+            if level.is_some() {
+                continue;
+            }
+            let visible = tile.rect.cells().any(|cell| {
+                actual_viewport
+                    .center
+                    .great_circle_distance(&self.eq.cell_center(self.dims, cell))
+                    .value()
+                    <= VISIBLE_LIMIT_DEG
+            });
+            if visible {
+                let bytes = tile.size(QualityLevel::LOWEST);
+                late_bytes += bytes;
+                ctx.metrics.bytes_late_fetch.add(bytes);
+                ctx.metrics.tiles_late_fetched.inc();
+                let dt = self
+                    .bandwidth
+                    .transfer_time(self.arrival_secs + playback_t, bytes as f64);
+                late_stall += if dt.is_finite() {
+                    dt
+                } else {
+                    bytes as f64 * 8.0 / LATE_FETCH_FLOOR_BPS
+                } + LATE_FETCH_OVERHEAD_SECS;
+                *level = Some(QualityLevel::LOWEST);
+            }
+        }
+        drop(late_span);
+
+        // 7. Score the chunk as played, under the actual trajectory.
+        let score_span = if ctx.phase_spans {
+            tel.span("score")
+        } else {
+            SpanGuard::noop()
+        };
+        let true_actions = self.action_estimator.chunk_actions(
+            &self.video.scene,
+            self.user_trace,
+            &self.video.features[self.k],
+            playback_t,
+        );
+        let pspnr = perceived_pspnr(
+            &self.video.computer,
+            &self.video.features[self.k],
+            encoded,
+            &ch.levels,
+            &true_actions,
+            &actual_viewport,
+            &self.eq,
+            self.dims,
+        );
+        drop(score_span);
+
+        let buffer_after = self.buffer.level_secs();
+        ctx.metrics.buffer_gauge.set(buffer_after);
+        ctx.metrics.buffer_level.record(buffer_after);
+        ctx.metrics.stall.record(ch.stall + late_stall);
+        self.trajectory.push(BufferSample {
+            t_secs: self.connection.now(),
+            buffer_secs: buffer_after,
+        });
+        if tel.is_enabled() {
+            let mut fields = vec![
+                ("chunk_idx", Json::from(self.k)),
+                ("pspnr_db", Json::from(pspnr)),
+                ("bytes", Json::from(ch.chunk_bytes + late_bytes)),
+                ("stall_secs", Json::from(ch.stall + late_stall)),
+                ("buffer_secs", Json::from(buffer_after)),
+                ("retries", Json::from(ch.retries)),
+                ("abandoned", Json::from(ch.abandoned)),
+                ("degraded_tiles", Json::from(ch.degraded)),
+                ("lost_tiles", Json::from(ch.lost)),
+            ];
+            if ctx.session_field {
+                fields.push(("session", Json::from(self.id)));
+            }
+            tel.emit("chunk", Some(self.connection.now()), Json::obj(fields));
+        }
+
+        self.results.push(ChunkResult {
+            chunk_idx: self.k,
+            pspnr_db: pspnr,
+            bytes: ch.chunk_bytes + late_bytes,
+            stall_secs: ch.stall + late_stall,
+            buffer_after_secs: buffer_after,
+            retries: ch.retries,
+            abandoned: ch.abandoned,
+            wasted_bytes: ch.wasted,
+            degraded_tiles: ch.degraded,
+            lost_tiles: ch.lost,
+        });
+        self.late_stall_total += late_stall;
+
+        self.k += 1;
+        if self.k < chunks.len() {
+            ctx.queue.schedule(
+                TimeNs::from_secs(self.connection.now()),
+                self.id,
+                EventKind::ViewpointTick,
+            );
+        } else {
+            self.finalize(ctx);
+        }
+    }
+
+    /// The legacy epilogue: drain the buffer, build the result, emit
+    /// `session_end`, close the session span.
+    fn finalize(&mut self, ctx: &mut EngineCtx) {
+        if self.result.is_some() {
+            return;
+        }
+        // Drain the remaining buffer (no more stalls possible).
+        let remaining = self.buffer.level_secs();
+        self.buffer.play(remaining);
+
+        let result = SessionResult {
+            chunks: std::mem::take(&mut self.results),
+            startup_secs: self.startup_secs,
+            total_stall_secs: self.buffer.stall_secs() + self.late_stall_total,
+            total_played_secs: self.buffer.played_secs(),
+            buffer_trajectory: std::mem::take(&mut self.trajectory),
+        };
+        let tel = ctx.telemetry;
+        if tel.is_enabled() {
+            let mut fields = vec![
+                ("mean_pspnr_db", Json::from(result.mean_pspnr())),
+                ("total_bytes", Json::from(result.total_bytes())),
+                ("startup_secs", Json::from(result.startup_secs)),
+                ("total_stall_secs", Json::from(result.total_stall_secs)),
+                ("total_played_secs", Json::from(result.total_played_secs)),
+                (
+                    "buffering_ratio_pct",
+                    Json::from(result.buffering_ratio_pct()),
+                ),
+            ];
+            if ctx.session_field {
+                fields.push(("session", Json::from(self.id)));
+            }
+            tel.emit(
+                "session_end",
+                Some(self.connection.now()),
+                Json::obj(fields),
+            );
+        }
+        self.session_span = SpanGuard::noop();
+        self.result = Some(result);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fleet experiment — the population-scale run the event engine unlocks.
+//!
+//! Not a figure from the paper: the paper evaluates one session at a
+//! time, while Pano's gains are population effects. This driver stands
+//! up an N-session fleet (staggered arrivals, round-robin user/link
+//! assignment, `Arc`-shared assets) on the [`crate::engine`] virtual
+//! clock and reports the QoE aggregates next to the engine's load
+//! counters — events processed, peak queue depth, and the trace-heap
+//! note showing what sharing saves over per-session clones. `repro
+//! --fleet N` plumbs the session count through
+//! [`FLEET_SESSIONS_ENV`](crate::experiments::FLEET_SESSIONS_ENV).
+
+use crate::client::SessionConfig;
+use crate::engine::{run_fleet, FleetConfig, FleetResult};
+use crate::experiments::FLEET_SESSIONS_ENV;
+use pano_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+
+/// The fleet experiment's result: the engine aggregates plus the knobs
+/// that produced them, so the JSON artefact is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetExperiment {
+    /// Sessions requested (CLI/env or default).
+    pub sessions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Arrival spacing, seconds.
+    pub arrival_spacing_secs: f64,
+    /// Distinct user traces / link traces in the shared pool.
+    pub users: usize,
+    /// Distinct links in the shared pool.
+    pub links: usize,
+    /// The fleet aggregates.
+    pub result: FleetResult,
+}
+
+/// Reads the session count plumbed from `repro --fleet N`; unset or
+/// unparsable falls back to `default_sessions`.
+pub fn sessions_from_env(default_sessions: usize) -> usize {
+    std::env::var(FLEET_SESSIONS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default_sessions)
+}
+
+/// Runs the fleet at the env-configured scale (default 1000 sessions).
+pub fn run(seed: u64, telemetry: &Telemetry) -> FleetExperiment {
+    let config = FleetConfig {
+        sessions: sessions_from_env(1000),
+        seed,
+        session: SessionConfig {
+            telemetry: telemetry.clone(),
+            ..SessionConfig::default()
+        },
+        ..FleetConfig::default()
+    };
+    let (result, _sessions) = run_fleet(&config);
+    FleetExperiment {
+        sessions: config.sessions,
+        seed,
+        arrival_spacing_secs: config.arrival_spacing_secs,
+        users: config.users,
+        links: config.links,
+        result: result.clone(),
+    }
+}
+
+/// Text rendering for the `repro` binary.
+pub fn render(r: &FleetExperiment) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fleet: {} sessions, one virtual clock (seed {:#x})\n",
+        r.result.sessions, r.seed
+    ));
+    out.push_str(&format!(
+        "  arrivals every {:.2}s over {} users x {} links\n",
+        r.arrival_spacing_secs, r.users, r.links
+    ));
+    out.push_str(&format!(
+        "  QoE: mean PSPNR {:.2} dB | mean stall {:.3}s | mean startup {:.3}s | {:.1} MB total\n",
+        r.result.mean_pspnr_db,
+        r.result.mean_stall_secs,
+        r.result.mean_startup_secs,
+        r.result.total_bytes as f64 / 1e6,
+    ));
+    out.push_str(&format!(
+        "  engine: {} events | peak queue {} (O(active events), not O(sessions x chunks))\n",
+        r.result.events_processed, r.result.peak_queue_len,
+    ));
+    out.push_str(&format!(
+        "  trace heap: {} KiB shared vs {} KiB if cloned per session\n",
+        r.result.trace_heap_bytes_shared / 1024,
+        r.result.trace_heap_bytes_if_cloned / 1024,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not two: the env var is process-global and the session
+    // count changes results, so splitting these would race under the
+    // parallel test runner.
+    #[test]
+    fn env_override_scales_the_fleet_and_it_runs() {
+        std::env::set_var(FLEET_SESSIONS_ENV, "6");
+        assert_eq!(sessions_from_env(1000), 6);
+        std::env::set_var(FLEET_SESSIONS_ENV, "zero-ish");
+        assert_eq!(sessions_from_env(1000), 1000);
+        std::env::remove_var(FLEET_SESSIONS_ENV);
+        assert_eq!(sessions_from_env(42), 42);
+
+        std::env::set_var(FLEET_SESSIONS_ENV, "3");
+        let r = run(7, &Telemetry::disabled());
+        std::env::remove_var(FLEET_SESSIONS_ENV);
+        assert_eq!(r.sessions, 3);
+        assert_eq!(r.result.sessions, 3);
+        let text = render(&r);
+        assert!(text.contains("3 sessions"));
+        assert!(text.contains("trace heap"));
+        let json = serde_json::to_value(&r).map_err(|e| e.to_string());
+        assert!(json.is_ok());
+    }
+}

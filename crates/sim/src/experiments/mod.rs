@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod grid;
 pub mod journal;
 pub mod robustness;
@@ -87,6 +88,10 @@ mod tests {
 /// Environment override for the worker count used by [`parallel_map`]
 /// and [`SweepGrid`]; plumbed from `repro --threads N`.
 pub const THREADS_ENV: &str = "PANO_THREADS";
+
+/// Environment override for the fleet-experiment session count; plumbed
+/// from `repro --fleet N`. Unset means the default fleet size.
+pub const FLEET_SESSIONS_ENV: &str = "PANO_FLEET_SESSIONS";
 
 /// Environment override enabling the checkpoint journal: a directory
 /// path (conventionally `results/checkpoints`) under which [`SweepGrid`]

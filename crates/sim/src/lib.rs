@@ -11,6 +11,10 @@
 //! * [`client`] — the playback session simulator: viewpoint + throughput
 //!   prediction, MPC budgeting, tile-level allocation, delivery over a
 //!   [`pano_net::Connection`], buffer/stall accounting.
+//! * [`engine`] — the virtual-clock discrete-event core: one integer-
+//!   keyed event queue interleaves any number of sessions in one
+//!   process; `simulate_session` drives it with a single session, fleet
+//!   runs with tens of thousands.
 //! * [`metrics`] — per-chunk and per-session QoE results (viewport
 //!   PSPNR, buffering ratio, bandwidth, MOS).
 //! * [`experiments`] — one driver per table/figure of the paper; each
@@ -20,12 +24,14 @@
 
 pub mod asset;
 pub mod client;
+pub mod engine;
 pub mod experiments;
 pub mod methods;
 pub mod metrics;
 
 pub use asset::{AssetConfig, AssetStore, PreparedVideo, StoreStats};
-pub use client::{simulate_session, RateController, SessionConfig};
+pub use client::{simulate_session, simulate_session_legacy, RateController, SessionConfig};
+pub use engine::{run_fleet, Engine, FleetConfig, FleetResult};
 pub use experiments::{CellCtx, SweepGrid};
 pub use methods::Method;
 pub use metrics::{BufferSample, ChunkResult, SessionResult};

@@ -1,0 +1,142 @@
+//! Engine ↔ legacy equivalence suite.
+//!
+//! The event engine's contract is that `simulate_session` (the thin
+//! engine-driving wrapper) is *byte-identical* to the retired imperative
+//! loop (`simulate_session_legacy`) — not approximately equal: the same
+//! `SessionResult` JSON, byte for byte, for the paper's figure
+//! configurations. These tests pin that contract for the Fig. 13 setup
+//! (both LTE traces, Flare vs Pano) and the Fig. 15 setup (buffer
+//! targets {1, 2, 3} s across the four compared methods), plus the
+//! fleet-level determinism the single-session equivalence builds up to.
+
+use pano_sim::asset::{AssetConfig, AssetStore, PreparedVideo};
+use pano_sim::engine::{run_fleet, FleetConfig};
+use pano_sim::{simulate_session, simulate_session_legacy, Method, SessionConfig};
+use pano_trace::{BandwidthTrace, TraceGenerator, ViewpointTrace};
+use pano_video::{Genre, VideoSpec};
+use std::sync::Arc;
+
+/// A laptop-scale cut of the figure assets: one video per genre used by
+/// the paired figure, a deterministic user trace, the figure's traces.
+fn prepared(genre: Genre, video_seed: u64, user_seed: u64) -> (Arc<PreparedVideo>, ViewpointTrace) {
+    let spec = VideoSpec::generate(1, genre, 12.0, video_seed);
+    let video = AssetStore::new().get(
+        &spec,
+        &AssetConfig {
+            history_users: 3,
+            ..AssetConfig::default()
+        },
+    );
+    let trace = TraceGenerator::default().generate(&video.scene, user_seed);
+    (video, trace)
+}
+
+/// Byte-identical JSON of engine vs legacy for one (method, config).
+fn assert_byte_identical(
+    video: &PreparedVideo,
+    method: Method,
+    trace: &ViewpointTrace,
+    bw: &BandwidthTrace,
+    config: &SessionConfig,
+    label: &str,
+) {
+    let engine = simulate_session(video, method, trace, bw, config);
+    let legacy = simulate_session_legacy(video, method, trace, bw, config);
+    let engine_json = serde_json::to_vec(&engine).expect("engine result serialises");
+    let legacy_json = serde_json::to_vec(&legacy).expect("legacy result serialises");
+    assert!(
+        engine_json == legacy_json,
+        "{label}: engine and legacy SessionResult JSON diverge"
+    );
+}
+
+#[test]
+fn fig13_configs_are_byte_identical() {
+    // Fig. 13: default session config, both LTE bandwidth conditions,
+    // the two methods the figure compares.
+    let seed = 42u64;
+    let (video, trace) = prepared(Genre::Documentary, seed, seed ^ 5);
+    let conditions = [
+        BandwidthTrace::lte_low(600.0, seed ^ 11),
+        BandwidthTrace::lte_high(600.0, seed ^ 12),
+    ];
+    let config = SessionConfig::default();
+    for (i, bw) in conditions.iter().enumerate() {
+        for method in [Method::Flare, Method::Pano] {
+            assert_byte_identical(
+                &video,
+                method,
+                &trace,
+                bw,
+                &config,
+                &format!("fig13 trace#{i} {method:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fig15_configs_are_byte_identical() {
+    // Fig. 15: buffer targets {1, 2, 3} s over the four compared
+    // methods on the figure's Trace #1.
+    let seed = 0xF15u64;
+    let (video, trace) = prepared(Genre::Sports, seed, seed ^ 7);
+    let bw = BandwidthTrace::lte_low(600.0, seed ^ 1);
+    for target in [1.0, 2.0, 3.0] {
+        let config = SessionConfig {
+            target_buffer_secs: target,
+            ..SessionConfig::default()
+        };
+        for method in [
+            Method::Pano,
+            Method::Flare,
+            Method::ClusTile,
+            Method::WholeVideo,
+        ] {
+            assert_byte_identical(
+                &video,
+                method,
+                &trace,
+                &bw,
+                &config,
+                &format!("fig15 target={target} {method:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fig15_high_trace_spot_check() {
+    // Cross the second trace with the middle buffer target — a cheap
+    // guard against a trace-specific divergence slipping past the
+    // Trace #1 matrix.
+    let seed = 0xF15u64;
+    let (video, trace) = prepared(Genre::Adventure, seed ^ 3, seed ^ 9);
+    let bw = BandwidthTrace::lte_high(600.0, seed ^ 2);
+    let config = SessionConfig {
+        target_buffer_secs: 2.0,
+        ..SessionConfig::default()
+    };
+    assert_byte_identical(&video, Method::Pano, &trace, &bw, &config, "fig15 trace#2");
+}
+
+#[test]
+fn fleet_json_is_deterministic_across_runs() {
+    // The fleet composes the per-session equivalence: two identical
+    // fleet runs must serialise byte-identically, session results
+    // included.
+    let config = FleetConfig {
+        sessions: 5,
+        video_secs: 8.0,
+        users: 2,
+        links: 2,
+        arrival_spacing_secs: 0.4,
+        ..FleetConfig::default()
+    };
+    let (result_a, sessions_a) = run_fleet(&config);
+    let (result_b, sessions_b) = run_fleet(&config);
+    let a = serde_json::to_vec(&(&result_a, &sessions_a)).expect("fleet run serialises");
+    let b = serde_json::to_vec(&(&result_b, &sessions_b)).expect("fleet run serialises");
+    assert!(a == b, "two identical fleet runs serialise differently");
+    assert_eq!(result_a.sessions, 5);
+}

@@ -135,6 +135,13 @@ impl BandwidthTrace {
         self.samples.len() as f64 * self.interval
     }
 
+    /// Approximate heap footprint of the sample buffer, bytes — what a
+    /// fleet saves per session by sharing the trace instead of cloning
+    /// it (reported in `fleet_bench` output).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.samples.len() * std::mem::size_of::<f64>()
+    }
+
     /// Mean throughput, bps.
     pub fn mean_bps(&self) -> f64 {
         self.samples.iter().sum::<f64>() / self.samples.len() as f64

@@ -18,6 +18,7 @@
 //! All three implement [`LookupScheme`]; their JSON-serialised sizes give
 //! the §6.3 compression numbers.
 
+use pano_arena::{lanes, Arena};
 use pano_jnd::{ActionState, Multipliers, PspnrComputer, PSPNR_CAP_DB};
 use pano_telemetry::Telemetry;
 use pano_video::codec::{EncodedTile, QualityLevel};
@@ -63,11 +64,17 @@ pub const LUM_GRID: [f64; 5] = [0.0, 50.0, 100.0, 200.0, 240.0];
 pub const RATIO_GRID: [f64; 8] = [1.0, 1.5, 2.25, 3.4, 5.0, 10.0, 25.0, 60.0];
 
 /// Index of the grid point nearest to `x` (ties pick the earlier point,
-/// NaN snaps to the first). Binary search over the sorted grid — this
-/// runs once per factor per online estimate, so it must not scan.
+/// NaN snaps to the first). Runs once per factor per online estimate;
+/// dispatches between a binary search and a branchless count on
+/// [`lanes::enabled`] — identical results on the sorted paper grids
+/// (pinned against the linear reference below).
 #[inline]
 fn nearest_idx(grid: &[f64], x: f64) -> usize {
-    let i = grid.partition_point(|&g| g < x);
+    let i = if lanes::enabled() {
+        count_below(grid, x)
+    } else {
+        grid.partition_point(|&g| g < x)
+    };
     if i == 0 {
         return 0;
     }
@@ -84,6 +91,21 @@ fn nearest_idx(grid: &[f64], x: f64) -> usize {
     }
 }
 
+/// Branchless `partition_point(|&g| g < x)` for the short sorted factor
+/// grids (5–8 points): one data-independent pass of compare-and-add that
+/// the autovectorizer can lift, with no mispredictable branches. Equal to
+/// `partition_point` on any sorted grid because `g < x` is monotone in
+/// `g` — the count of true elements *is* the partition index. A NaN `x`
+/// compares false everywhere, landing on 0 exactly like the reference.
+#[inline]
+fn count_below(grid: &[f64], x: f64) -> usize {
+    let mut n = 0usize;
+    for &g in grid {
+        n += usize::from(g < x);
+    }
+    n
+}
+
 /// Rounds to four significant decimal digits — enough for dB-scale
 /// quantities while keeping the serialised tables compact.
 fn round4(v: f64) -> f64 {
@@ -96,6 +118,7 @@ fn round4(v: f64) -> f64 {
 }
 
 /// Interpolates `y(x)` on a sorted grid (linear, clamped at the ends).
+/// Same lane/scalar segment-search dispatch as [`nearest_idx`].
 #[inline]
 fn interp(grid: &[f64], ys: &[f64], x: f64) -> f64 {
     debug_assert_eq!(grid.len(), ys.len());
@@ -106,8 +129,14 @@ fn interp(grid: &[f64], ys: &[f64], x: f64) -> f64 {
         return ys[ys.len() - 1];
     }
     // First segment whose upper end reaches x: with grid[0] < x < last,
-    // partition_point lands on the same index the old forward scan found.
-    let i = grid.partition_point(|&g| g < x).max(1) - 1;
+    // partition_point (and the branchless count, which equals it on a
+    // sorted grid) lands on the same index the old forward scan found.
+    let p = if lanes::enabled() {
+        count_below(grid, x)
+    } else {
+        grid.partition_point(|&g| g < x)
+    };
+    let i = p.max(1) - 1;
     let f = (x - grid[i]) / (grid[i + 1] - grid[i]);
     ys[i] + (ys[i + 1] - ys[i]) * f
 }
@@ -149,11 +178,46 @@ pub struct LookupBuilder<'a> {
 /// the 1-D table kernel with the per-(tile, level) invariants hoisted out.
 #[inline]
 fn pspnr_from_quantiles_at_jnd(quantiles: &[f64; 16], jnd: f64) -> f64 {
-    let pmse = PspnrComputer::pmse_with_jnd_spread(quantiles, jnd);
+    db_from_pmse(PspnrComputer::pmse_with_jnd_spread(quantiles, jnd))
+}
+
+/// PMSE → capped PSPNR dB (same mapping as `PspnrComputer`'s internal
+/// conversion; duplicated constant-for-constant so table entries match
+/// `tile_quality` output bit for bit).
+#[inline]
+fn db_from_pmse(pmse: f64) -> f64 {
     if pmse <= 1e-12 {
         PSPNR_CAP_DB
     } else {
         (20.0 * (255.0 / pmse.sqrt()).log10()).min(PSPNR_CAP_DB)
+    }
+}
+
+/// One (tile, level) row of the 1-D tables: PSPNR at every [`RATIO_GRID`]
+/// point. The whole ratio grid is evaluated in a single batched pass over
+/// the 16 quantiles (`RATIO_GRID.len()` == `lanes::WIDTH`, so the lane
+/// path runs exactly one full lane block), amortizing the quantile loads
+/// eight-fold versus the per-ratio formulation it replaces. Each entry is
+/// bit-identical to `pspnr_from_quantiles_at_jnd(quantiles, content_jnd *
+/// RATIO_GRID[i])` on the corresponding path (pinned by proptest below).
+#[inline]
+fn pspnr_row(
+    quantiles: &[f64; 16],
+    content_jnd: f64,
+    use_lanes: bool,
+    out: &mut [f64; RATIO_GRID.len()],
+) {
+    let mut jnds = [0.0f64; RATIO_GRID.len()];
+    for (j, &r) in jnds.iter_mut().zip(RATIO_GRID.iter()) {
+        *j = content_jnd * r;
+    }
+    if use_lanes {
+        PspnrComputer::pmse_spread_batch_lanes(quantiles, &jnds, out);
+    } else {
+        PspnrComputer::pmse_spread_batch_scalar(quantiles, &jnds, out);
+    }
+    for p in out.iter_mut() {
+        *p = db_from_pmse(*p);
     }
 }
 
@@ -244,6 +308,7 @@ impl<'a> LookupBuilder<'a> {
     /// Builds the 1-D ratio table.
     pub fn build_ratio(&self, chunks: &[(&ChunkFeatures, &[EncodedTile])]) -> RatioLookupTable {
         let _span = self.tel.span("lookup_build_ratio");
+        let use_lanes = lanes::enabled();
         let curves: Vec<Vec<Vec<Vec<f64>>>> = chunks
             .iter()
             .map(|&(features, tiles)| {
@@ -257,15 +322,9 @@ impl<'a> LookupBuilder<'a> {
                         QualityLevel::all()
                             .map(|level| {
                                 let quantiles = tile.error_quantiles(level);
-                                RATIO_GRID
-                                    .iter()
-                                    .map(|&r| {
-                                        round4(pspnr_from_quantiles_at_jnd(
-                                            &quantiles,
-                                            content_jnd * r,
-                                        ))
-                                    })
-                                    .collect()
+                                let mut row = [0.0f64; RATIO_GRID.len()];
+                                pspnr_row(&quantiles, content_jnd, use_lanes, &mut row);
+                                row.iter().map(|&p| round4(p)).collect()
                             })
                             .collect()
                     })
@@ -290,70 +349,111 @@ impl<'a> LookupBuilder<'a> {
     /// PSPNR cap are excluded from the fit (they would drag the low-ratio
     /// region upward); estimates are clamped to the cap on evaluation.
     pub fn build_power(&self, chunks: &[(&ChunkFeatures, &[EncodedTile])]) -> PowerLawTable {
+        let mut arena = Arena::with_capacity(2 * RATIO_GRID.len());
+        self.build_power_in(chunks, &mut arena)
+    }
+
+    /// [`Self::build_power`] with caller-supplied scratch: the fit's x/y
+    /// columns live in `arena` — allocated once per build and overwritten
+    /// in place for every (tile, level) — instead of a fresh `Vec` per
+    /// fit. A worker that builds many tables hands the same arena back in
+    /// each time; reuse is deterministic because arena allocations are
+    /// zero-filled even on reused memory (pinned by the arena-reuse test
+    /// below). The arena is reset on entry, so any content a previous
+    /// caller left behind is dropped first.
+    pub fn build_power_in(
+        &self,
+        chunks: &[(&ChunkFeatures, &[EncodedTile])],
+        arena: &mut Arena,
+    ) -> PowerLawTable {
+        self.build_power_mode(chunks, arena, lanes::enabled())
+    }
+
+    /// Mode-pinned body of [`Self::build_power_in`]: `use_lanes` selects
+    /// the batched or scalar PSPNR row kernel. Public only so equivalence
+    /// tests and `hotpath_bench` can drive both paths in one process.
+    #[doc(hidden)]
+    pub fn build_power_mode(
+        &self,
+        chunks: &[(&ChunkFeatures, &[EncodedTile])],
+        arena: &mut Arena,
+        use_lanes: bool,
+    ) -> PowerLawTable {
         let _span = self.tel.span("lookup_build_power");
-        let params: Vec<Vec<Vec<(f64, f64)>>> = chunks
-            .iter()
-            .map(|&(features, tiles)| {
-                tiles
-                    .iter()
-                    .map(|tile| {
-                        let content_jnd = self.computer.tile_content_jnd(features, tile);
-                        QualityLevel::all()
-                            .map(|level| {
-                                let quantiles = tile.error_quantiles(level);
-                                let mut pts: Vec<(f64, f64)> = RATIO_GRID
-                                    .iter()
-                                    .filter_map(|&r| {
-                                        let p = pspnr_from_quantiles_at_jnd(
-                                            &quantiles,
-                                            content_jnd * r,
-                                        );
-                                        if p < PSPNR_CAP_DB - 1e-6 {
-                                            Some((r.ln(), p.max(1.0).ln()))
-                                        } else {
-                                            None
-                                        }
-                                    })
-                                    .collect();
-                                if pts.len() < 2 {
-                                    // Everything saturated: flat at the cap.
-                                    pts = vec![(0.0, PSPNR_CAP_DB.ln()); 2];
-                                }
-                                // Weighted least squares, weight 1/ratio:
-                                // real viewpoint actions concentrate at
-                                // small ratios, so accuracy there matters
-                                // most.
-                                let mut wsum = 0.0;
-                                let mut mx = 0.0;
-                                let mut my = 0.0;
-                                for &(x, y) in &pts {
-                                    let w = (-x).exp(); // 1/ratio
-                                    wsum += w;
-                                    mx += w * x;
-                                    my += w * y;
-                                }
-                                mx /= wsum;
-                                my /= wsum;
-                                let mut sxx = 0.0;
-                                let mut sxy = 0.0;
-                                for &(x, y) in &pts {
-                                    let w = (-x).exp();
-                                    sxx += w * (x - mx) * (x - mx);
-                                    sxy += w * (x - mx) * (y - my);
-                                }
-                                let b = if sxx < 1e-12 { 0.0 } else { sxy / sxx };
-                                let a = (my - b * mx).exp();
-                                // Round to 4 significant decimals: the fit
-                                // is approximate anyway, and full-precision
-                                // floats triple the manifest's JSON size
-                                // (§6.3's whole point is a small table).
-                                (round4(a), round4(b))
-                            })
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
+        // ln(ratio) depends only on the grid point, not on the tile or
+        // level: hoist the eight logs out of the per-(tile, level) fit.
+        // Same `f64::ln` on the same inputs ⇒ same bits as computing them
+        // inline, so hoisting cannot perturb the fit.
+        let mut ratio_ln = [0.0f64; RATIO_GRID.len()];
+        for (x, &r) in ratio_ln.iter_mut().zip(RATIO_GRID.iter()) {
+            *x = r.ln();
+        }
+        arena.reset();
+        let mut frame = arena.frame();
+        let s_x = frame.alloc(RATIO_GRID.len());
+        let s_y = frame.alloc(RATIO_GRID.len());
+        let n_levels = QualityLevel::all().count();
+        let mut params: Vec<Vec<Vec<(f64, f64)>>> = Vec::with_capacity(chunks.len());
+        for &(features, tiles) in chunks {
+            let mut tile_params: Vec<Vec<(f64, f64)>> = Vec::with_capacity(tiles.len());
+            for tile in tiles {
+                let content_jnd = self.computer.tile_content_jnd(features, tile);
+                let mut level_params: Vec<(f64, f64)> = Vec::with_capacity(n_levels);
+                for level in QualityLevel::all() {
+                    let quantiles = tile.error_quantiles(level);
+                    let mut row = [0.0f64; RATIO_GRID.len()];
+                    pspnr_row(&quantiles, content_jnd, use_lanes, &mut row);
+                    let (xs, ys) = frame.get_mut2(s_x, s_y);
+                    let mut m = 0usize;
+                    for (i, &p) in row.iter().enumerate() {
+                        if p < PSPNR_CAP_DB - 1e-6 {
+                            xs[m] = ratio_ln[i];
+                            ys[m] = p.max(1.0).ln();
+                            m += 1;
+                        }
+                    }
+                    if m < 2 {
+                        // Everything saturated: flat at the cap.
+                        xs[0] = 0.0;
+                        ys[0] = PSPNR_CAP_DB.ln();
+                        xs[1] = 0.0;
+                        ys[1] = PSPNR_CAP_DB.ln();
+                        m = 2;
+                    }
+                    // Weighted least squares, weight 1/ratio: real
+                    // viewpoint actions concentrate at small ratios, so
+                    // accuracy there matters most.
+                    let mut wsum = 0.0;
+                    let mut mx = 0.0;
+                    let mut my = 0.0;
+                    for i in 0..m {
+                        let w = (-xs[i]).exp(); // 1/ratio
+                        wsum += w;
+                        mx += w * xs[i];
+                        my += w * ys[i];
+                    }
+                    mx /= wsum;
+                    my /= wsum;
+                    let mut sxx = 0.0;
+                    let mut sxy = 0.0;
+                    for i in 0..m {
+                        let w = (-xs[i]).exp();
+                        sxx += w * (xs[i] - mx) * (xs[i] - mx);
+                        sxy += w * (xs[i] - mx) * (ys[i] - my);
+                    }
+                    let b = if sxx < 1e-12 { 0.0 } else { sxy / sxx };
+                    let a = (my - b * mx).exp();
+                    // Round to 4 significant decimals: the fit is
+                    // approximate anyway, and full-precision floats triple
+                    // the manifest's JSON size (§6.3's whole point is a
+                    // small table).
+                    level_params.push((round4(a), round4(b)));
+                }
+                tile_params.push(level_params);
+            }
+            params.push(tile_params);
+        }
+        drop(frame);
         let n: u64 = params
             .iter()
             .flatten()
@@ -740,5 +840,82 @@ mod tests {
             let old = interp_linear(&RATIO_GRID, &ys, x);
             assert_eq!(new.to_bits(), old.to_bits(), "x {x}: {new} vs {old}");
         }
+    }
+
+    #[test]
+    fn count_below_equals_partition_point_on_paper_grids() {
+        // The branchless lane-path segment search must land on the same
+        // index as the binary search for every probe regime (past the
+        // ends, grid points, midpoints, NaN).
+        for grid in [
+            &SPEED_GRID[..],
+            &DOF_GRID[..],
+            &LUM_GRID[..],
+            &RATIO_GRID[..],
+        ] {
+            for x in probe_points(grid) {
+                assert_eq!(
+                    count_below(grid, x),
+                    grid.partition_point(|&g| g < x),
+                    "grid {grid:?} x {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pspnr_row_lane_bit_equals_scalar_and_per_ratio_formulation() {
+        let (comp, chunks) = builders_fixture();
+        for (features, tiles) in &chunks {
+            for tile in tiles {
+                let content_jnd = comp.tile_content_jnd(features, tile);
+                for level in QualityLevel::all() {
+                    let quantiles = tile.error_quantiles(level);
+                    let mut lane = [0.0f64; RATIO_GRID.len()];
+                    let mut scalar = [0.0f64; RATIO_GRID.len()];
+                    pspnr_row(&quantiles, content_jnd, true, &mut lane);
+                    pspnr_row(&quantiles, content_jnd, false, &mut scalar);
+                    for (i, &r) in RATIO_GRID.iter().enumerate() {
+                        assert_eq!(lane[i].to_bits(), scalar[i].to_bits(), "lane vs scalar");
+                        // And both match the per-ratio formulation the row
+                        // kernel replaced (on the active dispatch path).
+                        let one = pspnr_from_quantiles_at_jnd(&quantiles, content_jnd * r);
+                        let batched = if pano_arena::lanes::enabled() {
+                            lane[i]
+                        } else {
+                            scalar[i]
+                        };
+                        assert_eq!(batched.to_bits(), one.to_bits(), "row vs single");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_power_arena_reuse_is_byte_deterministic() {
+        // One arena serving many builds — including an arena deliberately
+        // dirtied with garbage between builds — must yield tables byte-
+        // identical to a fresh-arena build: no stale-slot leakage.
+        let (comp, chunks) = builders_fixture();
+        let b = LookupBuilder::new(&comp);
+        let pairs = borrow_pairs(&chunks);
+        let fresh = serde_json::to_vec(&b.build_power(&pairs)).expect("serialises");
+
+        let mut arena = Arena::new();
+        let first = serde_json::to_vec(&b.build_power_in(&pairs, &mut arena)).expect("serialises");
+        let second = serde_json::to_vec(&b.build_power_in(&pairs, &mut arena)).expect("serialises");
+        assert_eq!(first, fresh, "arena build differs from fresh build");
+        assert_eq!(second, fresh, "arena reuse perturbed the build");
+
+        // Dirty the arena: fill a live allocation with garbage, reset.
+        {
+            let mut f = arena.frame();
+            let junk = f.alloc(64);
+            f.get_mut(junk).fill(999.25);
+        }
+        arena.reset();
+        let third = serde_json::to_vec(&b.build_power_in(&pairs, &mut arena)).expect("serialises");
+        assert_eq!(third, fresh, "stale arena contents leaked into the build");
     }
 }

@@ -1,0 +1,394 @@
+//! Scratch allocation for the Pano hot kernels.
+//!
+//! Three pieces, all std-only and `forbid(unsafe_code)`:
+//!
+//! - [`Arena`]: a bump allocator over one `Vec<f64>` backing buffer.
+//!   Callers open a [`Frame`], allocate zero-filled slices out of it, and
+//!   the frame's drop pops every allocation at once. Capacity is retained
+//!   across frames and across [`Arena::reset`], so a worker that processes
+//!   many tiles touches the global allocator once, not once per tile.
+//! - [`Pool`]: a recycler for `Vec<T>` buffers whose element type is not
+//!   `f64` (e.g. the per-instant object snapshots in scene sampling).
+//! - [`lanes`]: the fixed lane width used by the vectorized kernel paths
+//!   and the process-wide `PANO_LANES` switch that selects lane vs scalar.
+//!
+//! Determinism contract: every allocation is zero-filled at `alloc` time,
+//! even when the backing memory is reused from an earlier frame, so arena
+//! reuse can never leak stale values into artefacts (pinned by the
+//! stale-slot tests here and the arena-reuse determinism tests in
+//! pano-abr/pano-sim).
+
+#![forbid(unsafe_code)]
+#![warn(rust_2018_idioms)]
+
+/// Lane configuration for the vectorized kernel paths.
+pub mod lanes {
+    use std::sync::OnceLock;
+
+    /// Fixed lane width of the batched kernels. Eight f64 lanes span two
+    /// 256-bit vectors; the fixed-trip inner loops over `[f64; WIDTH]`
+    /// accumulator arrays are what the autovectorizer turns into vector
+    /// code without any `unsafe` or nightly `std::simd`.
+    pub const WIDTH: usize = 8;
+
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+
+    /// Whether the lane paths are enabled for this process.
+    ///
+    /// Reads `PANO_LANES` once: `off`, `0` or `false` (case-insensitive)
+    /// select the scalar reference path; anything else (including unset)
+    /// selects the lane path. Both paths are bit-identical by
+    /// construction and by proptest, so this switch exists for CI's
+    /// scalar-reference job and for bisecting, not for correctness.
+    pub fn enabled() -> bool {
+        *ENABLED.get_or_init(|| match std::env::var("PANO_LANES") {
+            Ok(v) => {
+                let v = v.trim().to_ascii_lowercase();
+                !(v == "off" || v == "0" || v == "false")
+            }
+            Err(_) => true,
+        })
+    }
+}
+
+/// A range handle into an [`Arena`], returned by [`Frame::alloc`].
+///
+/// Slots are plain index ranges (no lifetimes), so they can be stored in
+/// scratch structs while the frame is re-borrowed between uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    start: usize,
+    len: usize,
+}
+
+impl Slot {
+    /// Number of f64 elements in the slot.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Counters describing an arena's lifetime behaviour, surfaced by
+/// `hotpath_bench` so the "one arena per worker" claim is observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total `alloc` calls served.
+    pub allocs: u64,
+    /// Frames opened.
+    pub frames: u64,
+    /// Times the backing buffer had to grow. After warm-up this stays
+    /// flat: every further allocation reuses retained capacity.
+    pub grows: u64,
+    /// High-water mark of live f64 slots.
+    pub high_water: usize,
+}
+
+/// Bump allocator over one `Vec<f64>` backing buffer.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<f64>,
+    top: usize,
+    allocs: u64,
+    frames: u64,
+    grows: u64,
+    high_water: usize,
+}
+
+impl Arena {
+    /// An empty arena. The backing buffer grows on first use and is then
+    /// retained for the arena's lifetime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena with `slots` f64 elements pre-reserved.
+    pub fn with_capacity(slots: usize) -> Self {
+        let mut a = Self::default();
+        a.buf.reserve(slots);
+        a
+    }
+
+    /// Opens an allocation frame. Everything allocated through the frame
+    /// is popped when the frame drops; the backing capacity is retained.
+    pub fn frame(&mut self) -> Frame<'_> {
+        self.frames += 1;
+        let base = self.top;
+        Frame { arena: self, base }
+    }
+
+    /// Drops all live allocations (capacity retained). Equivalent to
+    /// dropping every open frame; useful between independent work items.
+    pub fn reset(&mut self) {
+        self.top = 0;
+    }
+
+    /// Retained backing capacity, in f64 slots.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            allocs: self.allocs,
+            frames: self.frames,
+            grows: self.grows,
+            high_water: self.high_water,
+        }
+    }
+
+    fn bump(&mut self, n: usize) -> Slot {
+        let start = self.top;
+        let end = start + n;
+        if end > self.buf.len() {
+            if end > self.buf.capacity() {
+                self.grows += 1;
+            }
+            self.buf.resize(end, 0.0);
+        }
+        // Zero-fill unconditionally: reused memory must never leak stale
+        // values from an earlier frame into a new allocation.
+        self.buf[start..end].fill(0.0);
+        self.top = end;
+        self.allocs += 1;
+        self.high_water = self.high_water.max(end);
+        Slot { start, len: n }
+    }
+}
+
+/// An allocation frame over an [`Arena`]; drop pops all of its slots.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    arena: &'a mut Arena,
+    base: usize,
+}
+
+impl Frame<'_> {
+    /// Allocates a zero-filled slice of `n` f64 slots.
+    pub fn alloc(&mut self, n: usize) -> Slot {
+        self.arena.bump(n)
+    }
+
+    /// Borrows a slot's contents.
+    pub fn get(&self, slot: Slot) -> &[f64] {
+        &self.arena.buf[slot.start..slot.start + slot.len]
+    }
+
+    /// Mutably borrows a slot's contents.
+    pub fn get_mut(&mut self, slot: Slot) -> &mut [f64] {
+        &mut self.arena.buf[slot.start..slot.start + slot.len]
+    }
+
+    /// Mutably borrows two distinct slots at once (e.g. the x and y
+    /// columns of a fit). Panics if the slots overlap or are unordered —
+    /// bump allocation hands them out disjoint and ascending, so any
+    /// overlap is a caller bug.
+    pub fn get_mut2(&mut self, a: Slot, b: Slot) -> (&mut [f64], &mut [f64]) {
+        let (lo, hi, swap) = if a.start <= b.start {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        assert!(
+            lo.start + lo.len <= hi.start,
+            "arena slots overlap: {lo:?} vs {hi:?}"
+        );
+        let (left, right) = self.arena.buf.split_at_mut(hi.start);
+        let lo_s = &mut left[lo.start..lo.start + lo.len];
+        let hi_s = &mut right[..hi.len];
+        if swap {
+            (hi_s, lo_s)
+        } else {
+            (lo_s, hi_s)
+        }
+    }
+}
+
+impl Drop for Frame<'_> {
+    fn drop(&mut self) {
+        self.arena.top = self.base;
+    }
+}
+
+/// Recycler for `Vec<T>` scratch buffers: `take` hands out a cleared
+/// buffer (reusing a returned one when available), `put` returns it.
+#[derive(Debug)]
+pub struct Pool<T> {
+    free: Vec<Vec<T>>,
+    takes: u64,
+    reuses: u64,
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Self {
+            free: Vec::new(),
+            takes: 0,
+            reuses: 0,
+        }
+    }
+}
+
+impl<T> Pool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared buffer, reusing a previously returned one if available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.takes += 1;
+        match self.free.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, v: Vec<T>) {
+        self.free.push(v);
+    }
+
+    /// `(takes, reuses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.takes, self.reuses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_zero_filled() {
+        let mut arena = Arena::new();
+        let mut f = arena.frame();
+        let s = f.alloc(8);
+        assert!(f.get(s).iter().all(|&x| x == 0.0));
+        f.get_mut(s).fill(7.5);
+        drop(f);
+        // Reused memory must come back zeroed, not holding 7.5.
+        let mut f = arena.frame();
+        let s2 = f.alloc(8);
+        assert!(f.get(s2).iter().all(|&x| x == 0.0), "stale slot leaked");
+    }
+
+    #[test]
+    fn frame_drop_pops_and_capacity_is_retained() {
+        let mut arena = Arena::new();
+        {
+            let mut f = arena.frame();
+            f.alloc(100);
+            f.alloc(28);
+        }
+        assert_eq!(arena.top, 0);
+        let cap_after_warmup = arena.capacity();
+        assert!(cap_after_warmup >= 128);
+        let grows_after_warmup = arena.stats().grows;
+        for _ in 0..50 {
+            let mut f = arena.frame();
+            f.alloc(100);
+            f.alloc(28);
+        }
+        assert_eq!(arena.capacity(), cap_after_warmup, "capacity churned");
+        assert_eq!(
+            arena.stats().grows,
+            grows_after_warmup,
+            "regrew after warm-up"
+        );
+        assert_eq!(arena.stats().frames, 51);
+        assert_eq!(arena.stats().high_water, 128);
+    }
+
+    #[test]
+    fn nested_frames_pop_in_order() {
+        let mut arena = Arena::new();
+        let mut outer = arena.frame();
+        let a = outer.alloc(4);
+        outer.get_mut(a).fill(1.0);
+        // Simulate a nested scope by allocating more and checking the
+        // outer slot is untouched.
+        let b = outer.alloc(4);
+        outer.get_mut(b).fill(2.0);
+        assert_eq!(outer.get(a), &[1.0; 4]);
+        assert_eq!(outer.get(b), &[2.0; 4]);
+        drop(outer);
+        assert_eq!(arena.top, 0);
+    }
+
+    #[test]
+    fn get_mut2_returns_disjoint_slices_in_either_order() {
+        let mut arena = Arena::new();
+        let mut f = arena.frame();
+        let a = f.alloc(3);
+        let b = f.alloc(5);
+        {
+            let (xs, ys) = f.get_mut2(a, b);
+            assert_eq!((xs.len(), ys.len()), (3, 5));
+            xs.fill(1.0);
+            ys.fill(2.0);
+        }
+        {
+            let (ys, xs) = f.get_mut2(b, a);
+            assert_eq!((ys.len(), xs.len()), (5, 3));
+            assert_eq!(xs, &[1.0; 3]);
+            assert_eq!(ys, &[2.0; 5]);
+        }
+    }
+
+    #[test]
+    fn reset_drops_live_allocations_but_keeps_capacity() {
+        let mut arena = Arena::with_capacity(64);
+        let cap = arena.capacity();
+        let mut f = arena.frame();
+        let s = f.alloc(32);
+        f.get_mut(s).fill(3.0);
+        drop(f);
+        arena.reset();
+        assert_eq!(arena.top, 0);
+        assert!(arena.capacity() >= cap);
+        let mut f = arena.frame();
+        let s = f.alloc(32);
+        assert!(f.get(s).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pool_reuses_returned_buffers() {
+        let mut pool: Pool<u32> = Pool::new();
+        let mut v = pool.take();
+        v.extend([1, 2, 3]);
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        pool.put(v);
+        let v2 = pool.take();
+        assert!(v2.is_empty(), "pooled buffer not cleared");
+        assert_eq!(v2.as_ptr(), ptr, "pool did not reuse the buffer");
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(pool.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lane_width_is_eight() {
+        assert_eq!(lanes::WIDTH, 8);
+    }
+
+    #[test]
+    fn slot_len_reports() {
+        let mut arena = Arena::new();
+        let mut f = arena.frame();
+        let s = f.alloc(5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let e = f.alloc(0);
+        assert!(e.is_empty());
+    }
+}

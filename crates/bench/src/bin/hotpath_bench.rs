@@ -3,15 +3,23 @@
 //!
 //! Times a cold [`PreparedVideo::prepare`] of the default sports video at
 //! 1/2/4/pool workers (verifying the artefacts are byte-identical at every
-//! count), then micro-benchmarks the four kernels the preparation and
-//! client hot paths lean on: the fused PMSE-with-JND-spread pass, the
-//! power-law lookup build, the online lookup estimate, and the Pareto
-//! bitrate allocation. Results land in `BENCH_hotpath.json`.
+//! count), then micro-benchmarks the kernels the preparation and client
+//! hot paths lean on: the fused PMSE-with-JND-spread pass (scalar and
+//! lane-batched), the power-law lookup build (both kernel paths, arena
+//! reused), feature extraction, the online lookup estimate, the Pareto
+//! bitrate allocation, and the arena frame round-trip. Results land in
+//! `BENCH_hotpath.json`.
 //!
 //! ```text
 //! cargo run --release -p pano-bench --bin hotpath_bench -- \
-//!     [OUT.json] [--baseline PATH] [--min-speedup X] [--write-baseline PATH] [--trace]
+//!     [OUT.json] [--baseline PATH] [--min-speedup X] \
+//!     [--min-kernel-speedup X] [--write-baseline PATH] [--trace]
 //! ```
+//!
+//! `--min-kernel-speedup X` fails the run unless the lane-batched PMSE
+//! and lookup-build kernels are at least `X`× faster than their scalar
+//! twins *measured in this process* — a machine-independent vectorization
+//! gate that needs no committed reference numbers.
 //!
 //! With `--trace`, the prepare runs stream span-traced telemetry to
 //! `results/telemetry/<run_id>.jsonl` and the flushed stream is folded
@@ -30,12 +38,13 @@
 
 use pano_abr::allocate::{allocate_pareto, TileChoice};
 use pano_abr::lookup::{LookupBuilder, LookupScheme};
+use pano_arena::{lanes, Arena};
 use pano_jnd::{ActionState, PspnrComputer};
 use pano_sim::asset::{AssetConfig, PreparedVideo};
 use pano_sim::experiments::effective_workers;
 use pano_telemetry::Telemetry;
 use pano_video::codec::{EncodedTile, QualityLevel, DISTORTION_QUANTILES};
-use pano_video::{ChunkFeatures, Genre, VideoSpec};
+use pano_video::{ChunkFeatures, FeatureExtractor, FeatureScratch, Genre, VideoSpec};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -83,22 +92,95 @@ fn bench_pmse_spread() -> (f64, f64) {
     (secs, secs * 1e9 / PMSE_ITERS as f64)
 }
 
+/// Batched PMSE spread on the requested kernel path (the lookup-build
+/// inner loop); ns per (quantile-set, jnd) element.
+fn bench_pmse_batch(use_lanes: bool) -> f64 {
+    let mut quantiles = DISTORTION_QUANTILES;
+    for v in &mut quantiles {
+        *v *= 6.0;
+    }
+    const BATCH: usize = 64;
+    let mut jnds = [0.0f64; BATCH];
+    for (i, j) in jnds.iter_mut().enumerate() {
+        *j = 2.0 + (i & 63) as f64 * 0.4;
+    }
+    let mut out = [0.0f64; BATCH];
+    let iters = PMSE_ITERS / BATCH as u64;
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        if use_lanes {
+            PspnrComputer::pmse_spread_batch_lanes(
+                black_box(&quantiles),
+                black_box(&jnds),
+                &mut out,
+            );
+        } else {
+            PspnrComputer::pmse_spread_batch_scalar(
+                black_box(&quantiles),
+                black_box(&jnds),
+                &mut out,
+            );
+        }
+        acc += out[0] + out[BATCH - 1];
+    }
+    black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e9 / (iters * BATCH as u64) as f64
+}
+
 /// Full power-law lookup build over the prepared video's borrowed
-/// `(features, tiles)` pairs; returns ms per build.
-fn bench_lookup_build(prepared: &PreparedVideo) -> f64 {
+/// `(features, tiles)` pairs on the requested kernel path, with one
+/// arena reused across builds; returns ms per build.
+fn bench_lookup_build(prepared: &PreparedVideo, use_lanes: bool) -> f64 {
     let pairs: Vec<(&ChunkFeatures, &[EncodedTile])> = prepared
         .features
         .iter()
         .zip(prepared.pano_chunks.iter().map(|c| c.tiles.as_slice()))
         .collect();
     let builder = LookupBuilder::new(&prepared.computer);
+    let mut arena = Arena::new();
     let t0 = Instant::now();
     let mut iters = 0u32;
     while iters < 3 || (t0.elapsed().as_secs_f64() < 0.2 && iters < 64) {
-        black_box(builder.build_power(black_box(&pairs)));
+        black_box(builder.build_power_mode(black_box(&pairs), &mut arena, use_lanes));
         iters += 1;
     }
     t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Feature extraction (the SceneInstant sampling kernel) on the requested
+/// path, one scratch reused across chunks; ms per chunk.
+fn bench_features(sp: &VideoSpec, use_lanes: bool) -> f64 {
+    let scene = sp.scene();
+    let extractor = FeatureExtractor::new(sp.resolution, AssetConfig::default().unit_grid);
+    let mut scratch = FeatureScratch::default();
+    let n_chunks = scene.duration_secs().ceil() as usize;
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    while iters < 4 || (t0.elapsed().as_secs_f64() < 0.3 && iters < 64) {
+        let k = iters as usize % n_chunks;
+        black_box(extractor.extract_with_mode(&scene, sp.fps, k, 1.0, &mut scratch, use_lanes));
+        iters += 1;
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Arena frame + alloc + touch round-trip; returns (ns/frame, stats).
+fn bench_arena() -> (f64, pano_arena::ArenaStats) {
+    const ITERS: u64 = 1_000_000;
+    let mut arena = Arena::with_capacity(64);
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..ITERS {
+        let mut frame = arena.frame();
+        let slot = frame.alloc(16);
+        let buf = frame.get_mut(slot);
+        buf[(i % 16) as usize] = i as f64;
+        acc += frame.get(slot)[(i % 16) as usize];
+    }
+    black_box(acc);
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / ITERS as f64;
+    (ns, arena.stats())
 }
 
 /// Online PSPNR estimates against the shipped power-law table; ns/op.
@@ -211,6 +293,7 @@ struct Args {
     out_path: String,
     baseline: Option<String>,
     min_speedup: Option<f64>,
+    min_kernel_speedup: Option<f64>,
     write_baseline: Option<String>,
     trace: bool,
 }
@@ -220,6 +303,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
         out_path: "BENCH_hotpath.json".to_string(),
         baseline: None,
         min_speedup: None,
+        min_kernel_speedup: None,
         write_baseline: None,
         trace: false,
     };
@@ -236,6 +320,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Args {
                     value("--min-speedup")
                         .parse()
                         .expect("--min-speedup takes a number"),
+                )
+            }
+            "--min-kernel-speedup" => {
+                args.min_kernel_speedup = Some(
+                    value("--min-kernel-speedup")
+                        .parse()
+                        .expect("--min-kernel-speedup takes a number"),
                 )
             }
             "--trace" => args.trace = true,
@@ -281,13 +372,31 @@ fn main() {
     let prepared = last.expect("at least one prepare ran");
     let serial_secs = runs[0].1;
 
+    let lanes_enabled = lanes::enabled();
     let (calibration_secs, pmse_ns) = bench_pmse_spread();
-    let lookup_build_ms = bench_lookup_build(&prepared);
+    let pmse_batch_scalar_ns = bench_pmse_batch(false);
+    let pmse_batch_lane_ns = bench_pmse_batch(true);
+    let pmse_batch_speedup = pmse_batch_scalar_ns / pmse_batch_lane_ns.max(1e-9);
+    let lookup_scalar_ms = bench_lookup_build(&prepared, false);
+    let lookup_lane_ms = bench_lookup_build(&prepared, true);
+    let lookup_speedup = lookup_scalar_ms / lookup_lane_ms.max(1e-9);
+    let lookup_build_ms = if lanes_enabled {
+        lookup_lane_ms
+    } else {
+        lookup_scalar_ms
+    };
+    let bench_spec = spec();
+    let features_ms = bench_features(&bench_spec, lanes_enabled);
     let estimate_ns = bench_online_estimate(&prepared);
     let pareto_us = bench_pareto(&prepared);
+    let (arena_frame_ns, arena_stats) = bench_arena();
     println!(
-        "hotpath_bench: kernels: pmse_spread {pmse_ns:.1}ns, lookup_build {lookup_build_ms:.2}ms, \
-         estimate {estimate_ns:.1}ns, pareto {pareto_us:.1}us"
+        "hotpath_bench: kernels (lanes {}): pmse_spread {pmse_ns:.1}ns, \
+         pmse_batch scalar {pmse_batch_scalar_ns:.1}ns / lane {pmse_batch_lane_ns:.1}ns \
+         (x{pmse_batch_speedup:.2}), lookup_build scalar {lookup_scalar_ms:.2}ms / \
+         lane {lookup_lane_ms:.2}ms (x{lookup_speedup:.2}), features {features_ms:.2}ms/chunk, \
+         estimate {estimate_ns:.1}ns, pareto {pareto_us:.1}us, arena_frame {arena_frame_ns:.1}ns",
+        if lanes_enabled { "on" } else { "off" },
     );
     // The trace artifact lands before any gate can exit the process.
     if let Some(tp) = pano_bench::finish_run(&run) {
@@ -300,15 +409,28 @@ fn main() {
         let base: Baseline = serde_json::from_slice(&raw).expect("parse baseline file");
         let g = gate(serial_secs, calibration_secs, &base, GATE_TOLERANCE);
         match &g {
-            Gate::Skipped(why) => println!("hotpath_bench: gate skipped ({why})"),
+            Gate::Skipped(why) => {
+                println!("hotpath_bench: gate skipped ({why})");
+                if base.provisional {
+                    println!(
+                        "hotpath_bench: note: measure a real baseline on the reference runner \
+                         via --write-baseline and commit it (provisional arms nothing)"
+                    );
+                }
+            }
             Gate::Pass(limit) => {
                 println!(
                     "hotpath_bench: gate pass (serial {serial_secs:.3}s <= limit {limit:.3}s)"
                 );
+                // A *measured* baseline with >3x headroom means the code got
+                // substantially faster since it was recorded (not that the
+                // baseline was never real): refresh it so the gate tracks
+                // the improved hot path instead of the pre-optimization one.
                 if serial_secs * 3.0 < *limit {
                     println!(
-                        "hotpath_bench: note: baseline is loose (>3x headroom) — tighten it \
-                         from this run's candidate via --write-baseline and commit the result"
+                        "hotpath_bench: note: measured baseline is stale (>3x headroom since \
+                         it was recorded) — refresh it from this run's --write-baseline \
+                         candidate and commit the result"
                     );
                 }
             }
@@ -325,8 +447,17 @@ fn main() {
             "provisional": false,
             "calibration_secs": calibration_secs,
             "prepare_serial_secs": serial_secs,
+            "kernels": {
+                "pmse_spread_ns": pmse_ns,
+                "pmse_batch_lane_ns": pmse_batch_lane_ns,
+                "lookup_build_ms": lookup_build_ms,
+                "features_extract_ms": features_ms,
+                "arena_frame_ns": arena_frame_ns,
+            },
+            "lanes_enabled": lanes_enabled,
             "note": "Reference-machine hotpath baseline; regenerate with \
-                     hotpath_bench --write-baseline.",
+                     hotpath_bench --write-baseline. Only calibration_secs and \
+                     prepare_serial_secs arm the gate; kernels are informational.",
         });
         if let Err(err) = pano_telemetry::atomic_write(
             path,
@@ -347,11 +478,22 @@ fn main() {
             "wall_secs": secs,
             "speedup": serial_secs / secs.max(1e-9),
         })).collect::<Vec<_>>(),
+        "lanes_enabled": lanes_enabled,
         "kernels": {
             "pmse_spread_ns": pmse_ns,
+            "pmse_batch_scalar_ns": pmse_batch_scalar_ns,
+            "pmse_batch_lane_ns": pmse_batch_lane_ns,
+            "pmse_batch_speedup": pmse_batch_speedup,
             "lookup_build_ms": lookup_build_ms,
+            "lookup_build_scalar_ms": lookup_scalar_ms,
+            "lookup_build_lane_ms": lookup_lane_ms,
+            "lookup_build_speedup": lookup_speedup,
+            "features_extract_ms": features_ms,
             "online_estimate_ns": estimate_ns,
             "pareto_allocate_us": pareto_us,
+            "arena_frame_ns": arena_frame_ns,
+            "arena_high_water": arena_stats.high_water,
+            "arena_grows": arena_stats.grows,
         },
         "calibration_secs": calibration_secs,
         "gate": match &gate_outcome {
@@ -372,6 +514,29 @@ fn main() {
 
     if matches!(gate_outcome, Some(Gate::Fail(_))) {
         std::process::exit(1);
+    }
+    if let Some(min) = args.min_kernel_speedup {
+        // The lane-vs-scalar ratio is measured on this machine in this
+        // process, so the gate is machine-independent: it fails only if
+        // the vectorized kernels genuinely lost their edge.
+        let mut failed = false;
+        for (name, s) in [
+            ("pmse_batch", pmse_batch_speedup),
+            ("lookup_build", lookup_speedup),
+        ] {
+            if s < min {
+                println!(
+                    "hotpath_bench: KERNEL SPEEDUP SHORTFALL: {name} lane path \
+                     x{s:.2} < required x{min:.2} over scalar"
+                );
+                failed = true;
+            } else {
+                println!("hotpath_bench: kernel {name} lane speedup x{s:.2} >= x{min:.2}");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
     if let Some(min) = args.min_speedup {
         let at4 = runs
@@ -456,6 +621,8 @@ mod tests {
                 "b.json",
                 "--min-speedup",
                 "2.0",
+                "--min-kernel-speedup",
+                "1.5",
                 "--trace",
             ]
             .into_iter()
@@ -464,6 +631,7 @@ mod tests {
         assert_eq!(a.out_path, "out.json");
         assert_eq!(a.baseline.as_deref(), Some("b.json"));
         assert_eq!(a.min_speedup, Some(2.0));
+        assert_eq!(a.min_kernel_speedup, Some(1.5));
         assert!(a.write_baseline.is_none());
         assert!(a.trace);
     }

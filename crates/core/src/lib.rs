@@ -32,6 +32,7 @@ pub mod client;
 pub mod provider;
 
 pub use pano_abr as abr;
+pub use pano_arena as arena;
 pub use pano_geo as geo;
 pub use pano_jnd as jnd;
 pub use pano_net as net;

@@ -68,11 +68,19 @@ impl PanoProvider {
         self.prepared.scene.duration_secs()
     }
 
+    /// The manifest serialised as JSON, borrowed from the artefact's
+    /// shared cache — serialised at most once per prepared video, never
+    /// copied per caller.
+    pub fn manifest_bytes(&self) -> &[u8] {
+        self.prepared.manifest_bytes()
+    }
+
     /// Writes the augmented manifest to `path` as JSON, atomically: a
     /// crash mid-write leaves either the old file or the new one, never
-    /// a torn manifest.
+    /// a torn manifest. Serves the artefact's cached serialisation —
+    /// no re-serialisation per write.
     pub fn write_manifest(&self, path: &std::path::Path) -> std::io::Result<()> {
-        pano_telemetry::atomic_write_str(path, &self.prepared.manifest.to_json())
+        pano_telemetry::atomic_write(path, self.prepared.manifest_bytes())
     }
 
     /// Writes the provider's history head-movement traces (the ones the

@@ -16,6 +16,7 @@
 
 use crate::content::ContentJnd;
 use crate::multipliers::{ActionState, Multipliers};
+use pano_arena::lanes;
 use pano_telemetry::{Counter, Telemetry};
 use pano_video::codec::{EncodedChunk, EncodedTile, QualityLevel};
 use pano_video::{ChunkFeatures, LumaPlane};
@@ -150,6 +151,21 @@ impl PspnrComputer {
         sum / quantiles.len() as f64
     }
 
+    /// Branchless lane formulation of [`Self::pmse_from_quantiles`]:
+    /// `max(e − jnd, 0)²` per quantile with no data-dependent branch.
+    /// Bit-identical to the reference by the same argument as
+    /// [`Self::pmse_with_jnd_spread_lanes`] (sub-threshold terms are
+    /// `+0.0`, a bitwise no-op on the non-negative running sum).
+    #[inline]
+    pub fn pmse_from_quantiles_lanes(quantiles: &[f64; 16], jnd: f64) -> f64 {
+        let mut sum = 0.0;
+        for &e in quantiles {
+            let d = (e - jnd).max(0.0);
+            sum += d * d;
+        }
+        sum / quantiles.len() as f64
+    }
+
     /// PMSE with a within-tile JND spread: per-pixel JND inside a tile is
     /// not uniform (edges and flat mid-greys are far more sensitive than
     /// the tile average), so the tile-mean JND is expanded into a small
@@ -163,8 +179,23 @@ impl PspnrComputer {
     /// the quantile array. Each component's sum gathers the same terms in
     /// the same order as [`Self::pmse_from_quantiles`] would, so the result
     /// is bit-identical to the three-pass formulation.
+    ///
+    /// Dispatches between the scalar reference and the branchless lane
+    /// formulation on [`lanes::enabled`]; both are bit-identical (see
+    /// [`Self::pmse_with_jnd_spread_lanes`] for why).
     #[inline]
     pub fn pmse_with_jnd_spread(quantiles: &[f64; 16], jnd: f64) -> f64 {
+        if lanes::enabled() {
+            Self::pmse_with_jnd_spread_lanes(quantiles, jnd)
+        } else {
+            Self::pmse_with_jnd_spread_scalar(quantiles, jnd)
+        }
+    }
+
+    /// Scalar reference formulation of [`Self::pmse_with_jnd_spread`]:
+    /// branchy threshold tests, one pass over the quantiles.
+    #[inline]
+    pub fn pmse_with_jnd_spread_scalar(quantiles: &[f64; 16], jnd: f64) -> f64 {
         let (j0, j1, j2) = (jnd * 0.4, jnd, jnd * 1.6);
         let mut s0 = 0.0;
         let mut s1 = 0.0;
@@ -187,6 +218,109 @@ impl PspnrComputer {
         0.25 * (s0 / n) + 0.50 * (s1 / n) + 0.25 * (s2 / n)
     }
 
+    /// Branchless lane formulation of [`Self::pmse_with_jnd_spread`]:
+    /// every term is computed as `(e − j).max(0.0)²`, turning the three
+    /// threshold tests into straight-line arithmetic the autovectorizer
+    /// can lift into vector code.
+    ///
+    /// Bit-identity with the scalar reference holds term by term:
+    /// * `e ≥ j` ⇒ `e − j ≥ 0`, so `max` is the identity and the squared
+    ///   term matches the scalar branch exactly;
+    /// * `e < j` ⇒ the term is `+0.0`, and `s + 0.0` is a bitwise no-op
+    ///   for every non-negative `s` (the sums start at `+0.0` and only
+    ///   ever accumulate non-negative terms);
+    /// * a NaN input (`e` or `j`) makes `max` return its other operand
+    ///   `0.0`, matching the scalar path's comparison-is-false skip.
+    ///
+    /// Accumulation order per sum is unchanged, so the reduction is
+    /// bit-identical, not merely close (pinned by proptest below).
+    #[inline]
+    pub fn pmse_with_jnd_spread_lanes(quantiles: &[f64; 16], jnd: f64) -> f64 {
+        let (j0, j1, j2) = (jnd * 0.4, jnd, jnd * 1.6);
+        let mut s0 = 0.0;
+        let mut s1 = 0.0;
+        let mut s2 = 0.0;
+        for &e in quantiles {
+            let d0 = (e - j0).max(0.0);
+            let d1 = (e - j1).max(0.0);
+            let d2 = (e - j2).max(0.0);
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+        }
+        let n = quantiles.len() as f64;
+        0.25 * (s0 / n) + 0.50 * (s1 / n) + 0.25 * (s2 / n)
+    }
+
+    /// Batched [`Self::pmse_with_jnd_spread`] over many JND thresholds
+    /// against one quantile array: `out[i] = pmse_with_jnd_spread(q,
+    /// jnds[i])`, bit-identically. This is the builder's hot kernel — one
+    /// call per (tile, level) covers the whole ratio grid, and one call
+    /// per tile covers a lane of cells, amortizing the quantile loads
+    /// [`lanes::WIDTH`]-fold.
+    ///
+    /// Panics unless `jnds` and `out` have equal lengths.
+    #[inline]
+    pub fn pmse_spread_batch(quantiles: &[f64; 16], jnds: &[f64], out: &mut [f64]) {
+        if lanes::enabled() {
+            Self::pmse_spread_batch_lanes(quantiles, jnds, out);
+        } else {
+            Self::pmse_spread_batch_scalar(quantiles, jnds, out);
+        }
+    }
+
+    /// Scalar reference for [`Self::pmse_spread_batch`]: one independent
+    /// [`Self::pmse_with_jnd_spread_scalar`] call per threshold.
+    pub fn pmse_spread_batch_scalar(quantiles: &[f64; 16], jnds: &[f64], out: &mut [f64]) {
+        assert_eq!(jnds.len(), out.len(), "one output slot per jnd");
+        for (o, &jnd) in out.iter_mut().zip(jnds) {
+            *o = Self::pmse_with_jnd_spread_scalar(quantiles, jnd);
+        }
+    }
+
+    /// Lane formulation of [`Self::pmse_spread_batch`]: thresholds are
+    /// processed [`lanes::WIDTH`] at a time with fixed-width `[f64;
+    /// WIDTH]` accumulator arrays (three per lane block, one per spread
+    /// component). The fixed-trip inner loop over independent lanes is
+    /// what the autovectorizer turns into vector code; each lane's
+    /// per-quantile accumulation order equals a scalar call's, so every
+    /// output is bit-identical to the reference (pinned by proptest).
+    pub fn pmse_spread_batch_lanes(quantiles: &[f64; 16], jnds: &[f64], out: &mut [f64]) {
+        assert_eq!(jnds.len(), out.len(), "one output slot per jnd");
+        const W: usize = lanes::WIDTH;
+        for (jb, ob) in jnds.chunks_exact(W).zip(out.chunks_exact_mut(W)) {
+            let mut j0 = [0.0f64; W];
+            let mut j1 = [0.0f64; W];
+            let mut j2 = [0.0f64; W];
+            for l in 0..W {
+                j0[l] = jb[l] * 0.4;
+                j1[l] = jb[l];
+                j2[l] = jb[l] * 1.6;
+            }
+            let mut s0 = [0.0f64; W];
+            let mut s1 = [0.0f64; W];
+            let mut s2 = [0.0f64; W];
+            for &e in quantiles {
+                for l in 0..W {
+                    let d0 = (e - j0[l]).max(0.0);
+                    let d1 = (e - j1[l]).max(0.0);
+                    let d2 = (e - j2[l]).max(0.0);
+                    s0[l] += d0 * d0;
+                    s1[l] += d1 * d1;
+                    s2[l] += d2 * d2;
+                }
+            }
+            let n = quantiles.len() as f64;
+            for l in 0..W {
+                ob[l] = 0.25 * (s0[l] / n) + 0.50 * (s1[l] / n) + 0.25 * (s2[l] / n);
+            }
+        }
+        let done = jnds.len() - jnds.len() % W;
+        for (o, &jnd) in out[done..].iter_mut().zip(&jnds[done..]) {
+            *o = Self::pmse_with_jnd_spread_lanes(quantiles, jnd);
+        }
+    }
+
     /// Quality of one tile at `level` under `action`.
     ///
     /// The PMSE is aggregated **per cell**: each cell's content JND is
@@ -203,17 +337,65 @@ impl PspnrComputer {
         level: QualityLevel,
         action: &ActionState,
     ) -> TileQuality {
+        self.tile_quality_mode(features, tile, level, action, lanes::enabled())
+    }
+
+    /// [`Self::tile_quality`] with the lane/scalar path chosen explicitly
+    /// instead of via `PANO_LANES` — the equivalence tests drive both
+    /// paths in one process through this entry point.
+    #[doc(hidden)]
+    pub fn tile_quality_mode(
+        &self,
+        features: &ChunkFeatures,
+        tile: &EncodedTile,
+        level: QualityLevel,
+        action: &ActionState,
+        use_lanes: bool,
+    ) -> TileQuality {
         self.tile_evals.inc();
         let ratio = self.multipliers.action_ratio(action);
         let quantiles = tile.error_quantiles(level);
         let mut pmse = 0.0;
         let mut jnd_sum = 0.0;
         let mut n = 0.0;
-        for cell in tile.rect.cells() {
-            let jnd = self.content.jnd_for_cell(features.cell(cell)) * ratio;
-            pmse += Self::pmse_with_jnd_spread(&quantiles, jnd);
-            jnd_sum += jnd;
-            n += 1.0;
+        if use_lanes {
+            // Cells are batched into lane-wide JND blocks so one
+            // `pmse_spread_batch_lanes` call amortizes the quantile loads
+            // across the whole block. The per-cell reduction below adds
+            // each cell's PMSE and JND in rect order — exactly the
+            // scalar path's order — so the aggregate stays bit-identical.
+            const W: usize = lanes::WIDTH;
+            let mut jnds = [0.0f64; W];
+            let mut outs = [0.0f64; W];
+            let mut filled = 0usize;
+            for cell in tile.rect.cells() {
+                jnds[filled] = self.content.jnd_for_cell(features.cell(cell)) * ratio;
+                filled += 1;
+                if filled == W {
+                    Self::pmse_spread_batch_lanes(&quantiles, &jnds, &mut outs);
+                    for l in 0..W {
+                        pmse += outs[l];
+                        jnd_sum += jnds[l];
+                        n += 1.0;
+                    }
+                    filled = 0;
+                }
+            }
+            if filled > 0 {
+                Self::pmse_spread_batch_lanes(&quantiles, &jnds[..filled], &mut outs[..filled]);
+                for l in 0..filled {
+                    pmse += outs[l];
+                    jnd_sum += jnds[l];
+                    n += 1.0;
+                }
+            }
+        } else {
+            for cell in tile.rect.cells() {
+                let jnd = self.content.jnd_for_cell(features.cell(cell)) * ratio;
+                pmse += Self::pmse_with_jnd_spread_scalar(&quantiles, jnd);
+                jnd_sum += jnd;
+                n += 1.0;
+            }
         }
         pmse /= n;
         TileQuality {
@@ -258,6 +440,7 @@ impl PspnrComputer {
         levels: &[QualityLevel],
         action: &ActionState,
     ) -> f64 {
+        // pano-lint: allow(per-tile-alloc): cold per-chunk convenience wrapper, one alloc per chunk not per tile
         let actions = vec![*action; chunk.tiles.len()];
         self.chunk_pspnr(features, chunk, levels, &actions)
     }
@@ -492,6 +675,70 @@ mod tests {
             let b = LumaPlane::filled(8, 8, 100 + delta);
             let map = vec![jnd; 64];
             prop_assert!(pspnr_planes(&a, &b, &map) >= psnr_planes(&a, &b) - 1e-9);
+        }
+
+        #[test]
+        fn prop_lane_spread_bit_equals_scalar(mae in 0.0f64..40.0, jnd in -5.0f64..60.0) {
+            // The branchless lane kernel vs the branchy scalar reference:
+            // tolerance zero, compared as bits.
+            let mut q = [0.0f64; 16];
+            for (qi, &base) in q.iter_mut().zip(pano_video::codec::DISTORTION_QUANTILES.iter()) {
+                *qi = base * mae;
+            }
+            let scalar = PspnrComputer::pmse_with_jnd_spread_scalar(&q, jnd);
+            let lane = PspnrComputer::pmse_with_jnd_spread_lanes(&q, jnd);
+            prop_assert_eq!(lane.to_bits(), scalar.to_bits());
+            let scalar_ref = PspnrComputer::pmse_from_quantiles(&q, jnd);
+            let lane_ref = PspnrComputer::pmse_from_quantiles_lanes(&q, jnd);
+            prop_assert_eq!(lane_ref.to_bits(), scalar_ref.to_bits());
+        }
+
+        #[test]
+        fn prop_batch_spread_bit_equals_scalar_at_adversarial_lengths(
+            mae in 0.0f64..40.0,
+            seed in 0u64..1000,
+        ) {
+            // Lengths straddling the lane width: 0, 1, W−1, W, W+1, and a
+            // large non-multiple. Every output slot must match the scalar
+            // reference bit for bit.
+            let w = pano_arena::lanes::WIDTH;
+            let mut q = [0.0f64; 16];
+            for (qi, &base) in q.iter_mut().zip(pano_video::codec::DISTORTION_QUANTILES.iter()) {
+                *qi = base * mae;
+            }
+            for len in [0, 1, w - 1, w, w + 1, 5 * w + 3] {
+                let jnds: Vec<f64> = (0..len)
+                    .map(|i| ((seed + i as u64 * 7919) % 600) as f64 * 0.1)
+                    .collect();
+                let mut lane_out = vec![0.0f64; len];
+                let mut scalar_out = vec![0.0f64; len];
+                PspnrComputer::pmse_spread_batch_lanes(&q, &jnds, &mut lane_out);
+                PspnrComputer::pmse_spread_batch_scalar(&q, &jnds, &mut scalar_out);
+                for (a, b) in lane_out.iter().zip(&scalar_out) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn prop_tile_quality_lane_bit_equals_scalar(
+            speed in 0.0f64..30.0,
+            luma in 0.0f64..255.0,
+        ) {
+            let enc = Encoder::default();
+            let eq = Equirect::PAPER_FULL;
+            let dims = GridDims::PANO_UNIT;
+            let feats = ChunkFeatures::uniform(0, 1.0, 30, dims, 20.0, 0.0, luma, 0.5);
+            let chunk = enc.encode_chunk(&eq, &feats, &[dims.full_rect()]);
+            let comp = PspnrComputer::default();
+            let action = ActionState { rel_speed_deg_s: speed, ..ActionState::REST };
+            for level in QualityLevel::all() {
+                let s = comp.tile_quality_mode(&feats, &chunk.tiles[0], level, &action, false);
+                let l = comp.tile_quality_mode(&feats, &chunk.tiles[0], level, &action, true);
+                prop_assert_eq!(l.pmse.to_bits(), s.pmse.to_bits());
+                prop_assert_eq!(l.pspnr_db.to_bits(), s.pspnr_db.to_bits());
+                prop_assert_eq!(l.jnd.to_bits(), s.jnd.to_bits());
+            }
         }
     }
 }

@@ -1,0 +1,26 @@
+// Fixture: rule P3 must fire on per-tile heap allocation when scanned
+// under a kernel hot-loop module path (the self-test uses
+// `crates/jnd/src/pspnr.rs`) — fresh Vecs inside per-tile loops defeat
+// the arena/scratch reuse the hot path depends on.
+
+pub fn per_tile_scores(tiles: &[f64]) -> Vec<Vec<f64>> {
+    // Setup-time capacity reservation is the sanctioned pattern and
+    // must NOT fire.
+    let mut out = Vec::with_capacity(tiles.len());
+    for &t in tiles {
+        let mut scratch: Vec<f64> = Vec::new();
+        scratch.push(t * t);
+        let seeded = vec![t; 8];
+        out.push(seeded.to_vec());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocs_in_tests_are_fine() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(v.to_vec().len(), 2);
+    }
+}

@@ -60,6 +60,14 @@ pub const RULES: &[Rule] = &[
                   writes through pano_telemetry::atomic_write",
     },
     Rule {
+        code: "P3",
+        slug: "per-tile-alloc",
+        summary: "no per-tile heap allocation (Vec::new/vec!/.to_vec) in the kernel \
+                  hot-loop modules (pspnr, lookup, features) — route scratch through \
+                  pano_arena frames or reused scratch buffers; Vec::with_capacity at \
+                  setup (the arena entry points) stays allowed",
+    },
+    Rule {
         code: "T1",
         slug: "telemetry-name",
         summary: "telemetry metric/span/event names must be string literals so the metric \
@@ -76,6 +84,15 @@ const P1_CRATES: &[&str] = &["net", "trace", "sim"];
 /// Telemetry sink methods whose first argument rule T1 constrains.
 const T1_SINKS: &[&str] = &["counter", "gauge", "histogram", "span", "emit"];
 
+/// The kernel hot-loop modules rule P3 scopes to: the lane-vectorized
+/// kernels whose inner loops must draw scratch from arenas or reused
+/// buffers, never fresh heap allocations.
+const P3_KERNEL_FILES: &[&str] = &[
+    "crates/jnd/src/pspnr.rs",
+    "crates/abr/src/lookup.rs",
+    "crates/video/src/features.rs",
+];
+
 /// Where a file sits in the workspace, derived from its relative path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileCtx {
@@ -89,6 +106,9 @@ pub struct FileCtx {
     /// Inside the sim event engine (`crates/sim/src/engine*`) — the
     /// scope of the float-event-key rule D4.
     pub in_engine: bool,
+    /// One of the kernel hot-loop modules ([`P3_KERNEL_FILES`]) — the
+    /// scope of the per-tile-alloc rule P3.
+    pub in_kernel: bool,
 }
 
 impl FileCtx {
@@ -99,7 +119,7 @@ impl FileCtx {
             ["crates", name, ..] => Some((*name).to_string()),
             _ => None,
         };
-        let is_test_file = parts.iter().any(|p| *p == "tests");
+        let is_test_file = parts.contains(&"tests");
         let is_bench_bin = crate_name.as_deref() == Some("bench")
             && parts.contains(&"src")
             && parts.contains(&"bin");
@@ -107,11 +127,13 @@ impl FileCtx {
             is_bench_bin || parts.iter().any(|p| *p == "benches" || *p == "examples");
         let in_engine = crate_name.as_deref() == Some("sim")
             && parts.iter().skip(2).any(|p| p.starts_with("engine"));
+        let in_kernel = P3_KERNEL_FILES.contains(&rel_path);
         FileCtx {
             crate_name,
             is_test_file,
             is_bench_or_example,
             in_engine,
+            in_kernel,
         }
     }
 
@@ -130,6 +152,7 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
     let d4 = ctx.in_engine;
     let p1 = ctx.in_crates(P1_CRATES);
     let p2 = ctx.crate_name.as_deref() != Some("telemetry");
+    let p3 = ctx.in_kernel;
     let t1 = ctx.crate_name.as_deref() != Some("telemetry");
     for i in 0..tokens.len() {
         let in_test = mask[i] || ctx.is_test_file;
@@ -228,6 +251,48 @@ pub fn check(ctx: &FileCtx, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
             }
         }
 
+        if p3 {
+            // `Vec::with_capacity` — the arena entry points and one-off
+            // setup allocations — deliberately stays allowed; the rule
+            // targets allocation *inside* the per-tile loops.
+            if is_ident(&tokens[i].tok, "Vec") && path_call(tokens, i, "new") {
+                out.push(finding(
+                    "per-tile-alloc",
+                    line,
+                    "`Vec::new()` allocates in a kernel hot-loop module; draw scratch \
+                     from a pano_arena frame or a reused buffer"
+                        .into(),
+                ));
+            }
+            if is_ident(&tokens[i].tok, "vec")
+                && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!'))
+            {
+                out.push(finding(
+                    "per-tile-alloc",
+                    line,
+                    "`vec![…]` allocates in a kernel hot-loop module; draw scratch \
+                     from a pano_arena frame or a reused buffer"
+                        .into(),
+                ));
+            }
+            if is_ident(&tokens[i].tok, "to_vec") {
+                // Method form only: path calls like `serde_json::to_vec`
+                // are serializers, not slice clones.
+                let method_call = i > 0
+                    && tokens[i - 1].tok == Tok::Punct('.')
+                    && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+                if method_call {
+                    out.push(finding(
+                        "per-tile-alloc",
+                        line,
+                        "`.to_vec()` clones into a fresh heap allocation in a kernel \
+                         hot-loop module; borrow or copy into arena/scratch storage"
+                            .into(),
+                    ));
+                }
+            }
+        }
+
         if p1 {
             if let Some(name @ ("unwrap" | "expect")) = id {
                 let method_call = i > 0
@@ -294,7 +359,7 @@ fn finding(slug: &str, line: usize, message: String) -> Finding {
 /// float or wall-clock type, tracking `<`/`>` depth and stopping at the
 /// matching close (or a bounded window, so a stray `<` cannot send the
 /// scan across the whole file). Returns the offending type name.
-fn float_key_in_generics<'t>(tokens: &'t [Token], i: usize) -> Option<&'t str> {
+fn float_key_in_generics(tokens: &[Token], i: usize) -> Option<&str> {
     if tokens.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('<')) {
         return None;
     }
@@ -355,6 +420,10 @@ mod tests {
 
         let b = FileCtx::from_path("crates/bench/src/bin/hotpath_bench.rs");
         assert!(b.is_bench_or_example);
+
+        let k = FileCtx::from_path("crates/jnd/src/pspnr.rs");
+        assert!(k.in_kernel);
+        assert!(!FileCtx::from_path("crates/video/src/scene.rs").in_kernel);
 
         let root = FileCtx::from_path("src/lib.rs");
         assert_eq!(root.crate_name, None);
@@ -511,6 +580,44 @@ mod tests {
     }
 
     #[test]
+    fn p3_fires_only_in_kernel_modules() {
+        let src = "let v: Vec<f64> = Vec::new();";
+        assert_eq!(codes(&run("crates/jnd/src/pspnr.rs", src)), vec!["P3"]);
+        assert_eq!(codes(&run("crates/abr/src/lookup.rs", src)), vec!["P3"]);
+        assert_eq!(codes(&run("crates/video/src/features.rs", src)), vec!["P3"]);
+        // The same pattern anywhere else — including the rest of the
+        // same crates — is P3-silent.
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+        assert!(run("crates/video/src/scene.rs", src).is_empty());
+        assert!(run("crates/jnd/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p3_catches_vec_macro_and_to_vec() {
+        assert_eq!(
+            codes(&run("crates/jnd/src/pspnr.rs", "let v = vec![0.0; n];")),
+            vec!["P3"]
+        );
+        assert_eq!(
+            codes(&run("crates/abr/src/lookup.rs", "let c = levels.to_vec();")),
+            vec!["P3"]
+        );
+    }
+
+    #[test]
+    fn p3_allows_with_capacity_tests_and_lookalikes() {
+        // Setup-time allocation (the arena entry points) stays legal.
+        assert!(run("crates/jnd/src/pspnr.rs", "let v = Vec::with_capacity(n);").is_empty());
+        assert!(run(
+            "crates/jnd/src/pspnr.rs",
+            "#[cfg(test)]\nmod t { fn f() { let v = vec![1, 2]; } }"
+        )
+        .is_empty());
+        // Path-form `to_vec` is a serializer, not a slice clone.
+        assert!(run("crates/abr/src/lookup.rs", "let b = codec::to_vec(&x)?;").is_empty());
+    }
+
+    #[test]
     fn t1_requires_literal_names() {
         assert!(run(
             "crates/sim/src/x.rs",
@@ -599,6 +706,20 @@ mod tests {
         let n = r.findings.iter().filter(|f| f.code == "P2").count();
         assert!(n >= 2, "want fs::write + File::create: {:?}", r.findings);
         assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_p3_fires() {
+        // The shared fixture() helper maps into `crates/sim/src/`, which
+        // is outside P3's kernel scope — scan under a kernel module path.
+        let (_, src) = fixture("p3_per_tile_alloc.rs");
+        let r = scan_source("crates/jnd/src/pspnr.rs", &src);
+        let n = r.findings.iter().filter(|f| f.code == "P3").count();
+        assert!(n >= 3, "want Vec::new + vec! + .to_vec: {:?}", r.findings);
+        assert!(r.denied(&["all".to_string()]));
+        // Outside the kernel modules the same source is P3-clean.
+        let outside = scan_source("crates/sim/src/p3_per_tile_alloc.rs", &src);
+        assert!(!outside.findings.iter().any(|f| f.code == "P3"));
     }
 
     #[test]

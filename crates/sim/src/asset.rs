@@ -23,9 +23,9 @@
 //! the lookup fit) stays on the calling thread. The worker count is a
 //! pure throughput knob — the artefact is byte-identical at any setting.
 
-use crate::experiments::parallel_map_with;
+use crate::experiments::{parallel_map_with, parallel_map_with_state};
 use pano_abr::lookup::LookupBuilder;
-use pano_abr::{Manifest, PowerLawTable};
+use pano_abr::{Manifest, ManifestChunk, PowerLawTable};
 use pano_geo::Viewport;
 use pano_geo::{Equirect, GridDims, GridRect};
 use pano_jnd::{ActionState, PspnrComputer};
@@ -123,6 +123,10 @@ pub struct PreparedVideo {
     /// encoding, lookup+manifest). Feeds the Fig. 17c experiment.
     pub prep_times: (f64, f64, f64, f64),
     config: AssetConfig,
+    /// Lazily serialised manifest JSON, shared by every reader of this
+    /// artefact (the store hands out `Arc<PreparedVideo>`, so one
+    /// serialisation serves all sessions — no clone-on-get).
+    manifest_json: OnceLock<Vec<u8>>,
 }
 
 impl PreparedVideo {
@@ -150,13 +154,19 @@ impl PreparedVideo {
         let chunk_ids = || (0..n_chunks).collect::<Vec<usize>>();
 
         // 1. Feature extraction (the Yolo/tracking/luminance/DoF pass),
-        // one chunk per work item.
+        // one chunk per work item. Each worker owns one `FeatureScratch`,
+        // so the lattice/column/snapshot buffers are allocated once per
+        // worker, not once per chunk; reuse is bit-neutral (see the
+        // scratch-reuse tests in `pano-video`).
         let sw = Stopwatch::start();
         let stage_span = tel.span("prepare_features");
         let extractor = pano_video::FeatureExtractor::new(eq, dims);
-        let features: Vec<ChunkFeatures> = parallel_map_with(workers, chunk_ids(), |k| {
-            extractor.extract(&scene, spec.fps, k, config.chunk_secs)
-        });
+        let features: Vec<ChunkFeatures> = parallel_map_with_state(
+            workers,
+            chunk_ids(),
+            pano_video::FeatureScratch::default,
+            |scratch, k| extractor.extract_with(&scene, spec.fps, k, config.chunk_secs, scratch),
+        );
         drop(stage_span);
         let t_features = sw.elapsed_secs();
 
@@ -235,16 +245,18 @@ impl PreparedVideo {
             .build_power(&pairs);
         let tracker = Tracker::default();
         let pano_chunk_refs: Vec<(usize, &EncodedChunk)> = pano_chunks.iter().enumerate().collect();
-        let manifest_chunks = parallel_map_with(workers, pano_chunk_refs, |(k, enc)| {
-            let rects: Vec<(u32, u32, u32, u32)> = enc
-                .tiles
-                .iter()
-                .map(|t| eq.rect_pixel_rect(dims, t.rect))
-                .collect();
-            let stats: Vec<(f64, f64)> = enc
-                .tiles
-                .iter()
-                .map(|t| {
+        // Per-worker scratch: the per-tile rect and stat rows are rebuilt
+        // in place for every chunk instead of freshly allocated.
+        type ManifestScratch = (Vec<(u32, u32, u32, u32)>, Vec<(f64, f64)>);
+        let manifest_chunks = parallel_map_with_state(
+            workers,
+            pano_chunk_refs,
+            || -> ManifestScratch { (Vec::new(), Vec::new()) },
+            |(rects, stats), (k, enc)| {
+                rects.clear();
+                rects.extend(enc.tiles.iter().map(|t| eq.rect_pixel_rect(dims, t.rect)));
+                stats.clear();
+                stats.extend(enc.tiles.iter().map(|t| {
                     let mut lum = 0.0;
                     let mut dof = 0.0;
                     let mut n = 0.0;
@@ -255,16 +267,16 @@ impl PreparedVideo {
                         n += 1.0;
                     }
                     (lum / n, dof / n)
-                })
-                .collect();
-            let objects = tracker.track_chunk(
-                &scene,
-                spec.fps,
-                k as f64 * config.chunk_secs,
-                config.chunk_secs,
-            );
-            Manifest::chunk_from_encoding(spec.id, enc, &rects, &stats, objects)
-        });
+                }));
+                let objects = tracker.track_chunk(
+                    &scene,
+                    spec.fps,
+                    k as f64 * config.chunk_secs,
+                    config.chunk_secs,
+                );
+                Manifest::chunk_from_encoding(spec.id, enc, rects, stats, objects)
+            },
+        );
         let manifest = Manifest {
             video_id: spec.id,
             resolution: (eq.width, eq.height),
@@ -312,12 +324,29 @@ impl PreparedVideo {
             popularity_prior,
             prep_times: (t_features, t_tiling, t_encoding, t_lookup),
             config: config.clone(),
+            manifest_json: OnceLock::new(),
         }
     }
 
     /// The preparation configuration.
     pub fn config(&self) -> &AssetConfig {
         &self.config
+    }
+
+    /// The manifest serialised as JSON, serialised at most once per
+    /// artefact and borrowed by every caller thereafter. This is the
+    /// zero-copy path for serving the manifest out of the asset store:
+    /// readers share the cached bytes instead of re-serialising (or
+    /// cloning) per request.
+    pub fn manifest_bytes(&self) -> &[u8] {
+        self.manifest_json
+            .get_or_init(|| self.manifest.to_json().into_bytes())
+    }
+
+    /// The serialised lookup table carried inside the manifest, borrowed
+    /// straight from the artefact (no copy).
+    pub fn lookup_table_bytes(&self) -> &[u8] {
+        &self.manifest.lookup_table
     }
 
     /// Serialises every deterministic build artefact — features, history
@@ -611,6 +640,15 @@ impl AssetStore {
         crate::experiments::parallel_map(requests, |(spec, config)| self.get(spec, config))
     }
 
+    /// Returns a [`ManifestView`] over the prepared video for
+    /// `(spec, config)` — the zero-copy handle the delivery path gives
+    /// to sessions. Building and caching behave exactly like [`Self::get`].
+    pub fn manifest_view(&self, spec: &VideoSpec, config: &AssetConfig) -> ManifestView {
+        ManifestView {
+            video: self.get(spec, config),
+        }
+    }
+
     /// Number of distinct assets cached (or being built).
     pub fn len(&self) -> usize {
         self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -629,6 +667,43 @@ impl AssetStore {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             build_secs: *self.build_secs.lock().unwrap_or_else(|e| e.into_inner()),
         }
+    }
+}
+
+/// A borrowed, shareable view of one prepared video's manifest: the
+/// cheap handle the delivery path hands to playback sessions. Cloning a
+/// view bumps an `Arc`; the manifest JSON is serialised at most once per
+/// artefact ([`PreparedVideo::manifest_bytes`]) and every view borrows
+/// the same bytes — nothing is cloned per request.
+#[derive(Clone)]
+pub struct ManifestView {
+    video: Arc<PreparedVideo>,
+}
+
+impl ManifestView {
+    /// The deserialised manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.video.manifest
+    }
+
+    /// The manifest JSON, shared across every view of this artefact.
+    pub fn bytes(&self) -> &[u8] {
+        self.video.manifest_bytes()
+    }
+
+    /// The serialised lookup table, borrowed straight from the manifest.
+    pub fn lookup_table(&self) -> &[u8] {
+        self.video.lookup_table_bytes()
+    }
+
+    /// One manifest chunk, borrowed (panics if `idx` is out of range).
+    pub fn chunk(&self, idx: usize) -> &ManifestChunk {
+        &self.video.manifest.chunks[idx]
+    }
+
+    /// The underlying prepared artefact.
+    pub fn video(&self) -> &Arc<PreparedVideo> {
+        &self.video
     }
 }
 
@@ -943,6 +1018,30 @@ mod store_tests {
         let again = store.get(&s, &c);
         assert!(Arc::ptr_eq(&rebuilt, &again));
         assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn manifest_view_is_zero_copy_and_shared() {
+        let store = AssetStore::new();
+        let s = spec();
+        let c = config();
+        let v1 = store.manifest_view(&s, &c);
+        let v2 = store.manifest_view(&s, &c);
+        assert!(
+            Arc::ptr_eq(v1.video(), v2.video()),
+            "views must share one artefact"
+        );
+        // The fat pointers match: both views borrow the same cached
+        // serialisation, no per-request copy.
+        assert!(std::ptr::eq(v1.bytes(), v2.bytes()));
+        let v3 = v1.clone();
+        assert!(std::ptr::eq(v1.bytes(), v3.bytes()));
+        // And the cached bytes are exactly the manifest's JSON.
+        assert_eq!(v1.bytes(), v1.manifest().to_json().as_bytes());
+        assert_eq!(v1.lookup_table(), &v1.manifest().lookup_table[..]);
+        assert_eq!(v1.chunk(0).index, 0);
+        // One build served every view.
+        assert_eq!(store.stats().misses, 1);
     }
 
     #[test]

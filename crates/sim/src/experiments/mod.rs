@@ -163,10 +163,32 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with_state(workers, items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map_with`] where every worker owns a mutable state built by
+/// `init` — the hook for per-worker scratch buffers and arenas: a worker
+/// mapping many items reuses one allocation set instead of allocating per
+/// item. The serial path (one worker) builds exactly one state, so results
+/// must not depend on how items are sharded across states; state-reuse
+/// determinism tests in `asset` pin that property for the prepare pipeline.
+pub fn parallel_map_with_state<T, R, S, I, F>(
+    workers: Option<usize>,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n_items = items.len();
     let n_workers = effective_workers(workers).min(n_items.max(1));
     if n_workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
     for pair in items.into_iter().enumerate() {
@@ -176,9 +198,10 @@ where
         let handles: Vec<_> = (0..n_workers)
             .map(|_| {
                 scope.spawn(|_| {
+                    let mut state = init();
                     let mut done = Vec::new();
                     while let Some((idx, item)) = queue.pop() {
-                        done.push((idx, f(item)));
+                        done.push((idx, f(&mut state, item)));
                     }
                     done
                 })
@@ -203,7 +226,7 @@ where
 
 #[cfg(test)]
 mod parallel_tests {
-    use super::{effective_workers, parallel_map, parallel_map_with};
+    use super::{effective_workers, parallel_map, parallel_map_with, parallel_map_with_state};
 
     #[test]
     fn preserves_order_and_covers_all_items() {
@@ -230,6 +253,33 @@ mod parallel_tests {
         let serial = parallel_map_with(Some(1), (0..64).collect(), |i: u64| i * 3);
         let parallel = parallel_map_with(Some(4), (0..64).collect(), |i: u64| i * 3);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_and_sharding_free() {
+        // Each worker counts the items it maps through its own scratch
+        // buffer; results must match regardless of worker count, and the
+        // scratch must actually be reused (serial path: counter climbs).
+        let map = |workers| {
+            parallel_map_with_state(
+                Some(workers),
+                (0..48u64).collect::<Vec<_>>(),
+                || (Vec::<u64>::with_capacity(8), 0u64),
+                |(buf, seen), i| {
+                    buf.clear();
+                    buf.extend((0..3).map(|k| i + k));
+                    *seen += 1;
+                    (buf.iter().sum::<u64>(), *seen)
+                },
+            )
+        };
+        let serial = map(1);
+        let parallel = map(4);
+        // Sums are sharding-independent.
+        let sums = |v: &Vec<(u64, u64)>| v.iter().map(|&(s, _)| s).collect::<Vec<_>>();
+        assert_eq!(sums(&serial), sums(&parallel));
+        // The serial state saw every item in order — one state, reused.
+        assert_eq!(serial.last().unwrap().1, 48);
     }
 
     #[test]

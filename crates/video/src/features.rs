@@ -8,8 +8,9 @@
 //! [`crate::scene::Scene`] by sampling the cell centres at several times
 //! within the chunk.
 
-use crate::scene::Scene;
-use pano_geo::{CellIdx, Equirect, GridDims};
+use crate::scene::{Scene, SceneInstant};
+use pano_arena::{lanes, Pool};
+use pano_geo::{CellIdx, Equirect, GridDims, Viewpoint};
 use serde::{Deserialize, Serialize};
 
 /// Features of one unit cell averaged over one chunk.
@@ -87,6 +88,7 @@ impl ChunkFeatures {
             duration_secs,
             fps,
             dims,
+            // pano-lint: allow(per-tile-alloc): test/calibration constructor, one alloc per chunk not per tile
             cells: vec![cell; dims.cell_count()],
         }
     }
@@ -112,6 +114,26 @@ impl ChunkFeatures {
     pub fn mean_luminance(&self) -> f64 {
         self.cells.iter().map(|c| c.luminance).sum::<f64>() / self.cells.len() as f64
     }
+}
+
+/// Reusable scratch buffers for [`FeatureExtractor::extract_with`].
+///
+/// One `FeatureScratch` per worker amortises every per-chunk allocation of
+/// the extraction kernel: the k×k lattice of sphere points, the SoA sample
+/// columns the lane path writes into, and (via a [`Pool`]) the backing
+/// buffers of the frozen scene snapshots. Reuse never changes results —
+/// every buffer is fully overwritten before it is read.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    /// k×k lattice of sphere points, reused across cells.
+    points: Vec<Viewpoint>,
+    /// SoA sample columns, one slot per lattice point (lane path only).
+    luma: Vec<f64>,
+    dof: Vec<f64>,
+    speed: Vec<f64>,
+    tex: Vec<f64>,
+    /// Recycled backing buffers for per-chunk scene snapshots.
+    instants: Pool<(Viewpoint, f64)>,
 }
 
 /// Extracts [`ChunkFeatures`] from a scene.
@@ -156,6 +178,9 @@ impl FeatureExtractor {
 
     /// Extracts features for the chunk covering
     /// `[chunk_idx * chunk_secs, (chunk_idx + 1) * chunk_secs)`.
+    ///
+    /// Convenience wrapper over [`Self::extract_with`] with throwaway
+    /// scratch; batch callers should hold a [`FeatureScratch`] per worker.
     pub fn extract(
         &self,
         scene: &Scene,
@@ -163,27 +188,80 @@ impl FeatureExtractor {
         chunk_idx: usize,
         chunk_secs: f64,
     ) -> ChunkFeatures {
+        self.extract_with(
+            scene,
+            fps,
+            chunk_idx,
+            chunk_secs,
+            &mut FeatureScratch::default(),
+        )
+    }
+
+    /// Like [`Self::extract`], but reuses caller-owned scratch buffers so a
+    /// worker extracting many chunks performs no steady-state allocation.
+    pub fn extract_with(
+        &self,
+        scene: &Scene,
+        fps: u32,
+        chunk_idx: usize,
+        chunk_secs: f64,
+        scratch: &mut FeatureScratch,
+    ) -> ChunkFeatures {
+        self.extract_with_mode(scene, fps, chunk_idx, chunk_secs, scratch, lanes::enabled())
+    }
+
+    /// Mode-pinned body of [`Self::extract_with`]: `use_lanes` selects the
+    /// batched SoA sampler or the scalar per-point loop. Public only so
+    /// equivalence tests can drive both paths in one process.
+    #[doc(hidden)]
+    pub fn extract_with_mode(
+        &self,
+        scene: &Scene,
+        fps: u32,
+        chunk_idx: usize,
+        chunk_secs: f64,
+        scratch: &mut FeatureScratch,
+        use_lanes: bool,
+    ) -> ChunkFeatures {
         let t0 = chunk_idx as f64 * chunk_secs;
         let mid = t0 + chunk_secs / 2.0;
         let k = self.spatial_samples;
         let nt = self.time_samples;
+        // Disjoint borrows of every scratch buffer.
+        let FeatureScratch {
+            points,
+            luma: col_luma,
+            dof: col_dof,
+            speed: col_speed,
+            tex: col_tex,
+            instants: pool,
+        } = scratch;
 
         // Per-chunk invariants, hoisted out of the cell loop: one frozen
         // scene snapshot per time sample (sample times within the chunk,
         // endpoints inclusive) plus one at the midpoint for object ids.
         // Object positions and speeds are thereby computed nt + 1 times
         // per chunk instead of once per (cell, spatial sample, time).
-        let instants: Vec<crate::scene::SceneInstant<'_>> = (0..nt)
-            .map(|ti| scene.instant(t0 + chunk_secs * ti as f64 / (nt - 1) as f64))
+        // Snapshot backing buffers are recycled through the pool.
+        let instants: Vec<SceneInstant<'_>> = (0..nt)
+            .map(|ti| {
+                scene.instant_with(t0 + chunk_secs * ti as f64 / (nt - 1) as f64, pool.take())
+            })
             .collect();
-        let mid_instant = scene.instant(mid);
+        let mid_instant = scene.instant_with(mid, pool.take());
 
+        let np = k * k;
+        if use_lanes {
+            col_luma.resize(np, 0.0);
+            col_dof.resize(np, 0.0);
+            col_speed.resize(np, 0.0);
+            col_tex.resize(np, 0.0);
+        }
         let mut cells = Vec::with_capacity(self.dims.cell_count());
-        // Scratch lattice of sphere points, reused across cells: the
-        // sample positions do not depend on the time sample.
-        let mut points = Vec::with_capacity(k * k);
         for cell in self.dims.cells() {
             let (x0, y0, w, h) = self.eq.cell_pixel_rect(self.dims, cell);
+            // Lattice of sphere points, reused across cells: the sample
+            // positions do not depend on the time sample.
             points.clear();
             for sy in 0..k {
                 for sx in 0..k {
@@ -198,16 +276,30 @@ impl FeatureExtractor {
             let mut texture = 0.0;
             let mut n = 0.0;
             // Accumulation order (time-outer, row-major lattice inner) is
-            // unchanged, so the sums are bit-identical to the unhoisted
-            // per-point sampling.
-            for inst in &instants {
-                for p in &points {
-                    let s = inst.sample(p);
-                    luma += s.luma;
-                    dof += s.dof_dioptre;
-                    speed += s.content_speed;
-                    texture += s.texture_amp;
-                    n += 1.0;
+            // identical on both paths, and each accumulator folds the same
+            // values in the same order, so the sums are bit-identical to
+            // the unhoisted per-point sampling.
+            if use_lanes {
+                for inst in &instants {
+                    inst.sample_columns(points, col_luma, col_dof, col_speed, col_tex);
+                    for i in 0..np {
+                        luma += col_luma[i];
+                        dof += col_dof[i];
+                        speed += col_speed[i];
+                        texture += col_tex[i];
+                        n += 1.0;
+                    }
+                }
+            } else {
+                for inst in &instants {
+                    for p in points.iter() {
+                        let s = inst.sample(p);
+                        luma += s.luma;
+                        dof += s.dof_dioptre;
+                        speed += s.content_speed;
+                        texture += s.texture_amp;
+                        n += 1.0;
+                    }
                 }
             }
             let center = self.eq.cell_center(self.dims, cell);
@@ -220,14 +312,20 @@ impl FeatureExtractor {
                 object_id,
             });
         }
+        // Hand the snapshot buffers back for the next chunk.
+        for inst in instants {
+            pool.put(inst.into_buffer());
+        }
+        pool.put(mid_instant.into_buffer());
         ChunkFeatures::from_cells(chunk_idx, chunk_secs, fps, self.dims, cells)
     }
 
-    /// Extracts features for every chunk of a scene.
+    /// Extracts features for every chunk of a scene, reusing one scratch.
     pub fn extract_all(&self, scene: &Scene, fps: u32, chunk_secs: f64) -> Vec<ChunkFeatures> {
         let n = (scene.duration_secs() / chunk_secs).ceil() as usize;
+        let mut scratch = FeatureScratch::default();
         (0..n)
-            .map(|i| self.extract(scene, fps, i, chunk_secs))
+            .map(|i| self.extract_with(scene, fps, i, chunk_secs, &mut scratch))
             .collect()
     }
 }
@@ -322,6 +420,60 @@ mod tests {
         assert_eq!(all.len(), 4);
         for (i, f) in all.iter().enumerate() {
             assert_eq!(f.chunk_idx, i);
+        }
+    }
+
+    /// A scene exercising objects, texture, and a ramped yaw-gated event.
+    fn busy_scene() -> Scene {
+        let mut spec = SceneSpec::test_stimulus(14.0, 1.1, 135);
+        spec.bg_luma_amp = 22.0;
+        spec.bg_texture_freq = 11.0;
+        spec.bg_texture_amp = 16.0;
+        spec.objects[0].size_deg = 28.0;
+        spec.objects[0].texture_amp = 7.0;
+        spec.events.push(LuminanceEvent {
+            start: 0.4,
+            ramp_secs: 1.5,
+            from_level: 0.0,
+            to_level: 35.0,
+            yaw_range: Some((Degrees(-90.0), Degrees(90.0))),
+        });
+        Scene::new(spec, 6.0)
+    }
+
+    #[test]
+    fn lane_path_bit_equals_scalar_path() {
+        let scene = busy_scene();
+        for (nt, k) in [(2, 1), (4, 2), (3, 3)] {
+            let ex = FeatureExtractor::new(Equirect::PAPER_FULL, GridDims::PANO_UNIT)
+                .with_sampling(nt, k);
+            for chunk in 0..3 {
+                let mut s_lane = FeatureScratch::default();
+                let mut s_scal = FeatureScratch::default();
+                let lane = ex.extract_with_mode(&scene, 30, chunk, 1.0, &mut s_lane, true);
+                let scal = ex.extract_with_mode(&scene, 30, chunk, 1.0, &mut s_scal, false);
+                assert_eq!(lane, scal, "nt {nt} k {k} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let scene = busy_scene();
+        let ex = extractor();
+        // One scratch threaded through all chunks vs a fresh scratch per
+        // chunk: pooled snapshot buffers and resized columns must not leak
+        // state between chunks.
+        let mut reused = FeatureScratch::default();
+        for chunk in 0..4 {
+            let with_reuse = ex.extract_with(&scene, 30, chunk, 1.0, &mut reused);
+            let fresh = ex.extract(&scene, 30, chunk, 1.0);
+            assert_eq!(with_reuse, fresh, "chunk {chunk}");
+        }
+        // extract_all uses the same reuse path internally.
+        let all = ex.extract_all(&scene, 30, 1.0);
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(*f, ex.extract(&scene, 30, i, 1.0), "extract_all chunk {i}");
         }
     }
 

@@ -33,7 +33,7 @@ pub mod tracking;
 pub use codec::{CodecConfig, EncodedChunk, EncodedTile, Encoder, QualityLevel, QP_LADDER};
 pub use dataset::{DatasetSpec, Genre, VideoSpec};
 pub use export::{DatasetExport, DatasetIndex, VideoRecord};
-pub use features::{CellFeatures, ChunkFeatures, FeatureExtractor};
+pub use features::{CellFeatures, ChunkFeatures, FeatureExtractor, FeatureScratch};
 pub use frame::LumaPlane;
 pub use scene::{LuminanceEvent, ObjectSpec, Scene, SceneInstant, SceneSpec};
 pub use tracking::{ObjectTrack, TrackedObject, Tracker};

@@ -16,6 +16,7 @@
 //! generated from a seed by [`crate::dataset`].
 
 use crate::frame::LumaPlane;
+use pano_arena::lanes;
 use pano_geo::{Degrees, Equirect, Viewpoint};
 use serde::{Deserialize, Serialize};
 
@@ -283,15 +284,27 @@ impl Scene {
     /// extractor's k² × cells lattice) does not re-derive the trigonometry
     /// per point. Samples are bit-identical to [`Scene::sample`] at `t`.
     pub fn instant(&self, t: f64) -> SceneInstant<'_> {
+        self.instant_with(t, Vec::new())
+    }
+
+    /// [`Scene::instant`] with a caller-supplied backing buffer for the
+    /// per-object snapshots — the feature extractor's scratch pool hands
+    /// buffers back in so dense chunk sweeps allocate nothing per
+    /// instant. The buffer is cleared first; recover it afterwards with
+    /// [`SceneInstant::into_buffer`]. Snapshots are identical to
+    /// [`Scene::instant`] regardless of what the buffer held before.
+    pub fn instant_with(&self, t: f64, mut buf: Vec<(Viewpoint, f64)>) -> SceneInstant<'_> {
+        buf.clear();
+        buf.extend(
+            self.spec
+                .objects
+                .iter()
+                .map(|o| (o.position(t), o.angular_speed(t))),
+        );
         SceneInstant {
             scene: self,
             t,
-            objects: self
-                .spec
-                .objects
-                .iter()
-                .map(|o| (o.position(t), o.angular_speed(t)))
-                .collect(),
+            objects: buf,
         }
     }
 
@@ -382,6 +395,55 @@ impl SceneInstant<'_> {
                 object_id: None,
             }
         }
+    }
+
+    /// Batch sampler writing structure-of-arrays columns: `luma[i]`,
+    /// `dof[i]`, `speed[i]` and `tex[i]` receive the corresponding fields
+    /// of `self.sample(&points[i])`, bit-identically. Points are walked
+    /// in [`lanes::WIDTH`]-sized blocks with a fixed-trip inner loop —
+    /// the per-lane scatters are independent, so the optimizer can
+    /// overlap them — and the SoA layout keeps the feature extractor's
+    /// accumulation loops contiguous. Every slot is written.
+    ///
+    /// Panics unless all four columns have `points.len()` elements.
+    pub fn sample_columns(
+        &self,
+        points: &[Viewpoint],
+        luma: &mut [f64],
+        dof: &mut [f64],
+        speed: &mut [f64],
+        tex: &mut [f64],
+    ) {
+        let n = points.len();
+        assert_eq!(luma.len(), n, "one luma slot per point");
+        assert_eq!(dof.len(), n, "one dof slot per point");
+        assert_eq!(speed.len(), n, "one speed slot per point");
+        assert_eq!(tex.len(), n, "one texture slot per point");
+        const W: usize = lanes::WIDTH;
+        let mut i = 0;
+        while i + W <= n {
+            for l in 0..W {
+                let s = self.sample(&points[i + l]);
+                luma[i + l] = s.luma;
+                dof[i + l] = s.dof_dioptre;
+                speed[i + l] = s.content_speed;
+                tex[i + l] = s.texture_amp;
+            }
+            i += W;
+        }
+        for j in i..n {
+            let s = self.sample(&points[j]);
+            luma[j] = s.luma;
+            dof[j] = s.dof_dioptre;
+            speed[j] = s.content_speed;
+            tex[j] = s.texture_amp;
+        }
+    }
+
+    /// Releases the snapshot's backing buffer so a pool can reuse it —
+    /// the inverse of [`Scene::instant_with`].
+    pub fn into_buffer(self) -> Vec<(Viewpoint, f64)> {
+        self.objects
     }
 }
 
@@ -561,6 +623,86 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_duration_panics() {
         Scene::new(SceneSpec::test_stimulus(0.0, 0.0, 0), 0.0);
+    }
+
+    /// The richest scene the tests use: overlapping objects, textured
+    /// background, a yaw-ranged ramp event — every sample() code path.
+    fn rich_scene() -> Scene {
+        let mut spec = SceneSpec::test_stimulus(12.0, 1.2, 140);
+        spec.bg_luma_amp = 20.0;
+        spec.bg_texture_freq = 14.0;
+        spec.bg_texture_amp = 18.0;
+        spec.objects[0].texture_amp = 9.0;
+        spec.objects[0].size_deg = 25.0;
+        spec.objects.push(ObjectSpec {
+            id: 1,
+            yaw0: Degrees(5.0),
+            pitch0: Degrees(2.0),
+            yaw_speed: -8.0,
+            pitch_amp: 4.0,
+            pitch_period: 3.0,
+            size_deg: 20.0,
+            dof_dioptre: 0.7,
+            base_luma: 90,
+            texture_amp: 6.0,
+        });
+        spec.events.push(LuminanceEvent {
+            start: 0.5,
+            ramp_secs: 1.0,
+            from_level: 0.0,
+            to_level: 40.0,
+            yaw_range: Some((Degrees(-60.0), Degrees(60.0))),
+        });
+        Scene::new(spec, 10.0)
+    }
+
+    #[test]
+    fn instant_with_reused_buffer_matches_instant() {
+        let scene = rich_scene();
+        // A buffer pre-loaded with garbage must not perturb the snapshot.
+        let mut buf = vec![(Viewpoint::forward(), 1234.5); 7];
+        for t in [0.0, 0.75, 4.0] {
+            let fresh = scene.instant(t);
+            let pooled = scene.instant_with(t, buf);
+            for yaw in (-180..180).step_by(13) {
+                let p = Viewpoint::new(Degrees(yaw as f64), Degrees(5.0));
+                assert_eq!(fresh.sample(&p), pooled.sample(&p), "t {t} yaw {yaw}");
+            }
+            buf = pooled.into_buffer();
+        }
+    }
+
+    #[test]
+    fn sample_columns_bit_equals_pointwise_at_adversarial_lengths() {
+        let scene = rich_scene();
+        let w = pano_arena::lanes::WIDTH;
+        // A probe set larger than every length under test.
+        let probes: Vec<Viewpoint> = (0..(5 * w + 3))
+            .map(|i| {
+                Viewpoint::new(
+                    Degrees(-175.0 + 7.0 * i as f64),
+                    Degrees(-80.0 + 4.0 * i as f64),
+                )
+            })
+            .collect();
+        for t in [0.0, 0.75, 1.3] {
+            let inst = scene.instant(t);
+            for len in [0, 1, w - 1, w, w + 1, 5 * w + 3] {
+                let pts = &probes[..len];
+                let mut luma = vec![-1.0; len];
+                let mut dof = vec![-1.0; len];
+                let mut speed = vec![-1.0; len];
+                let mut tex = vec![-1.0; len];
+                inst.sample_columns(pts, &mut luma, &mut dof, &mut speed, &mut tex);
+                for (i, p) in pts.iter().enumerate() {
+                    let s = inst.sample(p);
+                    assert_eq!(luma[i].to_bits(), s.luma.to_bits(), "len {len} i {i}");
+                    assert_eq!(dof[i].to_bits(), s.dof_dioptre.to_bits());
+                    assert_eq!(speed[i].to_bits(), s.content_speed.to_bits());
+                    assert_eq!(tex[i].to_bits(), s.texture_amp.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

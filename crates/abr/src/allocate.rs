@@ -133,10 +133,7 @@ pub fn allocate_pareto(tiles: &[TileChoice], budget_bytes: u64) -> Allocation {
         }
         // Pareto-prune: sort by (size asc, pmse asc); keep entries whose
         // pmse strictly improves on everything smaller.
-        next.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(a.1.partial_cmp(&b.1).expect("no NaN pmse"))
-        });
+        next.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut pruned: Vec<(u64, f64, Vec<u8>)> = Vec::with_capacity(next.len());
         let mut best_pmse = f64::INFINITY;
         for e in next {
@@ -166,8 +163,12 @@ pub fn allocate_pareto(tiles: &[TileChoice], budget_bytes: u64) -> Allocation {
     }
 
     // The frontier is pmse-descending in size order; the last entry (the
-    // largest affordable) has the minimum pmse.
-    let (_, _, levels) = frontier.last().expect("frontier never empty here");
+    // largest affordable) has the minimum pmse. The empty-`next` bailout
+    // above keeps the frontier non-empty, but degrade to all-lowest
+    // rather than panic if that ever changes.
+    let Some((_, _, levels)) = frontier.last() else {
+        return finish(tiles, vec![QualityLevel::LOWEST; tiles.len()]);
+    };
     finish(tiles, levels.iter().map(|&l| QualityLevel(l)).collect())
 }
 

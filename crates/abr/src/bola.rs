@@ -89,7 +89,7 @@ impl BolaController {
             .iter()
             .map(|&s| (s.max(1) as f64 / s_min).ln())
             .collect();
-        let u_max = *utilities.last().expect("non-empty ladder");
+        let u_max = utilities.last().copied().unwrap_or(0.0);
 
         // BOLA-BASIC construction: choose γp so the lowest rung is picked
         // exactly at the minimum buffer, and V so the highest rung is

@@ -222,12 +222,8 @@ impl GridRect {
     /// vertical), in a deterministic order.
     pub fn all_splits(&self) -> Vec<(GridRect, GridRect)> {
         let mut out = Vec::with_capacity((self.rows + self.cols) as usize);
-        for k in 1..self.rows {
-            out.push(self.split_horizontal(k).expect("k in range"));
-        }
-        for k in 1..self.cols {
-            out.push(self.split_vertical(k).expect("k in range"));
-        }
+        out.extend((1..self.rows).filter_map(|k| self.split_horizontal(k)));
+        out.extend((1..self.cols).filter_map(|k| self.split_vertical(k)));
         out
     }
 

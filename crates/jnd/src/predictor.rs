@@ -118,7 +118,7 @@ impl LinearPredictor {
 /// pairs with `cdf` in `(0, 1]`.
 pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in CDF input"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     sorted
         .into_iter()
@@ -131,7 +131,7 @@ pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
 pub fn median(samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "median of empty set");
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in median input"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

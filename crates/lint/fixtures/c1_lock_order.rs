@@ -1,0 +1,33 @@
+//! Fixture: inconsistent lock acquisition order — C1 must fire.
+//!
+//! `forward` takes `a` then `b`; `backward` takes `b` then `a`. Under
+//! concurrent callers that is a classic ABBA deadlock. `reenter` calls
+//! a locking function while already holding `a`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga - *gb
+    }
+
+    pub fn reenter(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let total = self.forward();
+        drop(ga);
+        total
+    }
+}

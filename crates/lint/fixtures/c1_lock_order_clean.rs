@@ -1,0 +1,26 @@
+//! Fixture: disciplined locking — C1 must stay silent.
+//!
+//! Every function that needs both locks takes them in the same order
+//! (`a` before `b`), and `sequential` never holds two guards at once:
+//! each temporary guard dies at its own statement's `;`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ordered(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn sequential(&self) -> u64 {
+        let x = *self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let y = *self.b.lock().unwrap_or_else(|e| e.into_inner());
+        x.wrapping_mul(y)
+    }
+}

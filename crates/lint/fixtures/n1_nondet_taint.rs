@@ -1,0 +1,13 @@
+//! Fixture: nondeterministic state flowing into a telemetry sink —
+//! N1 must fire. `flush` iterates a `HashMap` (arbitrary order) and
+//! feeds each key to the `emit` sink.
+
+use std::collections::HashMap;
+
+pub fn emit(_kind: &str) {}
+
+pub fn flush(counts: &HashMap<String, u64>) {
+    for k in counts.keys() {
+        emit(k);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: deterministic state into the same sink — N1 must stay
+//! silent. `BTreeMap` iterates in key order, and the env read is on
+//! the `PANO_*` allowlist.
+
+use std::collections::BTreeMap;
+
+pub fn emit(_kind: &str) {}
+
+pub fn flush(counts: &BTreeMap<String, u64>) {
+    for k in counts.keys() {
+        emit(k);
+    }
+    if std::env::var("PANO_LANES").is_ok() {
+        emit("lanes-overridden");
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a panic reachable from a public entry point — P4 must
+//! fire, with a witness path through the private helper.
+
+pub fn entry(input: &[u64]) -> u64 {
+    deep(input)
+}
+
+fn deep(input: &[u64]) -> u64 {
+    *input.first().expect("fixture input must be non-empty")
+}

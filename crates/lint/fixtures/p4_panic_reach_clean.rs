@@ -1,0 +1,10 @@
+//! Fixture: the same call shape with a typed absence instead of a
+//! panic — P4 must stay silent.
+
+pub fn entry(input: &[u64]) -> Option<u64> {
+    deep(input)
+}
+
+fn deep(input: &[u64]) -> Option<u64> {
+    input.first().copied()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression with nothing to suppress — S1 must fire.
+
+// pano-lint: allow(wall-clock): there is no clock anywhere near this line
+pub fn quiet() -> u64 {
+    7
+}

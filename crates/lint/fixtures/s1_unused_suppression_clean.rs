@@ -1,0 +1,4 @@
+//! Fixture: a suppression that matches a real finding is used, not
+//! unused — S1 must stay silent (and the finding stays suppressed).
+
+use std::collections::HashMap; // pano-lint: allow(hash-iteration): keyed lookups only, never iterated

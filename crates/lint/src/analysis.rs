@@ -1,0 +1,880 @@
+//! The cross-function analyses: C1 lock-order, P4 panic-reachability,
+//! N1 nondeterminism taint.
+//!
+//! All three run over the same [`CallGraph`] and favour recall —
+//! anything they cannot resolve precisely is skipped (locks) or
+//! over-approximated (taint), and every finding carries a witness path
+//! so a reviewer can check the chain instead of trusting the tool.
+
+use crate::graph::CallGraph;
+use crate::model::{str_literal_text, LockKind};
+use crate::tree::enclosing_brace_close;
+use crate::{ident_str, is_ident, FileScan, Finding, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crates whose public functions count as P4 entry points: the
+/// delivery / import / simulation / telemetry surface other tools call
+/// into, where an abort is a correctness bug rather than a CLI exit.
+const P4_ENTRY_CRATES: &[&str] = &["net", "trace", "sim", "telemetry"];
+
+/// N1 sink functions: `(crate, name)` of the artefact writers,
+/// telemetry event emitters and engine schedulers whose inputs must be
+/// deterministic. A `*` suffix marks a prefix match.
+const N1_SINKS: &[(&str, &str)] = &[
+    ("telemetry", "atomic_write*"),
+    ("telemetry", "emit"),
+    ("sim", "schedule"),
+    ("sim", "append"),
+    ("sim", "append_failure"),
+    ("obs", "append_history"),
+];
+
+/// Runs every cross-function analysis. `panic_path_suppressed` holds
+/// `(file index, line)` pairs carrying a pending `allow(panic-path)`
+/// suppression — P4 skips those sites, since the author has already
+/// justified the panic to the line-local rule.
+pub fn run(
+    files: &[FileScan],
+    g: &CallGraph,
+    panic_path_suppressed: &BTreeSet<(usize, usize)>,
+) -> Vec<Finding> {
+    let encl: Vec<Vec<usize>> = files
+        .iter()
+        .map(|f| enclosing_brace_close(&f.forest, f.tokens.len()))
+        .collect();
+    let mut out = Vec::new();
+    out.extend(lock_order(files, g, &encl));
+    out.extend(panic_reach(files, g, panic_path_suppressed));
+    out.extend(taint(files, g));
+    out
+}
+
+// ---------------------------------------------------------------------
+// C1 lock-order
+// ---------------------------------------------------------------------
+
+/// One registered lock, displayed as `Owner.field`.
+#[derive(Debug)]
+struct Lock {
+    owner: String,
+    field: String,
+    kind: LockKind,
+}
+
+impl Lock {
+    fn display(&self) -> String {
+        format!("{}.{}", self.owner, self.field)
+    }
+}
+
+/// One resolved acquisition site inside a function body.
+#[derive(Debug, Clone)]
+struct AcqSite {
+    lock: usize,
+    tok: usize,
+    line: usize,
+    /// Token index (exclusive) where the guard's region ends.
+    region_end: usize,
+}
+
+/// An observed "lock A held while lock B acquired" ordering, with the
+/// location of the inner acquisition.
+#[derive(Debug)]
+struct OrderEdge {
+    held: usize,
+    acquired: usize,
+    file: usize,
+    line: usize,
+    via: Vec<String>,
+}
+
+fn lock_order(files: &[FileScan], g: &CallGraph, encl: &[Vec<usize>]) -> Vec<Finding> {
+    // Registry of every Mutex/RwLock field and static in the workspace.
+    let mut locks: Vec<Lock> = Vec::new();
+    let mut by_field: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for scan in files {
+        for lf in &scan.items.locks {
+            by_field.entry(&lf.field).or_default().push(locks.len());
+            locks.push(Lock {
+                owner: lf.owner.clone(),
+                field: lf.field.clone(),
+                kind: lf.kind,
+            });
+        }
+    }
+    if locks.is_empty() {
+        return Vec::new();
+    }
+
+    // Acquisition sites with guard regions, per graph node.
+    let mut sites: Vec<Vec<AcqSite>> = vec![Vec::new(); g.nodes.len()];
+    for (n, f) in g.nodes.iter().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let scan = &files[f.file];
+        for j in open + 1..close {
+            if let Some(site) = acquisition_at(
+                scan,
+                &encl[f.file],
+                j,
+                open,
+                close,
+                f.impl_type.as_deref(),
+                &locks,
+                &by_field,
+            ) {
+                sites[n].push(site);
+            }
+        }
+    }
+
+    // Direct and transitive lock sets per node.
+    let direct: Vec<BTreeSet<usize>> = sites
+        .iter()
+        .map(|s| s.iter().map(|a| a.lock).collect())
+        .collect();
+    let mut trans = direct.clone();
+    loop {
+        let mut changed = false;
+        for e in &g.edges {
+            let add: Vec<usize> = trans[e.callee]
+                .difference(&trans[e.caller])
+                .copied()
+                .collect();
+            if !add.is_empty() {
+                trans[e.caller].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut order: Vec<OrderEdge> = Vec::new();
+    for (n, f) in g.nodes.iter().enumerate() {
+        for a in &sites[n] {
+            // Another direct acquisition while a's guard is live.
+            for b in &sites[n] {
+                if b.tok <= a.tok || b.tok >= a.region_end {
+                    continue;
+                }
+                if b.lock == a.lock {
+                    findings.push(c1(
+                        files,
+                        f.file,
+                        b.line,
+                        format!(
+                            "`{}` re-acquires `{}` while its guard from line {} is \
+                             still live — self-deadlock",
+                            f.qual_name(),
+                            locks[a.lock].display(),
+                            a.line
+                        ),
+                        vec![format!(
+                            "{} acquired at {}:{}",
+                            locks[a.lock].display(),
+                            files[f.file].rel_path,
+                            a.line
+                        )],
+                    ));
+                } else {
+                    order.push(OrderEdge {
+                        held: a.lock,
+                        acquired: b.lock,
+                        file: f.file,
+                        line: b.line,
+                        via: vec![f.qual_name()],
+                    });
+                }
+            }
+            // Calls into locking functions while a's guard is live.
+            for &ei in &g.out[n] {
+                let e = &g.edges[ei];
+                if e.tok <= a.tok || e.tok >= a.region_end {
+                    continue;
+                }
+                let callee = e.callee;
+                if trans[callee].contains(&a.lock) {
+                    let path = lock_path(g, callee, a.lock, &direct);
+                    findings.push(c1(
+                        files,
+                        f.file,
+                        e.line,
+                        format!(
+                            "`{}` holds `{}` (line {}) while calling `{}`, which can \
+                             acquire it again — deadlock on re-entry",
+                            f.qual_name(),
+                            locks[a.lock].display(),
+                            a.line,
+                            g.nodes[callee].qual_name()
+                        ),
+                        path,
+                    ));
+                }
+                for &l in &trans[callee] {
+                    if l != a.lock {
+                        let mut via = vec![f.qual_name()];
+                        via.extend(
+                            lock_path(g, callee, l, &direct)
+                                .into_iter()
+                                .map(|s| s.to_string()),
+                        );
+                        order.push(OrderEdge {
+                            held: a.lock,
+                            acquired: l,
+                            file: f.file,
+                            line: e.line,
+                            via,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock-order graph.
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for e in &order {
+        adj.entry(e.held).or_default().insert(e.acquired);
+    }
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for e in &order {
+        if !reaches(&adj, e.acquired, e.held) {
+            continue;
+        }
+        let key = (e.held.min(e.acquired), e.held.max(e.acquired));
+        if !reported.insert(key) {
+            continue;
+        }
+        let reverse = order
+            .iter()
+            .find(|o| o.held == e.acquired && reaches(&adj, o.acquired, e.held));
+        let mut witness = vec![format!(
+            "{} held, {} acquired at {}:{} (in {})",
+            locks[e.held].display(),
+            locks[e.acquired].display(),
+            files[e.file].rel_path,
+            e.line,
+            e.via.join(" -> ")
+        )];
+        if let Some(r) = reverse {
+            witness.push(format!(
+                "{} held, {} acquired at {}:{} (in {})",
+                locks[r.held].display(),
+                locks[r.acquired].display(),
+                files[r.file].rel_path,
+                r.line,
+                r.via.join(" -> ")
+            ));
+        }
+        findings.push(c1(
+            files,
+            e.file,
+            e.line,
+            format!(
+                "lock-order cycle: `{}` is acquired while `{}` is held here, but the \
+                 opposite order also exists in the workspace — deadlock under \
+                 concurrent interleaving",
+                locks[e.acquired].display(),
+                locks[e.held].display()
+            ),
+            witness,
+        ));
+    }
+    findings
+}
+
+/// Whether `from` reaches `to` in the lock-order adjacency.
+fn reaches(adj: &BTreeMap<usize, BTreeSet<usize>>, from: usize, to: usize) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(&n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Shortest call path (as qual names) from `from` to a node that
+/// directly acquires `lock`.
+fn lock_path(g: &CallGraph, from: usize, lock: usize, direct: &[BTreeSet<usize>]) -> Vec<String> {
+    let (visited, parent) = g.bfs_forward(&[from]);
+    let target = (0..g.nodes.len())
+        .filter(|&n| visited[n] && direct[n].contains(&lock))
+        .min_by_key(|&n| g.path_to(&parent, n).len());
+    match target {
+        Some(t) => g
+            .path_to(&parent, t)
+            .into_iter()
+            .map(|n| g.nodes[n].qual_name())
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+fn c1(
+    files: &[FileScan],
+    file: usize,
+    line: usize,
+    message: String,
+    witness: Vec<String>,
+) -> Finding {
+    Finding {
+        code: "C1",
+        slug: "lock-order",
+        path: files[file].rel_path.clone(),
+        line,
+        message,
+        witness,
+    }
+}
+
+/// Recognises `receiver.lock()` / `.read()` / `.write()` (argless) at
+/// token `j` and resolves the receiver to a registered lock. The guard
+/// region is the enclosing block for `let`-bound guards (shortened by
+/// an explicit `drop(guard)`), or the rest of the statement for
+/// temporaries.
+#[allow(clippy::too_many_arguments)]
+fn acquisition_at(
+    scan: &FileScan,
+    encl: &[usize],
+    j: usize,
+    body_open: usize,
+    body_close: usize,
+    impl_type: Option<&str>,
+    locks: &[Lock],
+    by_field: &BTreeMap<&str, Vec<usize>>,
+) -> Option<AcqSite> {
+    let tokens = &scan.tokens;
+    let method = ident_str(&tokens[j].tok)?;
+    let wants = match method {
+        "lock" => LockKind::Mutex,
+        "read" | "write" => LockKind::RwLock,
+        _ => return None,
+    };
+    if j < 2
+        || tokens[j - 1].tok != Tok::Punct('.')
+        || tokens.get(j + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        || tokens.get(j + 2).map(|t| &t.tok) != Some(&Tok::Punct(')'))
+    {
+        return None;
+    }
+    let field = ident_str(&tokens[j - 2].tok)?;
+    let candidates = by_field.get(field)?;
+    let kind_ok: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&l| locks[l].kind == wants)
+        .collect();
+    let self_recv =
+        j >= 4 && tokens[j - 3].tok == Tok::Punct('.') && is_ident(&tokens[j - 4].tok, "self");
+    let lock = if self_recv {
+        let owned: Vec<usize> = kind_ok
+            .iter()
+            .copied()
+            .filter(|&l| Some(locks[l].owner.as_str()) == impl_type)
+            .collect();
+        match (owned.as_slice(), kind_ok.as_slice()) {
+            ([one], _) | ([], [one]) => *one,
+            _ => return None,
+        }
+    } else if let [one] = kind_ok.as_slice() {
+        *one
+    } else {
+        return None;
+    };
+
+    // Statement start: walk back to the previous `;`, `{` or `}`.
+    let recv_start = if self_recv { j - 4 } else { j - 2 };
+    let mut stmt = recv_start;
+    while stmt > body_open + 1 {
+        match tokens[stmt - 1].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            _ => stmt -= 1,
+        }
+    }
+    let mut binding: Option<&str> = None;
+    for k in stmt..recv_start {
+        if is_ident(&tokens[k].tok, "let") {
+            let mut b = k + 1;
+            if tokens.get(b).is_some_and(|t| is_ident(&t.tok, "mut")) {
+                b += 1;
+            }
+            binding = ident_str(&tokens[b].tok);
+            break;
+        }
+    }
+    let block_end = match encl.get(j).copied().unwrap_or(usize::MAX) {
+        usize::MAX => body_close,
+        e => e.min(body_close),
+    };
+    let region_end = match binding {
+        Some(name) => {
+            // `drop(name)` ends the region early.
+            let mut end = block_end;
+            let mut k = j + 1;
+            while k + 2 < block_end {
+                if is_ident(&tokens[k].tok, "drop")
+                    && tokens[k + 1].tok == Tok::Punct('(')
+                    && is_ident(&tokens[k + 2].tok, name)
+                {
+                    end = k;
+                    break;
+                }
+                k += 1;
+            }
+            end
+        }
+        None => {
+            // Temporary guard: lives to the end of the statement.
+            let mut k = j + 1;
+            while k < block_end {
+                if tokens[k].tok == Tok::Punct(';')
+                    && encl.get(k).copied().unwrap_or(usize::MAX)
+                        == encl.get(j).copied().unwrap_or(usize::MAX)
+                {
+                    break;
+                }
+                k += 1;
+            }
+            k
+        }
+    };
+    Some(AcqSite {
+        lock,
+        tok: j,
+        line: tokens[j].line,
+        region_end,
+    })
+}
+
+// ---------------------------------------------------------------------
+// P4 panic-reachability
+// ---------------------------------------------------------------------
+
+/// Whether a file is library code of an entry crate (not `bin/`, not a
+/// test or bench/example file).
+fn is_entry_file(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    matches!(parts.as_slice(), ["crates", c, "src", rest @ ..]
+        if P4_ENTRY_CRATES.contains(c) && !rest.contains(&"bin"))
+}
+
+fn panic_reach(
+    files: &[FileScan],
+    g: &CallGraph,
+    panic_path_suppressed: &BTreeSet<(usize, usize)>,
+) -> Vec<Finding> {
+    // Panic sites per node, minus lines already justified to P1.
+    let mut panic_sites: Vec<Vec<(usize, String)>> = vec![Vec::new(); g.nodes.len()];
+    for (n, f) in g.nodes.iter().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let scan = &files[f.file];
+        let mut lines_seen = BTreeSet::new();
+        for j in open + 1..close {
+            if scan.mask.get(j).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(desc) = panic_token_at(&scan.tokens, j) else {
+                continue;
+            };
+            let line = scan.tokens[j].line;
+            if panic_path_suppressed.contains(&(f.file, line)) || !lines_seen.insert(line) {
+                continue;
+            }
+            panic_sites[n].push((line, desc));
+        }
+    }
+
+    let entries: Vec<usize> = (0..g.nodes.len())
+        .filter(|&n| g.nodes[n].is_pub && is_entry_file(&files[g.nodes[n].file].rel_path))
+        .collect();
+    let (visited, parent) = g.bfs_forward(&entries);
+
+    let mut findings = Vec::new();
+    for n in 0..g.nodes.len() {
+        if !visited[n] || panic_sites[n].is_empty() {
+            continue;
+        }
+        let f = &g.nodes[n];
+        let path_quals: Vec<String> = g
+            .path_to(&parent, n)
+            .into_iter()
+            .map(|x| g.nodes[x].qual_name())
+            .collect();
+        let entry = path_quals.first().cloned().unwrap_or_default();
+        for (line, desc) in &panic_sites[n] {
+            let mut witness = path_quals.clone();
+            witness.push(format!(
+                "panics via {desc} at {}:{line}",
+                files[f.file].rel_path
+            ));
+            findings.push(Finding {
+                code: "P4",
+                slug: "panic-reach",
+                path: files[f.file].rel_path.clone(),
+                line: *line,
+                message: format!(
+                    "`{}` can panic ({desc}) and is reachable from public entry \
+                     `{entry}` — return a typed error or justify the invariant",
+                    f.qual_name()
+                ),
+                witness,
+            });
+        }
+    }
+    findings
+}
+
+/// Describes the panic-capable token at `j`, if any.
+fn panic_token_at(tokens: &[Token], j: usize) -> Option<String> {
+    let id = ident_str(&tokens[j].tok)?;
+    let next_is = |c: char| tokens.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct(c));
+    match id {
+        "unwrap" | "expect" if j > 0 && tokens[j - 1].tok == Tok::Punct('.') && next_is('(') => {
+            Some(format!(".{id}()"))
+        }
+        "panic" | "unreachable" | "todo" | "unimplemented" if next_is('!') => {
+            Some(format!("{id}!"))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// N1 nondeterminism taint
+// ---------------------------------------------------------------------
+
+fn is_bench_or_example(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    (parts.first() == Some(&"crates") && parts.get(1) == Some(&"bench") && parts.contains(&"bin"))
+        || parts.iter().any(|p| *p == "benches" || *p == "examples")
+}
+
+fn taint(files: &[FileScan], g: &CallGraph) -> Vec<Finding> {
+    // Workspace-wide `const NAME: &str = "…"` values, for resolving
+    // `env::var(SOME_ENV)` arguments.
+    let mut consts: BTreeMap<&str, &str> = BTreeMap::new();
+    for scan in files {
+        for (k, v) in &scan.items.consts {
+            consts.insert(k, v);
+        }
+    }
+
+    // Direct sources per node. The scan covers the signature too (a
+    // `&HashMap<…>` parameter is as nondeterministic to iterate as a
+    // local), so walk back from the body brace to the `fn name` pair.
+    let mut source: Vec<Option<(usize, String)>> = vec![None; g.nodes.len()];
+    for (n, f) in g.nodes.iter().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let scan = &files[f.file];
+        let in_telemetry = scan.rel_path.starts_with("crates/telemetry/");
+        let bench = is_bench_or_example(&scan.rel_path);
+        let sig_start = (0..open)
+            .rev()
+            .find(|&k| {
+                is_ident(&scan.tokens[k].tok, "fn")
+                    && scan
+                        .tokens
+                        .get(k + 1)
+                        .is_some_and(|t| is_ident(&t.tok, &f.name))
+            })
+            .unwrap_or(open);
+        for j in sig_start..close {
+            if scan.mask.get(j).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(desc) = taint_source_at(scan, j, in_telemetry, bench, &consts) {
+                source[n] = Some((scan.tokens[j].line, desc));
+                break;
+            }
+        }
+    }
+
+    // Propagate: a caller of a tainted function is tainted. BFS over
+    // incoming edges from the directly-tainted seeds.
+    let mut tainted: Vec<bool> = source.iter().map(|s| s.is_some()).collect();
+    let mut parent: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut queue: VecDeque<usize> = (0..g.nodes.len()).filter(|&n| tainted[n]).collect();
+    while let Some(n) = queue.pop_front() {
+        for &ei in &g.rin[n] {
+            let caller = g.edges[ei].caller;
+            if !tainted[caller] {
+                tainted[caller] = true;
+                parent[caller] = Some(ei);
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // Findings: a tainted function feeding a sink.
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for e in &g.edges {
+        if !tainted[e.caller] || !is_sink(g, e.callee) {
+            continue;
+        }
+        if !reported.insert((e.caller, e.callee)) {
+            continue;
+        }
+        let f = &g.nodes[e.caller];
+        // Witness: caller → … → directly-tainted function, then source.
+        let mut chain = vec![e.caller];
+        let mut cur = e.caller;
+        while let Some(pe) = parent[cur] {
+            cur = g.edges[pe].callee;
+            chain.push(cur);
+        }
+        let (src_line, src_desc) = source[cur]
+            .clone()
+            .unwrap_or((f.line, "nondeterministic state".to_string()));
+        let mut witness: Vec<String> = chain.iter().map(|&x| g.nodes[x].qual_name()).collect();
+        witness.push(format!(
+            "source: {src_desc} at {}:{src_line}",
+            files[g.nodes[cur].file].rel_path
+        ));
+        witness.push(format!("sink: {}", g.nodes[e.callee].qual_name()));
+        findings.push(Finding {
+            code: "N1",
+            slug: "nondet-taint",
+            path: files[f.file].rel_path.clone(),
+            line: e.line,
+            message: format!(
+                "`{}` carries nondeterministic state ({src_desc}) into sink `{}` — \
+                 sort/seed the value or route it through a sanctioned source",
+                f.qual_name(),
+                g.nodes[e.callee].qual_name()
+            ),
+            witness,
+        });
+    }
+    findings
+}
+
+/// Whether the node is one of the deterministic-input sinks.
+fn is_sink(g: &CallGraph, node: usize) -> bool {
+    let f = &g.nodes[node];
+    let krate = g.krate(node);
+    N1_SINKS.iter().any(|(c, pat)| {
+        *c == krate
+            && match pat.strip_suffix('*') {
+                Some(prefix) => f.name.starts_with(prefix),
+                None => f.name == *pat,
+            }
+    })
+}
+
+/// Recognises a nondeterminism source at token `j`.
+fn taint_source_at(
+    scan: &FileScan,
+    j: usize,
+    in_telemetry: bool,
+    bench: bool,
+    consts: &BTreeMap<&str, &str>,
+) -> Option<String> {
+    let tokens = &scan.tokens;
+    let id = ident_str(&tokens[j].tok)?;
+    let path_seg = |k: usize, s: &str| {
+        tokens.get(k).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && tokens.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && tokens.get(k + 2).is_some_and(|t| is_ident(&t.tok, s))
+    };
+    match id {
+        "HashMap" | "HashSet" => Some(format!("`{id}` iteration order")),
+        "thread" if path_seg(j + 1, "current") => Some("`thread::current()` identity".into()),
+        "Instant" if !in_telemetry && !bench && path_seg(j + 1, "now") => {
+            Some("`Instant::now()` wall-clock".into())
+        }
+        "SystemTime" if !in_telemetry && !bench => Some("`SystemTime` wall-clock".into()),
+        "env" if path_seg(j + 1, "var") || path_seg(j + 1, "var_os") => {
+            // `env::var(ARG)` — sanctioned when the argument is a
+            // `PANO_*` literal or a const that resolves to one.
+            let arg = tokens.get(j + 5)?;
+            let value = match &arg.tok {
+                Tok::Str => str_literal_text(&scan.source, arg).map(|s| s.to_string()),
+                Tok::Ident(name) => consts.get(name.as_str()).map(|v| (*v).to_string()),
+                _ => None,
+            };
+            match value {
+                Some(v) if v.starts_with("PANO_") => None,
+                Some(v) => Some(format!("env read `{v}` outside the PANO_* allowlist")),
+                None => Some("env read with unresolvable name".into()),
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{graph, scan_file, scan_set};
+
+    fn analyse(files: &[(&str, &str)]) -> Vec<Finding> {
+        let scans = scan_set(files);
+        let g = graph::build(&scans);
+        run(&scans, &g, &BTreeSet::new())
+    }
+
+    fn codes(fs: &[Finding]) -> Vec<&str> {
+        fs.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn c1_flags_opposite_lock_orders() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                     fn ab(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+                     fn ba(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }\n\
+                   }";
+        let f = analyse(&[("crates/sim/src/s.rs", src)]);
+        assert!(codes(&f).contains(&"C1"), "{f:?}");
+        let c1 = f.iter().find(|x| x.code == "C1").expect("c1");
+        assert!(c1.message.contains("cycle"), "{}", c1.message);
+        assert_eq!(c1.witness.len(), 2, "{:?}", c1.witness);
+    }
+
+    #[test]
+    fn c1_sequential_guards_are_clean() {
+        // Guard confined to a block (the AssetStore pattern), then the
+        // other lock taken — no overlap, no ordering edge.
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                     fn ab(&self) { let x = { let g = self.a.lock(); 1 }; let h = self.b.lock(); }\n\
+                     fn ba(&self) { let x = { let g = self.b.lock(); 1 }; let h = self.a.lock(); }\n\
+                   }";
+        let f = analyse(&[("crates/sim/src/s.rs", src)]);
+        assert!(!codes(&f).contains(&"C1"), "{f:?}");
+    }
+
+    #[test]
+    fn c1_flags_reentrant_call_under_guard() {
+        let src = "struct S { a: Mutex<u8> }\n\
+                   impl S {\n\
+                     fn outer(&self) { let g = self.a.lock(); self.inner(); }\n\
+                     fn inner(&self) { let g = self.a.lock(); }\n\
+                   }";
+        let f = analyse(&[("crates/sim/src/s.rs", src)]);
+        let c1: Vec<&Finding> = f.iter().filter(|x| x.code == "C1").collect();
+        assert!(c1.iter().any(|x| x.message.contains("re-entry")), "{f:?}");
+    }
+
+    #[test]
+    fn c1_drop_ends_the_guard_region() {
+        let src = "struct S { a: Mutex<u8> }\n\
+                   impl S {\n\
+                     fn outer(&self) { let g = self.a.lock(); drop(g); self.inner(); }\n\
+                     fn inner(&self) { let g = self.a.lock(); }\n\
+                   }";
+        let f = analyse(&[("crates/sim/src/s.rs", src)]);
+        assert!(!codes(&f).contains(&"C1"), "{f:?}");
+    }
+
+    #[test]
+    fn p4_reports_reachable_panics_with_witness() {
+        let src = "pub fn entry() { step(); }\n\
+                   fn step() { deep(); }\n\
+                   fn deep() { x().unwrap(); }\n\
+                   fn x() -> Option<u8> { None }";
+        let f = analyse(&[("crates/net/src/edge.rs", src)]);
+        let p4 = f.iter().find(|x| x.code == "P4").expect("p4");
+        assert_eq!(p4.line, 3);
+        assert_eq!(
+            p4.witness[..3],
+            ["net::edge::entry", "net::edge::step", "net::edge::deep"]
+        );
+    }
+
+    #[test]
+    fn p4_ignores_unreachable_and_non_entry_crates() {
+        // Private, uncalled: unreachable from any entry.
+        let unreachable = "fn helper() { x.unwrap(); }";
+        assert!(!codes(&analyse(&[("crates/sim/src/a.rs", unreachable)])).contains(&"P4"));
+        // geo is not an entry crate, so its own pub fns seed nothing.
+        let geo = "pub fn project() { x.unwrap(); }";
+        assert!(!codes(&analyse(&[("crates/geo/src/a.rs", geo)])).contains(&"P4"));
+        // …but a geo panic reached *from* a sim entry is reported.
+        let both = analyse(&[
+            ("crates/geo/src/a.rs", "pub fn project() { x.unwrap(); }"),
+            (
+                "crates/sim/src/b.rs",
+                "pub fn run() { pano_geo::a::project(); }",
+            ),
+        ]);
+        let p4 = both
+            .iter()
+            .find(|x| x.code == "P4")
+            .expect("cross-crate p4");
+        assert_eq!(p4.path, "crates/geo/src/a.rs");
+        assert!(p4.witness[0].starts_with("sim::b::run"), "{:?}", p4.witness);
+    }
+
+    #[test]
+    fn p4_respects_panic_path_suppression_sites() {
+        let src = "pub fn entry() { x().unwrap(); }\nfn x() -> Option<u8> { None }";
+        let scans = vec![scan_file(0, "crates/net/src/edge.rs", src)];
+        let g = graph::build(&scans);
+        let mut sup = BTreeSet::new();
+        sup.insert((0usize, 1usize));
+        let f = run(&scans, &g, &sup);
+        assert!(!codes(&f).contains(&"P4"), "{f:?}");
+    }
+
+    #[test]
+    fn n1_taints_flow_through_calls_into_sinks() {
+        let src = "pub fn append(line: &str) {}\n\
+                   fn user_count() -> usize { std::env::var(\"USERS\").unwrap().len() }\n\
+                   pub fn record() { let n = user_count(); append(\"x\"); }";
+        let f = analyse(&[("crates/sim/src/journal.rs", src)]);
+        let n1 = f.iter().find(|x| x.code == "N1").expect("n1");
+        assert_eq!(n1.line, 3);
+        assert!(n1.message.contains("USERS"), "{}", n1.message);
+        assert!(
+            n1.witness.iter().any(|w| w.contains("user_count")),
+            "{:?}",
+            n1.witness
+        );
+    }
+
+    #[test]
+    fn n1_sanctions_pano_env_reads_via_consts() {
+        let src = "const THREADS_ENV: &str = \"PANO_THREADS\";\n\
+                   pub fn append(line: &str) {}\n\
+                   fn conf() -> usize { std::env::var(THREADS_ENV).map(|s| s.len()).unwrap_or(0) }\n\
+                   pub fn record() { let n = conf(); append(\"x\"); }";
+        let f = analyse(&[("crates/sim/src/journal.rs", src)]);
+        assert!(!codes(&f).contains(&"N1"), "{f:?}");
+    }
+
+    #[test]
+    fn n1_hash_iteration_is_a_source() {
+        let src = "pub fn schedule(k: u64) {}\n\
+                   pub fn drain(m: &std::collections::HashMap<u64, u8>) {\n\
+                     for k in m.keys() { schedule(*k); }\n\
+                   }";
+        let f = analyse(&[("crates/sim/src/engine_feed.rs", src)]);
+        assert!(codes(&f).contains(&"N1"), "{f:?}");
+    }
+
+    #[test]
+    fn n1_telemetry_clock_is_sanctioned() {
+        let src = "pub fn emit(kind: &str) {}\n\
+                   pub fn stamp() { let t = Instant::now(); emit(\"tick\"); }";
+        let f = analyse(&[("crates/telemetry/src/span2.rs", src)]);
+        assert!(!codes(&f).contains(&"N1"), "{f:?}");
+    }
+}

@@ -1,0 +1,541 @@
+//! Approximate workspace call graph over the extracted item model.
+//!
+//! Name resolution is by path suffix, not type inference — the graph
+//! favours recall (an edge for every plausible target) over precision,
+//! and the limits are explicit:
+//!
+//! * `self.m(…)` resolves through the caller's `impl` type when that
+//!   type defines `m`, else falls back to name matching.
+//! * `Type::m(…)` (and longer paths whose second-to-last segment is
+//!   capitalised) resolve through the `(type, method)` index; `Self`
+//!   maps to the caller's `impl` type.
+//! * `expr.m(…)` with an unknown receiver matches every workspace
+//!   method named `m` — restricted to the caller's crate when that is
+//!   non-empty, and dropped entirely when more than
+//!   [`METHOD_FANOUT_CAP`] candidates remain (a name that common is
+//!   almost certainly a std-type method, and the edges would be noise).
+//!   Names in [`STD_METHOD_NAMES`] (`get`, `len`, `push`, …) never
+//!   resolve through this fallback at all.
+//! * Bare `f(…)` resolves same-module, then same-crate, then to a
+//!   workspace-unique free function.
+//! * Macros (`name!(…)`), closures, function pointers and turbofish
+//!   calls (`f::<T>(…)`) produce no edges.
+//!
+//! Bodies under `#[cfg(test)]` and test files contribute no edges and
+//! no nodes: the cross-function rules are about library behaviour.
+
+use crate::model::Function;
+use crate::{ident_str, FileScan, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Above this many candidate targets, an unknown-receiver method call
+/// is treated as unresolvable (see module docs).
+pub const METHOD_FANOUT_CAP: usize = 3;
+
+/// Method names that collide with the std collection/guard API. An
+/// unknown-receiver call to one of these is overwhelmingly a call on a
+/// `Vec`/`HashMap`/guard, not on a workspace type — resolving it by
+/// bare name manufactures false edges (e.g. `slots.get(&k)` inside
+/// `AssetStore::get` becoming a self-recursive lock re-entry). Known
+/// receivers (`self.m()`, `Type::m()`) still resolve these normally.
+const STD_METHOD_NAMES: &[&str] = &[
+    "clear", "clone", "contains", "expect", "extend", "get", "insert", "is_empty", "iter", "keys",
+    "len", "map", "pop", "push", "remove", "take", "unwrap", "values", "write",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Caller node index.
+    pub caller: usize,
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: usize,
+    /// Token index of the callee name at the call site (caller's file).
+    pub tok: usize,
+}
+
+/// The workspace call graph: non-test functions plus resolved edges.
+pub struct CallGraph {
+    /// All non-test functions, in file/declaration order. `Function::file`
+    /// indexes the `FileScan` slice the graph was built from.
+    pub nodes: Vec<Function>,
+    /// Resolved call edges, sorted by (caller, callee, tok).
+    pub edges: Vec<Edge>,
+    /// Outgoing edge indices per node.
+    pub out: Vec<Vec<usize>>,
+    /// Incoming edge indices per node.
+    pub rin: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// The crate a node belongs to (first path segment).
+    pub fn krate(&self, node: usize) -> &str {
+        self.nodes[node].qual.first().map_or("", |s| s.as_str())
+    }
+
+    /// Forward BFS from `seeds` over call edges. Returns, per node,
+    /// whether it was reached and the edge that first reached it
+    /// (`None` for seeds). Deterministic: seeds and adjacency are in
+    /// sorted order.
+    pub fn bfs_forward(&self, seeds: &[usize]) -> (Vec<bool>, Vec<Option<usize>>) {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = seeds
+            .iter()
+            .copied()
+            .filter(|&s| {
+                if visited[s] {
+                    false
+                } else {
+                    visited[s] = true;
+                    true
+                }
+            })
+            .collect();
+        while let Some(n) = queue.pop_front() {
+            for &e in &self.out[n] {
+                let to = self.edges[e].callee;
+                if !visited[to] {
+                    visited[to] = true;
+                    parent[to] = Some(e);
+                    queue.push_back(to);
+                }
+            }
+        }
+        (visited, parent)
+    }
+
+    /// Reconstructs the seed→node path (as node indices) from a
+    /// [`bfs_forward`](Self::bfs_forward) parent array.
+    pub fn path_to(&self, parent: &[Option<usize>], node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(e) = parent[cur] {
+            cur = self.edges[e].caller;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Builds the call graph over the scanned files.
+pub fn build(files: &[FileScan]) -> CallGraph {
+    let mut nodes: Vec<Function> = Vec::new();
+    for scan in files {
+        for f in &scan.items.functions {
+            if !f.in_test {
+                nodes.push(f.clone());
+            }
+        }
+    }
+
+    // Resolution indexes.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, f) in nodes.iter().enumerate() {
+        match &f.impl_type {
+            Some(ty) => {
+                methods_by_name.entry(&f.name).or_default().push(i);
+                by_type_method
+                    .entry((ty.as_str(), &f.name))
+                    .or_default()
+                    .push(i);
+            }
+            None => free_by_name.entry(&f.name).or_default().push(i),
+        }
+    }
+
+    let mut edge_set: BTreeSet<(usize, usize, usize, usize)> = BTreeSet::new();
+    for (caller, f) in nodes.iter().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let scan = &files[f.file];
+        let tokens = &scan.tokens;
+        let mut j = open + 1;
+        while j < close {
+            if scan.mask.get(j).copied().unwrap_or(false) {
+                j += 1;
+                continue;
+            }
+            if let Some(site) = call_site_at(tokens, j) {
+                for callee in resolve(
+                    &site,
+                    f,
+                    &free_by_name,
+                    &methods_by_name,
+                    &by_type_method,
+                    &nodes,
+                ) {
+                    edge_set.insert((caller, callee, j, tokens[j].line));
+                }
+            }
+            j += 1;
+        }
+    }
+
+    let edges: Vec<Edge> = edge_set
+        .into_iter()
+        .map(|(caller, callee, tok, line)| Edge {
+            caller,
+            callee,
+            line,
+            tok,
+        })
+        .collect();
+    let mut out = vec![Vec::new(); nodes.len()];
+    let mut rin = vec![Vec::new(); nodes.len()];
+    for (i, e) in edges.iter().enumerate() {
+        out[e.caller].push(i);
+        rin[e.callee].push(i);
+    }
+    CallGraph {
+        nodes,
+        edges,
+        out,
+        rin,
+    }
+}
+
+/// A syntactic call site: the callee path plus how it is invoked.
+#[derive(Debug)]
+struct CallSite<'t> {
+    /// Path segments ending in the callee name (`["AssetStore", "fetch"]`).
+    segs: Vec<&'t str>,
+    /// `expr.name(…)` — and whether the receiver is literally `self`.
+    is_method: bool,
+    self_receiver: bool,
+}
+
+/// Recognises a call whose *name token* is at `j`: an identifier
+/// directly followed by `(`, that is not a macro, definition, or the
+/// middle of a longer path.
+fn call_site_at<'t>(tokens: &'t [Token], j: usize) -> Option<CallSite<'t>> {
+    let name = ident_str(&tokens[j].tok)?;
+    if tokens.get(j + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return None;
+    }
+    // Definitions (`fn name(`) and macros (`name!(` is excluded by the
+    // `(`-follows check; `macro_rules! name (` by the `!` check here).
+    if j >= 1 {
+        if let Tok::Ident(prev) = &tokens[j - 1].tok {
+            if prev == "fn" {
+                return None;
+            }
+        }
+        if tokens[j - 1].tok == Tok::Punct('!') {
+            return None;
+        }
+    }
+    // Collect the `::`-joined path ending at `j`, walking backwards.
+    let mut segs = vec![name];
+    let mut k = j;
+    while k >= 3
+        && tokens[k - 1].tok == Tok::Punct(':')
+        && tokens[k - 2].tok == Tok::Punct(':')
+        && matches!(tokens[k - 3].tok, Tok::Ident(_))
+    {
+        segs.insert(0, ident_str(&tokens[k - 3].tok).unwrap_or(""));
+        k -= 3;
+    }
+    // A leading `<` means a qualified path (`<T as Trait>::m`) — too
+    // type-level to resolve here.
+    let before = k.checked_sub(1).map(|p| &tokens[p].tok);
+    if before == Some(&Tok::Punct('<')) {
+        return None;
+    }
+    let is_method = segs.len() == 1 && before == Some(&Tok::Punct('.'));
+    let self_receiver =
+        is_method && k >= 2 && matches!(&tokens[k - 2].tok, Tok::Ident(s) if s == "self");
+    Some(CallSite {
+        segs,
+        is_method,
+        self_receiver,
+    })
+}
+
+/// Resolves a call site to candidate node indices (possibly several —
+/// recall over precision; empty when nothing in the workspace matches).
+fn resolve(
+    site: &CallSite<'_>,
+    caller: &Function,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    nodes: &[Function],
+) -> Vec<usize> {
+    let name = *site.segs.last().expect("non-empty path");
+    let caller_crate = caller.qual.first().map_or("", |s| s.as_str());
+
+    if site.is_method {
+        // `self.m(…)` through the caller's impl type, when it defines m.
+        if site.self_receiver {
+            if let Some(ty) = &caller.impl_type {
+                if let Some(c) = by_type_method.get(&(ty.as_str(), name)) {
+                    return c.clone();
+                }
+            }
+        }
+        if STD_METHOD_NAMES.contains(&name) {
+            return Vec::new();
+        }
+        let Some(all) = methods_by_name.get(name) else {
+            return Vec::new();
+        };
+        let same_crate: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| nodes[i].qual.first().map_or("", |s| s.as_str()) == caller_crate)
+            .collect();
+        let pool = if same_crate.is_empty() {
+            all.clone()
+        } else {
+            same_crate
+        };
+        return if pool.len() <= METHOD_FANOUT_CAP {
+            pool
+        } else {
+            Vec::new()
+        };
+    }
+
+    if site.segs.len() >= 2 {
+        let qualifier = site.segs[site.segs.len() - 2];
+        // `Type::method` (capitalised qualifier); `Self` is the caller's
+        // impl type.
+        if qualifier
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+            || qualifier == "Self"
+        {
+            let ty = if qualifier == "Self" {
+                caller.impl_type.as_deref().unwrap_or(qualifier)
+            } else {
+                qualifier
+            };
+            return by_type_method.get(&(ty, name)).cloned().unwrap_or_default();
+        }
+        // `module::func`: strict qual-suffix match over free functions,
+        // falling back to crate+name when re-exports break the suffix.
+        let segs = normalise_path(&site.segs, caller_crate);
+        if let Some(all) = free_by_name.get(name) {
+            let strict: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| ends_with(&nodes[i].qual, &segs))
+                .collect();
+            if !strict.is_empty() {
+                return strict;
+            }
+            let first = segs.first().map_or("", |s| s.as_str());
+            return all
+                .iter()
+                .copied()
+                .filter(|&i| nodes[i].qual.first().map_or("", |s| s.as_str()) == first)
+                .collect();
+        }
+        return Vec::new();
+    }
+
+    // Bare `f(…)`: same module, then same crate, then workspace-unique.
+    let Some(all) = free_by_name.get(name) else {
+        return Vec::new();
+    };
+    let caller_module = &caller.qual[..caller
+        .qual
+        .len()
+        .saturating_sub(if caller.impl_type.is_some() { 2 } else { 1 })];
+    let same_module: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| {
+            nodes[i].qual.len() == caller_module.len() + 1
+                && nodes[i].qual[..caller_module.len()] == *caller_module
+        })
+        .collect();
+    if !same_module.is_empty() {
+        return same_module;
+    }
+    let same_crate: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&i| nodes[i].qual.first().map_or("", |s| s.as_str()) == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    if all.len() == 1 {
+        return all.clone();
+    }
+    Vec::new()
+}
+
+/// Normalises a call path for suffix matching: `crate` becomes the
+/// caller's crate, `self`/`super` segments drop (approximation), and a
+/// leading `pano_x` package name maps to the `x` directory segment the
+/// model uses.
+fn normalise_path(segs: &[&str], caller_crate: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for (i, s) in segs.iter().enumerate() {
+        match *s {
+            "crate" => out.push(caller_crate.to_string()),
+            "self" | "super" => {}
+            s if i == 0 && s.starts_with("pano_") => {
+                out.push(s.trim_start_matches("pano_").to_string())
+            }
+            s => out.push(s.to_string()),
+        }
+    }
+    out
+}
+
+fn ends_with(qual: &[String], suffix: &[String]) -> bool {
+    suffix.len() <= qual.len() && qual[qual.len() - suffix.len()..] == *suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_set;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        build(&scan_set(files))
+    }
+
+    fn node(g: &CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|f| f.qual_name() == qual)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no node {qual}; have {:?}",
+                    g.nodes.iter().map(|f| f.qual_name()).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    fn has_edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        let (a, b) = (node(g, from), node(g, to));
+        g.edges.iter().any(|e| e.caller == a && e.callee == b)
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_module_first() {
+        let g = graph(&[
+            (
+                "crates/sim/src/a.rs",
+                "pub fn go() { helper(); }\nfn helper() {}",
+            ),
+            ("crates/net/src/b.rs", "fn helper() {}"),
+        ]);
+        assert!(has_edge(&g, "sim::a::go", "sim::a::helper"));
+        assert!(!has_edge(&g, "sim::a::go", "net::b::helper"));
+    }
+
+    #[test]
+    fn self_methods_resolve_through_the_impl_type() {
+        let src = "struct S;\nimpl S {\n  pub fn outer(&self) { self.inner(); }\n  fn inner(&self) {}\n}\n\
+                   struct T;\nimpl T { fn inner(&self) {} }";
+        let g = graph(&[("crates/sim/src/s.rs", src)]);
+        assert!(has_edge(&g, "sim::s::S::outer", "sim::s::S::inner"));
+        assert!(!has_edge(&g, "sim::s::S::outer", "sim::s::T::inner"));
+    }
+
+    #[test]
+    fn type_qualified_calls_resolve_cross_crate() {
+        let g = graph(&[
+            (
+                "crates/sim/src/asset.rs",
+                "pub struct AssetStore;\nimpl AssetStore { pub fn fetch(&self) {} }",
+            ),
+            (
+                "crates/net/src/edge.rs",
+                "pub fn pull(s: &AssetStore) { AssetStore::fetch(s); }",
+            ),
+        ]);
+        assert!(has_edge(
+            &g,
+            "net::edge::pull",
+            "sim::asset::AssetStore::fetch"
+        ));
+    }
+
+    #[test]
+    fn path_calls_match_by_suffix_and_pano_prefix() {
+        let g = graph(&[
+            ("crates/telemetry/src/sink.rs", "pub fn emit_event() {}"),
+            (
+                "crates/sim/src/run.rs",
+                "pub fn run() { pano_telemetry::sink::emit_event(); }",
+            ),
+        ]);
+        assert!(has_edge(&g, "sim::run::run", "telemetry::sink::emit_event"));
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let src = "pub fn go() { println!(\"x\"); helper(); }\nfn helper() {}";
+        let g = graph(&[("crates/sim/src/a.rs", src)]);
+        let go = node(&g, "sim::a::go");
+        assert_eq!(g.out[go].len(), 1, "only helper() is an edge");
+    }
+
+    #[test]
+    fn ambiguous_method_calls_are_capped() {
+        // Four same-crate candidates named `reset` — above the fanout
+        // cap, so the unknown-receiver call resolves to nothing.
+        let src = "struct A;\nimpl A { fn reset(&self) {} }\n\
+                   struct B;\nimpl B { fn reset(&self) {} }\n\
+                   struct C;\nimpl C { fn reset(&self) {} }\n\
+                   struct D;\nimpl D { fn reset(&self) {} }\n\
+                   pub fn go(x: &A) { x.reset(); }";
+        let g = graph(&[("crates/sim/src/a.rs", src)]);
+        let go = node(&g, "sim::a::go");
+        assert!(g.out[go].is_empty());
+    }
+
+    #[test]
+    fn std_collection_method_names_do_not_fan_out() {
+        // `slots.get(…)` is a HashMap get, not Store::get — resolving
+        // it by bare name would make `get` call itself. A known
+        // receiver (`self.get()`) still resolves.
+        let src = "struct Store;\nimpl Store {\n\
+                     pub fn get(&self) { slots.get(&key); }\n\
+                     pub fn fetch(&self) { self.get(); }\n\
+                   }";
+        let g = graph(&[("crates/sim/src/a.rs", src)]);
+        let get = node(&g, "sim::a::Store::get");
+        assert!(g.out[get].is_empty());
+        assert!(has_edge(&g, "sim::a::Store::fetch", "sim::a::Store::get"));
+    }
+
+    #[test]
+    fn test_functions_contribute_no_nodes() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod t { fn case() { lib(); } }";
+        let g = graph(&[("crates/sim/src/a.rs", src)]);
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn bfs_finds_witness_paths() {
+        let src = "pub fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn stray() {}";
+        let g = graph(&[("crates/net/src/a.rs", src)]);
+        let entry = node(&g, "net::a::entry");
+        let leaf = node(&g, "net::a::leaf");
+        let (visited, parent) = g.bfs_forward(&[entry]);
+        assert!(visited[leaf]);
+        assert!(!visited[node(&g, "net::a::stray")]);
+        let path: Vec<String> = g
+            .path_to(&parent, leaf)
+            .into_iter()
+            .map(|n| g.nodes[n].qual_name())
+            .collect();
+        assert_eq!(path, vec!["net::a::entry", "net::a::mid", "net::a::leaf"]);
+    }
+}

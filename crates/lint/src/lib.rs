@@ -48,21 +48,30 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod analysis;
+pub mod graph;
+pub mod model;
 pub mod rules;
+pub mod tree;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use rules::{FileCtx, Rule, RULES};
+use tree::Tree;
 
-/// One lexical token with its 1-based source line.
+/// One lexical token with its 1-based source line and byte span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token itself.
     pub tok: Tok,
     /// 1-based line the token starts on.
     pub line: usize,
+    /// Half-open byte range of the token in the source, so spans can
+    /// round-trip to the original text (`&source[span.0..span.1]`).
+    pub span: (usize, usize),
 }
 
 /// Token kinds. Literal payloads are dropped — the rules only ever match
@@ -147,17 +156,21 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
             }
             b'"' => {
                 let start_line = line;
-                i = skip_quoted(b, i, &mut line);
+                let end = skip_quoted(b, i, &mut line);
                 toks.push(Token {
                     tok: Tok::Str,
                     line: start_line,
+                    span: (i, end),
                 });
+                i = end;
             }
             b'r' | b'b' => {
+                let start_line = line;
                 if let Some((end, is_str)) = raw_or_byte_literal(b, i, &mut line) {
                     toks.push(Token {
                         tok: if is_str { Tok::Str } else { Tok::Char },
-                        line,
+                        line: start_line,
+                        span: (i, end),
                     });
                     i = end;
                 } else {
@@ -167,15 +180,18 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
             b'\'' => {
                 // Char literal or lifetime.
                 if i + 1 < n && b[i + 1] == b'\\' {
-                    i = skip_quoted_char(b, i);
+                    let end = skip_quoted_char(b, i);
                     toks.push(Token {
                         tok: Tok::Char,
                         line,
+                        span: (i, end),
                     });
+                    i = end;
                 } else if i + 2 < n && b[i + 2] == b'\'' {
                     toks.push(Token {
                         tok: Tok::Char,
                         line,
+                        span: (i, i + 3),
                     });
                     i += 3;
                 } else {
@@ -187,6 +203,7 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
                     toks.push(Token {
                         tok: Tok::Lifetime,
                         line,
+                        span: (i, j),
                     });
                     i = j;
                 }
@@ -202,6 +219,7 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
                 toks.push(Token {
                     tok: Tok::Num,
                     line,
+                    span: (i, j),
                 });
                 i = j;
             }
@@ -209,6 +227,7 @@ pub fn lex(source: &str) -> (Vec<Token>, Vec<LineComment>) {
                 toks.push(Token {
                     tok: Tok::Punct(c as char),
                     line,
+                    span: (i, i + 1),
                 });
                 i += 1;
             }
@@ -225,6 +244,7 @@ fn push_ident(b: &[u8], i: usize, line: usize, toks: &mut Vec<Token>) -> usize {
     toks.push(Token {
         tok: Tok::Ident(String::from_utf8_lossy(&b[i..j]).into_owned()),
         line,
+        span: (i, j),
     });
     j
 }
@@ -316,10 +336,40 @@ fn raw_or_byte_literal(b: &[u8], i: usize, line: &mut usize) -> Option<(usize, b
 
 /// Marks every token inside a `#[cfg(test)]`-gated item (module, fn,
 /// impl, use) by brace matching, so test-exempt rules can skip them.
+///
+/// The `cfg` predicate is evaluated for test-only-ness, not merely
+/// grepped for the word `test`:
+///
+/// * `#[cfg(test)]` and `#[cfg(all(test, …))]` gate code that only
+///   exists in test builds — masked.
+/// * `#[cfg(any(test, …))]` code is also compiled when the *other*
+///   disjunct holds, and `#[cfg(not(test))]` is exactly the library
+///   build — neither is masked (masking them would hide real code).
+/// * `#[cfg_attr(test, …)]` gates an attribute, not the item — the item
+///   itself is always compiled, so it is never masked.
+/// * A file-level `#![cfg(test)]` (or `#![cfg(all(test, …))]`) inner
+///   attribute masks the remainder of the file.
 pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
+        // Inner attribute `#![cfg(…)]`: if it implies test, the whole
+        // rest of the file is test-only.
+        if tokens[i].tok == Tok::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!'))
+            && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('['))
+            && tokens.get(i + 3).is_some_and(|t| is_ident(&t.tok, "cfg"))
+        {
+            let end = skip_balanced(tokens, i + 2, '[', ']');
+            if cfg_attr_implies_test(tokens, i + 3, end) {
+                for m in mask.iter_mut().skip(i) {
+                    *m = true;
+                }
+                return mask;
+            }
+            i = end;
+            continue;
+        }
         if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
             // Skip any further attributes on the same item.
             let mut j = after_attr;
@@ -372,8 +422,10 @@ pub fn is_ident(t: &Tok, s: &str) -> bool {
     matches!(t, Tok::Ident(i) if i == s)
 }
 
-/// If an attribute starting at `i` is `#[cfg(…test…)]`, returns the token
-/// index just past its closing `]`.
+/// If the attribute starting at `i` is an outer `#[cfg(<pred>)]` whose
+/// predicate implies a test-only build, returns the token index just
+/// past its closing `]`. `#[cfg_attr(…)]` never matches: it gates an
+/// attribute, not the item.
 fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
     if tokens.get(i)?.tok != Tok::Punct('#') || tokens.get(i + 1)?.tok != Tok::Punct('[') {
         return None;
@@ -382,12 +434,84 @@ fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
         return None;
     }
     let end = skip_balanced(tokens, i + 1, '[', ']');
-    let has_test = tokens[i..end].iter().any(|t| is_ident(&t.tok, "test"));
-    if has_test {
+    if cfg_attr_implies_test(tokens, i + 2, end) {
         Some(end)
     } else {
         None
     }
+}
+
+/// Given `tokens[cfg_idx]` == the `cfg` identifier of a `cfg(…)` call
+/// ending before `end`, evaluates whether its predicate implies the
+/// code only exists in test builds.
+fn cfg_attr_implies_test(tokens: &[Token], cfg_idx: usize, end: usize) -> bool {
+    if tokens.get(cfg_idx + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return false;
+    }
+    let close = skip_balanced(tokens, cfg_idx + 1, '(', ')');
+    if close > end {
+        return false;
+    }
+    // Predicate tokens live strictly inside the parens.
+    cfg_pred_implies_test(tokens, cfg_idx + 2, close.saturating_sub(1)).0
+}
+
+/// Recursive-descent evaluation of one cfg predicate starting at `p`
+/// (exclusive upper bound `limit`). Returns whether the predicate can
+/// only be true under `cfg(test)`, plus the index just past it.
+///
+/// * `test` → true
+/// * `all(…)` → true if *any* operand implies test
+/// * `any(…)` → true only if *every* operand implies test
+/// * `not(…)`, `feature = "…"` and anything else → false
+fn cfg_pred_implies_test(tokens: &[Token], p: usize, limit: usize) -> (bool, usize) {
+    let Some(tok) = tokens.get(p).filter(|_| p < limit) else {
+        return (false, p);
+    };
+    match ident_str(&tok.tok) {
+        Some("test") => (true, p + 1),
+        Some(op @ ("all" | "any" | "not"))
+            if tokens.get(p + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+        {
+            let close = skip_balanced(tokens, p + 1, '(', ')');
+            let inner_limit = (close - 1).min(limit);
+            let mut q = p + 2;
+            let mut operands = Vec::new();
+            while q < inner_limit {
+                let (implies, next) = cfg_pred_implies_test(tokens, q, inner_limit);
+                operands.push(implies);
+                q = skip_to_comma(tokens, next.max(q + 1), inner_limit);
+            }
+            let implies = match op {
+                "all" => operands.iter().any(|b| *b),
+                "any" => !operands.is_empty() && operands.iter().all(|b| *b),
+                _ => false, // `not(…)` never implies test-only code.
+            };
+            (implies, close)
+        }
+        _ => {
+            // An unrecognised predicate (`feature = "x"`, `unix`, …):
+            // the caller advances to the next comma, so just step past
+            // the head token here.
+            (false, p + 1)
+        }
+    }
+}
+
+/// Advances to just past the next top-level `,` (or to `limit`),
+/// tracking nested parens so commas inside sub-predicates don't count.
+fn skip_to_comma(tokens: &[Token], mut p: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    while p < limit {
+        match tokens[p].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Punct(',') if depth <= 0 => return p + 1,
+            _ => {}
+        }
+        p += 1;
+    }
+    limit
 }
 
 /// Given `tokens[open_idx]` == the opening delimiter, returns the index
@@ -424,6 +548,10 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For the cross-function rules (C1/P4/N1), the chain that produced
+    /// the finding — entry→…→site qual names plus source/sink notes.
+    /// Empty for line-local rules.
+    pub witness: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -451,6 +579,31 @@ pub struct SuppressionRecord {
     pub used: bool,
 }
 
+/// One function in the report's call-graph summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphFn {
+    /// `crate::module::Type::name` display path.
+    pub qual: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `fn` item.
+    pub line: usize,
+}
+
+/// One resolved call edge in the report's call-graph summary
+/// (deduplicated per caller/callee pair; `line` is the first site).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEdge {
+    /// Caller qual name.
+    pub caller: String,
+    /// Callee qual name.
+    pub callee: String,
+    /// Caller's file.
+    pub path: String,
+    /// 1-based line of the first call site.
+    pub line: usize,
+}
+
 /// The result of scanning one file or a whole workspace.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -460,6 +613,10 @@ pub struct Report {
     pub suppressions: Vec<SuppressionRecord>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Non-test functions the call graph resolved, sorted by qual name.
+    pub graph_functions: Vec<GraphFn>,
+    /// Resolved call edges, sorted by caller/callee.
+    pub graph_edges: Vec<GraphEdge>,
 }
 
 impl Report {
@@ -472,10 +629,13 @@ impl Report {
         })
     }
 
-    /// Renders the machine-readable JSON report.
+    /// Renders the machine-readable JSON report (schema version 2:
+    /// adds `version`, per-finding `witness` arrays and the
+    /// `call_graph` section). Output is byte-deterministic: every
+    /// section is sorted before rendering.
     pub fn to_json(&self, root: &str, deny: &[String]) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"tool\": \"pano-lint\",\n");
+        out.push_str("{\n  \"tool\": \"pano-lint\",\n  \"version\": 2,\n");
         out.push_str(&format!("  \"root\": \"{}\",\n", json_escape(root)));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
@@ -495,16 +655,53 @@ impl Report {
                 if i + 1 < RULES.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ],\n  \"findings\": [\n");
+        out.push_str("  ],\n  \"call_graph\": {\n    \"functions\": [\n");
+        for (i, f) in self.graph_functions.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"qual\": \"{}\", \"path\": \"{}\", \"line\": {}}}{}\n",
+                json_escape(&f.qual),
+                json_escape(&f.path),
+                f.line,
+                if i + 1 < self.graph_functions.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("    ],\n    \"edges\": [\n");
+        for (i, e) in self.graph_edges.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"caller\": \"{}\", \"callee\": \"{}\", \"path\": \"{}\", \
+                 \"line\": {}}}{}\n",
+                json_escape(&e.caller),
+                json_escape(&e.callee),
+                json_escape(&e.path),
+                e.line,
+                if i + 1 < self.graph_edges.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("    ]\n  },\n  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
+            let witness = f
+                .witness
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "    {{\"code\": \"{}\", \"slug\": \"{}\", \"path\": \"{}\", \
-                 \"line\": {}, \"message\": \"{}\"}}{}\n",
+                 \"line\": {}, \"message\": \"{}\", \"witness\": [{}]}}{}\n",
                 f.code,
                 f.slug,
                 json_escape(&f.path),
                 f.line,
                 json_escape(&f.message),
+                witness,
                 if i + 1 < self.findings.len() { "," } else { "" }
             ));
         }
@@ -526,6 +723,40 @@ impl Report {
             ));
         }
         out.push_str(&format!("  ],\n  \"ok\": {}\n}}\n", !self.denied(deny)));
+        out
+    }
+
+    /// Renders the compact numeric summary CI tracks over time (via
+    /// `pano-obs diff --soft` / `pano-obs history`): per-rule finding
+    /// counts plus suppression and call-graph totals. Flat numeric
+    /// values only, so the obs flattener picks every key up.
+    pub fn counts_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"experiment\": \"lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"findings_total\": {},\n", self.findings.len()));
+        for r in RULES {
+            let n = self.findings.iter().filter(|f| f.code == r.code).count();
+            out.push_str(&format!("  \"findings.{}\": {},\n", r.code, n));
+        }
+        let used = self.suppressions.iter().filter(|s| s.used).count();
+        out.push_str(&format!(
+            "  \"suppressions_total\": {},\n",
+            self.suppressions.len()
+        ));
+        out.push_str(&format!("  \"suppressions_used\": {used},\n"));
+        out.push_str(&format!(
+            "  \"suppressions_unused\": {},\n",
+            self.suppressions.len() - used
+        ));
+        out.push_str(&format!(
+            "  \"graph_functions\": {},\n",
+            self.graph_functions.len()
+        ));
+        out.push_str(&format!(
+            "  \"graph_edges\": {}\n}}\n",
+            self.graph_edges.len()
+        ));
         out
     }
 }
@@ -575,7 +806,12 @@ fn collect_suppressions(
         let parsed = parse_allow(rest);
         match parsed {
             Some((slug, reason)) if !reason.is_empty() => {
-                if RULES.iter().any(|r| r.slug == slug) {
+                // Either the slug or the short code names a rule;
+                // suppressions are stored under the canonical slug.
+                let rule = RULES
+                    .iter()
+                    .find(|r| r.slug == slug || r.code.eq_ignore_ascii_case(&slug));
+                if let Some(rule) = rule {
                     let target_line = if c.code_before {
                         c.line
                     } else {
@@ -585,7 +821,7 @@ fn collect_suppressions(
                             .map_or(c.line + 1, |t| t.line)
                     };
                     out.push(PendingSuppression {
-                        slug,
+                        slug: rule.slug.to_string(),
                         reason,
                         target_line,
                     });
@@ -596,6 +832,7 @@ fn collect_suppressions(
                         path: rel_path.to_string(),
                         line: c.line,
                         message: format!("suppression names unknown rule '{slug}'"),
+                        witness: Vec::new(),
                     });
                 }
             }
@@ -607,6 +844,7 @@ fn collect_suppressions(
                 message: "malformed suppression: expected \
                           `pano-lint: allow(<rule>): <reason>` with a non-empty reason"
                     .to_string(),
+                witness: Vec::new(),
             }),
         }
     }
@@ -623,38 +861,211 @@ fn parse_allow(s: &str) -> Option<(String, String)> {
     Some((slug, reason))
 }
 
-/// Scans one file's source under its workspace-relative path.
-pub fn scan_source(rel_path: &str, source: &str) -> Report {
+/// Everything the engine derives from one file, shared by the line
+/// rules, the token-tree consumers and the cross-function analyses.
+pub struct FileScan {
+    /// Workspace-relative path (`/`-separated).
+    pub rel_path: String,
+    /// The file's text (spans index into it).
+    pub source: String,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Line comments (suppressions live here).
+    pub comments: Vec<LineComment>,
+    /// Per-token `#[cfg(test)]` mask.
+    pub mask: Vec<bool>,
+    /// Balanced token trees; empty when parsing failed (the engine
+    /// falls back to line-local rules for that file).
+    pub forest: Vec<Tree>,
+    /// Extracted functions, locks and string consts.
+    pub items: model::FileItems,
+    /// Why the tree parse failed, if it did.
+    pub parse_error: Option<tree::ParseError>,
+}
+
+/// Lexes, masks, tree-parses and extracts the item model of one file.
+/// `file_index` is the file's position in the scan set — it is baked
+/// into the extracted items so the analyses can index back.
+pub fn scan_file(file_index: usize, rel_path: &str, source: &str) -> FileScan {
     let (tokens, comments) = lex(source);
     let mask = test_mask(&tokens);
-    let ctx = FileCtx::from_path(rel_path);
-    let raw = rules::check(&ctx, &tokens, &mask);
-    let (pending, mut findings) = collect_suppressions(rel_path, &tokens, &comments);
-    let mut suppressions: Vec<SuppressionRecord> = pending
+    let (forest, parse_error) = match tree::parse(&tokens) {
+        Ok(f) => (f, None),
+        Err(e) => (Vec::new(), Some(e)),
+    };
+    let is_test_file = FileCtx::from_path(rel_path).is_test_file;
+    let items = model::extract(
+        file_index,
+        rel_path,
+        source,
+        &tokens,
+        &mask,
+        &forest,
+        is_test_file,
+    );
+    FileScan {
+        rel_path: rel_path.to_string(),
+        source: source.to_string(),
+        tokens,
+        comments,
+        mask,
+        forest,
+        items,
+        parse_error,
+    }
+}
+
+/// Scans a set of `(rel_path, source)` pairs into indexed [`FileScan`]s.
+pub fn scan_set(inputs: &[(&str, &str)]) -> Vec<FileScan> {
+    inputs
         .iter()
-        .map(|p| SuppressionRecord {
-            slug: p.slug.clone(),
-            path: rel_path.to_string(),
-            line: p.target_line,
-            reason: p.reason.clone(),
-            used: false,
+        .enumerate()
+        .map(|(i, (p, s))| scan_file(i, p, s))
+        .collect()
+}
+
+/// Scans one file's source under its workspace-relative path. The
+/// cross-function analyses run too, scoped to this single file.
+pub fn scan_source(rel_path: &str, source: &str) -> Report {
+    scan_files(&[scan_file(0, rel_path, source)])
+}
+
+/// The full engine over pre-scanned files: line rules, call graph,
+/// cross-function analyses, suppression matching and the S1 audit.
+pub fn scan_files(scans: &[FileScan]) -> Report {
+    let g = graph::build(scans);
+
+    // Suppressions per file; malformed ones are findings immediately.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut pendings: Vec<Vec<PendingSuppression>> = Vec::with_capacity(scans.len());
+    for scan in scans {
+        let (pending, bad) = collect_suppressions(&scan.rel_path, &scan.tokens, &scan.comments);
+        findings.extend(bad);
+        pendings.push(pending);
+    }
+
+    // Panic sites already justified to the line-local P1 rule (only
+    // where P1 is actually in scope) are not re-reported by P4.
+    let pp_sites: BTreeSet<(usize, usize)> = pendings
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| FileCtx::from_path(&scans[*i].rel_path).p1_in_scope())
+        .flat_map(|(i, ps)| {
+            ps.iter()
+                .filter(|p| p.slug == "panic-path")
+                .map(move |p| (i, p.target_line))
         })
         .collect();
-    for mut f in raw {
-        f.path = rel_path.to_string();
-        let hit = pending
-            .iter()
-            .position(|p| p.slug == f.slug && p.target_line == f.line);
+
+    // Line rules + cross-function analyses.
+    let mut raw: Vec<Finding> = Vec::new();
+    for scan in scans {
+        let ctx = FileCtx::from_path(&scan.rel_path);
+        let mut fs = rules::check(&ctx, &scan.tokens, &scan.mask);
+        for f in &mut fs {
+            f.path = scan.rel_path.clone();
+        }
+        raw.extend(fs);
+    }
+    raw.extend(analysis::run(scans, &g, &pp_sites));
+
+    // Match findings against suppressions by (file, slug, line).
+    let file_idx: BTreeMap<&str, usize> = scans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.rel_path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = pendings.iter().map(|p| vec![false; p.len()]).collect();
+    for f in raw {
+        let hit = file_idx.get(f.path.as_str()).and_then(|&i| {
+            pendings[i]
+                .iter()
+                .position(|p| p.slug == f.slug && p.target_line == f.line)
+                .map(|k| (i, k))
+        });
         match hit {
-            Some(idx) => suppressions[idx].used = true,
+            Some((i, k)) => used[i][k] = true,
             None => findings.push(f),
         }
     }
-    findings.sort_by_key(|f| f.line);
+
+    // Audit: every suppression is recorded; an unused one is itself a
+    // deny-level finding (S1) — stale allowances hide regressions.
+    let mut suppressions = Vec::new();
+    for (i, ps) in pendings.iter().enumerate() {
+        for (k, p) in ps.iter().enumerate() {
+            suppressions.push(SuppressionRecord {
+                slug: p.slug.clone(),
+                path: scans[i].rel_path.clone(),
+                line: p.target_line,
+                reason: p.reason.clone(),
+                used: used[i][k],
+            });
+            if !used[i][k] {
+                findings.push(Finding {
+                    code: "S1",
+                    slug: "unused-suppression",
+                    path: scans[i].rel_path.clone(),
+                    line: p.target_line,
+                    message: format!(
+                        "suppression for `{}` silences nothing — remove it or fix \
+                         the rule/line it targets",
+                        p.slug
+                    ),
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.code.cmp(b.code))
+    });
+    suppressions.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+
+    // Call-graph summary for the v2 report.
+    let mut graph_functions: Vec<GraphFn> = g
+        .nodes
+        .iter()
+        .map(|f| GraphFn {
+            qual: f.qual_name(),
+            path: scans[f.file].rel_path.clone(),
+            line: f.line,
+        })
+        .collect();
+    graph_functions.sort_by(|a, b| {
+        a.qual
+            .cmp(&b.qual)
+            .then(a.path.cmp(&b.path))
+            .then(a.line.cmp(&b.line))
+    });
+    let mut graph_edges: Vec<GraphEdge> = g
+        .edges
+        .iter()
+        .map(|e| GraphEdge {
+            caller: g.nodes[e.caller].qual_name(),
+            callee: g.nodes[e.callee].qual_name(),
+            path: scans[g.nodes[e.caller].file].rel_path.clone(),
+            line: e.line,
+        })
+        .collect();
+    graph_edges.sort_by(|a, b| {
+        a.caller
+            .cmp(&b.caller)
+            .then(a.callee.cmp(&b.callee))
+            .then(a.line.cmp(&b.line))
+    });
+    graph_edges.dedup_by(|a, b| a.caller == b.caller && a.callee == b.callee);
+
     Report {
         findings,
         suppressions,
-        files_scanned: 1,
+        files_scanned: scans.len(),
+        graph_functions,
+        graph_edges,
     }
 }
 
@@ -687,31 +1098,20 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Scans every `.rs` file under `root` and merges the per-file reports.
+/// Scans every `.rs` file under `root` through the full engine: the
+/// call graph and the cross-function rules see the whole workspace.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    for path in collect_rs_files(root)? {
+    let mut scans = Vec::new();
+    for (i, path) in collect_rs_files(root)?.iter().enumerate() {
         let rel = path
             .strip_prefix(root)
-            .unwrap_or(&path)
+            .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = fs::read_to_string(&path)?;
-        let file_report = scan_source(&rel, &source);
-        report.findings.extend(file_report.findings);
-        report.suppressions.extend(file_report.suppressions);
-        report.files_scanned += 1;
+        let source = fs::read_to_string(path)?;
+        scans.push(scan_file(i, &rel, &source));
     }
-    report.findings.sort_by(|a, b| {
-        a.path
-            .cmp(&b.path)
-            .then(a.line.cmp(&b.line))
-            .then(a.code.cmp(b.code))
-    });
-    report
-        .suppressions
-        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(report)
+    Ok(scan_files(&scans))
 }
 
 /// The workspace root this tool lints: `--root` wins, else the lint
@@ -744,23 +1144,37 @@ mod lexer_tests {
     }
 
     #[test]
-    fn tokens_carry_lines() {
-        let (toks, _) = lex("foo\nbar(baz)\n");
-        assert_eq!(
-            toks[0],
-            Token {
-                tok: Tok::Ident("foo".into()),
-                line: 1
-            }
-        );
+    fn tokens_carry_lines_and_spans() {
+        let src = "foo\nbar(baz)\n";
+        let (toks, _) = lex(src);
+        assert_eq!(toks[0].tok, Tok::Ident("foo".into()));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(&src[toks[0].span.0..toks[0].span.1], "foo");
         assert_eq!(toks[1].line, 2);
-        assert_eq!(
-            toks[2],
-            Token {
-                tok: Tok::Punct('('),
-                line: 2
+        assert_eq!(toks[2].tok, Tok::Punct('('));
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(&src[toks[2].span.0..toks[2].span.1], "(");
+    }
+
+    #[test]
+    fn spans_cover_every_literal_form() {
+        let src = r####"let s = r#"raw"#; let b = b"bytes"; let c = 'x'; let l: &'static str = s; let n = 42;"####;
+        let (toks, _) = lex(src);
+        for t in &toks {
+            let text = &src[t.span.0..t.span.1];
+            assert!(!text.is_empty(), "empty span for {:?}", t.tok);
+            match &t.tok {
+                Tok::Str => assert!(text.contains('"')),
+                Tok::Char => assert!(text.starts_with('\'') || text.starts_with("b'")),
+                Tok::Lifetime => assert!(text.starts_with('\'')),
+                Tok::Ident(s) => assert_eq!(text, s),
+                _ => {}
             }
-        );
+        }
+        // Spans are strictly increasing and non-overlapping.
+        for w in toks.windows(2) {
+            assert!(w[0].span.1 <= w[1].span.0);
+        }
     }
 
     #[test]
@@ -880,6 +1294,82 @@ mod mask_tests {
         let mask = test_mask(&toks);
         assert!(mask.iter().all(|m| !m));
     }
+
+    fn masked_at(src: &str, ident: &str) -> bool {
+        let (toks, _) = lex(src);
+        let mask = test_mask(&toks);
+        let i = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident(ident.into()))
+            .unwrap_or_else(|| panic!("no ident {ident} in {src}"));
+        mask[i]
+    }
+
+    #[test]
+    fn cfg_any_test_is_not_masked() {
+        // `any(test, feature = "x")` code is also compiled in plain
+        // library builds (when the feature is on) — masking it would
+        // hide real code from the rules.
+        let src = "#[cfg(any(test, feature = \"x\"))]\nfn f() { marker.unwrap(); }";
+        assert!(!masked_at(src, "marker"));
+        // …but `any(test)` (and `any(test, all(test)))`) can only be
+        // true under test.
+        assert!(masked_at(
+            "#[cfg(any(test))]\nfn f() { marker.unwrap(); }",
+            "marker"
+        ));
+        assert!(masked_at(
+            "#[cfg(any(test, all(test, unix)))]\nfn f() { marker.unwrap(); }",
+            "marker"
+        ));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        // `not(test)` is exactly the library build.
+        let src = "#[cfg(not(test))]\nfn f() { marker.unwrap(); }";
+        assert!(!masked_at(src, "marker"));
+        assert!(!masked_at(
+            "#[cfg(all(not(test), unix))]\nfn f() { marker.unwrap(); }",
+            "marker"
+        ));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_masked() {
+        // `cfg_attr(test, …)` gates an attribute, not the item — the
+        // item itself is always compiled.
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { marker: u8 }\n\
+                   fn f() { tail.unwrap(); }";
+        assert!(!masked_at(src, "marker"));
+        assert!(!masked_at(src, "tail"));
+    }
+
+    #[test]
+    fn nested_all_any_combinations_evaluate() {
+        // all(any(test, unix), windows): the any() disjunct does not
+        // force test, so the whole predicate does not imply test.
+        assert!(!masked_at(
+            "#[cfg(all(any(test, unix), windows))]\nfn f() { marker.unwrap(); }",
+            "marker"
+        ));
+        // all(unix, test) does.
+        assert!(masked_at(
+            "#[cfg(all(unix, test))]\nfn f() { marker.unwrap(); }",
+            "marker"
+        ));
+    }
+
+    #[test]
+    fn inner_cfg_test_masks_rest_of_file() {
+        let src = "//! docs\n#![cfg(test)]\nfn helper() { marker.unwrap(); }";
+        assert!(masked_at(src, "marker"));
+        // A non-test inner attribute masks nothing.
+        let src2 = "#![cfg(feature = \"x\")]\nfn helper() { marker.unwrap(); }";
+        assert!(!masked_at(src2, "marker"));
+        let src3 = "#![cfg(all(test, unix))]\nfn helper() { marker.unwrap(); }";
+        assert!(masked_at(src3, "marker"));
+    }
 }
 
 #[cfg(test)]
@@ -932,18 +1422,40 @@ mod suppression_tests {
         let src = "// pano-lint: allow(wall-clock): not the right rule\n\
                    use std::collections::HashMap;\n";
         let r = scan_source("crates/sim/src/x.rs", src);
-        assert_eq!(r.findings.len(), 1);
-        assert_eq!(r.findings[0].code, "D1");
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"D1"), "{codes:?}");
+        // …and the mistargeted suppression is itself an S1 finding.
+        assert!(codes.contains(&"S1"), "{codes:?}");
         assert!(!r.suppressions[0].used);
     }
 
     #[test]
-    fn unused_suppressions_are_listed() {
+    fn rule_codes_are_accepted_as_slugs() {
+        let src = "use std::collections::HashMap; \
+                   // pano-lint: allow(D1): keyed access only, never iterated\n";
+        let r = scan_source("crates/sim/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressions[0].slug, "hash-iteration");
+        assert!(r.suppressions[0].used);
+    }
+
+    #[test]
+    fn whitespace_only_reason_is_a_finding() {
+        let src = "// pano-lint: allow(P1):   \t \nfn f() {}\n";
+        let r = scan_source("crates/net/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].code, "S0");
+    }
+
+    #[test]
+    fn unused_suppressions_fire_s1() {
         let src = "// pano-lint: allow(panic-path): nothing here panics actually\nfn f() {}\n";
         let r = scan_source("crates/net/src/x.rs", src);
-        assert!(r.findings.is_empty());
         assert_eq!(r.suppressions.len(), 1);
         assert!(!r.suppressions[0].used);
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, vec!["S1"]);
+        assert!(r.denied(&["all".to_string()]));
     }
 }
 
@@ -960,6 +1472,7 @@ mod report_tests {
             path: "x.rs".into(),
             line: 1,
             message: "m".into(),
+            witness: Vec::new(),
         });
         assert!(r.denied(&["all".into()]));
         assert!(r.denied(&["D1".into()]));
@@ -979,6 +1492,7 @@ mod report_tests {
             path: "crates/net/src/a.rs".into(),
             line: 9,
             message: "`.unwrap()` in library code".into(),
+            witness: vec!["net::a::entry".into(), "net::a::deep".into()],
         });
         r.suppressions.push(SuppressionRecord {
             slug: "panic-path".into(),
@@ -987,11 +1501,26 @@ mod report_tests {
             reason: "invariant: \"quoted\"".into(),
             used: true,
         });
+        r.graph_functions.push(GraphFn {
+            qual: "net::a::entry".into(),
+            path: "crates/net/src/a.rs".into(),
+            line: 3,
+        });
+        r.graph_edges.push(GraphEdge {
+            caller: "net::a::entry".into(),
+            callee: "net::a::deep".into(),
+            path: "crates/net/src/a.rs".into(),
+            line: 4,
+        });
         let json = r.to_json("/repo", &["all".to_string()]);
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"files_scanned\": 3"));
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"line\": 9"));
+        assert!(json.contains("\"call_graph\""));
+        assert!(json.contains("\"witness\": [\"net::a::entry\", \"net::a::deep\"]"));
+        assert!(json.contains("\"callee\": \"net::a::deep\""));
         // Balanced braces/brackets as a cheap well-formedness proxy.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

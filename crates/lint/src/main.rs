@@ -1,7 +1,7 @@
 //! `pano-lint` CLI.
 //!
 //! ```text
-//! pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>]
+//! pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>] [--counts <path>]
 //! ```
 //!
 //! Exit codes: `0` clean (no denied findings), `1` denied findings
@@ -20,12 +20,14 @@ struct Options {
     root: PathBuf,
     deny: Vec<String>,
     json: Option<PathBuf>,
+    counts: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut root = default_root();
     let mut deny = vec!["all".to_string()];
     let mut json = None;
+    let mut counts = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,16 +41,25 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
             }
+            "--counts" => {
+                counts = Some(PathBuf::from(args.next().ok_or("--counts needs a path")?));
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Options { root, deny, json })
+    Ok(Options {
+        root,
+        deny,
+        json,
+        counts,
+    })
 }
 
-const USAGE: &str = "usage: pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>]";
+const USAGE: &str =
+    "usage: pano-lint [--root <dir>] [--deny all|<code,slug,...>] [--json <path>] [--counts <path>]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -78,6 +89,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("report: {}", path.display());
+    }
+    if let Some(path) = &opts.counts {
+        // pano-lint: allow(raw-artifact-write): the counts summary is advisory tooling output for the warn-only CI drift gate, not a results artefact
+        if let Err(e) = std::fs::write(path, report.counts_json()) {
+            eprintln!("pano-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("counts: {}", path.display());
     }
     if denied {
         ExitCode::FAILURE

@@ -1,0 +1,644 @@
+//! Workspace model extraction: functions, impl blocks, lock-bearing
+//! fields and string constants, lifted from the token trees.
+//!
+//! This is deliberately *not* a Rust parser. It recognises the handful
+//! of item shapes the v2 analyses need — `fn` items (with their `pub`
+//! visibility, enclosing module path and `impl` type), `struct` fields
+//! whose types mention `Mutex`/`RwLock`, `static` locks, and
+//! `const NAME: &str = "…"` string constants (used to resolve
+//! `env::var(SOME_ENV)` arguments). Everything else is skipped without
+//! being understood. Known precision limits are documented on each
+//! recogniser; the analyses favour recall and lean on the audited
+//! suppression mechanism for the rest.
+
+use crate::tree::{Group, Tree};
+use crate::{ident_str, is_ident, Tok, Token};
+use std::collections::BTreeMap;
+
+/// Which lock primitive a field wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+}
+
+/// A `Mutex`/`RwLock`-typed struct field or static.
+#[derive(Debug, Clone)]
+pub struct LockField {
+    /// Owning struct name, or `"static"` for a static item.
+    pub owner: String,
+    /// Field (or static) name — the lock's identity in the C1 graph.
+    pub field: String,
+    /// Which primitive.
+    pub kind: LockKind,
+    /// File index into the scanned file list.
+    pub file: usize,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// One `fn` item (free, impl or trait-default).
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Bare name.
+    pub name: String,
+    /// Fully qualified path: module segments, then the impl type (if
+    /// any), then the name. Resolution matches call paths by suffix.
+    pub qual: Vec<String>,
+    /// The `impl`/`trait` type this method belongs to, if any.
+    pub impl_type: Option<String>,
+    /// `pub` without a restriction (`pub(crate)` does not count): the
+    /// P4 entry-point criterion.
+    pub is_pub: bool,
+    /// File index into the scanned file list.
+    pub file: usize,
+    /// 1-based line of the `fn` token.
+    pub line: usize,
+    /// Token-index range of the body brace group (open..=close), if the
+    /// item has a body (trait signatures don't).
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` or a `tests/` file — excluded from the
+    /// interprocedural analyses.
+    pub in_test: bool,
+}
+
+impl Function {
+    /// `crate::mod::Type::name`-style display path.
+    pub fn qual_name(&self) -> String {
+        self.qual.join("::")
+    }
+}
+
+/// Everything the analyses need from one scanned file.
+pub struct FileItems {
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+    /// Lock-typed fields and statics.
+    pub locks: Vec<LockField>,
+    /// `const NAME: &str = "value"` bindings (name → value).
+    pub consts: BTreeMap<String, String>,
+}
+
+/// Derives the module path for a workspace-relative file path:
+/// `crates/sim/src/engine/mod.rs` → `["sim", "engine"]`,
+/// `crates/bench/src/bin/repro.rs` → `["bench", "bin", "repro"]`,
+/// `src/lib.rs` → `["pano"]`.
+pub fn module_path(rel_path: &str) -> Vec<String> {
+    let trimmed = rel_path.strip_suffix(".rs").unwrap_or(rel_path);
+    let mut segs: Vec<String> = trimmed
+        .split('/')
+        .filter(|s| *s != "crates" && *s != "src" && !s.is_empty())
+        .map(|s| s.to_string())
+        .collect();
+    while segs
+        .last()
+        .is_some_and(|s| s == "mod" || s == "lib" || s == "main")
+    {
+        segs.pop();
+    }
+    if segs.is_empty() {
+        segs.push("pano".to_string());
+    }
+    segs
+}
+
+/// Extracts the items of one file from its token forest. `source` is
+/// the file's text, used to recover string-literal payloads from spans.
+pub fn extract(
+    file: usize,
+    rel_path: &str,
+    source: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    forest: &[Tree],
+    is_test_file: bool,
+) -> FileItems {
+    let mut items = FileItems {
+        functions: Vec::new(),
+        locks: Vec::new(),
+        consts: BTreeMap::new(),
+    };
+    let mut path = module_path(rel_path);
+    let cx = WalkCx {
+        file,
+        source,
+        tokens,
+        mask,
+        is_test_file,
+    };
+    walk_items(&cx, forest, &mut path, None, &mut items);
+    items
+}
+
+/// Shared read-only context for the item walk.
+struct WalkCx<'a> {
+    file: usize,
+    source: &'a str,
+    tokens: &'a [Token],
+    mask: &'a [bool],
+    is_test_file: bool,
+}
+
+/// Recursively walks an item-level node sequence (a file, `mod` body or
+/// `impl`/`trait` body), recognising items by their leading keyword.
+fn walk_items(
+    cx: &WalkCx<'_>,
+    nodes: &[Tree],
+    path: &mut Vec<String>,
+    impl_type: Option<&str>,
+    out: &mut FileItems,
+) {
+    let WalkCx {
+        file,
+        source,
+        tokens,
+        mask,
+        is_test_file,
+    } = *cx;
+    let mut i = 0usize;
+    // Whether an unrestricted `pub` was seen since the last item
+    // boundary (restricted `pub(crate)`/`pub(super)` resets to false).
+    let mut saw_pub = false;
+    while i < nodes.len() {
+        let Tree::Leaf(ti) = nodes[i] else {
+            // A stray group at item level (e.g. a macro invocation body)
+            // is an item boundary.
+            saw_pub = false;
+            i += 1;
+            continue;
+        };
+        match ident_str(&tokens[ti].tok) {
+            Some("pub") => {
+                // `pub(crate)` / `pub(super)` are restricted: visible
+                // inside the workspace but not entry points.
+                saw_pub = !matches!(nodes.get(i + 1), Some(Tree::Group(g)) if g.delim == '(');
+                i += 1;
+            }
+            Some("mod") => {
+                if let (Some(name), Some(body)) = (
+                    leaf_ident(tokens, nodes.get(i + 1)),
+                    find_brace_group(nodes, i + 2, 1),
+                ) {
+                    path.push(name.to_string());
+                    walk_items(cx, &body.children, path, None, out);
+                    path.pop();
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            Some(kw @ ("impl" | "trait")) => {
+                if let Some(body) = find_brace_group(nodes, i + 1, 16) {
+                    let ty = if kw == "impl" {
+                        impl_type_name(tokens, nodes, i + 1, body)
+                    } else {
+                        leaf_ident(tokens, nodes.get(i + 1)).map(|s| s.to_string())
+                    };
+                    walk_items(cx, &body.children, path, ty.as_deref(), out);
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            Some("fn") => {
+                if let Some(name) = leaf_ident(tokens, nodes.get(i + 1)) {
+                    let body = fn_body_group(tokens, nodes, i + 2);
+                    let mut qual = path.clone();
+                    if let Some(ty) = impl_type {
+                        qual.push(ty.to_string());
+                    }
+                    qual.push(name.to_string());
+                    out.functions.push(Function {
+                        name: name.to_string(),
+                        qual,
+                        impl_type: impl_type.map(|s| s.to_string()),
+                        is_pub: saw_pub,
+                        file,
+                        line: tokens[ti].line,
+                        body: body.map(|g| (g.open, g.close)),
+                        in_test: is_test_file || mask.get(ti).copied().unwrap_or(false),
+                    });
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            Some("struct") => {
+                if let (Some(name), Some(Tree::Group(body))) =
+                    (leaf_ident(tokens, nodes.get(i + 1)), nodes.get(i + 2))
+                {
+                    if body.delim == '{' {
+                        extract_lock_fields(file, tokens, &body.children, name, out);
+                    }
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            Some("static") => {
+                // `static NAME: Mutex<…> = …;` (also after `mut`).
+                let name_at = if leaf_is(tokens, nodes.get(i + 1), "mut") {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                if let Some(name) = leaf_ident(tokens, nodes.get(name_at)) {
+                    if let Some(kind) =
+                        lock_kind_in(tokens, &nodes[name_at..skip_item(tokens, nodes, i)])
+                    {
+                        out.locks.push(LockField {
+                            owner: "static".to_string(),
+                            field: name.to_string(),
+                            kind,
+                            file,
+                            line: tokens[ti].line,
+                        });
+                    }
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            Some("const") => {
+                // `const NAME: &str = "value";` → resolvable env name.
+                if let Some(name) = leaf_ident(tokens, nodes.get(i + 1)) {
+                    let end = skip_item(tokens, nodes, i + 1);
+                    if let Some(value) =
+                        const_str_value(source, tokens, &nodes[i..end.min(nodes.len())])
+                    {
+                        out.consts.insert(name.to_string(), value);
+                    }
+                }
+                i = skip_item(tokens, nodes, i + 1);
+                saw_pub = false;
+            }
+            _ => {
+                if matches!(tokens[ti].tok, Tok::Punct(';')) {
+                    saw_pub = false;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The node's leaf identifier text, if it is one.
+fn leaf_ident<'t>(tokens: &'t [Token], node: Option<&Tree>) -> Option<&'t str> {
+    match node {
+        Some(Tree::Leaf(i)) => ident_str(&tokens[*i].tok),
+        _ => None,
+    }
+}
+
+fn leaf_is(tokens: &[Token], node: Option<&Tree>, s: &str) -> bool {
+    matches!(node, Some(Tree::Leaf(i)) if is_ident(&tokens[*i].tok, s))
+}
+
+/// Finds the next `{…}` group at this level within `max_ahead` nodes.
+fn find_brace_group(nodes: &[Tree], from: usize, max_ahead: usize) -> Option<&Group> {
+    for node in nodes.iter().skip(from).take(max_ahead.max(1) * 8) {
+        if let Tree::Group(g) = node {
+            if g.delim == '{' {
+                return Some(g);
+            }
+        }
+        // A `;` before any brace means a body-less item.
+        if let Tree::Leaf(_) = node {
+            continue;
+        }
+    }
+    None
+}
+
+/// Finds a `fn` item's body: the first `{…}` group at this level before
+/// a terminating `;` (trait signatures end in `;` and have no body).
+fn fn_body_group<'n>(tokens: &[Token], nodes: &'n [Tree], from: usize) -> Option<&'n Group> {
+    for node in nodes.iter().skip(from) {
+        match node {
+            Tree::Group(g) if g.delim == '{' => return Some(g),
+            Tree::Leaf(i) if tokens[*i].tok == Tok::Punct(';') => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Advances past the current item: to just after its terminating `;` or
+/// its first `{…}` group at this level, whichever comes first.
+fn skip_item(tokens: &[Token], nodes: &[Tree], from: usize) -> usize {
+    let mut j = from;
+    while j < nodes.len() {
+        match &nodes[j] {
+            Tree::Group(g) if g.delim == '{' => return j + 1,
+            Tree::Leaf(i) if tokens[*i].tok == Tok::Punct(';') => return j + 1,
+            _ => {
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// The `impl` type name: the last segment of the first path after
+/// `impl` (skipping a leading `<…>` generic parameter list), or — for
+/// `impl Trait for Type` — after the `for`.
+///
+/// Precision limit: `impl` for references, tuples or macros resolves to
+/// the first identifier encountered, which is close enough for the
+/// method-resolution heuristic this feeds.
+fn impl_type_name(tokens: &[Token], nodes: &[Tree], from: usize, body: &Group) -> Option<String> {
+    // Collect the leaf tokens between `impl` and the body group,
+    // preferring the segment after a top-level `for`.
+    let mut leaves: Vec<usize> = Vec::new();
+    for node in nodes.iter().skip(from) {
+        match node {
+            Tree::Group(g) if std::ptr::eq(g, body) => break,
+            Tree::Leaf(i) => leaves.push(*i),
+            _ => {}
+        }
+    }
+    // Skip a leading generic parameter list `<…>` (counting `<`/`>`).
+    let mut k = 0usize;
+    if leaves
+        .first()
+        .is_some_and(|i| tokens[*i].tok == Tok::Punct('<'))
+    {
+        let mut depth = 0i32;
+        while k < leaves.len() {
+            match tokens[leaves[k]].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    // If a top-level `for` follows, the self type is after it.
+    let rest = &leaves[k..];
+    let start = rest
+        .iter()
+        .position(|i| is_ident(&tokens[*i].tok, "for"))
+        .map_or(0, |p| p + 1);
+    // First path: idents joined by `::`; its last segment is the name.
+    let mut last: Option<&str> = None;
+    let mut angle = 0i32;
+    for &i in &rest[start..] {
+        match &tokens[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct(':') | Tok::Punct('&') => {}
+            tok => {
+                if angle > 0 {
+                    continue;
+                }
+                match ident_str(tok) {
+                    Some(id) if id != "dyn" && id != "mut" => last = Some(id),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        }
+        if angle < 0 {
+            break;
+        }
+    }
+    last.map(|s| s.to_string())
+}
+
+/// Walks a struct body's field list, recording `Mutex`/`RwLock` fields.
+/// Field shape: `[pub[(…)]] name : <type…> ,` — the type runs to the
+/// next comma at angle-bracket depth zero.
+fn extract_lock_fields(
+    file: usize,
+    tokens: &[Token],
+    nodes: &[Tree],
+    owner: &str,
+    out: &mut FileItems,
+) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        // Skip attributes and visibility.
+        if leaf_punct(tokens, nodes.get(i)) == Some('#') {
+            i += 1;
+            if matches!(nodes.get(i), Some(Tree::Group(g)) if g.delim == '[') {
+                i += 1;
+            }
+            continue;
+        }
+        if leaf_is(tokens, nodes.get(i), "pub") {
+            i += 1;
+            if matches!(nodes.get(i), Some(Tree::Group(g)) if g.delim == '(') {
+                i += 1;
+            }
+            continue;
+        }
+        let Some(name) = leaf_ident(tokens, nodes.get(i)) else {
+            i += 1;
+            continue;
+        };
+        if leaf_punct(tokens, nodes.get(i + 1)) != Some(':') {
+            i += 1;
+            continue;
+        }
+        // Type tokens run to the next comma at angle depth 0.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut end = nodes.len();
+        while j < nodes.len() {
+            match leaf_punct(tokens, nodes.get(j)) {
+                Some('<') => angle += 1,
+                Some('>') => angle -= 1,
+                Some(',') if angle <= 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(kind) = lock_kind_in(tokens, &nodes[i + 2..end.min(nodes.len())]) {
+            let line = match nodes[i] {
+                Tree::Leaf(ti) => tokens[ti].line,
+                _ => 0,
+            };
+            out.locks.push(LockField {
+                owner: owner.to_string(),
+                field: name.to_string(),
+                kind,
+                file,
+                line,
+            });
+        }
+        i = end + 1;
+    }
+}
+
+fn leaf_punct(tokens: &[Token], node: Option<&Tree>) -> Option<char> {
+    match node {
+        Some(Tree::Leaf(i)) => match tokens[*i].tok {
+            Tok::Punct(c) => Some(c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether the node range mentions a lock type (leaves only — generics
+/// are flat in the tree, so `Arc<Mutex<X>>` is all leaves).
+fn lock_kind_in(tokens: &[Token], nodes: &[Tree]) -> Option<LockKind> {
+    for node in nodes {
+        if let Tree::Leaf(i) = node {
+            if is_ident(&tokens[*i].tok, "Mutex") {
+                return Some(LockKind::Mutex);
+            }
+            if is_ident(&tokens[*i].tok, "RwLock") {
+                return Some(LockKind::RwLock);
+            }
+        }
+    }
+    None
+}
+
+/// For `const NAME: &str = "value";`-shaped items, the literal value.
+/// The `Tok::Str` payload is recovered from the token's byte span.
+fn const_str_value(source: &str, tokens: &[Token], nodes: &[Tree]) -> Option<String> {
+    let mut saw_str_type = false;
+    for node in nodes {
+        if let Tree::Leaf(i) = node {
+            match &tokens[*i].tok {
+                Tok::Ident(s) if s == "str" => saw_str_type = true,
+                Tok::Str if saw_str_type => {
+                    return str_literal_text(source, &tokens[*i]).map(|s| s.to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// The unquoted text of a string-literal token (`"…"`, `r#"…"#`,
+/// `b"…"`): everything between the first and last `"`.
+pub fn str_literal_text<'s>(source: &'s str, token: &Token) -> Option<&'s str> {
+    let text = source.get(token.span.0..token.span.1)?;
+    let first = text.find('"')?;
+    let last = text.rfind('"')?;
+    if last > first {
+        Some(&text[first + 1..last])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lex, test_mask, tree};
+
+    fn items(rel_path: &str, src: &str) -> FileItems {
+        let (tokens, _) = lex(src);
+        let mask = test_mask(&tokens);
+        let forest = tree::parse(&tokens).expect("balanced");
+        let is_test = rel_path.split('/').any(|p| p == "tests");
+        extract(0, rel_path, src, &tokens, &mask, &forest, is_test)
+    }
+
+    #[test]
+    fn module_paths_normalise() {
+        assert_eq!(module_path("crates/sim/src/lib.rs"), vec!["sim"]);
+        assert_eq!(
+            module_path("crates/sim/src/engine/mod.rs"),
+            vec!["sim", "engine"]
+        );
+        assert_eq!(
+            module_path("crates/bench/src/bin/repro.rs"),
+            vec!["bench", "bin", "repro"]
+        );
+        assert_eq!(module_path("src/lib.rs"), vec!["pano"]);
+        assert_eq!(
+            module_path("examples/quickstart.rs"),
+            vec!["examples", "quickstart"]
+        );
+    }
+
+    #[test]
+    fn functions_carry_visibility_module_and_impl_context() {
+        let src = "pub fn free() {}\n\
+                   pub(crate) fn restricted() {}\n\
+                   mod inner { pub fn nested() {} }\n\
+                   struct S { x: u8 }\n\
+                   impl S { pub fn method(&self) {} fn private(&self) {} }\n\
+                   impl std::fmt::Display for S { fn fmt(&self) {} }";
+        let m = items("crates/net/src/edge.rs", src);
+        let by_name: std::collections::BTreeMap<_, _> =
+            m.functions.iter().map(|f| (f.name.as_str(), f)).collect();
+        assert!(by_name["free"].is_pub);
+        assert!(!by_name["restricted"].is_pub, "pub(crate) is not an entry");
+        assert_eq!(by_name["nested"].qual_name(), "net::edge::inner::nested");
+        assert_eq!(by_name["method"].qual_name(), "net::edge::S::method");
+        assert_eq!(by_name["method"].impl_type.as_deref(), Some("S"));
+        assert!(!by_name["private"].is_pub);
+        assert_eq!(by_name["fmt"].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_their_self_type() {
+        let src = "struct W<T> { t: T }\nimpl<T: Clone> W<T> { fn get(&self) {} }";
+        let m = items("crates/sim/src/w.rs", src);
+        let f = m.functions.iter().find(|f| f.name == "get").expect("get");
+        assert_eq!(f.impl_type.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let src = "fn lib_fn() {}\n#[cfg(test)]\nmod tests { fn helper() {} }";
+        let m = items("crates/sim/src/x.rs", src);
+        let lib = m
+            .functions
+            .iter()
+            .find(|f| f.name == "lib_fn")
+            .expect("lib");
+        let helper = m.functions.iter().find(|f| f.name == "helper").expect("t");
+        assert!(!lib.in_test);
+        assert!(helper.in_test);
+    }
+
+    #[test]
+    fn lock_fields_and_statics_are_found() {
+        let src = "pub struct Store {\n\
+                       slots: Mutex<BTreeMap<u64, u8>>,\n\
+                       pub stats: std::sync::RwLock<Vec<u8>>,\n\
+                       plain: u64,\n\
+                   }\n\
+                   static GLOBAL: Mutex<u8> = Mutex::new(0);";
+        let m = items("crates/sim/src/x.rs", src);
+        let names: Vec<(&str, &str)> = m
+            .locks
+            .iter()
+            .map(|l| (l.owner.as_str(), l.field.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("Store", "slots"), ("Store", "stats"), ("static", "GLOBAL")]
+        );
+        assert_eq!(m.locks[0].kind, LockKind::Mutex);
+        assert_eq!(m.locks[1].kind, LockKind::RwLock);
+    }
+
+    #[test]
+    fn string_consts_resolve_their_values() {
+        let src = "pub const THREADS_ENV: &str = \"PANO_THREADS\";\n\
+                   const OTHER: u64 = 3;\n\
+                   const RAW: &str = r#\"PANO_RAW\"#;";
+        let m = items("crates/sim/src/x.rs", src);
+        assert_eq!(
+            m.consts.get("THREADS_ENV").map(|s| s.as_str()),
+            Some("PANO_THREADS")
+        );
+        assert_eq!(m.consts.get("RAW").map(|s| s.as_str()), Some("PANO_RAW"));
+        assert!(!m.consts.contains_key("OTHER"));
+    }
+}

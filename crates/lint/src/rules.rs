@@ -73,6 +73,34 @@ pub const RULES: &[Rule] = &[
         summary: "telemetry metric/span/event names must be string literals so the metric \
                   registry stays greppable",
     },
+    Rule {
+        code: "C1",
+        slug: "lock-order",
+        summary: "no Mutex/RwLock acquisition cycles across the workspace, and no calling \
+                  into a locking function while another lock's guard is live — either is \
+                  a deadlock under concurrent interleaving (cross-function analysis)",
+    },
+    Rule {
+        code: "P4",
+        slug: "panic-reach",
+        summary: "no panic-capable function reachable from a public entry point of \
+                  net/trace/sim/telemetry library code — findings carry the entry→panic \
+                  witness path (cross-function analysis)",
+    },
+    Rule {
+        code: "N1",
+        slug: "nondet-taint",
+        summary: "no nondeterministic state (Hash{Map,Set} iteration, thread identity, \
+                  non-PANO_* env reads, wall-clock outside Stopwatch) flowing into \
+                  artefact writers, telemetry events or engine scheduling \
+                  (cross-function analysis)",
+    },
+    Rule {
+        code: "S1",
+        slug: "unused-suppression",
+        summary: "a pano-lint suppression that silences nothing is itself a deny — stale \
+                  allowances hide future regressions",
+    },
 ];
 
 /// Crates whose artefacts must be byte-deterministic (rule D1 scope).
@@ -139,6 +167,13 @@ impl FileCtx {
 
     fn in_crates(&self, set: &[&str]) -> bool {
         self.crate_name.as_deref().is_some_and(|c| set.contains(&c))
+    }
+
+    /// Whether the line-local panic rule P1 applies to this file. The
+    /// P4 analysis uses this to avoid double-reporting panic sites the
+    /// author already justified to P1.
+    pub fn p1_in_scope(&self) -> bool {
+        self.in_crates(P1_CRATES) && !self.is_test_file
     }
 }
 
@@ -352,6 +387,7 @@ fn finding(slug: &str, line: usize, message: String) -> Finding {
         path: String::new(),
         line,
         message,
+        witness: Vec::new(),
     }
 }
 
@@ -752,6 +788,80 @@ mod tests {
             r.findings
         );
         assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_c1_fires() {
+        let r = fixture_report("c1_lock_order.rs");
+        let n = r.findings.iter().filter(|f| f.code == "C1").count();
+        assert!(n >= 2, "want order cycle + re-entry: {:?}", r.findings);
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_c1_clean_is_clean() {
+        let r = fixture_report("c1_lock_order_clean.rs");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn fixture_p4_fires_with_witness() {
+        // Under telemetry so the line-local P1 (which only covers
+        // net/trace/sim) stays out of the way — P4 is the only rule
+        // that should see this panic.
+        let (_, src) = fixture("p4_panic_reach.rs");
+        let r = scan_source("crates/telemetry/src/p4_panic_reach.rs", &src);
+        let p4: Vec<_> = r.findings.iter().filter(|f| f.code == "P4").collect();
+        assert_eq!(p4.len(), 1, "{:?}", r.findings);
+        assert!(
+            p4[0].witness.iter().any(|w| w.contains("entry")),
+            "witness must start at the public entry: {:?}",
+            p4[0].witness
+        );
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_p4_clean_is_clean() {
+        let (_, src) = fixture("p4_panic_reach_clean.rs");
+        let r = scan_source("crates/telemetry/src/p4_panic_reach_clean.rs", &src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn fixture_n1_fires() {
+        // Under telemetry: `emit` is an N1 sink there, and HashMap is
+        // outside D1's crate scope, so N1 is isolated.
+        let (_, src) = fixture("n1_nondet_taint.rs");
+        let r = scan_source("crates/telemetry/src/n1_nondet_taint.rs", &src);
+        assert!(
+            r.findings.iter().any(|f| f.code == "N1"),
+            "{:?}",
+            r.findings
+        );
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_n1_clean_is_clean() {
+        let (_, src) = fixture("n1_nondet_taint_clean.rs");
+        let r = scan_source("crates/telemetry/src/n1_nondet_taint_clean.rs", &src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn fixture_s1_fires() {
+        let r = fixture_report("s1_unused_suppression.rs");
+        let codes: Vec<_> = r.findings.iter().map(|f| f.code).collect();
+        assert_eq!(codes, ["S1"], "{:?}", r.findings);
+        assert!(r.denied(&["all".to_string()]));
+    }
+
+    #[test]
+    fn fixture_s1_clean_is_clean() {
+        let r = fixture_report("s1_unused_suppression_clean.rs");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.suppressions.iter().all(|s| s.used));
     }
 
     #[test]

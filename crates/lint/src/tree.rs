@@ -1,0 +1,288 @@
+//! Balanced-delimiter token trees over the flat lexer stream.
+//!
+//! The v2 analyses (lock-order, panic-reachability, nondeterminism
+//! taint) need to know where blocks begin and end — a guard bound by
+//! `let` lives until the close of its enclosing brace group, an item
+//! ends at the matching `}` of its body — which the flat token stream
+//! cannot answer without re-matching delimiters at every use site. This
+//! module matches them once: a [`Tree`] is either a leaf token index or
+//! a group holding the indices of its `(`/`[`/`{` opener and closer
+//! plus its children, so every consumer shares one delimiter match and
+//! spans can round-trip to the original byte offsets.
+//!
+//! The parser is strict: a mismatched or unclosed delimiter is a
+//! [`ParseError`], not a best-effort tree — the engine falls back to
+//! line-local rules for a file that fails to parse (and the workspace
+//! self-scan test asserts that never happens for checked-in code).
+
+use crate::{Tok, Token};
+
+/// One node of the token tree. Leaves index into the token slice the
+/// tree was parsed from; groups own their delimiter token indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tree {
+    /// A non-delimiter token, by index into the lexed token vector.
+    Leaf(usize),
+    /// A balanced `(…)`, `[…]` or `{…}` group.
+    Group(Group),
+}
+
+/// A balanced delimiter group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// `(`, `[` or `{`.
+    pub delim: char,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter.
+    pub close: usize,
+    /// Child nodes between the delimiters, in source order.
+    pub children: Vec<Tree>,
+}
+
+/// Why a token stream failed to form a balanced tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (or the last line for EOF).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Matching closer for an opening delimiter.
+fn closer(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Parses the whole token slice into a forest of trees.
+pub fn parse(tokens: &[Token]) -> Result<Vec<Tree>, ParseError> {
+    let (forest, end) = parse_until(tokens, 0, None)?;
+    debug_assert!(end == tokens.len() || matches!(tokens[end].tok, Tok::Punct(_)));
+    if end != tokens.len() {
+        return Err(ParseError {
+            line: tokens[end].line,
+            message: format!(
+                "unmatched closing delimiter `{}`",
+                punct_char(&tokens[end].tok)
+            ),
+        });
+    }
+    Ok(forest)
+}
+
+fn punct_char(t: &Tok) -> char {
+    match t {
+        Tok::Punct(c) => *c,
+        _ => '?',
+    }
+}
+
+/// Parses children until the expected closer (or EOF when `expect` is
+/// `None`). Returns the children and the index of the stopping token.
+fn parse_until(
+    tokens: &[Token],
+    mut i: usize,
+    expect: Option<char>,
+) -> Result<(Vec<Tree>, usize), ParseError> {
+    let mut out = Vec::new();
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct(c @ ('(' | '[' | '{')) => {
+                let (children, close) = parse_until(tokens, i + 1, Some(closer(c)))?;
+                if close >= tokens.len() {
+                    return Err(ParseError {
+                        line: tokens[i].line,
+                        message: format!("unclosed `{c}`"),
+                    });
+                }
+                out.push(Tree::Group(Group {
+                    delim: c,
+                    open: i,
+                    close,
+                    children,
+                }));
+                i = close + 1;
+            }
+            Tok::Punct(c @ (')' | ']' | '}')) => {
+                return if expect == Some(c) {
+                    Ok((out, i))
+                } else {
+                    Err(ParseError {
+                        line: tokens[i].line,
+                        message: match expect {
+                            Some(want) => format!("expected `{want}`, found `{c}`"),
+                            None => format!("unmatched closing delimiter `{c}`"),
+                        },
+                    })
+                };
+            }
+            _ => {
+                out.push(Tree::Leaf(i));
+                i += 1;
+            }
+        }
+    }
+    match expect {
+        // An unclosed group: report at the last token we saw.
+        Some(want) => Err(ParseError {
+            line: tokens.last().map_or(1, |t| t.line),
+            message: format!("missing closing `{want}` at end of file"),
+        }),
+        None => Ok((out, i)),
+    }
+}
+
+/// Walks the forest depth-first, handing every group to `f` (parents
+/// before children).
+pub fn for_each_group(forest: &[Tree], f: &mut impl FnMut(&Group)) {
+    for node in forest {
+        if let Tree::Group(g) = node {
+            f(g);
+            for_each_group(&g.children, f);
+        }
+    }
+}
+
+/// For every token index, the token index of the innermost enclosing
+/// `{…}` group's closer — or `usize::MAX` for top-level tokens. This is
+/// the "rest of the enclosing block" boundary the lock-order analysis
+/// uses for `let`-bound guard regions.
+pub fn enclosing_brace_close(forest: &[Tree], token_count: usize) -> Vec<usize> {
+    let mut out = vec![usize::MAX; token_count];
+    fn walk(forest: &[Tree], current_close: usize, out: &mut [usize]) {
+        for node in forest {
+            match node {
+                Tree::Leaf(i) => out[*i] = current_close,
+                Tree::Group(g) => {
+                    out[g.open] = current_close;
+                    out[g.close] = current_close;
+                    let inner = if g.delim == '{' {
+                        g.close
+                    } else {
+                        current_close
+                    };
+                    walk(&g.children, inner, out);
+                }
+            }
+        }
+    }
+    walk(forest, usize::MAX, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        let (tokens, _) = lex(src);
+        parse(&tokens).expect("balanced")
+    }
+
+    #[test]
+    fn flat_source_is_all_leaves() {
+        let f = forest("let x = 1;");
+        assert!(f.iter().all(|t| matches!(t, Tree::Leaf(_))));
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn groups_nest_and_carry_delimiters() {
+        let (tokens, _) = lex("fn f(a: u8) { g([1, 2]); }");
+        let f = parse(&tokens).expect("balanced");
+        let mut delims = Vec::new();
+        for_each_group(&f, &mut |g| delims.push(g.delim));
+        assert_eq!(delims, vec!['(', '{', '(', '[']);
+        // Every group's open/close indices point at the right puncts.
+        for_each_group(&f, &mut |g| {
+            assert_eq!(tokens[g.open].tok, Tok::Punct(g.delim));
+            assert_eq!(tokens[g.close].tok, Tok::Punct(closer(g.delim)));
+            assert!(g.open < g.close);
+        });
+    }
+
+    #[test]
+    fn mismatched_delimiters_error() {
+        let (tokens, _) = lex("fn f( }");
+        let err = parse(&tokens).expect_err("mismatch");
+        assert!(err.message.contains("expected `)`"), "{}", err.message);
+    }
+
+    #[test]
+    fn unclosed_group_errors() {
+        let (tokens, _) = lex("fn f() {");
+        let err = parse(&tokens).expect_err("unclosed");
+        assert!(
+            err.message.contains("missing closing `}`"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn stray_closer_errors() {
+        let (tokens, _) = lex("fn f() {} )");
+        let err = parse(&tokens).expect_err("stray");
+        assert!(err.message.contains("unmatched"), "{}", err.message);
+    }
+
+    #[test]
+    fn raw_strings_with_braces_do_not_desync() {
+        // The lexer treats raw strings as opaque, so the brace inside
+        // never reaches the tree parser.
+        let f = forest(r####"fn f() { let s = r#"{ not a block ["#; g(); }"####);
+        let mut braces = 0;
+        for_each_group(&f, &mut |g| {
+            if g.delim == '{' {
+                braces += 1;
+            }
+        });
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn nested_generic_close_is_not_a_delimiter() {
+        // `Vec<Vec<u8>>` lexes `>>` as two puncts — neither participates
+        // in tree grouping, so the tree stays balanced.
+        let f = forest("fn f(v: Vec<Vec<u8>>) -> BTreeMap<u64, Vec<u8>> { v }");
+        let mut count = 0;
+        for_each_group(&f, &mut |_| count += 1);
+        assert_eq!(count, 2); // the `(…)` parameter list and the `{…}` body
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_confuse_grouping() {
+        let f = forest("fn f<'a>(x: &'a str) { let c = '{'; let d = '}'; }");
+        let mut braces = 0;
+        for_each_group(&f, &mut |g| {
+            if g.delim == '{' {
+                braces += 1;
+            }
+        });
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn enclosing_brace_close_marks_block_tails() {
+        let (tokens, _) = lex("fn f() { let a = 1; { let b = 2; } let c = 3; }");
+        let f = parse(&tokens).expect("balanced");
+        let close = enclosing_brace_close(&f, tokens.len());
+        let idx_of = |name: &str| {
+            tokens
+                .iter()
+                .position(|t| t.tok == Tok::Ident(name.into()))
+                .expect("ident")
+        };
+        let outer_close = close[idx_of("a")];
+        let inner_close = close[idx_of("b")];
+        assert!(outer_close != usize::MAX && inner_close != usize::MAX);
+        assert!(inner_close < outer_close);
+        assert_eq!(close[idx_of("c")], outer_close);
+        assert_eq!(close[idx_of("fn")], usize::MAX);
+    }
+}

@@ -1,0 +1,97 @@
+//! Workspace self-scan for the token-tree parser: every checked-in
+//! source file must lex into spans that round-trip to the original
+//! bytes and parse into a balanced delimiter tree. This is the
+//! guarantee the v2 analyses lean on — a file the parser rejects only
+//! gets the line-local rules, so a regression here silently narrows
+//! coverage.
+
+use pano_lint::tree::{self, Tree};
+use pano_lint::{collect_rs_files, default_root, lex, Tok};
+
+/// Walks a forest depth-first, checking group invariants and yielding
+/// every token index exactly once, in order.
+fn check_forest(forest: &[Tree], tokens_len: usize, path: &str) -> Vec<usize> {
+    fn walk(nodes: &[Tree], out: &mut Vec<usize>, path: &str) {
+        for node in nodes {
+            match node {
+                Tree::Leaf(i) => out.push(*i),
+                Tree::Group(g) => {
+                    assert!(
+                        matches!(g.delim, '(' | '[' | '{'),
+                        "{path}: bad group delimiter {:?}",
+                        g.delim
+                    );
+                    assert!(
+                        g.open < g.close,
+                        "{path}: group opens at {} but closes at {}",
+                        g.open,
+                        g.close
+                    );
+                    out.push(g.open);
+                    walk(&g.children, out, path);
+                    out.push(g.close);
+                }
+            }
+        }
+    }
+    let mut seen = Vec::new();
+    walk(forest, &mut seen, path);
+    assert_eq!(
+        seen.len(),
+        tokens_len,
+        "{path}: tree covers {} of {} tokens",
+        seen.len(),
+        tokens_len
+    );
+    seen
+}
+
+#[test]
+fn every_workspace_file_parses_balanced_with_roundtripping_spans() {
+    let root = default_root();
+    let files = collect_rs_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+    for path in &files {
+        let source =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let shown = path.display().to_string();
+        let (tokens, _) = lex(&source);
+
+        // Spans round-trip: in-bounds, ordered, non-overlapping, and
+        // the text under an identifier span is that identifier.
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            let (a, b) = t.span;
+            assert!(a < b && b <= source.len(), "{shown}: bad span {a}..{b}");
+            assert!(
+                a >= prev_end,
+                "{shown}: span {a}..{b} overlaps the previous token"
+            );
+            prev_end = b;
+            let text = &source[a..b];
+            match &t.tok {
+                Tok::Ident(name) => assert_eq!(text, name, "{shown}: ident span mismatch"),
+                Tok::Punct(c) => assert_eq!(
+                    text.chars().next(),
+                    Some(*c),
+                    "{shown}: punct span mismatch at {a}"
+                ),
+                _ => {}
+            }
+        }
+
+        // The tree is balanced and covers every token exactly once, in
+        // source order.
+        let forest =
+            tree::parse(&tokens).unwrap_or_else(|e| panic!("{shown}:{}: {}", e.line, e.message));
+        let seen = check_forest(&forest, tokens.len(), &shown);
+        assert!(
+            seen.windows(2).all(|w| w[0] + 1 == w[1]),
+            "{shown}: tree visits tokens out of order"
+        );
+    }
+}

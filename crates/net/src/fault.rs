@@ -733,6 +733,7 @@ impl FaultyConnection {
                         (
                             "kind",
                             Json::from(match fault {
+                                // pano-lint: allow(panic-reach): arm is dead — this emit only runs under `fault != Fault::None` above
                                 Fault::None => unreachable!(),
                                 Fault::RequestLost => "request_lost",
                                 Fault::Reset { .. } => "reset",

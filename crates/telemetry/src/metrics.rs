@@ -407,7 +407,7 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("registry poisoned");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         let a = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -416,7 +416,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().expect("registry poisoned");
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         let a = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())));
@@ -425,7 +425,7 @@ impl Registry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.histograms.lock().expect("registry poisoned");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         let h = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(HistogramCore::new()));
@@ -437,21 +437,21 @@ impl Registry {
         let counters = self
             .counters
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, a)| (k.clone(), a.load(Ordering::Relaxed)))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, a)| (k.clone(), f64::from_bits(a.load(Ordering::Relaxed))))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, h)| {
                 let buckets: Vec<(u32, u64)> = h
@@ -494,7 +494,9 @@ impl Registry {
         }
         for (k, h) in &snap.histograms {
             let live = self.histogram(k);
-            let core = live.0.as_ref().expect("registry handle is live");
+            let Some(core) = live.0.as_ref() else {
+                continue;
+            };
             for &(idx, n) in &h.buckets {
                 core.add_bucket(idx as usize, n);
             }

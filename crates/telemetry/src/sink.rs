@@ -100,12 +100,15 @@ impl MemorySink {
 
     /// A copy of everything emitted so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("sink poisoned").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Number of events emitted so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("sink poisoned").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when nothing has been emitted.
@@ -118,7 +121,7 @@ impl Sink for MemorySink {
     fn emit(&self, event: &Event) {
         self.events
             .lock()
-            .expect("sink poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(event.clone());
     }
 }
@@ -153,13 +156,17 @@ impl JsonlSink {
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = event.to_json_line();
-        let mut w = self.writer.lock().expect("sink poisoned");
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         // Telemetry must never take the run down: I/O errors are dropped.
         let _ = writeln!(w, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("sink poisoned").flush();
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush();
     }
 }
 
